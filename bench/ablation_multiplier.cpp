@@ -1,0 +1,103 @@
+/// Ablation: the two multiplier architectures of Sec. 5 — recursive 2x2
+/// decomposition (lpACLib style) vs Wallace-tree reduction with
+/// approximate compressors (the [17] design point) — plus the approximate
+/// restoring divider that completes Fig. 7's block list.
+#include <iostream>
+
+#include "axc/arith/divider.hpp"
+#include "axc/arith/multiplier.hpp"
+#include "axc/arith/wallace.hpp"
+#include "axc/common/rng.hpp"
+#include "axc/error/evaluate.hpp"
+#include "axc/logic/mul_netlists.hpp"
+#include "axc/logic/power.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace axc;
+  using arith::FullAdderKind;
+  bench::banner("Ablation", "Multiplier architectures & divider (8-bit)");
+
+  Table table({"Design", "Area [GE]", "Power [nW]", "Error rate", "MED",
+               "NMED", "Max err"});
+  error::EvalOptions opts;  // 16 input bits: exhaustive
+
+  const auto eval_fn = [&](const std::string& name,
+                           const logic::Netlist& netlist, auto&& fn) {
+    const auto stats = error::evaluate_function(
+        16, 255 * 255,
+        [&](std::uint64_t w) { return fn(w & 0xFF, w >> 8); },
+        [](std::uint64_t w) { return (w & 0xFF) * (w >> 8); }, opts);
+    const double power =
+        logic::estimate_random_power(netlist, 1024, 9).total_nw;
+    table.add_row({name, fmt(netlist.area_ge(), 1), fmt(power, 0),
+                   fmt_pct(stats.error_rate, 2),
+                   fmt(stats.mean_error_distance, 2),
+                   fmt(stats.normalized_med, 5),
+                   std::to_string(stats.max_error)});
+  };
+
+  for (const unsigned lsbs : {4u, 8u}) {
+    arith::MultiplierConfig rc;
+    rc.width = 8;
+    rc.block = arith::Mul2x2Kind::Accurate;
+    rc.adder_cell = FullAdderKind::Apx3;
+    rc.approx_lsbs = lsbs;
+    const arith::ApproxMultiplier recursive(rc);
+    eval_fn(recursive.name(),
+            logic::multiplier_netlist(
+                {8, arith::Mul2x2Kind::Accurate, FullAdderKind::Apx3, lsbs}),
+            [&](std::uint64_t a, std::uint64_t b) {
+              return recursive.multiply(a, b);
+            });
+
+    const arith::WallaceMultiplier wallace(
+        arith::WallaceConfig{8, FullAdderKind::Apx3, lsbs});
+    eval_fn(wallace.name(),
+            logic::wallace_netlist(8, FullAdderKind::Apx3, lsbs),
+            [&](std::uint64_t a, std::uint64_t b) {
+              return wallace.multiply(a, b);
+            });
+    table.add_separator();
+  }
+  table.print(std::cout);
+  std::cout << "\nSame cell, same approximate significance: the Wallace\n"
+               "reduction localizes damage to the approximated columns\n"
+               "while the recursive combine exposes whole sub-products —\n"
+               "two distinct points in Sec. 5's design space.\n";
+
+  // Divider quality sweep.
+  std::cout << "\nApproximate restoring divider (8-bit, quotient error vs "
+               "exact):\n";
+  Table div_table({"Divider", "Mean |q err|", "Max |q err|",
+                   "q exact rate"});
+  axc::Rng rng(55);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> inputs;
+  for (int i = 0; i < 20000; ++i) {
+    inputs.push_back({rng.bits(8), (rng.bits(8) | 1u) & 0xFF});
+  }
+  const arith::ApproxDivider exact_div(8);
+  for (const unsigned lsbs : {0u, 2u, 4u}) {
+    const arith::ApproxDivider divider(
+        8, arith::ripple_adder_factory(FullAdderKind::Apx3, lsbs));
+    double med = 0.0;
+    std::uint64_t worst = 0;
+    int exact_count = 0;
+    for (const auto& [nu, de] : inputs) {
+      const std::uint64_t qe = exact_div.divide(nu, de).quotient;
+      const std::uint64_t qa = divider.divide(nu, de).quotient;
+      const std::uint64_t err = qe > qa ? qe - qa : qa - qe;
+      med += static_cast<double>(err);
+      worst = std::max(worst, err);
+      exact_count += err == 0;
+    }
+    div_table.add_row({divider.name(),
+                       fmt(med / static_cast<double>(inputs.size()), 3),
+                       std::to_string(worst),
+                       fmt_pct(static_cast<double>(exact_count) /
+                                   static_cast<double>(inputs.size()),
+                               1)});
+  }
+  div_table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// \file bench_util.hpp
+/// Shared helpers for the experiment harnesses: headers, ASCII scatter
+/// plots for the figure-type experiments, and delta formatting for
+/// paper-vs-measured tables.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "axc/common/table.hpp"
+
+namespace axc::bench {
+
+/// Prints the experiment banner.
+inline void banner(const std::string& id, const std::string& title) {
+  std::cout << "\n================================================================\n"
+            << id << " — " << title << "\n"
+            << "================================================================\n";
+}
+
+/// A point in a 2-D scatter plot, tagged with a single display character.
+struct ScatterPoint {
+  double x = 0.0;
+  double y = 0.0;
+  char tag = '*';
+};
+
+/// Renders an ASCII scatter plot (x left-to-right, y bottom-to-top), the
+/// console stand-in for the paper's Fig. 4 / Fig. 8 style plots.
+inline void ascii_scatter(std::ostream& os,
+                          const std::vector<ScatterPoint>& points,
+                          const std::string& x_label,
+                          const std::string& y_label, int width = 64,
+                          int height = 20) {
+  if (points.empty()) return;
+  double min_x = points[0].x, max_x = points[0].x;
+  double min_y = points[0].y, max_y = points[0].y;
+  for (const auto& p : points) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double span_x = max_x - min_x > 0 ? max_x - min_x : 1.0;
+  const double span_y = max_y - min_y > 0 ? max_y - min_y : 1.0;
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (const auto& p : points) {
+    const int col = static_cast<int>(
+        std::lround((p.x - min_x) / span_x * (width - 1)));
+    const int row = static_cast<int>(
+        std::lround((p.y - min_y) / span_y * (height - 1)));
+    grid[height - 1 - row][col] = p.tag;
+  }
+  os << "  " << y_label << " (top = " << max_y << ", bottom = " << min_y
+     << ")\n";
+  for (const auto& line : grid) os << "  |" << line << "\n";
+  os << "  +" << std::string(width, '-') << "\n";
+  os << "   " << x_label << " (left = " << min_x << ", right = " << max_x
+     << ")\n";
+}
+
+/// "paper -> measured (xN.NN)" cell for paper-vs-ours tables.
+inline std::string vs_paper(double paper, double measured, int digits = 2) {
+  if (paper == 0.0) return fmt(measured, digits) + " (paper 0)";
+  return fmt(measured, digits) + " (paper " + fmt(paper, digits) + ", x" +
+         fmt(measured / paper, 2) + ")";
+}
+
+}  // namespace axc::bench

@@ -1,0 +1,54 @@
+/// Regenerates Fig. 10: SSIM of 7 images after low-pass filtering on
+/// approximate hardware — the data-dependent resilience observation of
+/// Sec. 6.2 (same accelerator, same kernel, different content => different
+/// quality).
+#include <iostream>
+
+#include "axc/accel/filter.hpp"
+#include "axc/image/ssim.hpp"
+#include "axc/image/synth.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace axc;
+  bench::banner("Fig. 10",
+                "SSIM after approximate low-pass filtering, 7 images");
+
+  accel::FilterConfig config;
+  config.adder_cell = arith::FullAdderKind::Apx4;
+  config.approx_lsbs = 6;
+  const accel::FilterAccelerator filter(config);
+  const accel::FilterAccelerator exact_filter(accel::FilterConfig{});
+  const image::Kernel3x3 kernel = image::Kernel3x3::gaussian();
+
+  std::cout << "\nAccelerator: " << config.name() << " ("
+            << fmt(filter.area_ge(), 0) << " GE vs "
+            << fmt(exact_filter.area_ge(), 0) << " GE exact)\n\n";
+
+  Table table({"Image", "SSIM vs accurate output", "PSNR [dB]"});
+  std::vector<bench::ScatterPoint> bars;
+  double min_ssim = 2.0, max_ssim = -2.0;
+  int index = 0;
+  for (const image::TestImageKind kind : image::kAllTestImageKinds) {
+    const image::Image img = image::synthesize_image(kind, 96, 96, 9);
+    const image::Image exact = exact_filter.apply(img, kernel);
+    const image::Image approx = filter.apply(img, kernel);
+    const double s = image::ssim(exact, approx);
+    min_ssim = std::min(min_ssim, s);
+    max_ssim = std::max(max_ssim, s);
+    table.add_row({std::string(image::test_image_name(kind)), fmt(s, 4),
+                   fmt(image::image_psnr(exact, approx), 2)});
+    bars.push_back({static_cast<double>(index++), s,
+                    static_cast<char>('1' + static_cast<int>(kind))});
+  }
+  table.print(std::cout);
+  std::cout << "\nSSIM spread across content: " << fmt(min_ssim, 4) << " .. "
+            << fmt(max_ssim, 4) << " (delta " << fmt(max_ssim - min_ssim, 4)
+            << ")\n";
+  bench::ascii_scatter(std::cout, bars, "image index (1..7)", "SSIM", 56, 12);
+  std::cout << "\nPaper observation reproduced: for the same adder and the\n"
+               "same kernel the achieved SSIM varies with image content —\n"
+               "the motivation for data-driven, run-time approximation\n"
+               "control (Sec. 6.2).\n";
+  return 0;
+}

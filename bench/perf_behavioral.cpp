@@ -1,0 +1,97 @@
+/// Throughput of the behavioural models — the cost of evaluating
+/// approximate components in software (relevant to anyone embedding the
+/// library in a simulator or compiler loop, and an ablation of behavioural
+/// vs gate-level simulation speed).
+#include <benchmark/benchmark.h>
+
+#include "axc/accel/sad.hpp"
+#include "axc/arith/gear.hpp"
+#include "axc/arith/multiplier.hpp"
+#include "axc/common/rng.hpp"
+#include "axc/logic/adder_netlists.hpp"
+#include "axc/logic/simulator.hpp"
+
+namespace {
+
+void BM_ExactAdder16(benchmark::State& state) {
+  const axc::arith::ExactAdder adder(16);
+  axc::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adder.add(rng.bits(16), rng.bits(16), 0));
+  }
+}
+BENCHMARK(BM_ExactAdder16);
+
+void BM_RippleAdder16Apx4(benchmark::State& state) {
+  const auto adder = axc::arith::RippleAdder::lsb_approximated(
+      16, axc::arith::FullAdderKind::Apx3, 4);
+  axc::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adder.add(rng.bits(16), rng.bits(16), 0));
+  }
+}
+BENCHMARK(BM_RippleAdder16Apx4);
+
+void BM_GearAdder16(benchmark::State& state) {
+  const axc::arith::GeArAdder adder({16, 4, 4});
+  axc::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adder.add(rng.bits(16), rng.bits(16), 0));
+  }
+}
+BENCHMARK(BM_GearAdder16);
+
+void BM_GearAdder16WithCorrection(benchmark::State& state) {
+  const axc::arith::GeArAdder adder({16, 4, 4}, 3);
+  axc::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adder.add(rng.bits(16), rng.bits(16), 0));
+  }
+}
+BENCHMARK(BM_GearAdder16WithCorrection);
+
+void BM_Multiplier8x8Approx(benchmark::State& state) {
+  axc::arith::MultiplierConfig config;
+  config.width = 8;
+  config.block = axc::arith::Mul2x2Kind::Ours;
+  config.adder_cell = axc::arith::FullAdderKind::Apx3;
+  config.approx_lsbs = 4;
+  const axc::arith::ApproxMultiplier mul(config);
+  axc::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mul.multiply(rng.bits(8), rng.bits(8)));
+  }
+}
+BENCHMARK(BM_Multiplier8x8Approx);
+
+void BM_Sad8x8Behavioural(benchmark::State& state) {
+  const axc::accel::SadAccelerator sad(
+      axc::accel::apx_sad_variant(3, 4, 64));
+  axc::Rng rng(1);
+  std::vector<std::uint8_t> a(64), b(64);
+  for (auto& px : a) px = static_cast<std::uint8_t>(rng.bits(8));
+  for (auto& px : b) px = static_cast<std::uint8_t>(rng.bits(8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sad.sad(a, b));
+  }
+}
+BENCHMARK(BM_Sad8x8Behavioural);
+
+void BM_RippleAdder16GateLevel(benchmark::State& state) {
+  // The gate-level price of the same 16-bit addition: what the
+  // behavioural models save.
+  const std::vector<axc::arith::FullAdderKind> cells(
+      16, axc::arith::FullAdderKind::Accurate);
+  const axc::logic::Netlist netlist =
+      axc::logic::ripple_adder_netlist(cells);
+  axc::logic::Simulator sim(netlist);
+  axc::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.apply_word(rng.bits(32)));
+  }
+}
+BENCHMARK(BM_RippleAdder16GateLevel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

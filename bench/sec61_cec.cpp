@@ -1,0 +1,97 @@
+/// Regenerates the Sec. 6.1 result: Consolidated Error Correction — one
+/// output-side offset corrector in place of per-adder EDC hardware.
+/// Reports (a) the specific-valued error distribution the scheme exploits,
+/// (b) accuracy recovered by the consolidated offset, (c) area saved vs
+/// per-adder EDC.
+#include <iostream>
+
+#include "axc/common/rng.hpp"
+#include "axc/core/cec.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace axc;
+  bench::banner("Sec. 6.1", "Consolidated Error Correction (CEC)");
+
+  const arith::GeArConfig config{12, 2, 2};
+  const arith::GeArAdder adder(config);
+
+  // (a) The error-value distribution: only a handful of specific values.
+  const auto dist = error::adder_error_distribution(adder);
+  std::cout << "\nError distribution of " << config.name()
+            << " (signed error = approx - exact):\n";
+  Table hist({"error value", "probability"});
+  for (const auto& [value, count] : dist.histogram()) {
+    hist.add_row({std::to_string(value),
+                  fmt_pct(static_cast<double>(count) /
+                              static_cast<double>(dist.samples()),
+                          3)});
+  }
+  hist.print(std::cout);
+  std::cout << "Distinct error values: " << dist.support().size()
+            << " — the \"specific values\" observation of Sec. 6.1.\n";
+
+  // (b) A biased cascade: accumulate 8 approximate additions, where the
+  // per-adder errors pile up into a strongly biased output error that a
+  // single offset removes.
+  axc::Rng rng(33);
+  error::ErrorDistribution cascade;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    std::int64_t exact = 0;
+    std::uint64_t approx = 0;
+    for (int term = 0; term < 8; ++term) {
+      const std::uint64_t v = rng.bits(11);
+      exact += static_cast<std::int64_t>(v);
+      approx = adder.add(approx & 0xFFF, v, 0) & 0xFFF;
+    }
+    cascade.record(static_cast<std::int64_t>(approx & 0xFFF) -
+                   (exact & 0xFFF));
+  }
+  const core::Cec cec = core::Cec::from_distribution(cascade);
+  std::cout << "\n8-addition cascade: mean |error| " << fmt(cec.uncorrected_med(), 3)
+            << " -> " << fmt(cec.corrected_med(), 3)
+            << " after the consolidated offset (" << cec.correction()
+            << ")\n";
+
+  // (b') Flag-driven consolidated correction (the full mechanism of [37]):
+  // per-boundary weights summed once at the output recover the exact sum.
+  {
+    const core::FlagDrivenCec flag_cec(config);
+    axc::Rng frng(44);
+    int raw_errors = 0, corrected_errors = 0;
+    constexpr int kFlagSamples = 200000;
+    for (int i = 0; i < kFlagSamples; ++i) {
+      const std::uint64_t a = frng.bits(config.n);
+      const std::uint64_t b = frng.bits(config.n);
+      raw_errors += adder.add(a, b, 0) != a + b;
+      corrected_errors += flag_cec.correct(adder, a, b) != a + b;
+    }
+    std::cout << "\nFlag-driven CEC on " << config.name() << ": error rate "
+              << fmt_pct(static_cast<double>(raw_errors) / kFlagSamples, 2)
+              << " -> "
+              << fmt_pct(static_cast<double>(corrected_errors) / kFlagSamples,
+                         2)
+              << " (exact recovery; boundary weights";
+    for (unsigned i = 0; i + 1 < config.num_subadders(); ++i) {
+      std::cout << " " << flag_cec.boundary_weight(i);
+    }
+    std::cout << ")\n";
+  }
+
+  // (c) Area: per-adder EDC vs one CEC unit.
+  Table area({"Cascade length", "EDC area [GE]", "CEC area [GE]",
+              "saving %"});
+  for (const unsigned cascade_len : {1u, 2u, 4u, 8u, 16u}) {
+    const auto report = core::compare_cec_vs_edc_area(config, cascade_len, 13);
+    area.add_row({std::to_string(cascade_len), fmt(report.edc_area_ge, 1),
+                  fmt(report.cec_area_ge, 1),
+                  fmt(report.saving_percent, 1)});
+  }
+  std::cout << "\nArea: per-adder EDC vs consolidated corrector:\n";
+  area.print(std::cout);
+  std::cout << "\nPaper claim reproduced: EDC area accumulates with the\n"
+               "cascade while the CEC unit is a single fixed-cost offset\n"
+               "adder at the accelerator output.\n";
+  return 0;
+}

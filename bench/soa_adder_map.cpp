@@ -1,0 +1,50 @@
+/// Regenerates the Sec. 4.2 claim that the GeAr model generalizes prior
+/// approximate adders: instantiates ACA-I, ACA-II, ETAII and GDA as GeAr
+/// configurations and characterizes them with the same error model — the
+/// "fast exploration of the design space of approximate adders" workflow.
+#include <iostream>
+
+#include "axc/arith/soa_adders.hpp"
+#include "axc/error/evaluate.hpp"
+#include "axc/error/gear_model.hpp"
+#include "axc/logic/adder_netlists.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace axc;
+  bench::banner("Sec. 4.2", "State-of-the-art adders as GeAr configurations");
+
+  struct Entry {
+    std::string soa_name;
+    arith::GeArConfig config;
+  };
+  const Entry entries[] = {
+      {"ACA-I(16, window 4)", arith::aca_i_config(16, 4)},
+      {"ACA-I(16, window 6)", arith::aca_i_config(16, 6)},
+      {"ACA-II(16, window 8)", arith::aca_ii_config(16, 8)},
+      {"ACA-II(16, window 4)", arith::aca_ii_config(16, 4)},
+      {"ETAII(16, segment 4)", arith::etaii_config(16, 4)},
+      {"ETAII(16, segment 2)", arith::etaii_config(16, 2)},
+      {"GDA(16, block 2 x2)", arith::gda_config(16, 2, 2)},
+      {"GDA(16, block 2 x3)", arith::gda_config(16, 2, 3)},
+  };
+
+  Table table({"Prior adder", "GeAr equivalent", "Accuracy % (model)",
+               "Accuracy % (simulated)", "Area [GE]"});
+  for (const Entry& entry : entries) {
+    const arith::GeArAdder adder(entry.config);
+    error::EvalOptions opts;
+    opts.samples = 1u << 19;
+    const auto sim = error::evaluate_adder(adder, opts);
+    table.add_row({entry.soa_name, entry.config.name(),
+                   fmt(error::gear_accuracy_percent(entry.config), 3),
+                   fmt(sim.accuracy_percent(), 3),
+                   fmt(logic::gear_adder_netlist(entry.config).area_ge(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nModel vs simulation agree to sampling noise for every\n"
+               "prior design — one analytic model covers the whole family,\n"
+               "which is what lets a compiler or DSE loop rank candidate\n"
+               "adders without bit-level simulation.\n";
+  return 0;
+}

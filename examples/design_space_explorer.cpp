@@ -1,0 +1,53 @@
+/// Example: explore the GeAr design space for a given operand width and
+/// pick a configuration under an accuracy constraint — the Fig. 4 / Table
+/// IV workflow as a command-line tool.
+///
+/// Usage: design_space_explorer [width] [min_accuracy_percent]
+#include <cstdlib>
+#include <iostream>
+
+#include "axc/common/table.hpp"
+#include "axc/core/explorer.hpp"
+#include "axc/core/pareto.hpp"
+
+int main(int argc, char** argv) {
+  using namespace axc;
+  const unsigned width = argc >= 2
+                             ? static_cast<unsigned>(std::atoi(argv[1]))
+                             : 11;
+  const double min_accuracy = argc >= 3 ? std::atof(argv[2]) : 90.0;
+
+  std::cout << "Exploring the " << width << "-bit GeAr space (P >= 1)\n\n";
+  const auto space = core::explore_gear_space(width);
+
+  std::vector<core::DesignPoint> flat;
+  flat.reserve(space.size());
+  for (const auto& entry : space) flat.push_back(entry.point);
+  const auto front =
+      core::pareto_front(flat, {core::minimize_area(), core::minimize_error()});
+
+  Table table({"Config", "Area [GE]", "Accuracy %", "Pareto"});
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const bool on_front =
+        std::find(front.begin(), front.end(), i) != front.end();
+    table.add_row({flat[i].name, fmt(flat[i].area_ge, 1),
+                   fmt(flat[i].accuracy_percent, 3), on_front ? "*" : ""});
+  }
+  table.print(std::cout);
+
+  const std::size_t best_acc = core::max_accuracy_config(space);
+  std::cout << "\nHighest accuracy: " << flat[best_acc].name << " ("
+            << fmt(flat[best_acc].accuracy_percent, 3) << "%)\n";
+  const std::size_t pick =
+      core::min_area_config_with_accuracy(space, min_accuracy);
+  if (pick == space.size()) {
+    std::cout << "No configuration reaches " << min_accuracy
+              << "% accuracy — the exact adder (L = N) is the only option.\n";
+  } else {
+    std::cout << "Cheapest config with >= " << min_accuracy
+              << "% accuracy: " << flat[pick].name << " ("
+              << fmt(flat[pick].area_ge, 1) << " GE, "
+              << fmt(flat[pick].accuracy_percent, 3) << "%)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+/// Example: a multi-accelerator approximate computing architecture
+/// (Sec. 6, Fig. 7) — a sea of SAD accelerator modes, an approximation
+/// management unit assigning modes to concurrently running applications,
+/// and a consolidated error correction unit at the datapath output.
+#include <cmath>
+#include <iostream>
+
+#include "axc/accel/sad_netlist.hpp"
+#include "axc/common/rng.hpp"
+#include "axc/common/table.hpp"
+#include "axc/core/cec.hpp"
+#include "axc/core/manager.hpp"
+#include "axc/error/evaluate.hpp"
+
+int main() {
+  using namespace axc;
+
+  // --- Build the mode library: characterize SAD variants ----------------
+  // Quality proxy: accuracy of the SAD output on random blocks, power from
+  // the structural netlist (the Fig. 7 characterization box).
+  std::vector<core::AcceleratorMode> modes;
+  const auto add_mode = [&](const accel::SadConfig& config) {
+    const accel::SadAccelerator sad(config);
+    axc::Rng rng(5);
+    std::vector<std::uint8_t> a(64), b(64);
+    double rel = 0.0;
+    constexpr int kTrials = 400;
+    for (int t = 0; t < kTrials; ++t) {
+      std::uint64_t exact = 0;
+      for (std::size_t i = 0; i < 64; ++i) {
+        a[i] = static_cast<std::uint8_t>(rng.bits(8));
+        b[i] = static_cast<std::uint8_t>(rng.bits(8));
+        exact += a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+      }
+      const double approx = static_cast<double>(sad.sad(a, b));
+      rel += std::abs(approx - static_cast<double>(exact)) /
+             static_cast<double>(exact);
+    }
+    const double quality = 100.0 * (1.0 - rel / kTrials);
+    const auto hw = accel::characterize_sad(config, 128);
+    modes.push_back({config.name(), hw.power_nw, quality});
+  };
+  add_mode(accel::accu_sad(64));
+  for (const int variant : {1, 3}) {
+    for (const unsigned lsbs : {2u, 4u, 6u}) {
+      add_mode(accel::apx_sad_variant(variant, lsbs, 64));
+    }
+  }
+
+  Table mode_table({"Mode", "Power [nW]", "Quality %"});
+  for (const auto& mode : modes) {
+    mode_table.add_row({mode.name, fmt(mode.power_nw, 0),
+                        fmt(mode.quality_percent, 3)});
+  }
+  std::cout << "Accelerator mode library:\n";
+  mode_table.print(std::cout);
+
+  // --- The approximation management unit --------------------------------
+  const core::ApproximationManager manager(modes);
+  const std::vector<core::Application> apps = {
+      {"video_call", 99.5},   // interactive: high quality
+      {"surveillance", 98.0}, // background analytics: can tolerate more
+      {"thumbnailer", 95.0},  // offline: most tolerant
+  };
+  const core::Assignment assignment = manager.assign_min_power(apps);
+  std::cout << "\nMinimum-power mode assignment:\n";
+  Table assign_table({"Application", "Quality floor %", "Assigned mode",
+                      "Power [nW]"});
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const auto& mode = modes[assignment.mode_of_app[i]];
+    assign_table.add_row({apps[i].name, fmt(apps[i].min_quality_percent, 1),
+                          mode.name, fmt(mode.power_nw, 0)});
+  }
+  assign_table.print(std::cout);
+  std::cout << "Total power: " << fmt(assignment.total_power_nw, 0)
+            << " nW\n";
+
+  const double budget = assignment.total_power_nw * 1.2;
+  const core::Assignment upgraded = manager.assign_max_quality(apps, budget);
+  std::cout << "\nWith a " << fmt(budget, 0)
+            << " nW budget the manager upgrades to total quality "
+            << fmt(upgraded.total_quality, 2) << " (from "
+            << fmt(assignment.total_quality, 2) << ")\n";
+
+  // --- Consolidated error correction on a GeAr datapath ------------------
+  const arith::GeArConfig gear_config{12, 2, 2};
+  const arith::GeArAdder adder(gear_config);
+  const core::Cec cec =
+      core::Cec::from_distribution(error::adder_error_distribution(adder));
+  const auto area = core::compare_cec_vs_edc_area(gear_config, 8, 13);
+  std::cout << "\nCEC on an 8-adder " << gear_config.name()
+            << " cascade: mean |error| " << fmt(cec.uncorrected_med(), 3)
+            << " -> " << fmt(cec.corrected_med(), 3) << ", EDC area "
+            << fmt(area.edc_area_ge, 0) << " GE vs CEC "
+            << fmt(area.cec_area_ge, 0) << " GE ("
+            << fmt(area.saving_percent, 1) << "% saved)\n";
+  return 0;
+}

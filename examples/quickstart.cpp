@@ -1,0 +1,72 @@
+/// Quickstart: the five-minute tour of the library.
+///
+///   1. evaluate a 1-bit approximate full adder from Table III,
+///   2. build a multi-bit LSB-approximate adder and a GeAr adder,
+///   3. ask the analytic error model instead of simulating,
+///   4. turn on GeAr's error correction,
+///   5. build an approximate multiplier from 2x2 blocks,
+///   6. price everything on the gate-level substrate.
+///
+/// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+///               ./build/examples/quickstart
+#include <iostream>
+
+#include "axc/arith/gear.hpp"
+#include "axc/arith/multiplier.hpp"
+#include "axc/error/evaluate.hpp"
+#include "axc/error/gear_model.hpp"
+#include "axc/logic/adder_netlists.hpp"
+#include "axc/logic/characterize.hpp"
+
+int main() {
+  using namespace axc;
+
+  // --- 1. A 1-bit approximate full adder -------------------------------
+  const auto out = arith::full_add(arith::FullAdderKind::Apx3, 1, 0, 1);
+  std::cout << "ApxFA3: 1 + 0 + 1 = sum " << out.sum << ", carry "
+            << out.carry << "  (exact: sum 0, carry 1)\n";
+
+  // --- 2. Multi-bit adders ---------------------------------------------
+  const auto ripple =
+      arith::RippleAdder::lsb_approximated(8, arith::FullAdderKind::Apx3, 2);
+  std::cout << ripple.name() << ": 100 + 27 = " << ripple.add(100, 27, 0)
+            << "  (exact 127)\n";
+
+  const arith::GeArConfig config{8, 2, 2};
+  const arith::GeArAdder gear(config);
+  std::cout << gear.name() << ": 0x0F + 0x31 = 0x" << std::hex
+            << gear.add(0x0F, 0x31, 0) << std::dec << "  (exact 0x40)\n";
+
+  // --- 3. The analytic error model (no simulation needed) ---------------
+  std::cout << config.name() << " error probability: analytic "
+            << error::gear_error_probability(config) << ", simulated "
+            << error::evaluate_adder(gear).error_rate << "\n";
+
+  // --- 4. Error detection & correction ----------------------------------
+  const arith::GeArAdder corrected(config, config.num_subadders() - 1);
+  std::cout << corrected.name() << ": 0x0F + 0x31 = 0x" << std::hex
+            << corrected.add(0x0F, 0x31, 0) << std::dec
+            << "  (bit-exact with full correction)\n";
+
+  // --- 5. An approximate multiplier --------------------------------------
+  arith::MultiplierConfig mc;
+  mc.width = 8;
+  mc.block = arith::Mul2x2Kind::Ours;
+  mc.adder_cell = arith::FullAdderKind::Apx3;
+  mc.approx_lsbs = 4;
+  const arith::ApproxMultiplier mul(mc);
+  std::cout << mul.name() << ": 13 * 11 = " << mul.multiply(13, 11)
+            << "  (exact 143), NMED "
+            << error::evaluate_multiplier(mul).normalized_med << "\n";
+
+  // --- 6. Price it in gates ---------------------------------------------
+  const auto accu = logic::characterize_full_adder(arith::FullAdderKind::Accurate);
+  const auto apx3 = logic::characterize_full_adder(arith::FullAdderKind::Apx3);
+  std::cout << "AccuFA: " << accu.area_ge << " GE / " << accu.power_nw
+            << " nW;  ApxFA3: " << apx3.area_ge << " GE / " << apx3.power_nw
+            << " nW\n";
+  const auto gear_netlist = logic::gear_adder_netlist(config);
+  std::cout << config.name() << " netlist: " << gear_netlist.gate_count()
+            << " gates, " << gear_netlist.area_ge() << " GE\n";
+  return 0;
+}

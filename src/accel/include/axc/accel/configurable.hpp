@@ -1,0 +1,64 @@
+/// \file configurable.hpp
+/// Run-time accuracy-configurable SAD accelerator.
+///
+/// Sec. 6: "In case of adaptive systems, where an accelerator is required
+/// to operate sometimes in approximate mode and sometimes in accurate
+/// mode, [...] usage of configurable adder/multiplier blocks is required.
+/// A configuration word can then set the control bits of different
+/// approximate logic blocks in the accelerator data path."
+///
+/// Hardware model (the CfgMul pattern of Fig. 5 generalized): every
+/// configurable full-adder position carries both its accurate and its
+/// approximate implementation plus a 2:1 mux per output, steered by the
+/// configuration word. Area is therefore the accurate datapath plus, per
+/// configurable bit position, the approximate cell and two muxes; power in
+/// a given mode is that mode's active datapath plus the leakage of the
+/// inactive cells.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "axc/accel/sad.hpp"
+#include "axc/accel/sad_netlist.hpp"
+
+namespace axc::accel {
+
+/// A SAD accelerator whose approximation mode is selected at run time.
+class ConfigurableSad {
+ public:
+  /// \p modes are the selectable configurations; all must share
+  /// block_pixels. Mode 0 is selected initially. An accurate mode is
+  /// always available as the implicit last mode.
+  explicit ConfigurableSad(std::vector<SadConfig> modes);
+
+  /// Number of selectable modes (the user modes + the accurate one).
+  unsigned mode_count() const {
+    return static_cast<unsigned>(modes_.size());
+  }
+
+  /// The configuration word: selects the active mode.
+  void select(unsigned mode);
+  unsigned selected() const { return selected_; }
+  const SadConfig& mode_config(unsigned mode) const;
+
+  /// SAD through the currently selected datapath.
+  std::uint64_t sad(std::span<const std::uint8_t> a,
+                    std::span<const std::uint8_t> b) const;
+
+  /// Total area of the configurable datapath: accurate hardware + every
+  /// mode's approximate cells + the selection muxes.
+  double area_ge() const;
+
+  /// Power estimate for \p mode: the active datapath's switching power
+  /// plus leakage of the inactive (gated) cells.
+  double mode_power_nw(unsigned mode) const;
+
+ private:
+  std::vector<SadConfig> modes_;
+  std::vector<SadAccelerator> engines_;
+  std::vector<SadHardwareReport> reports_;
+  unsigned selected_ = 0;
+};
+
+}  // namespace axc::accel

@@ -1,0 +1,146 @@
+/// \file datapath.hpp
+/// Accelerator datapath graphs with per-node approximate arithmetic, and
+/// the statistical error-masking analysis of Sec. 6 / Fig. 7.
+///
+/// The paper: "it is important to analyze the error masking and
+/// propagation behavior in the accelerator data path. It may happen that
+/// some logical operations mask the erroneous output of approximate
+/// adders/multipliers. Performing such a statistical error analysis [...]
+/// is an interesting open research problem." This module provides that
+/// analysis: a small dataflow-graph IR whose arithmetic nodes can each be
+/// bound to an approximate implementation, an evaluator (approximate and
+/// exact twins over the same graph), and a per-node masking profile that
+/// quantifies how much of each node's local error survives to the output.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "axc/arith/adder.hpp"
+#include "axc/arith/multiplier.hpp"
+#include "axc/error/metrics.hpp"
+
+namespace axc::accel {
+
+/// Operation kinds available to datapath nodes.
+enum class OpKind : std::uint8_t {
+  Input,      ///< primary input
+  Const,      ///< compile-time constant
+  Add,        ///< lhs + rhs (optionally approximate)
+  Sub,        ///< lhs - rhs via two's complement (optionally approximate)
+  AbsDiff,    ///< |lhs - rhs| (optionally approximate)
+  Mul,        ///< lhs * rhs (optionally approximate)
+  Min,        ///< min(lhs, rhs) — a masking operation
+  Max,        ///< max(lhs, rhs) — a masking operation
+  ShiftRight, ///< lhs >> shift (normalization)
+};
+
+/// Node handle.
+using NodeId = std::uint32_t;
+
+/// A dataflow graph of (optionally approximate) word-level operations.
+///
+/// Nodes may only reference earlier nodes, so construction order is a
+/// topological order and evaluation is a single pass — the same invariant
+/// the gate-level Netlist uses.
+class Datapath {
+ public:
+  explicit Datapath(std::string name = "datapath") : name_(std::move(name)) {}
+
+  /// Adds a primary input of the given bit-width.
+  NodeId add_input(unsigned width, std::string label = "");
+
+  /// Adds a constant node.
+  NodeId add_const(unsigned width, std::uint64_t value);
+
+  /// Adds an arithmetic node. For Add/Sub/AbsDiff an optional \p adder
+  /// supplies the approximate implementation (nullptr = exact); its width
+  /// must equal the node width. Min/Max/ShiftRight are always exact
+  /// (they are wiring/comparison, not arithmetic).
+  NodeId add_op(OpKind kind, NodeId lhs, NodeId rhs,
+                std::shared_ptr<const arith::Adder> adder = nullptr);
+
+  /// Adds a multiplication node; \p multiplier nullptr = exact. The node
+  /// width is 2x the operand width.
+  NodeId add_mul(NodeId lhs, NodeId rhs,
+                 std::shared_ptr<const arith::ApproxMultiplier> multiplier =
+                     nullptr);
+
+  /// Adds a right-shift by \p amount.
+  NodeId add_shift(NodeId operand, unsigned amount);
+
+  /// Marks a node as a primary output.
+  void mark_output(NodeId node);
+
+  const std::string& name() const { return name_; }
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t input_count() const { return inputs_.size(); }
+  std::size_t output_count() const { return outputs_.size(); }
+  unsigned node_width(NodeId node) const;
+
+  /// Evaluates the graph with every node's bound implementation.
+  std::vector<std::uint64_t> evaluate(
+      std::vector<std::uint64_t> input_values) const;
+
+  /// Evaluates the graph with every node exact (the golden twin).
+  std::vector<std::uint64_t> evaluate_exact(
+      std::vector<std::uint64_t> input_values) const;
+
+  /// Evaluates with only node \p solo using its approximate binding; all
+  /// other nodes exact. The basis of the masking profile.
+  std::vector<std::uint64_t> evaluate_solo(
+      NodeId solo, std::vector<std::uint64_t> input_values) const;
+
+  /// Statistical output-error analysis over uniform random inputs.
+  error::ErrorStats analyze(std::uint64_t samples = 1 << 16,
+                            std::uint64_t seed = 13) const;
+
+  /// Per-node masking profile over uniform random inputs: for every node
+  /// with an approximate binding, the output mean-error-distance when only
+  /// that node is approximate. Small values = the datapath masks that
+  /// node's errors (a cheap place to approximate); large values = the
+  /// node's errors propagate (keep it accurate).
+  struct MaskingEntry {
+    NodeId node = 0;
+    OpKind kind = OpKind::Input;
+    std::string impl_name;
+    double solo_output_med = 0.0;
+  };
+  std::vector<MaskingEntry> masking_profile(std::uint64_t samples = 1 << 14,
+                                            std::uint64_t seed = 13) const;
+
+ private:
+  struct Node {
+    OpKind kind = OpKind::Input;
+    NodeId lhs = 0, rhs = 0;
+    unsigned width = 0;
+    std::uint64_t constant = 0;
+    unsigned shift = 0;
+    std::shared_ptr<const arith::Adder> adder;
+    std::shared_ptr<const arith::ApproxMultiplier> multiplier;
+    std::string label;
+  };
+
+  enum class Mode { Approximate, Exact, Solo };
+  std::vector<std::uint64_t> run(std::vector<std::uint64_t> input_values,
+                                 Mode mode, NodeId solo) const;
+  std::uint64_t eval_node(const Node& node, std::uint64_t a, std::uint64_t b,
+                          bool use_approx) const;
+  NodeId push(Node node);
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+};
+
+/// Builds the SAD reduction of Sec. 6 as a datapath: |a_i - b_i| leaves
+/// summed by a binary adder tree. \p adder_factory binds the arithmetic
+/// nodes (empty = exact). Returns the output node.
+NodeId build_sad_datapath(Datapath& dp, unsigned pixels,
+                          const arith::AdderFactory& adder_factory = {});
+
+}  // namespace axc::accel

@@ -1,0 +1,68 @@
+/// \file dct.hpp
+/// A 4x4 integer DCT accelerator (H.264/AVC core transform) on
+/// approximate adders.
+///
+/// The paper motivates approximate accelerators with DSP/video blocks;
+/// next to SAD (sad.hpp) this is the other workhorse of a video codec's
+/// datapath. The AVC core transform needs only additions, subtractions
+/// and shifts-by-one (C = [[1,1,1,1],[2,1,-1,-2],[1,-1,-1,1],[1,-2,2,-1]]),
+/// so the whole accelerator is built from Table III adder cells: every
+/// add/sub runs on a two's-complement ripple adder whose low
+/// `approx_lsbs` positions use the selected approximate cell, and the
+/// x2 scalings are computed as x + x through the same hardware.
+///
+/// The exact inverse transform (with the standard >> 6 scaling) is
+/// provided for end-to-end reconstruction-quality experiments.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "axc/arith/adder.hpp"
+
+namespace axc::accel {
+
+/// Hardware configuration of the transform datapath.
+struct DctConfig {
+  arith::FullAdderKind cell = arith::FullAdderKind::Accurate;
+  unsigned approx_lsbs = 0;
+
+  std::string name() const;
+};
+
+/// Row-major 4x4 block of signed samples/coefficients.
+using Block4x4 = std::array<int, 16>;
+
+/// The 4x4 integer transform accelerator.
+class Dct4x4 {
+ public:
+  explicit Dct4x4(const DctConfig& config);
+
+  const DctConfig& config() const { return config_; }
+
+  /// Forward core transform: Y = C X C^T, evaluated on this hardware.
+  /// Inputs are 9-bit residual samples ([-255, 255]); outputs fit 16 bits.
+  Block4x4 forward(const Block4x4& block) const;
+
+  /// Exact mathematical inverse X' = C^-1 Y C^-T (C's orthogonal rows
+  /// have squared norms 4/10/4/10). For an exact forward transform,
+  /// inverse_exact(forward(x)) == x; for an approximate one it is the
+  /// least-squares readback the quality experiments use.
+  static Block4x4 inverse_exact(const Block4x4& coefficients);
+
+  bool is_exact() const {
+    return config_.cell == arith::FullAdderKind::Accurate ||
+           config_.approx_lsbs == 0;
+  }
+
+ private:
+  int add(int a, int b) const;
+  int sub(int a, int b) const;
+  std::array<int, 4> transform_vector(const std::array<int, 4>& v) const;
+
+  DctConfig config_;
+  arith::RippleAdder adder_;  ///< 16-bit two's-complement datapath adder
+};
+
+}  // namespace axc::accel

@@ -1,0 +1,46 @@
+/// \file filter.hpp
+/// The low-pass filter accelerator of the Fig. 10 experiment: a 3x3
+/// convolution engine whose nine MAC lanes are built from the library's
+/// approximate multipliers and adders, with an area/power roll-up from the
+/// structural netlists.
+#pragma once
+
+#include <string>
+
+#include "axc/arith/full_adder.hpp"
+#include "axc/arith/mul2x2.hpp"
+#include "axc/image/convolve.hpp"
+
+namespace axc::accel {
+
+/// Hardware configuration of the filter datapath.
+struct FilterConfig {
+  arith::Mul2x2Kind mul_block = arith::Mul2x2Kind::Accurate;
+  arith::FullAdderKind adder_cell = arith::FullAdderKind::Accurate;
+  unsigned approx_lsbs = 0;  ///< approximated LSBs in MAC adders
+
+  std::string name() const;
+};
+
+/// A 3x3 filter accelerator with selectable approximate arithmetic.
+class FilterAccelerator {
+ public:
+  explicit FilterAccelerator(const FilterConfig& config);
+
+  const FilterConfig& config() const { return config_; }
+
+  /// Filters \p input with \p kernel on this hardware.
+  image::Image apply(const image::Image& input,
+                     const image::Kernel3x3& kernel) const;
+
+  /// Structural roll-up: 9 parallel 8x8 multiplier lanes + an 8-stage
+  /// accumulation chain of 16-bit adders.
+  double area_ge() const;
+  double power_nw() const;
+
+ private:
+  FilterConfig config_;
+  image::MacHardware hardware_;
+};
+
+}  // namespace axc::accel

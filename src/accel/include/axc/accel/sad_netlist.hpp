@@ -1,0 +1,26 @@
+/// \file sad_netlist.hpp
+/// Structural (gate-level) SAD accelerator — the area/power side of the
+/// Fig. 8/9 experiments. Functionally equivalent to accel::SadAccelerator
+/// (asserted in tests); characterized through axc::logic.
+#pragma once
+
+#include "axc/accel/sad.hpp"
+#include "axc/logic/netlist.hpp"
+
+namespace axc::accel {
+
+/// Builds the full SAD netlist for \p config. Inputs are the 8-bit pixels
+/// of block A then block B, LSB-first per pixel; outputs are the SAD bits.
+logic::Netlist sad_netlist(const SadConfig& config);
+
+/// Area/power summary of a SAD variant, via the calibrated power model.
+struct SadHardwareReport {
+  double area_ge = 0.0;
+  double power_nw = 0.0;
+  std::size_t gate_count = 0;
+};
+SadHardwareReport characterize_sad(const SadConfig& config,
+                                   std::uint64_t vectors = 512,
+                                   std::uint64_t seed = 3);
+
+}  // namespace axc::accel

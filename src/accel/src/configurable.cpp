@@ -1,0 +1,109 @@
+#include "axc/accel/configurable.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "axc/common/require.hpp"
+#include "axc/logic/adder_netlists.hpp"
+#include "axc/logic/cell.hpp"
+
+namespace axc::accel {
+namespace {
+
+constexpr unsigned kPixelBits = 8;
+
+/// Enumerates the adder instances of the SAD structure as (width, count):
+/// two 8-bit subtractors per absolute-difference leaf, then the reduction
+/// tree with one extra bit per level. Mirrors sad.cpp / sad_netlist.cpp.
+std::vector<std::pair<unsigned, unsigned>> adder_inventory(unsigned pixels) {
+  std::vector<std::pair<unsigned, unsigned>> inventory;
+  inventory.push_back({kPixelBits, 2 * pixels});  // abs-diff subtractors
+  const unsigned levels =
+      static_cast<unsigned>(std::bit_width(pixels) - 1);
+  for (unsigned level = 0; level < levels; ++level) {
+    inventory.push_back({kPixelBits + level, pixels >> (level + 1)});
+  }
+  return inventory;
+}
+
+/// Area of one 1-bit cell of the given kind (0 for pure wiring).
+double cell_area(arith::FullAdderKind kind) {
+  return logic::full_adder_netlist(kind).area_ge();
+}
+
+}  // namespace
+
+ConfigurableSad::ConfigurableSad(std::vector<SadConfig> modes)
+    : modes_(std::move(modes)) {
+  require(!modes_.empty(), "ConfigurableSad: need at least one mode");
+  const unsigned pixels = modes_.front().block_pixels;
+  for (const SadConfig& mode : modes_) {
+    require(mode.block_pixels == pixels,
+            "ConfigurableSad: all modes must share the block geometry");
+  }
+  // Implicit accurate mode at the end (the paper's "sometimes in accurate
+  // mode" requirement).
+  const bool has_accurate = std::any_of(
+      modes_.begin(), modes_.end(), [](const SadConfig& m) {
+        return m.cell == arith::FullAdderKind::Accurate ||
+               m.approx_lsbs == 0;
+      });
+  if (!has_accurate) modes_.push_back(accu_sad(pixels));
+
+  engines_.reserve(modes_.size());
+  reports_.reserve(modes_.size());
+  for (const SadConfig& mode : modes_) {
+    engines_.emplace_back(mode);
+    reports_.push_back(characterize_sad(mode, 128));
+  }
+}
+
+void ConfigurableSad::select(unsigned mode) {
+  require(mode < modes_.size(), "ConfigurableSad::select: no such mode");
+  selected_ = mode;
+}
+
+const SadConfig& ConfigurableSad::mode_config(unsigned mode) const {
+  require(mode < modes_.size(), "ConfigurableSad: no such mode");
+  return modes_[mode];
+}
+
+std::uint64_t ConfigurableSad::sad(std::span<const std::uint8_t> a,
+                                   std::span<const std::uint8_t> b) const {
+  return engines_[selected_].sad(a, b);
+}
+
+double ConfigurableSad::area_ge() const {
+  // Base fabric: the accurate datapath (the largest report is the
+  // accurate mode by construction of the library cells).
+  double area = 0.0;
+  for (const auto& report : reports_) area = std::max(area, report.area_ge);
+
+  // Per approximate mode, each configurable bit position additionally
+  // carries the approximate cell and two selection muxes (sum and carry),
+  // the CfgMul pattern of Fig. 5.
+  const double mux_ge = logic::cell_info(logic::CellType::Mux2).area_ge;
+  const auto inventory = adder_inventory(modes_.front().block_pixels);
+  for (const SadConfig& mode : modes_) {
+    if (mode.cell == arith::FullAdderKind::Accurate || mode.approx_lsbs == 0) {
+      continue;  // the base fabric itself
+    }
+    const double apx_cell = cell_area(mode.cell);
+    for (const auto& [width, count] : inventory) {
+      const unsigned k = std::min(mode.approx_lsbs, width);
+      area += static_cast<double>(count) * k * (apx_cell + 2.0 * mux_ge);
+    }
+  }
+  return area;
+}
+
+double ConfigurableSad::mode_power_nw(unsigned mode) const {
+  require(mode < modes_.size(), "ConfigurableSad: no such mode");
+  // Active datapath power plus leakage (1 nW/GE, the calibrated model's
+  // constant) of the gated remainder of the configurable fabric.
+  const double fabric_area = area_ge();
+  const double active_area = reports_[mode].area_ge;
+  return reports_[mode].power_nw + (fabric_area - active_area) * 1.0;
+}
+
+}  // namespace axc::accel

@@ -1,0 +1,263 @@
+#include "axc/accel/datapath.hpp"
+
+#include <algorithm>
+
+#include "axc/common/bits.hpp"
+#include "axc/common/require.hpp"
+#include "axc/common/rng.hpp"
+
+namespace axc::accel {
+
+NodeId Datapath::push(Node node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Datapath::add_input(unsigned width, std::string label) {
+  require(width >= 1 && width <= 63, "Datapath: input width in [1, 63]");
+  Node node;
+  node.kind = OpKind::Input;
+  node.width = width;
+  node.label = std::move(label);
+  const NodeId id = push(std::move(node));
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Datapath::add_const(unsigned width, std::uint64_t value) {
+  require(width >= 1 && width <= 63, "Datapath: const width in [1, 63]");
+  Node node;
+  node.kind = OpKind::Const;
+  node.width = width;
+  node.constant = value & low_mask(width);
+  return push(std::move(node));
+}
+
+unsigned Datapath::node_width(NodeId node) const {
+  require(node < nodes_.size(), "Datapath: no such node");
+  return nodes_[node].width;
+}
+
+NodeId Datapath::add_op(OpKind kind, NodeId lhs, NodeId rhs,
+                        std::shared_ptr<const arith::Adder> adder) {
+  require(kind == OpKind::Add || kind == OpKind::Sub ||
+              kind == OpKind::AbsDiff || kind == OpKind::Min ||
+              kind == OpKind::Max,
+          "Datapath::add_op: unsupported kind (use add_mul/add_shift)");
+  require(lhs < nodes_.size() && rhs < nodes_.size(),
+          "Datapath::add_op: operand node does not exist");
+  Node node;
+  node.kind = kind;
+  node.lhs = lhs;
+  node.rhs = rhs;
+  const unsigned w = std::max(nodes_[lhs].width, nodes_[rhs].width);
+  // Add grows by the carry bit; Sub/AbsDiff/Min/Max keep the operand width.
+  node.width = kind == OpKind::Add ? std::min(w + 1, 63u) : w;
+  if (adder) {
+    require(kind != OpKind::Min && kind != OpKind::Max,
+            "Datapath::add_op: Min/Max take no adder");
+    const unsigned need = kind == OpKind::Add ? w : node.width;
+    require(adder->width() == need,
+            "Datapath::add_op: adder width must be " + std::to_string(need));
+    node.adder = std::move(adder);
+  }
+  return push(std::move(node));
+}
+
+NodeId Datapath::add_mul(
+    NodeId lhs, NodeId rhs,
+    std::shared_ptr<const arith::ApproxMultiplier> multiplier) {
+  require(lhs < nodes_.size() && rhs < nodes_.size(),
+          "Datapath::add_mul: operand node does not exist");
+  Node node;
+  node.kind = OpKind::Mul;
+  node.lhs = lhs;
+  node.rhs = rhs;
+  const unsigned w = std::max(nodes_[lhs].width, nodes_[rhs].width);
+  node.width = std::min(2 * w, 63u);
+  if (multiplier) {
+    require(multiplier->width() >= w,
+            "Datapath::add_mul: multiplier narrower than the operands");
+    node.multiplier = std::move(multiplier);
+  }
+  return push(std::move(node));
+}
+
+NodeId Datapath::add_shift(NodeId operand, unsigned amount) {
+  require(operand < nodes_.size(), "Datapath::add_shift: no such node");
+  Node node;
+  node.kind = OpKind::ShiftRight;
+  node.lhs = operand;
+  node.rhs = operand;
+  node.shift = amount;
+  node.width = nodes_[operand].width > amount
+                   ? nodes_[operand].width - amount
+                   : 1;
+  return push(std::move(node));
+}
+
+void Datapath::mark_output(NodeId node) {
+  require(node < nodes_.size(), "Datapath::mark_output: no such node");
+  outputs_.push_back(node);
+}
+
+std::uint64_t Datapath::eval_node(const Node& node, std::uint64_t a,
+                                  std::uint64_t b, bool use_approx) const {
+  const std::uint64_t mask = low_mask(node.width);
+  switch (node.kind) {
+    case OpKind::Add:
+      if (use_approx && node.adder) return node.adder->add(a, b, 0) & mask;
+      return (a + b) & mask;
+    case OpKind::Sub:
+      if (use_approx && node.adder) {
+        return arith::subtract_via(*node.adder, a, b) & mask;
+      }
+      return (a - b) & mask;
+    case OpKind::AbsDiff:
+      if (use_approx && node.adder) {
+        return arith::abs_diff_via(*node.adder, a, b) & mask;
+      }
+      return (a > b ? a - b : b - a) & mask;
+    case OpKind::Mul:
+      if (use_approx && node.multiplier) {
+        return node.multiplier->multiply(a, b) & mask;
+      }
+      return (a * b) & mask;
+    case OpKind::Min:
+      return std::min(a, b);
+    case OpKind::Max:
+      return std::max(a, b);
+    case OpKind::ShiftRight:
+      return (a >> node.shift) & mask;
+    case OpKind::Input:
+    case OpKind::Const:
+      break;
+  }
+  require(false, "Datapath: unexpected node kind in eval");
+  return 0;
+}
+
+std::vector<std::uint64_t> Datapath::run(
+    std::vector<std::uint64_t> input_values, Mode mode, NodeId solo) const {
+  require(input_values.size() == inputs_.size(),
+          "Datapath: input count mismatch");
+  require(!outputs_.empty(), "Datapath: no outputs marked");
+  std::vector<std::uint64_t> value(nodes_.size(), 0);
+  std::size_t next_input = 0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    if (node.kind == OpKind::Input) {
+      value[id] = input_values[next_input++] & low_mask(node.width);
+      continue;
+    }
+    if (node.kind == OpKind::Const) {
+      value[id] = node.constant;
+      continue;
+    }
+    const bool use_approx =
+        mode == Mode::Approximate || (mode == Mode::Solo && id == solo);
+    value[id] =
+        eval_node(node, value[node.lhs], value[node.rhs], use_approx);
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(outputs_.size());
+  for (const NodeId id : outputs_) out.push_back(value[id]);
+  return out;
+}
+
+std::vector<std::uint64_t> Datapath::evaluate(
+    std::vector<std::uint64_t> input_values) const {
+  return run(std::move(input_values), Mode::Approximate, 0);
+}
+
+std::vector<std::uint64_t> Datapath::evaluate_exact(
+    std::vector<std::uint64_t> input_values) const {
+  return run(std::move(input_values), Mode::Exact, 0);
+}
+
+std::vector<std::uint64_t> Datapath::evaluate_solo(
+    NodeId solo, std::vector<std::uint64_t> input_values) const {
+  require(solo < nodes_.size(), "Datapath::evaluate_solo: no such node");
+  return run(std::move(input_values), Mode::Solo, solo);
+}
+
+error::ErrorStats Datapath::analyze(std::uint64_t samples,
+                                    std::uint64_t seed) const {
+  axc::Rng rng(seed);
+  // NMED ceiling: max exact output of the first output node.
+  const std::uint64_t ceiling = low_mask(nodes_[outputs_.front()].width);
+  error::ErrorAccumulator acc(ceiling);
+  std::vector<std::uint64_t> in(inputs_.size());
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+      in[i] = rng.bits(nodes_[inputs_[i]].width);
+    }
+    acc.record(evaluate(in).front(), evaluate_exact(in).front());
+  }
+  return acc.finish(false);
+}
+
+std::vector<Datapath::MaskingEntry> Datapath::masking_profile(
+    std::uint64_t samples, std::uint64_t seed) const {
+  std::vector<MaskingEntry> profile;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    const bool approximable =
+        (node.adder && !node.adder->is_exact()) ||
+        (node.multiplier && !node.multiplier->is_exact());
+    if (!approximable) continue;
+    axc::Rng rng(seed);
+    double sum_abs = 0.0;
+    std::vector<std::uint64_t> in(inputs_.size());
+    for (std::uint64_t s = 0; s < samples; ++s) {
+      for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        in[i] = rng.bits(nodes_[inputs_[i]].width);
+      }
+      const std::uint64_t solo = evaluate_solo(id, in).front();
+      const std::uint64_t exact = evaluate_exact(in).front();
+      sum_abs += solo > exact ? static_cast<double>(solo - exact)
+                              : static_cast<double>(exact - solo);
+    }
+    MaskingEntry entry;
+    entry.node = id;
+    entry.kind = node.kind;
+    entry.impl_name = node.adder ? node.adder->name()
+                                 : node.multiplier->name();
+    entry.solo_output_med = sum_abs / static_cast<double>(samples);
+    profile.push_back(std::move(entry));
+  }
+  return profile;
+}
+
+NodeId build_sad_datapath(Datapath& dp, unsigned pixels,
+                          const arith::AdderFactory& adder_factory) {
+  require(pixels >= 2 && (pixels & (pixels - 1)) == 0,
+          "build_sad_datapath: pixels must be a power of two >= 2");
+  const auto adder_for = [&](unsigned width)
+      -> std::shared_ptr<const arith::Adder> {
+    if (!adder_factory) return nullptr;
+    return std::shared_ptr<const arith::Adder>(adder_factory(width));
+  };
+  std::vector<NodeId> values;
+  values.reserve(pixels);
+  for (unsigned p = 0; p < pixels; ++p) {
+    const NodeId a = dp.add_input(8, "a" + std::to_string(p));
+    const NodeId b = dp.add_input(8, "b" + std::to_string(p));
+    values.push_back(dp.add_op(OpKind::AbsDiff, a, b, adder_for(8)));
+  }
+  while (values.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve(values.size() / 2);
+    for (std::size_t i = 0; i + 1 < values.size(); i += 2) {
+      const unsigned w = std::max(dp.node_width(values[i]),
+                                  dp.node_width(values[i + 1]));
+      next.push_back(
+          dp.add_op(OpKind::Add, values[i], values[i + 1], adder_for(w)));
+    }
+    values = std::move(next);
+  }
+  dp.mark_output(values.front());
+  return values.front();
+}
+
+}  // namespace axc::accel

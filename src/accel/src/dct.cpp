@@ -1,0 +1,125 @@
+#include "axc/accel/dct.hpp"
+
+#include <cmath>
+
+#include "axc/common/bits.hpp"
+#include "axc/common/require.hpp"
+
+namespace axc::accel {
+
+using arith::FullAdderKind;
+
+namespace {
+constexpr unsigned kWidth = 16;  // two's-complement datapath width
+}  // namespace
+
+std::string DctConfig::name() const {
+  if (cell == FullAdderKind::Accurate || approx_lsbs == 0) {
+    return "DCT4x4<Exact>";
+  }
+  return "DCT4x4<" + std::string(arith::full_adder_name(cell)) + " x" +
+         std::to_string(approx_lsbs) + ">";
+}
+
+Dct4x4::Dct4x4(const DctConfig& config)
+    : config_(config),
+      adder_(arith::RippleAdder::lsb_approximated(
+          kWidth, config.cell, std::min(config.approx_lsbs, kWidth))) {}
+
+int Dct4x4::add(int a, int b) const {
+  const std::uint64_t mask = low_mask(kWidth);
+  const std::uint64_t sum =
+      adder_.add(static_cast<std::uint64_t>(a) & mask,
+                 static_cast<std::uint64_t>(b) & mask, 0) &
+      mask;
+  return static_cast<int>(sign_extend(sum, kWidth));
+}
+
+int Dct4x4::sub(int a, int b) const {
+  const std::uint64_t mask = low_mask(kWidth);
+  const std::uint64_t diff =
+      arith::subtract_via(adder_, static_cast<std::uint64_t>(a) & mask,
+                          static_cast<std::uint64_t>(b) & mask) &
+      mask;
+  return static_cast<int>(sign_extend(diff, kWidth));
+}
+
+std::array<int, 4> Dct4x4::transform_vector(
+    const std::array<int, 4>& v) const {
+  // AVC butterfly:
+  //   s0 = v0 + v3   s1 = v1 + v2   s2 = v1 - v2   s3 = v0 - v3
+  //   y0 = s0 + s1   y2 = s0 - s1
+  //   y1 = (s3 << 1) + s2          y3 = s3 - (s2 << 1)
+  // The x2 scalings are additions through the same approximate hardware.
+  const int s0 = add(v[0], v[3]);
+  const int s1 = add(v[1], v[2]);
+  const int s2 = sub(v[1], v[2]);
+  const int s3 = sub(v[0], v[3]);
+  const int y0 = add(s0, s1);
+  const int y2 = sub(s0, s1);
+  const int y1 = add(add(s3, s3), s2);
+  const int y3 = sub(s3, add(s2, s2));
+  return {y0, y1, y2, y3};
+}
+
+Block4x4 Dct4x4::forward(const Block4x4& block) const {
+  for (const int sample : block) {
+    require(sample >= -255 && sample <= 255,
+            "Dct4x4::forward: samples must be 9-bit residuals");
+  }
+  Block4x4 rows_done{};
+  for (int r = 0; r < 4; ++r) {
+    const std::array<int, 4> in = {block[r * 4 + 0], block[r * 4 + 1],
+                                   block[r * 4 + 2], block[r * 4 + 3]};
+    const std::array<int, 4> out = transform_vector(in);
+    for (int c = 0; c < 4; ++c) rows_done[r * 4 + c] = out[c];
+  }
+  Block4x4 result{};
+  for (int c = 0; c < 4; ++c) {
+    const std::array<int, 4> in = {rows_done[0 * 4 + c], rows_done[1 * 4 + c],
+                                   rows_done[2 * 4 + c], rows_done[3 * 4 + c]};
+    const std::array<int, 4> out = transform_vector(in);
+    for (int r = 0; r < 4; ++r) result[r * 4 + c] = out[r];
+  }
+  return result;
+}
+
+Block4x4 Dct4x4::inverse_exact(const Block4x4& coefficients) {
+  // C's rows are orthogonal with squared norms (4, 10, 4, 10), so
+  // C^-1 = C^T * diag(1/4, 1/10, 1/4, 1/10) and X = C^-1 Y C^-T. (The AVC
+  // decoder folds these norms into its dequantization tables; doing the
+  // inverse mathematically keeps this accelerator self-contained.) For an
+  // exact forward transform the reconstruction is integer-exact; for an
+  // approximate forward it is the least-squares readback used by the
+  // quality experiments.
+  constexpr double kC[4][4] = {{1, 1, 1, 1},
+                               {2, 1, -1, -2},
+                               {1, -1, -1, 1},
+                               {1, -2, 2, -1}};
+  constexpr double kInvNorm[4] = {0.25, 0.1, 0.25, 0.1};
+
+  // tmp = C^-1 * Y, with C^-1[i][k] = C[k][i] * invnorm_k.
+  double tmp[4][4] = {};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      for (int k = 0; k < 4; ++k) {
+        tmp[i][j] += kC[k][i] * kInvNorm[k] *
+                     static_cast<double>(coefficients[k * 4 + j]);
+      }
+    }
+  }
+  // X = tmp * C^-T, with C^-T[k][j] = C[k][j] * invnorm_k.
+  Block4x4 result{};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double x = 0.0;
+      for (int k = 0; k < 4; ++k) {
+        x += tmp[i][k] * kC[k][j] * kInvNorm[k];
+      }
+      result[i * 4 + j] = static_cast<int>(std::lround(x));
+    }
+  }
+  return result;
+}
+
+}  // namespace axc::accel

@@ -1,0 +1,81 @@
+#include "axc/accel/filter.hpp"
+
+#include "axc/arith/multiplier.hpp"
+#include "axc/logic/adder_netlists.hpp"
+#include "axc/logic/mul_netlists.hpp"
+#include "axc/logic/power.hpp"
+
+namespace axc::accel {
+
+using arith::FullAdderKind;
+using arith::Mul2x2Kind;
+
+std::string FilterConfig::name() const {
+  if (mul_block == Mul2x2Kind::Accurate &&
+      (adder_cell == FullAdderKind::Accurate || approx_lsbs == 0)) {
+    return "Filter<Exact>";
+  }
+  return "Filter<" + std::string(arith::mul2x2_name(mul_block)) + "," +
+         std::string(arith::full_adder_name(adder_cell)) + " x" +
+         std::to_string(approx_lsbs) + ">";
+}
+
+FilterAccelerator::FilterAccelerator(const FilterConfig& config)
+    : config_(config) {
+  arith::MultiplierConfig mul_config;
+  mul_config.width = 8;
+  mul_config.block = config_.mul_block;
+  mul_config.adder_cell = config_.adder_cell;
+  mul_config.approx_lsbs = config_.approx_lsbs;
+  hardware_.multiplier =
+      std::make_shared<const arith::ApproxMultiplier>(mul_config);
+  hardware_.adder_factory =
+      arith::ripple_adder_factory(config_.adder_cell, config_.approx_lsbs);
+  hardware_.label = config_.name();
+}
+
+image::Image FilterAccelerator::apply(const image::Image& input,
+                                      const image::Kernel3x3& kernel) const {
+  return image::convolve3x3(input, kernel, hardware_);
+}
+
+namespace {
+
+logic::Netlist accumulator_netlist(const FilterConfig& config) {
+  constexpr unsigned kAccWidth = 16;
+  std::vector<FullAdderKind> cells(kAccWidth, FullAdderKind::Accurate);
+  const unsigned k = std::min(config.approx_lsbs, kAccWidth);
+  std::fill(cells.begin(), cells.begin() + k, config.adder_cell);
+  return logic::ripple_adder_netlist(cells);
+}
+
+logic::Netlist lane_multiplier_netlist(const FilterConfig& config) {
+  logic::MulNetlistSpec spec;
+  spec.width = 8;
+  spec.block = config.mul_block;
+  spec.adder_cell = config.adder_cell;
+  spec.approx_lsbs = config.approx_lsbs;
+  return logic::multiplier_netlist(spec);
+}
+
+}  // namespace
+
+double FilterAccelerator::area_ge() const {
+  return 9.0 * lane_multiplier_netlist(config_).area_ge() +
+         8.0 * accumulator_netlist(config_).area_ge();
+}
+
+double FilterAccelerator::power_nw() const {
+  const auto model = logic::calibrated_power_model();
+  const double mul_power =
+      logic::estimate_random_power(lane_multiplier_netlist(config_), 1024, 5,
+                                   model)
+          .total_nw;
+  const double acc_power =
+      logic::estimate_random_power(accumulator_netlist(config_), 1024, 6,
+                                   model)
+          .total_nw;
+  return 9.0 * mul_power + 8.0 * acc_power;
+}
+
+}  // namespace axc::accel

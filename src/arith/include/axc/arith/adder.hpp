@@ -1,0 +1,107 @@
+/// \file adder.hpp
+/// Multi-bit adder interface and the LSB-approximate ripple-carry adder.
+///
+/// Everything downstream (multipliers, SAD accelerators, filters) consumes
+/// adders through the `Adder` interface so that any mix of accurate,
+/// IMPACT-chain and GeAr adders can be dropped into a datapath — this is
+/// the composability the paper's Fig. 7 methodology relies on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "axc/arith/full_adder.hpp"
+
+namespace axc::arith {
+
+/// Abstract N-bit unsigned adder. Operands are the low width() bits of the
+/// arguments; the result carries width()+1 significant bits (carry-out is
+/// bit width()).
+class Adder {
+ public:
+  virtual ~Adder() = default;
+
+  /// Bit-width of each operand.
+  virtual unsigned width() const = 0;
+
+  /// Adds the low width() bits of a and b (plus optional carry-in) and
+  /// returns the (width()+1)-bit result of this adder's behaviour.
+  virtual std::uint64_t add(std::uint64_t a, std::uint64_t b,
+                            unsigned carry_in = 0) const = 0;
+
+  /// Human-readable identity, e.g. "Ripple<ApxFA3 x4/8>" or "GeAr(8,2,2)".
+  virtual std::string name() const = 0;
+
+  /// True if add() is bit-exact for all inputs (used by the design-space
+  /// explorer to short-circuit error analysis).
+  virtual bool is_exact() const { return false; }
+};
+
+/// Factory signature: builds an adder of the requested width. Used by the
+/// multiplier generator and accelerator builder, which need adders of
+/// several widths from one family.
+using AdderFactory = std::function<std::unique_ptr<Adder>(unsigned width)>;
+
+/// Ready-made factory: ripple adders whose \p approx_lsbs low positions
+/// use the \p kind approximate cell (clamped to the requested width).
+AdderFactory ripple_adder_factory(FullAdderKind kind, unsigned approx_lsbs);
+
+/// Exact two's-complement ripple adder (the baseline in every experiment).
+class ExactAdder final : public Adder {
+ public:
+  explicit ExactAdder(unsigned width);
+
+  unsigned width() const override { return width_; }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b,
+                    unsigned carry_in) const override;
+  std::string name() const override;
+  bool is_exact() const override { return true; }
+
+ private:
+  unsigned width_;
+};
+
+/// Ripple-carry adder with a per-bit choice of full-adder cell.
+///
+/// The canonical use — the one evaluated in the paper's Figs. 6, 8, 9 —
+/// approximates the low `k` bit positions with one of the ApxFA cells and
+/// keeps the upper positions accurate ("approximating k LSBs").
+class RippleAdder final : public Adder {
+ public:
+  /// \p cells[i] is the full-adder used at bit position i (i = 0 is LSB).
+  explicit RippleAdder(std::vector<FullAdderKind> cells);
+
+  /// Convenience: \p approx_lsbs positions of \p kind, the rest accurate.
+  static RippleAdder lsb_approximated(unsigned width, FullAdderKind kind,
+                                      unsigned approx_lsbs);
+
+  unsigned width() const override {
+    return static_cast<unsigned>(cells_.size());
+  }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b,
+                    unsigned carry_in) const override;
+  std::string name() const override;
+  bool is_exact() const override;
+
+  const std::vector<FullAdderKind>& cells() const { return cells_; }
+
+ private:
+  std::vector<FullAdderKind> cells_;
+};
+
+/// Computes a - b as an (width+1)-bit two's-complement word using \p adder
+/// for the addition a + ~b + 1 (this is how the paper's approximate
+/// subtractors are realized from approximate adders). Bit `width` of the
+/// result is the sign.
+std::uint64_t subtract_via(const Adder& adder, std::uint64_t a,
+                           std::uint64_t b);
+
+/// |a - b| on width-bit operands, built from two subtract_via() paths the
+/// way the SAD accelerator's absolute-difference stage is (Sec. 6).
+std::uint64_t abs_diff_via(const Adder& adder, std::uint64_t a,
+                           std::uint64_t b);
+
+}  // namespace axc::arith

@@ -1,0 +1,51 @@
+/// \file divider.hpp
+/// Approximate restoring divider.
+///
+/// Fig. 7 lists dividers among the "basic approximate logic blocks"
+/// an accelerator generator draws from. This is the classic non-restoring-
+/// free array divider: one trial subtraction per quotient bit, where every
+/// trial subtractor is built from the library's (optionally approximate)
+/// adders — approximation in the subtractor cells perturbs low quotient
+/// bits first, mirroring how the adder/multiplier approximations behave.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "axc/arith/adder.hpp"
+
+namespace axc::arith {
+
+/// Quotient/remainder pair.
+struct DivResult {
+  std::uint64_t quotient = 0;
+  std::uint64_t remainder = 0;
+  bool operator==(const DivResult&) const = default;
+};
+
+/// Restoring divider for width-bit dividend / width-bit divisor.
+class ApproxDivider {
+ public:
+  /// \p adder_factory builds the (width+1)-bit trial subtractor; empty =
+  /// exact hardware.
+  explicit ApproxDivider(unsigned width,
+                         const AdderFactory& adder_factory = {});
+
+  unsigned width() const { return width_; }
+
+  /// Computes dividend / divisor. Division by zero returns the hardware
+  /// convention quotient = all-ones, remainder = dividend.
+  DivResult divide(std::uint64_t dividend, std::uint64_t divisor) const;
+
+  /// "Div8<Exact>" / "Div8<Ripple<ApxFA3 x4/9>>".
+  std::string name() const;
+
+  bool is_exact() const { return subtractor_->is_exact(); }
+
+ private:
+  unsigned width_;
+  std::unique_ptr<Adder> subtractor_;  ///< (width+1)-bit trial subtractor
+};
+
+}  // namespace axc::arith

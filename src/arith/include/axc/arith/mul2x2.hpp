@@ -1,0 +1,59 @@
+/// \file mul2x2.hpp
+/// 2x2-bit multiplier building blocks (Fig. 5).
+///
+/// Efficient multi-bit multipliers decompose into small multipliers plus an
+/// adder tree, so the 2x2 block is the elementary approximation site:
+///
+///  - AccMul:      exact 2x2 product (4 output bits).
+///  - ApxMul_SoA:  Kulkarni et al. [15] — drops the 4th product bit, so
+///                 3 x 3 = 7 instead of 9. One error case, max error 2.
+///  - ApxMul_Our:  the paper's novel block — the exact product's MSB is
+///                 wired to the LSB (P0 := P3) and the LSB AND gate is
+///                 removed. Three error cases but max error 1, for
+///                 applications whose bound is on error magnitude.
+///
+/// Configurable versions (CfgMul) carry a mode input that restores
+/// exactness: CfgMul_SoA needs a correcting adder, CfgMul_Our only a
+/// cheap mux/inverter-class fixup on the LSB, which is why its area/power
+/// overhead is lower (Fig. 5, bottom table).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace axc::arith {
+
+/// The three 2x2 multiplier behaviours of Fig. 5.
+enum class Mul2x2Kind : std::uint8_t {
+  Accurate,  ///< AccMul
+  SoA,       ///< ApxMul_SoA (Kulkarni) — 3x3 -> 7
+  Ours,      ///< ApxMul_Our — P0 wired to P3
+};
+
+inline constexpr int kMul2x2KindCount = 3;
+inline constexpr Mul2x2Kind kAllMul2x2Kinds[kMul2x2KindCount] = {
+    Mul2x2Kind::Accurate, Mul2x2Kind::SoA, Mul2x2Kind::Ours};
+
+/// Multiplies two 2-bit operands (values 0..3) with the chosen behaviour.
+/// The result is a 4-bit word (ApxMul_SoA never sets bit 3).
+unsigned mul2x2(Mul2x2Kind kind, unsigned a, unsigned b);
+
+/// Multiplies with the *configurable* variant: in exact mode the correction
+/// stage is active and the product is always accurate; otherwise identical
+/// to mul2x2().
+unsigned cfg_mul2x2(Mul2x2Kind kind, unsigned a, unsigned b, bool exact_mode);
+
+/// "AccMul", "ApxMul_SoA", "ApxMul_Our".
+std::string_view mul2x2_name(Mul2x2Kind kind);
+
+/// Reference characterization printed in Fig. 5 (ASIC flow), for
+/// paper-vs-measured comparison.
+struct PaperMul2x2Data {
+  double area_ge = 0.0;
+  double power_nw = 0.0;
+  int error_cases = -1;   ///< -1 where the paper prints "-" (cfg variants)
+  int max_error = -1;
+};
+PaperMul2x2Data paper_mul2x2_data(Mul2x2Kind kind, bool configurable);
+
+}  // namespace axc::arith

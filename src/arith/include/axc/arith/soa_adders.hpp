@@ -1,0 +1,38 @@
+/// \file soa_adders.hpp
+/// State-of-the-art approximate adders expressed as GeAr configurations.
+///
+/// Sec. 4.2 of the paper points out that the GeAr model generalizes
+/// several published approximate adders: a single (R, P) choice reproduces
+/// each of them exactly. These helpers return the corresponding GeArConfig
+/// so the rest of the library (error model, design-space exploration,
+/// netlist generation) applies to the prior art for free.
+///
+///  - ACA-I  (Verma et al., DATE'08 [7]): every sum bit is computed from an
+///    L-bit lookahead window => one resultant bit per sub-adder:
+///    GeAr(N, R=1, P=L-1).
+///  - ACA-II (Kahng & Kang, DAC'12 [9]): 2L/2-overlapped L-bit sub-adders:
+///    GeAr(N, R=L/2, P=L/2).
+///  - ETAII  (Zhu et al., ISIC'09 [8]): X-bit segments whose carry comes
+///    from the previous segment only: GeAr(N, R=X, P=X).
+///  - GDA    (Ye et al., ICCAD'13 [13]): gracefully-degrading adder; with
+///    its carry-select muxes fixed to consume `blocks` previous X-bit
+///    blocks it equals GeAr(N, R=X, P=X*blocks).
+#pragma once
+
+#include "axc/arith/gear.hpp"
+
+namespace axc::arith {
+
+/// ACA-I with lookahead window \p window_l on \p n-bit operands.
+GeArConfig aca_i_config(unsigned n, unsigned window_l);
+
+/// ACA-II with sub-adder width \p window_l (must be even).
+GeArConfig aca_ii_config(unsigned n, unsigned window_l);
+
+/// ETAII with segment size \p segment.
+GeArConfig etaii_config(unsigned n, unsigned segment);
+
+/// GDA with block size \p block, speculating across \p blocks blocks.
+GeArConfig gda_config(unsigned n, unsigned block, unsigned blocks);
+
+}  // namespace axc::arith

@@ -1,0 +1,58 @@
+/// \file wallace.hpp
+/// Wallace-tree multiplier with approximate compressors.
+///
+/// Sec. 5 opens with "Efficient multiplier designs (like Wallace Tree)
+/// incorporate small-sized multipliers along with an adder tree"; the
+/// surveyed reference [17] (Bhardwaj et al., ISQED'14) approximates the
+/// Wallace reduction itself. This implementation provides that design
+/// point: AND-array partial products reduced by columns of 3:2
+/// compressors (full adders) and 2:2 compressors (half adders), where the
+/// compressors of the low `approx_lsbs` product columns use one of the
+/// Table III approximate cells; a final carry-propagate adder (also
+/// LSB-approximate) merges the remaining two rows.
+///
+/// Compared to the recursive 2x2 decomposition (multiplier.hpp), the
+/// Wallace structure approximates *compressors* instead of *sub-products*
+/// — the two designs bracket the paper's multiplier space and are
+/// contrasted in bench/fig6_multipliers' companion ablation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "axc/arith/full_adder.hpp"
+
+namespace axc::arith {
+
+/// Configuration of a Wallace-tree multiplier.
+struct WallaceConfig {
+  unsigned width = 8;  ///< operand width, in [2, 16]
+  FullAdderKind cell = FullAdderKind::Accurate;
+  unsigned approx_lsbs = 0;  ///< product columns [0, approx_lsbs) use `cell`
+};
+
+/// Behavioural Wallace-tree multiplier.
+class WallaceMultiplier {
+ public:
+  explicit WallaceMultiplier(const WallaceConfig& config);
+
+  unsigned width() const { return config_.width; }
+
+  /// Multiplies the low width() bits of a and b; result has 2*width() bits.
+  std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const;
+
+  /// "Wallace8x8<ApxFA2 below bit 6>" / "Wallace8x8<Exact>".
+  std::string name() const;
+
+  bool is_exact() const {
+    return config_.cell == FullAdderKind::Accurate ||
+           config_.approx_lsbs == 0;
+  }
+
+  const WallaceConfig& config() const { return config_; }
+
+ private:
+  WallaceConfig config_;
+};
+
+}  // namespace axc::arith

@@ -1,0 +1,113 @@
+#include "axc/arith/adder.hpp"
+
+#include <algorithm>
+
+#include "axc/common/bits.hpp"
+#include "axc/common/require.hpp"
+
+namespace axc::arith {
+
+ExactAdder::ExactAdder(unsigned width) : width_(width) {
+  require(width >= 1 && width <= 63, "ExactAdder: width must be in [1, 63]");
+}
+
+std::uint64_t ExactAdder::add(std::uint64_t a, std::uint64_t b,
+                              unsigned carry_in) const {
+  const std::uint64_t mask = low_mask(width_);
+  return ((a & mask) + (b & mask) + (carry_in & 1u)) & low_mask(width_ + 1);
+}
+
+std::string ExactAdder::name() const {
+  return "Exact" + std::to_string(width_);
+}
+
+RippleAdder::RippleAdder(std::vector<FullAdderKind> cells)
+    : cells_(std::move(cells)) {
+  require(!cells_.empty() && cells_.size() <= 63,
+          "RippleAdder: width must be in [1, 63]");
+}
+
+RippleAdder RippleAdder::lsb_approximated(unsigned width, FullAdderKind kind,
+                                          unsigned approx_lsbs) {
+  require(width >= 1 && width <= 63,
+          "RippleAdder: width must be in [1, 63]");
+  require(approx_lsbs <= width,
+          "RippleAdder: cannot approximate more LSBs than the width");
+  std::vector<FullAdderKind> cells(width, FullAdderKind::Accurate);
+  std::fill(cells.begin(), cells.begin() + approx_lsbs, kind);
+  return RippleAdder(std::move(cells));
+}
+
+std::uint64_t RippleAdder::add(std::uint64_t a, std::uint64_t b,
+                               unsigned carry_in) const {
+  std::uint64_t sum = 0;
+  unsigned carry = carry_in & 1u;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const FullAdderOut out =
+        full_add(cells_[i], bit_of(a, static_cast<unsigned>(i)),
+                 bit_of(b, static_cast<unsigned>(i)), carry);
+    sum |= static_cast<std::uint64_t>(out.sum) << i;
+    carry = out.carry;
+  }
+  sum |= static_cast<std::uint64_t>(carry) << cells_.size();
+  return sum;
+}
+
+std::string RippleAdder::name() const {
+  // Summarize the canonical LSB-approximated layout compactly; fall back to
+  // a generic label for arbitrary mixes.
+  const unsigned width = this->width();
+  unsigned approx = 0;
+  while (approx < width && cells_[approx] != FullAdderKind::Accurate) {
+    ++approx;
+  }
+  const bool uniform_tail = std::all_of(
+      cells_.begin() + approx, cells_.end(),
+      [](FullAdderKind k) { return k == FullAdderKind::Accurate; });
+  const bool uniform_head =
+      approx == 0 ||
+      std::all_of(cells_.begin(), cells_.begin() + approx,
+                  [&](FullAdderKind k) { return k == cells_[0]; });
+  if (uniform_tail && uniform_head) {
+    if (approx == 0) return "Ripple<AccuFA/" + std::to_string(width) + ">";
+    return "Ripple<" + std::string(full_adder_name(cells_[0])) + " x" +
+           std::to_string(approx) + "/" + std::to_string(width) + ">";
+  }
+  return "Ripple<mixed/" + std::to_string(width) + ">";
+}
+
+bool RippleAdder::is_exact() const {
+  return std::all_of(cells_.begin(), cells_.end(), [](FullAdderKind k) {
+    return k == FullAdderKind::Accurate;
+  });
+}
+
+AdderFactory ripple_adder_factory(FullAdderKind kind, unsigned approx_lsbs) {
+  return [kind, approx_lsbs](unsigned width) -> std::unique_ptr<Adder> {
+    const unsigned k = std::min(approx_lsbs, width);
+    return std::make_unique<RippleAdder>(
+        RippleAdder::lsb_approximated(width, kind, k));
+  };
+}
+
+std::uint64_t subtract_via(const Adder& adder, std::uint64_t a,
+                           std::uint64_t b) {
+  const std::uint64_t mask = low_mask(adder.width());
+  // a - b = a + ~b + 1; the +1 rides in on the carry-in, exactly as a
+  // hardware subtractor reuses the adder cell.
+  return adder.add(a & mask, (~b) & mask, 1u);
+}
+
+std::uint64_t abs_diff_via(const Adder& adder, std::uint64_t a,
+                           std::uint64_t b) {
+  const unsigned width = adder.width();
+  const std::uint64_t diff = subtract_via(adder, a, b);
+  // Carry-out of the a + ~b + 1 path is the "no borrow" flag; the hardware
+  // muxes between the two subtraction directions on it. An approximate
+  // adder may raise the wrong flag — that is part of its error behaviour
+  // and is deliberately modelled, not patched over.
+  if (bit_of(diff, width) != 0) return diff & low_mask(width);
+  return subtract_via(adder, b, a) & low_mask(width);
+}
+
+}  // namespace axc::arith

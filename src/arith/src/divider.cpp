@@ -1,0 +1,50 @@
+#include "axc/arith/divider.hpp"
+
+#include "axc/common/bits.hpp"
+#include "axc/common/require.hpp"
+
+namespace axc::arith {
+
+ApproxDivider::ApproxDivider(unsigned width, const AdderFactory& adder_factory)
+    : width_(width) {
+  require(width >= 1 && width <= 31, "ApproxDivider: width in [1, 31]");
+  if (adder_factory) {
+    subtractor_ = adder_factory(width + 1);
+    require(subtractor_->width() == width + 1,
+            "ApproxDivider: factory returned wrong width");
+  } else {
+    subtractor_ = std::make_unique<ExactAdder>(width + 1);
+  }
+}
+
+DivResult ApproxDivider::divide(std::uint64_t dividend,
+                                std::uint64_t divisor) const {
+  dividend &= low_mask(width_);
+  divisor &= low_mask(width_);
+  if (divisor == 0) return {low_mask(width_), dividend};
+
+  // Restoring division, MSB first: shift the partial remainder left, try
+  // remainder - divisor on the (width+1)-bit trial subtractor; keep the
+  // difference when its borrow-free flag (carry-out) says it fits.
+  std::uint64_t remainder = 0;
+  std::uint64_t quotient = 0;
+  for (unsigned i = width_; i-- > 0;) {
+    remainder = (remainder << 1) | bit_of(dividend, i);
+    const std::uint64_t diff = subtract_via(*subtractor_, remainder, divisor);
+    const bool fits = bit_of(diff, width_ + 1) != 0;
+    if (fits) {
+      remainder = diff & low_mask(width_ + 1);
+      quotient |= std::uint64_t{1} << i;
+    }
+  }
+  return {quotient, remainder & low_mask(width_)};
+}
+
+std::string ApproxDivider::name() const {
+  return "Div" + std::to_string(width_) + "<" +
+         (subtractor_->is_exact() ? std::string("Exact")
+                                  : subtractor_->name()) +
+         ">";
+}
+
+}  // namespace axc::arith

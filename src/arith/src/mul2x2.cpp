@@ -1,0 +1,84 @@
+#include "axc/arith/mul2x2.hpp"
+
+#include "axc/common/require.hpp"
+
+namespace axc::arith {
+
+unsigned mul2x2(Mul2x2Kind kind, unsigned a, unsigned b) {
+  require(a <= 3 && b <= 3, "mul2x2: operands must be 2-bit values");
+  const unsigned exact = a * b;
+  switch (kind) {
+    case Mul2x2Kind::Accurate:
+      return exact;
+    case Mul2x2Kind::SoA: {
+      // Kulkarni block: P2 = a1b1, P1 = a1b0 | a0b1, P0 = a0b0. Only 3x3
+      // deviates: 0b111 = 7 instead of 9 (the 4th output bit does not
+      // exist and the middle column loses its carry).
+      const unsigned a0 = a & 1u, a1 = (a >> 1) & 1u;
+      const unsigned b0 = b & 1u, b1 = (b >> 1) & 1u;
+      return (a0 & b0) | (((a1 & b0) | (a0 & b1)) << 1) | ((a1 & b1) << 2);
+    }
+    case Mul2x2Kind::Ours: {
+      // P0 is wired to P3 of the exact product; P3..P1 stay exact. Only
+      // (1,1), (1,3) and (3,1) lose their LSB -> three error cases, each
+      // off by exactly 1; (3,3) keeps P3 = P0 = 1 and stays 9.
+      const unsigned p3 = (exact >> 3) & 1u;
+      return (exact & 0xEu) | p3;
+    }
+  }
+  require(false, "mul2x2: unknown kind");
+  return 0;
+}
+
+unsigned cfg_mul2x2(Mul2x2Kind kind, unsigned a, unsigned b,
+                    bool exact_mode) {
+  if (!exact_mode) return mul2x2(kind, a, b);
+  switch (kind) {
+    case Mul2x2Kind::Accurate:
+      return mul2x2(Mul2x2Kind::Accurate, a, b);
+    case Mul2x2Kind::SoA: {
+      // Correction adder: when both operands are 3 the approximate product
+      // (7) is 2 short of 9, so a detected 3x3 adds 0b010.
+      const unsigned approx = mul2x2(Mul2x2Kind::SoA, a, b);
+      const bool both_three = (a == 3) && (b == 3);
+      return approx + (both_three ? 2u : 0u);
+    }
+    case Mul2x2Kind::Ours: {
+      // LSB fixup: the exact LSB is a0 & b0; restoring it corrects all
+      // three error cases (each was off by exactly that bit).
+      const unsigned approx = mul2x2(Mul2x2Kind::Ours, a, b);
+      return (approx & 0xEu) | (a & b & 1u);
+    }
+  }
+  require(false, "cfg_mul2x2: unknown kind");
+  return 0;
+}
+
+std::string_view mul2x2_name(Mul2x2Kind kind) {
+  switch (kind) {
+    case Mul2x2Kind::Accurate:
+      return "AccMul";
+    case Mul2x2Kind::SoA:
+      return "ApxMul_SoA";
+    case Mul2x2Kind::Ours:
+      return "ApxMul_Our";
+  }
+  return "?";
+}
+
+PaperMul2x2Data paper_mul2x2_data(Mul2x2Kind kind, bool configurable) {
+  // Bottom table of Fig. 5.
+  switch (kind) {
+    case Mul2x2Kind::Accurate:
+      return {6.880, 542.9, 0, 0};
+    case Mul2x2Kind::SoA:
+      return configurable ? PaperMul2x2Data{7.232, 525.0, -1, -1}
+                          : PaperMul2x2Data{3.704, 363.0, 1, 2};
+    case Mul2x2Kind::Ours:
+      return configurable ? PaperMul2x2Data{6.350, 379.0, -1, -1}
+                          : PaperMul2x2Data{4.939, 262.0, 3, 1};
+  }
+  return {};
+}
+
+}  // namespace axc::arith

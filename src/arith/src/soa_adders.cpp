@@ -1,0 +1,36 @@
+#include "axc/arith/soa_adders.hpp"
+
+#include "axc/common/require.hpp"
+
+namespace axc::arith {
+
+GeArConfig aca_i_config(unsigned n, unsigned window_l) {
+  require(window_l >= 2, "aca_i_config: window must be >= 2");
+  const GeArConfig config{n, 1, window_l - 1};
+  require(config.is_valid(), "aca_i_config: invalid (n, window) pair");
+  return config;
+}
+
+GeArConfig aca_ii_config(unsigned n, unsigned window_l) {
+  require(window_l >= 2 && window_l % 2 == 0,
+          "aca_ii_config: window must be even and >= 2");
+  const GeArConfig config{n, window_l / 2, window_l / 2};
+  require(config.is_valid(), "aca_ii_config: invalid (n, window) pair");
+  return config;
+}
+
+GeArConfig etaii_config(unsigned n, unsigned segment) {
+  require(segment >= 1, "etaii_config: segment must be >= 1");
+  const GeArConfig config{n, segment, segment};
+  require(config.is_valid(), "etaii_config: invalid (n, segment) pair");
+  return config;
+}
+
+GeArConfig gda_config(unsigned n, unsigned block, unsigned blocks) {
+  require(block >= 1 && blocks >= 1, "gda_config: block sizes must be >= 1");
+  const GeArConfig config{n, block, block * blocks};
+  require(config.is_valid(), "gda_config: invalid (n, block, blocks) tuple");
+  return config;
+}
+
+}  // namespace axc::arith

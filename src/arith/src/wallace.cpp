@@ -1,0 +1,101 @@
+#include "axc/arith/wallace.hpp"
+
+#include <array>
+#include <vector>
+
+#include "axc/common/bits.hpp"
+#include "axc/common/require.hpp"
+
+namespace axc::arith {
+
+WallaceMultiplier::WallaceMultiplier(const WallaceConfig& config)
+    : config_(config) {
+  require(config.width >= 2 && config.width <= 16,
+          "WallaceMultiplier: width must be in [2, 16]");
+  require(config.approx_lsbs <= 2 * config.width,
+          "WallaceMultiplier: approx_lsbs exceeds the product width");
+}
+
+std::uint64_t WallaceMultiplier::multiply(std::uint64_t a,
+                                          std::uint64_t b) const {
+  const unsigned w = config_.width;
+  const unsigned columns = 2 * w;
+  a &= low_mask(w);
+  b &= low_mask(w);
+
+  // Column-major dot diagram: column c holds the partial-product bits of
+  // weight 2^c. Zero-valued partial products stay in the diagram — the
+  // hardware's AND gates exist regardless of data, and approximate
+  // compressors do *not* treat zeros neutrally (e.g. ApxFA3 sums
+  // 0+0+0 -> 1), so dropping them would diverge from the netlist.
+  std::vector<std::vector<unsigned>> column(columns);
+  for (unsigned i = 0; i < w; ++i) {
+    for (unsigned j = 0; j < w; ++j) {
+      column[i + j].push_back(bit_of(a, i) & bit_of(b, j));
+    }
+  }
+
+  const auto cell_for = [&](unsigned col) {
+    return col < config_.approx_lsbs ? config_.cell
+                                     : FullAdderKind::Accurate;
+  };
+
+  // Wallace reduction: greedily compress every column with 3:2 (full
+  // adder) and 2:2 (half adder = full adder with cin 0) stages until no
+  // column holds more than two bits.
+  bool reduced = true;
+  while (reduced) {
+    reduced = false;
+    std::vector<std::vector<unsigned>> next(columns);
+    for (unsigned c = 0; c < columns; ++c) {
+      auto& bits = column[c];
+      std::size_t i = 0;
+      while (bits.size() - i >= 3) {
+        const FullAdderOut out =
+            full_add(cell_for(c), bits[i], bits[i + 1], bits[i + 2]);
+        next[c].push_back(out.sum);
+        if (c + 1 < columns) next[c + 1].push_back(out.carry);
+        i += 3;
+        reduced = true;
+      }
+      if (bits.size() - i == 2 && bits.size() + next[c].size() > 2) {
+        const FullAdderOut out =
+            full_add(cell_for(c), bits[i], bits[i + 1], 0);
+        next[c].push_back(out.sum);
+        if (c + 1 < columns) next[c + 1].push_back(out.carry);
+        i += 2;
+        reduced = true;
+      }
+      for (; i < bits.size(); ++i) next[c].push_back(bits[i]);
+    }
+    column = std::move(next);
+    // Terminate when every column has <= 2 entries.
+    bool done = true;
+    for (const auto& bits : column) done &= bits.size() <= 2;
+    if (done) break;
+  }
+
+  // Final carry-propagate merge of the two remaining rows, using the same
+  // per-column cell policy (the "final adder" of the Wallace design).
+  std::uint64_t result = 0;
+  unsigned carry = 0;
+  for (unsigned c = 0; c < columns; ++c) {
+    const unsigned x = column[c].size() > 0 ? column[c][0] : 0;
+    const unsigned y = column[c].size() > 1 ? column[c][1] : 0;
+    const FullAdderOut out = full_add(cell_for(c), x, y, carry);
+    result |= static_cast<std::uint64_t>(out.sum) << c;
+    carry = out.carry;
+  }
+  return result & low_mask(columns);
+}
+
+std::string WallaceMultiplier::name() const {
+  const std::string geometry =
+      "Wallace" + std::to_string(config_.width) + "x" +
+      std::to_string(config_.width);
+  if (is_exact()) return geometry + "<Exact>";
+  return geometry + "<" + std::string(full_adder_name(config_.cell)) +
+         " below bit " + std::to_string(config_.approx_lsbs) + ">";
+}
+
+}  // namespace axc::arith

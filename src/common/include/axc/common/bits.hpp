@@ -1,0 +1,44 @@
+/// \file bits.hpp
+/// Small bit-manipulation utilities shared by the arithmetic and logic
+/// substrates. All operand words are held in uint64_t; widths up to 63 bits
+/// are supported by every routine here (wide enough for the paper's largest
+/// 16x16 multiplier, whose product needs 32 bits).
+#pragma once
+
+#include <cstdint>
+
+#include "axc/common/require.hpp"
+
+namespace axc {
+
+/// Returns a mask with the low \p width bits set. width must be <= 64.
+constexpr std::uint64_t low_mask(unsigned width) {
+  return width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+}
+
+/// Extracts bit \p index (0 = LSB) of \p value as 0 or 1.
+constexpr unsigned bit_of(std::uint64_t value, unsigned index) {
+  return static_cast<unsigned>((value >> index) & 1u);
+}
+
+/// Returns \p value with bit \p index set to \p bit (0 or 1).
+constexpr std::uint64_t with_bit(std::uint64_t value, unsigned index,
+                                 unsigned bit) {
+  const std::uint64_t mask = std::uint64_t{1} << index;
+  return bit ? (value | mask) : (value & ~mask);
+}
+
+/// Extracts \p width bits of \p value starting at bit \p lsb.
+constexpr std::uint64_t bit_field(std::uint64_t value, unsigned lsb,
+                                  unsigned width) {
+  return (value >> lsb) & low_mask(width);
+}
+
+/// Sign-extends the low \p width bits of \p value to a signed 64-bit int.
+constexpr std::int64_t sign_extend(std::uint64_t value, unsigned width) {
+  const std::uint64_t m = std::uint64_t{1} << (width - 1);
+  const std::uint64_t v = value & low_mask(width);
+  return static_cast<std::int64_t>((v ^ m) - m);
+}
+
+}  // namespace axc

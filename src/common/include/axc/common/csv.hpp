@@ -1,0 +1,30 @@
+/// \file csv.hpp
+/// Minimal CSV writing for experiment outputs (one file per table/figure,
+/// consumed by external plotting if desired). Values are escaped per
+/// RFC 4180 (quotes doubled, fields with separators quoted).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace axc {
+
+/// Streams rows of string cells to a CSV file.
+class CsvWriter {
+ public:
+  /// Opens \p path for writing and emits \p header as the first row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one data row.
+  void add_row(const std::vector<std::string>& cells);
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+};
+
+}  // namespace axc

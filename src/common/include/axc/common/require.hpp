@@ -1,0 +1,26 @@
+/// \file require.hpp
+/// Precondition checking helpers used across the library.
+///
+/// Preconditions on public API entry points are enforced with exceptions
+/// (std::invalid_argument / std::out_of_range) so that misuse is diagnosed
+/// in both debug and release builds; internal invariants use assert().
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace axc {
+
+/// Throws std::invalid_argument with \p message unless \p condition holds.
+///
+/// Use for argument validation at public API boundaries.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+/// Throws std::out_of_range with \p message unless \p condition holds.
+inline void require_in_range(bool condition, const std::string& message) {
+  if (!condition) throw std::out_of_range(message);
+}
+
+}  // namespace axc

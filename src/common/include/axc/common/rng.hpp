@@ -1,0 +1,81 @@
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation for reproducible
+/// Monte-Carlo error analysis and synthetic workload generation.
+///
+/// A fixed, seedable generator (SplitMix64-seeded xoshiro256**) is used
+/// instead of std::mt19937 so that results are identical across standard
+/// library implementations — experiment outputs in EXPERIMENTS.md must be
+/// regenerable bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace axc {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+/// seeded via SplitMix64. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed (SplitMix64 expansion).
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      // SplitMix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound) {
+    // Multiply-shift rejection-free mapping (Lemire); bias is < 2^-64 * bound
+    // which is negligible for our sample sizes and keeps the generator fast.
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>((*this)()) * bound;
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  /// Uniform word restricted to the low \p width bits.
+  std::uint64_t bits(unsigned width) {
+    return width >= 64 ? (*this)() : ((*this)() >> (64 - width));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box-Muller on two uniform draws.
+  double normal();
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace axc

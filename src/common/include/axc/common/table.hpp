@@ -1,0 +1,54 @@
+/// \file table.hpp
+/// Aligned console table rendering used by the experiment harnesses in
+/// bench/ to print paper tables and figure series side by side with the
+/// values reported in the paper.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace axc {
+
+/// A simple column-aligned text table.
+///
+/// Usage:
+///   Table t({"Design", "Area [GE]", "Power [nW]"});
+///   t.add_row({"AccuFA", "4.41", "1130"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (padded blank)
+  /// but not more.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line at the current position.
+  void add_separator();
+
+  /// Number of data rows added so far (separators excluded).
+  std::size_t row_count() const { return data_rows_; }
+
+  /// Renders the table with a header rule and column alignment.
+  void print(std::ostream& os) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::size_t data_rows_ = 0;
+};
+
+/// Formats a double with \p digits fractional digits (fixed notation).
+std::string fmt(double value, int digits = 2);
+
+/// Formats a double as a percentage with \p digits fractional digits.
+std::string fmt_pct(double fraction, int digits = 2);
+
+}  // namespace axc

@@ -1,0 +1,17 @@
+#include "axc/common/rng.hpp"
+
+#include <cmath>
+
+namespace axc {
+
+double Rng::normal() {
+  // Box-Muller; one value per call keeps the generator state deterministic
+  // regardless of caller interleaving.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+}  // namespace axc

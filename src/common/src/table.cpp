@@ -1,0 +1,72 @@
+#include "axc/common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "axc/common/require.hpp"
+
+namespace axc {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "Table: header must have at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() <= header_.size(),
+          "Table: row has more cells than header columns");
+  cells.resize(header_.size());
+  rows_.push_back({std::move(cells), /*separator=*/false});
+  ++data_rows_;
+}
+
+void Table::add_separator() { rows_.push_back({{}, /*separator=*/true}); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+  }
+
+  const auto rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << "| " << std::left << std::setw(static_cast<int>(widths[c])) << cell
+         << ' ';
+    }
+    os << "|\n";
+  };
+
+  rule();
+  line(header_);
+  rule();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      rule();
+    } else {
+      line(row.cells);
+    }
+  }
+  rule();
+}
+
+std::string fmt(double value, int digits) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(digits) << value;
+  return ss.str();
+}
+
+std::string fmt_pct(double fraction, int digits) {
+  return fmt(fraction * 100.0, digits) + "%";
+}
+
+}  // namespace axc

@@ -1,0 +1,25 @@
+/// \file design_point.hpp
+/// The characterization record flowing through the Fig. 7 methodology:
+/// every approximate component variant is reduced to a named point in the
+/// (area, power, quality) space, on which Pareto filtering, constraint
+/// selection and run-time mode management operate.
+#pragma once
+
+#include <string>
+
+namespace axc::core {
+
+/// One characterized component/configuration.
+struct DesignPoint {
+  std::string name;
+  double area_ge = 0.0;
+  double power_nw = 0.0;
+  /// Quality expressed as accuracy percentage in [0, 100] (100 = exact),
+  /// the convention of Table IV.
+  double accuracy_percent = 100.0;
+
+  /// Error probability, the complement of accuracy.
+  double error_probability() const { return 1.0 - accuracy_percent / 100.0; }
+};
+
+}  // namespace axc::core

@@ -1,0 +1,44 @@
+/// \file explorer.hpp
+/// Design-space exploration of the GeAr adder family — the machinery
+/// behind Table IV and Fig. 4.
+///
+/// For a given operand width the explorer enumerates every valid (R, P)
+/// configuration, prices it on the gate-level substrate (area in GE of the
+/// structural GeAr netlist, power under random stimulus) and grades it
+/// with the *analytic* error model — no simulation in the quality loop,
+/// which is exactly the workflow the paper advocates.
+#pragma once
+
+#include <vector>
+
+#include "axc/arith/gear.hpp"
+#include "axc/core/design_point.hpp"
+
+namespace axc::core {
+
+/// A GeAr configuration with its characterization.
+struct GearDesignPoint {
+  arith::GeArConfig config;
+  DesignPoint point;
+};
+
+/// Exploration controls.
+struct ExploreOptions {
+  unsigned min_p = 1;          ///< see arith::enumerate_gear_configs
+  bool include_exact = false;  ///< add the L == N reference point
+  bool estimate_power = false; ///< power sim is the slow part; opt in
+};
+
+/// Characterizes the whole N-bit GeAr space.
+std::vector<GearDesignPoint> explore_gear_space(
+    unsigned n, const ExploreOptions& options = {});
+
+/// The paper's two selection queries on the 11-bit space:
+/// max-accuracy configuration and min-area configuration subject to an
+/// accuracy floor. Returns indices into \p space (space.size() if empty /
+/// infeasible).
+std::size_t max_accuracy_config(const std::vector<GearDesignPoint>& space);
+std::size_t min_area_config_with_accuracy(
+    const std::vector<GearDesignPoint>& space, double min_accuracy);
+
+}  // namespace axc::core

@@ -1,0 +1,59 @@
+/// \file manager.hpp
+/// The approximation management unit sketched in Sec. 6: in a
+/// multi-accelerator architecture with per-accelerator approximation
+/// modes, choose a mode for each concurrently running application so that
+/// every application's quality constraint is met and total power is
+/// minimized (or, dually, quality is maximized under a power budget).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace axc::core {
+
+/// One selectable accelerator operating mode.
+struct AcceleratorMode {
+  std::string name;
+  double power_nw = 0.0;
+  double quality_percent = 100.0;  ///< output quality this mode delivers
+};
+
+/// One application with its quality requirement.
+struct Application {
+  std::string name;
+  double min_quality_percent = 100.0;
+};
+
+/// A mode choice per application.
+struct Assignment {
+  bool feasible = false;
+  std::vector<std::size_t> mode_of_app;  ///< index into the mode list
+  double total_power_nw = 0.0;
+  double total_quality = 0.0;  ///< sum of delivered quality
+};
+
+/// Run-time mode selection over a sea of accelerators.
+class ApproximationManager {
+ public:
+  explicit ApproximationManager(std::vector<AcceleratorMode> modes);
+
+  const std::vector<AcceleratorMode>& modes() const { return modes_; }
+
+  /// Minimum-power assignment meeting every application's constraint
+  /// (each application gets its own accelerator instance, so choices are
+  /// independent: per-app cheapest feasible mode).
+  Assignment assign_min_power(const std::vector<Application>& apps) const;
+
+  /// Maximum total quality subject to a total power budget — the
+  /// coordinated variant (multiple-choice knapsack, exact DP over
+  /// discretized power).
+  Assignment assign_max_quality(const std::vector<Application>& apps,
+                                double power_budget_nw,
+                                double power_granularity_nw = 1.0) const;
+
+ private:
+  std::vector<AcceleratorMode> modes_;
+};
+
+}  // namespace axc::core

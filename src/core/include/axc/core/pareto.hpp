@@ -1,0 +1,36 @@
+/// \file pareto.hpp
+/// Pareto-front extraction over design points (the "Design Space
+/// Exploration: Pareto-optimal points" box of Fig. 7).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "axc/core/design_point.hpp"
+
+namespace axc::core {
+
+/// An objective to *minimize* over design points.
+using Objective = std::function<double(const DesignPoint&)>;
+
+/// Ready-made objectives.
+Objective minimize_area();
+Objective minimize_power();
+Objective minimize_error();  ///< 100 - accuracy_percent
+
+/// Returns the indices (into \p points) of the Pareto-optimal points under
+/// the given objectives: a point survives unless some other point is no
+/// worse in every objective and strictly better in at least one.
+/// Duplicate-valued points all survive. Order follows the input.
+std::vector<std::size_t> pareto_front(
+    const std::vector<DesignPoint>& points,
+    const std::vector<Objective>& objectives);
+
+/// Constraint-driven selection (the Table IV / Fig. 4 use case): among the
+/// points with accuracy_percent >= \p min_accuracy, returns the index of
+/// the one minimizing \p objective, or points.size() if none qualifies.
+std::size_t select_min_objective(const std::vector<DesignPoint>& points,
+                                 double min_accuracy,
+                                 const Objective& objective);
+
+}  // namespace axc::core

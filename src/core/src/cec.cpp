@@ -1,0 +1,86 @@
+#include "axc/core/cec.hpp"
+
+#include <algorithm>
+
+#include "axc/common/require.hpp"
+#include "axc/logic/cell.hpp"
+
+namespace axc::core {
+
+Cec Cec::from_distribution(const error::ErrorDistribution& distribution) {
+  require(distribution.samples() > 0, "Cec: empty error distribution");
+  Cec cec;
+  // error = approx - exact; correcting means *subtracting* the typical
+  // error, i.e. adding its negation at the output.
+  const std::int64_t median = distribution.optimal_offset();
+  cec.correction_ = -median;
+  cec.uncorrected_med_ = distribution.residual_med(0);
+  cec.corrected_med_ = distribution.residual_med(median);
+  return cec;
+}
+
+std::uint64_t Cec::apply(std::uint64_t raw_output) const {
+  const std::int64_t corrected =
+      static_cast<std::int64_t>(raw_output) + correction_;
+  return corrected < 0 ? 0u : static_cast<std::uint64_t>(corrected);
+}
+
+FlagDrivenCec::FlagDrivenCec(const arith::GeArConfig& config)
+    : config_(config) {
+  require(config.is_valid(), "FlagDrivenCec: invalid GeAr config");
+}
+
+std::int64_t FlagDrivenCec::boundary_weight(unsigned i) const {
+  require(i + 2 <= config_.num_subadders(),
+          "FlagDrivenCec::boundary_weight: no such boundary");
+  return std::int64_t{1} << (config_.r * (i + 1) + config_.p);
+}
+
+std::int64_t FlagDrivenCec::offset_for(const std::vector<bool>& flags) const {
+  require(flags.size() + 1 == config_.num_subadders(),
+          "FlagDrivenCec::offset_for: flag count mismatch");
+  std::int64_t offset = 0;
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    if (flags[i]) offset += boundary_weight(static_cast<unsigned>(i));
+  }
+  return offset;
+}
+
+std::uint64_t FlagDrivenCec::correct(const arith::GeArAdder& adder,
+                                     std::uint64_t a, std::uint64_t b) const {
+  require(adder.config() == config_, "FlagDrivenCec::correct: config mismatch");
+  const std::uint64_t raw = adder.add(a, b, 0);
+  return raw + static_cast<std::uint64_t>(offset_for(adder.error_flags(a, b)));
+}
+
+CecAreaReport compare_cec_vs_edc_area(const arith::GeArConfig& config,
+                                      unsigned cascade_length,
+                                      unsigned output_width) {
+  require(config.is_valid(), "compare_cec_vs_edc_area: invalid config");
+  require(cascade_length >= 1 && output_width >= 1,
+          "compare_cec_vs_edc_area: sizes must be >= 1");
+  using logic::CellType;
+  const double xor_ge = logic::cell_info(CellType::Xor2).area_ge;
+  const double and_ge = logic::cell_info(CellType::And2).area_ge;
+  const double mux_ge = logic::cell_info(CellType::Mux2).area_ge;
+  const double ha_ge = xor_ge + and_ge;  // half adder (incrementer bit)
+
+  const unsigned boundaries = config.num_subadders() - 1;
+  // Per boundary: P propagate XORs + (P-1 + 1) AND reduction with the
+  // previous carry, plus the LSB-forcing correction on the L-bit window.
+  const double per_boundary =
+      config.p * xor_ge + std::max(1u, config.p) * and_ge +
+      (config.l() / 2.0) * mux_ge;
+  CecAreaReport report;
+  report.edc_area_ge =
+      static_cast<double>(cascade_length) * boundaries * per_boundary;
+  // One conditional incrementer (offset add) across the output word.
+  report.cec_area_ge = output_width * ha_ge;
+  report.saving_percent =
+      report.edc_area_ge > 0.0
+          ? (1.0 - report.cec_area_ge / report.edc_area_ge) * 100.0
+          : 0.0;
+  return report;
+}
+
+}  // namespace axc::core

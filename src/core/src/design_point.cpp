@@ -1,0 +1,3 @@
+// design_point.hpp is a plain data record; this translation unit exists so
+// the header is compiled standalone at least once (include hygiene).
+#include "axc/core/design_point.hpp"

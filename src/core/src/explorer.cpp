@@ -1,0 +1,53 @@
+#include "axc/core/explorer.hpp"
+
+#include "axc/error/gear_model.hpp"
+#include "axc/logic/adder_netlists.hpp"
+#include "axc/logic/power.hpp"
+
+namespace axc::core {
+
+std::vector<GearDesignPoint> explore_gear_space(
+    unsigned n, const ExploreOptions& options) {
+  std::vector<GearDesignPoint> space;
+  for (const arith::GeArConfig& config : arith::enumerate_gear_configs(
+           n, options.min_p, options.include_exact)) {
+    GearDesignPoint entry;
+    entry.config = config;
+    entry.point.name = config.name();
+    const logic::Netlist netlist = logic::gear_adder_netlist(config);
+    entry.point.area_ge = netlist.area_ge();
+    if (options.estimate_power) {
+      entry.point.power_nw =
+          logic::estimate_random_power(netlist, 2048, 11).total_nw;
+    }
+    entry.point.accuracy_percent = error::gear_accuracy_percent(config);
+    space.push_back(std::move(entry));
+  }
+  return space;
+}
+
+std::size_t max_accuracy_config(const std::vector<GearDesignPoint>& space) {
+  std::size_t best = space.size();
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    if (best == space.size() ||
+        space[i].point.accuracy_percent > space[best].point.accuracy_percent) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t min_area_config_with_accuracy(
+    const std::vector<GearDesignPoint>& space, double min_accuracy) {
+  std::size_t best = space.size();
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    if (space[i].point.accuracy_percent < min_accuracy) continue;
+    if (best == space.size() ||
+        space[i].point.area_ge < space[best].point.area_ge) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace axc::core

@@ -1,0 +1,109 @@
+#include "axc/core/manager.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "axc/common/require.hpp"
+
+namespace axc::core {
+
+ApproximationManager::ApproximationManager(std::vector<AcceleratorMode> modes)
+    : modes_(std::move(modes)) {
+  require(!modes_.empty(), "ApproximationManager: no modes");
+  for (const AcceleratorMode& mode : modes_) {
+    require(mode.power_nw >= 0.0, "ApproximationManager: negative power");
+  }
+}
+
+Assignment ApproximationManager::assign_min_power(
+    const std::vector<Application>& apps) const {
+  Assignment result;
+  result.feasible = true;
+  for (const Application& app : apps) {
+    std::size_t best = modes_.size();
+    for (std::size_t m = 0; m < modes_.size(); ++m) {
+      if (modes_[m].quality_percent < app.min_quality_percent) continue;
+      if (best == modes_.size() ||
+          modes_[m].power_nw < modes_[best].power_nw) {
+        best = m;
+      }
+    }
+    if (best == modes_.size()) return Assignment{};  // constraint unmeetable
+    result.mode_of_app.push_back(best);
+    result.total_power_nw += modes_[best].power_nw;
+    result.total_quality += modes_[best].quality_percent;
+  }
+  return result;
+}
+
+Assignment ApproximationManager::assign_max_quality(
+    const std::vector<Application>& apps, double power_budget_nw,
+    double power_granularity_nw) const {
+  require(power_granularity_nw > 0.0,
+          "assign_max_quality: granularity must be positive");
+  Assignment result;
+  if (apps.empty()) {
+    result.feasible = true;
+    return result;
+  }
+  const int budget =
+      static_cast<int>(std::floor(power_budget_nw / power_granularity_nw));
+  if (budget < 0) return result;
+
+  // Mode costs in budget units (rounded up: never under-counts power).
+  std::vector<int> cost(modes_.size());
+  for (std::size_t m = 0; m < modes_.size(); ++m) {
+    cost[m] = static_cast<int>(
+        std::ceil(modes_[m].power_nw / power_granularity_nw));
+  }
+
+  // Multiple-choice knapsack, full table for exact reconstruction:
+  // best[a][b] = max total quality of apps[0..a] using at most b units.
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  struct Cell {
+    double quality = kNegInf;
+    std::size_t mode = SIZE_MAX;  // choice for app a at this cell
+  };
+  const std::size_t cols = static_cast<std::size_t>(budget) + 1;
+  std::vector<std::vector<Cell>> best(apps.size(),
+                                      std::vector<Cell>(cols));
+
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    for (int b = 0; b <= budget; ++b) {
+      Cell& cell = best[a][b];
+      for (std::size_t m = 0; m < modes_.size(); ++m) {
+        if (modes_[m].quality_percent < apps[a].min_quality_percent) continue;
+        const int remaining = b - cost[m];
+        if (remaining < 0) continue;
+        double base = 0.0;
+        if (a > 0) {
+          base = best[a - 1][remaining].quality;
+          if (base == kNegInf) continue;
+        }
+        const double q = base + modes_[m].quality_percent;
+        if (q > cell.quality) {
+          cell.quality = q;
+          cell.mode = m;
+        }
+      }
+    }
+  }
+
+  if (best.back()[budget].quality == kNegInf) return result;  // infeasible
+
+  result.mode_of_app.assign(apps.size(), 0);
+  int b = budget;
+  for (std::size_t a = apps.size(); a-- > 0;) {
+    // The optimum at "at most b" may sit below b; find its cell first.
+    while (b > 0 && best[a][b - 1].quality == best[a][b].quality) --b;
+    const std::size_t m = best[a][b].mode;
+    result.mode_of_app[a] = m;
+    result.total_power_nw += modes_[m].power_nw;
+    result.total_quality += modes_[m].quality_percent;
+    b -= cost[m];
+  }
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace axc::core

@@ -1,0 +1,60 @@
+/// \file distribution.hpp
+/// Error-magnitude distribution analysis.
+///
+/// Sec. 6.1 rests on the observation that "the magnitude of error in most
+/// of the approximate adders could only have certain specific values" —
+/// e.g. an uncorrected GeAr error is always a missing +2^(start_i + P)
+/// carry contribution (possibly truncated by ripple into later windows).
+/// The consolidated error correction unit (axc::core::Cec) uses this
+/// distribution to pick one cheap output-side offset instead of per-adder
+/// EDC hardware.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "axc/arith/adder.hpp"
+
+namespace axc::error {
+
+/// Signed-error histogram of an approximate operator.
+class ErrorDistribution {
+ public:
+  /// Records one signed error (approx - exact).
+  void record(std::int64_t error);
+
+  /// Total observations.
+  std::uint64_t samples() const { return samples_; }
+
+  /// Distinct error magnitudes observed (including 0 if present).
+  std::vector<std::int64_t> support() const;
+
+  /// Probability of a given error value.
+  double probability(std::int64_t error) const;
+
+  /// The offset c minimizing E[|error - c|] over the observed distribution
+  /// (a weighted median) — the constant a consolidated corrector would add.
+  std::int64_t optimal_offset() const;
+
+  /// E[|error - offset|]: residual mean error after adding \p offset.
+  double residual_med(std::int64_t offset) const;
+
+  /// Histogram access (error value -> count), ordered by error value.
+  const std::map<std::int64_t, std::uint64_t>& histogram() const {
+    return histogram_;
+  }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> histogram_;
+  std::uint64_t samples_ = 0;
+};
+
+/// Builds the error distribution of \p adder over uniform random operands
+/// (exhaustive when 2*width is small enough, sampled otherwise).
+ErrorDistribution adder_error_distribution(const arith::Adder& adder,
+                                           unsigned max_exhaustive_bits = 22,
+                                           std::uint64_t samples = 1u << 20,
+                                           std::uint64_t seed = 7);
+
+}  // namespace axc::error

@@ -1,0 +1,47 @@
+/// \file evaluate.hpp
+/// Empirical error evaluation: exhaustive sweeps where the input space
+/// permits, seeded Monte-Carlo sampling otherwise.
+///
+/// This is the "extensive numerical simulation" path that the GeAr
+/// analytic model (gear_model.hpp) exists to avoid — both are provided so
+/// the claim can be demonstrated (bench/gear_error_model) and the model
+/// validated against ground truth (tests).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "axc/arith/adder.hpp"
+#include "axc/arith/multiplier.hpp"
+#include "axc/error/metrics.hpp"
+
+namespace axc::error {
+
+/// Evaluation policy.
+struct EvalOptions {
+  /// Sweep the whole space when total input bits <= this; sample otherwise.
+  unsigned max_exhaustive_bits = 22;
+  /// Monte-Carlo sample count when sampling.
+  std::uint64_t samples = 1u << 20;
+  std::uint64_t seed = 0xA5C0FFEEULL;
+};
+
+/// Evaluates an arbitrary pair of functions over a packed input word of
+/// \p input_bits bits. \p output_ceiling feeds NMED (see ErrorAccumulator).
+ErrorStats evaluate_function(
+    unsigned input_bits, std::uint64_t output_ceiling,
+    const std::function<std::uint64_t(std::uint64_t)>& approx,
+    const std::function<std::uint64_t(std::uint64_t)>& exact,
+    const EvalOptions& options = {});
+
+/// Error statistics of \p adder against exact addition on uniform operands
+/// (the input distribution assumed throughout Secs. 4-5; Sec. 6.2 then
+/// shows where that assumption breaks).
+ErrorStats evaluate_adder(const arith::Adder& adder,
+                          const EvalOptions& options = {});
+
+/// Error statistics of \p multiplier against the exact product.
+ErrorStats evaluate_multiplier(const arith::ApproxMultiplier& multiplier,
+                               const EvalOptions& options = {});
+
+}  // namespace axc::error

@@ -1,0 +1,42 @@
+/// \file gear_model.hpp
+/// The GeAr analytic error model of Sec. 4.2.
+///
+/// With uniform i.i.d. operand bits, a bit position is in *propagate* mode
+/// (a ^ b) with probability 1/2 and *generate* mode (a & b) with
+/// probability 1/4. Sub-adder i (i >= 1) errs exactly when its P
+/// prediction bits are all propagating and the true carry into its window
+/// is 1; decomposing the carry by its generating position yields R error
+/// events per sub-adder boundary, R*(k-1) events Z_j in total, and
+///
+///   rho[Error] = rho[ U_j Z_j ]  (inclusion-exclusion over the Z_j)
+///
+/// which is the equation printed in the paper. Two exact evaluators are
+/// provided:
+///  * gear_error_probability_ie — the literal inclusion-exclusion sum
+///    (exponential in R*(k-1); fine for the paper's 8/11/16-bit spaces);
+///  * gear_error_probability — an O(N*P) dynamic program over bit
+///    positions, usable at any width.
+/// Both are exact (they agree with exhaustive simulation to double
+/// precision — enforced by the tests), so either substantiates the paper's
+/// "no exhaustive simulation needed" claim.
+#pragma once
+
+#include "axc/arith/gear.hpp"
+
+namespace axc::error {
+
+/// Exact error probability of the (uncorrected) GeAr configuration under
+/// uniform random operands, via the paper's inclusion-exclusion formula.
+/// Requires R*(k-1) <= 24 (the sum has 2^(R*(k-1)) terms).
+double gear_error_probability_ie(const arith::GeArConfig& config);
+
+/// Exact error probability via the linear-time dynamic program.
+double gear_error_probability(const arith::GeArConfig& config);
+
+/// Number of error events R*(k-1) in the model for \p config.
+unsigned gear_error_event_count(const arith::GeArConfig& config);
+
+/// Accuracy percentage as reported in Table IV: (1 - rho[Error]) * 100.
+double gear_accuracy_percent(const arith::GeArConfig& config);
+
+}  // namespace axc::error

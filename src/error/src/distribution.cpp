@@ -1,0 +1,81 @@
+#include "axc/error/distribution.hpp"
+
+#include <cstdlib>
+
+#include "axc/common/bits.hpp"
+#include "axc/common/require.hpp"
+#include "axc/common/rng.hpp"
+
+namespace axc::error {
+
+void ErrorDistribution::record(std::int64_t error) {
+  ++histogram_[error];
+  ++samples_;
+}
+
+std::vector<std::int64_t> ErrorDistribution::support() const {
+  std::vector<std::int64_t> values;
+  values.reserve(histogram_.size());
+  for (const auto& [value, count] : histogram_) values.push_back(value);
+  return values;
+}
+
+double ErrorDistribution::probability(std::int64_t error) const {
+  if (samples_ == 0) return 0.0;
+  const auto it = histogram_.find(error);
+  if (it == histogram_.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(samples_);
+}
+
+std::int64_t ErrorDistribution::optimal_offset() const {
+  require(samples_ > 0, "ErrorDistribution::optimal_offset: empty");
+  // Weighted median of the (ordered) histogram minimizes E|error - c|.
+  // The corrector *adds* -median... we return the median of the error
+  // itself; Cec negates when applying. Keeping the median here makes the
+  // value directly comparable with the histogram.
+  const std::uint64_t half = samples_ / 2;
+  std::uint64_t running = 0;
+  for (const auto& [value, count] : histogram_) {
+    running += count;
+    if (running > half) return value;
+  }
+  return histogram_.rbegin()->first;
+}
+
+double ErrorDistribution::residual_med(std::int64_t offset) const {
+  if (samples_ == 0) return 0.0;
+  double total = 0.0;
+  for (const auto& [value, count] : histogram_) {
+    total += static_cast<double>(std::llabs(value - offset)) *
+             static_cast<double>(count);
+  }
+  return total / static_cast<double>(samples_);
+}
+
+ErrorDistribution adder_error_distribution(const arith::Adder& adder,
+                                           unsigned max_exhaustive_bits,
+                                           std::uint64_t samples,
+                                           std::uint64_t seed) {
+  const unsigned width = adder.width();
+  const std::uint64_t mask = low_mask(width);
+  ErrorDistribution dist;
+  const auto record_pair = [&](std::uint64_t a, std::uint64_t b) {
+    const std::int64_t approx =
+        static_cast<std::int64_t>(adder.add(a, b, 0));
+    const std::int64_t exact = static_cast<std::int64_t>(a + b);
+    dist.record(approx - exact);
+  };
+  if (2 * width <= max_exhaustive_bits) {
+    for (std::uint64_t a = 0; a <= mask; ++a) {
+      for (std::uint64_t b = 0; b <= mask; ++b) record_pair(a, b);
+    }
+  } else {
+    Rng rng(seed);
+    for (std::uint64_t i = 0; i < samples; ++i) {
+      record_pair(rng.bits(width), rng.bits(width));
+    }
+  }
+  return dist;
+}
+
+}  // namespace axc::error

@@ -1,0 +1,64 @@
+#include "axc/error/evaluate.hpp"
+
+#include "axc/common/bits.hpp"
+#include "axc/common/require.hpp"
+#include "axc/common/rng.hpp"
+
+namespace axc::error {
+
+ErrorStats evaluate_function(
+    unsigned input_bits, std::uint64_t output_ceiling,
+    const std::function<std::uint64_t(std::uint64_t)>& approx,
+    const std::function<std::uint64_t(std::uint64_t)>& exact,
+    const EvalOptions& options) {
+  require(input_bits >= 1 && input_bits <= 63,
+          "evaluate_function: input_bits must be in [1, 63]");
+  ErrorAccumulator acc(output_ceiling);
+  if (input_bits <= options.max_exhaustive_bits) {
+    const std::uint64_t total = std::uint64_t{1} << input_bits;
+    for (std::uint64_t w = 0; w < total; ++w) {
+      acc.record(approx(w), exact(w));
+    }
+    return acc.finish(/*exhaustive=*/true);
+  }
+  Rng rng(options.seed);
+  for (std::uint64_t i = 0; i < options.samples; ++i) {
+    const std::uint64_t w = rng.bits(input_bits);
+    acc.record(approx(w), exact(w));
+  }
+  return acc.finish(/*exhaustive=*/false);
+}
+
+ErrorStats evaluate_adder(const arith::Adder& adder,
+                          const EvalOptions& options) {
+  const unsigned width = adder.width();
+  const std::uint64_t mask = low_mask(width);
+  const std::uint64_t ceiling = mask + mask;  // max exact sum
+  return evaluate_function(
+      2 * width, ceiling,
+      [&](std::uint64_t w) {
+        return adder.add(w & mask, (w >> width) & mask, 0);
+      },
+      [&](std::uint64_t w) {
+        return (w & mask) + ((w >> width) & mask);
+      },
+      options);
+}
+
+ErrorStats evaluate_multiplier(const arith::ApproxMultiplier& multiplier,
+                               const EvalOptions& options) {
+  const unsigned width = multiplier.width();
+  const std::uint64_t mask = low_mask(width);
+  const std::uint64_t ceiling = mask * mask;
+  return evaluate_function(
+      2 * width, ceiling,
+      [&](std::uint64_t w) {
+        return multiplier.multiply(w & mask, (w >> width) & mask);
+      },
+      [&](std::uint64_t w) {
+        return (w & mask) * ((w >> width) & mask);
+      },
+      options);
+}
+
+}  // namespace axc::error

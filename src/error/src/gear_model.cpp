@@ -1,0 +1,141 @@
+#include "axc/error/gear_model.hpp"
+
+#include <vector>
+
+#include "axc/common/require.hpp"
+
+namespace axc::error {
+
+using arith::GeArConfig;
+
+unsigned gear_error_event_count(const GeArConfig& config) {
+  require(config.is_valid(), "gear_error_event_count: invalid config");
+  return config.r * (config.num_subadders() - 1);
+}
+
+double gear_error_probability_ie(const GeArConfig& config) {
+  require(config.is_valid(), "gear_error_probability_ie: invalid config");
+  const unsigned k = config.num_subadders();
+  if (k <= 1) return 0.0;
+
+  // Event Z for sub-adder i (1-based boundary index) and generate position
+  // g in the previous sub-adder's resultant window [start_i - R, start_i):
+  //   generate at g, propagate at g+1 .. start_i + P - 1.
+  // Each event is a per-position condition vector; an intersection of
+  // events multiplies per-position probabilities, with generate&propagate
+  // clashes collapsing the whole term to zero.
+  struct Event {
+    unsigned generate_pos;
+    unsigned prop_lo, prop_hi;  // inclusive range; empty if lo > hi
+  };
+  std::vector<Event> events;
+  for (unsigned i = 1; i < k; ++i) {
+    const unsigned start = i * config.r;
+    for (unsigned g = start - config.r; g < start; ++g) {
+      events.push_back({g, g + 1, start + config.p - 1});
+    }
+  }
+  const unsigned m = static_cast<unsigned>(events.size());
+  require(m == gear_error_event_count(config),
+          "gear_error_probability_ie: event bookkeeping mismatch");
+  require(m <= 24, "gear_error_probability_ie: too many events; use "
+                   "gear_error_probability (DP) instead");
+
+  double error = 0.0;
+  for (std::uint32_t subset = 1; subset < (1u << m); ++subset) {
+    // Merge the per-position requirements of the chosen events.
+    // Positions are within [0, N); track requirement: 0 none, 1 propagate,
+    // 2 generate.
+    std::vector<std::uint8_t> need(config.n, 0);
+    bool feasible = true;
+    for (unsigned e = 0; e < m && feasible; ++e) {
+      if (!(subset >> e & 1u)) continue;
+      const Event& ev = events[e];
+      if (need[ev.generate_pos] == 1) {
+        feasible = false;  // propagate already required there
+        break;
+      }
+      need[ev.generate_pos] = 2;
+      for (unsigned t = ev.prop_lo; t <= ev.prop_hi; ++t) {
+        if (need[t] == 2) {
+          feasible = false;
+          break;
+        }
+        need[t] = 1;
+      }
+    }
+    if (!feasible) continue;
+    double p = 1.0;
+    for (unsigned t = 0; t < config.n; ++t) {
+      if (need[t] == 1) {
+        p *= 0.5;  // rho[Pr]
+      } else if (need[t] == 2) {
+        p *= 0.25;  // rho[Gr]
+      }
+    }
+    const bool odd = (__builtin_popcount(subset) & 1u) != 0;
+    error += odd ? p : -p;
+  }
+  return error;
+}
+
+double gear_error_probability(const GeArConfig& config) {
+  require(config.is_valid(), "gear_error_probability: invalid config");
+  const unsigned k = config.num_subadders();
+  if (k <= 1) return 0.0;
+  const unsigned p_len = config.p;
+
+  // Scan bit positions 0..N-1. State: (saturating propagate-run length
+  // ending at the current position, capped at P; pending carry bit). A
+  // sub-adder boundary i contributes an error exactly when, at the top of
+  // its prediction window (position start_i + P - 1, or start_i - 1 when
+  // P = 0), the run covers the whole window and the carry into the run is
+  // alive — that mass is removed from the "no error so far" distribution.
+  //
+  // Per-position symbol distribution for uniform operands:
+  //   propagate 1/2 (run+1, carry keeps), generate 1/4 (run=0, carry=1),
+  //   kill 1/4 (run=0, carry=0).
+  std::vector<double> state((p_len + 1) * 2, 0.0);
+  const auto idx = [&](unsigned run, unsigned carry) {
+    return run * 2 + carry;
+  };
+  state[idx(0, 0)] = 1.0;
+
+  // Positions where an error check fires: top of each prediction window.
+  std::vector<bool> check(config.n, false);
+  for (unsigned i = 1; i < k; ++i) {
+    const unsigned start = i * config.r;
+    // Top of the prediction window; for P = 0 this degenerates to the last
+    // bit of the previous sub-adder (the carry hand-off point).
+    check[start + p_len - 1] = true;
+  }
+
+  for (unsigned t = 0; t < config.n; ++t) {
+    std::vector<double> next((p_len + 1) * 2, 0.0);
+    for (unsigned run = 0; run <= p_len; ++run) {
+      for (unsigned carry = 0; carry <= 1; ++carry) {
+        const double mass = state[idx(run, carry)];
+        if (mass == 0.0) continue;
+        const unsigned run_up = std::min(run + 1, p_len);
+        next[idx(run_up, carry)] += 0.5 * mass;  // propagate
+        next[idx(0, 1)] += 0.25 * mass;          // generate
+        next[idx(0, 0)] += 0.25 * mass;          // kill
+      }
+    }
+    if (check[t]) {
+      // Error: full-window propagate run with a live carry beneath it.
+      next[idx(p_len, 1)] = 0.0;
+    }
+    state = std::move(next);
+  }
+
+  double survive = 0.0;
+  for (const double mass : state) survive += mass;
+  return 1.0 - survive;
+}
+
+double gear_accuracy_percent(const GeArConfig& config) {
+  return (1.0 - gear_error_probability(config)) * 100.0;
+}
+
+}  // namespace axc::error

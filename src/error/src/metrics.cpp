@@ -1,0 +1,40 @@
+#include "axc/error/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace axc::error {
+
+void ErrorAccumulator::record(std::uint64_t approx, std::uint64_t exact) {
+  ++samples_;
+  const std::uint64_t distance =
+      approx > exact ? approx - exact : exact - approx;
+  if (distance != 0) ++error_count_;
+  max_error_ = std::max(max_error_, distance);
+  const double d = static_cast<double>(distance);
+  sum_abs_ += d;
+  sum_sq_ += d * d;
+  sum_rel_ += d / static_cast<double>(std::max<std::uint64_t>(exact, 1));
+}
+
+ErrorStats ErrorAccumulator::finish(bool exhaustive) const {
+  ErrorStats stats;
+  stats.samples = samples_;
+  stats.error_count = error_count_;
+  stats.max_error = max_error_;
+  stats.exhaustive = exhaustive;
+  if (samples_ == 0) return stats;
+  const double n = static_cast<double>(samples_);
+  stats.error_rate = static_cast<double>(error_count_) / n;
+  stats.mean_error_distance = sum_abs_ / n;
+  stats.normalized_med =
+      output_ceiling_ > 0
+          ? stats.mean_error_distance / static_cast<double>(output_ceiling_)
+          : 0.0;
+  stats.mean_relative_error = sum_rel_ / n;
+  stats.mean_squared_error = sum_sq_ / n;
+  stats.root_mean_squared_error = std::sqrt(stats.mean_squared_error);
+  return stats;
+}
+
+}  // namespace axc::error

@@ -1,0 +1,52 @@
+/// \file convolve.hpp
+/// 3x3 convolution on exact or approximate MAC hardware.
+///
+/// This is the computational core of the paper's Fig. 10 experiment: a
+/// low-pass filter whose multiply-accumulate datapath can be built from
+/// the approximate multipliers (Sec. 5) and adders (Sec. 4) of the
+/// library. The filter models fixed-point accelerator hardware: 8-bit
+/// pixels, small unsigned kernel coefficients, truncating power-of-two
+/// normalization, clamp-to-edge borders.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "axc/arith/adder.hpp"
+#include "axc/arith/multiplier.hpp"
+#include "axc/image/image.hpp"
+
+namespace axc::image {
+
+/// A non-negative 3x3 kernel with power-of-two normalization:
+/// out = (sum coeff_i * pixel_i) >> shift.
+struct Kernel3x3 {
+  std::array<unsigned, 9> coeffs{};  ///< row-major, each < 16
+  unsigned shift = 0;                ///< normalizer, sum(coeffs) == 1<<shift
+
+  /// The classic separable binomial low-pass: 1-2-1 / 2-4-2 / 1-2-1, /16.
+  static Kernel3x3 gaussian();
+
+  /// A softer low-pass: all-ones with center 8, /16.
+  static Kernel3x3 smooth();
+
+  /// Validates coefficient range and normalization; throws otherwise.
+  void validate() const;
+};
+
+/// The arithmetic hardware a filter is mapped onto. Default-constructed:
+/// exact multiplier and exact adders (the reference datapath).
+struct MacHardware {
+  /// Multiplier for pixel x coefficient (8x8); nullptr = exact.
+  std::shared_ptr<const arith::ApproxMultiplier> multiplier;
+  /// Builds the accumulator adders; empty = exact.
+  arith::AdderFactory adder_factory;
+  std::string label = "Exact";
+};
+
+/// Convolves \p input with \p kernel on the given hardware.
+Image convolve3x3(const Image& input, const Kernel3x3& kernel,
+                  const MacHardware& hardware = {});
+
+}  // namespace axc::image

@@ -1,0 +1,51 @@
+/// \file image.hpp
+/// 8-bit grayscale image container used by the filtering (Fig. 10) and
+/// video-coding (Figs. 8-9) case studies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace axc::image {
+
+/// Row-major 8-bit grayscale image.
+class Image {
+ public:
+  Image() = default;
+
+  /// Creates a width x height image filled with \p fill.
+  Image(int width, int height, std::uint8_t fill = 0);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return pixels_.empty(); }
+
+  /// Unchecked pixel access (callers iterate in-bounds by construction).
+  std::uint8_t at(int x, int y) const { return pixels_[index(x, y)]; }
+  void set(int x, int y, std::uint8_t value) { pixels_[index(x, y)] = value; }
+
+  /// Clamp-to-edge access, the boundary convention of the filters.
+  std::uint8_t at_clamped(int x, int y) const;
+
+  const std::vector<std::uint8_t>& pixels() const { return pixels_; }
+  std::vector<std::uint8_t>& pixels() { return pixels_; }
+
+  bool operator==(const Image&) const = default;
+
+ private:
+  std::size_t index(int x, int y) const {
+    return static_cast<std::size_t>(y) * width_ + x;
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// Mean squared error between two equally-sized images.
+double image_mse(const Image& a, const Image& b);
+
+/// Peak signal-to-noise ratio in dB (infinity for identical images).
+double image_psnr(const Image& a, const Image& b);
+
+}  // namespace axc::image

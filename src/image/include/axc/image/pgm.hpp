@@ -1,0 +1,20 @@
+/// \file pgm.hpp
+/// Portable GrayMap I/O so the examples can emit inspectable artifacts and
+/// users can run the Fig. 10 experiment on their own images.
+#pragma once
+
+#include <string>
+
+#include "axc/image/image.hpp"
+
+namespace axc::image {
+
+/// Writes \p image as binary PGM (P5). Throws std::runtime_error on I/O
+/// failure.
+void write_pgm(const Image& image, const std::string& path);
+
+/// Reads a binary (P5) or ASCII (P2) PGM with maxval <= 255.
+/// Throws std::runtime_error on parse or I/O failure.
+Image read_pgm(const std::string& path);
+
+}  // namespace axc::image

@@ -1,0 +1,29 @@
+/// \file ssim.hpp
+/// Structural Similarity Index (SSIM) — Wang, Bovik, Sheikh, Simoncelli,
+/// IEEE TIP 2004, the psycho-visual quality measure the paper uses for its
+/// data-dependent-resilience study (Sec. 6.2, Fig. 10, reference [36]).
+///
+/// Implementation notes: the mean-SSIM variant over uniform 8x8 windows
+/// with unit stride, dynamic range L = 255, K1 = 0.01, K2 = 0.03 —
+/// the common simplification of the original 11x11 Gaussian-weighted form.
+#pragma once
+
+#include "axc/image/image.hpp"
+
+namespace axc::image {
+
+/// Parameters of the SSIM computation.
+struct SsimOptions {
+  int window = 8;      ///< square window side
+  int stride = 1;      ///< window step
+  double k1 = 0.01;
+  double k2 = 0.03;
+  double dynamic_range = 255.0;
+};
+
+/// Mean SSIM between a reference image and a distorted one. Returns a
+/// value in [-1, 1]; 1 iff the images are identical (over the windows).
+double ssim(const Image& reference, const Image& distorted,
+            const SsimOptions& options = {});
+
+}  // namespace axc::image

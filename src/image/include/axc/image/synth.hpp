@@ -1,0 +1,50 @@
+/// \file synth.hpp
+/// Synthetic test-image generators.
+///
+/// The paper's Fig. 10 applies an approximate low-pass filter to "a random
+/// set of input images" (7 of them) and shows the SSIM varies with content.
+/// Real photographs are not shippable here, so seven generators spanning
+/// distinct content classes — smoothness, edges, texture, contrast —
+/// provide the content diversity the experiment needs (the claim under
+/// test is precisely that resilience is content-dependent).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "axc/image/image.hpp"
+
+namespace axc::image {
+
+/// The seven content classes standing in for the paper's seven images.
+enum class TestImageKind : std::uint8_t {
+  Gradient,      ///< smooth diagonal ramp — maximal smoothness
+  Checkerboard,  ///< hard periodic edges
+  Blobs,         ///< soft gaussian blobs — natural-ish low frequency
+  FractalNoise,  ///< multi-octave value noise — natural-texture proxy
+  Strokes,       ///< thin dark strokes on light ground — text/line art
+  LowContrast,   ///< narrow mid-gray histogram
+  HighFrequency, ///< per-pixel noise — worst case for low-pass fidelity
+};
+
+inline constexpr int kTestImageKindCount = 7;
+inline constexpr TestImageKind kAllTestImageKinds[kTestImageKindCount] = {
+    TestImageKind::Gradient,      TestImageKind::Checkerboard,
+    TestImageKind::Blobs,         TestImageKind::FractalNoise,
+    TestImageKind::Strokes,       TestImageKind::LowContrast,
+    TestImageKind::HighFrequency,
+};
+
+/// Stable display name ("gradient", "checkerboard", ...).
+std::string_view test_image_name(TestImageKind kind);
+
+/// Deterministically generates the requested image.
+Image synthesize_image(TestImageKind kind, int width, int height,
+                       std::uint64_t seed = 1);
+
+/// All seven images at the given size — the Fig. 10 input set.
+std::vector<Image> make_test_image_set(int width, int height,
+                                       std::uint64_t seed = 1);
+
+}  // namespace axc::image

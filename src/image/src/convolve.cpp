@@ -1,0 +1,70 @@
+#include "axc/image/convolve.hpp"
+
+#include <numeric>
+
+#include "axc/common/bits.hpp"
+#include "axc/common/require.hpp"
+
+namespace axc::image {
+
+Kernel3x3 Kernel3x3::gaussian() {
+  return {{1, 2, 1, 2, 4, 2, 1, 2, 1}, 4};
+}
+
+Kernel3x3 Kernel3x3::smooth() {
+  return {{1, 1, 1, 1, 8, 1, 1, 1, 1}, 4};
+}
+
+void Kernel3x3::validate() const {
+  unsigned sum = 0;
+  for (const unsigned c : coeffs) {
+    require(c < 16, "Kernel3x3: coefficients must fit in 4 bits");
+    sum += c;
+  }
+  require(shift < 16 && sum == (1u << shift),
+          "Kernel3x3: coefficients must sum to 1 << shift");
+}
+
+Image convolve3x3(const Image& input, const Kernel3x3& kernel,
+                  const MacHardware& hardware) {
+  kernel.validate();
+  require(!input.empty(), "convolve3x3: empty input");
+
+  // Accumulator: 8 sequential adds of 12-bit products; 16 bits suffice
+  // (max sum = 255 * 16 = 4080).
+  constexpr unsigned kAccWidth = 16;
+  std::unique_ptr<arith::Adder> adder;
+  if (hardware.adder_factory) {
+    adder = hardware.adder_factory(kAccWidth);
+  } else {
+    adder = std::make_unique<arith::ExactAdder>(kAccWidth);
+  }
+
+  const auto mac_product = [&](std::uint8_t pixel,
+                               unsigned coeff) -> std::uint64_t {
+    if (coeff == 0) return 0;
+    if (hardware.multiplier) return hardware.multiplier->multiply(pixel, coeff);
+    return static_cast<std::uint64_t>(pixel) * coeff;
+  };
+
+  Image output(input.width(), input.height());
+  for (int y = 0; y < input.height(); ++y) {
+    for (int x = 0; x < input.width(); ++x) {
+      std::uint64_t acc = 0;
+      for (int ky = -1; ky <= 1; ++ky) {
+        for (int kx = -1; kx <= 1; ++kx) {
+          const unsigned coeff = kernel.coeffs[(ky + 1) * 3 + (kx + 1)];
+          const std::uint64_t product =
+              mac_product(input.at_clamped(x + kx, y + ky), coeff);
+          acc = adder->add(acc, product) & low_mask(kAccWidth);
+        }
+      }
+      const std::uint64_t value = acc >> kernel.shift;
+      output.set(x, y, static_cast<std::uint8_t>(std::min<std::uint64_t>(
+                           value, 255)));
+    }
+  }
+  return output;
+}
+
+}  // namespace axc::image

@@ -1,0 +1,43 @@
+#include "axc/image/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "axc/common/require.hpp"
+
+namespace axc::image {
+
+Image::Image(int width, int height, std::uint8_t fill)
+    : width_(width),
+      height_(height),
+      pixels_(static_cast<std::size_t>(width) * height, fill) {
+  require(width >= 1 && height >= 1 && width <= 8192 && height <= 8192,
+          "Image: dimensions must be in [1, 8192]");
+}
+
+std::uint8_t Image::at_clamped(int x, int y) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return at(x, y);
+}
+
+double image_mse(const Image& a, const Image& b) {
+  require(a.width() == b.width() && a.height() == b.height(),
+          "image_mse: size mismatch");
+  require(!a.empty(), "image_mse: empty image");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.pixels().size(); ++i) {
+    const double d = static_cast<double>(a.pixels()[i]) - b.pixels()[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(a.pixels().size());
+}
+
+double image_psnr(const Image& a, const Image& b) {
+  const double mse = image_mse(a, b);
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace axc::image

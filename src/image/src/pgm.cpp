@@ -1,0 +1,84 @@
+#include "axc/image/pgm.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace axc::image {
+namespace {
+
+/// Reads the next header token, skipping whitespace and '#' comments.
+std::string next_token(std::istream& in) {
+  std::string token;
+  for (;;) {
+    const int c = in.peek();
+    if (c == EOF) throw std::runtime_error("read_pgm: truncated header");
+    if (std::isspace(c)) {
+      in.get();
+      continue;
+    }
+    if (c == '#') {
+      std::string comment;
+      std::getline(in, comment);
+      continue;
+    }
+    break;
+  }
+  in >> token;
+  return token;
+}
+
+int parse_int(const std::string& token, const char* what) {
+  try {
+    return std::stoi(token);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("read_pgm: bad ") + what);
+  }
+}
+
+}  // namespace
+
+void write_pgm(const Image& image, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pgm: cannot open " + path);
+  out << "P5\n" << image.width() << ' ' << image.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.pixels().data()),
+            static_cast<std::streamsize>(image.pixels().size()));
+  if (!out) throw std::runtime_error("write_pgm: write failed for " + path);
+}
+
+Image read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_pgm: cannot open " + path);
+  const std::string magic = next_token(in);
+  if (magic != "P5" && magic != "P2") {
+    throw std::runtime_error("read_pgm: unsupported magic '" + magic + "'");
+  }
+  const int width = parse_int(next_token(in), "width");
+  const int height = parse_int(next_token(in), "height");
+  const int maxval = parse_int(next_token(in), "maxval");
+  if (width < 1 || height < 1 || maxval < 1 || maxval > 255) {
+    throw std::runtime_error("read_pgm: unsupported dimensions/maxval");
+  }
+  Image image(width, height);
+  if (magic == "P5") {
+    in.get();  // single whitespace after maxval
+    in.read(reinterpret_cast<char*>(image.pixels().data()),
+            static_cast<std::streamsize>(image.pixels().size()));
+    if (in.gcount() !=
+        static_cast<std::streamsize>(image.pixels().size())) {
+      throw std::runtime_error("read_pgm: truncated pixel data");
+    }
+  } else {
+    for (auto& px : image.pixels()) {
+      int value = 0;
+      if (!(in >> value) || value < 0 || value > maxval) {
+        throw std::runtime_error("read_pgm: bad ASCII pixel");
+      }
+      px = static_cast<std::uint8_t>(value);
+    }
+  }
+  return image;
+}
+
+}  // namespace axc::image

@@ -1,0 +1,60 @@
+#include "axc/image/ssim.hpp"
+
+#include "axc/common/require.hpp"
+
+namespace axc::image {
+
+double ssim(const Image& reference, const Image& distorted,
+            const SsimOptions& options) {
+  require(reference.width() == distorted.width() &&
+              reference.height() == distorted.height(),
+          "ssim: size mismatch");
+  require(options.window >= 2 && options.stride >= 1,
+          "ssim: window must be >= 2 and stride >= 1");
+  require(reference.width() >= options.window &&
+              reference.height() >= options.window,
+          "ssim: image smaller than the window");
+
+  const double c1 = (options.k1 * options.dynamic_range) *
+                    (options.k1 * options.dynamic_range);
+  const double c2 = (options.k2 * options.dynamic_range) *
+                    (options.k2 * options.dynamic_range);
+  const double n = static_cast<double>(options.window) * options.window;
+
+  double total = 0.0;
+  std::uint64_t windows = 0;
+  for (int y = 0; y + options.window <= reference.height();
+       y += options.stride) {
+    for (int x = 0; x + options.window <= reference.width();
+         x += options.stride) {
+      double sum_r = 0.0, sum_d = 0.0;
+      double sum_rr = 0.0, sum_dd = 0.0, sum_rd = 0.0;
+      for (int wy = 0; wy < options.window; ++wy) {
+        for (int wx = 0; wx < options.window; ++wx) {
+          const double r = reference.at(x + wx, y + wy);
+          const double d = distorted.at(x + wx, y + wy);
+          sum_r += r;
+          sum_d += d;
+          sum_rr += r * r;
+          sum_dd += d * d;
+          sum_rd += r * d;
+        }
+      }
+      const double mu_r = sum_r / n;
+      const double mu_d = sum_d / n;
+      // Sample (biased) variances/covariance, as in the reference code.
+      const double var_r = sum_rr / n - mu_r * mu_r;
+      const double var_d = sum_dd / n - mu_d * mu_d;
+      const double cov = sum_rd / n - mu_r * mu_d;
+      const double numerator =
+          (2.0 * mu_r * mu_d + c1) * (2.0 * cov + c2);
+      const double denominator =
+          (mu_r * mu_r + mu_d * mu_d + c1) * (var_r + var_d + c2);
+      total += numerator / denominator;
+      ++windows;
+    }
+  }
+  return total / static_cast<double>(windows);
+}
+
+}  // namespace axc::image

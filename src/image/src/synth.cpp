@@ -1,0 +1,204 @@
+#include "axc/image/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "axc/common/require.hpp"
+#include "axc/common/rng.hpp"
+
+namespace axc::image {
+namespace {
+
+std::uint8_t to_pixel(double v) {
+  return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+}
+
+Image gradient(int w, int h) {
+  Image img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      img.set(x, y, to_pixel(255.0 * (x + y) / (w + h - 2)));
+    }
+  }
+  return img;
+}
+
+Image checkerboard(int w, int h, int cell = 8) {
+  Image img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const bool dark = ((x / cell) + (y / cell)) % 2 == 0;
+      img.set(x, y, dark ? 32 : 224);
+    }
+  }
+  return img;
+}
+
+Image blobs(int w, int h, axc::Rng& rng) {
+  Image img(w, h, 16);
+  constexpr int kBlobs = 12;
+  struct Blob {
+    double cx, cy, sigma, amplitude;
+  };
+  std::vector<Blob> list;
+  list.reserve(kBlobs);
+  for (int i = 0; i < kBlobs; ++i) {
+    list.push_back({rng.uniform() * w, rng.uniform() * h,
+                    4.0 + rng.uniform() * (w / 6.0),
+                    60.0 + rng.uniform() * 180.0});
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      double v = 16.0;
+      for (const Blob& blob : list) {
+        const double dx = x - blob.cx;
+        const double dy = y - blob.cy;
+        v += blob.amplitude *
+             std::exp(-(dx * dx + dy * dy) / (2.0 * blob.sigma * blob.sigma));
+      }
+      img.set(x, y, to_pixel(v));
+    }
+  }
+  return img;
+}
+
+/// Multi-octave value noise on a coarse lattice with bilinear upsampling —
+/// a cheap stand-in for natural texture statistics (1/f-ish spectrum).
+Image fractal_noise(int w, int h, axc::Rng& rng) {
+  std::vector<double> acc(static_cast<std::size_t>(w) * h, 0.0);
+  double amplitude = 128.0;
+  for (int cell = 32; cell >= 1; cell /= 2, amplitude *= 0.55) {
+    const int gw = w / cell + 2;
+    const int gh = h / cell + 2;
+    std::vector<double> grid(static_cast<std::size_t>(gw) * gh);
+    for (double& g : grid) g = rng.uniform() * 2.0 - 1.0;
+    for (int y = 0; y < h; ++y) {
+      const int gy = y / cell;
+      const double fy = static_cast<double>(y % cell) / cell;
+      for (int x = 0; x < w; ++x) {
+        const int gx = x / cell;
+        const double fx = static_cast<double>(x % cell) / cell;
+        const double v00 = grid[gy * gw + gx];
+        const double v01 = grid[gy * gw + gx + 1];
+        const double v10 = grid[(gy + 1) * gw + gx];
+        const double v11 = grid[(gy + 1) * gw + gx + 1];
+        const double v = v00 * (1 - fx) * (1 - fy) + v01 * fx * (1 - fy) +
+                         v10 * (1 - fx) * fy + v11 * fx * fy;
+        acc[static_cast<std::size_t>(y) * w + x] += amplitude * v;
+      }
+    }
+  }
+  Image img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      img.set(x, y, to_pixel(128.0 + acc[static_cast<std::size_t>(y) * w + x]));
+    }
+  }
+  return img;
+}
+
+Image strokes(int w, int h, axc::Rng& rng) {
+  Image img(w, h, 235);
+  constexpr int kStrokes = 40;
+  for (int s = 0; s < kStrokes; ++s) {
+    double x = rng.uniform() * w;
+    double y = rng.uniform() * h;
+    const double angle = rng.uniform() * 6.28318530717958647692;
+    const double len = 8.0 + rng.uniform() * (w / 3.0);
+    const double dx = std::cos(angle);
+    const double dy = std::sin(angle);
+    for (double t = 0; t < len; t += 0.5) {
+      const int px = static_cast<int>(x + t * dx);
+      const int py = static_cast<int>(y + t * dy);
+      if (px >= 0 && px < w && py >= 0 && py < h) {
+        img.set(px, py, 24);
+        if (px + 1 < w) img.set(px + 1, py, 24);  // 2 px wide strokes
+      }
+    }
+  }
+  return img;
+}
+
+Image low_contrast(int w, int h, axc::Rng& rng) {
+  Image img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      // Mid-gray base with a gentle ramp and faint noise: the whole
+      // histogram sits within ~24 gray levels.
+      const double v = 116.0 + 12.0 * x / w + rng.normal() * 3.0;
+      img.set(x, y, to_pixel(v));
+    }
+  }
+  return img;
+}
+
+Image high_frequency(int w, int h, axc::Rng& rng) {
+  Image img(w, h);
+  for (auto& px : img.pixels()) {
+    px = static_cast<std::uint8_t>(rng.bits(8));
+  }
+  (void)w;
+  (void)h;
+  return img;
+}
+
+}  // namespace
+
+std::string_view test_image_name(TestImageKind kind) {
+  switch (kind) {
+    case TestImageKind::Gradient:
+      return "gradient";
+    case TestImageKind::Checkerboard:
+      return "checkerboard";
+    case TestImageKind::Blobs:
+      return "blobs";
+    case TestImageKind::FractalNoise:
+      return "fractal_noise";
+    case TestImageKind::Strokes:
+      return "strokes";
+    case TestImageKind::LowContrast:
+      return "low_contrast";
+    case TestImageKind::HighFrequency:
+      return "high_frequency";
+  }
+  return "?";
+}
+
+Image synthesize_image(TestImageKind kind, int width, int height,
+                       std::uint64_t seed) {
+  require(width >= 8 && height >= 8,
+          "synthesize_image: images must be at least 8x8");
+  // Decorrelate the stream per kind so set members are independent.
+  axc::Rng rng(seed * 1315423911ULL +
+               static_cast<std::uint64_t>(kind) * 2654435761ULL);
+  switch (kind) {
+    case TestImageKind::Gradient:
+      return gradient(width, height);
+    case TestImageKind::Checkerboard:
+      return checkerboard(width, height);
+    case TestImageKind::Blobs:
+      return blobs(width, height, rng);
+    case TestImageKind::FractalNoise:
+      return fractal_noise(width, height, rng);
+    case TestImageKind::Strokes:
+      return strokes(width, height, rng);
+    case TestImageKind::LowContrast:
+      return low_contrast(width, height, rng);
+    case TestImageKind::HighFrequency:
+      return high_frequency(width, height, rng);
+  }
+  require(false, "synthesize_image: unknown kind");
+  return Image(width, height);
+}
+
+std::vector<Image> make_test_image_set(int width, int height,
+                                       std::uint64_t seed) {
+  std::vector<Image> set;
+  set.reserve(kTestImageKindCount);
+  for (const TestImageKind kind : kAllTestImageKinds) {
+    set.push_back(synthesize_image(kind, width, height, seed));
+  }
+  return set;
+}
+
+}  // namespace axc::image

@@ -1,0 +1,65 @@
+/// \file adder_netlists.hpp
+/// Structural (gate-level) realizations of the adder library.
+///
+/// These generators produce the netlists that the paper would have written
+/// in VHDL and pushed through Design Compiler: hand-mapped 1-bit full
+/// adders (Table III), LSB-approximate ripple adders, and the GeAr
+/// sub-adder arrangement of Fig. 3. Their functional equivalence to the
+/// behavioural models in axc::arith is asserted by the test suite.
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "axc/arith/full_adder.hpp"
+#include "axc/arith/gear.hpp"
+#include "axc/logic/netlist.hpp"
+
+namespace axc::logic {
+
+/// Sum/carry net pair produced by a 1-bit adder instance.
+struct FaNets {
+  NetId sum;
+  NetId carry;
+};
+
+/// Instantiates one full adder of \p kind inside \p netlist. The mapping is
+/// the canonical compact structure per variant (e.g. the accurate adder is
+/// XOR2/XOR2 + MAJ3; ApxFA5 is pure wiring and adds no gates at all).
+FaNets add_full_adder(Netlist& netlist, arith::FullAdderKind kind, NetId a,
+                      NetId b, NetId cin);
+
+/// A standalone full-adder block: inputs a, b, cin; outputs sum, cout.
+Netlist full_adder_netlist(arith::FullAdderKind kind);
+
+/// Instantiates a ripple adder over existing nets; \p cells selects the
+/// full-adder type per position (cells.size() == a.size() == b.size()).
+/// Returns the sum nets plus the final carry as the extra last element.
+std::vector<NetId> add_ripple_adder(Netlist& netlist,
+                                    std::span<const NetId> a,
+                                    std::span<const NetId> b, NetId cin,
+                                    std::span<const arith::FullAdderKind> cells);
+
+/// A standalone ripple adder: inputs a0..aN-1, b0..bN-1; outputs s0..sN
+/// (sN is the carry out). LSB-approximate layouts come from
+/// arith::RippleAdder::lsb_approximated's cell vector.
+Netlist ripple_adder_netlist(std::span<const arith::FullAdderKind> cells);
+
+/// A standalone LOA (lower-part OR adder): the low \p approx_lsbs result
+/// bits are OR gates, one AND recovers the carry into the exact upper
+/// ripple part. Equivalent to arith::LoaAdder (tested).
+Netlist loa_adder_netlist(unsigned width, unsigned approx_lsbs);
+
+/// A standalone ETA-I adder: the low part is a saturation chain (from the
+/// first (1,1) pair downward all sum bits read 1), the upper part an exact
+/// ripple adder with no carry from below. Equivalent to arith::EtaiAdder.
+Netlist etai_adder_netlist(unsigned width, unsigned approx_lsbs);
+
+/// A standalone GeAr adder exactly as drawn in Fig. 3: k overlapping L-bit
+/// accurate ripple sub-adders, each with constant-zero carry-in; the low P
+/// bits of every sub-adder but the first are carry prediction only and are
+/// not connected to outputs. The P-bit overlap is computed redundantly in
+/// hardware, which is why GeAr area grows with P (Table IV).
+Netlist gear_adder_netlist(const arith::GeArConfig& config);
+
+}  // namespace axc::logic

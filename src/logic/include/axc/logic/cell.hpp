@@ -1,0 +1,63 @@
+/// \file cell.hpp
+/// Standard-cell model for the gate-level substrate.
+///
+/// The paper's experimental flow (Sec. 3, Fig. 2) synthesizes VHDL/Verilog
+/// with Synopsys Design Compiler and estimates power with PrimeTime. This
+/// module provides the equivalent in-repo substrate: a small combinational
+/// standard-cell library with per-cell area (in gate equivalents, GE, the
+/// unit used by the paper's Table III) and per-toggle switching energy.
+/// Area and energy values follow typical 2-input-NAND-normalized libraries.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace axc::logic {
+
+/// Combinational cell types available to netlists.
+///
+/// `Input`, `Const0` and `Const1` are pseudo-cells (no area, no power) that
+/// model primary inputs and tie cells.
+enum class CellType : std::uint8_t {
+  Input,
+  Const0,
+  Const1,
+  Buf,
+  Inv,
+  And2,
+  Or2,
+  Nand2,
+  Nor2,
+  Xor2,
+  Xnor2,
+  And3,
+  Or3,
+  Nand3,
+  Nor3,
+  Mux2,   // Mux2(sel, a, b) = sel ? b : a
+  Maj3,   // majority of three — the carry function of a full adder
+  Aoi21,  // Aoi21(a, b, c) = !((a & b) | c)
+  Oai21,  // Oai21(a, b, c) = !((a | b) & c)
+  Ao21,   // Ao21(a, b, c)  =  (a & b) | c
+  Oa21,   // Oa21(a, b, c)  =  (a | b) & c
+};
+
+/// Number of distinct cell types (for table sizing).
+inline constexpr int kCellTypeCount = static_cast<int>(CellType::Oa21) + 1;
+
+/// Static per-cell data: name, fan-in, area, switching energy.
+struct CellInfo {
+  std::string_view name;
+  int fanin = 0;          ///< number of input pins (0 for pseudo-cells)
+  double area_ge = 0.0;   ///< area in gate equivalents (1 GE = one NAND2)
+  double energy_fj = 0.0; ///< energy per output toggle, femtojoules
+};
+
+/// Returns the static description of \p type.
+const CellInfo& cell_info(CellType type);
+
+/// Evaluates the boolean function of \p type on up to three input bits.
+/// Unused inputs are ignored. Pseudo-cells must not be evaluated here.
+unsigned eval_cell(CellType type, unsigned a, unsigned b, unsigned c);
+
+}  // namespace axc::logic

@@ -1,0 +1,61 @@
+/// \file characterize.hpp
+/// Component characterization: the "Area / Performance / Power / Quality"
+/// loop of the paper's experimental setup (Fig. 2) and of the accelerator
+/// methodology (Fig. 7, "Characterization" box).
+///
+/// For a given netlist this produces area (GE), estimated power (nW) under
+/// uniform random stimulus, and — when a behavioural reference is supplied
+/// — the quality metrics used by Table III and Fig. 5 (#error cases, max
+/// error value).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "axc/arith/full_adder.hpp"
+#include "axc/arith/mul2x2.hpp"
+#include "axc/logic/netlist.hpp"
+#include "axc/logic/power.hpp"
+#include "axc/logic/truth_table.hpp"
+
+namespace axc::logic {
+
+/// The characterization record stored per component in the library.
+struct Characterization {
+  std::string name;
+  double area_ge = 0.0;
+  double power_nw = 0.0;
+  std::size_t gate_count = 0;
+  std::uint32_t error_cases = 0;  ///< rows differing from the reference
+  std::uint32_t max_error = 0;    ///< max |out - ref| as unsigned ints
+  std::uint64_t input_space = 0;  ///< rows evaluated for the quality metrics
+};
+
+/// Recovers the exact truth table of a small netlist by exhaustive
+/// simulation (requires <= 20 inputs, <= 32 outputs).
+TruthTable netlist_truth_table(const Netlist& netlist);
+
+/// Characterizes \p netlist: area from the cell library, power from
+/// \p vectors random stimulus under \p model, quality vs \p reference
+/// (skipped when nullopt — e.g. for blocks too wide to enumerate).
+Characterization characterize(const Netlist& netlist,
+                              const std::optional<TruthTable>& reference,
+                              std::uint64_t vectors = 4096,
+                              std::uint64_t seed = 1,
+                              const PowerModel& model =
+                                  calibrated_power_model());
+
+/// Characterization of one Table III full adder against the accurate one.
+/// Interprets the 2-bit {sum, carry} output as an unsigned value, as the
+/// paper does when counting error cases.
+Characterization characterize_full_adder(arith::FullAdderKind kind);
+
+/// Characterization of one Fig. 5 multiplier block against AccMul.
+/// For configurable variants the quality columns are evaluated in
+/// approximate mode with the mode pin tied, while area/power include the
+/// correction stage.
+Characterization characterize_mul2x2(arith::Mul2x2Kind kind,
+                                     bool configurable);
+
+}  // namespace axc::logic

@@ -1,0 +1,50 @@
+/// \file mul_netlists.hpp
+/// Structural realizations of the 2x2 multiplier blocks (Fig. 5) and the
+/// recursive multi-bit approximate multipliers (Fig. 6).
+#pragma once
+
+#include "axc/arith/full_adder.hpp"
+#include "axc/arith/mul2x2.hpp"
+#include "axc/logic/netlist.hpp"
+
+namespace axc::logic {
+
+/// Instantiates a 2x2 multiplier block over existing nets; returns the four
+/// product nets p0..p3 (ApxMul_SoA drives p3 with a constant 0).
+std::vector<NetId> add_mul2x2(Netlist& netlist, arith::Mul2x2Kind kind,
+                              NetId a0, NetId a1, NetId b0, NetId b1);
+
+/// A standalone (non-configurable) 2x2 multiplier: inputs a0,a1,b0,b1;
+/// outputs p0..p3.
+Netlist mul2x2_netlist(arith::Mul2x2Kind kind);
+
+/// The configurable variant (CfgMul of Fig. 5): an extra `exact` mode input
+/// drives the correction stage — an adder-class fixup for the SoA block,
+/// an LSB mux for ours (which is why CfgMul_Our is cheaper, the paper's
+/// point in Sec. 5).
+Netlist cfg_mul2x2_netlist(arith::Mul2x2Kind kind);
+
+/// Parameters of a structural multi-bit multiplier, mirroring
+/// arith::MultiplierConfig with the ripple partial-product adder family.
+struct MulNetlistSpec {
+  unsigned width = 4;  ///< power of two in [2, 16]
+  arith::Mul2x2Kind block = arith::Mul2x2Kind::Accurate;
+  arith::FullAdderKind adder_cell = arith::FullAdderKind::Accurate;
+  unsigned approx_lsbs = 0;  ///< product bits below this significance
+                             ///< are summed with `adder_cell` cells
+};
+
+/// A standalone recursive multiplier: inputs a0..aw-1, b0..bw-1; outputs
+/// p0..p2w-1. Functionally equivalent to arith::ApproxMultiplier with the
+/// same block/adder_cell/approx_lsbs configuration (asserted in tests).
+Netlist multiplier_netlist(const MulNetlistSpec& spec);
+
+/// A standalone Wallace-tree multiplier: AND-array partial products,
+/// column compression with 3:2 / 2:2 compressors (approximate cells in
+/// product columns below approx_lsbs) and an LSB-approximate final
+/// carry-propagate adder. Functionally equivalent to
+/// arith::WallaceMultiplier with the same configuration (tested).
+Netlist wallace_netlist(unsigned width, arith::FullAdderKind cell,
+                        unsigned approx_lsbs);
+
+}  // namespace axc::logic

@@ -1,0 +1,94 @@
+/// \file netlist.hpp
+/// Structural gate-level netlist.
+///
+/// A netlist is a DAG of standard cells over single-bit nets. Construction
+/// enforces acyclicity by design: a gate may only consume nets that already
+/// exist, so the creation order is a valid topological order and simulation
+/// is a single linear pass (see simulator.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "axc/logic/cell.hpp"
+
+namespace axc::logic {
+
+/// Index of a single-bit net within a Netlist.
+using NetId = std::uint32_t;
+
+/// One instantiated cell driving one net.
+struct Gate {
+  CellType type = CellType::Const0;
+  std::array<NetId, 3> in = {0, 0, 0};  ///< input nets; only [0, fanin) used
+  NetId out = 0;                        ///< the net this gate drives
+};
+
+/// A combinational gate-level netlist with named primary inputs/outputs.
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  /// Creates a primary-input net.
+  NetId add_input(std::string name);
+
+  /// Creates a constant net (tie-low / tie-high).
+  NetId add_const(bool value);
+
+  /// Instantiates a cell of \p type over existing nets and returns the net
+  /// it drives. The number of inputs must match the cell's fan-in and every
+  /// input must be a net already created — this guarantees acyclicity.
+  NetId add_gate(CellType type, std::span<const NetId> inputs);
+
+  /// Convenience overloads for 1-3 input cells.
+  NetId add_gate(CellType type, NetId a);
+  NetId add_gate(CellType type, NetId a, NetId b);
+  NetId add_gate(CellType type, NetId a, NetId b, NetId c);
+
+  /// Marks an existing net as a primary output. A net may be marked more
+  /// than once (aliased outputs are allowed, e.g. wire-through designs).
+  void mark_output(NetId net, std::string name);
+
+  const std::string& name() const { return name_; }
+  std::size_t net_count() const { return net_kind_.size(); }
+
+  /// Primary inputs in creation order.
+  const std::vector<NetId>& inputs() const { return inputs_; }
+  /// Primary outputs in marking order.
+  const std::vector<NetId>& outputs() const { return outputs_; }
+  const std::vector<std::string>& input_names() const { return input_names_; }
+  const std::vector<std::string>& output_names() const {
+    return output_names_;
+  }
+
+  /// All real gates (pseudo-cells for inputs/constants are not stored here),
+  /// in topological order.
+  const std::vector<Gate>& gates() const { return gates_; }
+
+  /// What drives a net: Input, Const0/Const1, or the cell type of its gate.
+  CellType driver(NetId net) const { return net_kind_.at(net); }
+
+  /// Total cell area in gate equivalents. Pseudo-cells contribute zero, so
+  /// a pure wire-through design (e.g. ApxFA5 in Table III) has area 0.
+  double area_ge() const;
+
+  /// Number of real gates.
+  std::size_t gate_count() const { return gates_.size(); }
+
+ private:
+  NetId new_net(CellType kind);
+
+  std::string name_;
+  std::vector<CellType> net_kind_;  ///< indexed by NetId
+  std::vector<Gate> gates_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+  std::vector<std::string> input_names_;
+  std::vector<std::string> output_names_;
+};
+
+}  // namespace axc::logic

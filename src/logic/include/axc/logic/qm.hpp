@@ -1,0 +1,60 @@
+/// \file qm.hpp
+/// Quine–McCluskey two-level minimization.
+///
+/// This is the "synthesis" half of the substrate that stands in for the
+/// paper's Design Compiler flow: an exact prime-implicant generator with an
+/// essential-prime + greedy set-cover selection, adequate and deterministic
+/// for the small functions in the component library (3-input full adders,
+/// 4-input 2x2 multipliers, arbitrary tables up to ~16 inputs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace axc::logic {
+
+/// A product term (implicant) over n variables.
+///
+/// A variable participates in the product iff its bit is set in `care`;
+/// its required polarity is then the corresponding bit of `value`.
+/// Example over (x2,x1,x0): care=0b101, value=0b001 encodes x0 & !x2.
+struct Cube {
+  std::uint32_t value = 0;
+  std::uint32_t care = 0;
+
+  /// True iff \p minterm is contained in this cube.
+  bool covers(std::uint32_t minterm) const {
+    return (minterm & care) == (value & care);
+  }
+
+  /// Number of literals in the product term.
+  int literal_count() const { return __builtin_popcount(care); }
+
+  bool operator==(const Cube&) const = default;
+};
+
+/// Result of a single-output minimization.
+struct SopCover {
+  std::vector<Cube> cubes;  ///< empty => constant 0
+  bool is_const_one = false;
+
+  /// Evaluates the sum-of-products on \p input_word.
+  bool eval(std::uint32_t input_word) const;
+
+  /// Literal-count cost (sum over cubes), the classic two-level area proxy.
+  int cost() const;
+};
+
+/// Minimizes the single-output function given by its on-set minterms over
+/// \p num_inputs variables. Minterms outside [0, 2^n) are rejected.
+///
+/// The cover is verified internally: it covers exactly the on-set.
+SopCover minimize_sop(unsigned num_inputs,
+                      const std::vector<std::uint32_t>& on_set);
+
+/// All prime implicants of the on-set (exposed for testing and for the
+/// consolidated-error-correction analysis, which inspects error patterns).
+std::vector<Cube> prime_implicants(unsigned num_inputs,
+                                   const std::vector<std::uint32_t>& on_set);
+
+}  // namespace axc::logic

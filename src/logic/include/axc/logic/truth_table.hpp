@@ -1,0 +1,61 @@
+/// \file truth_table.hpp
+/// Multi-output truth tables — the behavioural specification format used to
+/// define every 1-bit approximate full adder (Table III) and 2x2
+/// approximate multiplier (Fig. 5) in the paper, and the input to the
+/// two-level synthesizer in synth.hpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace axc::logic {
+
+/// A complete boolean function {0,1}^n -> {0,1}^m, n <= 20, m <= 32.
+class TruthTable {
+ public:
+  /// Builds the table by evaluating \p fn on every input word.
+  /// \p fn maps the n-bit input word (bit i = input i) to an m-bit output
+  /// word (bit j = output j).
+  static TruthTable from_function(
+      unsigned num_inputs, unsigned num_outputs,
+      const std::function<std::uint32_t(std::uint32_t)>& fn);
+
+  /// Builds the table from explicit rows: rows[input_word] = output word.
+  static TruthTable from_rows(unsigned num_inputs, unsigned num_outputs,
+                              std::vector<std::uint32_t> rows);
+
+  unsigned num_inputs() const { return num_inputs_; }
+  unsigned num_outputs() const { return num_outputs_; }
+  std::uint32_t row_count() const { return 1u << num_inputs_; }
+
+  /// The full output word for \p input_word.
+  std::uint32_t value(std::uint32_t input_word) const {
+    return rows_[input_word];
+  }
+
+  /// A single output bit.
+  unsigned bit(std::uint32_t input_word, unsigned output_index) const {
+    return (rows_[input_word] >> output_index) & 1u;
+  }
+
+  /// Number of rows on which this table differs from \p reference in any
+  /// output bit — the paper's "#Error Cases" metric (Table III, Fig. 5).
+  std::uint32_t error_cases_vs(const TruthTable& reference) const;
+
+  /// Maximum |value - reference value| over all rows, interpreting output
+  /// words as unsigned integers — the paper's "Max. Error Value" (Fig. 5).
+  std::uint32_t max_error_vs(const TruthTable& reference) const;
+
+  bool operator==(const TruthTable&) const = default;
+
+ private:
+  TruthTable(unsigned num_inputs, unsigned num_outputs,
+             std::vector<std::uint32_t> rows);
+
+  unsigned num_inputs_ = 0;
+  unsigned num_outputs_ = 0;
+  std::vector<std::uint32_t> rows_;
+};
+
+}  // namespace axc::logic

@@ -1,0 +1,35 @@
+/// \file verilog.hpp
+/// Structural Verilog export.
+///
+/// The paper's open-source release ships synthesizable HDL next to the
+/// C/MATLAB behavioural models; this writer provides the same artifact
+/// from any axc::logic::Netlist — a gate-level Verilog module using only
+/// primitive continuous assignments, accepted by any synthesis or
+/// simulation tool.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "axc/logic/netlist.hpp"
+
+namespace axc::logic {
+
+/// Writes \p netlist as a self-contained structural Verilog module.
+///
+/// - module name: sanitized netlist name (or \p module_name if nonempty);
+/// - ports: the netlist's primary inputs and outputs, in order, with
+///   sanitized unique names;
+/// - body: one `assign` per gate in topological order.
+void write_verilog(const Netlist& netlist, std::ostream& os,
+                   const std::string& module_name = "");
+
+/// Convenience: returns the module text as a string.
+std::string to_verilog(const Netlist& netlist,
+                       const std::string& module_name = "");
+
+/// Writes the module to a .v file. Throws std::runtime_error on I/O error.
+void write_verilog_file(const Netlist& netlist, const std::string& path,
+                        const std::string& module_name = "");
+
+}  // namespace axc::logic

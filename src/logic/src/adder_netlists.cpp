@@ -1,0 +1,232 @@
+#include "axc/logic/adder_netlists.hpp"
+
+#include <string>
+
+#include "axc/common/require.hpp"
+
+namespace axc::logic {
+
+using arith::FullAdderKind;
+
+FaNets add_full_adder(Netlist& netlist, FullAdderKind kind, NetId a, NetId b,
+                      NetId cin) {
+  switch (kind) {
+    case FullAdderKind::Accurate: {
+      const NetId t = netlist.add_gate(CellType::Xor2, a, b);
+      const NetId sum = netlist.add_gate(CellType::Xor2, t, cin);
+      const NetId cout = netlist.add_gate(CellType::Maj3, a, b, cin);
+      return {sum, cout};
+    }
+    case FullAdderKind::Apx1: {
+      // Sum = Cin & (A xnor B); Cout = (A & Cin) | B.
+      const NetId eq = netlist.add_gate(CellType::Xnor2, a, b);
+      const NetId sum = netlist.add_gate(CellType::And2, eq, cin);
+      const NetId cout = netlist.add_gate(CellType::Ao21, a, cin, b);
+      return {sum, cout};
+    }
+    case FullAdderKind::Apx2: {
+      // Exact carry; Sum is its complement (IMPACT's core simplification).
+      const NetId cout = netlist.add_gate(CellType::Maj3, a, b, cin);
+      const NetId sum = netlist.add_gate(CellType::Inv, cout);
+      return {sum, cout};
+    }
+    case FullAdderKind::Apx3: {
+      // Sum = !((A & Cin) | B); Cout = !Sum.
+      const NetId sum = netlist.add_gate(CellType::Aoi21, a, cin, b);
+      const NetId cout = netlist.add_gate(CellType::Inv, sum);
+      return {sum, cout};
+    }
+    case FullAdderKind::Apx4: {
+      // Sum = Cin & (!A | B); Cout = A (wire).
+      const NetId na = netlist.add_gate(CellType::Inv, a);
+      const NetId sum = netlist.add_gate(CellType::Oa21, na, b, cin);
+      return {sum, a};
+    }
+    case FullAdderKind::Apx5:
+      // Pure wiring: Sum = B, Cout = A. Zero gates, zero power — the
+      // Table III row with area 0.
+      return {b, a};
+  }
+  require(false, "add_full_adder: unknown kind");
+  return {};
+}
+
+Netlist full_adder_netlist(FullAdderKind kind) {
+  Netlist netlist(std::string(arith::full_adder_name(kind)));
+  const NetId a = netlist.add_input("a");
+  const NetId b = netlist.add_input("b");
+  const NetId cin = netlist.add_input("cin");
+  const FaNets out = add_full_adder(netlist, kind, a, b, cin);
+  netlist.mark_output(out.sum, "sum");
+  netlist.mark_output(out.carry, "cout");
+  return netlist;
+}
+
+std::vector<NetId> add_ripple_adder(
+    Netlist& netlist, std::span<const NetId> a, std::span<const NetId> b,
+    NetId cin, std::span<const FullAdderKind> cells) {
+  require(a.size() == b.size() && a.size() == cells.size() && !a.empty(),
+          "add_ripple_adder: operand/cell widths must match");
+  std::vector<NetId> sums;
+  sums.reserve(a.size() + 1);
+  NetId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const FaNets out = add_full_adder(netlist, cells[i], a[i], b[i], carry);
+    sums.push_back(out.sum);
+    carry = out.carry;
+  }
+  sums.push_back(carry);
+  return sums;
+}
+
+Netlist ripple_adder_netlist(std::span<const FullAdderKind> cells) {
+  const std::size_t width = cells.size();
+  Netlist netlist("Ripple" + std::to_string(width));
+  std::vector<NetId> a(width);
+  std::vector<NetId> b(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    a[i] = netlist.add_input("a" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < width; ++i) {
+    b[i] = netlist.add_input("b" + std::to_string(i));
+  }
+  const NetId cin = netlist.add_const(false);
+  const std::vector<NetId> sums = add_ripple_adder(netlist, a, b, cin, cells);
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    netlist.mark_output(sums[i], "s" + std::to_string(i));
+  }
+  return netlist;
+}
+
+namespace {
+
+struct AdderShell {
+  Netlist netlist;
+  std::vector<NetId> a;
+  std::vector<NetId> b;
+};
+
+AdderShell make_adder_shell(const std::string& name, unsigned width) {
+  AdderShell shell{Netlist(name), {}, {}};
+  shell.a.resize(width);
+  shell.b.resize(width);
+  for (unsigned i = 0; i < width; ++i) {
+    shell.a[i] = shell.netlist.add_input("a" + std::to_string(i));
+  }
+  for (unsigned i = 0; i < width; ++i) {
+    shell.b[i] = shell.netlist.add_input("b" + std::to_string(i));
+  }
+  return shell;
+}
+
+}  // namespace
+
+Netlist loa_adder_netlist(unsigned width, unsigned approx_lsbs) {
+  require(width >= 1 && width <= 63 && approx_lsbs <= width,
+          "loa_adder_netlist: invalid shape");
+  AdderShell shell = make_adder_shell(
+      "LOA" + std::to_string(width) + "_" + std::to_string(approx_lsbs),
+      width);
+  Netlist& nl = shell.netlist;
+  const unsigned k = approx_lsbs;
+  std::vector<NetId> sums;
+  for (unsigned i = 0; i < k; ++i) {
+    sums.push_back(nl.add_gate(CellType::Or2, shell.a[i], shell.b[i]));
+  }
+  NetId carry = k == 0 ? nl.add_const(false)
+                       : nl.add_gate(CellType::And2, shell.a[k - 1],
+                                     shell.b[k - 1]);
+  const std::vector<FullAdderKind> cells(width - k,
+                                         FullAdderKind::Accurate);
+  if (width > k) {
+    const std::vector<NetId> upper = add_ripple_adder(
+        nl, std::span(shell.a).subspan(k), std::span(shell.b).subspan(k),
+        carry, cells);
+    sums.insert(sums.end(), upper.begin(), upper.end());
+  } else {
+    sums.push_back(carry);  // degenerate: whole adder approximate
+  }
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    nl.mark_output(sums[i], "s" + std::to_string(i));
+  }
+  return nl;
+}
+
+Netlist etai_adder_netlist(unsigned width, unsigned approx_lsbs) {
+  require(width >= 1 && width <= 63 && approx_lsbs <= width,
+          "etai_adder_netlist: invalid shape");
+  AdderShell shell = make_adder_shell(
+      "ETAI" + std::to_string(width) + "_" + std::to_string(approx_lsbs),
+      width);
+  Netlist& nl = shell.netlist;
+  const unsigned k = approx_lsbs;
+
+  // Saturation chain, MSB of the low part downward: ctl_i = 1 once any
+  // position >= i (within the low part) had both bits set.
+  std::vector<NetId> sums(width);
+  NetId ctl = nl.add_const(false);
+  for (unsigned i = k; i-- > 0;) {
+    const NetId both = nl.add_gate(CellType::And2, shell.a[i], shell.b[i]);
+    ctl = nl.add_gate(CellType::Or2, ctl, both);
+    // sum_i = ctl (saturated) | (a ^ b); when ctl is set the OR forces 1.
+    const NetId x = nl.add_gate(CellType::Xor2, shell.a[i], shell.b[i]);
+    sums[i] = nl.add_gate(CellType::Or2, ctl, x);
+  }
+  const NetId zero = nl.add_const(false);
+  const std::vector<FullAdderKind> cells(width - k,
+                                         FullAdderKind::Accurate);
+  if (width > k) {
+    const std::vector<NetId> upper = add_ripple_adder(
+        nl, std::span(shell.a).subspan(k), std::span(shell.b).subspan(k),
+        zero, cells);
+    for (unsigned i = 0; i < upper.size(); ++i) {
+      if (k + i < sums.size()) {
+        sums[k + i] = upper[i];
+      } else {
+        sums.push_back(upper[i]);
+      }
+    }
+  } else {
+    sums.push_back(zero);  // carry-out is constant 0
+  }
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    nl.mark_output(sums[i], "s" + std::to_string(i));
+  }
+  return nl;
+}
+
+Netlist gear_adder_netlist(const arith::GeArConfig& config) {
+  require(config.is_valid(), "gear_adder_netlist: invalid GeAr config");
+  const unsigned n = config.n;
+  const unsigned l = config.l();
+  const unsigned k = config.num_subadders();
+
+  Netlist netlist(config.name());
+  std::vector<NetId> a(n);
+  std::vector<NetId> b(n);
+  for (unsigned i = 0; i < n; ++i) a[i] = netlist.add_input("a" + std::to_string(i));
+  for (unsigned i = 0; i < n; ++i) b[i] = netlist.add_input("b" + std::to_string(i));
+
+  std::vector<NetId> result(n + 1);
+  const std::vector<FullAdderKind> cells(l, FullAdderKind::Accurate);
+  for (unsigned s = 0; s < k; ++s) {
+    const unsigned start = s * config.r;
+    const NetId cin = netlist.add_const(false);
+    const std::vector<NetId> sums = add_ripple_adder(
+        netlist, std::span(a).subspan(start, l),
+        std::span(b).subspan(start, l), cin, cells);
+    // The first sub-adder owns all L result bits, later ones only their
+    // top R (their low P bits exist purely to predict the carry).
+    const unsigned first_used = (s == 0) ? 0 : config.p;
+    for (unsigned bit = first_used; bit < l; ++bit) {
+      result[start + bit] = sums[bit];
+    }
+    if (s == k - 1) result[n] = sums[l];  // overall carry-out
+  }
+  for (unsigned i = 0; i <= n; ++i) {
+    netlist.mark_output(result[i], "s" + std::to_string(i));
+  }
+  return netlist;
+}
+
+}  // namespace axc::logic

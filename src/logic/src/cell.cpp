@@ -1,0 +1,90 @@
+#include "axc/logic/cell.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace axc::logic {
+namespace {
+
+// Area in GE follows NAND2-normalized libraries (e.g. ~NanGate45-like
+// ratios); switching energy is taken proportional to area, which is the
+// standard first-order model (capacitance scales with cell size). The
+// absolute power calibration lives in power.cpp.
+constexpr std::array<CellInfo, kCellTypeCount> kCells = {{
+    {"INPUT", 0, 0.00, 0.00},
+    {"CONST0", 0, 0.00, 0.00},
+    {"CONST1", 0, 0.00, 0.00},
+    {"BUF", 1, 1.00, 1.00},
+    {"INV", 1, 0.67, 0.67},
+    {"AND2", 2, 1.33, 1.33},
+    {"OR2", 2, 1.33, 1.33},
+    {"NAND2", 2, 1.00, 1.00},
+    {"NOR2", 2, 1.00, 1.00},
+    {"XOR2", 2, 2.33, 2.33},
+    {"XNOR2", 2, 2.00, 2.00},
+    {"AND3", 3, 1.67, 1.67},
+    {"OR3", 3, 1.67, 1.67},
+    {"NAND3", 3, 1.33, 1.33},
+    {"NOR3", 3, 1.33, 1.33},
+    {"MUX2", 3, 2.33, 2.33},
+    {"MAJ3", 3, 2.33, 2.33},
+    {"AOI21", 3, 1.33, 1.33},
+    {"OAI21", 3, 1.33, 1.33},
+    {"AO21", 3, 1.67, 1.67},
+    {"OA21", 3, 1.67, 1.67},
+}};
+
+}  // namespace
+
+const CellInfo& cell_info(CellType type) {
+  return kCells[static_cast<int>(type)];
+}
+
+unsigned eval_cell(CellType type, unsigned a, unsigned b, unsigned c) {
+  switch (type) {
+    case CellType::Buf:
+      return a;
+    case CellType::Inv:
+      return a ^ 1u;
+    case CellType::And2:
+      return a & b;
+    case CellType::Or2:
+      return a | b;
+    case CellType::Nand2:
+      return (a & b) ^ 1u;
+    case CellType::Nor2:
+      return (a | b) ^ 1u;
+    case CellType::Xor2:
+      return a ^ b;
+    case CellType::Xnor2:
+      return (a ^ b) ^ 1u;
+    case CellType::And3:
+      return a & b & c;
+    case CellType::Or3:
+      return a | b | c;
+    case CellType::Nand3:
+      return (a & b & c) ^ 1u;
+    case CellType::Nor3:
+      return (a | b | c) ^ 1u;
+    case CellType::Mux2:
+      return a ? c : b;
+    case CellType::Maj3:
+      return (a & b) | (a & c) | (b & c);
+    case CellType::Aoi21:
+      return ((a & b) | c) ^ 1u;
+    case CellType::Oai21:
+      return ((a | b) & c) ^ 1u;
+    case CellType::Ao21:
+      return (a & b) | c;
+    case CellType::Oa21:
+      return (a | b) & c;
+    case CellType::Input:
+    case CellType::Const0:
+    case CellType::Const1:
+      break;
+  }
+  assert(false && "eval_cell: pseudo-cell evaluated");
+  return 0;
+}
+
+}  // namespace axc::logic

@@ -1,0 +1,85 @@
+#include "axc/logic/characterize.hpp"
+
+#include "axc/common/require.hpp"
+#include "axc/logic/adder_netlists.hpp"
+#include "axc/logic/mul_netlists.hpp"
+
+namespace axc::logic {
+
+TruthTable netlist_truth_table(const Netlist& netlist) {
+  const unsigned n_in = static_cast<unsigned>(netlist.inputs().size());
+  const unsigned n_out = static_cast<unsigned>(netlist.outputs().size());
+  require(n_in >= 1 && n_in <= 20 && n_out >= 1 && n_out <= 32,
+          "netlist_truth_table: netlist too wide to enumerate");
+  Simulator sim(netlist);
+  return TruthTable::from_function(n_in, n_out, [&](std::uint32_t word) {
+    return static_cast<std::uint32_t>(sim.apply_word(word));
+  });
+}
+
+Characterization characterize(const Netlist& netlist,
+                              const std::optional<TruthTable>& reference,
+                              std::uint64_t vectors, std::uint64_t seed,
+                              const PowerModel& model) {
+  Characterization result;
+  result.name = netlist.name();
+  result.area_ge = netlist.area_ge();
+  result.gate_count = netlist.gate_count();
+  result.power_nw = estimate_random_power(netlist, vectors, seed, model).total_nw;
+  if (reference.has_value()) {
+    const TruthTable actual = netlist_truth_table(netlist);
+    result.error_cases = actual.error_cases_vs(*reference);
+    result.max_error = actual.max_error_vs(*reference);
+    result.input_space = actual.row_count();
+  }
+  return result;
+}
+
+Characterization characterize_full_adder(arith::FullAdderKind kind) {
+  const Netlist netlist = full_adder_netlist(kind);
+  // Reference: the accurate behaviour, outputs packed as {sum, carry}.
+  const TruthTable reference = TruthTable::from_function(
+      3, 2, [](std::uint32_t w) -> std::uint32_t {
+        const unsigned a = w & 1u, b = (w >> 1) & 1u, cin = (w >> 2) & 1u;
+        const auto out =
+            arith::full_add(arith::FullAdderKind::Accurate, a, b, cin);
+        return out.sum | (out.carry << 1);
+      });
+  return characterize(netlist, reference);
+}
+
+Characterization characterize_mul2x2(arith::Mul2x2Kind kind,
+                                     bool configurable) {
+  // Quality is always judged on the 4-input product function; for the
+  // configurable variants we characterize area/power on the full netlist
+  // (mode pin included in the random stimulus, as a real workload would
+  // toggle it) and quality in approximate mode.
+  const TruthTable reference =
+      TruthTable::from_function(4, 4, [](std::uint32_t w) -> std::uint32_t {
+        const unsigned a = w & 3u;
+        const unsigned b = (w >> 2) & 3u;
+        return a * b;
+      });
+
+  const Netlist netlist =
+      configurable ? cfg_mul2x2_netlist(kind) : mul2x2_netlist(kind);
+  Characterization result;
+  result.name = netlist.name();
+  result.area_ge = netlist.area_ge();
+  result.gate_count = netlist.gate_count();
+  result.power_nw = estimate_random_power(netlist).total_nw;
+
+  // Behavioural quality of the approximate mode.
+  const TruthTable behaviour =
+      TruthTable::from_function(4, 4, [&](std::uint32_t w) -> std::uint32_t {
+        const unsigned a = w & 3u;
+        const unsigned b = (w >> 2) & 3u;
+        return arith::mul2x2(kind, a, b);
+      });
+  result.error_cases = behaviour.error_cases_vs(reference);
+  result.max_error = behaviour.max_error_vs(reference);
+  result.input_space = behaviour.row_count();
+  return result;
+}
+
+}  // namespace axc::logic

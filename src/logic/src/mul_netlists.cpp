@@ -1,0 +1,278 @@
+#include "axc/logic/mul_netlists.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "axc/common/require.hpp"
+#include "axc/logic/adder_netlists.hpp"
+
+namespace axc::logic {
+
+using arith::FullAdderKind;
+using arith::Mul2x2Kind;
+
+std::vector<NetId> add_mul2x2(Netlist& netlist, Mul2x2Kind kind, NetId a0,
+                              NetId a1, NetId b0, NetId b1) {
+  switch (kind) {
+    case Mul2x2Kind::Accurate: {
+      // Column-wise exact product: two half-adder columns over the four
+      // partial-product AND terms.
+      const NetId p0 = netlist.add_gate(CellType::And2, a0, b0);
+      const NetId t1 = netlist.add_gate(CellType::And2, a1, b0);
+      const NetId t2 = netlist.add_gate(CellType::And2, a0, b1);
+      const NetId hh = netlist.add_gate(CellType::And2, a1, b1);
+      const NetId p1 = netlist.add_gate(CellType::Xor2, t1, t2);
+      const NetId c1 = netlist.add_gate(CellType::And2, t1, t2);
+      const NetId p2 = netlist.add_gate(CellType::Xor2, hh, c1);
+      const NetId p3 = netlist.add_gate(CellType::And2, hh, c1);
+      return {p0, p1, p2, p3};
+    }
+    case Mul2x2Kind::SoA: {
+      // Kulkarni: no 4th bit, and the middle column's carry logic
+      // disappears (P1 becomes a plain OR).
+      const NetId p0 = netlist.add_gate(CellType::And2, a0, b0);
+      const NetId t1 = netlist.add_gate(CellType::And2, a1, b0);
+      const NetId t2 = netlist.add_gate(CellType::And2, a0, b1);
+      const NetId p1 = netlist.add_gate(CellType::Or2, t1, t2);
+      const NetId p2 = netlist.add_gate(CellType::And2, a1, b1);
+      const NetId p3 = netlist.add_const(false);
+      return {p0, p1, p2, p3};
+    }
+    case Mul2x2Kind::Ours: {
+      // Exact upper bits; P0 is wired to P3, dropping the LSB AND gate.
+      const NetId t1 = netlist.add_gate(CellType::And2, a1, b0);
+      const NetId t2 = netlist.add_gate(CellType::And2, a0, b1);
+      const NetId hh = netlist.add_gate(CellType::And2, a1, b1);
+      const NetId p1 = netlist.add_gate(CellType::Xor2, t1, t2);
+      const NetId c1 = netlist.add_gate(CellType::And2, t1, t2);
+      const NetId p2 = netlist.add_gate(CellType::Xor2, hh, c1);
+      const NetId p3 = netlist.add_gate(CellType::And2, hh, c1);
+      return {p3, p1, p2, p3};
+    }
+  }
+  require(false, "add_mul2x2: unknown kind");
+  return {};
+}
+
+namespace {
+
+Netlist make_mul2x2_shell(Mul2x2Kind kind, const std::string& name,
+                          bool configurable) {
+  Netlist netlist(name);
+  const NetId a0 = netlist.add_input("a0");
+  const NetId a1 = netlist.add_input("a1");
+  const NetId b0 = netlist.add_input("b0");
+  const NetId b1 = netlist.add_input("b1");
+  std::vector<NetId> p;
+
+  if (!configurable) {
+    p = add_mul2x2(netlist, kind, a0, a1, b0, b1);
+  } else {
+    const NetId mode = netlist.add_input("exact");
+    switch (kind) {
+      case Mul2x2Kind::Accurate:
+        p = add_mul2x2(netlist, kind, a0, a1, b0, b1);
+        break;
+      case Mul2x2Kind::SoA: {
+        // Correction adder: detect 3x3 and add 0b010 through a 3-bit
+        // incrementer chain (the "extra addition" of Fig. 5).
+        p = add_mul2x2(netlist, Mul2x2Kind::SoA, a0, a1, b0, b1);
+        const NetId aa = netlist.add_gate(CellType::And2, a0, a1);
+        const NetId bb = netlist.add_gate(CellType::And2, b0, b1);
+        const NetId detect = netlist.add_gate(CellType::And2, aa, bb);
+        const NetId d = netlist.add_gate(CellType::And2, detect, mode);
+        const NetId p1c = netlist.add_gate(CellType::Xor2, p[1], d);
+        const NetId c1 = netlist.add_gate(CellType::And2, p[1], d);
+        const NetId p2c = netlist.add_gate(CellType::Xor2, p[2], c1);
+        const NetId c2 = netlist.add_gate(CellType::And2, p[2], c1);
+        p = {p[0], p1c, p2c, c2};
+        break;
+      }
+      case Mul2x2Kind::Ours: {
+        // Cheap fixup: the exact LSB is a0&b0; a single mux restores it in
+        // exact mode. No carry chain is needed because all three error
+        // cases are LSB-only.
+        p = add_mul2x2(netlist, Mul2x2Kind::Ours, a0, a1, b0, b1);
+        const NetId lsb = netlist.add_gate(CellType::And2, a0, b0);
+        const NetId p0c = netlist.add_gate(CellType::Mux2, mode, p[0], lsb);
+        p = {p0c, p[1], p[2], p[3]};
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    netlist.mark_output(p[i], "p" + std::to_string(i));
+  }
+  return netlist;
+}
+
+}  // namespace
+
+Netlist mul2x2_netlist(Mul2x2Kind kind) {
+  return make_mul2x2_shell(kind, std::string(arith::mul2x2_name(kind)),
+                           /*configurable=*/false);
+}
+
+Netlist cfg_mul2x2_netlist(Mul2x2Kind kind) {
+  return make_mul2x2_shell(
+      kind, "Cfg" + std::string(arith::mul2x2_name(kind)),
+      /*configurable=*/true);
+}
+
+namespace {
+
+/// Recursive worker: multiplies net vectors a, b (width w each) and returns
+/// the 2w product nets, emitting gates into \p netlist. `significance` is
+/// the weight this sub-product's LSB carries in the final product; adder
+/// cells below spec.approx_lsbs of *product* significance use the
+/// approximate cell — mirroring arith::ApproxMultiplier exactly.
+std::vector<NetId> mul_rec(Netlist& netlist, const MulNetlistSpec& spec,
+                           std::span<const NetId> a,
+                           std::span<const NetId> b, unsigned significance) {
+  const unsigned w = static_cast<unsigned>(a.size());
+  if (w == 2) {
+    return add_mul2x2(netlist, spec.block, a[0], a[1], b[0], b[1]);
+  }
+  const unsigned half = w / 2;
+  const auto al = a.subspan(0, half);
+  const auto ah = a.subspan(half, half);
+  const auto bl = b.subspan(0, half);
+  const auto bh = b.subspan(half, half);
+
+  const std::vector<NetId> ll = mul_rec(netlist, spec, al, bl, significance);
+  const std::vector<NetId> lh =
+      mul_rec(netlist, spec, al, bh, significance + half);
+  const std::vector<NetId> hl =
+      mul_rec(netlist, spec, ah, bl, significance + half);
+  const std::vector<NetId> hh =
+      mul_rec(netlist, spec, ah, bh, significance + w);
+
+  const auto cells_for = [&](unsigned width, unsigned adder_significance) {
+    std::vector<FullAdderKind> cells(width, FullAdderKind::Accurate);
+    for (unsigned i = 0;
+         i < width && adder_significance + i < spec.approx_lsbs; ++i) {
+      cells[i] = spec.adder_cell;
+    }
+    return cells;
+  };
+
+  // mid = lh + hl (w-bit adder at weight half, w+1-bit result).
+  const NetId zero = netlist.add_const(false);
+  const std::vector<NetId> mid = add_ripple_adder(
+      netlist, lh, hl, zero, cells_for(w, significance + half));
+
+  // base = hh << w | ll is pure wiring; only bits [w/2, 2w) need an adder
+  // (mid lands at weight 2^(w/2)); the low w/2 bits of ll pass through.
+  const unsigned upper_width = 2 * w - half;
+  std::vector<NetId> upper_base(upper_width);
+  for (unsigned i = 0; i < half; ++i) upper_base[i] = ll[half + i];
+  for (unsigned i = 0; i < w; ++i) upper_base[half + i] = hh[i];
+  std::vector<NetId> mid_padded(upper_width, zero);
+  for (unsigned i = 0; i < mid.size(); ++i) mid_padded[i] = mid[i];
+  std::vector<NetId> upper =
+      add_ripple_adder(netlist, upper_base, mid_padded, zero,
+                       cells_for(upper_width, significance + half));
+
+  std::vector<NetId> sum(2 * w);
+  for (unsigned i = 0; i < half; ++i) sum[i] = ll[i];
+  for (unsigned i = 0; i + half < 2 * w; ++i) sum[half + i] = upper[i];
+  return sum;
+}
+
+}  // namespace
+
+Netlist multiplier_netlist(const MulNetlistSpec& spec) {
+  require(spec.width >= 2 && spec.width <= 16 &&
+              (spec.width & (spec.width - 1)) == 0,
+          "multiplier_netlist: width must be a power of two in [2, 16]");
+  Netlist netlist("Mul" + std::to_string(spec.width) + "x" +
+                  std::to_string(spec.width));
+  std::vector<NetId> a(spec.width);
+  std::vector<NetId> b(spec.width);
+  for (unsigned i = 0; i < spec.width; ++i) {
+    a[i] = netlist.add_input("a" + std::to_string(i));
+  }
+  for (unsigned i = 0; i < spec.width; ++i) {
+    b[i] = netlist.add_input("b" + std::to_string(i));
+  }
+  const std::vector<NetId> p = mul_rec(netlist, spec, a, b, 0);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    netlist.mark_output(p[i], "p" + std::to_string(i));
+  }
+  return netlist;
+}
+
+Netlist wallace_netlist(unsigned width, FullAdderKind cell,
+                        unsigned approx_lsbs) {
+  require(width >= 2 && width <= 16,
+          "wallace_netlist: width must be in [2, 16]");
+  require(approx_lsbs <= 2 * width,
+          "wallace_netlist: approx_lsbs exceeds the product width");
+  Netlist nl("Wallace" + std::to_string(width) + "x" +
+             std::to_string(width));
+  std::vector<NetId> a(width);
+  std::vector<NetId> b(width);
+  for (unsigned i = 0; i < width; ++i) {
+    a[i] = nl.add_input("a" + std::to_string(i));
+  }
+  for (unsigned i = 0; i < width; ++i) {
+    b[i] = nl.add_input("b" + std::to_string(i));
+  }
+
+  const unsigned columns = 2 * width;
+  std::vector<std::vector<NetId>> column(columns);
+  for (unsigned i = 0; i < width; ++i) {
+    for (unsigned j = 0; j < width; ++j) {
+      column[i + j].push_back(nl.add_gate(CellType::And2, a[i], b[j]));
+    }
+  }
+  const auto cell_for = [&](unsigned col) {
+    return col < approx_lsbs ? cell : FullAdderKind::Accurate;
+  };
+
+  // Column compression, mirroring arith::WallaceMultiplier::multiply —
+  // including applying the (possibly approximate) compressor to constant
+  // partial products, which the behavioural model also does via
+  // full_add(kind, bit, bit, bit); constants here are actual AND gates,
+  // so both sides see identical dot diagrams.
+  NetId zero = nl.add_const(false);
+  for (;;) {
+    bool done = true;
+    for (const auto& bits : column) done &= bits.size() <= 2;
+    if (done) break;
+    std::vector<std::vector<NetId>> next(columns);
+    for (unsigned c = 0; c < columns; ++c) {
+      auto& bits = column[c];
+      std::size_t i = 0;
+      while (bits.size() - i >= 3) {
+        const logic::FaNets out = add_full_adder(nl, cell_for(c), bits[i],
+                                                 bits[i + 1], bits[i + 2]);
+        next[c].push_back(out.sum);
+        if (c + 1 < columns) next[c + 1].push_back(out.carry);
+        i += 3;
+      }
+      if (bits.size() - i == 2 && bits.size() + next[c].size() > 2) {
+        const logic::FaNets out =
+            add_full_adder(nl, cell_for(c), bits[i], bits[i + 1], zero);
+        next[c].push_back(out.sum);
+        if (c + 1 < columns) next[c + 1].push_back(out.carry);
+        i += 2;
+      }
+      for (; i < bits.size(); ++i) next[c].push_back(bits[i]);
+    }
+    column = std::move(next);
+  }
+
+  // Final carry-propagate merge.
+  NetId carry = zero;
+  for (unsigned c = 0; c < columns; ++c) {
+    const NetId x = column[c].size() > 0 ? column[c][0] : zero;
+    const NetId y = column[c].size() > 1 ? column[c][1] : zero;
+    const logic::FaNets out = add_full_adder(nl, cell_for(c), x, y, carry);
+    nl.mark_output(out.sum, "p" + std::to_string(c));
+    carry = out.carry;
+  }
+  return nl;
+}
+
+}  // namespace axc::logic

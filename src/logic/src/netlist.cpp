@@ -1,0 +1,71 @@
+#include "axc/logic/netlist.hpp"
+
+#include "axc/common/require.hpp"
+
+namespace axc::logic {
+
+NetId Netlist::new_net(CellType kind) {
+  const NetId id = static_cast<NetId>(net_kind_.size());
+  net_kind_.push_back(kind);
+  return id;
+}
+
+NetId Netlist::add_input(std::string name) {
+  const NetId id = new_net(CellType::Input);
+  inputs_.push_back(id);
+  input_names_.push_back(std::move(name));
+  return id;
+}
+
+NetId Netlist::add_const(bool value) {
+  return new_net(value ? CellType::Const1 : CellType::Const0);
+}
+
+NetId Netlist::add_gate(CellType type, std::span<const NetId> inputs) {
+  const CellInfo& info = cell_info(type);
+  require(info.fanin > 0, "Netlist::add_gate: pseudo-cells cannot be "
+                          "instantiated as gates");
+  require(static_cast<int>(inputs.size()) == info.fanin,
+          std::string("Netlist::add_gate: wrong input count for ") +
+              std::string(info.name));
+  Gate gate;
+  gate.type = type;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    require(inputs[i] < net_kind_.size(),
+            "Netlist::add_gate: input net does not exist");
+    gate.in[i] = inputs[i];
+  }
+  gate.out = new_net(type);
+  gates_.push_back(gate);
+  return gate.out;
+}
+
+NetId Netlist::add_gate(CellType type, NetId a) {
+  const NetId ins[] = {a};
+  return add_gate(type, ins);
+}
+
+NetId Netlist::add_gate(CellType type, NetId a, NetId b) {
+  const NetId ins[] = {a, b};
+  return add_gate(type, ins);
+}
+
+NetId Netlist::add_gate(CellType type, NetId a, NetId b, NetId c) {
+  const NetId ins[] = {a, b, c};
+  return add_gate(type, ins);
+}
+
+void Netlist::mark_output(NetId net, std::string name) {
+  require_in_range(net < net_kind_.size(),
+                   "Netlist::mark_output: no such net");
+  outputs_.push_back(net);
+  output_names_.push_back(std::move(name));
+}
+
+double Netlist::area_ge() const {
+  double area = 0.0;
+  for (const Gate& gate : gates_) area += cell_info(gate.type).area_ge;
+  return area;
+}
+
+}  // namespace axc::logic

@@ -1,0 +1,51 @@
+#include "axc/logic/power.hpp"
+
+#include "axc/common/require.hpp"
+#include "axc/common/rng.hpp"
+
+namespace axc::logic {
+
+PowerReport PowerModel::estimate(const Simulator& sim) const {
+  require(sim.vectors_applied() >= 2,
+          "PowerModel::estimate: need at least two stimulus vectors");
+  PowerReport report;
+  // Energy per vector [fJ] * vectors per second [GHz -> 1e9/s]:
+  // fJ * 1e9 / s = 1e-15 J * 1e9 / s = 1e-6 W = ... expressed in nW below.
+  const double energy_per_vector_fj =
+      sim.switched_energy_fj() /
+      static_cast<double>(sim.vectors_applied() - 1);
+  report.dynamic_nw =
+      energy_scale * energy_per_vector_fj * clock_ghz * 1e3;  // fJ*GHz -> nW? see note
+  // Note on units: 1 fJ/cycle at 1 GHz = 1e-15 J * 1e9 1/s = 1e-6 W = 1000 nW.
+  report.leakage_nw = leakage_nw_per_ge * sim.netlist().area_ge();
+  report.total_nw = report.dynamic_nw + report.leakage_nw;
+  return report;
+}
+
+PowerReport estimate_random_power(const Netlist& netlist,
+                                  std::uint64_t vectors, std::uint64_t seed,
+                                  const PowerModel& model) {
+  Simulator sim(netlist);
+  Rng rng(seed);
+  const unsigned width = static_cast<unsigned>(netlist.inputs().size());
+  require(width <= 64, "estimate_random_power: > 64 primary inputs");
+  for (std::uint64_t i = 0; i < vectors; ++i) {
+    sim.apply_word(rng.bits(width));
+  }
+  return model.estimate(sim);
+}
+
+PowerModel calibrated_power_model() {
+  PowerModel model;
+  model.clock_ghz = 1.0;
+  // With the cell energies of cell.cpp, the accurate full adder (mirror
+  // decomposition: XOR2+XOR2+MAJ3) switches ~3.5 fJ per uniform random
+  // vector => ~3.5 uW dynamic at scale 1. A scale of 0.32 plus ~7 GE of
+  // leakage lands the design at ~1.13 uW, matching Table III's 1130 nW for
+  // AccuFA. The same constants are used for every design in the repo.
+  model.energy_scale = 0.32;
+  model.leakage_nw_per_ge = 1.0;
+  return model;
+}
+
+}  // namespace axc::logic

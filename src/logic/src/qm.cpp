@@ -1,0 +1,159 @@
+#include "axc/logic/qm.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "axc/common/bits.hpp"
+#include "axc/common/require.hpp"
+
+namespace axc::logic {
+
+bool SopCover::eval(std::uint32_t input_word) const {
+  if (is_const_one) return true;
+  return std::any_of(cubes.begin(), cubes.end(),
+                     [&](const Cube& c) { return c.covers(input_word); });
+}
+
+int SopCover::cost() const {
+  int total = 0;
+  for (const Cube& cube : cubes) total += cube.literal_count();
+  return total;
+}
+
+std::vector<Cube> prime_implicants(
+    unsigned num_inputs, const std::vector<std::uint32_t>& on_set) {
+  require(num_inputs >= 1 && num_inputs <= 20, "prime_implicants: bad arity");
+  const std::uint32_t full_care =
+      static_cast<std::uint32_t>(low_mask(num_inputs));
+
+  // Classic QM: repeatedly merge cubes that differ in exactly one cared bit.
+  // `current` holds cubes of the present generation; merged cubes move to
+  // the next generation, unmerged ones are prime.
+  std::vector<Cube> current;
+  current.reserve(on_set.size());
+  for (const std::uint32_t m : on_set) {
+    require(m < (std::uint32_t{1} << num_inputs),
+            "prime_implicants: minterm out of range");
+    current.push_back({m, full_care});
+  }
+  std::sort(current.begin(), current.end(),
+            [](const Cube& a, const Cube& b) {
+              return std::tie(a.care, a.value) < std::tie(b.care, b.value);
+            });
+  current.erase(std::unique(current.begin(), current.end()), current.end());
+
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    std::vector<bool> merged(current.size(), false);
+    std::set<std::pair<std::uint32_t, std::uint32_t>> next_set;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      for (std::size_t j = i + 1; j < current.size(); ++j) {
+        if (current[i].care != current[j].care) continue;
+        const std::uint32_t diff =
+            (current[i].value ^ current[j].value) & current[i].care;
+        if (__builtin_popcount(diff) != 1) continue;
+        merged[i] = merged[j] = true;
+        const std::uint32_t care = current[i].care & ~diff;
+        next_set.insert({current[i].value & care, care});
+      }
+    }
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      if (!merged[i]) primes.push_back(current[i]);
+    }
+    current.clear();
+    current.reserve(next_set.size());
+    for (const auto& [value, care] : next_set) current.push_back({value, care});
+  }
+  return primes;
+}
+
+SopCover minimize_sop(unsigned num_inputs,
+                      const std::vector<std::uint32_t>& on_set) {
+  const std::size_t total_rows = std::size_t{1} << num_inputs;
+  SopCover cover;
+  if (on_set.empty()) return cover;  // constant 0
+
+  std::vector<std::uint32_t> minterms = on_set;
+  std::sort(minterms.begin(), minterms.end());
+  minterms.erase(std::unique(minterms.begin(), minterms.end()),
+                 minterms.end());
+  if (minterms.size() == total_rows) {
+    cover.is_const_one = true;
+    return cover;
+  }
+
+  const std::vector<Cube> primes = prime_implicants(num_inputs, minterms);
+
+  // Build the coverage relation.
+  std::vector<std::vector<std::size_t>> covering(minterms.size());
+  for (std::size_t p = 0; p < primes.size(); ++p) {
+    for (std::size_t m = 0; m < minterms.size(); ++m) {
+      if (primes[p].covers(minterms[m])) covering[m].push_back(p);
+    }
+  }
+
+  std::vector<bool> chosen(primes.size(), false);
+  std::vector<bool> covered(minterms.size(), false);
+
+  // Essential primes first.
+  for (std::size_t m = 0; m < minterms.size(); ++m) {
+    if (covering[m].size() == 1) chosen[covering[m][0]] = true;
+  }
+  for (std::size_t m = 0; m < minterms.size(); ++m) {
+    for (const std::size_t p : covering[m]) {
+      if (chosen[p]) {
+        covered[m] = true;
+        break;
+      }
+    }
+  }
+
+  // Greedy cover for the rest: repeatedly take the prime covering the most
+  // uncovered minterms, ties broken toward fewer literals then lower index
+  // for determinism.
+  for (;;) {
+    std::size_t best = primes.size();
+    std::size_t best_gain = 0;
+    for (std::size_t p = 0; p < primes.size(); ++p) {
+      if (chosen[p]) continue;
+      std::size_t gain = 0;
+      for (std::size_t m = 0; m < minterms.size(); ++m) {
+        if (!covered[m] && primes[p].covers(minterms[m])) ++gain;
+      }
+      if (gain == 0) continue;
+      const bool better =
+          best == primes.size() || gain > best_gain ||
+          (gain == best_gain &&
+           primes[p].literal_count() < primes[best].literal_count());
+      if (better) {
+        best = p;
+        best_gain = gain;
+      }
+    }
+    if (best == primes.size()) break;  // everything covered
+    chosen[best] = true;
+    for (std::size_t m = 0; m < minterms.size(); ++m) {
+      if (primes[best].covers(minterms[m])) covered[m] = true;
+    }
+  }
+
+  for (std::size_t p = 0; p < primes.size(); ++p) {
+    if (chosen[p]) cover.cubes.push_back(primes[p]);
+  }
+
+  // Internal verification: the cover must equal the on-set exactly.
+  std::size_t checked = 0;
+  for (std::uint32_t w = 0; w < total_rows; ++w) {
+    const bool in_on_set =
+        std::binary_search(minterms.begin(), minterms.end(), w);
+    require(cover.eval(w) == in_on_set, "minimize_sop: cover verification "
+                                        "failed (internal error)");
+    if (in_on_set) ++checked;
+  }
+  require(checked == minterms.size(), "minimize_sop: on-set mismatch");
+  return cover;
+}
+
+}  // namespace axc::logic

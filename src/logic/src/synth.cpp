@@ -1,0 +1,133 @@
+#include "axc/logic/synth.hpp"
+
+#include <algorithm>
+
+#include "axc/common/require.hpp"
+#include "axc/logic/qm.hpp"
+
+namespace axc::logic {
+namespace {
+
+/// Per-output synthesis plan: the chosen cover and its polarity.
+struct OutputPlan {
+  SopCover cover;
+  bool inverted = false;  // cover realizes the complement; add INV at end
+};
+
+OutputPlan plan_output(const TruthTable& table, unsigned output_index) {
+  std::vector<std::uint32_t> on_set;
+  std::vector<std::uint32_t> off_set;
+  for (std::uint32_t w = 0; w < table.row_count(); ++w) {
+    (table.bit(w, output_index) ? on_set : off_set).push_back(w);
+  }
+  OutputPlan plan;
+  SopCover positive = minimize_sop(table.num_inputs(), on_set);
+  SopCover negative = minimize_sop(table.num_inputs(), off_set);
+  // Prefer the polarity with fewer literals; +1 literal charged for the
+  // output inverter of the negative form. Constant covers are free.
+  const int pos_cost = positive.is_const_one ? 0 : positive.cost();
+  const int neg_cost = (negative.is_const_one ? 0 : negative.cost()) + 1;
+  if (neg_cost < pos_cost) {
+    plan.cover = std::move(negative);
+    plan.inverted = true;
+  } else {
+    plan.cover = std::move(positive);
+  }
+  return plan;
+}
+
+}  // namespace
+
+NetId reduce_tree(Netlist& netlist, CellType type,
+                  std::vector<NetId> operands) {
+  require(!operands.empty(), "reduce_tree: no operands");
+  // Pairwise reduction keeps the tree balanced (logarithmic depth), which
+  // is what a timing-driven mapper would produce.
+  while (operands.size() > 1) {
+    std::vector<NetId> next;
+    next.reserve((operands.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < operands.size(); i += 2) {
+      next.push_back(netlist.add_gate(type, operands[i], operands[i + 1]));
+    }
+    if (operands.size() % 2 == 1) next.push_back(operands.back());
+    operands = std::move(next);
+  }
+  return operands.front();
+}
+
+Netlist synthesize(const TruthTable& table, std::string name,
+                   SynthStats* stats) {
+  Netlist netlist(std::move(name));
+
+  std::vector<NetId> input_net(table.num_inputs());
+  for (unsigned i = 0; i < table.num_inputs(); ++i) {
+    input_net[i] = netlist.add_input("in" + std::to_string(i));
+  }
+  // Input inverters are created lazily and shared across all outputs.
+  std::vector<NetId> inverted_net(table.num_inputs(),
+                                  static_cast<NetId>(-1));
+  const auto literal_net = [&](unsigned var, bool positive) {
+    if (positive) return input_net[var];
+    if (inverted_net[var] == static_cast<NetId>(-1)) {
+      inverted_net[var] = netlist.add_gate(CellType::Inv, input_net[var]);
+    }
+    return inverted_net[var];
+  };
+
+  int total_literals = 0;
+  NetId const0 = static_cast<NetId>(-1);
+  NetId const1 = static_cast<NetId>(-1);
+  const auto const_net = [&](bool value) {
+    NetId& cache = value ? const1 : const0;
+    if (cache == static_cast<NetId>(-1)) cache = netlist.add_const(value);
+    return cache;
+  };
+
+  for (unsigned out = 0; out < table.num_outputs(); ++out) {
+    const OutputPlan plan = plan_output(table, out);
+    const std::string out_name = "out" + std::to_string(out);
+
+    NetId function_net;
+    if (plan.cover.is_const_one) {
+      function_net = const_net(true);
+    } else if (plan.cover.cubes.empty()) {
+      function_net = const_net(false);
+    } else {
+      std::vector<NetId> product_nets;
+      product_nets.reserve(plan.cover.cubes.size());
+      for (const Cube& cube : plan.cover.cubes) {
+        std::vector<NetId> literals;
+        for (unsigned var = 0; var < table.num_inputs(); ++var) {
+          if (!(cube.care >> var & 1u)) continue;
+          literals.push_back(literal_net(var, (cube.value >> var & 1u) != 0));
+        }
+        total_literals += static_cast<int>(literals.size());
+        product_nets.push_back(
+            reduce_tree(netlist, CellType::And2, std::move(literals)));
+      }
+      function_net =
+          reduce_tree(netlist, CellType::Or2, std::move(product_nets));
+    }
+
+    if (plan.inverted) {
+      // Constant covers invert for free by flipping the tie cell.
+      if (netlist.driver(function_net) == CellType::Const0) {
+        function_net = const_net(true);
+      } else if (netlist.driver(function_net) == CellType::Const1) {
+        function_net = const_net(false);
+      } else {
+        function_net = netlist.add_gate(CellType::Inv, function_net);
+      }
+    }
+    netlist.mark_output(function_net, out_name);
+  }
+
+  if (stats != nullptr) {
+    stats->area_ge = netlist.area_ge();
+    stats->gate_count = netlist.gate_count();
+    stats->total_literals = total_literals;
+  }
+  return netlist;
+}
+
+}  // namespace axc::logic

@@ -1,0 +1,66 @@
+#include "axc/logic/truth_table.hpp"
+
+#include <cstdlib>
+
+#include "axc/common/bits.hpp"
+#include "axc/common/require.hpp"
+
+namespace axc::logic {
+
+TruthTable::TruthTable(unsigned num_inputs, unsigned num_outputs,
+                       std::vector<std::uint32_t> rows)
+    : num_inputs_(num_inputs),
+      num_outputs_(num_outputs),
+      rows_(std::move(rows)) {
+  require(num_inputs_ >= 1 && num_inputs_ <= 20,
+          "TruthTable: inputs must be in [1, 20]");
+  require(num_outputs_ >= 1 && num_outputs_ <= 32,
+          "TruthTable: outputs must be in [1, 32]");
+  require(rows_.size() == (std::size_t{1} << num_inputs_),
+          "TruthTable: row count must be 2^inputs");
+  const std::uint32_t mask =
+      static_cast<std::uint32_t>(low_mask(num_outputs_));
+  for (auto& row : rows_) row &= mask;
+}
+
+TruthTable TruthTable::from_function(
+    unsigned num_inputs, unsigned num_outputs,
+    const std::function<std::uint32_t(std::uint32_t)>& fn) {
+  require(num_inputs >= 1 && num_inputs <= 20,
+          "TruthTable: inputs must be in [1, 20]");
+  std::vector<std::uint32_t> rows(std::size_t{1} << num_inputs);
+  for (std::uint32_t w = 0; w < rows.size(); ++w) rows[w] = fn(w);
+  return TruthTable(num_inputs, num_outputs, std::move(rows));
+}
+
+TruthTable TruthTable::from_rows(unsigned num_inputs, unsigned num_outputs,
+                                 std::vector<std::uint32_t> rows) {
+  return TruthTable(num_inputs, num_outputs, std::move(rows));
+}
+
+std::uint32_t TruthTable::error_cases_vs(const TruthTable& reference) const {
+  require(num_inputs_ == reference.num_inputs_ &&
+              num_outputs_ == reference.num_outputs_,
+          "TruthTable::error_cases_vs: shape mismatch");
+  std::uint32_t errors = 0;
+  for (std::uint32_t w = 0; w < row_count(); ++w) {
+    if (rows_[w] != reference.rows_[w]) ++errors;
+  }
+  return errors;
+}
+
+std::uint32_t TruthTable::max_error_vs(const TruthTable& reference) const {
+  require(num_inputs_ == reference.num_inputs_ &&
+              num_outputs_ == reference.num_outputs_,
+          "TruthTable::max_error_vs: shape mismatch");
+  std::uint32_t worst = 0;
+  for (std::uint32_t w = 0; w < row_count(); ++w) {
+    const std::int64_t diff = static_cast<std::int64_t>(rows_[w]) -
+                              static_cast<std::int64_t>(reference.rows_[w]);
+    worst = std::max<std::uint32_t>(
+        worst, static_cast<std::uint32_t>(std::llabs(diff)));
+  }
+  return worst;
+}
+
+}  // namespace axc::logic

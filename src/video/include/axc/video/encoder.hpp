@@ -1,0 +1,54 @@
+/// \file encoder.hpp
+/// A block-based hybrid video encoder model ("HEVC-like") for Fig. 9.
+///
+/// The paper measures the bit-rate increase caused by plugging approximate
+/// SAD accelerators into HEVC's motion estimation. The mechanism is
+/// codec-agnostic: a worse predictor raises residual energy, and entropy
+/// coding turns residual energy into bits. This model keeps exactly that
+/// chain — full-search motion compensation from the previously
+/// *reconstructed* frame, uniform residual quantization and
+/// exponential-Golomb entropy coding — while replacing HEVC's transform
+/// machinery with direct residual coding (DESIGN.md §1 records the
+/// substitution). Everything except the SAD unit is exact, so any output
+/// difference is attributable to the approximate accelerator.
+#pragma once
+
+#include <cstdint>
+
+#include "axc/video/motion.hpp"
+#include "axc/video/sequence.hpp"
+
+namespace axc::video {
+
+/// Encoder parameters.
+struct EncoderConfig {
+  MotionConfig motion;
+  int quant_step = 8;  ///< uniform residual quantizer step (QP analogue)
+};
+
+/// Per-encode outputs.
+struct EncodeStats {
+  std::uint64_t total_bits = 0;   ///< residual + motion side info
+  double bits_per_frame = 0.0;
+  double psnr_db = 0.0;           ///< reconstruction vs source, inter frames
+  std::uint64_t sad_calls = 0;    ///< accelerator invocations (power proxy)
+};
+
+/// Encodes a sequence with the given SAD accelerator variant.
+class Encoder {
+ public:
+  Encoder(const EncoderConfig& config, const accel::SadAccelerator& sad);
+
+  EncodeStats encode(const Sequence& sequence) const;
+
+  const EncoderConfig& config() const { return config_; }
+
+ private:
+  EncoderConfig config_;
+  const accel::SadAccelerator& sad_;
+};
+
+/// Signed exponential-Golomb code length in bits (the entropy model).
+unsigned exp_golomb_bits(std::int64_t value);
+
+}  // namespace axc::video

@@ -1,0 +1,70 @@
+/// \file motion.hpp
+/// Full-search block motion estimation over a pluggable SAD accelerator —
+/// the motion-estimation function of Sec. 6's video-codec case study.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "axc/accel/sad.hpp"
+#include "axc/image/image.hpp"
+
+namespace axc::video {
+
+/// A motion vector in integer pixels.
+struct MotionVector {
+  int dx = 0;
+  int dy = 0;
+  bool operator==(const MotionVector&) const = default;
+};
+
+/// Search geometry.
+struct MotionConfig {
+  int block_size = 8;    ///< square block side; block_size^2 must equal the
+                         ///< SAD accelerator's block_pixels
+  int search_range = 4;  ///< +/- displacement in both axes
+};
+
+/// The SAD values over the whole search window for one block — the "error
+/// surface" plotted in Fig. 8. Indexed row-major: (dy + range) * span +
+/// (dx + range), span = 2 * range + 1.
+struct SadSurface {
+  int search_range = 0;
+  std::vector<std::uint64_t> values;
+
+  int span() const { return 2 * search_range + 1; }
+  std::uint64_t at(int dx, int dy) const {
+    return values[static_cast<std::size_t>(dy + search_range) * span() +
+                  (dx + search_range)];
+  }
+};
+
+/// Block motion estimator bound to a SAD accelerator variant.
+class MotionEstimator {
+ public:
+  MotionEstimator(const MotionConfig& config,
+                  const accel::SadAccelerator& sad);
+
+  /// Best-match motion vector for the block of `current` whose top-left is
+  /// (bx, by), searched in `reference`. Candidates falling outside the
+  /// reference are clamped per-pixel (edge padding). Ties resolve to the
+  /// first candidate in row-major window order, so results are
+  /// deterministic across SAD variants.
+  MotionVector search(const image::Image& current,
+                      const image::Image& reference, int bx, int by) const;
+
+  /// The full error surface for one block (Fig. 8).
+  SadSurface surface(const image::Image& current,
+                     const image::Image& reference, int bx, int by) const;
+
+  const MotionConfig& config() const { return config_; }
+
+ private:
+  void load_block(const image::Image& img, int bx, int by,
+                  std::vector<std::uint8_t>& out) const;
+
+  MotionConfig config_;
+  const accel::SadAccelerator& sad_;
+};
+
+}  // namespace axc::video

@@ -1,0 +1,39 @@
+/// \file sequence.hpp
+/// Synthetic video sequences with known motion — the workload driving the
+/// motion-estimation (Fig. 8) and HEVC-like encoding (Fig. 9) experiments.
+///
+/// Substitution note (DESIGN.md §1): the paper encodes standard test
+/// sequences with the HEVC reference software. This generator produces
+/// temporally-coherent frames — a textured background under global pan
+/// plus independently translating textured objects and optional sensor
+/// noise — which exercises the identical code path (block matching on
+/// real motion) while additionally providing ground-truth displacement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "axc/image/image.hpp"
+
+namespace axc::video {
+
+/// One video = an ordered list of equally-sized frames.
+using Sequence = std::vector<image::Image>;
+
+/// Generator parameters.
+struct SequenceConfig {
+  int width = 64;
+  int height = 64;
+  int frames = 6;
+  int objects = 3;        ///< independently moving textured rectangles
+  double max_speed = 3.0; ///< max |velocity component| in pixels/frame
+  double pan_x = 1.0;     ///< global pan velocity
+  double pan_y = 0.0;
+  double noise_sigma = 1.0;  ///< per-pixel gaussian sensor noise
+  std::uint64_t seed = 42;
+};
+
+/// Generates a deterministic synthetic sequence.
+Sequence generate_sequence(const SequenceConfig& config);
+
+}  // namespace axc::video

@@ -1,0 +1,105 @@
+#include "axc/video/encoder.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "axc/common/require.hpp"
+
+namespace axc::video {
+
+unsigned exp_golomb_bits(std::int64_t value) {
+  // Signed mapping: 0, 1, -1, 2, -2, ... -> 0, 1, 2, 3, 4, ...
+  const std::uint64_t u =
+      value > 0 ? 2 * static_cast<std::uint64_t>(value) - 1
+                : 2 * static_cast<std::uint64_t>(-value);
+  // Order-0 exp-Golomb: 2 * floor(log2(u + 1)) + 1 bits.
+  return 2 * (std::bit_width(u + 1) - 1) + 1;
+}
+
+Encoder::Encoder(const EncoderConfig& config,
+                 const accel::SadAccelerator& sad)
+    : config_(config), sad_(sad) {
+  require(config.quant_step >= 1 && config.quant_step <= 64,
+          "Encoder: quant_step must be in [1, 64]");
+}
+
+EncodeStats Encoder::encode(const Sequence& sequence) const {
+  require(sequence.size() >= 2,
+          "Encoder::encode: need at least two frames for inter coding");
+  const int width = sequence.front().width();
+  const int height = sequence.front().height();
+  const int bs = config_.motion.block_size;
+  require(width % bs == 0 && height % bs == 0,
+          "Encoder::encode: frame size must be a multiple of block_size");
+
+  const MotionEstimator estimator(config_.motion, sad_);
+  const int step = config_.quant_step;
+
+  EncodeStats stats;
+  double mse_sum = 0.0;
+  std::uint64_t mse_pixels = 0;
+
+  // The first frame is intra-coded against a flat mid-gray predictor; its
+  // cost is identical across SAD variants and included for completeness.
+  image::Image reconstructed(width, height);
+  {
+    const image::Image& intra = sequence.front();
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        const int residual = intra.at(x, y) - 128;
+        const int q = residual >= 0 ? (residual + step / 2) / step
+                                    : -((-residual + step / 2) / step);
+        stats.total_bits += exp_golomb_bits(q);
+        reconstructed.set(
+            x, y,
+            static_cast<std::uint8_t>(std::clamp(128 + q * step, 0, 255)));
+      }
+    }
+  }
+
+  const std::uint64_t candidates_per_block =
+      static_cast<std::uint64_t>(2 * config_.motion.search_range + 1) *
+      (2 * config_.motion.search_range + 1);
+
+  for (std::size_t f = 1; f < sequence.size(); ++f) {
+    const image::Image& current = sequence[f];
+    image::Image next_recon(width, height);
+    for (int by = 0; by < height; by += bs) {
+      for (int bx = 0; bx < width; bx += bs) {
+        const MotionVector mv =
+            estimator.search(current, reconstructed, bx, by);
+        stats.sad_calls += candidates_per_block;
+        stats.total_bits += exp_golomb_bits(mv.dx) + exp_golomb_bits(mv.dy);
+        for (int y = 0; y < bs; ++y) {
+          for (int x = 0; x < bs; ++x) {
+            const int pred =
+                reconstructed.at_clamped(bx + x + mv.dx, by + y + mv.dy);
+            const int residual = current.at(bx + x, by + y) - pred;
+            const int q = residual >= 0
+                              ? (residual + step / 2) / step
+                              : -((-residual + step / 2) / step);
+            stats.total_bits += exp_golomb_bits(q);
+            next_recon.set(bx + x, by + y,
+                           static_cast<std::uint8_t>(
+                               std::clamp(pred + q * step, 0, 255)));
+          }
+        }
+      }
+    }
+    mse_sum += image::image_mse(current, next_recon) *
+               static_cast<double>(width) * height;
+    mse_pixels += static_cast<std::uint64_t>(width) * height;
+    reconstructed = std::move(next_recon);
+  }
+
+  stats.bits_per_frame =
+      static_cast<double>(stats.total_bits) / sequence.size();
+  const double mse = mse_sum / static_cast<double>(mse_pixels);
+  stats.psnr_db = mse == 0.0 ? std::numeric_limits<double>::infinity()
+                             : 10.0 * std::log10(255.0 * 255.0 / mse);
+  return stats;
+}
+
+}  // namespace axc::video

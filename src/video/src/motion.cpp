@@ -1,0 +1,59 @@
+#include "axc/video/motion.hpp"
+
+#include "axc/common/require.hpp"
+
+namespace axc::video {
+
+MotionEstimator::MotionEstimator(const MotionConfig& config,
+                                 const accel::SadAccelerator& sad)
+    : config_(config), sad_(sad) {
+  require(config.block_size >= 2 && config.search_range >= 1,
+          "MotionEstimator: block_size >= 2 and search_range >= 1");
+  require(static_cast<unsigned>(config.block_size * config.block_size) ==
+              sad.config().block_pixels,
+          "MotionEstimator: SAD accelerator block size mismatch");
+}
+
+void MotionEstimator::load_block(const image::Image& img, int bx, int by,
+                                 std::vector<std::uint8_t>& out) const {
+  out.clear();
+  for (int y = 0; y < config_.block_size; ++y) {
+    for (int x = 0; x < config_.block_size; ++x) {
+      out.push_back(img.at_clamped(bx + x, by + y));
+    }
+  }
+}
+
+SadSurface MotionEstimator::surface(const image::Image& current,
+                                    const image::Image& reference, int bx,
+                                    int by) const {
+  SadSurface result;
+  result.search_range = config_.search_range;
+  result.values.reserve(static_cast<std::size_t>(result.span()) *
+                        result.span());
+  std::vector<std::uint8_t> block;
+  std::vector<std::uint8_t> candidate;
+  load_block(current, bx, by, block);
+  for (int dy = -config_.search_range; dy <= config_.search_range; ++dy) {
+    for (int dx = -config_.search_range; dx <= config_.search_range; ++dx) {
+      load_block(reference, bx + dx, by + dy, candidate);
+      result.values.push_back(sad_.sad(block, candidate));
+    }
+  }
+  return result;
+}
+
+MotionVector MotionEstimator::search(const image::Image& current,
+                                     const image::Image& reference, int bx,
+                                     int by) const {
+  const SadSurface s = surface(current, reference, bx, by);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < s.values.size(); ++i) {
+    if (s.values[i] < s.values[best]) best = i;
+  }
+  const int span = s.span();
+  return {static_cast<int>(best % span) - config_.search_range,
+          static_cast<int>(best / span) - config_.search_range};
+}
+
+}  // namespace axc::video

@@ -1,0 +1,93 @@
+#include "axc/video/sequence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "axc/common/require.hpp"
+#include "axc/common/rng.hpp"
+#include "axc/image/synth.hpp"
+
+namespace axc::video {
+namespace {
+
+struct MovingObject {
+  double x, y;       ///< top-left position at frame 0
+  double vx, vy;     ///< velocity, pixels/frame
+  int w, h;
+  image::Image texture;
+};
+
+}  // namespace
+
+Sequence generate_sequence(const SequenceConfig& config) {
+  require(config.width >= 16 && config.height >= 16,
+          "generate_sequence: frames must be at least 16x16");
+  require(config.frames >= 1, "generate_sequence: need at least one frame");
+  axc::Rng rng(config.seed);
+
+  // A background larger than the frame so global pan never runs out of
+  // content; fractal noise gives it natural-texture statistics.
+  const int margin =
+      static_cast<int>(std::ceil((std::abs(config.pan_x) +
+                                  config.max_speed) *
+                                 config.frames)) +
+      8;
+  const image::Image background = image::synthesize_image(
+      image::TestImageKind::FractalNoise, config.width + 2 * margin,
+      config.height + 2 * margin, config.seed);
+
+  std::vector<MovingObject> objects;
+  objects.reserve(static_cast<std::size_t>(config.objects));
+  for (int i = 0; i < config.objects; ++i) {
+    MovingObject obj;
+    obj.w = 8 + static_cast<int>(rng.below(config.width / 4));
+    obj.h = 8 + static_cast<int>(rng.below(config.height / 4));
+    obj.x = rng.uniform() * (config.width - obj.w);
+    obj.y = rng.uniform() * (config.height - obj.h);
+    obj.vx = (rng.uniform() * 2.0 - 1.0) * config.max_speed;
+    obj.vy = (rng.uniform() * 2.0 - 1.0) * config.max_speed;
+    obj.texture = image::synthesize_image(
+        image::TestImageKind::FractalNoise, std::max(obj.w, 8),
+        std::max(obj.h, 8), config.seed + 100 + i);
+    objects.push_back(std::move(obj));
+  }
+
+  Sequence sequence;
+  sequence.reserve(static_cast<std::size_t>(config.frames));
+  for (int f = 0; f < config.frames; ++f) {
+    image::Image frame(config.width, config.height);
+    const int pan_dx = static_cast<int>(std::lround(config.pan_x * f));
+    const int pan_dy = static_cast<int>(std::lround(config.pan_y * f));
+    for (int y = 0; y < config.height; ++y) {
+      for (int x = 0; x < config.width; ++x) {
+        frame.set(x, y,
+                  background.at_clamped(x + margin + pan_dx,
+                                        y + margin + pan_dy));
+      }
+    }
+    for (const MovingObject& obj : objects) {
+      const int ox = static_cast<int>(std::lround(obj.x + obj.vx * f));
+      const int oy = static_cast<int>(std::lround(obj.y + obj.vy * f));
+      for (int ty = 0; ty < obj.h; ++ty) {
+        for (int tx = 0; tx < obj.w; ++tx) {
+          const int px = ox + tx;
+          const int py = oy + ty;
+          if (px >= 0 && px < config.width && py >= 0 &&
+              py < config.height) {
+            frame.set(px, py, obj.texture.at_clamped(tx, ty));
+          }
+        }
+      }
+    }
+    if (config.noise_sigma > 0.0) {
+      for (auto& px : frame.pixels()) {
+        const double noisy = px + rng.normal() * config.noise_sigma;
+        px = static_cast<std::uint8_t>(std::clamp(noisy, 0.0, 255.0));
+      }
+    }
+    sequence.push_back(std::move(frame));
+  }
+  return sequence;
+}
+
+}  // namespace axc::video

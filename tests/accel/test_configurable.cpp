@@ -1,0 +1,79 @@
+#include "axc/accel/configurable.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace axc::accel {
+namespace {
+
+ConfigurableSad make_unit() {
+  return ConfigurableSad({apx_sad_variant(3, 2, 16),
+                          apx_sad_variant(3, 4, 16),
+                          apx_sad_variant(3, 6, 16)});
+}
+
+TEST(ConfigurableSad, AccurateModeIsAppendedWhenMissing) {
+  const ConfigurableSad unit = make_unit();
+  EXPECT_EQ(unit.mode_count(), 4u);
+  const SadConfig& last = unit.mode_config(3);
+  EXPECT_EQ(last.cell, arith::FullAdderKind::Accurate);
+}
+
+TEST(ConfigurableSad, ExplicitAccurateModeNotDuplicated) {
+  const ConfigurableSad unit({accu_sad(16), apx_sad_variant(1, 2, 16)});
+  EXPECT_EQ(unit.mode_count(), 2u);
+}
+
+TEST(ConfigurableSad, ConfigWordSwitchesBehaviour) {
+  ConfigurableSad unit = make_unit();
+  std::vector<std::uint8_t> a(16), b(16);
+  std::iota(a.begin(), a.end(), 100);
+  std::iota(b.begin(), b.end(), 0);
+  // Accurate mode: reference result.
+  unit.select(3);
+  const std::uint64_t exact = unit.sad(a, b);
+  EXPECT_EQ(exact, 100u * 16u);
+  // Aggressive mode must differ on this propagate-heavy input.
+  unit.select(2);
+  EXPECT_EQ(unit.selected(), 2u);
+  EXPECT_NE(unit.sad(a, b), exact);
+  // Back to accurate: same answer again (mode switching is stateless).
+  unit.select(3);
+  EXPECT_EQ(unit.sad(a, b), exact);
+}
+
+TEST(ConfigurableSad, FabricCostsMoreThanAccurateButLessThanSumOfModes) {
+  const ConfigurableSad unit = make_unit();
+  const double fabric = unit.area_ge();
+  const double accurate = characterize_sad(accu_sad(16), 64).area_ge;
+  double sum_of_standalones = 0.0;
+  for (unsigned m = 0; m < unit.mode_count(); ++m) {
+    sum_of_standalones +=
+        characterize_sad(unit.mode_config(m), 64).area_ge;
+  }
+  EXPECT_GT(fabric, accurate);            // configurability is not free
+  EXPECT_LT(fabric, sum_of_standalones);  // but far cheaper than replicas
+}
+
+TEST(ConfigurableSad, ApproximateModesDrawLessPowerDespiteLeakage) {
+  const ConfigurableSad unit = make_unit();
+  const unsigned accurate_mode = unit.mode_count() - 1;
+  const double accurate_power = unit.mode_power_nw(accurate_mode);
+  for (unsigned m = 0; m + 1 < unit.mode_count(); ++m) {
+    EXPECT_LT(unit.mode_power_nw(m), accurate_power) << "mode " << m;
+  }
+}
+
+TEST(ConfigurableSad, Validation) {
+  EXPECT_THROW(ConfigurableSad({}), std::invalid_argument);
+  EXPECT_THROW(
+      ConfigurableSad({accu_sad(16), accu_sad(64)}),  // geometry mismatch
+      std::invalid_argument);
+  ConfigurableSad unit = make_unit();
+  EXPECT_THROW(unit.select(9), std::invalid_argument);
+  EXPECT_THROW(unit.mode_config(9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axc::accel

@@ -1,0 +1,127 @@
+#include "axc/accel/dct.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "axc/common/rng.hpp"
+
+namespace axc::accel {
+namespace {
+
+using arith::FullAdderKind;
+
+Block4x4 random_residual(axc::Rng& rng) {
+  Block4x4 block{};
+  for (auto& sample : block) {
+    sample = static_cast<int>(rng.below(511)) - 255;
+  }
+  return block;
+}
+
+TEST(Dct4x4, KnownDcBlock) {
+  // Constant block of value v: Y00 = 16 v, all other coefficients 0.
+  const Dct4x4 dct(DctConfig{});
+  Block4x4 block{};
+  block.fill(7);
+  const Block4x4 y = dct.forward(block);
+  EXPECT_EQ(y[0], 16 * 7);
+  for (int i = 1; i < 16; ++i) EXPECT_EQ(y[i], 0) << i;
+}
+
+TEST(Dct4x4, MatchesMatrixReference) {
+  // Y = C X C^T computed in plain integer arithmetic.
+  constexpr int kC[4][4] = {
+      {1, 1, 1, 1}, {2, 1, -1, -2}, {1, -1, -1, 1}, {1, -2, 2, -1}};
+  const Dct4x4 dct(DctConfig{});
+  axc::Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Block4x4 x = random_residual(rng);
+    Block4x4 expect{};
+    int cx[4][4] = {};
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        for (int k = 0; k < 4; ++k) cx[i][j] += kC[i][k] * x[k * 4 + j];
+      }
+    }
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        int v = 0;
+        for (int k = 0; k < 4; ++k) v += cx[i][k] * kC[j][k];
+        expect[i * 4 + j] = v;
+      }
+    }
+    ASSERT_EQ(dct.forward(x), expect) << "trial " << trial;
+  }
+}
+
+TEST(Dct4x4, RoundTripExactForward) {
+  const Dct4x4 dct(DctConfig{});
+  axc::Rng rng(37);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Block4x4 x = random_residual(rng);
+    ASSERT_EQ(Dct4x4::inverse_exact(dct.forward(x)), x) << trial;
+  }
+}
+
+TEST(Dct4x4, ApproximateForwardDegradesGracefully) {
+  const Dct4x4 exact(DctConfig{});
+  const Dct4x4 approx(DctConfig{FullAdderKind::Apx3, 3});
+  EXPECT_FALSE(approx.is_exact());
+  axc::Rng rng(41);
+  double mse = 0.0;
+  int exact_matches = 0;
+  constexpr int kTrials = 2000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const Block4x4 x = random_residual(rng);
+    const Block4x4 rec = Dct4x4::inverse_exact(approx.forward(x));
+    double block_err = 0.0;
+    for (int i = 0; i < 16; ++i) {
+      const double d = rec[i] - x[i];
+      block_err += d * d;
+    }
+    mse += block_err / 16.0;
+    exact_matches += rec == x;
+  }
+  mse /= kTrials;
+  EXPECT_GT(mse, 0.0);
+  // 3 approximated LSBs on a 16-bit datapath: reconstruction error stays
+  // far below the signal power (residuals are up to +-255).
+  EXPECT_LT(mse, 200.0);
+  EXPECT_LT(exact_matches, kTrials);  // approximation is visible
+}
+
+TEST(Dct4x4, ReconstructionErrorGrowsWithApproxLsbs) {
+  axc::Rng rng(43);
+  std::vector<Block4x4> blocks;
+  for (int i = 0; i < 300; ++i) blocks.push_back(random_residual(rng));
+  double previous = -1.0;
+  for (const unsigned lsbs : {0u, 2u, 4u, 6u}) {
+    const Dct4x4 dct(DctConfig{FullAdderKind::Apx2, lsbs});
+    double mse = 0.0;
+    for (const Block4x4& x : blocks) {
+      const Block4x4 rec = Dct4x4::inverse_exact(dct.forward(x));
+      for (int i = 0; i < 16; ++i) {
+        const double d = rec[i] - x[i];
+        mse += d * d;
+      }
+    }
+    EXPECT_GE(mse, previous) << "lsbs " << lsbs;
+    previous = mse;
+  }
+}
+
+TEST(Dct4x4, InputRangeValidated) {
+  const Dct4x4 dct(DctConfig{});
+  Block4x4 block{};
+  block[3] = 256;
+  EXPECT_THROW(dct.forward(block), std::invalid_argument);
+}
+
+TEST(DctConfig, Names) {
+  EXPECT_EQ(DctConfig{}.name(), "DCT4x4<Exact>");
+  EXPECT_EQ((DctConfig{FullAdderKind::Apx4, 5}).name(), "DCT4x4<ApxFA4 x5>");
+}
+
+}  // namespace
+}  // namespace axc::accel

@@ -1,0 +1,60 @@
+#include "axc/accel/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axc/image/ssim.hpp"
+#include "axc/image/synth.hpp"
+
+namespace axc::accel {
+namespace {
+
+using arith::FullAdderKind;
+using arith::Mul2x2Kind;
+
+TEST(FilterAccelerator, ExactConfigMatchesReferenceConvolution) {
+  const FilterAccelerator filter(FilterConfig{});
+  const image::Image input =
+      image::synthesize_image(image::TestImageKind::Blobs, 32, 32, 1);
+  const image::Image expected =
+      image::convolve3x3(input, image::Kernel3x3::gaussian());
+  EXPECT_EQ(filter.apply(input, image::Kernel3x3::gaussian()), expected);
+}
+
+TEST(FilterAccelerator, ApproximateConfigChangesOutput) {
+  FilterConfig config;
+  config.adder_cell = FullAdderKind::Apx3;
+  config.approx_lsbs = 2;
+  const FilterAccelerator filter(config);
+  const image::Image input =
+      image::synthesize_image(image::TestImageKind::FractalNoise, 32, 32, 2);
+  const image::Image exact =
+      image::convolve3x3(input, image::Kernel3x3::gaussian());
+  const image::Image approx = filter.apply(input, image::Kernel3x3::gaussian());
+  EXPECT_NE(approx, exact);
+  EXPECT_GT(image::ssim(exact, approx), 0.5);
+}
+
+TEST(FilterAccelerator, ApproximationSavesAreaAndPower) {
+  const FilterAccelerator exact(FilterConfig{});
+  FilterConfig apx_config;
+  apx_config.mul_block = Mul2x2Kind::Ours;
+  apx_config.adder_cell = FullAdderKind::Apx4;
+  apx_config.approx_lsbs = 4;
+  const FilterAccelerator approx(apx_config);
+  EXPECT_LT(approx.area_ge(), exact.area_ge());
+  EXPECT_LT(approx.power_nw(), exact.power_nw());
+  EXPECT_GT(approx.area_ge(), 0.0);
+}
+
+TEST(FilterAccelerator, NameDescribesConfig) {
+  EXPECT_EQ(FilterAccelerator(FilterConfig{}).config().name(),
+            "Filter<Exact>");
+  FilterConfig config;
+  config.mul_block = Mul2x2Kind::SoA;
+  config.adder_cell = FullAdderKind::Apx2;
+  config.approx_lsbs = 4;
+  EXPECT_EQ(config.name(), "Filter<ApxMul_SoA,ApxFA2 x4>");
+}
+
+}  // namespace
+}  // namespace axc::accel

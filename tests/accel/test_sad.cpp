@@ -1,0 +1,101 @@
+#include "axc/accel/sad.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "axc/common/rng.hpp"
+
+namespace axc::accel {
+namespace {
+
+using arith::FullAdderKind;
+
+std::uint64_t reference_sad(std::span<const std::uint8_t> a,
+                            std::span<const std::uint8_t> b) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+  }
+  return sum;
+}
+
+TEST(SadAccelerator, AccurateMatchesReference) {
+  const SadAccelerator sad(accu_sad(64));
+  EXPECT_TRUE(sad.is_exact());
+  axc::Rng rng(1);
+  std::vector<std::uint8_t> a(64), b(64);
+  for (int trial = 0; trial < 500; ++trial) {
+    for (auto& px : a) px = static_cast<std::uint8_t>(rng.bits(8));
+    for (auto& px : b) px = static_cast<std::uint8_t>(rng.bits(8));
+    ASSERT_EQ(sad.sad(a, b), reference_sad(a, b));
+  }
+}
+
+TEST(SadAccelerator, ZeroForIdenticalBlocks) {
+  const SadAccelerator sad(accu_sad(256));
+  std::vector<std::uint8_t> block(256);
+  std::iota(block.begin(), block.end(), 0);
+  EXPECT_EQ(sad.sad(block, block), 0u);
+}
+
+TEST(SadAccelerator, MaxSadValue) {
+  const SadAccelerator sad(accu_sad(64));
+  const std::vector<std::uint8_t> zeros(64, 0);
+  const std::vector<std::uint8_t> maxed(64, 255);
+  EXPECT_EQ(sad.sad(zeros, maxed), 64u * 255u);
+}
+
+// Approximate variants must stay *close* to the reference: the error
+// surface shift of Fig. 8 is bounded, not wild.
+class SadVariants
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(SadVariants, ErrorBoundedRelativeToReference) {
+  const auto [variant, lsbs] = GetParam();
+  const SadAccelerator sad(apx_sad_variant(variant, lsbs, 64));
+  EXPECT_FALSE(sad.is_exact());
+  axc::Rng rng(variant * 100 + lsbs);
+  std::vector<std::uint8_t> a(64), b(64);
+  double total_rel = 0.0;
+  constexpr int kTrials = 300;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (auto& px : a) px = static_cast<std::uint8_t>(rng.bits(8));
+    for (auto& px : b) px = static_cast<std::uint8_t>(rng.bits(8));
+    const double exact = static_cast<double>(reference_sad(a, b));
+    const double approx = static_cast<double>(sad.sad(a, b));
+    total_rel += std::abs(approx - exact) / std::max(exact, 1.0);
+  }
+  // 2-4 approximated LSBs keep the mean relative deviation modest.
+  EXPECT_LT(total_rel / kTrials, lsbs >= 6 ? 0.5 : 0.15)
+      << "variant " << variant << " lsbs " << lsbs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndLsbs, SadVariants,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(2u, 4u)));
+
+TEST(SadAccelerator, NamesFollowPaperConvention) {
+  EXPECT_EQ(accu_sad(64).name(), "AccuSAD<8x8>");
+  EXPECT_EQ(apx_sad_variant(3, 4, 64).name(), "ApxSAD3<4lsb,8x8>");
+  EXPECT_EQ(apx_sad_variant(1, 2, 256).name(), "ApxSAD1<2lsb,16x16>");
+}
+
+TEST(SadAccelerator, BlockSizeValidation) {
+  SadConfig config;
+  config.block_pixels = 48;  // not a power of two
+  EXPECT_THROW(SadAccelerator{config}, std::invalid_argument);
+  EXPECT_THROW(apx_sad_variant(0, 2), std::invalid_argument);
+  EXPECT_THROW(apx_sad_variant(6, 2), std::invalid_argument);
+}
+
+TEST(SadAccelerator, BlockSizeMismatchRejected) {
+  const SadAccelerator sad(accu_sad(64));
+  const std::vector<std::uint8_t> wrong(32, 0);
+  const std::vector<std::uint8_t> right(64, 0);
+  EXPECT_THROW(sad.sad(wrong, right), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axc::accel

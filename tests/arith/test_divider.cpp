@@ -1,0 +1,104 @@
+#include "axc/arith/divider.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axc/common/rng.hpp"
+
+namespace axc::arith {
+namespace {
+
+TEST(Divider, ExactMatchesIntegerDivision8BitExhaustive) {
+  const ApproxDivider divider(8);
+  EXPECT_TRUE(divider.is_exact());
+  for (unsigned n = 0; n < 256; ++n) {
+    for (unsigned d = 1; d < 256; ++d) {
+      const DivResult result = divider.divide(n, d);
+      ASSERT_EQ(result.quotient, n / d) << n << "/" << d;
+      ASSERT_EQ(result.remainder, n % d) << n << "/" << d;
+    }
+  }
+}
+
+TEST(Divider, DivisionByZeroConvention) {
+  const ApproxDivider divider(8);
+  const DivResult result = divider.divide(123, 0);
+  EXPECT_EQ(result.quotient, 0xFFu);
+  EXPECT_EQ(result.remainder, 123u);
+}
+
+TEST(Divider, InvariantQuotientTimesDivisorPlusRemainder) {
+  // Even approximate hardware must keep the restoring invariant loosely:
+  // for the exact divider it is an identity.
+  const ApproxDivider divider(12);
+  axc::Rng rng(9);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t n = rng.bits(12);
+    const std::uint64_t d = rng.bits(12) | 1u;
+    const DivResult r = divider.divide(n, d);
+    EXPECT_EQ(r.quotient * d + r.remainder, n);
+    EXPECT_LT(r.remainder, d);
+  }
+}
+
+TEST(Divider, ApproximateSubtractorPerturbsLowQuotientBits) {
+  const ApproxDivider exact(8);
+  const ApproxDivider approx(
+      8, ripple_adder_factory(FullAdderKind::Apx3, 2));
+  EXPECT_FALSE(approx.is_exact());
+  axc::Rng rng(15);
+  std::uint64_t worst = 0;
+  int differing = 0;
+  double med = 0.0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    const std::uint64_t n = rng.bits(8);
+    // Small divisors make quotient errors unbounded (one flipped borrow
+    // at the top trial wipes the whole quotient), so the worst-case bound
+    // is asserted for d >= 16 and the average for the full range below.
+    const std::uint64_t d = (rng.bits(8) | 16u) & 0xFF;
+    const std::uint64_t qe = exact.divide(n, d).quotient;
+    const std::uint64_t qa = approx.divide(n, d).quotient;
+    const std::uint64_t err = qe > qa ? qe - qa : qa - qe;
+    worst = std::max(worst, err);
+    med += static_cast<double>(err);
+    differing += err != 0;
+  }
+  EXPECT_GT(differing, 0);
+  EXPECT_LE(worst, 16u);  // quotient itself is at most 15 for d >= 16
+  EXPECT_LT(med / kTrials, 2.0);
+}
+
+TEST(Divider, MoreApproximationMeansMoreQuotientError) {
+  axc::Rng rng(25);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> inputs;
+  for (int i = 0; i < 5000; ++i) {
+    inputs.push_back({rng.bits(8), (rng.bits(8) | 1u) & 0xFF});
+  }
+  const ApproxDivider exact(8);
+  double previous = -1.0;
+  for (const unsigned lsbs : {0u, 2u, 4u}) {
+    const ApproxDivider divider(
+        8, ripple_adder_factory(FullAdderKind::Apx5, lsbs));
+    double med = 0.0;
+    for (const auto& [n, d] : inputs) {
+      const std::uint64_t qe = exact.divide(n, d).quotient;
+      const std::uint64_t qa = divider.divide(n, d).quotient;
+      med += static_cast<double>(qe > qa ? qe - qa : qa - qe);
+    }
+    med /= static_cast<double>(inputs.size());
+    EXPECT_GE(med, previous) << "lsbs " << lsbs;
+    previous = med;
+  }
+  EXPECT_GT(previous, 0.0);
+}
+
+TEST(Divider, NamesAndValidation) {
+  EXPECT_EQ(ApproxDivider(8).name(), "Div8<Exact>");
+  const ApproxDivider approx(8, ripple_adder_factory(FullAdderKind::Apx3, 4));
+  EXPECT_EQ(approx.name(), "Div8<Ripple<ApxFA3 x4/9>>");
+  EXPECT_THROW(ApproxDivider(0), std::invalid_argument);
+  EXPECT_THROW(ApproxDivider(32), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axc::arith

@@ -1,0 +1,132 @@
+#include "axc/arith/mul2x2.hpp"
+
+#include <gtest/gtest.h>
+
+namespace axc::arith {
+namespace {
+
+TEST(Mul2x2, AccurateMatchesProduct) {
+  for (unsigned a = 0; a <= 3; ++a) {
+    for (unsigned b = 0; b <= 3; ++b) {
+      EXPECT_EQ(mul2x2(Mul2x2Kind::Accurate, a, b), a * b);
+    }
+  }
+}
+
+TEST(Mul2x2, SoATruthTableMatchesFig5) {
+  // Fig. 5 left table, row = A, column = B.
+  const unsigned expected[4][4] = {{0, 0, 0, 0},
+                                   {0, 1, 2, 3},
+                                   {0, 2, 4, 6},
+                                   {0, 3, 6, 7}};
+  for (unsigned a = 0; a <= 3; ++a) {
+    for (unsigned b = 0; b <= 3; ++b) {
+      EXPECT_EQ(mul2x2(Mul2x2Kind::SoA, a, b), expected[a][b])
+          << a << "x" << b;
+    }
+  }
+}
+
+TEST(Mul2x2, OursTruthTableMatchesFig5) {
+  // Fig. 5 right table.
+  const unsigned expected[4][4] = {{0, 0, 0, 0},
+                                   {0, 0, 2, 2},
+                                   {0, 2, 4, 6},
+                                   {0, 2, 6, 9}};
+  for (unsigned a = 0; a <= 3; ++a) {
+    for (unsigned b = 0; b <= 3; ++b) {
+      EXPECT_EQ(mul2x2(Mul2x2Kind::Ours, a, b), expected[a][b])
+          << a << "x" << b;
+    }
+  }
+}
+
+TEST(Mul2x2, SoAErrorProfileMatchesFig5) {
+  // Exactly 1 error case with maximum error value 2 (3x3 -> 7).
+  int error_cases = 0;
+  unsigned max_error = 0;
+  for (unsigned a = 0; a <= 3; ++a) {
+    for (unsigned b = 0; b <= 3; ++b) {
+      const unsigned approx = mul2x2(Mul2x2Kind::SoA, a, b);
+      const unsigned exact = a * b;
+      if (approx != exact) {
+        ++error_cases;
+        max_error = std::max(
+            max_error, approx > exact ? approx - exact : exact - approx);
+      }
+    }
+  }
+  EXPECT_EQ(error_cases, 1);
+  EXPECT_EQ(max_error, 2u);
+}
+
+TEST(Mul2x2, OursErrorProfileMatchesFig5) {
+  // Exactly 3 error cases, each with error value 1 — the design point the
+  // paper contributes for max-error-bounded applications.
+  int error_cases = 0;
+  unsigned max_error = 0;
+  for (unsigned a = 0; a <= 3; ++a) {
+    for (unsigned b = 0; b <= 3; ++b) {
+      const unsigned approx = mul2x2(Mul2x2Kind::Ours, a, b);
+      const unsigned exact = a * b;
+      if (approx != exact) {
+        ++error_cases;
+        max_error = std::max(
+            max_error, approx > exact ? approx - exact : exact - approx);
+      }
+    }
+  }
+  EXPECT_EQ(error_cases, 3);
+  EXPECT_EQ(max_error, 1u);
+}
+
+TEST(Mul2x2, OursAlwaysUnderestimatesOrExact) {
+  // P0 := P3 can only clear a set LSB, never set a spurious one above.
+  for (unsigned a = 0; a <= 3; ++a) {
+    for (unsigned b = 0; b <= 3; ++b) {
+      EXPECT_LE(mul2x2(Mul2x2Kind::Ours, a, b), a * b);
+    }
+  }
+}
+
+TEST(Mul2x2, ConfigurableExactModeIsExact) {
+  for (const Mul2x2Kind kind : kAllMul2x2Kinds) {
+    for (unsigned a = 0; a <= 3; ++a) {
+      for (unsigned b = 0; b <= 3; ++b) {
+        EXPECT_EQ(cfg_mul2x2(kind, a, b, /*exact_mode=*/true), a * b)
+            << mul2x2_name(kind) << " " << a << "x" << b;
+      }
+    }
+  }
+}
+
+TEST(Mul2x2, ConfigurableApproxModeMatchesPlainBlock) {
+  for (const Mul2x2Kind kind : kAllMul2x2Kinds) {
+    for (unsigned a = 0; a <= 3; ++a) {
+      for (unsigned b = 0; b <= 3; ++b) {
+        EXPECT_EQ(cfg_mul2x2(kind, a, b, /*exact_mode=*/false),
+                  mul2x2(kind, a, b));
+      }
+    }
+  }
+}
+
+TEST(Mul2x2, OperandValidation) {
+  EXPECT_THROW(mul2x2(Mul2x2Kind::Accurate, 4, 0), std::invalid_argument);
+  EXPECT_THROW(mul2x2(Mul2x2Kind::SoA, 0, 5), std::invalid_argument);
+}
+
+TEST(Mul2x2, PaperDataSanity) {
+  // The configurable SoA multiplier costs *more* area than the accurate
+  // one (correction adder), while ours stays below it — the paper's
+  // Sec. 5 comparison.
+  const auto acc = paper_mul2x2_data(Mul2x2Kind::Accurate, false);
+  const auto cfg_soa = paper_mul2x2_data(Mul2x2Kind::SoA, true);
+  const auto cfg_our = paper_mul2x2_data(Mul2x2Kind::Ours, true);
+  EXPECT_GT(cfg_soa.area_ge, acc.area_ge);
+  EXPECT_LT(cfg_our.area_ge, acc.area_ge);
+  EXPECT_LT(cfg_our.power_nw, cfg_soa.power_nw);
+}
+
+}  // namespace
+}  // namespace axc::arith

@@ -1,0 +1,157 @@
+#include "axc/arith/multiplier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axc/common/rng.hpp"
+
+namespace axc::arith {
+namespace {
+
+MultiplierConfig exact_config(unsigned width) {
+  MultiplierConfig config;
+  config.width = width;
+  return config;
+}
+
+TEST(Multiplier, ExactConfigMatchesProduct4Bit) {
+  const ApproxMultiplier mul(exact_config(4));
+  EXPECT_TRUE(mul.is_exact());
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; ++b) {
+      EXPECT_EQ(mul.multiply(a, b), a * b);
+    }
+  }
+}
+
+TEST(Multiplier, ExactConfigMatchesProduct8Bit) {
+  const ApproxMultiplier mul(exact_config(8));
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      ASSERT_EQ(mul.multiply(a, b), a * b);
+    }
+  }
+}
+
+TEST(Multiplier, ExactConfigMatchesProduct16BitSampled) {
+  const ApproxMultiplier mul(exact_config(16));
+  Rng rng(17);
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    ASSERT_EQ(mul.multiply(a, b), a * b);
+  }
+}
+
+TEST(Multiplier, Width2IsThe2x2Block) {
+  MultiplierConfig config = exact_config(2);
+  config.block = Mul2x2Kind::SoA;
+  const ApproxMultiplier mul(config);
+  EXPECT_EQ(mul.multiply(3, 3), 7u);
+  EXPECT_FALSE(mul.is_exact());
+}
+
+// With only the 2x2 block approximated (exact adders), the SoA block's
+// worst-case deficit per block is 2 scaled by the block's position weight;
+// the product is always an underestimate.
+class BlockOnlyApprox : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BlockOnlyApprox, SoABlockAlwaysUnderestimates) {
+  MultiplierConfig config = exact_config(GetParam());
+  config.block = Mul2x2Kind::SoA;
+  const ApproxMultiplier mul(config);
+  Rng rng(23);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t a = rng.bits(GetParam());
+    const std::uint64_t b = rng.bits(GetParam());
+    ASSERT_LE(mul.multiply(a, b), a * b);
+  }
+}
+
+TEST_P(BlockOnlyApprox, OursBlockAlwaysUnderestimates) {
+  MultiplierConfig config = exact_config(GetParam());
+  config.block = Mul2x2Kind::Ours;
+  const ApproxMultiplier mul(config);
+  Rng rng(29);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t a = rng.bits(GetParam());
+    const std::uint64_t b = rng.bits(GetParam());
+    ASSERT_LE(mul.multiply(a, b), a * b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BlockOnlyApprox,
+                         ::testing::Values(4u, 8u, 16u));
+
+TEST(Multiplier, OursBlockBeatsSoAOnMaxErrorAt4Bit) {
+  // The paper's motivation for ApxMul_Our: a tighter max-error bound.
+  MultiplierConfig soa = exact_config(4);
+  soa.block = Mul2x2Kind::SoA;
+  MultiplierConfig ours = exact_config(4);
+  ours.block = Mul2x2Kind::Ours;
+  const ApproxMultiplier mul_soa(soa);
+  const ApproxMultiplier mul_ours(ours);
+  std::uint64_t max_soa = 0, max_ours = 0;
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; ++b) {
+      const std::uint64_t exact = a * b;
+      max_soa = std::max(max_soa, exact - mul_soa.multiply(a, b));
+      max_ours = std::max(max_ours, exact - mul_ours.multiply(a, b));
+    }
+  }
+  EXPECT_LT(max_ours, max_soa);
+}
+
+TEST(Multiplier, ApproxAdderCellsAreUsed) {
+  MultiplierConfig config = exact_config(8);
+  config.adder_cell = FullAdderKind::Apx5;
+  config.approx_lsbs = 8;
+  const ApproxMultiplier mul(config);
+  EXPECT_FALSE(mul.is_exact());
+  int errors = 0;
+  for (unsigned a = 0; a < 256; a += 3) {
+    for (unsigned b = 0; b < 256; b += 3) {
+      errors += mul.multiply(a, b) != a * b;
+    }
+  }
+  EXPECT_GT(errors, 0);
+}
+
+TEST(Multiplier, GearAdderFactoryProducesWorkingMultiplier) {
+  MultiplierConfig config = exact_config(16);
+  config.adder_factory = gear_partial_product_factory();
+  config.adder_label = "GeAr";
+  const ApproxMultiplier mul(config);
+  Rng rng(31);
+  // Sanity: results are close to exact in relative terms on average.
+  double rel_sum = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t a = rng.bits(16) | 1u;
+    const std::uint64_t b = rng.bits(16) | 1u;
+    const double exact = static_cast<double>(a * b);
+    const double approx = static_cast<double>(mul.multiply(a, b));
+    rel_sum += std::abs(approx - exact) / exact;
+  }
+  EXPECT_LT(rel_sum / kSamples, 0.10);
+}
+
+TEST(Multiplier, NameDescribesConfiguration) {
+  MultiplierConfig config = exact_config(8);
+  config.block = Mul2x2Kind::Ours;
+  const ApproxMultiplier mul(config);
+  EXPECT_EQ(mul.name(), "Mul8x8<ApxMul_Our, Exact>");
+}
+
+TEST(Multiplier, WidthValidation) {
+  EXPECT_THROW(ApproxMultiplier(exact_config(3)), std::invalid_argument);
+  EXPECT_THROW(ApproxMultiplier(exact_config(0)), std::invalid_argument);
+  EXPECT_THROW(ApproxMultiplier(exact_config(32)), std::invalid_argument);
+  EXPECT_NO_THROW(ApproxMultiplier(exact_config(16)));
+}
+
+TEST(ExactMultiply, MasksOperands) {
+  EXPECT_EQ(exact_multiply(4, 0xFF, 0x2), 30u);
+}
+
+}  // namespace
+}  // namespace axc::arith

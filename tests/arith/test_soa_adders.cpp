@@ -1,0 +1,89 @@
+#include "axc/arith/soa_adders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axc/common/bits.hpp"
+
+namespace axc::arith {
+namespace {
+
+TEST(SoaAdders, AcaIMapsToGeArShape) {
+  const GeArConfig c = aca_i_config(16, 4);
+  EXPECT_EQ(c.r, 1u);
+  EXPECT_EQ(c.p, 3u);
+  EXPECT_EQ(c.l(), 4u);  // every sum bit sees a 4-bit window
+  EXPECT_TRUE(c.is_valid());
+}
+
+TEST(SoaAdders, AcaIiMapsToGeArShape) {
+  const GeArConfig c = aca_ii_config(16, 8);
+  EXPECT_EQ(c.r, 4u);
+  EXPECT_EQ(c.p, 4u);
+  EXPECT_TRUE(c.is_valid());
+}
+
+TEST(SoaAdders, EtaiiMapsToGeArShape) {
+  const GeArConfig c = etaii_config(16, 4);
+  EXPECT_EQ(c.r, 4u);
+  EXPECT_EQ(c.p, 4u);
+  EXPECT_TRUE(c.is_valid());
+}
+
+TEST(SoaAdders, GdaMapsToGeArShape) {
+  const GeArConfig c = gda_config(16, 2, 3);
+  EXPECT_EQ(c.r, 2u);
+  EXPECT_EQ(c.p, 6u);
+  EXPECT_TRUE(c.is_valid());
+}
+
+TEST(SoaAdders, InvalidShapesRejected) {
+  EXPECT_THROW(aca_i_config(16, 1), std::invalid_argument);
+  EXPECT_THROW(aca_ii_config(16, 5), std::invalid_argument);   // odd window
+  EXPECT_THROW(etaii_config(10, 4), std::invalid_argument);    // (10-8)%4
+  EXPECT_THROW(gda_config(16, 3, 2), std::invalid_argument);   // (16-9)%3
+}
+
+// Behavioural check of the ACA-I equivalence: every sum bit i is the
+// (i)-th bit of the addition of the trailing window ending at i.
+TEST(SoaAdders, AcaIBehaviourMatchesWindowedDefinition) {
+  const unsigned n = 10, window = 4;
+  const GeArAdder adder(aca_i_config(n, window));
+  for (std::uint64_t a = 0; a < (1u << n); a += 3) {
+    for (std::uint64_t b = 0; b < (1u << n); b += 7) {
+      const std::uint64_t got = adder.add(a, b, 0);
+      for (unsigned bit = 0; bit < n; ++bit) {
+        const unsigned lo = bit + 1 >= window ? bit + 1 - window : 0;
+        const unsigned len = bit - lo + 1;
+        const std::uint64_t win =
+            bit_field(a, lo, len) + bit_field(b, lo, len);
+        const unsigned expect = bit_of(win, len - 1);
+        ASSERT_EQ(bit_of(got, bit), expect)
+            << "a=" << a << " b=" << b << " bit=" << bit;
+      }
+    }
+  }
+}
+
+// ETAII equivalence: each R-bit segment's result is computed from its own
+// segment plus the immediately preceding segment only.
+TEST(SoaAdders, EtaiiBehaviourMatchesSegmentedDefinition) {
+  const unsigned n = 12, seg = 3;
+  const GeArAdder adder(etaii_config(n, seg));
+  for (std::uint64_t a = 0; a < (1u << n); a += 5) {
+    for (std::uint64_t b = 0; b < (1u << n); b += 11) {
+      const std::uint64_t got = adder.add(a, b, 0);
+      for (unsigned s = 0; s < n / seg; ++s) {
+        const unsigned lo = s == 0 ? 0 : (s - 1) * seg;
+        const unsigned len = s == 0 ? seg : 2 * seg;
+        const std::uint64_t win =
+            bit_field(a, lo, len) + bit_field(b, lo, len);
+        const std::uint64_t expect = bit_field(win, len - seg, seg);
+        ASSERT_EQ(bit_field(got, s * seg, seg), expect)
+            << "a=" << a << " b=" << b << " segment=" << s;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace axc::arith

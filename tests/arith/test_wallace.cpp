@@ -1,0 +1,101 @@
+#include "axc/arith/wallace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axc/common/rng.hpp"
+#include "axc/error/evaluate.hpp"
+
+namespace axc::arith {
+namespace {
+
+TEST(Wallace, ExactConfigMatchesProduct8BitExhaustive) {
+  const WallaceMultiplier mul(WallaceConfig{8, FullAdderKind::Accurate, 0});
+  EXPECT_TRUE(mul.is_exact());
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      ASSERT_EQ(mul.multiply(a, b), a * b);
+    }
+  }
+}
+
+TEST(Wallace, ExactConfigMatchesProduct16BitSampled) {
+  const WallaceMultiplier mul(WallaceConfig{16, FullAdderKind::Accurate, 0});
+  axc::Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    ASSERT_EQ(mul.multiply(a, b), a * b);
+  }
+}
+
+TEST(Wallace, OddWidthsSupported) {
+  // Unlike the recursive 2x2 decomposition, the Wallace structure is not
+  // limited to power-of-two widths.
+  const WallaceMultiplier mul(WallaceConfig{5, FullAdderKind::Accurate, 0});
+  for (unsigned a = 0; a < 32; ++a) {
+    for (unsigned b = 0; b < 32; ++b) {
+      ASSERT_EQ(mul.multiply(a, b), a * b);
+    }
+  }
+}
+
+class WallaceApprox
+    : public ::testing::TestWithParam<std::tuple<FullAdderKind, unsigned>> {};
+
+TEST_P(WallaceApprox, ErrorsConfinedNearApproxColumns) {
+  const auto [cell, lsbs] = GetParam();
+  const WallaceMultiplier mul(WallaceConfig{8, cell, lsbs});
+  EXPECT_FALSE(mul.is_exact());
+  std::uint64_t worst = 0;
+  for (unsigned a = 0; a < 256; a += 3) {
+    for (unsigned b = 0; b < 256; b += 5) {
+      const std::uint64_t approx = mul.multiply(a, b);
+      const std::uint64_t exact = a * b;
+      worst = std::max(worst,
+                       approx > exact ? approx - exact : exact - approx);
+    }
+  }
+  // Approximate compressors in columns < lsbs perturb the product by at
+  // most a few carries escaping just above the region.
+  EXPECT_GT(worst, 0u);
+  EXPECT_LT(worst, std::uint64_t{1} << (lsbs + 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CellsAndColumns, WallaceApprox,
+    ::testing::Combine(::testing::Values(FullAdderKind::Apx1,
+                                         FullAdderKind::Apx2,
+                                         FullAdderKind::Apx3,
+                                         FullAdderKind::Apx4),
+                       ::testing::Values(3u, 5u, 8u)));
+
+TEST(Wallace, NmedGrowsWithApproxColumns) {
+  double previous = -1.0;
+  for (const unsigned lsbs : {0u, 2u, 4u, 8u, 12u}) {
+    const WallaceMultiplier mul(
+        WallaceConfig{8, FullAdderKind::Apx3, lsbs});
+    error::EvalOptions opts;
+    opts.samples = 1u << 16;
+    const auto stats = error::evaluate_function(
+        16, 255 * 255,
+        [&](std::uint64_t w) { return mul.multiply(w & 0xFF, w >> 8); },
+        [&](std::uint64_t w) { return (w & 0xFF) * (w >> 8); }, opts);
+    EXPECT_GE(stats.mean_error_distance, previous) << "lsbs " << lsbs;
+    previous = stats.mean_error_distance;
+  }
+}
+
+TEST(Wallace, NameAndValidation) {
+  EXPECT_EQ(WallaceMultiplier(WallaceConfig{8, FullAdderKind::Apx2, 6}).name(),
+            "Wallace8x8<ApxFA2 below bit 6>");
+  EXPECT_EQ(
+      WallaceMultiplier(WallaceConfig{8, FullAdderKind::Accurate, 0}).name(),
+      "Wallace8x8<Exact>");
+  EXPECT_THROW(WallaceMultiplier(WallaceConfig{1, FullAdderKind::Apx1, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(WallaceMultiplier(WallaceConfig{8, FullAdderKind::Apx1, 17}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axc::arith

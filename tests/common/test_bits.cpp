@@ -1,0 +1,52 @@
+#include "axc/common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace axc {
+namespace {
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 0x1u);
+  EXPECT_EQ(low_mask(8), 0xFFu);
+  EXPECT_EQ(low_mask(63), 0x7FFFFFFFFFFFFFFFull);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, BitOf) {
+  EXPECT_EQ(bit_of(0b1010, 0), 0u);
+  EXPECT_EQ(bit_of(0b1010, 1), 1u);
+  EXPECT_EQ(bit_of(0b1010, 3), 1u);
+  EXPECT_EQ(bit_of(std::uint64_t{1} << 63, 63), 1u);
+}
+
+TEST(Bits, WithBit) {
+  EXPECT_EQ(with_bit(0, 3, 1), 0b1000u);
+  EXPECT_EQ(with_bit(0b1111, 2, 0), 0b1011u);
+  EXPECT_EQ(with_bit(0b1011, 2, 1), 0b1111u);
+}
+
+TEST(Bits, BitField) {
+  EXPECT_EQ(bit_field(0xABCD, 4, 8), 0xBCu);
+  EXPECT_EQ(bit_field(0xABCD, 0, 4), 0xDu);
+  EXPECT_EQ(bit_field(0xABCD, 12, 4), 0xAu);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend(0x7F, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0x1FF, 9), -1);
+}
+
+// Round-trip property: setting then reading any bit of any word.
+TEST(Bits, WithBitReadBackProperty) {
+  std::uint64_t word = 0x123456789ABCDEFull;
+  for (unsigned i = 0; i < 64; ++i) {
+    EXPECT_EQ(bit_of(with_bit(word, i, 1), i), 1u);
+    EXPECT_EQ(bit_of(with_bit(word, i, 0), i), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace axc

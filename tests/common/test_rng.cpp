@@ -1,0 +1,96 @@
+#include "axc/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace axc {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto x0 = a();
+  const auto x1 = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), x0);
+  EXPECT_EQ(a(), x1);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BitsWidthRespected) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(rng.bits(5), 31u);
+    EXPECT_LE(rng.bits(1), 1u);
+  }
+  EXPECT_NE(rng.bits(64), rng.bits(64));  // not constant
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMeanAndVariance) {
+  Rng rng(5);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+// Each bit of the output stream should be roughly unbiased.
+TEST(Rng, BitBalanceProperty) {
+  Rng rng(99);
+  int ones[64] = {};
+  constexpr int kDraws = 4096;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t w = rng();
+    for (int bit = 0; bit < 64; ++bit) ones[bit] += (w >> bit) & 1;
+  }
+  for (int bit = 0; bit < 64; ++bit) {
+    EXPECT_NEAR(static_cast<double>(ones[bit]) / kDraws, 0.5, 0.05)
+        << "bit " << bit;
+  }
+}
+
+}  // namespace
+}  // namespace axc

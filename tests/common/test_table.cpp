@@ -1,0 +1,80 @@
+#include "axc/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "axc/common/csv.hpp"
+
+namespace axc {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"Design", "Area"});
+  t.add_row({"AccuFA", "4.41"});
+  t.add_row({"ApxFA5", "0"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Design"), std::string::npos);
+  EXPECT_NE(text.find("AccuFA"), std::string::npos);
+  EXPECT_NE(text.find("ApxFA5"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  std::ostringstream out;
+  t.print(out);
+  SUCCEED();  // must not throw
+}
+
+TEST(Table, OverlongRowRejected) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"x", "y"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, SeparatorDoesNotCountAsRow) {
+  Table t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Fmt, FixedDigits) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+  EXPECT_EQ(fmt_pct(0.5, 1), "50.0%");
+}
+
+TEST(Csv, WritesEscapedRows) {
+  const std::string path = ::testing::TempDir() + "axc_test.csv";
+  {
+    CsvWriter csv(path, {"name", "value"});
+    csv.add_row({"plain", "1"});
+    csv.add_row({"with,comma", "with\"quote"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",\"with\"\"quote\"");
+}
+
+TEST(Csv, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_axc/out.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace axc

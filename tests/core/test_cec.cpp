@@ -1,0 +1,115 @@
+#include "axc/core/cec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "axc/common/rng.hpp"
+
+namespace axc::core {
+namespace {
+
+using arith::GeArAdder;
+using arith::GeArConfig;
+
+TEST(Cec, OffsetIsNegatedMedianError) {
+  error::ErrorDistribution dist;
+  for (int i = 0; i < 70; ++i) dist.record(-16);
+  for (int i = 0; i < 30; ++i) dist.record(0);
+  const Cec cec = Cec::from_distribution(dist);
+  EXPECT_EQ(cec.correction(), 16);
+  EXPECT_DOUBLE_EQ(cec.uncorrected_med(), 0.7 * 16.0);
+  EXPECT_DOUBLE_EQ(cec.corrected_med(), 0.3 * 16.0);
+}
+
+TEST(Cec, ApplyClampsAtZero) {
+  error::ErrorDistribution dist;
+  dist.record(8);  // over-estimating datapath: correction is negative
+  const Cec cec = Cec::from_distribution(dist);
+  EXPECT_EQ(cec.correction(), -8);
+  EXPECT_EQ(cec.apply(3), 0u);
+  EXPECT_EQ(cec.apply(20), 12u);
+}
+
+TEST(Cec, EmptyDistributionRejected) {
+  EXPECT_THROW(Cec::from_distribution(error::ErrorDistribution{}),
+               std::invalid_argument);
+}
+
+TEST(Cec, NeverIncreasesExpectedAbsoluteError) {
+  // Weighted-median property, exercised on real GeAr distributions.
+  for (const GeArConfig config :
+       {GeArConfig{8, 2, 2}, GeArConfig{8, 1, 1}, GeArConfig{10, 2, 4}}) {
+    const GeArAdder adder(config);
+    const auto dist = error::adder_error_distribution(adder);
+    const Cec cec = Cec::from_distribution(dist);
+    EXPECT_LE(cec.corrected_med(), cec.uncorrected_med()) << config.name();
+  }
+}
+
+TEST(Cec, ImprovesHeavilyBiasedDatapath) {
+  // A cascade that almost always errs by the same amount is the CEC
+  // sweet spot: the single offset removes nearly all of the error.
+  error::ErrorDistribution dist;
+  for (int i = 0; i < 95; ++i) dist.record(-64);
+  for (int i = 0; i < 5; ++i) dist.record(0);
+  const Cec cec = Cec::from_distribution(dist);
+  EXPECT_LT(cec.corrected_med(), 0.1 * cec.uncorrected_med());
+}
+
+TEST(CecArea, SavesVsPerAdderEdc) {
+  // A SAD-like cascade: 8 GeAr(16,4,4) adders (k = 4), 16-bit output.
+  const CecAreaReport report =
+      compare_cec_vs_edc_area({16, 4, 4}, 8, 16);
+  EXPECT_GT(report.edc_area_ge, report.cec_area_ge);
+  EXPECT_GT(report.saving_percent, 50.0);
+  EXPECT_GT(report.cec_area_ge, 0.0);
+}
+
+TEST(CecArea, EdcGrowsWithCascadeWhileCecStaysFixed) {
+  const CecAreaReport report = compare_cec_vs_edc_area({8, 2, 2}, 1, 9);
+  const CecAreaReport longer = compare_cec_vs_edc_area({8, 2, 2}, 6, 9);
+  EXPECT_GT(report.edc_area_ge, 0.0);  // k = 3 -> two boundaries
+  EXPECT_GT(longer.edc_area_ge, report.edc_area_ge);
+  EXPECT_DOUBLE_EQ(longer.cec_area_ge, report.cec_area_ge);
+}
+
+TEST(CecArea, ExactConfigNeedsNoEdc) {
+  // L == N: single sub-adder, no boundaries, no EDC hardware at all.
+  const CecAreaReport report = compare_cec_vs_edc_area({8, 4, 4}, 4, 9);
+  EXPECT_DOUBLE_EQ(report.edc_area_ge, 0.0);
+}
+
+TEST(CecArea, Validation) {
+  EXPECT_THROW(compare_cec_vs_edc_area({8, 3, 3}, 1, 8),
+               std::invalid_argument);
+  EXPECT_THROW(compare_cec_vs_edc_area({8, 2, 2}, 0, 8),
+               std::invalid_argument);
+}
+
+// End-to-end: correct a GeAr adder's outputs with the CEC offset and
+// verify the mean error distance actually drops on fresh inputs.
+TEST(Cec, EndToEndImprovesGearAdder) {
+  const GeArConfig config{12, 2, 2};
+  const GeArAdder adder(config);
+  const Cec cec =
+      Cec::from_distribution(error::adder_error_distribution(adder));
+  axc::Rng rng(123);
+  double raw_med = 0.0, corrected_med = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t a = rng.bits(12);
+    const std::uint64_t b = rng.bits(12);
+    const std::uint64_t exact = a + b;
+    const std::uint64_t raw = adder.add(a, b, 0);
+    const std::uint64_t fixed = cec.apply(raw);
+    raw_med += std::llabs(static_cast<std::int64_t>(raw) -
+                          static_cast<std::int64_t>(exact));
+    corrected_med += std::llabs(static_cast<std::int64_t>(fixed) -
+                                static_cast<std::int64_t>(exact));
+  }
+  EXPECT_LE(corrected_med, raw_med);
+}
+
+}  // namespace
+}  // namespace axc::core

@@ -1,0 +1,125 @@
+#include "axc/core/manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace axc::core {
+namespace {
+
+std::vector<AcceleratorMode> sample_modes() {
+  return {
+      {"exact", 100.0, 100.0},
+      {"mild", 60.0, 95.0},
+      {"medium", 35.0, 88.0},
+      {"aggressive", 15.0, 70.0},
+  };
+}
+
+TEST(Manager, MinPowerPicksCheapestFeasibleModePerApp) {
+  const ApproximationManager manager(sample_modes());
+  const std::vector<Application> apps = {
+      {"video", 85.0}, {"audio", 60.0}, {"control", 100.0}};
+  const Assignment a = manager.assign_min_power(apps);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_EQ(a.mode_of_app.size(), 3u);
+  EXPECT_EQ(manager.modes()[a.mode_of_app[0]].name, "medium");
+  EXPECT_EQ(manager.modes()[a.mode_of_app[1]].name, "aggressive");
+  EXPECT_EQ(manager.modes()[a.mode_of_app[2]].name, "exact");
+  EXPECT_DOUBLE_EQ(a.total_power_nw, 35.0 + 15.0 + 100.0);
+}
+
+TEST(Manager, MinPowerInfeasibleWhenConstraintUnmeetable) {
+  const ApproximationManager manager(sample_modes());
+  const Assignment a = manager.assign_min_power({{"app", 100.5}});
+  EXPECT_FALSE(a.feasible);
+}
+
+TEST(Manager, MaxQualityUsesBudget) {
+  const ApproximationManager manager(sample_modes());
+  const std::vector<Application> apps = {{"a", 70.0}, {"b", 70.0}};
+  // Budget 160: best is exact (100) + mild (60) = quality 195.
+  const Assignment a = manager.assign_max_quality(apps, 160.0);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_DOUBLE_EQ(a.total_quality, 195.0);
+  EXPECT_LE(a.total_power_nw, 160.0);
+}
+
+TEST(Manager, MaxQualityTightBudgetDegrades) {
+  const ApproximationManager manager(sample_modes());
+  const std::vector<Application> apps = {{"a", 70.0}, {"b", 70.0}};
+  // Budget 30: only aggressive+aggressive fits.
+  const Assignment a = manager.assign_max_quality(apps, 30.0);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_EQ(manager.modes()[a.mode_of_app[0]].name, "aggressive");
+  EXPECT_EQ(manager.modes()[a.mode_of_app[1]].name, "aggressive");
+}
+
+TEST(Manager, MaxQualityRespectsPerAppConstraints) {
+  const ApproximationManager manager(sample_modes());
+  // One app demands >= 95%, so "aggressive"/"medium" are off the table for
+  // it even under a tight budget.
+  const std::vector<Application> apps = {{"strict", 95.0}, {"lax", 70.0}};
+  const Assignment a = manager.assign_max_quality(apps, 80.0);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_GE(manager.modes()[a.mode_of_app[0]].quality_percent, 95.0);
+  EXPECT_LE(a.total_power_nw, 80.0);
+}
+
+TEST(Manager, MaxQualityInfeasibleBudget) {
+  const ApproximationManager manager(sample_modes());
+  const Assignment a = manager.assign_max_quality({{"a", 95.0}}, 10.0);
+  EXPECT_FALSE(a.feasible);
+}
+
+TEST(Manager, MaxQualityMatchesBruteForceOnRandomInstances) {
+  const std::vector<AcceleratorMode> modes = {
+      {"m0", 17.0, 72.0}, {"m1", 42.0, 83.0}, {"m2", 55.0, 91.0},
+      {"m3", 90.0, 100.0}};
+  const ApproximationManager manager(modes);
+  const std::vector<Application> apps = {
+      {"a", 70.0}, {"b", 80.0}, {"c", 72.0}};
+  for (const double budget : {60.0, 120.0, 150.0, 200.0, 300.0}) {
+    const Assignment dp = manager.assign_max_quality(apps, budget);
+    // Brute force over 4^3 assignments.
+    double best = -1.0;
+    bool feasible = false;
+    for (int m0 = 0; m0 < 4; ++m0) {
+      for (int m1 = 0; m1 < 4; ++m1) {
+        for (int m2 = 0; m2 < 4; ++m2) {
+          const int idx[3] = {m0, m1, m2};
+          double power = 0.0, quality = 0.0;
+          bool ok = true;
+          for (int a = 0; a < 3; ++a) {
+            if (modes[idx[a]].quality_percent < apps[a].min_quality_percent) {
+              ok = false;
+              break;
+            }
+            power += modes[idx[a]].power_nw;
+            quality += modes[idx[a]].quality_percent;
+          }
+          if (ok && power <= budget) {
+            feasible = true;
+            best = std::max(best, quality);
+          }
+        }
+      }
+    }
+    EXPECT_EQ(dp.feasible, feasible) << "budget " << budget;
+    if (feasible) {
+      EXPECT_DOUBLE_EQ(dp.total_quality, best) << "budget " << budget;
+      EXPECT_LE(dp.total_power_nw, budget);
+    }
+  }
+}
+
+TEST(Manager, EmptyModesRejected) {
+  EXPECT_THROW(ApproximationManager({}), std::invalid_argument);
+}
+
+TEST(Manager, EmptyAppsTriviallyFeasible) {
+  const ApproximationManager manager(sample_modes());
+  EXPECT_TRUE(manager.assign_min_power({}).feasible);
+  EXPECT_TRUE(manager.assign_max_quality({}, 10.0).feasible);
+}
+
+}  // namespace
+}  // namespace axc::core

@@ -1,0 +1,83 @@
+#include "axc/error/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axc/arith/gear.hpp"
+
+namespace axc::error {
+namespace {
+
+using arith::FullAdderKind;
+using arith::GeArAdder;
+using arith::GeArConfig;
+using arith::RippleAdder;
+
+TEST(ErrorDistribution, BasicBookkeeping) {
+  ErrorDistribution dist;
+  dist.record(0);
+  dist.record(0);
+  dist.record(-4);
+  dist.record(4);
+  EXPECT_EQ(dist.samples(), 4u);
+  EXPECT_DOUBLE_EQ(dist.probability(0), 0.5);
+  EXPECT_DOUBLE_EQ(dist.probability(-4), 0.25);
+  EXPECT_DOUBLE_EQ(dist.probability(99), 0.0);
+  EXPECT_EQ(dist.support().size(), 3u);
+}
+
+TEST(ErrorDistribution, OptimalOffsetIsMedian) {
+  ErrorDistribution dist;
+  for (int i = 0; i < 10; ++i) dist.record(0);
+  for (int i = 0; i < 3; ++i) dist.record(-16);
+  EXPECT_EQ(dist.optimal_offset(), 0);  // majority at zero
+  // Residual at the median is minimal among candidates.
+  EXPECT_LE(dist.residual_med(dist.optimal_offset()),
+            dist.residual_med(-16));
+  EXPECT_LE(dist.residual_med(dist.optimal_offset()),
+            dist.residual_med(-8));
+}
+
+TEST(ErrorDistribution, EmptyOffsetRejected) {
+  ErrorDistribution dist;
+  EXPECT_THROW(dist.optimal_offset(), std::invalid_argument);
+}
+
+TEST(AdderErrorDistribution, ExactAdderIsDeltaAtZero) {
+  const arith::ExactAdder adder(8);
+  const ErrorDistribution dist = adder_error_distribution(adder);
+  EXPECT_EQ(dist.support().size(), 1u);
+  EXPECT_DOUBLE_EQ(dist.probability(0), 1.0);
+}
+
+TEST(AdderErrorDistribution, GearErrorsTakeSpecificValues) {
+  // Sec. 6.1's observation: GeAr error magnitudes are restricted to a few
+  // specific values (missing carries at sub-adder result boundaries, i.e.
+  // multiples of 2^(start_i + P) truncated into the result window).
+  const GeArConfig config{8, 2, 2};
+  const GeArAdder adder(config);
+  const ErrorDistribution dist = adder_error_distribution(adder);
+  const auto support = dist.support();
+  // Errors must be strictly negative (dropped carries) or zero, and few.
+  for (const std::int64_t e : support) EXPECT_LE(e, 0);
+  EXPECT_LE(support.size(), 8u);
+  EXPECT_GT(dist.probability(0), 0.5);  // mostly correct
+}
+
+TEST(AdderErrorDistribution, LsbApproxRippleHasBoundedSupport) {
+  const RippleAdder adder =
+      RippleAdder::lsb_approximated(8, FullAdderKind::Apx3, 2);
+  const ErrorDistribution dist = adder_error_distribution(adder);
+  for (const std::int64_t e : dist.support()) {
+    EXPECT_LE(std::abs(e), 16);  // errors confined near the approx region
+  }
+}
+
+TEST(AdderErrorDistribution, SampledPathIsDeterministic) {
+  const GeArAdder adder({16, 4, 4});
+  const ErrorDistribution a = adder_error_distribution(adder, 22, 50000, 9);
+  const ErrorDistribution b = adder_error_distribution(adder, 22, 50000, 9);
+  EXPECT_EQ(a.histogram(), b.histogram());
+}
+
+}  // namespace
+}  // namespace axc::error

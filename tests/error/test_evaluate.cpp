@@ -1,0 +1,98 @@
+#include "axc/error/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axc/arith/gear.hpp"
+
+namespace axc::error {
+namespace {
+
+using arith::ExactAdder;
+using arith::FullAdderKind;
+using arith::GeArAdder;
+using arith::RippleAdder;
+
+TEST(EvaluateAdder, ExactAdderIsErrorFree) {
+  const ExactAdder adder(8);
+  const ErrorStats stats = evaluate_adder(adder);
+  EXPECT_TRUE(stats.exhaustive);
+  EXPECT_EQ(stats.samples, 65536u);
+  EXPECT_EQ(stats.error_count, 0u);
+}
+
+TEST(EvaluateAdder, ExhaustiveVsSampledAgree) {
+  // For a 10-bit GeAr adder (20 input bits, exhaustive) vs a forced
+  // Monte-Carlo run: the sampled error rate must approximate the truth.
+  const GeArAdder adder({10, 2, 2});
+  EvalOptions exhaustive;
+  exhaustive.max_exhaustive_bits = 20;
+  const ErrorStats truth = evaluate_adder(adder, exhaustive);
+  ASSERT_TRUE(truth.exhaustive);
+
+  EvalOptions sampled;
+  sampled.max_exhaustive_bits = 4;  // force sampling
+  sampled.samples = 1u << 18;
+  const ErrorStats mc = evaluate_adder(adder, sampled);
+  ASSERT_FALSE(mc.exhaustive);
+  EXPECT_NEAR(mc.error_rate, truth.error_rate, 0.01);
+  EXPECT_NEAR(mc.mean_error_distance, truth.mean_error_distance,
+              0.05 * truth.mean_error_distance + 0.5);
+}
+
+TEST(EvaluateAdder, SamplingIsDeterministicPerSeed) {
+  const GeArAdder adder({16, 4, 4});
+  EvalOptions opts;
+  opts.max_exhaustive_bits = 8;
+  opts.samples = 10000;
+  const ErrorStats a = evaluate_adder(adder, opts);
+  const ErrorStats b = evaluate_adder(adder, opts);
+  EXPECT_EQ(a.error_count, b.error_count);
+  EXPECT_DOUBLE_EQ(a.mean_error_distance, b.mean_error_distance);
+  opts.seed ^= 0xDEAD;
+  const ErrorStats c = evaluate_adder(adder, opts);
+  EXPECT_NE(a.error_count, c.error_count);  // different stream
+}
+
+TEST(EvaluateAdder, RippleApxErrorRateGrowsWithLsbs) {
+  double previous = -1.0;
+  for (unsigned lsbs : {0u, 2u, 4u, 8u}) {
+    const RippleAdder adder =
+        RippleAdder::lsb_approximated(8, FullAdderKind::Apx5, lsbs);
+    const ErrorStats stats = evaluate_adder(adder);
+    EXPECT_GE(stats.error_rate, previous);
+    previous = stats.error_rate;
+  }
+  EXPECT_GT(previous, 0.5);  // fully-wired adder is mostly wrong
+}
+
+TEST(EvaluateMultiplier, ExactIsErrorFree) {
+  arith::MultiplierConfig config;
+  config.width = 8;
+  const arith::ApproxMultiplier mul(config);
+  const ErrorStats stats = evaluate_multiplier(mul);
+  EXPECT_TRUE(stats.exhaustive);
+  EXPECT_EQ(stats.error_count, 0u);
+}
+
+TEST(EvaluateMultiplier, ApproxBlocksGiveBoundedNmed) {
+  arith::MultiplierConfig config;
+  config.width = 8;
+  config.block = arith::Mul2x2Kind::Ours;
+  const arith::ApproxMultiplier mul(config);
+  const ErrorStats stats = evaluate_multiplier(mul);
+  EXPECT_GT(stats.error_rate, 0.0);
+  // Block errors at the high half-products are scaled by their position
+  // weight, so the damage is a few percent of the output range, not less.
+  EXPECT_LT(stats.normalized_med, 0.05);
+}
+
+TEST(EvaluateFunction, InputBitsValidation) {
+  const auto identity = [](std::uint64_t w) { return w; };
+  EXPECT_THROW(evaluate_function(0, 1, identity, identity),
+               std::invalid_argument);
+  EXPECT_THROW(evaluate_function(64, 1, identity, identity),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axc::error

@@ -1,0 +1,131 @@
+#include "axc/error/gear_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axc/error/evaluate.hpp"
+
+namespace axc::error {
+namespace {
+
+using arith::GeArConfig;
+
+TEST(GearModel, EventCountIsRTimesKMinus1) {
+  EXPECT_EQ(gear_error_event_count({8, 2, 2}), 2u * 2u);   // k = 3
+  EXPECT_EQ(gear_error_event_count({12, 4, 4}), 4u * 1u);  // k = 2
+  EXPECT_EQ(gear_error_event_count({16, 1, 3}), 12u);      // k = 13
+}
+
+TEST(GearModel, ExactConfigHasZeroErrorProbability) {
+  EXPECT_DOUBLE_EQ(gear_error_probability({8, 4, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(gear_error_probability_ie({8, 4, 4}), 0.0);
+}
+
+TEST(GearModel, SingleBoundaryClosedForm) {
+  // k = 2: a single sub-adder boundary. rho[error] = P(window all-propagate
+  // AND carry into it) = sum over generate positions g in the previous R
+  // bits: (1/4) * (1/2)^(distance to window top). For N=12, R=4, P=4:
+  // events Z_g with propagate runs of length P + (R-1-g_offset)... summing:
+  // (1/4) * [(1/2)^4+(1/2)^5+(1/2)^6+(1/2)^7] * ... inclusion-exclusion has
+  // no pairwise overlap feasibility (single generate per chain position
+  // conflicts), handled by the implementation; validate against the DP and
+  // exhaustive instead of hand-arithmetic here, and pin the value.
+  const GeArConfig config{12, 4, 4};
+  const double ie = gear_error_probability_ie(config);
+  const double dp = gear_error_probability(config);
+  EXPECT_NEAR(ie, dp, 1e-12);
+  // Exhaustive ground truth over all 2^24 operand pairs.
+  const arith::GeArAdder adder(config);
+  EvalOptions opts;
+  opts.max_exhaustive_bits = 24;
+  const ErrorStats truth = evaluate_adder(adder, opts);
+  ASSERT_TRUE(truth.exhaustive);
+  EXPECT_NEAR(dp, truth.error_rate, 1e-12);
+}
+
+// The central model-validation property: IE formula == DP == exhaustive
+// simulation, for every small configuration.
+class GearModelExact : public ::testing::TestWithParam<GeArConfig> {};
+
+TEST_P(GearModelExact, AnalyticMatchesExhaustive) {
+  const GeArConfig config = GetParam();
+  const double dp = gear_error_probability(config);
+  const double ie = gear_error_probability_ie(config);
+  EXPECT_NEAR(dp, ie, 1e-12) << config.name();
+
+  const arith::GeArAdder adder(config);
+  EvalOptions opts;
+  opts.max_exhaustive_bits = 2 * config.n;
+  const ErrorStats truth = evaluate_adder(adder, opts);
+  ASSERT_TRUE(truth.exhaustive) << config.name();
+  EXPECT_NEAR(dp, truth.error_rate, 1e-12) << config.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallConfigs, GearModelExact,
+    ::testing::Values(GeArConfig{6, 1, 1}, GeArConfig{6, 2, 2},
+                      GeArConfig{6, 1, 3}, GeArConfig{7, 3, 1},
+                      GeArConfig{8, 1, 1}, GeArConfig{8, 2, 2},
+                      GeArConfig{8, 2, 4}, GeArConfig{8, 1, 3},
+                      GeArConfig{9, 3, 3}, GeArConfig{10, 2, 2},
+                      GeArConfig{10, 4, 2}, GeArConfig{10, 2, 4}),
+    [](const auto& info) {
+      const auto& c = info.param;
+      return "N" + std::to_string(c.n) + "R" + std::to_string(c.r) + "P" +
+             std::to_string(c.p);
+    });
+
+TEST(GearModel, AccuracyImprovesWithP) {
+  // More prediction bits -> higher accuracy, R fixed (Table IV trend).
+  double previous = 0.0;
+  for (unsigned p : {1u, 3u, 5u, 7u, 9u}) {
+    const GeArConfig config{11, 1, p};
+    ASSERT_TRUE(config.is_valid());
+    const double acc = gear_accuracy_percent(config);
+    EXPECT_GT(acc, previous) << "P=" << p;
+    previous = acc;
+  }
+}
+
+TEST(GearModel, MaxAccuracy11BitConfigIsR1P9) {
+  // The paper: "For the constraint of maximum accuracy percentage,
+  // GeAr(R=1, P=9) can be selected."
+  double best = -1.0;
+  arith::GeArConfig best_config{};
+  for (const auto& config : arith::enumerate_gear_configs(11)) {
+    const double acc = gear_accuracy_percent(config);
+    if (acc > best) {
+      best = acc;
+      best_config = config;
+    }
+  }
+  EXPECT_EQ(best_config.r, 1u);
+  EXPECT_EQ(best_config.p, 9u);
+}
+
+TEST(GearModel, R3P5Exceeds90PercentAccuracy) {
+  // The paper's constraint example: GeAr(11,3,5) meets >= 90% accuracy.
+  EXPECT_GE(gear_accuracy_percent({11, 3, 5}), 90.0);
+  // And the cheaper R=3 sibling (P=2) does not.
+  EXPECT_LT(gear_accuracy_percent({11, 3, 2}), 90.0);
+}
+
+TEST(GearModel, IeRefusesOversizedEventSets) {
+  // N=32, R=1, P=1 has 30 events -> IE would need 2^30 terms.
+  EXPECT_THROW(gear_error_probability_ie({32, 1, 1}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(gear_error_probability({32, 1, 1}));  // DP handles it
+}
+
+TEST(GearModel, DpHandlesWideAdders) {
+  const double p = gear_error_probability({32, 4, 4});
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+}
+
+TEST(GearModel, InvalidConfigRejected) {
+  EXPECT_THROW(gear_error_probability({8, 3, 3}), std::invalid_argument);
+  EXPECT_THROW(gear_error_probability_ie({8, 3, 3}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axc::error

@@ -1,0 +1,98 @@
+/// Property sweeps of the GeAr error model: for *every* valid
+/// configuration in a width range, the inclusion-exclusion formula, the
+/// DP evaluator and (where feasible) exhaustive simulation agree. This is
+/// the strongest form of the paper's Sec. 4.2 validation.
+#include <gtest/gtest.h>
+
+#include "axc/arith/gear.hpp"
+#include "axc/error/evaluate.hpp"
+#include "axc/error/gear_model.hpp"
+
+namespace axc::error {
+namespace {
+
+using arith::GeArConfig;
+
+class GearModelSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GearModelSweep, IeEqualsDpForEveryConfig) {
+  const unsigned n = GetParam();
+  for (const GeArConfig& config : arith::enumerate_gear_configs(n, 0)) {
+    if (gear_error_event_count(config) > 20) continue;  // IE blow-up guard
+    EXPECT_NEAR(gear_error_probability_ie(config),
+                gear_error_probability(config), 1e-12)
+        << config.name();
+  }
+}
+
+TEST_P(GearModelSweep, DpEqualsExhaustiveForEveryConfig) {
+  const unsigned n = GetParam();
+  if (2 * n > 22) GTEST_SKIP() << "input space too large for exhaustive";
+  for (const GeArConfig& config : arith::enumerate_gear_configs(n, 0)) {
+    const arith::GeArAdder adder(config);
+    EvalOptions opts;
+    opts.max_exhaustive_bits = 22;
+    const ErrorStats truth = evaluate_adder(adder, opts);
+    ASSERT_TRUE(truth.exhaustive);
+    EXPECT_NEAR(gear_error_probability(config), truth.error_rate, 1e-12)
+        << config.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GearModelSweep,
+                         ::testing::Values(4u, 5u, 6u, 7u, 8u, 9u, 10u, 11u),
+                         [](const auto& info) {
+                           return "N" + std::to_string(info.param);
+                         });
+
+TEST(GearModelSweep, DpMonotoneInPAcrossWidths) {
+  // Fixing N and R, accuracy must be strictly increasing in P — the
+  // design-space knob behaves as Table IV describes for every width.
+  for (const unsigned n : {12u, 16u, 24u}) {
+    for (unsigned r = 1; r <= 4; ++r) {
+      double previous = -1.0;
+      for (unsigned p = 1; r + p < n; ++p) {
+        const GeArConfig config{n, r, p};
+        if (!config.is_valid()) continue;
+        const double acc = gear_accuracy_percent(config);
+        EXPECT_GT(acc, previous) << config.name();
+        previous = acc;
+      }
+    }
+  }
+}
+
+TEST(GearModelSweep, ErrorProbabilityDecreasesWithR) {
+  // More resultant bits per sub-adder = fewer boundaries = fewer error
+  // events (P fixed).
+  for (const unsigned n : {16u, 24u}) {
+    double previous = 2.0;
+    for (const unsigned r : {1u, 2u, 4u}) {
+      const GeArConfig config{n, r, 4};
+      if (!config.is_valid()) continue;
+      const double p_err = gear_error_probability(config);
+      EXPECT_LT(p_err, previous) << config.name();
+      previous = p_err;
+    }
+  }
+}
+
+TEST(GearModelSweep, CorrectionIterationsMatchModelPrediction) {
+  // With i correction iterations, the residual error rate must equal the
+  // exhaustive error rate of the corrected adder — and reach zero at k-1.
+  const GeArConfig config{10, 2, 2};
+  const unsigned k = config.num_subadders();
+  double previous = 1.0;
+  for (unsigned iters = 0; iters < k; ++iters) {
+    const arith::GeArAdder adder(config, iters);
+    EvalOptions opts;
+    opts.max_exhaustive_bits = 20;
+    const ErrorStats stats = evaluate_adder(adder, opts);
+    EXPECT_LE(stats.error_rate, previous) << "iters " << iters;
+    previous = stats.error_rate;
+  }
+  EXPECT_EQ(previous, 0.0);
+}
+
+}  // namespace
+}  // namespace axc::error

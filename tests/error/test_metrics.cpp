@@ -1,0 +1,61 @@
+#include "axc/error/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace axc::error {
+namespace {
+
+TEST(ErrorAccumulator, ExactOperatorHasZeroErrors) {
+  ErrorAccumulator acc(100);
+  for (std::uint64_t v = 0; v < 50; ++v) acc.record(v, v);
+  const ErrorStats stats = acc.finish(true);
+  EXPECT_EQ(stats.samples, 50u);
+  EXPECT_EQ(stats.error_count, 0u);
+  EXPECT_EQ(stats.max_error, 0u);
+  EXPECT_DOUBLE_EQ(stats.error_rate, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_error_distance, 0.0);
+  EXPECT_DOUBLE_EQ(stats.accuracy_percent(), 100.0);
+  EXPECT_TRUE(stats.exhaustive);
+}
+
+TEST(ErrorAccumulator, HandComputedExample) {
+  // Pairs: (10,10) ok, (12,10) err 2, (7,10) err 3, (10,10) ok.
+  ErrorAccumulator acc(20);
+  acc.record(10, 10);
+  acc.record(12, 10);
+  acc.record(7, 10);
+  acc.record(10, 10);
+  const ErrorStats stats = acc.finish(false);
+  EXPECT_EQ(stats.samples, 4u);
+  EXPECT_EQ(stats.error_count, 2u);
+  EXPECT_EQ(stats.max_error, 3u);
+  EXPECT_DOUBLE_EQ(stats.error_rate, 0.5);
+  EXPECT_DOUBLE_EQ(stats.mean_error_distance, 5.0 / 4.0);
+  EXPECT_DOUBLE_EQ(stats.normalized_med, (5.0 / 4.0) / 20.0);
+  EXPECT_DOUBLE_EQ(stats.mean_squared_error, (4.0 + 9.0) / 4.0);
+  EXPECT_DOUBLE_EQ(stats.accuracy_percent(), 50.0);
+  EXPECT_FALSE(stats.exhaustive);
+}
+
+TEST(ErrorAccumulator, RelativeErrorGuardsZeroExact) {
+  ErrorAccumulator acc(10);
+  acc.record(3, 0);  // relative error measured against max(exact, 1)
+  const ErrorStats stats = acc.finish(false);
+  EXPECT_DOUBLE_EQ(stats.mean_relative_error, 3.0);
+}
+
+TEST(ErrorAccumulator, EmptyFinishIsSafe) {
+  ErrorAccumulator acc(10);
+  const ErrorStats stats = acc.finish(false);
+  EXPECT_EQ(stats.samples, 0u);
+  EXPECT_DOUBLE_EQ(stats.error_rate, 0.0);
+}
+
+TEST(ErrorAccumulator, ZeroCeilingSkipsNormalization) {
+  ErrorAccumulator acc(0);
+  acc.record(5, 0);
+  EXPECT_DOUBLE_EQ(acc.finish(false).normalized_med, 0.0);
+}
+
+}  // namespace
+}  // namespace axc::error

@@ -1,0 +1,105 @@
+#include "axc/image/convolve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axc/image/synth.hpp"
+
+namespace axc::image {
+namespace {
+
+TEST(Kernel, GaussianIsNormalized) {
+  EXPECT_NO_THROW(Kernel3x3::gaussian().validate());
+  EXPECT_NO_THROW(Kernel3x3::smooth().validate());
+}
+
+TEST(Kernel, ValidationCatchesBadKernels) {
+  Kernel3x3 bad = Kernel3x3::gaussian();
+  bad.shift = 3;  // coefficients sum to 16, not 8
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  Kernel3x3 wide = Kernel3x3::gaussian();
+  wide.coeffs[0] = 16;  // does not fit in 4 bits
+  EXPECT_THROW(wide.validate(), std::invalid_argument);
+}
+
+TEST(Convolve, ConstantImageIsFixedPoint) {
+  const Image flat(16, 16, 100);
+  const Image out = convolve3x3(flat, Kernel3x3::gaussian());
+  for (const auto px : out.pixels()) EXPECT_EQ(px, 100);
+}
+
+TEST(Convolve, HandComputedPixel) {
+  // 3x3 image, gaussian kernel, center pixel: full kernel application.
+  Image img(3, 3);
+  const std::uint8_t values[9] = {10, 20, 30, 40, 50, 60, 70, 80, 90};
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) img.set(x, y, values[y * 3 + x]);
+  }
+  const Image out = convolve3x3(img, Kernel3x3::gaussian());
+  // (1*10+2*20+1*30 + 2*40+4*50+2*60 + 1*70+2*80+1*90) = 800; 800>>4 = 50.
+  EXPECT_EQ(out.at(1, 1), 50);
+}
+
+TEST(Convolve, LowPassReducesVariance) {
+  const Image noisy =
+      synthesize_image(TestImageKind::HighFrequency, 64, 64, 1);
+  const Image smooth = convolve3x3(noisy, Kernel3x3::gaussian());
+  const auto variance = [](const Image& img) {
+    double mean = 0.0;
+    for (const auto px : img.pixels()) mean += px;
+    mean /= img.pixels().size();
+    double var = 0.0;
+    for (const auto px : img.pixels()) var += (px - mean) * (px - mean);
+    return var / img.pixels().size();
+  };
+  EXPECT_LT(variance(smooth), variance(noisy) / 2.0);
+}
+
+TEST(Convolve, ExactHardwareMatchesDefaultPath) {
+  // Supplying explicitly-exact hardware must not change results.
+  const Image input = synthesize_image(TestImageKind::Blobs, 32, 32, 2);
+  MacHardware hw;
+  arith::MultiplierConfig mul_config;
+  mul_config.width = 8;
+  hw.multiplier = std::make_shared<const arith::ApproxMultiplier>(mul_config);
+  hw.adder_factory = arith::ripple_adder_factory(
+      arith::FullAdderKind::Accurate, 0);
+  const Image reference = convolve3x3(input, Kernel3x3::gaussian());
+  const Image explicit_exact =
+      convolve3x3(input, Kernel3x3::gaussian(), hw);
+  EXPECT_EQ(explicit_exact, reference);
+}
+
+TEST(Convolve, ApproximateHardwareDegradesGracefully) {
+  const Image input = synthesize_image(TestImageKind::Blobs, 32, 32, 2);
+  MacHardware hw;
+  hw.adder_factory =
+      arith::ripple_adder_factory(arith::FullAdderKind::Apx3, 4);
+  const Image reference = convolve3x3(input, Kernel3x3::gaussian());
+  const Image approx = convolve3x3(input, Kernel3x3::gaussian(), hw);
+  EXPECT_NE(approx, reference);  // approximation must show up
+  EXPECT_GT(image_psnr(reference, approx), 20.0);  // but stay reasonable
+}
+
+TEST(Convolve, MoreApproxLsbsMonotonicallyDegradePsnr) {
+  const Image input = synthesize_image(TestImageKind::FractalNoise, 48, 48, 4);
+  const Image reference = convolve3x3(input, Kernel3x3::gaussian());
+  double previous_psnr = 1e9;
+  for (unsigned lsbs : {2u, 4u, 6u, 8u}) {
+    MacHardware hw;
+    hw.adder_factory =
+        arith::ripple_adder_factory(arith::FullAdderKind::Apx5, lsbs);
+    const Image approx = convolve3x3(input, Kernel3x3::gaussian(), hw);
+    const double psnr = image_psnr(reference, approx);
+    EXPECT_LE(psnr, previous_psnr + 0.5) << "lsbs " << lsbs;
+    previous_psnr = psnr;
+  }
+  EXPECT_LT(previous_psnr, 25.0);  // 8 wired-through LSBs hurt badly
+}
+
+TEST(Convolve, EmptyInputRejected) {
+  EXPECT_THROW(convolve3x3(Image(), Kernel3x3::gaussian()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axc::image

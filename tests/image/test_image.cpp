@@ -1,0 +1,56 @@
+#include "axc/image/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace axc::image {
+namespace {
+
+TEST(Image, ConstructionAndAccess) {
+  Image img(4, 3, 7);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.at(0, 0), 7);
+  img.set(2, 1, 200);
+  EXPECT_EQ(img.at(2, 1), 200);
+  EXPECT_EQ(img.pixels().size(), 12u);
+}
+
+TEST(Image, ClampedAccessPadsEdges) {
+  Image img(2, 2);
+  img.set(0, 0, 10);
+  img.set(1, 0, 20);
+  img.set(0, 1, 30);
+  img.set(1, 1, 40);
+  EXPECT_EQ(img.at_clamped(-5, -5), 10);
+  EXPECT_EQ(img.at_clamped(9, 0), 20);
+  EXPECT_EQ(img.at_clamped(0, 9), 30);
+  EXPECT_EQ(img.at_clamped(9, 9), 40);
+}
+
+TEST(Image, DimensionValidation) {
+  EXPECT_THROW(Image(0, 5), std::invalid_argument);
+  EXPECT_THROW(Image(5, 0), std::invalid_argument);
+  EXPECT_THROW(Image(9000, 8), std::invalid_argument);
+}
+
+TEST(ImageMetrics, MseAndPsnr) {
+  Image a(2, 2, 100);
+  Image b = a;
+  EXPECT_DOUBLE_EQ(image_mse(a, b), 0.0);
+  EXPECT_TRUE(std::isinf(image_psnr(a, b)));
+  b.set(0, 0, 110);  // one pixel off by 10: MSE = 100/4 = 25
+  EXPECT_DOUBLE_EQ(image_mse(a, b), 25.0);
+  EXPECT_NEAR(image_psnr(a, b), 10.0 * std::log10(255.0 * 255.0 / 25.0),
+              1e-12);
+}
+
+TEST(ImageMetrics, SizeMismatchRejected) {
+  Image a(2, 2);
+  Image b(3, 2);
+  EXPECT_THROW(image_mse(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axc::image

@@ -1,0 +1,85 @@
+#include "axc/image/pgm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "axc/image/synth.hpp"
+
+namespace axc::image {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(Pgm, RoundTripBinary) {
+  const Image original =
+      synthesize_image(TestImageKind::FractalNoise, 32, 24, 5);
+  const std::string path = temp_path("roundtrip.pgm");
+  write_pgm(original, path);
+  const Image loaded = read_pgm(path);
+  EXPECT_EQ(loaded, original);
+}
+
+TEST(Pgm, ReadsAsciiP2) {
+  const std::string path = temp_path("ascii.pgm");
+  {
+    std::ofstream out(path);
+    out << "P2\n# a comment\n2 2\n255\n0 128\n255 7\n";
+  }
+  const Image img = read_pgm(path);
+  EXPECT_EQ(img.at(0, 0), 0);
+  EXPECT_EQ(img.at(1, 0), 128);
+  EXPECT_EQ(img.at(0, 1), 255);
+  EXPECT_EQ(img.at(1, 1), 7);
+}
+
+TEST(Pgm, CommentsInHeaderSkipped) {
+  const std::string path = temp_path("comments.pgm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n#c1\n2\n#c2\n1\n255\n";
+    out.put(char(9));
+    out.put(char(200));
+  }
+  const Image img = read_pgm(path);
+  EXPECT_EQ(img.at(0, 0), 9);
+  EXPECT_EQ(img.at(1, 0), 200);
+}
+
+TEST(Pgm, RejectsBadMagic) {
+  const std::string path = temp_path("bad_magic.pgm");
+  {
+    std::ofstream out(path);
+    out << "P6\n2 2\n255\n";
+  }
+  EXPECT_THROW(read_pgm(path), std::runtime_error);
+}
+
+TEST(Pgm, RejectsTruncatedPixelData) {
+  const std::string path = temp_path("truncated.pgm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n4 4\n255\n";
+    out.put(char(1));  // 1 of 16 bytes
+  }
+  EXPECT_THROW(read_pgm(path), std::runtime_error);
+}
+
+TEST(Pgm, RejectsMissingFile) {
+  EXPECT_THROW(read_pgm(temp_path("does_not_exist.pgm")),
+               std::runtime_error);
+}
+
+TEST(Pgm, RejectsWideMaxval) {
+  const std::string path = temp_path("wide_maxval.pgm");
+  {
+    std::ofstream out(path);
+    out << "P2\n1 1\n65535\n1234\n";
+  }
+  EXPECT_THROW(read_pgm(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace axc::image

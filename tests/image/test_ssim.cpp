@@ -1,0 +1,93 @@
+#include "axc/image/ssim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axc/common/rng.hpp"
+#include "axc/image/convolve.hpp"
+#include "axc/image/synth.hpp"
+
+namespace axc::image {
+namespace {
+
+TEST(Ssim, IdenticalImagesScoreOne) {
+  const Image img = synthesize_image(TestImageKind::Blobs, 32, 32, 1);
+  EXPECT_DOUBLE_EQ(ssim(img, img), 1.0);
+}
+
+TEST(Ssim, SymmetricInArguments) {
+  const Image a = synthesize_image(TestImageKind::Blobs, 32, 32, 1);
+  Image b = a;
+  axc::Rng rng(5);
+  for (auto& px : b.pixels()) {
+    px = static_cast<std::uint8_t>(
+        std::clamp<int>(px + static_cast<int>(rng.below(21)) - 10, 0, 255));
+  }
+  EXPECT_NEAR(ssim(a, b), ssim(b, a), 1e-12);
+}
+
+TEST(Ssim, BoundedAndOrdered) {
+  const Image img = synthesize_image(TestImageKind::FractalNoise, 48, 48, 2);
+  Image slightly = img;
+  Image badly = img;
+  axc::Rng rng(6);
+  for (std::size_t i = 0; i < img.pixels().size(); ++i) {
+    slightly.pixels()[i] = static_cast<std::uint8_t>(
+        std::clamp<int>(img.pixels()[i] + static_cast<int>(rng.below(5)) - 2,
+                        0, 255));
+    badly.pixels()[i] = static_cast<std::uint8_t>(rng.bits(8));
+  }
+  const double s_slight = ssim(img, slightly);
+  const double s_bad = ssim(img, badly);
+  EXPECT_LE(s_slight, 1.0);
+  EXPECT_GT(s_slight, s_bad);
+  EXPECT_GE(s_bad, -1.0);
+}
+
+TEST(Ssim, ConstantShiftScoresBelowOne) {
+  // SSIM's luminance term penalizes mean shifts that MSE-based PSNR also
+  // sees, but structure is preserved: score should stay high.
+  const Image img = synthesize_image(TestImageKind::Gradient, 32, 32, 1);
+  Image shifted = img;
+  for (auto& px : shifted.pixels()) {
+    px = static_cast<std::uint8_t>(std::min(255, px + 10));
+  }
+  const double s = ssim(img, shifted);
+  EXPECT_LT(s, 1.0);
+  EXPECT_GT(s, 0.8);
+}
+
+TEST(Ssim, WindowValidation) {
+  const Image img = synthesize_image(TestImageKind::Gradient, 16, 16, 1);
+  SsimOptions opts;
+  opts.window = 32;  // larger than the image
+  EXPECT_THROW(ssim(img, img, opts), std::invalid_argument);
+  opts.window = 8;
+  opts.stride = 0;
+  EXPECT_THROW(ssim(img, img, opts), std::invalid_argument);
+}
+
+TEST(Ssim, SizeMismatchRejected) {
+  const Image a(16, 16, 0);
+  const Image b(16, 17, 0);
+  EXPECT_THROW(ssim(a, b), std::invalid_argument);
+}
+
+// The Fig. 10 property: a fixed approximate filter produces *different*
+// SSIM on different content — data-dependent resilience.
+TEST(Ssim, ApproximateFilterResilienceIsContentDependent) {
+  MacHardware hw;
+  hw.adder_factory =
+      arith::ripple_adder_factory(arith::FullAdderKind::Apx4, 6);
+  double min_ssim = 2.0, max_ssim = -2.0;
+  for (const Image& img : make_test_image_set(64, 64, 9)) {
+    const Image exact = convolve3x3(img, Kernel3x3::gaussian());
+    const Image approx = convolve3x3(img, Kernel3x3::gaussian(), hw);
+    const double s = ssim(exact, approx);
+    min_ssim = std::min(min_ssim, s);
+    max_ssim = std::max(max_ssim, s);
+  }
+  EXPECT_GT(max_ssim - min_ssim, 0.05);  // visible spread across content
+}
+
+}  // namespace
+}  // namespace axc::image

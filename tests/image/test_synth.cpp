@@ -1,0 +1,100 @@
+#include "axc/image/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace axc::image {
+namespace {
+
+double mean_of(const Image& img) {
+  return std::accumulate(img.pixels().begin(), img.pixels().end(), 0.0) /
+         img.pixels().size();
+}
+
+double stddev_of(const Image& img) {
+  const double mean = mean_of(img);
+  double sum = 0.0;
+  for (const auto px : img.pixels()) {
+    sum += (px - mean) * (px - mean);
+  }
+  return std::sqrt(sum / img.pixels().size());
+}
+
+class SynthAllKinds : public ::testing::TestWithParam<TestImageKind> {};
+
+TEST_P(SynthAllKinds, DeterministicForSeed) {
+  const Image a = synthesize_image(GetParam(), 48, 48, 7);
+  const Image b = synthesize_image(GetParam(), 48, 48, 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(SynthAllKinds, CorrectDimensions) {
+  const Image img = synthesize_image(GetParam(), 40, 24, 1);
+  EXPECT_EQ(img.width(), 40);
+  EXPECT_EQ(img.height(), 24);
+}
+
+TEST_P(SynthAllKinds, NotConstant) {
+  const Image img = synthesize_image(GetParam(), 64, 64, 1);
+  EXPECT_GT(stddev_of(img), 1.0) << test_image_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SynthAllKinds,
+                         ::testing::ValuesIn(kAllTestImageKinds),
+                         [](const auto& info) {
+                           return std::string(test_image_name(info.param));
+                         });
+
+TEST(Synth, SetHasSevenDistinctImages) {
+  const auto set = make_test_image_set(32, 32, 3);
+  ASSERT_EQ(set.size(), 7u);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (std::size_t j = i + 1; j < set.size(); ++j) {
+      EXPECT_NE(set[i], set[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Synth, ContentClassesHaveExpectedStatistics) {
+  // The classes genuinely differ in the statistics that matter for
+  // low-pass resilience: contrast (stddev) and smoothness.
+  const Image low = synthesize_image(TestImageKind::LowContrast, 64, 64, 1);
+  const Image high = synthesize_image(TestImageKind::HighFrequency, 64, 64, 1);
+  const Image grad = synthesize_image(TestImageKind::Gradient, 64, 64, 1);
+  EXPECT_LT(stddev_of(low), 12.0);
+  EXPECT_GT(stddev_of(high), 50.0);
+
+  // Gradient: neighboring pixels differ by at most a few levels.
+  int max_step = 0;
+  for (int y = 0; y < grad.height(); ++y) {
+    for (int x = 1; x < grad.width(); ++x) {
+      max_step = std::max(max_step,
+                          std::abs(static_cast<int>(grad.at(x, y)) -
+                                   static_cast<int>(grad.at(x - 1, y))));
+    }
+  }
+  EXPECT_LE(max_step, 4);
+}
+
+TEST(Synth, CheckerboardHasTwoLevels) {
+  const Image img = synthesize_image(TestImageKind::Checkerboard, 32, 32, 1);
+  for (const auto px : img.pixels()) {
+    EXPECT_TRUE(px == 32 || px == 224);
+  }
+}
+
+TEST(Synth, TooSmallRejected) {
+  EXPECT_THROW(synthesize_image(TestImageKind::Gradient, 4, 64, 1),
+               std::invalid_argument);
+}
+
+TEST(Synth, DifferentSeedsChangeStochasticKinds) {
+  const Image a = synthesize_image(TestImageKind::FractalNoise, 32, 32, 1);
+  const Image b = synthesize_image(TestImageKind::FractalNoise, 32, 32, 2);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace axc::image

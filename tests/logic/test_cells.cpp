@@ -1,0 +1,69 @@
+#include "axc/logic/cell.hpp"
+
+#include <gtest/gtest.h>
+
+namespace axc::logic {
+namespace {
+
+TEST(Cells, InfoTableConsistent) {
+  for (int t = 0; t < kCellTypeCount; ++t) {
+    const CellInfo& info = cell_info(static_cast<CellType>(t));
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_GE(info.fanin, 0);
+    EXPECT_LE(info.fanin, 3);
+    EXPECT_GE(info.area_ge, 0.0);
+    EXPECT_GE(info.energy_fj, 0.0);
+  }
+}
+
+TEST(Cells, PseudoCellsAreFree) {
+  EXPECT_EQ(cell_info(CellType::Input).area_ge, 0.0);
+  EXPECT_EQ(cell_info(CellType::Const0).area_ge, 0.0);
+  EXPECT_EQ(cell_info(CellType::Const1).area_ge, 0.0);
+  EXPECT_EQ(cell_info(CellType::Input).fanin, 0);
+}
+
+TEST(Cells, Nand2IsTheUnitGate) {
+  EXPECT_DOUBLE_EQ(cell_info(CellType::Nand2).area_ge, 1.0);
+}
+
+// Each cell's boolean function, checked against a reference formula over
+// all input combinations.
+TEST(Cells, FunctionsMatchDefinitions) {
+  for (unsigned w = 0; w < 8; ++w) {
+    const unsigned a = w & 1u, b = (w >> 1) & 1u, c = (w >> 2) & 1u;
+    EXPECT_EQ(eval_cell(CellType::Buf, a, b, c), a);
+    EXPECT_EQ(eval_cell(CellType::Inv, a, b, c), 1u - a);
+    EXPECT_EQ(eval_cell(CellType::And2, a, b, c), a & b);
+    EXPECT_EQ(eval_cell(CellType::Or2, a, b, c), a | b);
+    EXPECT_EQ(eval_cell(CellType::Nand2, a, b, c), 1u ^ (a & b));
+    EXPECT_EQ(eval_cell(CellType::Nor2, a, b, c), 1u ^ (a | b));
+    EXPECT_EQ(eval_cell(CellType::Xor2, a, b, c), a ^ b);
+    EXPECT_EQ(eval_cell(CellType::Xnor2, a, b, c), 1u ^ a ^ b);
+    EXPECT_EQ(eval_cell(CellType::And3, a, b, c), a & b & c);
+    EXPECT_EQ(eval_cell(CellType::Or3, a, b, c), a | b | c);
+    EXPECT_EQ(eval_cell(CellType::Nand3, a, b, c), 1u ^ (a & b & c));
+    EXPECT_EQ(eval_cell(CellType::Nor3, a, b, c), 1u ^ (a | b | c));
+    EXPECT_EQ(eval_cell(CellType::Mux2, a, b, c), a ? c : b);
+    EXPECT_EQ(eval_cell(CellType::Maj3, a, b, c),
+              (a + b + c >= 2) ? 1u : 0u);
+    EXPECT_EQ(eval_cell(CellType::Aoi21, a, b, c), 1u ^ ((a & b) | c));
+    EXPECT_EQ(eval_cell(CellType::Oai21, a, b, c), 1u ^ ((a | b) & c));
+    EXPECT_EQ(eval_cell(CellType::Ao21, a, b, c), (a & b) | c);
+    EXPECT_EQ(eval_cell(CellType::Oa21, a, b, c), (a | b) & c);
+  }
+}
+
+TEST(Cells, ComplexCellsCheaperThanDiscrete) {
+  // The point of AOI/OAI/MAJ cells: cheaper than composing 2-input gates.
+  EXPECT_LT(cell_info(CellType::Aoi21).area_ge,
+            cell_info(CellType::And2).area_ge +
+                cell_info(CellType::Nor2).area_ge);
+  EXPECT_LT(cell_info(CellType::Maj3).area_ge,
+            2 * cell_info(CellType::And2).area_ge +
+                cell_info(CellType::Or2).area_ge +
+                cell_info(CellType::And2).area_ge);
+}
+
+}  // namespace
+}  // namespace axc::logic

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "axc/logic/netlist.hpp"
+#include "axc/logic/simulator.hpp"
+
+namespace axc::logic {
+namespace {
+
+TEST(Netlist, BuildsSimpleAndGate) {
+  Netlist nl("and");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId y = nl.add_gate(CellType::And2, a, b);
+  nl.mark_output(y, "y");
+  EXPECT_EQ(nl.gate_count(), 1u);
+  EXPECT_EQ(nl.net_count(), 3u);
+  EXPECT_DOUBLE_EQ(nl.area_ge(), cell_info(CellType::And2).area_ge);
+  EXPECT_EQ(nl.driver(y), CellType::And2);
+  EXPECT_EQ(nl.driver(a), CellType::Input);
+}
+
+TEST(Netlist, FaninMismatchRejected) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(CellType::And2, a), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(CellType::Inv, a, a), std::invalid_argument);
+}
+
+TEST(Netlist, UnknownNetRejected) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(CellType::Inv, a + 100), std::invalid_argument);
+  EXPECT_THROW(nl.mark_output(a + 100, "y"), std::out_of_range);
+}
+
+TEST(Netlist, PseudoCellInstantiationRejected) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(CellType::Input, a), std::invalid_argument);
+}
+
+TEST(Netlist, WireThroughOutputAllowed) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  nl.mark_output(a, "y");
+  Simulator sim(nl);
+  EXPECT_EQ(sim.apply_word(1), 1u);
+  EXPECT_EQ(sim.apply_word(0), 0u);
+  EXPECT_DOUBLE_EQ(nl.area_ge(), 0.0);
+}
+
+TEST(Simulator, EvaluatesXorTree) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId c = nl.add_input("c");
+  const NetId x = nl.add_gate(CellType::Xor2, a, b);
+  const NetId y = nl.add_gate(CellType::Xor2, x, c);
+  nl.mark_output(y, "y");
+  Simulator sim(nl);
+  for (unsigned w = 0; w < 8; ++w) {
+    const unsigned expect = (w ^ (w >> 1) ^ (w >> 2)) & 1u;
+    EXPECT_EQ(sim.apply_word(w), expect) << w;
+  }
+}
+
+TEST(Simulator, ConstantsHoldValues) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId one = nl.add_const(true);
+  const NetId zero = nl.add_const(false);
+  nl.mark_output(nl.add_gate(CellType::And2, a, one), "and1");
+  nl.mark_output(nl.add_gate(CellType::Or2, a, zero), "or0");
+  Simulator sim(nl);
+  EXPECT_EQ(sim.apply_word(1), 0b11u);
+  EXPECT_EQ(sim.apply_word(0), 0b00u);
+}
+
+TEST(Simulator, TogglesCountedBetweenVectors) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.add_gate(CellType::Inv, a);
+  nl.mark_output(y, "y");
+  Simulator sim(nl);
+  sim.apply_word(0);  // first vector: no toggle baseline
+  sim.apply_word(1);  // INV output 1 -> 0: toggle
+  sim.apply_word(1);  // no change
+  sim.apply_word(0);  // toggle
+  EXPECT_EQ(sim.gate_toggles(0), 2u);
+  EXPECT_EQ(sim.vectors_applied(), 4u);
+  EXPECT_DOUBLE_EQ(sim.switched_energy_fj(),
+                   2.0 * cell_info(CellType::Inv).energy_fj);
+}
+
+TEST(Simulator, ResetActivityClearsCounters) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  nl.mark_output(nl.add_gate(CellType::Inv, a), "y");
+  Simulator sim(nl);
+  sim.apply_word(0);
+  sim.apply_word(1);
+  sim.reset_activity();
+  EXPECT_EQ(sim.vectors_applied(), 0u);
+  EXPECT_EQ(sim.gate_toggles(0), 0u);
+}
+
+TEST(Simulator, ApplyChecksWidth) {
+  Netlist nl;
+  nl.add_input("a");
+  Simulator sim(nl);
+  const std::vector<unsigned> too_many = {1, 0};
+  EXPECT_THROW(sim.apply(too_many), std::invalid_argument);
+}
+
+TEST(Simulator, MultiOutputPackingOrder) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  nl.mark_output(nl.add_gate(CellType::And2, a, b), "p0");
+  nl.mark_output(nl.add_gate(CellType::Or2, a, b), "p1");
+  Simulator sim(nl);
+  // a=1, b=0: AND=0 (bit0), OR=1 (bit1).
+  EXPECT_EQ(sim.apply_word(0b01), 0b10u);
+}
+
+}  // namespace
+}  // namespace axc::logic

@@ -1,0 +1,103 @@
+#include "axc/logic/verilog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "axc/logic/adder_netlists.hpp"
+#include "axc/logic/mul_netlists.hpp"
+
+namespace axc::logic {
+namespace {
+
+using arith::FullAdderKind;
+
+TEST(Verilog, FullAdderModuleShape) {
+  const std::string v =
+      to_verilog(full_adder_netlist(FullAdderKind::Accurate));
+  EXPECT_NE(v.find("module AccuFA ("), std::string::npos);
+  EXPECT_NE(v.find("input  wire a,"), std::string::npos);
+  EXPECT_NE(v.find("input  wire cin,"), std::string::npos);
+  EXPECT_NE(v.find("output wire sum,"), std::string::npos);
+  EXPECT_NE(v.find("output wire cout"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // Accurate FA: two XORs and a majority expression.
+  EXPECT_NE(v.find("^"), std::string::npos);
+  EXPECT_NE(v.find("(a & b) | (a & cin) | (b & cin)"), std::string::npos);
+}
+
+TEST(Verilog, WireOnlyDesignHasNoAssignsToInternalWires) {
+  const std::string v = to_verilog(full_adder_netlist(FullAdderKind::Apx5));
+  // ApxFA5 is wiring: outputs assigned straight from inputs.
+  EXPECT_NE(v.find("assign sum = b;"), std::string::npos);
+  EXPECT_NE(v.find("assign cout = a;"), std::string::npos);
+}
+
+TEST(Verilog, ConstantsRendered) {
+  Netlist nl("consts");
+  nl.add_input("x");
+  nl.mark_output(nl.add_const(true), "hi");
+  nl.mark_output(nl.add_const(false), "lo");
+  const std::string v = to_verilog(nl);
+  EXPECT_NE(v.find("assign hi = 1'b1;"), std::string::npos);
+  EXPECT_NE(v.find("assign lo = 1'b0;"), std::string::npos);
+}
+
+TEST(Verilog, ModuleNameSanitized) {
+  Netlist nl("GeAr(N=8,R=2,P=2)");
+  const NetId a = nl.add_input("a");
+  nl.mark_output(a, "y");
+  const std::string v = to_verilog(nl);
+  EXPECT_NE(v.find("module GeAr_N_8_R_2_P_2_ ("), std::string::npos);
+}
+
+TEST(Verilog, ExplicitModuleNameWins) {
+  Netlist nl("whatever");
+  nl.mark_output(nl.add_input("a"), "y");
+  const std::string v = to_verilog(nl, "my_adder");
+  EXPECT_NE(v.find("module my_adder ("), std::string::npos);
+}
+
+TEST(Verilog, DuplicatePortNamesAreUniquified) {
+  Netlist nl("dup");
+  nl.add_input("x");
+  nl.add_input("x");
+  nl.mark_output(nl.add_gate(CellType::And2, nl.inputs()[0], nl.inputs()[1]),
+                 "x");
+  const std::string v = to_verilog(nl);
+  EXPECT_NE(v.find("input  wire x,"), std::string::npos);
+  EXPECT_NE(v.find("input  wire x_2,"), std::string::npos);
+  EXPECT_NE(v.find("output wire x_3"), std::string::npos);
+}
+
+TEST(Verilog, EveryGateEmitsExactlyOneAssign) {
+  const Netlist nl = multiplier_netlist(
+      {4, arith::Mul2x2Kind::Ours, FullAdderKind::Apx3, 2});
+  const std::string v = to_verilog(nl);
+  std::size_t assigns = 0;
+  for (std::size_t pos = v.find("assign"); pos != std::string::npos;
+       pos = v.find("assign", pos + 1)) {
+    ++assigns;
+  }
+  // One per gate plus one per output port.
+  EXPECT_EQ(assigns, nl.gate_count() + nl.outputs().size());
+}
+
+TEST(Verilog, FileWriterRoundTrip) {
+  const std::string path = ::testing::TempDir() + "axc_fa.v";
+  write_verilog_file(full_adder_netlist(FullAdderKind::Apx3), path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(text, to_verilog(full_adder_netlist(FullAdderKind::Apx3)));
+}
+
+TEST(Verilog, UnwritablePathThrows) {
+  EXPECT_THROW(write_verilog_file(full_adder_netlist(FullAdderKind::Apx1),
+                                  "/nonexistent_dir_axc/x.v"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace axc::logic

@@ -1,0 +1,123 @@
+#include "axc/video/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace axc::video {
+namespace {
+
+using accel::SadAccelerator;
+
+TEST(ExpGolomb, KnownLengths) {
+  EXPECT_EQ(exp_golomb_bits(0), 1u);
+  EXPECT_EQ(exp_golomb_bits(1), 3u);   // u=1 -> "010"
+  EXPECT_EQ(exp_golomb_bits(-1), 3u);  // u=2 -> "011"
+  EXPECT_EQ(exp_golomb_bits(2), 5u);   // u=3
+  EXPECT_EQ(exp_golomb_bits(-2), 5u);
+  EXPECT_EQ(exp_golomb_bits(3), 5u);   // u=5
+  EXPECT_EQ(exp_golomb_bits(-3), 5u);  // u=6
+  EXPECT_EQ(exp_golomb_bits(4), 7u);   // u=7
+
+}
+
+TEST(ExpGolomb, MonotoneInMagnitude) {
+  for (std::int64_t v = 0; v < 200; ++v) {
+    EXPECT_LE(exp_golomb_bits(v), exp_golomb_bits(v + 1));
+  }
+}
+
+Sequence small_sequence(std::uint64_t seed = 42) {
+  SequenceConfig config;
+  config.width = 32;
+  config.height = 32;
+  config.frames = 3;
+  config.seed = seed;
+  return generate_sequence(config);
+}
+
+EncoderConfig small_encoder_config() {
+  EncoderConfig config;
+  config.motion.block_size = 8;
+  config.motion.search_range = 3;
+  config.quant_step = 8;
+  return config;
+}
+
+TEST(Encoder, ProducesBitsAndFinitePsnr) {
+  const SadAccelerator sad(accel::accu_sad(64));
+  const Encoder encoder(small_encoder_config(), sad);
+  const EncodeStats stats = encoder.encode(small_sequence());
+  EXPECT_GT(stats.total_bits, 0u);
+  EXPECT_GT(stats.bits_per_frame, 0.0);
+  EXPECT_GT(stats.psnr_db, 20.0);  // quantized but recognizable
+  EXPECT_GT(stats.sad_calls, 0u);
+}
+
+TEST(Encoder, DeterministicAcrossRuns) {
+  const SadAccelerator sad(accel::accu_sad(64));
+  const Encoder encoder(small_encoder_config(), sad);
+  const Sequence seq = small_sequence();
+  const EncodeStats a = encoder.encode(seq);
+  const EncodeStats b = encoder.encode(seq);
+  EXPECT_EQ(a.total_bits, b.total_bits);
+  EXPECT_DOUBLE_EQ(a.psnr_db, b.psnr_db);
+}
+
+TEST(Encoder, CoarserQuantizationSpendsFewerBits) {
+  const SadAccelerator sad(accel::accu_sad(64));
+  const Sequence seq = small_sequence();
+  EncoderConfig fine = small_encoder_config();
+  fine.quant_step = 4;
+  EncoderConfig coarse = small_encoder_config();
+  coarse.quant_step = 16;
+  const EncodeStats f = Encoder(fine, sad).encode(seq);
+  const EncodeStats c = Encoder(coarse, sad).encode(seq);
+  EXPECT_LT(c.total_bits, f.total_bits);
+  EXPECT_LT(c.psnr_db, f.psnr_db);
+}
+
+TEST(Encoder, ApproximateSadCostsBitsNotCorrectness) {
+  // The Fig. 9 mechanism: approximate SAD can only mislead the predictor
+  // choice; reconstruction stays faithful, so bits go *up* while PSNR
+  // stays in the same band (residuals absorb the worse prediction).
+  const Sequence seq = small_sequence();
+  const SadAccelerator exact_sad(accel::accu_sad(64));
+  const EncodeStats exact =
+      Encoder(small_encoder_config(), exact_sad).encode(seq);
+  const SadAccelerator bad_sad(accel::apx_sad_variant(5, 6, 64));
+  const EncodeStats approx =
+      Encoder(small_encoder_config(), bad_sad).encode(seq);
+  EXPECT_GE(approx.total_bits, exact.total_bits);
+  EXPECT_NEAR(approx.psnr_db, exact.psnr_db, 3.0);
+}
+
+TEST(Encoder, MildApproximationCostsLessThanAggressive) {
+  const Sequence seq = small_sequence();
+  const EncoderConfig config = small_encoder_config();
+  const SadAccelerator sad2(accel::apx_sad_variant(3, 2, 64));
+  const SadAccelerator sad6(accel::apx_sad_variant(3, 6, 64));
+  const std::uint64_t bits2 = Encoder(config, sad2).encode(seq).total_bits;
+  const std::uint64_t bits6 = Encoder(config, sad6).encode(seq).total_bits;
+  EXPECT_LE(bits2, bits6);
+}
+
+TEST(Encoder, Validation) {
+  const SadAccelerator sad(accel::accu_sad(64));
+  EncoderConfig config = small_encoder_config();
+  config.quant_step = 0;
+  EXPECT_THROW(Encoder(config, sad), std::invalid_argument);
+
+  const Encoder encoder(small_encoder_config(), sad);
+  EXPECT_THROW(encoder.encode(Sequence{}), std::invalid_argument);
+  Sequence one_frame = small_sequence();
+  one_frame.resize(1);
+  EXPECT_THROW(encoder.encode(one_frame), std::invalid_argument);
+
+  // Frame size not a multiple of the block size.
+  Sequence odd;
+  odd.push_back(image::Image(30, 30));
+  odd.push_back(image::Image(30, 30));
+  EXPECT_THROW(encoder.encode(odd), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axc::video

@@ -1,0 +1,134 @@
+#include "axc/video/motion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "axc/image/synth.hpp"
+#include "axc/video/sequence.hpp"
+
+namespace axc::video {
+namespace {
+
+using accel::SadAccelerator;
+
+/// Shifts an image by (dx, dy) with clamped borders.
+image::Image shifted(const image::Image& img, int dx, int dy) {
+  image::Image out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      out.set(x, y, img.at_clamped(x - dx, y - dy));
+    }
+  }
+  return out;
+}
+
+TEST(MotionEstimator, RecoversKnownTranslation) {
+  // A fully-textured reference: every pixel is random, so the zero-SAD
+  // match is unique (smooth backgrounds can tie several candidates).
+  const image::Image reference =
+      image::synthesize_image(image::TestImageKind::HighFrequency, 64, 64, 3);
+  const SadAccelerator sad(accel::accu_sad(64));
+  const MotionEstimator estimator({8, 4}, sad);
+  for (int dx = -3; dx <= 3; dx += 3) {
+    for (int dy = -3; dy <= 3; dy += 3) {
+      const image::Image current = shifted(reference, dx, dy);
+      // Interior block: (24, 24) stays away from clamped borders.
+      const MotionVector mv = estimator.search(current, reference, 24, 24);
+      EXPECT_EQ(mv.dx, -dx) << dx << "," << dy;
+      EXPECT_EQ(mv.dy, -dy) << dx << "," << dy;
+    }
+  }
+}
+
+TEST(MotionEstimator, SurfaceMinimumEqualsSearchResult) {
+  SequenceConfig sc;
+  sc.frames = 2;
+  const Sequence seq = generate_sequence(sc);
+  const SadAccelerator sad(accel::accu_sad(64));
+  const MotionEstimator estimator({8, 3}, sad);
+  const SadSurface surface = estimator.surface(seq[1], seq[0], 16, 16);
+  const MotionVector mv = estimator.search(seq[1], seq[0], 16, 16);
+  std::uint64_t best = ~std::uint64_t{0};
+  for (int dy = -3; dy <= 3; ++dy) {
+    for (int dx = -3; dx <= 3; ++dx) {
+      best = std::min(best, surface.at(dx, dy));
+    }
+  }
+  EXPECT_EQ(surface.at(mv.dx, mv.dy), best);
+}
+
+TEST(MotionEstimator, SurfaceGeometry) {
+  SequenceConfig sc;
+  sc.frames = 2;
+  const Sequence seq = generate_sequence(sc);
+  const SadAccelerator sad(accel::accu_sad(64));
+  const MotionEstimator estimator({8, 2}, sad);
+  const SadSurface surface = estimator.surface(seq[1], seq[0], 8, 8);
+  EXPECT_EQ(surface.span(), 5);
+  EXPECT_EQ(surface.values.size(), 25u);
+}
+
+// The Fig. 8 claim: the approximate error surface is shifted but the
+// global minimum (the chosen motion vector) is typically preserved. We
+// assert it exactly for the moderate 2- and 4-LSB approximations on a
+// clean translation.
+class MvPreservation : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MvPreservation, ApproximateSadFindsSameMotionVector) {
+  const image::Image reference =
+      image::synthesize_image(image::TestImageKind::HighFrequency, 64, 64, 3);
+  const image::Image current = shifted(reference, 2, -1);
+  const SadAccelerator exact_sad(accel::accu_sad(64));
+  const MotionEstimator exact_me({8, 4}, exact_sad);
+  const MotionVector expected = exact_me.search(current, reference, 24, 24);
+
+  // Variants 1-3 keep the carry function intact enough that the zero-SAD
+  // match stays the global minimum. Variants 4/5 replace Cout by a wire
+  // (Cout = A), which destroys the all-propagate pattern arising at an
+  // exact match (a + ~a + 1) — their surfaces can lose the minimum, which
+  // is exactly why the paper's case study pairs them with few LSBs and
+  // checks quality at the application level (Fig. 9).
+  for (int variant = 1; variant <= 3; ++variant) {
+    const SadAccelerator apx_sad(
+        accel::apx_sad_variant(variant, GetParam(), 64));
+    const MotionEstimator apx_me({8, 4}, apx_sad);
+    const MotionVector got = apx_me.search(current, reference, 24, 24);
+    EXPECT_EQ(got, expected) << "variant " << variant;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lsbs, MvPreservation, ::testing::Values(2u, 4u));
+
+TEST(MvPreservation, WireCarryVariantsInflateTheExactMatchCell) {
+  // ApxSAD4/5 wire the carry out to an input (Cout = A). At an exact
+  // match the subtractor computes a + ~a + 1 — an all-propagate pattern
+  // whose +1 the wired carry drops, so |diff| comes out large instead of
+  // 0 and the true-match cell is *inflated*. This is the failure mode
+  // that makes purely circuit-level metrics insufficient and motivates
+  // the application-level evaluation of Fig. 9.
+  const image::Image reference =
+      image::synthesize_image(image::TestImageKind::HighFrequency, 64, 64, 3);
+  const image::Image current = shifted(reference, 2, -1);
+  const SadAccelerator exact_sad(accel::accu_sad(64));
+  const MotionEstimator exact_me({8, 4}, exact_sad);
+  const SadSurface exact_surface =
+      exact_me.surface(current, reference, 24, 24);
+  EXPECT_EQ(exact_surface.at(-2, 1), 0u);  // perfect match exists
+
+  for (int variant = 4; variant <= 5; ++variant) {
+    const SadAccelerator apx_sad(accel::apx_sad_variant(variant, 2, 64));
+    const MotionEstimator apx_me({8, 4}, apx_sad);
+    const SadSurface apx_surface = apx_me.surface(current, reference, 24, 24);
+    EXPECT_GT(apx_surface.at(-2, 1), 0u) << "variant " << variant;
+  }
+}
+
+TEST(MotionEstimator, ConfigValidation) {
+  const SadAccelerator sad(accel::accu_sad(64));
+  EXPECT_THROW(MotionEstimator({8, 0}, sad), std::invalid_argument);
+  EXPECT_THROW(MotionEstimator({16, 4}, sad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axc::video

@@ -1,0 +1,78 @@
+#include "axc/video/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace axc::video {
+namespace {
+
+TEST(Sequence, DeterministicForSeed) {
+  SequenceConfig config;
+  config.frames = 3;
+  const Sequence a = generate_sequence(config);
+  const Sequence b = generate_sequence(config);
+  ASSERT_EQ(a.size(), 3u);
+  for (std::size_t f = 0; f < a.size(); ++f) EXPECT_EQ(a[f], b[f]);
+}
+
+TEST(Sequence, FrameGeometryAndCount) {
+  SequenceConfig config;
+  config.width = 48;
+  config.height = 32;
+  config.frames = 5;
+  const Sequence seq = generate_sequence(config);
+  ASSERT_EQ(seq.size(), 5u);
+  for (const auto& frame : seq) {
+    EXPECT_EQ(frame.width(), 48);
+    EXPECT_EQ(frame.height(), 32);
+  }
+}
+
+TEST(Sequence, TemporalCoherence) {
+  // Consecutive frames must be similar (small motion), and far frames less
+  // so — the property motion estimation depends on.
+  SequenceConfig config;
+  config.frames = 6;
+  config.noise_sigma = 0.5;
+  const Sequence seq = generate_sequence(config);
+  const double near = image::image_mse(seq[0], seq[1]);
+  const double far = image::image_mse(seq[0], seq[5]);
+  EXPECT_LT(near, far);
+}
+
+TEST(Sequence, FramesActuallyChange) {
+  SequenceConfig config;
+  config.frames = 3;
+  const Sequence seq = generate_sequence(config);
+  EXPECT_NE(seq[0], seq[1]);
+  EXPECT_NE(seq[1], seq[2]);
+}
+
+TEST(Sequence, NoiseFreePanIsPureTranslationInTheInterior) {
+  SequenceConfig config;
+  config.frames = 2;
+  config.objects = 0;
+  config.noise_sigma = 0.0;
+  config.pan_x = 2.0;
+  config.pan_y = 0.0;
+  const Sequence seq = generate_sequence(config);
+  // frame1(x, y) == frame0(x + 2, y) away from borders.
+  int mismatches = 0;
+  for (int y = 4; y < config.height - 4; ++y) {
+    for (int x = 4; x < config.width - 6; ++x) {
+      mismatches += seq[1].at(x, y) != seq[0].at(x + 2, y);
+    }
+  }
+  EXPECT_EQ(mismatches, 0);
+}
+
+TEST(Sequence, Validation) {
+  SequenceConfig config;
+  config.width = 8;
+  EXPECT_THROW(generate_sequence(config), std::invalid_argument);
+  config = {};
+  config.frames = 0;
+  EXPECT_THROW(generate_sequence(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axc::video

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "axc/accel/sad.hpp"
 #include "axc/common/rng.hpp"
 #include "axc/image/synth.hpp"
 #include "axc/video/motion.hpp"

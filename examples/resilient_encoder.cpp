@@ -1,0 +1,109 @@
+/// Example: the closed resilience loop (fault injection -> quality
+/// guardbands -> adaptive accuracy control) around the Fig. 9 video
+/// encoder.
+///
+/// A synthetic sequence is encoded with a GeAr-based SAD accelerator
+/// starting at its most aggressive configuration. Mid-sequence, a seeded
+/// SEU-style fault campaign strikes the accelerator's result word. The run
+/// is shown twice:
+///   1. open loop  — the aggressive rung is pinned; the quality contract
+///      is measured but never acted on (violations pile up);
+///   2. closed loop — the AdaptiveController escalates (more CEC
+///      iterations, more accurate GeAr config, exact fallback) until the
+///      contract holds, and de-escalates once the faults stop.
+///
+/// Usage: resilient_encoder [bit_flip_probability] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "axc/resilience/resilient_encoder.hpp"
+#include "axc/video/sequence.hpp"
+
+int main(int argc, char** argv) {
+  using namespace axc;
+
+  const double flip_p = argc >= 2 ? std::atof(argv[1]) : 0.03;
+  const std::uint64_t seed = argc >= 3
+                                 ? static_cast<std::uint64_t>(
+                                       std::strtoull(argv[2], nullptr, 10))
+                                 : 2024;
+
+  video::SequenceConfig sc;
+  sc.width = 64;
+  sc.height = 64;
+  sc.frames = 20;
+  sc.objects = 2;
+  sc.seed = 7;
+  const video::Sequence sequence = video::generate_sequence(sc);
+
+  video::EncoderConfig ec;
+  ec.motion.block_size = 8;
+  ec.motion.search_range = 2;
+  ec.quant_step = 12;
+
+  // Aggressive-to-accurate GeAr ladder over the 8x8 SAD accelerator.
+  const resilience::AccuracyLadder ladder = resilience::build_gear_sad_ladder(
+      64, {{8, 2, 2}, {8, 2, 4}}, 1);
+
+  resilience::QualityContract contract;
+  contract.max_med = 64.0;       // arithmetic spot-check MED budget
+  contract.max_error_rate = 0.9;
+  contract.min_ssim = 0.55;      // frame reconstruction floor
+  contract.window = 16;
+  contract.min_samples = 2;
+
+  resilience::ControllerPolicy policy;
+  policy.violation_windows = 1;
+  policy.calm_windows = 2;
+
+  resilience::FaultWindow faults;
+  faults.spec.bit_flip_probability = flip_p;
+  faults.spec.seed = seed;
+  faults.first_frame = 6;
+  faults.last_frame = 13;
+
+  const resilience::ResilientEncoder encoder(ec, ladder, contract, policy);
+
+  const auto print_run = [&](const char* title,
+                             const resilience::ResilientEncodeStats& stats) {
+    std::printf("%s\n", title);
+    std::printf(
+        "  frame level rung                                   ssim    faults "
+        "ok action\n");
+    for (const resilience::FrameTrace& t : stats.trace) {
+      const char* action = t.action == resilience::ControlAction::Escalate
+                               ? "ESCALATE"
+                           : t.action == resilience::ControlAction::Deescalate
+                               ? "deescalate"
+                               : "-";
+      std::printf("  %5zu %5zu %-38s %6.4f %9llu %2s %s\n", t.frame, t.level,
+                  t.rung_name.c_str(), t.ssim,
+                  static_cast<unsigned long long>(t.faults_injected),
+                  t.contract_ok ? "ok" : "!!", action);
+    }
+    std::printf(
+        "  totals: %llu bits, %.2f dB, mean SSIM %.4f, min SSIM %.4f\n",
+        static_cast<unsigned long long>(stats.totals.total_bits),
+        stats.totals.psnr_db, stats.mean_ssim, stats.min_ssim);
+    std::printf(
+        "  violations %zu frames, escalations %zu, de-escalations %zu, "
+        "peak level %zu, final level %zu\n\n",
+        stats.frames_in_violation, stats.escalations, stats.deescalations,
+        stats.peak_level, stats.final_level);
+  };
+
+  std::printf("fault campaign: p(bit flip) = %g, frames [%zu, %zu), seed %llu\n\n",
+              flip_p, faults.first_frame, faults.last_frame,
+              static_cast<unsigned long long>(seed));
+
+  print_run("open loop (aggressive rung pinned, contract only measured):",
+            encoder.encode_pinned(sequence, 0, faults));
+  print_run("closed loop (AdaptiveController):",
+            encoder.encode(sequence, faults));
+
+  std::cout << "The closed loop escalates while the fault campaign is live\n"
+               "and walks back down the accuracy ladder afterwards; the\n"
+               "open loop keeps violating its contract instead.\n";
+  return 0;
+}

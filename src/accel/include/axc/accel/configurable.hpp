@@ -25,7 +25,7 @@
 namespace axc::accel {
 
 /// A SAD accelerator whose approximation mode is selected at run time.
-class ConfigurableSad {
+class ConfigurableSad final : public SadUnit {
  public:
   /// \p modes are the selectable configurations; all must share
   /// block_pixels. Mode 0 is selected initially. An accurate mode is
@@ -44,7 +44,17 @@ class ConfigurableSad {
 
   /// SAD through the currently selected datapath.
   std::uint64_t sad(std::span<const std::uint8_t> a,
-                    std::span<const std::uint8_t> b) const;
+                    std::span<const std::uint8_t> b) const override;
+
+  unsigned block_pixels() const override {
+    return modes_.front().block_pixels;
+  }
+
+  /// "Cfg[<active mode name>]" — the identity tracks the selection.
+  std::string name() const override;
+
+  /// True when the currently selected mode is accurate.
+  bool is_exact() const override;
 
   /// Total area of the configurable datapath: accurate hardware + every
   /// mode's approximate cells + the selection muxes.

@@ -85,6 +85,18 @@ class Datapath {
   std::vector<std::uint64_t> evaluate(
       std::vector<std::uint64_t> input_values) const;
 
+  /// Per-node intercept for evaluate_with_hook(): receives each computed
+  /// (non-input, non-const) node's id, width and value, and returns the
+  /// value actually stored. This is the seam the resilience layer's fault
+  /// injector uses to flip bits transiently inside the datapath.
+  using NodeHook =
+      std::function<std::uint64_t(NodeId, unsigned width, std::uint64_t)>;
+
+  /// Evaluates like evaluate(), passing every computed node value through
+  /// \p hook before it propagates downstream.
+  std::vector<std::uint64_t> evaluate_with_hook(
+      std::vector<std::uint64_t> input_values, const NodeHook& hook) const;
+
   /// Evaluates the graph with every node exact (the golden twin).
   std::vector<std::uint64_t> evaluate_exact(
       std::vector<std::uint64_t> input_values) const;
@@ -126,7 +138,8 @@ class Datapath {
 
   enum class Mode { Approximate, Exact, Solo };
   std::vector<std::uint64_t> run(std::vector<std::uint64_t> input_values,
-                                 Mode mode, NodeId solo) const;
+                                 Mode mode, NodeId solo,
+                                 const NodeHook* hook = nullptr) const;
   std::uint64_t eval_node(const Node& node, std::uint64_t a, std::uint64_t b,
                           bool use_approx) const;
   NodeId push(Node node);

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "axc/accel/sad_unit.hpp"
 #include "axc/arith/adder.hpp"
 
 namespace axc::accel {
@@ -37,19 +38,22 @@ struct SadConfig {
 };
 
 /// Behavioural SAD accelerator.
-class SadAccelerator {
+class SadAccelerator final : public SadUnit {
  public:
   explicit SadAccelerator(const SadConfig& config);
 
   const SadConfig& config() const { return config_; }
 
+  unsigned block_pixels() const override { return config_.block_pixels; }
+  std::string name() const override { return config_.name(); }
+
   /// Sum of absolute differences over two equally-sized 8-bit blocks.
   /// Blocks must have exactly config().block_pixels elements.
   std::uint64_t sad(std::span<const std::uint8_t> a,
-                    std::span<const std::uint8_t> b) const;
+                    std::span<const std::uint8_t> b) const override;
 
   /// True when every adder cell is accurate.
-  bool is_exact() const;
+  bool is_exact() const override;
 
  private:
   SadConfig config_;

@@ -1,0 +1,40 @@
+/// \file sad_unit.hpp
+/// Abstract interface of a SAD accelerator.
+///
+/// Motion estimation, the video encoder and the resilience layer all
+/// consume SAD hardware through this interface, so any realization — the
+/// behavioural ApxFA-cell accelerator (sad.hpp), the run-time configurable
+/// one (configurable.hpp), the GeAr-based engine the adaptive controller
+/// drives (resilience/gear_sad.hpp), or a fault-injecting wrapper — can be
+/// dropped into the same pipeline. This is the accelerator-level analogue
+/// of the arith::Adder interface.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace axc::accel {
+
+/// An engine computing the sum of absolute differences over two
+/// equally-sized blocks of 8-bit pixels.
+class SadUnit {
+ public:
+  virtual ~SadUnit() = default;
+
+  /// Pixels per block (e.g. 64 for 8x8 blocks). Both spans passed to sad()
+  /// must have exactly this many elements.
+  virtual unsigned block_pixels() const = 0;
+
+  /// Sum of absolute differences over two blocks.
+  virtual std::uint64_t sad(std::span<const std::uint8_t> a,
+                            std::span<const std::uint8_t> b) const = 0;
+
+  /// Human-readable identity, e.g. "ApxSAD3<4lsb,8x8>".
+  virtual std::string name() const = 0;
+
+  /// True if sad() is bit-exact for all inputs.
+  virtual bool is_exact() const { return false; }
+};
+
+}  // namespace axc::accel

@@ -73,6 +73,14 @@ std::uint64_t ConfigurableSad::sad(std::span<const std::uint8_t> a,
   return engines_[selected_].sad(a, b);
 }
 
+std::string ConfigurableSad::name() const {
+  return "Cfg[" + modes_[selected_].name() + "]";
+}
+
+bool ConfigurableSad::is_exact() const {
+  return engines_[selected_].is_exact();
+}
+
 double ConfigurableSad::area_ge() const {
   // Base fabric: the accurate datapath (the largest report is the
   // accurate mode by construction of the library cells).

@@ -14,7 +14,7 @@ NodeId Datapath::push(Node node) {
 }
 
 NodeId Datapath::add_input(unsigned width, std::string label) {
-  require(width >= 1 && width <= 63, "Datapath: input width in [1, 63]");
+  AXC_REQUIRE(width >= 1 && width <= 63, "Datapath: input width in [1, 63]");
   Node node;
   node.kind = OpKind::Input;
   node.width = width;
@@ -25,7 +25,7 @@ NodeId Datapath::add_input(unsigned width, std::string label) {
 }
 
 NodeId Datapath::add_const(unsigned width, std::uint64_t value) {
-  require(width >= 1 && width <= 63, "Datapath: const width in [1, 63]");
+  AXC_REQUIRE(width >= 1 && width <= 63, "Datapath: const width in [1, 63]");
   Node node;
   node.kind = OpKind::Const;
   node.width = width;
@@ -34,17 +34,17 @@ NodeId Datapath::add_const(unsigned width, std::uint64_t value) {
 }
 
 unsigned Datapath::node_width(NodeId node) const {
-  require(node < nodes_.size(), "Datapath: no such node");
+  AXC_REQUIRE(node < nodes_.size(), "Datapath: no such node");
   return nodes_[node].width;
 }
 
 NodeId Datapath::add_op(OpKind kind, NodeId lhs, NodeId rhs,
                         std::shared_ptr<const arith::Adder> adder) {
-  require(kind == OpKind::Add || kind == OpKind::Sub ||
+  AXC_REQUIRE(kind == OpKind::Add || kind == OpKind::Sub ||
               kind == OpKind::AbsDiff || kind == OpKind::Min ||
               kind == OpKind::Max,
           "Datapath::add_op: unsupported kind (use add_mul/add_shift)");
-  require(lhs < nodes_.size() && rhs < nodes_.size(),
+  AXC_REQUIRE(lhs < nodes_.size() && rhs < nodes_.size(),
           "Datapath::add_op: operand node does not exist");
   Node node;
   node.kind = kind;
@@ -54,10 +54,10 @@ NodeId Datapath::add_op(OpKind kind, NodeId lhs, NodeId rhs,
   // Add grows by the carry bit; Sub/AbsDiff/Min/Max keep the operand width.
   node.width = kind == OpKind::Add ? std::min(w + 1, 63u) : w;
   if (adder) {
-    require(kind != OpKind::Min && kind != OpKind::Max,
+    AXC_REQUIRE(kind != OpKind::Min && kind != OpKind::Max,
             "Datapath::add_op: Min/Max take no adder");
     const unsigned need = kind == OpKind::Add ? w : node.width;
-    require(adder->width() == need,
+    AXC_REQUIRE(adder->width() == need,
             "Datapath::add_op: adder width must be " + std::to_string(need));
     node.adder = std::move(adder);
   }
@@ -67,7 +67,7 @@ NodeId Datapath::add_op(OpKind kind, NodeId lhs, NodeId rhs,
 NodeId Datapath::add_mul(
     NodeId lhs, NodeId rhs,
     std::shared_ptr<const arith::ApproxMultiplier> multiplier) {
-  require(lhs < nodes_.size() && rhs < nodes_.size(),
+  AXC_REQUIRE(lhs < nodes_.size() && rhs < nodes_.size(),
           "Datapath::add_mul: operand node does not exist");
   Node node;
   node.kind = OpKind::Mul;
@@ -76,7 +76,7 @@ NodeId Datapath::add_mul(
   const unsigned w = std::max(nodes_[lhs].width, nodes_[rhs].width);
   node.width = std::min(2 * w, 63u);
   if (multiplier) {
-    require(multiplier->width() >= w,
+    AXC_REQUIRE(multiplier->width() >= w,
             "Datapath::add_mul: multiplier narrower than the operands");
     node.multiplier = std::move(multiplier);
   }
@@ -84,7 +84,7 @@ NodeId Datapath::add_mul(
 }
 
 NodeId Datapath::add_shift(NodeId operand, unsigned amount) {
-  require(operand < nodes_.size(), "Datapath::add_shift: no such node");
+  AXC_REQUIRE(operand < nodes_.size(), "Datapath::add_shift: no such node");
   Node node;
   node.kind = OpKind::ShiftRight;
   node.lhs = operand;
@@ -97,7 +97,7 @@ NodeId Datapath::add_shift(NodeId operand, unsigned amount) {
 }
 
 void Datapath::mark_output(NodeId node) {
-  require(node < nodes_.size(), "Datapath::mark_output: no such node");
+  AXC_REQUIRE(node < nodes_.size(), "Datapath::mark_output: no such node");
   outputs_.push_back(node);
 }
 
@@ -133,15 +133,16 @@ std::uint64_t Datapath::eval_node(const Node& node, std::uint64_t a,
     case OpKind::Const:
       break;
   }
-  require(false, "Datapath: unexpected node kind in eval");
+  AXC_REQUIRE(false, "Datapath: unexpected node kind in eval");
   return 0;
 }
 
 std::vector<std::uint64_t> Datapath::run(
-    std::vector<std::uint64_t> input_values, Mode mode, NodeId solo) const {
-  require(input_values.size() == inputs_.size(),
-          "Datapath: input count mismatch");
-  require(!outputs_.empty(), "Datapath: no outputs marked");
+    std::vector<std::uint64_t> input_values, Mode mode, NodeId solo,
+    const NodeHook* hook) const {
+  AXC_REQUIRE(input_values.size() == inputs_.size(),
+              "Datapath: input count mismatch");
+  AXC_REQUIRE(!outputs_.empty(), "Datapath: no outputs marked");
   std::vector<std::uint64_t> value(nodes_.size(), 0);
   std::size_t next_input = 0;
   for (NodeId id = 0; id < nodes_.size(); ++id) {
@@ -158,6 +159,9 @@ std::vector<std::uint64_t> Datapath::run(
         mode == Mode::Approximate || (mode == Mode::Solo && id == solo);
     value[id] =
         eval_node(node, value[node.lhs], value[node.rhs], use_approx);
+    if (hook) {
+      value[id] = (*hook)(id, node.width, value[id]) & low_mask(node.width);
+    }
   }
   std::vector<std::uint64_t> out;
   out.reserve(outputs_.size());
@@ -170,6 +174,13 @@ std::vector<std::uint64_t> Datapath::evaluate(
   return run(std::move(input_values), Mode::Approximate, 0);
 }
 
+std::vector<std::uint64_t> Datapath::evaluate_with_hook(
+    std::vector<std::uint64_t> input_values, const NodeHook& hook) const {
+  AXC_REQUIRE(static_cast<bool>(hook),
+              "Datapath::evaluate_with_hook: null hook");
+  return run(std::move(input_values), Mode::Approximate, 0, &hook);
+}
+
 std::vector<std::uint64_t> Datapath::evaluate_exact(
     std::vector<std::uint64_t> input_values) const {
   return run(std::move(input_values), Mode::Exact, 0);
@@ -177,7 +188,7 @@ std::vector<std::uint64_t> Datapath::evaluate_exact(
 
 std::vector<std::uint64_t> Datapath::evaluate_solo(
     NodeId solo, std::vector<std::uint64_t> input_values) const {
-  require(solo < nodes_.size(), "Datapath::evaluate_solo: no such node");
+  AXC_REQUIRE(solo < nodes_.size(), "Datapath::evaluate_solo: no such node");
   return run(std::move(input_values), Mode::Solo, solo);
 }
 
@@ -231,7 +242,7 @@ std::vector<Datapath::MaskingEntry> Datapath::masking_profile(
 
 NodeId build_sad_datapath(Datapath& dp, unsigned pixels,
                           const arith::AdderFactory& adder_factory) {
-  require(pixels >= 2 && (pixels & (pixels - 1)) == 0,
+  AXC_REQUIRE(pixels >= 2 && (pixels & (pixels - 1)) == 0,
           "build_sad_datapath: pixels must be a power of two >= 2");
   const auto adder_for = [&](unsigned width)
       -> std::shared_ptr<const arith::Adder> {

@@ -1,13 +1,25 @@
 /// \file pgm.hpp
 /// Portable GrayMap I/O so the examples can emit inspectable artifacts and
 /// users can run the Fig. 10 experiment on their own images.
+///
+/// The reader is strict: it validates the magic, requires fully numeric
+/// header tokens, bounds the declared dimensions (see kMaxPgmPixels), and
+/// verifies that the pixel payload is complete. Every failure throws
+/// std::runtime_error with a message naming the offending field.
 #pragma once
 
+#include <cstddef>
+#include <iosfwd>
 #include <string>
 
 #include "axc/image/image.hpp"
 
 namespace axc::image {
+
+/// Upper bound on width * height accepted by read_pgm. Generous for any
+/// realistic test content while keeping a hostile header ("999999999
+/// 999999999") from turning into a multi-gigabyte allocation.
+inline constexpr std::size_t kMaxPgmPixels = std::size_t{1} << 26;  // 64 Mpx
 
 /// Writes \p image as binary PGM (P5). Throws std::runtime_error on I/O
 /// failure.
@@ -16,5 +28,10 @@ void write_pgm(const Image& image, const std::string& path);
 /// Reads a binary (P5) or ASCII (P2) PGM with maxval <= 255.
 /// Throws std::runtime_error on parse or I/O failure.
 Image read_pgm(const std::string& path);
+
+/// Stream variant of read_pgm, e.g. over a std::istringstream holding an
+/// in-memory (possibly corrupt) buffer. Same validation and error
+/// behaviour as the path overload.
+Image read_pgm(std::istream& in);
 
 }  // namespace axc::image

@@ -1,7 +1,8 @@
 #include "axc/image/pgm.hpp"
 
+#include <cctype>
 #include <fstream>
-#include <sstream>
+#include <istream>
 #include <stdexcept>
 
 namespace axc::image {
@@ -25,15 +26,27 @@ std::string next_token(std::istream& in) {
     break;
   }
   in >> token;
+  if (token.empty()) throw std::runtime_error("read_pgm: truncated header");
   return token;
 }
 
-int parse_int(const std::string& token, const char* what) {
-  try {
-    return std::stoi(token);
-  } catch (const std::exception&) {
-    throw std::runtime_error(std::string("read_pgm: bad ") + what);
+/// Strict decimal parse: the token must be digits and nothing else, so
+/// "2x2" or "12.5" is rejected rather than silently truncated the way
+/// std::stoi would. The 9-digit cap keeps the value inside int range.
+long parse_header_int(const std::string& token, const char* what) {
+  if (token.empty() || token.size() > 9) {
+    throw std::runtime_error(std::string("read_pgm: bad ") + what + " '" +
+                             token + "'");
   }
+  long value = 0;
+  for (const char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      throw std::runtime_error(std::string("read_pgm: non-numeric ") + what +
+                               " '" + token + "'");
+    }
+    value = value * 10 + (c - '0');
+  }
+  return value;
 }
 
 }  // namespace
@@ -47,27 +60,42 @@ void write_pgm(const Image& image, const std::string& path) {
   if (!out) throw std::runtime_error("write_pgm: write failed for " + path);
 }
 
-Image read_pgm(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("read_pgm: cannot open " + path);
+Image read_pgm(std::istream& in) {
   const std::string magic = next_token(in);
   if (magic != "P5" && magic != "P2") {
     throw std::runtime_error("read_pgm: unsupported magic '" + magic + "'");
   }
-  const int width = parse_int(next_token(in), "width");
-  const int height = parse_int(next_token(in), "height");
-  const int maxval = parse_int(next_token(in), "maxval");
-  if (width < 1 || height < 1 || maxval < 1 || maxval > 255) {
-    throw std::runtime_error("read_pgm: unsupported dimensions/maxval");
+  const long width = parse_header_int(next_token(in), "width");
+  const long height = parse_header_int(next_token(in), "height");
+  const long maxval = parse_header_int(next_token(in), "maxval");
+  if (width < 1 || height < 1) {
+    throw std::runtime_error("read_pgm: dimensions must be positive");
   }
-  Image image(width, height);
+  if (static_cast<std::size_t>(width) * static_cast<std::size_t>(height) >
+      kMaxPgmPixels) {
+    throw std::runtime_error("read_pgm: image exceeds " +
+                             std::to_string(kMaxPgmPixels) + " pixels");
+  }
+  if (maxval < 1 || maxval > 255) {
+    throw std::runtime_error("read_pgm: unsupported maxval " +
+                             std::to_string(maxval));
+  }
+  Image image(static_cast<int>(width), static_cast<int>(height));
   if (magic == "P5") {
-    in.get();  // single whitespace after maxval
+    const int sep = in.get();  // single whitespace after maxval
+    if (sep == EOF || !std::isspace(sep)) {
+      throw std::runtime_error("read_pgm: missing separator after maxval");
+    }
     in.read(reinterpret_cast<char*>(image.pixels().data()),
             static_cast<std::streamsize>(image.pixels().size()));
     if (in.gcount() !=
         static_cast<std::streamsize>(image.pixels().size())) {
       throw std::runtime_error("read_pgm: truncated pixel data");
+    }
+    for (const std::uint8_t px : image.pixels()) {
+      if (px > maxval) {
+        throw std::runtime_error("read_pgm: pixel exceeds declared maxval");
+      }
     }
   } else {
     for (auto& px : image.pixels()) {
@@ -79,6 +107,12 @@ Image read_pgm(const std::string& path) {
     }
   }
   return image;
+}
+
+Image read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_pgm: cannot open " + path);
+  return read_pgm(in);
 }
 
 }  // namespace axc::image

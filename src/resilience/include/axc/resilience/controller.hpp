@@ -1,0 +1,112 @@
+/// \file controller.hpp
+/// Adaptive accuracy control: the policy that closes the loop between the
+/// QualityMonitor's verdicts and the accelerator's accuracy configuration.
+///
+/// Escalation follows the paper's own recovery levers, cheapest first:
+/// raise the GeAr error-correction iteration count (Sec. 6.1 CEC), switch
+/// to a more accurate GeAr configuration from the design space (Table IV),
+/// and finally fall back to exact hardware. De-escalation walks the same
+/// ladder back down once sustained headroom returns, so the system spends
+/// the minimum energy that the contract allows — the runtime analogue of
+/// picking the optimal configuration under an error constraint
+/// (Farahmand et al.).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "axc/accel/sad_unit.hpp"
+#include "axc/arith/gear.hpp"
+#include "axc/resilience/monitor.hpp"
+
+namespace axc::resilience {
+
+/// One selectable accuracy configuration.
+struct AccuracyRung {
+  std::string name;
+  std::shared_ptr<const accel::SadUnit> sad;
+  /// Critical-path proxy relative to the exact ripple datapath (1.0);
+  /// GeAr rungs cost min((corrections + 1) * L, N) / N full-adder delays.
+  double latency_proxy = 1.0;
+};
+
+/// An ordered accuracy ladder: rung 0 is the most aggressive (cheapest)
+/// configuration, the last rung the most accurate (the fallback).
+class AccuracyLadder {
+ public:
+  explicit AccuracyLadder(std::vector<AccuracyRung> rungs);
+
+  std::size_t size() const { return rungs_.size(); }
+  const AccuracyRung& rung(std::size_t index) const;
+
+ private:
+  std::vector<AccuracyRung> rungs_;
+};
+
+/// Builds the canonical GeAr escalation ladder for a SAD accelerator:
+/// the first (most aggressive) configuration climbing through CEC
+/// correction iterations 0..corrections_per_config, then each further
+/// (more accurate) configuration at the top correction count, and finally
+/// the exact ApxFA-free accelerator. All configs must be valid 8-bit GeAr
+/// points, ordered aggressive-to-accurate by the caller.
+AccuracyLadder build_gear_sad_ladder(
+    unsigned block_pixels, const std::vector<arith::GeArConfig>& configs,
+    unsigned corrections_per_config = 2);
+
+/// Hysteresis parameters of the adaptive policy.
+struct ControllerPolicy {
+  /// Consecutive violating verdicts required before escalating.
+  std::size_t violation_windows = 1;
+  /// Consecutive comfortable verdicts required before de-escalating.
+  std::size_t calm_windows = 2;
+  /// De-escalation requires the window statistics to sit inside this
+  /// fraction of the MED / error-rate budgets (headroom, not mere
+  /// compliance — prevents escalate/de-escalate oscillation).
+  double deescalate_margin = 0.5;
+  /// Absolute SSIM slack above the contract floor required to de-escalate.
+  double ssim_headroom = 0.02;
+};
+
+/// What a controller step decided.
+enum class ControlAction { Hold, Escalate, Deescalate };
+
+/// The closed-loop accuracy controller: feed its monitor(), then step().
+class AdaptiveController {
+ public:
+  AdaptiveController(AccuracyLadder ladder, const QualityContract& contract,
+                     const ControllerPolicy& policy = {});
+
+  /// The currently selected accelerator.
+  const accel::SadUnit& active_sad() const;
+  const AccuracyRung& active_rung() const { return ladder_.rung(level_); }
+  std::size_t level() const { return level_; }
+  std::size_t ladder_size() const { return ladder_.size(); }
+
+  /// The monitor to feed with samples between steps.
+  QualityMonitor& monitor() { return monitor_; }
+  const QualityMonitor& monitor() const { return monitor_; }
+
+  /// Consumes the current verdict and moves along the ladder if warranted.
+  /// On any level change the monitor window is cleared, so the next
+  /// verdict reflects only the new configuration.
+  ControlAction step();
+
+  std::size_t escalations() const { return escalations_; }
+  std::size_t deescalations() const { return deescalations_; }
+
+ private:
+  bool comfortable(const QualityVerdict& verdict) const;
+
+  AccuracyLadder ladder_;
+  ControllerPolicy policy_;
+  QualityMonitor monitor_;
+  std::size_t level_ = 0;
+  std::size_t violating_streak_ = 0;
+  std::size_t calm_streak_ = 0;
+  std::size_t escalations_ = 0;
+  std::size_t deescalations_ = 0;
+};
+
+}  // namespace axc::resilience

@@ -1,0 +1,123 @@
+/// \file fault.hpp
+/// Seeded transient fault injection across the stack.
+///
+/// Designed-in approximation is not the only error source a deployed
+/// accelerator faces: particle-strike SEUs and marginal-voltage upsets
+/// perturb outputs beyond what any static error analysis predicted. This
+/// module stresses the resilience claims against exactly that: a
+/// deterministic (seeded) bit-flip process applied at three levels of the
+/// stack — individual nets of a gate-level logic::Netlist, node outputs of
+/// an accel::Datapath, and the result word of any accel::SadUnit. The
+/// QualityMonitor / AdaptiveController loop (monitor.hpp, controller.hpp)
+/// is then responsible for detecting the quality loss and recovering.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "axc/accel/datapath.hpp"
+#include "axc/accel/sad_unit.hpp"
+#include "axc/common/rng.hpp"
+#include "axc/logic/netlist.hpp"
+
+namespace axc::resilience {
+
+/// Parameters of the SEU-style transient fault process.
+struct FaultSpec {
+  /// Probability that any individual bit flips, independently, each time a
+  /// value passes the injection point. 0 disables injection entirely.
+  double bit_flip_probability = 0.0;
+  /// Seed of the fault process; equal seeds reproduce identical campaigns.
+  std::uint64_t seed = 1;
+};
+
+/// The core bit-flip process: a seeded Bernoulli trial per bit.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultSpec& spec);
+
+  /// Returns \p word with each of its low \p width bits independently
+  /// flipped with probability spec().bit_flip_probability.
+  std::uint64_t corrupt(std::uint64_t word, unsigned width);
+
+  /// Total bits flipped since construction / reseed().
+  std::uint64_t bits_flipped() const { return bits_flipped_; }
+
+  /// Number of corrupt() calls that flipped at least one bit.
+  std::uint64_t words_corrupted() const { return words_corrupted_; }
+
+  /// Restarts the fault process from \p seed (counters reset too).
+  void reseed(std::uint64_t seed);
+
+  const FaultSpec& spec() const { return spec_; }
+
+ private:
+  FaultSpec spec_;
+  Rng rng_;
+  std::uint64_t bits_flipped_ = 0;
+  std::uint64_t words_corrupted_ = 0;
+};
+
+/// Gate-level fault injection: evaluates a logic::Netlist like
+/// logic::Simulator, but every gate output may flip (SEU on the driven
+/// net) before fanout sees it. Primary inputs and constants are not
+/// perturbed — upsets strike logic, stimuli are given.
+class FaultySimulator {
+ public:
+  FaultySimulator(const logic::Netlist& netlist, const FaultSpec& spec);
+
+  /// Applies one input vector (one bit per primary input, in the order of
+  /// Netlist::inputs()) and returns the primary-output bits.
+  std::vector<unsigned> apply(std::span<const unsigned> input_bits);
+
+  /// Packs the low bits of \p input_word onto the primary inputs and
+  /// returns outputs packed the same way. Requires <= 64 inputs/outputs.
+  std::uint64_t apply_word(std::uint64_t input_word);
+
+  /// Bits flipped across all vectors so far.
+  std::uint64_t faults_injected() const { return injector_.bits_flipped(); }
+
+  const logic::Netlist& netlist() const { return netlist_; }
+
+ private:
+  const logic::Netlist& netlist_;
+  FaultInjector injector_;
+  std::vector<unsigned> net_value_;
+};
+
+/// Datapath-level fault injection: evaluates \p dp with every computed
+/// node's output word passed through \p injector (each bit flips with the
+/// spec probability). Word-level analogue of FaultySimulator, built on
+/// Datapath::evaluate_with_hook().
+std::vector<std::uint64_t> evaluate_with_faults(
+    const accel::Datapath& dp, std::vector<std::uint64_t> input_values,
+    FaultInjector& injector);
+
+/// Accelerator-level fault injection: wraps any SadUnit and corrupts its
+/// result word. The width of the injection surface is the true SAD result
+/// width (ceil(log2(block_pixels * 255 + 1))), so flips range from LSB
+/// noise to catastrophic MSB upsets.
+class FaultySad final : public accel::SadUnit {
+ public:
+  FaultySad(const accel::SadUnit& inner, const FaultSpec& spec);
+
+  unsigned block_pixels() const override { return inner_.block_pixels(); }
+  std::uint64_t sad(std::span<const std::uint8_t> a,
+                    std::span<const std::uint8_t> b) const override;
+
+  /// "Faulty<inner name>".
+  std::string name() const override;
+
+  /// Never exact: the fault process may strike any call.
+  bool is_exact() const override { return false; }
+
+  std::uint64_t faults_injected() const { return injector_.bits_flipped(); }
+
+ private:
+  const accel::SadUnit& inner_;
+  unsigned result_width_;
+  mutable FaultInjector injector_;
+};
+
+}  // namespace axc::resilience

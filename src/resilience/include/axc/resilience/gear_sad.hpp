@@ -1,0 +1,61 @@
+/// \file gear_sad.hpp
+/// A SAD accelerator built from GeAr adders — the accuracy-configurable
+/// engine the adaptive controller drives.
+///
+/// Sec. 4.2's GeAr adder is the paper's run-time accuracy knob: the same
+/// hardware covers a whole accuracy/latency curve through its (R, P)
+/// configuration and the number of error-correction passes (Sec. 6.1 CEC).
+/// This engine instantiates that knob inside the Sec. 6 SAD structure: the
+/// absolute-difference subtractors and every reduction-tree adder are GeAr
+/// instances derived from one base configuration, so a single
+/// (config, corrections) pair sets the accuracy of the whole accelerator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "axc/accel/sad_unit.hpp"
+#include "axc/arith/gear.hpp"
+
+namespace axc::resilience {
+
+/// Adapts a base GeAr configuration (defined at the pixel width, N = 8) to
+/// an arbitrary operand width, preserving R and growing P just enough to
+/// keep the sub-adder windows tiling the word ((width - L) divisible by R).
+/// Widths not exceeding the base window L degenerate to the exact
+/// single-window configuration.
+arith::GeArConfig gear_config_for_width(const arith::GeArConfig& base,
+                                        unsigned width);
+
+/// SAD accelerator whose subtractors and reduction-tree adders are GeAr
+/// instances with a common correction-iteration count.
+class GearSad final : public accel::SadUnit {
+ public:
+  /// \p base is an 8-bit GeAr configuration (the pixel datapath); wider
+  /// tree levels use gear_config_for_width() derivatives. Every adder runs
+  /// \p correction_iterations CEC passes.
+  GearSad(unsigned block_pixels, const arith::GeArConfig& base,
+          unsigned correction_iterations = 0);
+
+  unsigned block_pixels() const override { return block_pixels_; }
+  std::uint64_t sad(std::span<const std::uint8_t> a,
+                    std::span<const std::uint8_t> b) const override;
+
+  /// "GeArSAD<GeAr(N=8,R=2,P=2)+CEC1,8x8>".
+  std::string name() const override;
+
+  /// True when every constituent adder converges to the exact sum.
+  bool is_exact() const override;
+
+  const arith::GeArConfig& base_config() const { return base_; }
+  unsigned correction_iterations() const { return corrections_; }
+
+ private:
+  unsigned block_pixels_;
+  arith::GeArConfig base_;
+  unsigned corrections_;
+  arith::GeArAdder subtractor_;                ///< 8-bit abs-diff datapath
+  std::vector<arith::GeArAdder> tree_adders_;  ///< one per tree level
+};
+
+}  // namespace axc::resilience

@@ -1,0 +1,88 @@
+/// \file monitor.hpp
+/// Runtime quality guardbands: rolling-window error statistics checked
+/// against a declared contract.
+///
+/// A static accuracy choice is not robust — quality under approximation
+/// varies strongly with input distribution (Masadeh et al.), and transient
+/// faults (fault.hpp) shift it further at runtime. The QualityMonitor
+/// therefore measures delivered quality continuously: arithmetic-level
+/// samples feed the axc::error metrics (MED / error rate) and frame-level
+/// samples feed axc::image SSIM, each over a rolling window, and both are
+/// judged against a QualityContract. The AdaptiveController
+/// (controller.hpp) turns the verdicts into accuracy-configuration
+/// actions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "axc/error/metrics.hpp"
+#include "axc/image/image.hpp"
+
+namespace axc::resilience {
+
+/// The quality guardband an accelerator deployment must stay inside.
+/// Unset bounds (the defaults) are never violated.
+struct QualityContract {
+  /// Mean-error-distance budget over the arithmetic sample window.
+  double max_med = 1.0e300;
+  /// Error-rate budget (fraction of arithmetic samples with any error).
+  double max_error_rate = 1.0;
+  /// SSIM floor over the frame sample window.
+  double min_ssim = -1.0;
+  /// Rolling window length, in samples, per channel.
+  std::size_t window = 8;
+  /// Verdicts on a channel need at least this many samples; below it the
+  /// channel is treated as within contract (insufficient evidence).
+  std::size_t min_samples = 2;
+};
+
+/// The monitor's judgement over the current windows.
+struct QualityVerdict {
+  error::ErrorStats stats;     ///< over the arithmetic window
+  double mean_ssim = 1.0;      ///< over the frame window (1.0 if empty)
+  std::size_t ssim_samples = 0;
+  bool med_ok = true;
+  bool error_rate_ok = true;
+  bool ssim_ok = true;
+
+  bool ok() const { return med_ok && error_rate_ok && ssim_ok; }
+};
+
+/// Rolling-window quality tracker for one monitored accelerator.
+class QualityMonitor {
+ public:
+  explicit QualityMonitor(const QualityContract& contract);
+
+  /// Records one arithmetic-level (approx, exact) output pair.
+  void record(std::uint64_t approx, std::uint64_t exact);
+
+  /// Records one frame-level SSIM sample in [-1, 1].
+  void record_ssim(double value);
+
+  /// Computes SSIM(reference, distorted), records it, and returns it.
+  double record_frame(const image::Image& reference,
+                      const image::Image& distorted);
+
+  /// Judges the current windows against the contract.
+  QualityVerdict verdict() const;
+
+  /// True when some channel has enough samples and breaches its bound.
+  bool in_violation() const { return !verdict().ok(); }
+
+  /// Drops all windowed samples (used after a reconfiguration so stale
+  /// samples from the previous configuration don't bias the verdict).
+  void clear();
+
+  std::size_t arithmetic_samples() const { return numeric_.size(); }
+  std::size_t ssim_samples() const { return ssim_.size(); }
+  const QualityContract& contract() const { return contract_; }
+
+ private:
+  QualityContract contract_;
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> numeric_;
+  std::deque<double> ssim_;
+};
+
+}  // namespace axc::resilience

@@ -1,0 +1,98 @@
+/// \file resilient_encoder.hpp
+/// End-to-end closed loop: the video encoder substrate driven through the
+/// contract -> monitor -> controller chain, optionally under a transient
+/// fault campaign.
+///
+/// Per frame: encode with the controller's active SAD rung (wrapped by a
+/// FaultySad while the fault window is open), measure delivered quality
+/// (frame SSIM for the end-to-end channel, plus an arithmetic integrity
+/// spot-check of the active unit against the same rung's designed
+/// behavior, which isolates fault-induced deviation from designed
+/// approximation), feed the QualityMonitor, and let the
+/// AdaptiveController escalate or de-escalate before the next frame. The
+/// open-loop variant (encode_pinned) runs the identical pipeline with the
+/// rung fixed and the contract only measured — the "unmonitored encoder"
+/// baseline the integration tests compare against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "axc/resilience/controller.hpp"
+#include "axc/resilience/fault.hpp"
+#include "axc/video/encoder.hpp"
+
+namespace axc::resilience {
+
+/// A fault campaign over part of a sequence: frames in
+/// [first_frame, last_frame) are encoded through a FaultySad with \p spec.
+struct FaultWindow {
+  FaultSpec spec;
+  std::size_t first_frame = 0;
+  std::size_t last_frame = static_cast<std::size_t>(-1);
+
+  bool active(std::size_t frame) const {
+    return spec.bit_flip_probability > 0.0 && frame >= first_frame &&
+           frame < last_frame;
+  }
+};
+
+/// Per-frame record of the control loop.
+struct FrameTrace {
+  std::size_t frame = 0;          ///< frame index within the sequence
+  std::size_t level = 0;          ///< ladder rung used for this frame
+  std::string rung_name;
+  double ssim = 1.0;              ///< reconstruction vs source
+  std::uint64_t bits = 0;
+  std::uint64_t faults_injected = 0;  ///< bits flipped inside this frame
+  bool contract_ok = true;        ///< verdict after recording this frame
+  ControlAction action = ControlAction::Hold;  ///< decision taken after
+};
+
+/// Whole-run outputs.
+struct ResilientEncodeStats {
+  video::EncodeStats totals;
+  std::vector<FrameTrace> trace;  ///< one entry per inter frame
+  std::size_t escalations = 0;
+  std::size_t deescalations = 0;
+  std::size_t frames_in_violation = 0;
+  std::size_t final_level = 0;
+  std::size_t peak_level = 0;
+  double min_ssim = 1.0;
+  double mean_ssim = 1.0;
+};
+
+/// Encoder with the resilience loop wrapped around it.
+class ResilientEncoder {
+ public:
+  ResilientEncoder(const video::EncoderConfig& config, AccuracyLadder ladder,
+                   const QualityContract& contract,
+                   const ControllerPolicy& policy = {});
+
+  /// Closed loop: the AdaptiveController picks the rung frame by frame.
+  ResilientEncodeStats encode(const video::Sequence& sequence,
+                              const FaultWindow& faults = {}) const;
+
+  /// Open loop: rung \p level for every frame; the contract is measured
+  /// (trace/violation counts are filled) but never acted on.
+  ResilientEncodeStats encode_pinned(const video::Sequence& sequence,
+                                     std::size_t level,
+                                     const FaultWindow& faults = {}) const;
+
+  const video::EncoderConfig& config() const { return config_; }
+  const AccuracyLadder& ladder() const { return ladder_; }
+
+ private:
+  ResilientEncodeStats run(const video::Sequence& sequence,
+                           const FaultWindow& faults,
+                           AdaptiveController* controller,
+                           std::size_t pinned_level) const;
+
+  video::EncoderConfig config_;
+  AccuracyLadder ladder_;
+  QualityContract contract_;
+  ControllerPolicy policy_;
+};
+
+}  // namespace axc::resilience

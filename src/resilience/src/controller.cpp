@@ -1,0 +1,137 @@
+#include "axc/resilience/controller.hpp"
+
+#include <algorithm>
+
+#include "axc/accel/sad.hpp"
+#include "axc/common/require.hpp"
+#include "axc/resilience/gear_sad.hpp"
+
+namespace axc::resilience {
+
+AccuracyLadder::AccuracyLadder(std::vector<AccuracyRung> rungs)
+    : rungs_(std::move(rungs)) {
+  AXC_REQUIRE(!rungs_.empty(), "AccuracyLadder: need at least one rung");
+  const unsigned pixels = rungs_.front().sad->block_pixels();
+  for (const AccuracyRung& rung : rungs_) {
+    AXC_REQUIRE(rung.sad != nullptr, "AccuracyLadder: null rung");
+    AXC_REQUIRE(rung.sad->block_pixels() == pixels,
+                "AccuracyLadder: all rungs must share the block geometry");
+  }
+}
+
+const AccuracyRung& AccuracyLadder::rung(std::size_t index) const {
+  require_in_range(index < rungs_.size(), "AccuracyLadder: no such rung");
+  return rungs_[index];
+}
+
+AccuracyLadder build_gear_sad_ladder(
+    unsigned block_pixels, const std::vector<arith::GeArConfig>& configs,
+    unsigned corrections_per_config) {
+  AXC_REQUIRE(!configs.empty(),
+              "build_gear_sad_ladder: need at least one GeAr config");
+  std::vector<AccuracyRung> rungs;
+  const auto latency_proxy = [](const arith::GeArConfig& c, unsigned corr) {
+    return static_cast<double>(std::min((corr + 1) * c.l(), c.n)) /
+           static_cast<double>(c.n);
+  };
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const arith::GeArConfig& config = configs[i];
+    AXC_REQUIRE(config.is_valid() && config.n == 8,
+                "build_gear_sad_ladder: configs must be valid 8-bit GeAr "
+                "points");
+    // The first (cheapest) config climbs through CEC iterations; further
+    // configs keep the top correction effort and change the architecture.
+    const unsigned first = i == 0 ? 0 : corrections_per_config;
+    for (unsigned corr = first; corr <= corrections_per_config; ++corr) {
+      auto sad = std::make_shared<GearSad>(block_pixels, config, corr);
+      if (sad->is_exact()) break;  // the explicit exact rung ends the ladder
+      rungs.push_back(
+          {sad->name(), std::move(sad), latency_proxy(config, corr)});
+    }
+  }
+  auto exact =
+      std::make_shared<accel::SadAccelerator>(accel::accu_sad(block_pixels));
+  rungs.push_back({exact->name(), std::move(exact), 1.0});
+  return AccuracyLadder(std::move(rungs));
+}
+
+AdaptiveController::AdaptiveController(AccuracyLadder ladder,
+                                       const QualityContract& contract,
+                                       const ControllerPolicy& policy)
+    : ladder_(std::move(ladder)), policy_(policy), monitor_(contract) {
+  AXC_REQUIRE(policy.violation_windows >= 1,
+              "AdaptiveController: violation_windows must be >= 1");
+  AXC_REQUIRE(policy.calm_windows >= 1,
+              "AdaptiveController: calm_windows must be >= 1");
+  AXC_REQUIRE(policy.deescalate_margin > 0.0 &&
+                  policy.deescalate_margin <= 1.0,
+              "AdaptiveController: deescalate_margin must be in (0, 1]");
+}
+
+const accel::SadUnit& AdaptiveController::active_sad() const {
+  return *ladder_.rung(level_).sad;
+}
+
+bool AdaptiveController::comfortable(const QualityVerdict& verdict) const {
+  const QualityContract& contract = monitor_.contract();
+  // Headroom on every *bounded* channel that has evidence; unbounded
+  // channels never block de-escalation.
+  if (verdict.stats.samples >= contract.min_samples) {
+    if (contract.max_med < 1.0e300 &&
+        verdict.stats.mean_error_distance >
+            policy_.deescalate_margin * contract.max_med) {
+      return false;
+    }
+    if (contract.max_error_rate < 1.0 &&
+        verdict.stats.error_rate >
+            policy_.deescalate_margin * contract.max_error_rate) {
+      return false;
+    }
+  }
+  if (contract.min_ssim > -1.0 &&
+      verdict.ssim_samples >= contract.min_samples &&
+      verdict.mean_ssim < contract.min_ssim + policy_.ssim_headroom) {
+    return false;
+  }
+  return true;
+}
+
+ControlAction AdaptiveController::step() {
+  const QualityVerdict verdict = monitor_.verdict();
+  const QualityContract& contract = monitor_.contract();
+  const bool has_evidence =
+      verdict.stats.samples >= contract.min_samples ||
+      verdict.ssim_samples >= contract.min_samples;
+  if (!has_evidence) return ControlAction::Hold;
+
+  if (!verdict.ok()) {
+    calm_streak_ = 0;
+    ++violating_streak_;
+    if (violating_streak_ >= policy_.violation_windows &&
+        level_ + 1 < ladder_.size()) {
+      ++level_;
+      ++escalations_;
+      violating_streak_ = 0;
+      monitor_.clear();
+      return ControlAction::Escalate;
+    }
+    return ControlAction::Hold;
+  }
+
+  violating_streak_ = 0;
+  if (level_ > 0 && comfortable(verdict)) {
+    ++calm_streak_;
+    if (calm_streak_ >= policy_.calm_windows) {
+      --level_;
+      ++deescalations_;
+      calm_streak_ = 0;
+      monitor_.clear();
+      return ControlAction::Deescalate;
+    }
+  } else {
+    calm_streak_ = 0;
+  }
+  return ControlAction::Hold;
+}
+
+}  // namespace axc::resilience

@@ -1,0 +1,116 @@
+#include "axc/resilience/fault.hpp"
+
+#include <bit>
+
+#include "axc/common/bits.hpp"
+#include "axc/common/require.hpp"
+#include "axc/logic/cell.hpp"
+
+namespace axc::resilience {
+
+FaultInjector::FaultInjector(const FaultSpec& spec)
+    : spec_(spec), rng_(spec.seed) {
+  AXC_REQUIRE(spec.bit_flip_probability >= 0.0 &&
+                  spec.bit_flip_probability <= 1.0,
+              "FaultInjector: bit_flip_probability must be in [0, 1]");
+}
+
+std::uint64_t FaultInjector::corrupt(std::uint64_t word, unsigned width) {
+  AXC_REQUIRE(width >= 1 && width <= 64,
+              "FaultInjector::corrupt: width must be in [1, 64]");
+  word &= low_mask(width);
+  if (spec_.bit_flip_probability <= 0.0) return word;
+  std::uint64_t flips = 0;
+  for (unsigned bit = 0; bit < width; ++bit) {
+    if (rng_.uniform() < spec_.bit_flip_probability) {
+      flips |= std::uint64_t{1} << bit;
+    }
+  }
+  if (flips != 0) {
+    bits_flipped_ += static_cast<std::uint64_t>(std::popcount(flips));
+    ++words_corrupted_;
+  }
+  return word ^ flips;
+}
+
+void FaultInjector::reseed(std::uint64_t seed) {
+  spec_.seed = seed;
+  rng_.reseed(seed);
+  bits_flipped_ = 0;
+  words_corrupted_ = 0;
+}
+
+FaultySimulator::FaultySimulator(const logic::Netlist& netlist,
+                                 const FaultSpec& spec)
+    : netlist_(netlist), injector_(spec), net_value_(netlist.net_count(), 0) {}
+
+std::vector<unsigned> FaultySimulator::apply(
+    std::span<const unsigned> input_bits) {
+  const auto& inputs = netlist_.inputs();
+  AXC_REQUIRE(input_bits.size() == inputs.size(),
+              "FaultySimulator::apply: input vector arity mismatch");
+  // Stimuli and tie cells are applied clean; upsets strike the logic.
+  for (logic::NetId net = 0; net < net_value_.size(); ++net) {
+    const logic::CellType kind = netlist_.driver(net);
+    if (kind == logic::CellType::Const0) net_value_[net] = 0;
+    if (kind == logic::CellType::Const1) net_value_[net] = 1;
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    net_value_[inputs[i]] = input_bits[i] & 1u;
+  }
+  for (const logic::Gate& gate : netlist_.gates()) {
+    const unsigned value = logic::eval_cell(
+        gate.type, net_value_[gate.in[0]], net_value_[gate.in[1]],
+        net_value_[gate.in[2]]);
+    net_value_[gate.out] =
+        static_cast<unsigned>(injector_.corrupt(value, 1));
+  }
+  std::vector<unsigned> out;
+  out.reserve(netlist_.outputs().size());
+  for (const logic::NetId net : netlist_.outputs()) {
+    out.push_back(net_value_[net]);
+  }
+  return out;
+}
+
+std::uint64_t FaultySimulator::apply_word(std::uint64_t input_word) {
+  const std::size_t n_in = netlist_.inputs().size();
+  const std::size_t n_out = netlist_.outputs().size();
+  AXC_REQUIRE(n_in <= 64 && n_out <= 64,
+              "FaultySimulator::apply_word: needs <= 64 inputs/outputs");
+  std::vector<unsigned> bits(n_in);
+  for (std::size_t i = 0; i < n_in; ++i) {
+    bits[i] = bit_of(input_word, static_cast<unsigned>(i));
+  }
+  const std::vector<unsigned> out = apply(bits);
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    word |= static_cast<std::uint64_t>(out[i] & 1u) << i;
+  }
+  return word;
+}
+
+std::vector<std::uint64_t> evaluate_with_faults(
+    const accel::Datapath& dp, std::vector<std::uint64_t> input_values,
+    FaultInjector& injector) {
+  return dp.evaluate_with_hook(
+      std::move(input_values),
+      [&injector](accel::NodeId, unsigned width, std::uint64_t value) {
+        return injector.corrupt(value, width);
+      });
+}
+
+FaultySad::FaultySad(const accel::SadUnit& inner, const FaultSpec& spec)
+    : inner_(inner),
+      result_width_(static_cast<unsigned>(
+          std::bit_width(std::uint64_t{inner.block_pixels()} * 255u))),
+      injector_(spec) {}
+
+std::uint64_t FaultySad::sad(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b) const {
+  return injector_.corrupt(inner_.sad(a, b), result_width_);
+}
+
+std::string FaultySad::name() const { return "Faulty<" + inner_.name() + ">"; }
+
+}  // namespace axc::resilience

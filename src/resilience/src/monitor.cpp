@@ -1,0 +1,71 @@
+#include "axc/resilience/monitor.hpp"
+
+#include "axc/common/require.hpp"
+#include "axc/image/ssim.hpp"
+
+namespace axc::resilience {
+
+QualityMonitor::QualityMonitor(const QualityContract& contract)
+    : contract_(contract) {
+  AXC_REQUIRE(contract.window >= 1, "QualityMonitor: window must be >= 1");
+  AXC_REQUIRE(contract.min_samples >= 1 &&
+                  contract.min_samples <= contract.window,
+              "QualityMonitor: min_samples must be in [1, window]");
+  AXC_REQUIRE(contract.max_error_rate >= 0.0 &&
+                  contract.max_error_rate <= 1.0,
+              "QualityMonitor: max_error_rate must be in [0, 1]");
+  AXC_REQUIRE(contract.min_ssim >= -1.0 && contract.min_ssim <= 1.0,
+              "QualityMonitor: min_ssim must be in [-1, 1]");
+}
+
+void QualityMonitor::record(std::uint64_t approx, std::uint64_t exact) {
+  numeric_.emplace_back(approx, exact);
+  if (numeric_.size() > contract_.window) numeric_.pop_front();
+}
+
+void QualityMonitor::record_ssim(double value) {
+  AXC_REQUIRE(value >= -1.0 && value <= 1.0,
+              "QualityMonitor::record_ssim: SSIM must be in [-1, 1]");
+  ssim_.push_back(value);
+  if (ssim_.size() > contract_.window) ssim_.pop_front();
+}
+
+double QualityMonitor::record_frame(const image::Image& reference,
+                                    const image::Image& distorted) {
+  const double value = image::ssim(reference, distorted);
+  record_ssim(value);
+  return value;
+}
+
+QualityVerdict QualityMonitor::verdict() const {
+  QualityVerdict v;
+  // Replay the arithmetic window through the library's streaming metrics
+  // so the monitor speaks the same MED/ER vocabulary as every offline
+  // analysis.
+  error::ErrorAccumulator acc(0);
+  for (const auto& [approx, exact] : numeric_) acc.record(approx, exact);
+  v.stats = acc.finish(false);
+
+  double ssim_sum = 0.0;
+  for (const double s : ssim_) ssim_sum += s;
+  v.ssim_samples = ssim_.size();
+  v.mean_ssim = ssim_.empty()
+                    ? 1.0
+                    : ssim_sum / static_cast<double>(ssim_.size());
+
+  if (numeric_.size() >= contract_.min_samples) {
+    v.med_ok = v.stats.mean_error_distance <= contract_.max_med;
+    v.error_rate_ok = v.stats.error_rate <= contract_.max_error_rate;
+  }
+  if (ssim_.size() >= contract_.min_samples) {
+    v.ssim_ok = v.mean_ssim >= contract_.min_ssim;
+  }
+  return v;
+}
+
+void QualityMonitor::clear() {
+  numeric_.clear();
+  ssim_.clear();
+}
+
+}  // namespace axc::resilience

@@ -1,0 +1,161 @@
+#include "axc/resilience/resilient_encoder.hpp"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "axc/common/require.hpp"
+#include "axc/image/ssim.hpp"
+
+namespace axc::resilience {
+namespace {
+
+/// Per-frame fault seeds must differ (the campaign is one process, not a
+/// replay of the same flips every frame) yet stay reproducible.
+std::uint64_t frame_seed(std::uint64_t base, std::size_t frame) {
+  return base + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(frame + 1);
+}
+
+}  // namespace
+
+ResilientEncoder::ResilientEncoder(const video::EncoderConfig& config,
+                                   AccuracyLadder ladder,
+                                   const QualityContract& contract,
+                                   const ControllerPolicy& policy)
+    : config_(config),
+      ladder_(std::move(ladder)),
+      contract_(contract),
+      policy_(policy) {
+  AXC_REQUIRE(
+      static_cast<unsigned>(config.motion.block_size *
+                            config.motion.block_size) ==
+          ladder_.rung(0).sad->block_pixels(),
+      "ResilientEncoder: ladder block geometry must match motion config");
+}
+
+ResilientEncodeStats ResilientEncoder::encode(const video::Sequence& sequence,
+                                              const FaultWindow& faults) const {
+  AdaptiveController controller(ladder_, contract_, policy_);
+  return run(sequence, faults, &controller, 0);
+}
+
+ResilientEncodeStats ResilientEncoder::encode_pinned(
+    const video::Sequence& sequence, std::size_t level,
+    const FaultWindow& faults) const {
+  require_in_range(level < ladder_.size(),
+                   "ResilientEncoder::encode_pinned: no such rung");
+  return run(sequence, faults, nullptr, level);
+}
+
+ResilientEncodeStats ResilientEncoder::run(const video::Sequence& sequence,
+                                           const FaultWindow& faults,
+                                           AdaptiveController* controller,
+                                           std::size_t pinned_level) const {
+  AXC_REQUIRE(sequence.size() >= 2,
+              "ResilientEncoder: need at least two frames for inter coding");
+
+  // The open-loop run still measures the contract, through its own monitor.
+  std::optional<QualityMonitor> pinned_monitor;
+  if (!controller) pinned_monitor.emplace(contract_);
+  QualityMonitor& monitor =
+      controller ? controller->monitor() : *pinned_monitor;
+
+  const int bs = config_.motion.block_size;
+
+  ResilientEncodeStats stats;
+  double mse_sum = 0.0;
+  std::uint64_t mse_pixels = 0;
+  double ssim_sum = 0.0;
+
+  video::FrameResult frame =
+      video::encode_intra_frame(config_, sequence.front());
+  stats.totals.total_bits += frame.bits;
+
+  std::vector<std::uint8_t> block_a;
+  std::vector<std::uint8_t> block_b;
+  for (std::size_t f = 1; f < sequence.size(); ++f) {
+    const image::Image& current = sequence[f];
+    const std::size_t level = controller ? controller->level() : pinned_level;
+    const AccuracyRung& rung = ladder_.rung(level);
+
+    // Wrap the active rung in the fault process while the campaign is on.
+    std::optional<FaultySad> faulty;
+    if (faults.active(f)) {
+      FaultSpec spec = faults.spec;
+      spec.seed = frame_seed(faults.spec.seed, f);
+      faulty.emplace(*rung.sad, spec);
+    }
+    const accel::SadUnit& active = faulty ? *faulty : *rung.sad;
+
+    video::FrameResult next = video::encode_inter_frame(
+        config_, active, current, frame.reconstruction);
+
+    // Arithmetic integrity spot-check: co-located corner blocks through
+    // the active unit (faults included) vs the same rung's designed
+    // behavior. The designed approximation cancels out, so the MED /
+    // error-rate guardband measures exactly the runtime deviation a fault
+    // campaign introduces — the SSIM channel below guards the designed
+    // quality instead.
+    const int xr = current.width() - bs;
+    const int yb = current.height() - bs;
+    for (const auto [x0, y0] :
+         {std::pair{0, 0}, {xr, 0}, {0, yb}, {xr, yb}}) {
+      block_a.clear();
+      block_b.clear();
+      for (int y = 0; y < bs; ++y) {
+        for (int x = 0; x < bs; ++x) {
+          block_a.push_back(current.at(x0 + x, y0 + y));
+          block_b.push_back(frame.reconstruction.at(x0 + x, y0 + y));
+        }
+      }
+      monitor.record(active.sad(block_a, block_b),
+                     rung.sad->sad(block_a, block_b));
+    }
+
+    FrameTrace trace;
+    trace.frame = f;
+    trace.level = level;
+    trace.rung_name = rung.name;
+    trace.bits = next.bits;
+    trace.faults_injected = faulty ? faulty->faults_injected() : 0;
+    trace.ssim = monitor.record_frame(current, next.reconstruction);
+    trace.contract_ok = !monitor.in_violation();
+    trace.action =
+        controller ? controller->step() : ControlAction::Hold;
+    stats.frames_in_violation += trace.contract_ok ? 0 : 1;
+    ssim_sum += trace.ssim;
+    stats.min_ssim = std::min(stats.min_ssim, trace.ssim);
+    stats.trace.push_back(std::move(trace));
+
+    stats.totals.total_bits += next.bits;
+    stats.totals.sad_calls += next.sad_calls;
+    mse_sum += image::image_mse(current, next.reconstruction) *
+               static_cast<double>(current.width()) * current.height();
+    mse_pixels +=
+        static_cast<std::uint64_t>(current.width()) * current.height();
+    frame = std::move(next);
+  }
+
+  stats.totals.bits_per_frame =
+      static_cast<double>(stats.totals.total_bits) / sequence.size();
+  const double mse = mse_sum / static_cast<double>(mse_pixels);
+  stats.totals.psnr_db = mse == 0.0
+                             ? std::numeric_limits<double>::infinity()
+                             : 10.0 * std::log10(255.0 * 255.0 / mse);
+  stats.mean_ssim = ssim_sum / static_cast<double>(stats.trace.size());
+  if (controller) {
+    stats.escalations = controller->escalations();
+    stats.deescalations = controller->deescalations();
+    stats.final_level = controller->level();
+  } else {
+    stats.final_level = pinned_level;
+  }
+  for (const FrameTrace& t : stats.trace) {
+    stats.peak_level = std::max(stats.peak_level, t.level);
+  }
+  return stats;
+}
+
+}  // namespace axc::resilience

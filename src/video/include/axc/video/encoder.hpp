@@ -11,6 +11,12 @@
 /// machinery with direct residual coding (DESIGN.md §1 records the
 /// substitution). Everything except the SAD unit is exact, so any output
 /// difference is attributable to the approximate accelerator.
+///
+/// Two levels of API: Encoder::encode() runs a whole sequence against one
+/// fixed accelerator; the per-frame functions (encode_intra_frame /
+/// encode_inter_frame) expose the frame loop so that an adaptive control
+/// layer (resilience/resilient_encoder.hpp) can swap the SAD unit between
+/// frames and observe quality after each one.
 #pragma once
 
 #include <cstdint>
@@ -34,10 +40,30 @@ struct EncodeStats {
   std::uint64_t sad_calls = 0;    ///< accelerator invocations (power proxy)
 };
 
-/// Encodes a sequence with the given SAD accelerator variant.
+/// Output of encoding a single frame.
+struct FrameResult {
+  image::Image reconstruction;   ///< decoder-side frame (prediction basis)
+  std::uint64_t bits = 0;        ///< residual + motion side info
+  std::uint64_t sad_calls = 0;   ///< accelerator invocations
+};
+
+/// Intra-codes \p frame against a flat mid-gray predictor. The cost is
+/// identical across SAD variants (no motion search is involved).
+FrameResult encode_intra_frame(const EncoderConfig& config,
+                               const image::Image& frame);
+
+/// Inter-codes \p current against the reconstructed \p reference using
+/// full-search motion estimation over \p sad. Frame dimensions must be
+/// multiples of the block size.
+FrameResult encode_inter_frame(const EncoderConfig& config,
+                               const accel::SadUnit& sad,
+                               const image::Image& current,
+                               const image::Image& reference);
+
+/// Encodes a sequence with one fixed SAD accelerator variant.
 class Encoder {
  public:
-  Encoder(const EncoderConfig& config, const accel::SadAccelerator& sad);
+  Encoder(const EncoderConfig& config, const accel::SadUnit& sad);
 
   EncodeStats encode(const Sequence& sequence) const;
 
@@ -45,7 +71,7 @@ class Encoder {
 
  private:
   EncoderConfig config_;
-  const accel::SadAccelerator& sad_;
+  const accel::SadUnit& sad_;
 };
 
 /// Signed exponential-Golomb code length in bits (the entropy model).

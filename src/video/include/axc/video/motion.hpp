@@ -6,7 +6,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "axc/accel/sad.hpp"
+#include "axc/accel/sad_unit.hpp"
 #include "axc/image/image.hpp"
 
 namespace axc::video {
@@ -39,11 +39,12 @@ struct SadSurface {
   }
 };
 
-/// Block motion estimator bound to a SAD accelerator variant.
+/// Block motion estimator bound to a SAD accelerator variant (any
+/// accel::SadUnit realization — behavioural, configurable, GeAr-based or a
+/// fault-injecting wrapper).
 class MotionEstimator {
  public:
-  MotionEstimator(const MotionConfig& config,
-                  const accel::SadAccelerator& sad);
+  MotionEstimator(const MotionConfig& config, const accel::SadUnit& sad);
 
   /// Best-match motion vector for the block of `current` whose top-left is
   /// (bx, by), searched in `reference`. Candidates falling outside the
@@ -64,7 +65,7 @@ class MotionEstimator {
                   std::vector<std::uint8_t>& out) const;
 
   MotionConfig config_;
-  const accel::SadAccelerator& sad_;
+  const accel::SadUnit& sad_;
 };
 
 }  // namespace axc::video

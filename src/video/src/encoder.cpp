@@ -8,6 +8,15 @@
 #include "axc/common/require.hpp"
 
 namespace axc::video {
+namespace {
+
+/// Uniform mid-tread quantizer index for a residual.
+int quantize(int residual, int step) {
+  return residual >= 0 ? (residual + step / 2) / step
+                       : -((-residual + step / 2) / step);
+}
+
+}  // namespace
 
 unsigned exp_golomb_bits(std::int64_t value) {
   // Signed mapping: 0, 1, -1, 2, -2, ... -> 0, 1, 2, 3, 4, ...
@@ -18,24 +27,78 @@ unsigned exp_golomb_bits(std::int64_t value) {
   return 2 * (std::bit_width(u + 1) - 1) + 1;
 }
 
-Encoder::Encoder(const EncoderConfig& config,
-                 const accel::SadAccelerator& sad)
+FrameResult encode_intra_frame(const EncoderConfig& config,
+                               const image::Image& frame) {
+  AXC_REQUIRE(config.quant_step >= 1 && config.quant_step <= 64,
+              "encode_intra_frame: quant_step must be in [1, 64]");
+  AXC_REQUIRE(!frame.empty(), "encode_intra_frame: empty frame");
+  const int step = config.quant_step;
+  FrameResult result;
+  result.reconstruction = image::Image(frame.width(), frame.height());
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      const int q = quantize(frame.at(x, y) - 128, step);
+      result.bits += exp_golomb_bits(q);
+      result.reconstruction.set(
+          x, y, static_cast<std::uint8_t>(std::clamp(128 + q * step, 0, 255)));
+    }
+  }
+  return result;
+}
+
+FrameResult encode_inter_frame(const EncoderConfig& config,
+                               const accel::SadUnit& sad,
+                               const image::Image& current,
+                               const image::Image& reference) {
+  AXC_REQUIRE(config.quant_step >= 1 && config.quant_step <= 64,
+              "encode_inter_frame: quant_step must be in [1, 64]");
+  const int width = current.width();
+  const int height = current.height();
+  const int bs = config.motion.block_size;
+  AXC_REQUIRE(reference.width() == width && reference.height() == height,
+              "encode_inter_frame: reference/current size mismatch");
+  AXC_REQUIRE(bs >= 1 && width % bs == 0 && height % bs == 0,
+              "encode_inter_frame: frame size must be a multiple of "
+              "block_size");
+
+  const MotionEstimator estimator(config.motion, sad);
+  const int step = config.quant_step;
+  const std::uint64_t candidates_per_block =
+      static_cast<std::uint64_t>(2 * config.motion.search_range + 1) *
+      (2 * config.motion.search_range + 1);
+
+  FrameResult result;
+  result.reconstruction = image::Image(width, height);
+  for (int by = 0; by < height; by += bs) {
+    for (int bx = 0; bx < width; bx += bs) {
+      const MotionVector mv = estimator.search(current, reference, bx, by);
+      result.sad_calls += candidates_per_block;
+      result.bits += exp_golomb_bits(mv.dx) + exp_golomb_bits(mv.dy);
+      for (int y = 0; y < bs; ++y) {
+        for (int x = 0; x < bs; ++x) {
+          const int pred =
+              reference.at_clamped(bx + x + mv.dx, by + y + mv.dy);
+          const int q = quantize(current.at(bx + x, by + y) - pred, step);
+          result.bits += exp_golomb_bits(q);
+          result.reconstruction.set(
+              bx + x, by + y,
+              static_cast<std::uint8_t>(std::clamp(pred + q * step, 0, 255)));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Encoder::Encoder(const EncoderConfig& config, const accel::SadUnit& sad)
     : config_(config), sad_(sad) {
-  require(config.quant_step >= 1 && config.quant_step <= 64,
-          "Encoder: quant_step must be in [1, 64]");
+  AXC_REQUIRE(config.quant_step >= 1 && config.quant_step <= 64,
+              "Encoder: quant_step must be in [1, 64]");
 }
 
 EncodeStats Encoder::encode(const Sequence& sequence) const {
-  require(sequence.size() >= 2,
-          "Encoder::encode: need at least two frames for inter coding");
-  const int width = sequence.front().width();
-  const int height = sequence.front().height();
-  const int bs = config_.motion.block_size;
-  require(width % bs == 0 && height % bs == 0,
-          "Encoder::encode: frame size must be a multiple of block_size");
-
-  const MotionEstimator estimator(config_.motion, sad_);
-  const int step = config_.quant_step;
+  AXC_REQUIRE(sequence.size() >= 2,
+              "Encoder::encode: need at least two frames for inter coding");
 
   EncodeStats stats;
   double mse_sum = 0.0;
@@ -43,55 +106,20 @@ EncodeStats Encoder::encode(const Sequence& sequence) const {
 
   // The first frame is intra-coded against a flat mid-gray predictor; its
   // cost is identical across SAD variants and included for completeness.
-  image::Image reconstructed(width, height);
-  {
-    const image::Image& intra = sequence.front();
-    for (int y = 0; y < height; ++y) {
-      for (int x = 0; x < width; ++x) {
-        const int residual = intra.at(x, y) - 128;
-        const int q = residual >= 0 ? (residual + step / 2) / step
-                                    : -((-residual + step / 2) / step);
-        stats.total_bits += exp_golomb_bits(q);
-        reconstructed.set(
-            x, y,
-            static_cast<std::uint8_t>(std::clamp(128 + q * step, 0, 255)));
-      }
-    }
-  }
-
-  const std::uint64_t candidates_per_block =
-      static_cast<std::uint64_t>(2 * config_.motion.search_range + 1) *
-      (2 * config_.motion.search_range + 1);
+  FrameResult frame = encode_intra_frame(config_, sequence.front());
+  stats.total_bits += frame.bits;
 
   for (std::size_t f = 1; f < sequence.size(); ++f) {
     const image::Image& current = sequence[f];
-    image::Image next_recon(width, height);
-    for (int by = 0; by < height; by += bs) {
-      for (int bx = 0; bx < width; bx += bs) {
-        const MotionVector mv =
-            estimator.search(current, reconstructed, bx, by);
-        stats.sad_calls += candidates_per_block;
-        stats.total_bits += exp_golomb_bits(mv.dx) + exp_golomb_bits(mv.dy);
-        for (int y = 0; y < bs; ++y) {
-          for (int x = 0; x < bs; ++x) {
-            const int pred =
-                reconstructed.at_clamped(bx + x + mv.dx, by + y + mv.dy);
-            const int residual = current.at(bx + x, by + y) - pred;
-            const int q = residual >= 0
-                              ? (residual + step / 2) / step
-                              : -((-residual + step / 2) / step);
-            stats.total_bits += exp_golomb_bits(q);
-            next_recon.set(bx + x, by + y,
-                           static_cast<std::uint8_t>(
-                               std::clamp(pred + q * step, 0, 255)));
-          }
-        }
-      }
-    }
-    mse_sum += image::image_mse(current, next_recon) *
-               static_cast<double>(width) * height;
-    mse_pixels += static_cast<std::uint64_t>(width) * height;
-    reconstructed = std::move(next_recon);
+    FrameResult next = encode_inter_frame(config_, sad_, current,
+                                          frame.reconstruction);
+    stats.total_bits += next.bits;
+    stats.sad_calls += next.sad_calls;
+    mse_sum += image::image_mse(current, next.reconstruction) *
+               static_cast<double>(current.width()) * current.height();
+    mse_pixels +=
+        static_cast<std::uint64_t>(current.width()) * current.height();
+    frame = std::move(next);
   }
 
   stats.bits_per_frame =

@@ -5,13 +5,13 @@
 namespace axc::video {
 
 MotionEstimator::MotionEstimator(const MotionConfig& config,
-                                 const accel::SadAccelerator& sad)
+                                 const accel::SadUnit& sad)
     : config_(config), sad_(sad) {
-  require(config.block_size >= 2 && config.search_range >= 1,
-          "MotionEstimator: block_size >= 2 and search_range >= 1");
-  require(static_cast<unsigned>(config.block_size * config.block_size) ==
-              sad.config().block_pixels,
-          "MotionEstimator: SAD accelerator block size mismatch");
+  AXC_REQUIRE(config.block_size >= 2 && config.search_range >= 1,
+              "MotionEstimator: block_size >= 2 and search_range >= 1");
+  AXC_REQUIRE(static_cast<unsigned>(config.block_size * config.block_size) ==
+                  sad.block_pixels(),
+              "MotionEstimator: SAD accelerator block size mismatch");
 }
 
 void MotionEstimator::load_block(const image::Image& img, int bx, int by,

@@ -158,5 +158,83 @@ TEST(Datapath, Validation) {
   EXPECT_THROW(dp.add_input(0), std::invalid_argument);
 }
 
+TEST(DatapathMisuse, AdderWidthMismatchOnSubAndAbsDiff) {
+  // Sub/AbsDiff keep the wider operand width, so an adder sized for the
+  // narrow operand must be rejected at construction, not mis-evaluated.
+  Datapath dp;
+  const NodeId narrow = dp.add_input(8);
+  const NodeId wide = dp.add_input(12);
+  const auto adder8 = std::make_shared<arith::ExactAdder>(8);
+  EXPECT_THROW(dp.add_op(OpKind::Sub, narrow, wide, adder8),
+               std::invalid_argument);
+  EXPECT_THROW(dp.add_op(OpKind::AbsDiff, wide, narrow, adder8),
+               std::invalid_argument);
+  // The matching 12-bit adder is accepted.
+  const auto adder12 = std::make_shared<arith::ExactAdder>(12);
+  EXPECT_NO_THROW(dp.add_op(OpKind::Sub, narrow, wide, adder12));
+  // Add grows by the carry bit and wants the pre-growth operand width.
+  EXPECT_THROW(dp.add_op(OpKind::Add, narrow, wide, adder8),
+               std::invalid_argument);
+  EXPECT_NO_THROW(dp.add_op(OpKind::Add, narrow, wide, adder12));
+}
+
+TEST(DatapathMisuse, MinMaxRejectAdderBinding) {
+  Datapath dp;
+  const NodeId a = dp.add_input(8);
+  const NodeId b = dp.add_input(8);
+  const auto adder = std::make_shared<arith::ExactAdder>(8);
+  EXPECT_THROW(dp.add_op(OpKind::Min, a, b, adder), std::invalid_argument);
+  EXPECT_THROW(dp.add_op(OpKind::Max, a, b, adder), std::invalid_argument);
+}
+
+TEST(DatapathMisuse, WrongInputVectorLength) {
+  Datapath dp;
+  const NodeId a = dp.add_input(8);
+  const NodeId b = dp.add_input(8);
+  dp.mark_output(dp.add_op(OpKind::Add, a, b));
+  EXPECT_THROW(dp.evaluate({}), std::invalid_argument);
+  EXPECT_THROW(dp.evaluate({1}), std::invalid_argument);
+  EXPECT_THROW(dp.evaluate({1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(dp.evaluate_exact({1}), std::invalid_argument);
+  EXPECT_NO_THROW(dp.evaluate({1, 2}));
+}
+
+TEST(DatapathMisuse, OutOfRangeNodeId) {
+  Datapath dp;
+  const NodeId a = dp.add_input(8);
+  const NodeId sum = dp.add_op(OpKind::Add, a, a);
+  dp.mark_output(sum);
+  const NodeId bogus = 1000;
+  EXPECT_THROW(dp.node_width(bogus), std::invalid_argument);
+  EXPECT_THROW(dp.mark_output(bogus), std::invalid_argument);
+  EXPECT_THROW(dp.add_shift(bogus, 1), std::invalid_argument);
+  EXPECT_THROW(dp.add_op(OpKind::Sub, bogus, a), std::invalid_argument);
+  EXPECT_THROW(dp.add_mul(a, bogus), std::invalid_argument);
+  EXPECT_THROW(dp.evaluate_solo(bogus, {1}), std::invalid_argument);
+}
+
+TEST(DatapathMisuse, HookMustBeCallable) {
+  Datapath dp;
+  const NodeId a = dp.add_input(8);
+  dp.mark_output(dp.add_op(OpKind::Add, a, a));
+  EXPECT_THROW(dp.evaluate_with_hook({1}, Datapath::NodeHook{}),
+               std::invalid_argument);
+}
+
+TEST(DatapathMisuse, RequireMessagesCarrySourceLocation) {
+  // AXC_REQUIRE annotates the exception with file:line and the failed
+  // expression so misuse reports point at the guilty check.
+  Datapath dp;
+  try {
+    dp.node_width(42);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("datapath.cpp:"), std::string::npos) << what;
+    EXPECT_NE(what.find("no such node"), std::string::npos) << what;
+    EXPECT_NE(what.find("[requirement:"), std::string::npos) << what;
+  }
+}
+
 }  // namespace
 }  // namespace axc::accel

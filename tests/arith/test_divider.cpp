@@ -100,5 +100,60 @@ TEST(Divider, NamesAndValidation) {
   EXPECT_THROW(ApproxDivider(32), std::invalid_argument);
 }
 
+TEST(DividerEdgeCases, DivisionByZeroConventionAcrossWidths) {
+  // The hardware convention (quotient all-ones, remainder = dividend) must
+  // hold at every width and regardless of subtractor approximation: the
+  // zero-divisor path never reaches the datapath.
+  for (const unsigned width : {1u, 8u, 16u, 31u}) {
+    const ApproxDivider exact(width);
+    const std::uint64_t ones = (std::uint64_t{1} << width) - 1;
+    for (const std::uint64_t n : {std::uint64_t{0}, ones / 2, ones}) {
+      const DivResult r = exact.divide(n, 0);
+      EXPECT_EQ(r.quotient, ones) << "width " << width;
+      EXPECT_EQ(r.remainder, n) << "width " << width;
+    }
+  }
+  const ApproxDivider approx(8,
+                             ripple_adder_factory(FullAdderKind::Apx3, 8));
+  const DivResult r = approx.divide(200, 0);
+  EXPECT_EQ(r.quotient, 0xFFu);
+  EXPECT_EQ(r.remainder, 200u);
+}
+
+TEST(DividerEdgeCases, FullWidth31BitOperands) {
+  // Width 31 exercises the widest legal trial subtractor (32 bits) — a
+  // regression guard against shift/mask overflow at the top of the range.
+  const ApproxDivider divider(31);
+  const std::uint64_t max31 = (std::uint64_t{1} << 31) - 1;
+  EXPECT_EQ(divider.divide(max31, 1), (DivResult{max31, 0}));
+  EXPECT_EQ(divider.divide(max31, max31), (DivResult{1, 0}));
+  EXPECT_EQ(divider.divide(max31 - 1, max31), (DivResult{0, max31 - 1}));
+  EXPECT_EQ(divider.divide(max31, 2), (DivResult{max31 / 2, 1}));
+
+  axc::Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t n = rng.bits(31);
+    const std::uint64_t d = rng.bits(31) | 1u;
+    const DivResult r = divider.divide(n, d);
+    ASSERT_EQ(r.quotient, n / d) << n << "/" << d;
+    ASSERT_EQ(r.remainder, n % d) << n << "/" << d;
+  }
+}
+
+TEST(DividerEdgeCases, OperandsAreMaskedToWidth) {
+  // divide() masks operands into range instead of reading stray high bits.
+  const ApproxDivider divider(8);
+  const DivResult masked = divider.divide(0x1234, 0x103);
+  EXPECT_EQ(masked, divider.divide(0x34, 0x03));
+}
+
+TEST(DividerEdgeCases, Width1Exhaustive) {
+  const ApproxDivider divider(1);
+  EXPECT_EQ(divider.divide(0, 1), (DivResult{0, 0}));
+  EXPECT_EQ(divider.divide(1, 1), (DivResult{1, 0}));
+  EXPECT_EQ(divider.divide(0, 0), (DivResult{1, 0}));
+  EXPECT_EQ(divider.divide(1, 0), (DivResult{1, 1}));
+}
+
 }  // namespace
 }  // namespace axc::arith

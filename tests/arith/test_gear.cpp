@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "axc/common/bits.hpp"
 #include "axc/common/rng.hpp"
 
 namespace axc::arith {
@@ -200,6 +201,104 @@ TEST(GeArAdder, InvalidConfigRejected) {
 TEST(GeArAdder, NameEncodesConfigAndCorrection) {
   EXPECT_EQ(GeArAdder({8, 2, 2}).name(), "GeAr(N=8,R=2,P=2)");
   EXPECT_EQ(GeArAdder({8, 2, 2}, 1).name(), "GeAr(N=8,R=2,P=2)+EDC1");
+}
+
+// --- Correction semantics (CEC, Sec. 6.1) ------------------------------
+
+TEST(GeArCorrectionSemantics, FullCorrectionExhaustiveSmallWidthsWithCarry) {
+  // k-1 correction passes must be bit-exact for every operand pair AND
+  // both carry-in values, across every valid config at small widths.
+  for (const unsigned n : {4u, 5u, 6u, 7u, 8u}) {
+    for (const GeArConfig& config : enumerate_gear_configs(n)) {
+      const GeArAdder corrected(config, config.num_subadders() - 1);
+      ASSERT_TRUE(corrected.is_exact()) << config.name();
+      const std::uint64_t limit = std::uint64_t{1} << n;
+      for (std::uint64_t a = 0; a < limit; ++a) {
+        for (std::uint64_t b = 0; b < limit; ++b) {
+          ASSERT_EQ(corrected.add(a, b, 0), a + b) << config.name();
+          ASSERT_EQ(corrected.add(a, b, 1), a + b + 1) << config.name();
+        }
+      }
+    }
+  }
+}
+
+TEST(GeArCorrectionSemantics, FullCorrectionRandomizedLargeWidths) {
+  // The exhaustive sweep cannot reach wide operands; randomized coverage
+  // at N=32 and the maximum N=63 guards the shift/mask plumbing there.
+  for (const GeArConfig config : {GeArConfig{32, 4, 4}, GeArConfig{63, 5, 3},
+                                  GeArConfig{48, 2, 2}}) {
+    ASSERT_TRUE(config.is_valid()) << config.name();
+    const GeArAdder corrected(config, config.num_subadders() - 1);
+    EXPECT_TRUE(corrected.is_exact()) << config.name();
+    const GeArAdder one_short(config, config.num_subadders() - 2);
+    EXPECT_FALSE(one_short.is_exact()) << config.name();
+    Rng rng(0xC0FFEEu + config.n);
+    for (int i = 0; i < 20000; ++i) {
+      const std::uint64_t a = rng.bits(config.n);
+      const std::uint64_t b = rng.bits(config.n);
+      const unsigned cin = static_cast<unsigned>(rng.bits(1));
+      ASSERT_EQ(corrected.add(a, b, cin), a + b + cin)
+          << config.name() << " a=" << a << " b=" << b << " cin=" << cin;
+    }
+  }
+}
+
+/// Reference for what the EDC hardware observes at sub-adder \p i (1-based):
+/// its emitted top-R bits change when the previous window's carry-out is
+/// applied to the prediction window.
+bool observed_subadder_error(const GeArConfig& c, std::uint64_t a,
+                             std::uint64_t b, unsigned i) {
+  const unsigned l = c.l();
+  const std::uint64_t win =
+      bit_field(a, i * c.r, l) + bit_field(b, i * c.r, l);
+  const std::uint64_t prev =
+      bit_field(a, (i - 1) * c.r, l) + bit_field(b, (i - 1) * c.r, l);
+  const std::uint64_t cout_prev = bit_of(prev, l);
+  return bit_field(win, c.p, c.r) != bit_field(win + cout_prev, c.p, c.r);
+}
+
+TEST(GeArCorrectionSemantics, ErrorFlagsAgreeWithObservedSubAdderErrors) {
+  // error_flags()[i-1] must equal the observable fact "sub-adder i's
+  // result bits are wrong given its neighbour's carry" — exhaustively for
+  // 8-bit configs, randomized at 16 bits.
+  for (const GeArConfig& config : enumerate_gear_configs(8)) {
+    const GeArAdder adder(config);
+    for (std::uint64_t a = 0; a < 256; ++a) {
+      for (std::uint64_t b = 0; b < 256; ++b) {
+        const std::vector<bool> flags = adder.error_flags(a, b);
+        ASSERT_EQ(flags.size(), config.num_subadders() - 1);
+        for (unsigned i = 1; i < config.num_subadders(); ++i) {
+          ASSERT_EQ(flags[i - 1], observed_subadder_error(config, a, b, i))
+              << config.name() << " a=" << a << " b=" << b << " sub " << i;
+        }
+      }
+    }
+  }
+  const GeArConfig config{16, 2, 2};
+  const GeArAdder adder(config);
+  Rng rng(404);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    const std::vector<bool> flags = adder.error_flags(a, b);
+    for (unsigned i = 1; i < config.num_subadders(); ++i) {
+      ASSERT_EQ(flags[i - 1], observed_subadder_error(config, a, b, i));
+    }
+  }
+}
+
+TEST(GeArCorrectionSemantics, ErrorDetectedMatchesAnyFlagAndObservedError) {
+  const GeArAdder adder({8, 1, 2});
+  for (std::uint64_t a = 0; a < 256; ++a) {
+    for (std::uint64_t b = 0; b < 256; ++b) {
+      const std::vector<bool> flags = adder.error_flags(a, b);
+      bool any = false;
+      for (const bool f : flags) any = any || f;
+      ASSERT_EQ(adder.error_detected(a, b), any);
+      ASSERT_EQ(any, adder.add(a, b, 0) != a + b) << a << " " << b;
+    }
+  }
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <sstream>
 
 #include "axc/image/synth.hpp"
 
@@ -79,6 +80,85 @@ TEST(Pgm, RejectsWideMaxval) {
     out << "P2\n1 1\n65535\n1234\n";
   }
   EXPECT_THROW(read_pgm(path), std::runtime_error);
+}
+
+/// Expects read_pgm over an in-memory buffer to throw with a message
+/// containing \p needle — corrupt-input regressions without touching disk.
+void expect_rejects(const std::string& buffer, const std::string& needle) {
+  std::istringstream in(buffer);
+  try {
+    read_pgm(in);
+    FAIL() << "accepted corrupt buffer: " << buffer;
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message '" << e.what() << "' lacks '" << needle << "'";
+  }
+}
+
+TEST(PgmHardening, StreamOverloadRoundTrips) {
+  std::istringstream in(std::string("P5\n2 2\n255\n") +
+                        std::string("\x01\x02\x03\x04", 4));
+  const Image img = read_pgm(in);
+  EXPECT_EQ(img.at(0, 0), 1);
+  EXPECT_EQ(img.at(1, 1), 4);
+}
+
+TEST(PgmHardening, RejectsEmptyBuffer) {
+  expect_rejects("", "truncated header");
+}
+
+TEST(PgmHardening, RejectsMagicOnly) {
+  expect_rejects("P5", "truncated header");
+}
+
+TEST(PgmHardening, RejectsNonNumericWidth) {
+  // std::stoi would happily parse the leading "2" of "2x2".
+  expect_rejects("P5\n2x2 2\n255\n\0\0\0\0", "width");
+}
+
+TEST(PgmHardening, RejectsNegativeHeight) {
+  expect_rejects("P5\n2 -2\n255\n", "height");
+}
+
+TEST(PgmHardening, RejectsZeroDimensions) {
+  expect_rejects("P5\n0 4\n255\n", "positive");
+  expect_rejects("P5\n4 0\n255\n", "positive");
+}
+
+TEST(PgmHardening, RejectsOversizedImage) {
+  // 99999 * 99999 ~ 10 Gpx: must throw before allocating, not after.
+  expect_rejects("P5\n99999 99999\n255\n", "pixels");
+}
+
+TEST(PgmHardening, RejectsOverflowingDimensionToken) {
+  // 12 digits overflows int; the strict parser rejects on length.
+  expect_rejects("P5\n999999999999 2\n255\n", "width");
+}
+
+TEST(PgmHardening, RejectsMissingSeparatorAfterMaxval) {
+  expect_rejects("P5\n1 1\n255", "separator");
+}
+
+TEST(PgmHardening, RejectsBinaryPixelAboveMaxval) {
+  expect_rejects(std::string("P5\n1 1\n7\n") + '\x80', "maxval");
+}
+
+TEST(PgmHardening, RejectsAsciiPixelAboveMaxval) {
+  expect_rejects("P2\n1 1\n255\n300\n", "pixel");
+}
+
+TEST(PgmHardening, RejectsNonNumericAsciiPixel) {
+  expect_rejects("P2\n2 1\n255\n12 xy\n", "pixel");
+}
+
+TEST(PgmHardening, RejectsTruncatedAsciiPixels) {
+  expect_rejects("P2\n2 2\n255\n1 2 3\n", "pixel");
+}
+
+TEST(PgmHardening, AcceptsMaxSizeBoundary) {
+  // Exactly at the cap parses the header fine and then fails on payload,
+  // proving the size gate itself is not off by one.
+  expect_rejects("P5\n8192 8192\n255\n", "truncated pixel");
 }
 
 }  // namespace

@@ -1,0 +1,154 @@
+/// Closed-loop resilience integration: fault injection at the accelerator,
+/// quality guardbands at the monitor, accuracy escalation at the
+/// controller, all around the real video-encoder substrate.
+#include <gtest/gtest.h>
+
+#include "axc/resilience/resilient_encoder.hpp"
+#include "axc/video/sequence.hpp"
+
+namespace axc::resilience {
+namespace {
+
+video::Sequence test_sequence() {
+  video::SequenceConfig sc;
+  sc.width = 64;
+  sc.height = 64;
+  sc.frames = 20;
+  sc.objects = 2;
+  sc.seed = 7;
+  return video::generate_sequence(sc);
+}
+
+video::EncoderConfig encoder_config() {
+  video::EncoderConfig ec;
+  ec.motion.block_size = 8;
+  ec.motion.search_range = 2;
+  ec.quant_step = 12;
+  return ec;
+}
+
+AccuracyLadder test_ladder() {
+  return build_gear_sad_ladder(64, {{8, 2, 2}, {8, 2, 4}}, 1);
+}
+
+QualityContract test_contract() {
+  QualityContract contract;
+  contract.max_med = 64.0;
+  contract.max_error_rate = 0.9;
+  contract.min_ssim = 0.55;
+  contract.window = 16;
+  contract.min_samples = 2;
+  return contract;
+}
+
+ControllerPolicy test_policy() {
+  ControllerPolicy policy;
+  policy.violation_windows = 1;
+  policy.calm_windows = 2;
+  return policy;
+}
+
+FaultWindow test_faults() {
+  FaultWindow faults;
+  faults.spec.bit_flip_probability = 0.03;
+  faults.spec.seed = 2024;
+  faults.first_frame = 6;
+  faults.last_frame = 13;
+  return faults;
+}
+
+TEST(ResilienceLoop, FaultFreeAggressiveRungStaysWithinContract) {
+  // The contract is calibrated so the most aggressive GeAr rung is fine on
+  // its own — violations below must therefore come from the faults.
+  const ResilientEncoder encoder(encoder_config(), test_ladder(),
+                                 test_contract(), test_policy());
+  const ResilientEncodeStats stats =
+      encoder.encode_pinned(test_sequence(), 0);
+  EXPECT_EQ(stats.frames_in_violation, 0u);
+  for (const FrameTrace& t : stats.trace) {
+    EXPECT_EQ(t.faults_injected, 0u) << t.frame;
+  }
+}
+
+TEST(ResilienceLoop, UnmonitoredEncoderViolatesUnderFaults) {
+  const ResilientEncoder encoder(encoder_config(), test_ladder(),
+                                 test_contract(), test_policy());
+  const ResilientEncodeStats stats =
+      encoder.encode_pinned(test_sequence(), 0, test_faults());
+  // The pinned run measures the contract but never reacts: the fault
+  // campaign drives it out of budget and it stays on the aggressive rung.
+  EXPECT_GT(stats.frames_in_violation, 0u);
+  EXPECT_EQ(stats.escalations, 0u);
+  EXPECT_EQ(stats.peak_level, 0u);
+  std::uint64_t faults_total = 0;
+  for (const FrameTrace& t : stats.trace) faults_total += t.faults_injected;
+  EXPECT_GT(faults_total, 0u);
+}
+
+TEST(ResilienceLoop, AdaptiveControllerConvergesAndDeescalates) {
+  const FaultWindow faults = test_faults();
+  const ResilientEncoder encoder(encoder_config(), test_ladder(),
+                                 test_contract(), test_policy());
+  const ResilientEncodeStats stats =
+      encoder.encode(test_sequence(), faults);
+
+  // The controller reacts to the campaign...
+  EXPECT_GE(stats.escalations, 1u);
+  EXPECT_GT(stats.peak_level, 0u);
+  // ...the system converges back inside the budget (the violations are
+  // transient, not terminal)...
+  ASSERT_FALSE(stats.trace.empty());
+  for (std::size_t i = stats.trace.size() - 3; i < stats.trace.size(); ++i) {
+    EXPECT_TRUE(stats.trace[i].contract_ok) << "frame " << i;
+  }
+  // ...and de-escalates once the faults stop.
+  EXPECT_GE(stats.deescalations, 1u);
+  EXPECT_LT(stats.final_level, stats.peak_level);
+
+  // After the campaign ends, no frame re-enters violation.
+  bool violating_after_recovery = false;
+  for (const FrameTrace& t : stats.trace) {
+    if (t.frame >= faults.last_frame + 2 && !t.contract_ok) {
+      violating_after_recovery = true;
+    }
+  }
+  EXPECT_FALSE(violating_after_recovery);
+}
+
+TEST(ResilienceLoop, AdaptiveBeatsPinnedOnViolations) {
+  const ResilientEncoder encoder(encoder_config(), test_ladder(),
+                                 test_contract(), test_policy());
+  const ResilientEncodeStats pinned =
+      encoder.encode_pinned(test_sequence(), 0, test_faults());
+  const ResilientEncodeStats adaptive =
+      encoder.encode(test_sequence(), test_faults());
+  EXPECT_LT(adaptive.frames_in_violation, pinned.frames_in_violation);
+}
+
+TEST(ResilienceLoop, SeededRunsAreBitIdentical) {
+  const ResilientEncoder encoder(encoder_config(), test_ladder(),
+                                 test_contract(), test_policy());
+  const ResilientEncodeStats a = encoder.encode(test_sequence(), test_faults());
+  const ResilientEncodeStats b = encoder.encode(test_sequence(), test_faults());
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].level, b.trace[i].level) << i;
+    EXPECT_EQ(a.trace[i].bits, b.trace[i].bits) << i;
+    EXPECT_EQ(a.trace[i].faults_injected, b.trace[i].faults_injected) << i;
+    EXPECT_DOUBLE_EQ(a.trace[i].ssim, b.trace[i].ssim) << i;
+    EXPECT_EQ(a.trace[i].action, b.trace[i].action) << i;
+  }
+  EXPECT_EQ(a.totals.total_bits, b.totals.total_bits);
+  EXPECT_EQ(a.escalations, b.escalations);
+  EXPECT_EQ(a.deescalations, b.deescalations);
+}
+
+TEST(ResilienceLoop, GeometryMismatchRejected) {
+  video::EncoderConfig ec = encoder_config();
+  ec.motion.block_size = 4;  // 16 pixels vs the ladder's 64
+  EXPECT_THROW(ResilientEncoder(ec, test_ladder(), test_contract()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axc::resilience

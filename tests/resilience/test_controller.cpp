@@ -1,0 +1,155 @@
+#include "axc/resilience/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axc/accel/sad.hpp"
+#include "axc/resilience/gear_sad.hpp"
+
+namespace axc::resilience {
+namespace {
+
+AccuracyLadder test_ladder() {
+  return build_gear_sad_ladder(16, {{8, 2, 2}, {8, 2, 4}}, 1);
+}
+
+TEST(AccuracyLadder, GearLadderOrdersAggressiveToExact) {
+  const AccuracyLadder ladder = test_ladder();
+  // {8,2,2} at CEC 0 and 1, {8,2,4} at CEC 1, then the exact fallback.
+  ASSERT_EQ(ladder.size(), 4u);
+  EXPECT_EQ(ladder.rung(0).name, "GeArSAD<GeAr(N=8,R=2,P=2),4x4>");
+  EXPECT_EQ(ladder.rung(1).name, "GeArSAD<GeAr(N=8,R=2,P=2)+CEC1,4x4>");
+  EXPECT_EQ(ladder.rung(2).name, "GeArSAD<GeAr(N=8,R=2,P=4)+CEC1,4x4>");
+  EXPECT_TRUE(ladder.rung(3).sad->is_exact());
+  // The latency proxy grows along the ladder and tops out at the exact
+  // ripple datapath.
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GE(ladder.rung(i).latency_proxy, ladder.rung(i - 1).latency_proxy)
+        << i;
+  }
+  EXPECT_DOUBLE_EQ(ladder.rung(3).latency_proxy, 1.0);
+  EXPECT_THROW(ladder.rung(4), std::out_of_range);
+}
+
+TEST(AccuracyLadder, RejectsEmptyAndMismatchedGeometry) {
+  EXPECT_THROW(AccuracyLadder({}), std::invalid_argument);
+  std::vector<AccuracyRung> rungs;
+  rungs.push_back({"a", std::make_shared<GearSad>(16, arith::GeArConfig{8, 2, 2}), 0.5});
+  rungs.push_back({"b", std::make_shared<GearSad>(64, arith::GeArConfig{8, 2, 2}), 0.5});
+  EXPECT_THROW(AccuracyLadder(std::move(rungs)), std::invalid_argument);
+}
+
+TEST(BuildGearSadLadder, SkipsRedundantRungsAfterExactConfig) {
+  // {8,4,4} is already exact at CEC 0: no GeAr rung is kept (it would
+  // duplicate the fallback) and the ladder collapses to the exact engine.
+  const AccuracyLadder ladder = build_gear_sad_ladder(16, {{8, 4, 4}}, 2);
+  EXPECT_EQ(ladder.size(), 1u);
+  EXPECT_TRUE(ladder.rung(0).sad->is_exact());
+}
+
+TEST(AdaptiveController, EscalatesOnSustainedViolation) {
+  AdaptiveController controller(
+      test_ladder(),
+      QualityContract{.max_med = 1.0, .window = 4, .min_samples = 2},
+      ControllerPolicy{.violation_windows = 2, .calm_windows = 2});
+  EXPECT_EQ(controller.level(), 0u);
+
+  // No evidence yet: hold.
+  EXPECT_EQ(controller.step(), ControlAction::Hold);
+
+  controller.monitor().record(30, 10);
+  controller.monitor().record(35, 10);
+  // First violating verdict: within hysteresis, still level 0.
+  EXPECT_EQ(controller.step(), ControlAction::Hold);
+  EXPECT_EQ(controller.level(), 0u);
+  // Second consecutive violation: escalate and clear the window.
+  EXPECT_EQ(controller.step(), ControlAction::Escalate);
+  EXPECT_EQ(controller.level(), 1u);
+  EXPECT_EQ(controller.escalations(), 1u);
+  EXPECT_EQ(controller.monitor().arithmetic_samples(), 0u);
+  EXPECT_EQ(controller.active_rung().name,
+            "GeArSAD<GeAr(N=8,R=2,P=2)+CEC1,4x4>");
+}
+
+TEST(AdaptiveController, SaturatesAtTheExactRung) {
+  AdaptiveController controller(
+      test_ladder(),
+      QualityContract{.max_med = 1.0, .window = 2, .min_samples = 1},
+      ControllerPolicy{.violation_windows = 1});
+  for (int i = 0; i < 10; ++i) {
+    controller.monitor().record(1000, 0);
+    controller.step();
+  }
+  EXPECT_EQ(controller.level(), controller.ladder_size() - 1);
+  EXPECT_EQ(controller.escalations(), controller.ladder_size() - 1);
+  EXPECT_TRUE(controller.active_sad().is_exact());
+  // Still violating at the top: nothing left to escalate to.
+  controller.monitor().record(1000, 0);
+  EXPECT_EQ(controller.step(), ControlAction::Hold);
+  EXPECT_EQ(controller.level(), controller.ladder_size() - 1);
+}
+
+TEST(AdaptiveController, DeescalatesOnlyAfterSustainedHeadroom) {
+  AdaptiveController controller(
+      test_ladder(),
+      QualityContract{.max_med = 10.0, .window = 4, .min_samples = 2},
+      ControllerPolicy{.violation_windows = 1,
+                       .calm_windows = 2,
+                       .deescalate_margin = 0.5});
+  // Push to level 1.
+  controller.monitor().record(100, 0);
+  controller.monitor().record(100, 0);
+  ASSERT_EQ(controller.step(), ControlAction::Escalate);
+  ASSERT_EQ(controller.level(), 1u);
+
+  // Compliant but without headroom (MED 8 > 0.5 * 10): no de-escalation,
+  // however long it lasts.
+  for (int i = 0; i < 6; ++i) {
+    controller.monitor().record(18, 10);
+    controller.monitor().record(18, 10);
+    ASSERT_EQ(controller.step(), ControlAction::Hold) << i;
+  }
+  EXPECT_EQ(controller.level(), 1u);
+
+  // Deep headroom (MED 1 <= 5): first calm verdict holds, second returns.
+  controller.monitor().clear();
+  controller.monitor().record(11, 10);
+  controller.monitor().record(11, 10);
+  EXPECT_EQ(controller.step(), ControlAction::Hold);
+  controller.monitor().record(11, 10);
+  EXPECT_EQ(controller.step(), ControlAction::Deescalate);
+  EXPECT_EQ(controller.level(), 0u);
+  EXPECT_EQ(controller.deescalations(), 1u);
+}
+
+TEST(AdaptiveController, NeverDeescalatesBelowLevelZero) {
+  AdaptiveController controller(
+      test_ladder(),
+      QualityContract{.max_med = 10.0, .window = 4, .min_samples = 1},
+      ControllerPolicy{.calm_windows = 1});
+  for (int i = 0; i < 5; ++i) {
+    controller.monitor().record(10, 10);
+    EXPECT_EQ(controller.step(), ControlAction::Hold) << i;
+    EXPECT_EQ(controller.level(), 0u);
+  }
+  EXPECT_EQ(controller.deescalations(), 0u);
+}
+
+TEST(AdaptiveController, PolicyValidation) {
+  EXPECT_THROW(AdaptiveController(test_ladder(), QualityContract{},
+                                  ControllerPolicy{.violation_windows = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(AdaptiveController(test_ladder(), QualityContract{},
+                                  ControllerPolicy{.calm_windows = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      AdaptiveController(test_ladder(), QualityContract{},
+                         ControllerPolicy{.deescalate_margin = 0.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      AdaptiveController(test_ladder(), QualityContract{},
+                         ControllerPolicy{.deescalate_margin = 1.5}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axc::resilience

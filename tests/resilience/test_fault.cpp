@@ -1,0 +1,170 @@
+#include "axc/resilience/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "axc/accel/sad.hpp"
+#include "axc/common/rng.hpp"
+#include "axc/logic/adder_netlists.hpp"
+#include "axc/logic/simulator.hpp"
+
+namespace axc::resilience {
+namespace {
+
+TEST(FaultInjector, ZeroProbabilityIsTransparent) {
+  FaultInjector injector({0.0, 42});
+  for (std::uint64_t w : {std::uint64_t{0}, std::uint64_t{0xDEADBEEF},
+                          ~std::uint64_t{0}}) {
+    EXPECT_EQ(injector.corrupt(w, 32), w & 0xFFFFFFFFu);
+  }
+  EXPECT_EQ(injector.bits_flipped(), 0u);
+  EXPECT_EQ(injector.words_corrupted(), 0u);
+}
+
+TEST(FaultInjector, CertainFlipInvertsEveryBit) {
+  FaultInjector injector({1.0, 7});
+  EXPECT_EQ(injector.corrupt(0, 8), 0xFFu);
+  EXPECT_EQ(injector.corrupt(0xA5, 8), 0x5Au);
+  EXPECT_EQ(injector.bits_flipped(), 16u);
+  EXPECT_EQ(injector.words_corrupted(), 2u);
+}
+
+TEST(FaultInjector, SeededCampaignsReproduce) {
+  FaultInjector lhs({0.25, 99});
+  FaultInjector rhs({0.25, 99});
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t word = static_cast<std::uint64_t>(i) * 0x9E37u;
+    ASSERT_EQ(lhs.corrupt(word, 16), rhs.corrupt(word, 16)) << i;
+  }
+  EXPECT_EQ(lhs.bits_flipped(), rhs.bits_flipped());
+  EXPECT_GT(lhs.bits_flipped(), 0u);
+}
+
+TEST(FaultInjector, ReseedRestartsTheProcess) {
+  FaultInjector injector({0.5, 5});
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 64; ++i) first.push_back(injector.corrupt(0, 16));
+  injector.reseed(5);
+  EXPECT_EQ(injector.bits_flipped(), 0u);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(injector.corrupt(0, 16), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(FaultInjector, FlipRateTracksProbability) {
+  FaultInjector injector({0.1, 11});
+  constexpr int kWords = 20000;
+  for (int i = 0; i < kWords; ++i) injector.corrupt(0, 16);
+  const double rate = static_cast<double>(injector.bits_flipped()) /
+                      (16.0 * kWords);
+  EXPECT_NEAR(rate, 0.1, 0.01);
+}
+
+TEST(FaultInjector, RejectsInvalidProbability) {
+  EXPECT_THROW(FaultInjector({-0.1, 1}), std::invalid_argument);
+  EXPECT_THROW(FaultInjector({1.5, 1}), std::invalid_argument);
+}
+
+TEST(FaultySimulator, FaultFreeMatchesPlainSimulator) {
+  const logic::Netlist netlist = logic::loa_adder_netlist(8, 2);
+  FaultySimulator faulty(netlist, {0.0, 3});
+  logic::Simulator plain(netlist);
+  Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t word = rng.bits(17);
+    ASSERT_EQ(faulty.apply_word(word), plain.apply_word(word));
+  }
+  EXPECT_EQ(faulty.faults_injected(), 0u);
+}
+
+TEST(FaultySimulator, GateUpsetsPerturbOutputs) {
+  const logic::Netlist netlist = logic::loa_adder_netlist(8, 0);
+  FaultySimulator faulty(netlist, {0.05, 17});
+  logic::Simulator plain(netlist);
+  Rng rng(32);
+  int differing = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t word = rng.bits(17);
+    differing += faulty.apply_word(word) != plain.apply_word(word);
+  }
+  EXPECT_GT(differing, 0);
+  EXPECT_LT(differing, 2000);
+  EXPECT_GT(faulty.faults_injected(), 0u);
+}
+
+TEST(FaultySimulator, SeededRunsAreDeterministic) {
+  const logic::Netlist netlist = logic::loa_adder_netlist(6, 1);
+  FaultySimulator lhs(netlist, {0.1, 77});
+  FaultySimulator rhs(netlist, {0.1, 77});
+  Rng rng(33);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t word = rng.bits(13);
+    ASSERT_EQ(lhs.apply_word(word), rhs.apply_word(word)) << i;
+  }
+}
+
+accel::Datapath small_sad_datapath() {
+  accel::Datapath dp("sad4");
+  build_sad_datapath(dp, 4);
+  return dp;
+}
+
+TEST(DatapathFaults, FaultFreeHookMatchesEvaluate) {
+  const accel::Datapath dp = small_sad_datapath();
+  FaultInjector injector({0.0, 1});
+  const std::vector<std::uint64_t> inputs = {10, 200, 30, 40,
+                                             12, 190, 35, 38};
+  EXPECT_EQ(evaluate_with_faults(dp, inputs, injector), dp.evaluate(inputs));
+}
+
+TEST(DatapathFaults, NodeUpsetsChangeTheSum) {
+  const accel::Datapath dp = small_sad_datapath();
+  FaultInjector injector({0.05, 23});
+  const std::vector<std::uint64_t> inputs = {10, 200, 30, 40,
+                                             12, 190, 35, 38};
+  const std::uint64_t golden = dp.evaluate(inputs).front();
+  int differing = 0;
+  for (int i = 0; i < 500; ++i) {
+    differing += evaluate_with_faults(dp, inputs, injector).front() != golden;
+  }
+  EXPECT_GT(differing, 0);
+  EXPECT_GT(injector.bits_flipped(), 0u);
+}
+
+TEST(FaultySad, FaultFreeWrapsTransparently) {
+  const accel::SadAccelerator inner(accel::accu_sad(16));
+  const FaultySad faulty(inner, {0.0, 9});
+  EXPECT_EQ(faulty.block_pixels(), 16u);
+  EXPECT_EQ(faulty.name(), "Faulty<" + inner.name() + ">");
+  EXPECT_FALSE(faulty.is_exact());
+  Rng rng(41);
+  std::vector<std::uint8_t> a(16), b(16);
+  for (int i = 0; i < 200; ++i) {
+    for (auto& px : a) px = static_cast<std::uint8_t>(rng.bits(8));
+    for (auto& px : b) px = static_cast<std::uint8_t>(rng.bits(8));
+    ASSERT_EQ(faulty.sad(a, b), inner.sad(a, b));
+  }
+  EXPECT_EQ(faulty.faults_injected(), 0u);
+}
+
+TEST(FaultySad, ResultWordUpsetsAreSeededAndVisible) {
+  const accel::SadAccelerator inner(accel::accu_sad(16));
+  const FaultySad lhs(inner, {0.08, 1234});
+  const FaultySad rhs(inner, {0.08, 1234});
+  Rng rng(42);
+  std::vector<std::uint8_t> a(16), b(16);
+  int differing = 0;
+  for (int i = 0; i < 500; ++i) {
+    for (auto& px : a) px = static_cast<std::uint8_t>(rng.bits(8));
+    for (auto& px : b) px = static_cast<std::uint8_t>(rng.bits(8));
+    const std::uint64_t faulted = lhs.sad(a, b);
+    ASSERT_EQ(faulted, rhs.sad(a, b)) << "fault campaign must be seeded";
+    differing += faulted != inner.sad(a, b);
+  }
+  EXPECT_GT(differing, 0);
+  EXPECT_GT(lhs.faults_injected(), 0u);
+}
+
+}  // namespace
+}  // namespace axc::resilience

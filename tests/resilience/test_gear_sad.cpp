@@ -1,0 +1,117 @@
+#include "axc/resilience/gear_sad.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "axc/accel/sad.hpp"
+#include "axc/common/rng.hpp"
+
+namespace axc::resilience {
+namespace {
+
+std::uint64_t reference_sad(std::span<const std::uint8_t> a,
+                            std::span<const std::uint8_t> b) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += static_cast<std::uint64_t>(std::abs(int(a[i]) - int(b[i])));
+  }
+  return sum;
+}
+
+TEST(GearConfigForWidth, PreservesRAndTilesAnyWidth) {
+  const arith::GeArConfig base{8, 2, 2};
+  for (unsigned width = 4; width <= 16; ++width) {
+    const arith::GeArConfig derived = gear_config_for_width(base, width);
+    ASSERT_TRUE(derived.is_valid()) << "width " << width;
+    EXPECT_EQ(derived.n, width);
+    if (width <= base.l()) {
+      EXPECT_TRUE(derived.is_exact()) << "width " << width;
+    } else {
+      EXPECT_EQ(derived.r, base.r) << "width " << width;
+      EXPECT_GE(derived.p, base.p) << "width " << width;
+      EXPECT_LT(derived.p, base.p + base.r) << "width " << width;
+    }
+  }
+}
+
+TEST(GearSad, ExactBaseConfigMatchesReferenceSad) {
+  // L == N makes every constituent adder a single exact window.
+  const GearSad sad(16, {8, 4, 4});
+  EXPECT_TRUE(sad.is_exact());
+  Rng rng(51);
+  std::vector<std::uint8_t> a(16), b(16);
+  for (int i = 0; i < 500; ++i) {
+    for (auto& px : a) px = static_cast<std::uint8_t>(rng.bits(8));
+    for (auto& px : b) px = static_cast<std::uint8_t>(rng.bits(8));
+    ASSERT_EQ(sad.sad(a, b), reference_sad(a, b));
+  }
+}
+
+TEST(GearSad, FullCorrectionIsExactEvenForAggressiveConfig) {
+  const arith::GeArConfig base{8, 2, 2};
+  // The widest tree adder determines the worst-case sub-adder count; its
+  // k-1 is a safe (over-)estimate for every narrower adder in the tree.
+  const GearSad sad(64, base, 16);
+  EXPECT_TRUE(sad.is_exact());
+  Rng rng(52);
+  std::vector<std::uint8_t> a(64), b(64);
+  for (int i = 0; i < 300; ++i) {
+    for (auto& px : a) px = static_cast<std::uint8_t>(rng.bits(8));
+    for (auto& px : b) px = static_cast<std::uint8_t>(rng.bits(8));
+    ASSERT_EQ(sad.sad(a, b), reference_sad(a, b));
+  }
+}
+
+TEST(GearSad, CorrectionIterationsMonotonicallyReduceError) {
+  const arith::GeArConfig base{8, 2, 2};
+  Rng rng(53);
+  std::vector<std::vector<std::uint8_t>> blocks_a, blocks_b;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<std::uint8_t> a(64), b(64);
+    for (auto& px : a) px = static_cast<std::uint8_t>(rng.bits(8));
+    for (auto& px : b) px = static_cast<std::uint8_t>(rng.bits(8));
+    blocks_a.push_back(std::move(a));
+    blocks_b.push_back(std::move(b));
+  }
+  std::vector<double> med;
+  for (const unsigned corr : {0u, 1u, 2u, 3u, 16u}) {
+    const GearSad sad(64, base, corr);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < blocks_a.size(); ++i) {
+      const std::uint64_t approx = sad.sad(blocks_a[i], blocks_b[i]);
+      const std::uint64_t exact = reference_sad(blocks_a[i], blocks_b[i]);
+      sum += static_cast<double>(approx > exact ? approx - exact
+                                                : exact - approx);
+    }
+    med.push_back(sum / static_cast<double>(blocks_a.size()));
+  }
+  // Raising the CEC iteration count is the controller's cheapest
+  // escalation lever: it must buy real accuracy, and enough iterations
+  // must reach exactness.
+  EXPECT_GT(med[0], 0.0);
+  EXPECT_LT(med[1], med[0]);
+  EXPECT_LT(med[3], med[0]);
+  EXPECT_EQ(med[4], 0.0);
+}
+
+TEST(GearSad, NameEncodesConfigCorrectionAndGeometry) {
+  EXPECT_EQ(GearSad(64, {8, 2, 2}, 1).name(),
+            "GeArSAD<GeAr(N=8,R=2,P=2)+CEC1,8x8>");
+  EXPECT_EQ(GearSad(16, {8, 4, 4}).name(), "GeArSAD<GeAr(N=8,R=4,P=4),4x4>");
+}
+
+TEST(GearSad, Validation) {
+  EXPECT_THROW(GearSad(0, {8, 2, 2}), std::invalid_argument);
+  EXPECT_THROW(GearSad(3, {8, 2, 2}), std::invalid_argument);  // not 2^k
+  EXPECT_THROW(GearSad(64, {8, 3, 3}), std::invalid_argument);  // invalid
+  EXPECT_THROW(GearSad(64, {16, 2, 2}), std::invalid_argument);  // not 8-bit
+  const GearSad sad(16, {8, 2, 2});
+  std::vector<std::uint8_t> wrong(8), right(16);
+  EXPECT_THROW(sad.sad(wrong, right), std::invalid_argument);
+  EXPECT_THROW(sad.sad(right, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axc::resilience

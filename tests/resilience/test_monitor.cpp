@@ -1,0 +1,136 @@
+#include "axc/resilience/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axc/image/synth.hpp"
+
+namespace axc::resilience {
+namespace {
+
+TEST(QualityMonitor, EmptyWindowsAreWithinContract) {
+  const QualityMonitor monitor(QualityContract{.max_med = 0.5,
+                                               .min_ssim = 0.9});
+  const QualityVerdict verdict = monitor.verdict();
+  EXPECT_TRUE(verdict.ok());
+  EXPECT_EQ(verdict.stats.samples, 0u);
+  EXPECT_EQ(verdict.ssim_samples, 0u);
+  EXPECT_FALSE(monitor.in_violation());
+}
+
+TEST(QualityMonitor, BelowMinSamplesIsInsufficientEvidence) {
+  QualityMonitor monitor(
+      QualityContract{.max_med = 0.5, .window = 8, .min_samples = 3});
+  monitor.record(100, 0);  // enormous error, but only 1 sample
+  EXPECT_FALSE(monitor.in_violation());
+  monitor.record(100, 0);
+  EXPECT_FALSE(monitor.in_violation());
+  monitor.record(100, 0);  // 3rd sample crosses min_samples
+  EXPECT_TRUE(monitor.in_violation());
+}
+
+TEST(QualityMonitor, MedChannelJudgedAgainstBudget) {
+  QualityMonitor monitor(
+      QualityContract{.max_med = 2.0, .window = 4, .min_samples = 2});
+  monitor.record(11, 10);
+  monitor.record(9, 10);
+  EXPECT_FALSE(monitor.in_violation());  // MED = 1.0 <= 2.0
+  monitor.record(20, 10);
+  monitor.record(30, 10);
+  const QualityVerdict verdict = monitor.verdict();
+  EXPECT_NEAR(verdict.stats.mean_error_distance, (1 + 1 + 10 + 20) / 4.0,
+              1e-12);
+  EXPECT_FALSE(verdict.med_ok);
+  EXPECT_TRUE(monitor.in_violation());
+}
+
+TEST(QualityMonitor, WindowEvictsOldSamples) {
+  QualityMonitor monitor(
+      QualityContract{.max_med = 2.0, .window = 2, .min_samples = 2});
+  monitor.record(110, 10);
+  monitor.record(110, 10);
+  EXPECT_TRUE(monitor.in_violation());
+  // Two clean samples push both bad ones out of the window.
+  monitor.record(10, 10);
+  monitor.record(10, 10);
+  EXPECT_EQ(monitor.arithmetic_samples(), 2u);
+  EXPECT_FALSE(monitor.in_violation());
+}
+
+TEST(QualityMonitor, ErrorRateChannel) {
+  QualityMonitor monitor(
+      QualityContract{.max_error_rate = 0.5, .window = 4, .min_samples = 4});
+  monitor.record(10, 10);
+  monitor.record(10, 10);
+  monitor.record(11, 10);
+  monitor.record(10, 10);
+  EXPECT_FALSE(monitor.in_violation());  // rate 0.25
+  monitor.record(12, 10);
+  monitor.record(13, 10);  // window now holds 3 errors of 4
+  const QualityVerdict verdict = monitor.verdict();
+  EXPECT_FALSE(verdict.error_rate_ok);
+  EXPECT_TRUE(verdict.med_ok);  // MED unbounded by default
+}
+
+TEST(QualityMonitor, SsimChannelUsesMeanOverWindow) {
+  QualityMonitor monitor(
+      QualityContract{.min_ssim = 0.8, .window = 4, .min_samples = 2});
+  monitor.record_ssim(0.95);
+  monitor.record_ssim(0.90);
+  EXPECT_FALSE(monitor.in_violation());
+  monitor.record_ssim(0.3);
+  monitor.record_ssim(0.3);
+  const QualityVerdict verdict = monitor.verdict();
+  EXPECT_NEAR(verdict.mean_ssim, (0.95 + 0.90 + 0.3 + 0.3) / 4.0, 1e-12);
+  EXPECT_FALSE(verdict.ssim_ok);
+}
+
+TEST(QualityMonitor, RecordFrameComputesAndRecordsSsim) {
+  QualityMonitor monitor(
+      QualityContract{.min_ssim = 0.99, .window = 4, .min_samples = 1});
+  const image::Image reference =
+      image::synthesize_image(image::TestImageKind::Blobs, 32, 32, 3);
+  const double self = monitor.record_frame(reference, reference);
+  EXPECT_DOUBLE_EQ(self, 1.0);
+  EXPECT_EQ(monitor.ssim_samples(), 1u);
+  EXPECT_FALSE(monitor.in_violation());
+  image::Image noisy = reference;
+  for (int y = 0; y < noisy.height(); ++y) {
+    for (int x = 0; x < noisy.width(); ++x) {
+      noisy.set(x, y, static_cast<std::uint8_t>(255 - noisy.at(x, y)));
+    }
+  }
+  const double inverted = monitor.record_frame(reference, noisy);
+  EXPECT_LT(inverted, 0.5);
+  EXPECT_TRUE(monitor.in_violation());
+}
+
+TEST(QualityMonitor, ClearDropsAllEvidence) {
+  QualityMonitor monitor(
+      QualityContract{.max_med = 0.5, .min_ssim = 0.9, .min_samples = 1});
+  monitor.record(50, 0);
+  monitor.record_ssim(0.1);
+  EXPECT_TRUE(monitor.in_violation());
+  monitor.clear();
+  EXPECT_EQ(monitor.arithmetic_samples(), 0u);
+  EXPECT_EQ(monitor.ssim_samples(), 0u);
+  EXPECT_FALSE(monitor.in_violation());
+}
+
+TEST(QualityMonitor, Validation) {
+  EXPECT_THROW(QualityMonitor(QualityContract{.window = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      QualityMonitor(QualityContract{.window = 4, .min_samples = 5}),
+      std::invalid_argument);
+  EXPECT_THROW(QualityMonitor(QualityContract{.min_samples = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(QualityMonitor(QualityContract{.max_error_rate = 1.5}),
+               std::invalid_argument);
+  EXPECT_THROW(QualityMonitor(QualityContract{.min_ssim = 2.0}),
+               std::invalid_argument);
+  QualityMonitor monitor{QualityContract{}};
+  EXPECT_THROW(monitor.record_ssim(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axc::resilience

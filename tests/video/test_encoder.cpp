@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "axc/accel/sad.hpp"
+
 namespace axc::video {
 namespace {
 

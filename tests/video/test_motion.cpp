@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "axc/accel/sad.hpp"
 #include "axc/image/synth.hpp"
 #include "axc/video/sequence.hpp"
 

@@ -1,0 +1,278 @@
+/// Perf harness for the bit-parallel simulation + multithreaded evaluation
+/// work: times the scalar vs bitsliced netlist simulators and 1-vs-N-thread
+/// error evaluation on fixed workloads, and writes machine-readable medians
+/// and speedup ratios to BENCH_kernels.json.
+///
+/// Usage: perf_kernels [--smoke] [--out <path>]
+///   --smoke  reduced repetitions/workloads (CI smoke step)
+///   --out    output path (default BENCH_kernels.json in the CWD)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "axc/arith/gear.hpp"
+#include "axc/common/bits.hpp"
+#include "axc/common/rng.hpp"
+#include "axc/error/evaluate.hpp"
+#include "axc/logic/adder_netlists.hpp"
+#include "axc/logic/bitsliced.hpp"
+#include "axc/logic/mul_netlists.hpp"
+#include "axc/logic/simulator.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Keeps results observable so the timed loops cannot be optimized away.
+volatile std::uint64_t g_sink = 0;
+
+/// Median wall time in milliseconds over `reps` runs of `fn`.
+template <typename Fn>
+double median_ms(int reps, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    fn();
+    const std::chrono::duration<double, std::milli> dt = Clock::now() - start;
+    times.push_back(dt.count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+struct KernelResult {
+  std::string name;
+  std::string baseline;  ///< what `speedup` is measured against
+  double baseline_ms = 0.0;
+  double optimized_ms = 0.0;
+  double speedup = 0.0;
+  std::uint64_t vectors = 0;  ///< stimulus vectors per run
+};
+
+/// Scalar vs bitsliced exhaustive enumeration of a <=64-input netlist.
+KernelResult exhaustive_kernel(const std::string& name,
+                               const axc::logic::Netlist& netlist, int reps) {
+  using axc::logic::BitslicedSimulator;
+  const unsigned n_in = static_cast<unsigned>(netlist.inputs().size());
+  const std::uint64_t total = std::uint64_t{1} << n_in;
+
+  KernelResult result;
+  result.name = name;
+  result.baseline = "scalar Simulator::apply_word";
+  result.vectors = total;
+
+  // Checksums from both paths must agree — validated outside the timing.
+  std::uint64_t scalar_sum = 0;
+  std::uint64_t packed_sum = 0;
+
+  result.baseline_ms = median_ms(reps, [&] {
+    axc::logic::Simulator sim(netlist);
+    std::uint64_t sum = 0;
+    for (std::uint64_t w = 0; w < total; ++w) sum += sim.apply_word(w);
+    scalar_sum = sum;
+    g_sink = sum;
+  });
+  result.optimized_ms = median_ms(reps, [&] {
+    BitslicedSimulator sim(netlist);
+    std::uint64_t sum = 0;
+    for (std::uint64_t base = 0; base < total;
+         base += BitslicedSimulator::kLanes) {
+      const unsigned lanes = static_cast<unsigned>(
+          std::min<std::uint64_t>(BitslicedSimulator::kLanes, total - base));
+      sim.apply_word_range(base, lanes);
+      for (unsigned k = 0; k < lanes; ++k) sum += sim.lane_output(k);
+    }
+    packed_sum = sum;
+    g_sink = sum;
+  });
+  if (scalar_sum != packed_sum) {
+    std::cerr << name << ": checksum mismatch (scalar " << scalar_sum
+              << " vs bitsliced " << packed_sum << ")\n";
+    std::exit(1);
+  }
+  result.speedup = result.baseline_ms / result.optimized_ms;
+  return result;
+}
+
+/// Scalar vs bitsliced random-stimulus simulation (works for any input
+/// count, including the >64-input SAD datapath shape).
+KernelResult random_kernel(const std::string& name,
+                           const axc::logic::Netlist& netlist, unsigned steps,
+                           int reps) {
+  using axc::logic::BitslicedSimulator;
+  const std::size_t n_in = netlist.inputs().size();
+  constexpr unsigned kLanes = BitslicedSimulator::kLanes;
+
+  // Pre-generate the packed stimulus; the scalar runs replay bit-k lanes of
+  // the same words so both paths see identical vectors.
+  axc::Rng rng(0xBE7C);
+  std::vector<std::vector<std::uint64_t>> stimulus(steps);
+  for (auto& words : stimulus) {
+    words.resize(n_in);
+    for (auto& word : words) word = rng();
+  }
+
+  KernelResult result;
+  result.name = name;
+  result.baseline = "scalar Simulator::apply";
+  result.vectors = static_cast<std::uint64_t>(steps) * kLanes;
+
+  double scalar_energy = 0.0;
+  double packed_energy = 0.0;
+
+  result.baseline_ms = median_ms(reps, [&] {
+    double energy = 0.0;
+    std::vector<unsigned> bits(n_in);
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
+      axc::logic::Simulator sim(netlist);
+      for (unsigned t = 0; t < steps; ++t) {
+        for (std::size_t i = 0; i < n_in; ++i) {
+          bits[i] = axc::bit_of(stimulus[t][i], lane);
+        }
+        g_sink = sim.apply(bits).front();
+      }
+      energy += sim.switched_energy_fj();
+    }
+    scalar_energy = energy;
+  });
+  result.optimized_ms = median_ms(reps, [&] {
+    BitslicedSimulator sim(netlist);
+    for (unsigned t = 0; t < steps; ++t) {
+      g_sink = sim.apply_lanes(stimulus[t]).front();
+    }
+    packed_energy = sim.switched_energy_fj();
+  });
+  // The per-lane scalar sums reassociate the per-gate additions, so allow
+  // last-ULP drift; gate-for-gate exactness is covered by the test suite.
+  if (std::abs(scalar_energy - packed_energy) >
+      1e-9 * (1.0 + std::abs(scalar_energy))) {
+    std::cerr << name << ": energy mismatch (scalar " << scalar_energy
+              << " vs bitsliced " << packed_energy << ")\n";
+    std::exit(1);
+  }
+  result.speedup = result.baseline_ms / result.optimized_ms;
+  return result;
+}
+
+/// 1-thread vs N-thread sampled error evaluation.
+KernelResult threading_kernel(std::uint64_t samples, unsigned threads,
+                              int reps) {
+  const axc::arith::GeArAdder adder({16, 4, 4});
+  axc::error::EvalOptions options;
+  options.max_exhaustive_bits = 8;  // 32 input bits: forces sampling
+  options.samples = samples;
+
+  KernelResult result;
+  result.name = "evaluate_adder GeAr(16,4,4) sampled";
+  result.baseline = "threads=1";
+  result.vectors = samples;
+
+  axc::error::ErrorStats one;
+  axc::error::ErrorStats many;
+  result.baseline_ms = median_ms(reps, [&] {
+    options.threads = 1;
+    one = axc::error::evaluate_adder(adder, options);
+    g_sink = one.error_count;
+  });
+  result.optimized_ms = median_ms(reps, [&] {
+    options.threads = threads;
+    many = axc::error::evaluate_adder(adder, options);
+    g_sink = many.error_count;
+  });
+  if (one.error_count != many.error_count ||
+      one.mean_error_distance != many.mean_error_distance) {
+    std::cerr << result.name << ": thread-count determinism violation\n";
+    std::exit(1);
+  }
+  result.speedup = result.baseline_ms / result.optimized_ms;
+  return result;
+}
+
+void write_json(const std::string& path,
+                const std::vector<KernelResult>& kernels, unsigned threads,
+                bool smoke) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"harness\": \"perf_kernels\",\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"hardware_threads\": " << threads << ",\n";
+  out << "  \"kernels\": [\n";
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const KernelResult& k = kernels[i];
+    out << "    {\n";
+    out << "      \"name\": \"" << k.name << "\",\n";
+    out << "      \"baseline\": \"" << k.baseline << "\",\n";
+    out << "      \"vectors\": " << k.vectors << ",\n";
+    out << "      \"baseline_ms\": " << k.baseline_ms << ",\n";
+    out << "      \"optimized_ms\": " << k.optimized_ms << ",\n";
+    out << "      \"speedup\": " << k.speedup << "\n";
+    out << "    }" << (i + 1 < kernels.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: perf_kernels [--smoke] [--out <path>]\n";
+      return 2;
+    }
+  }
+
+  using axc::arith::FullAdderKind;
+  const int reps = smoke ? 3 : 7;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  std::vector<KernelResult> kernels;
+
+  // Bitsliced vs scalar: exhaustive sweep of an 8x8 Wallace multiplier
+  // (16 inputs, 65536 vectors, ~500 gates).
+  kernels.push_back(exhaustive_kernel(
+      "wallace8x8 exhaustive",
+      axc::logic::wallace_netlist(8, FullAdderKind::Accurate, 0), reps));
+
+  // Bitsliced vs scalar: random streams through a 16-bit ripple adder
+  // (32 inputs — past the apply_word limit, so lane streams).
+  {
+    const auto model = axc::arith::RippleAdder::lsb_approximated(
+        16, FullAdderKind::Accurate, 0);
+    kernels.push_back(random_kernel(
+        "ripple16 random streams",
+        axc::logic::ripple_adder_netlist(model.cells()), smoke ? 32 : 256,
+        reps));
+  }
+
+  // Thread scaling: sampled GeAr evaluation, 1 thread vs all hardware
+  // threads. On a multicore box this approaches linear scaling; the JSON
+  // records hardware_threads so consumers can judge the ratio.
+  kernels.push_back(
+      threading_kernel(std::uint64_t{1} << (smoke ? 17 : 20), hw, reps));
+
+  write_json(out_path, kernels, hw, smoke);
+
+  std::cout << "perf_kernels: " << kernels.size() << " kernels -> " << out_path
+            << " (hardware_threads=" << hw << ")\n";
+  for (const KernelResult& k : kernels) {
+    std::cout << "  " << k.name << ": " << k.baseline_ms << " ms -> "
+              << k.optimized_ms << " ms (" << k.speedup << "x vs "
+              << k.baseline << ")\n";
+  }
+  return 0;
+}

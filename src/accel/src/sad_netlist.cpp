@@ -1,10 +1,12 @@
 #include "axc/accel/sad_netlist.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "axc/common/require.hpp"
 #include "axc/common/rng.hpp"
 #include "axc/logic/adder_netlists.hpp"
+#include "axc/logic/bitsliced.hpp"
 #include "axc/logic/power.hpp"
 
 namespace axc::accel {
@@ -109,13 +111,21 @@ SadHardwareReport characterize_sad(const SadConfig& config,
   report.area_ge = nl.area_ge();
   report.gate_count = nl.gate_count();
 
-  // Wide stimulus (> 64 inputs), so drive the vector interface directly.
-  logic::Simulator sim(nl);
+  // Packed stimulus: one 64-bit word per primary input carries 64 random
+  // lanes, so each pass over the (large) SAD gate list advances 64 vectors.
+  logic::BitslicedSimulator sim(nl);
   axc::Rng rng(seed);
-  std::vector<unsigned> stimulus(nl.inputs().size());
-  for (std::uint64_t v = 0; v < vectors; ++v) {
-    for (auto& bit : stimulus) bit = static_cast<unsigned>(rng() & 1u);
-    sim.apply(stimulus);
+  const unsigned lane_width = static_cast<unsigned>(
+      std::min<std::uint64_t>(logic::BitslicedSimulator::kLanes,
+                              std::max<std::uint64_t>(1, vectors / 2)));
+  std::vector<std::uint64_t> stimulus(nl.inputs().size());
+  std::uint64_t remaining = vectors;
+  while (remaining > 0) {
+    const unsigned lanes = static_cast<unsigned>(
+        std::min<std::uint64_t>(lane_width, remaining));
+    for (auto& word : stimulus) word = rng();
+    sim.apply_lanes(stimulus, lanes);
+    remaining -= lanes;
   }
   report.power_nw =
       logic::calibrated_power_model().estimate(sim).total_nw;

@@ -19,10 +19,21 @@
 namespace axc::error {
 
 /// Signed-error histogram of an approximate operator.
+///
+/// The per-sample record() path accumulates into a small open-addressed
+/// hash table (errors cluster on a handful of magnitudes, so this is a few
+/// cache lines); the ordered std::map view is materialized lazily the
+/// first time an order-dependent reader (support(), histogram(),
+/// optimal_offset(), residual_med()) is called after new samples.
 class ErrorDistribution {
  public:
   /// Records one signed error (approx - exact).
   void record(std::int64_t error);
+
+  /// Folds \p other (recorded over a disjoint input population) into this
+  /// distribution. Counts are exact, so merging split ranges equals
+  /// single-shot recording regardless of split points or order.
+  void merge(const ErrorDistribution& other);
 
   /// Total observations.
   std::uint64_t samples() const { return samples_; }
@@ -41,20 +52,36 @@ class ErrorDistribution {
   double residual_med(std::int64_t offset) const;
 
   /// Histogram access (error value -> count), ordered by error value.
-  const std::map<std::int64_t, std::uint64_t>& histogram() const {
-    return histogram_;
-  }
+  const std::map<std::int64_t, std::uint64_t>& histogram() const;
 
  private:
-  std::map<std::int64_t, std::uint64_t> histogram_;
+  /// One open-addressed slot; count == 0 marks an empty slot (a recorded
+  /// value always has count >= 1, so value 0 needs no sentinel).
+  struct Slot {
+    std::int64_t value = 0;
+    std::uint64_t count = 0;
+  };
+
+  void add(std::int64_t value, std::uint64_t count);
+  const Slot* lookup(std::int64_t value) const;
+  void grow();
+  void ensure_ordered() const;
+
+  std::vector<Slot> slots_;  ///< power-of-two capacity, linear probing
+  std::size_t used_ = 0;
   std::uint64_t samples_ = 0;
+  mutable std::map<std::int64_t, std::uint64_t> ordered_;
+  mutable bool ordered_stale_ = false;
 };
 
 /// Builds the error distribution of \p adder over uniform random operands
-/// (exhaustive when 2*width is small enough, sampled otherwise).
+/// (exhaustive when 2*width is small enough, sampled otherwise). Chunked
+/// over \p threads workers (0 = auto, see EvalOptions::threads) with
+/// deterministic per-chunk sub-seeds; results are thread-count-invariant.
 ErrorDistribution adder_error_distribution(const arith::Adder& adder,
                                            unsigned max_exhaustive_bits = 22,
                                            std::uint64_t samples = 1u << 20,
-                                           std::uint64_t seed = 7);
+                                           std::uint64_t seed = 7,
+                                           unsigned threads = 0);
 
 }  // namespace axc::error

@@ -24,6 +24,12 @@ struct EvalOptions {
   /// Monte-Carlo sample count when sampling.
   std::uint64_t samples = 1u << 20;
   std::uint64_t seed = 0xA5C0FFEEULL;
+  /// Worker threads: 0 = auto (the AXC_EVAL_THREADS environment variable,
+  /// else hardware concurrency). The input space is split into fixed-size
+  /// chunks with deterministic per-chunk RNG sub-seeds and partials are
+  /// merged in chunk order, so results are bit-identical for every thread
+  /// count (tests/error/test_parallel_eval.cpp).
+  unsigned threads = 0;
 };
 
 /// Evaluates an arbitrary pair of functions over a packed input word of

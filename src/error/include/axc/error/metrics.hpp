@@ -42,6 +42,14 @@ class ErrorAccumulator {
   /// Records one (approx, exact) output pair.
   void record(std::uint64_t approx, std::uint64_t exact);
 
+  /// Folds \p other (accumulated over a disjoint slice of the input
+  /// population) into this accumulator. Integer tallies (samples, error
+  /// count, max error) combine exactly; floating sums add the other
+  /// accumulator's subtotal, so reducing fixed chunks in index order
+  /// yields bit-identical results for any worker count (the property the
+  /// parallel evaluate_function relies on).
+  void merge(const ErrorAccumulator& other);
+
   /// Finalizes the averages. \p exhaustive marks a full-input-space sweep.
   ErrorStats finish(bool exhaustive) const;
 

@@ -1,0 +1,49 @@
+/// \file parallel.hpp
+/// Deterministic chunked parallel-for used by the evaluation kernels.
+///
+/// Work over [0, total) is split into fixed-size chunks whose boundaries do
+/// NOT depend on the worker count, and per-chunk partial results are
+/// reduced in chunk-index order by the caller. Sampled runs additionally
+/// derive one RNG sub-seed per chunk (eval_chunk_seed). Together this makes
+/// every result bit-identical for 1, 2 or N threads — the property the
+/// determinism tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace axc::error {
+
+/// Fixed chunk width (inputs per chunk) for parallel evaluation. Small
+/// enough that the paper-scale workloads split into many chunks, large
+/// enough that per-chunk overhead is noise.
+inline constexpr std::uint64_t kEvalChunk = std::uint64_t{1} << 16;
+
+/// Number of chunks covering [0, total).
+constexpr std::uint64_t eval_chunk_count(std::uint64_t total) {
+  return (total + kEvalChunk - 1) / kEvalChunk;
+}
+
+/// The RNG sub-seed of chunk \p chunk for a sampled run seeded with
+/// \p seed (golden-ratio stride; Rng's SplitMix64 expansion decorrelates
+/// the streams).
+constexpr std::uint64_t eval_chunk_seed(std::uint64_t seed,
+                                        std::uint64_t chunk) {
+  return seed + 0x9e3779b97f4a7c15ULL * (chunk + 1);
+}
+
+/// Resolves the worker count: \p requested if nonzero, else the
+/// AXC_EVAL_THREADS environment variable if set and positive, else
+/// std::thread::hardware_concurrency() (minimum 1).
+unsigned resolve_eval_threads(unsigned requested);
+
+/// Runs fn(chunk_index, begin, end) for every kEvalChunk-sized chunk of
+/// [0, total) on up to \p threads workers (clamped to the chunk count;
+/// <= 1 runs inline). fn must only touch state owned by its chunk index —
+/// determinism and thread-safety both follow from that.
+void parallel_chunks(
+    std::uint64_t total, unsigned threads,
+    const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>&
+        fn);
+
+}  // namespace axc::error

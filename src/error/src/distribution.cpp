@@ -5,76 +5,173 @@
 #include "axc/common/bits.hpp"
 #include "axc/common/require.hpp"
 #include "axc/common/rng.hpp"
+#include "axc/error/parallel.hpp"
 
 namespace axc::error {
 
+namespace {
+
+/// SplitMix64 finalizer — full-avalanche hash for the open-addressed table.
+std::uint64_t hash_value(std::int64_t value) {
+  std::uint64_t z = static_cast<std::uint64_t>(value);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::size_t kInitialCapacity = 64;
+
+}  // namespace
+
+void ErrorDistribution::add(std::int64_t value, std::uint64_t count) {
+  if (slots_.empty()) slots_.resize(kInitialCapacity);
+  // Grow at 3/4 load so probe chains stay short.
+  if ((used_ + 1) * 4 > slots_.size() * 3) grow();
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(hash_value(value)) & mask;
+  while (slots_[i].count != 0 && slots_[i].value != value) {
+    i = (i + 1) & mask;
+  }
+  if (slots_[i].count == 0) {
+    slots_[i].value = value;
+    ++used_;
+  }
+  slots_[i].count += count;
+  ordered_stale_ = true;
+}
+
+void ErrorDistribution::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  const std::size_t mask = slots_.size() - 1;
+  for (const Slot& slot : old) {
+    if (slot.count == 0) continue;
+    std::size_t i = static_cast<std::size_t>(hash_value(slot.value)) & mask;
+    while (slots_[i].count != 0) i = (i + 1) & mask;
+    slots_[i] = slot;
+  }
+}
+
+const ErrorDistribution::Slot* ErrorDistribution::lookup(
+    std::int64_t value) const {
+  if (slots_.empty()) return nullptr;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(hash_value(value)) & mask;
+  while (slots_[i].count != 0) {
+    if (slots_[i].value == value) return &slots_[i];
+    i = (i + 1) & mask;
+  }
+  return nullptr;
+}
+
+void ErrorDistribution::ensure_ordered() const {
+  if (!ordered_stale_) return;
+  ordered_.clear();
+  for (const Slot& slot : slots_) {
+    if (slot.count != 0) ordered_.emplace(slot.value, slot.count);
+  }
+  ordered_stale_ = false;
+}
+
 void ErrorDistribution::record(std::int64_t error) {
-  ++histogram_[error];
+  add(error, 1);
   ++samples_;
 }
 
+void ErrorDistribution::merge(const ErrorDistribution& other) {
+  for (const Slot& slot : other.slots_) {
+    if (slot.count != 0) add(slot.value, slot.count);
+  }
+  samples_ += other.samples_;
+}
+
 std::vector<std::int64_t> ErrorDistribution::support() const {
+  ensure_ordered();
   std::vector<std::int64_t> values;
-  values.reserve(histogram_.size());
-  for (const auto& [value, count] : histogram_) values.push_back(value);
+  values.reserve(ordered_.size());
+  for (const auto& [value, count] : ordered_) values.push_back(value);
   return values;
 }
 
 double ErrorDistribution::probability(std::int64_t error) const {
   if (samples_ == 0) return 0.0;
-  const auto it = histogram_.find(error);
-  if (it == histogram_.end()) return 0.0;
-  return static_cast<double>(it->second) / static_cast<double>(samples_);
+  const Slot* slot = lookup(error);
+  if (slot == nullptr) return 0.0;
+  return static_cast<double>(slot->count) / static_cast<double>(samples_);
 }
 
 std::int64_t ErrorDistribution::optimal_offset() const {
   require(samples_ > 0, "ErrorDistribution::optimal_offset: empty");
+  ensure_ordered();
   // Weighted median of the (ordered) histogram minimizes E|error - c|.
   // The corrector *adds* -median... we return the median of the error
   // itself; Cec negates when applying. Keeping the median here makes the
   // value directly comparable with the histogram.
   const std::uint64_t half = samples_ / 2;
   std::uint64_t running = 0;
-  for (const auto& [value, count] : histogram_) {
+  for (const auto& [value, count] : ordered_) {
     running += count;
     if (running > half) return value;
   }
-  return histogram_.rbegin()->first;
+  return ordered_.rbegin()->first;
 }
 
 double ErrorDistribution::residual_med(std::int64_t offset) const {
   if (samples_ == 0) return 0.0;
+  ensure_ordered();
   double total = 0.0;
-  for (const auto& [value, count] : histogram_) {
+  for (const auto& [value, count] : ordered_) {
     total += static_cast<double>(std::llabs(value - offset)) *
              static_cast<double>(count);
   }
   return total / static_cast<double>(samples_);
 }
 
+const std::map<std::int64_t, std::uint64_t>& ErrorDistribution::histogram()
+    const {
+  ensure_ordered();
+  return ordered_;
+}
+
 ErrorDistribution adder_error_distribution(const arith::Adder& adder,
                                            unsigned max_exhaustive_bits,
                                            std::uint64_t samples,
-                                           std::uint64_t seed) {
+                                           std::uint64_t seed,
+                                           unsigned threads) {
   const unsigned width = adder.width();
   const std::uint64_t mask = low_mask(width);
-  ErrorDistribution dist;
-  const auto record_pair = [&](std::uint64_t a, std::uint64_t b) {
+  const auto record_pair = [&](ErrorDistribution& dist, std::uint64_t a,
+                               std::uint64_t b) {
     const std::int64_t approx =
         static_cast<std::int64_t>(adder.add(a, b, 0));
     const std::int64_t exact = static_cast<std::int64_t>(a + b);
     dist.record(approx - exact);
   };
-  if (2 * width <= max_exhaustive_bits) {
-    for (std::uint64_t a = 0; a <= mask; ++a) {
-      for (std::uint64_t b = 0; b <= mask; ++b) record_pair(a, b);
-    }
-  } else {
-    Rng rng(seed);
-    for (std::uint64_t i = 0; i < samples; ++i) {
-      record_pair(rng.bits(width), rng.bits(width));
-    }
-  }
+
+  const bool exhaustive = 2 * width <= max_exhaustive_bits;
+  const std::uint64_t total =
+      exhaustive ? std::uint64_t{1} << (2 * width) : samples;
+  std::vector<ErrorDistribution> partials(eval_chunk_count(total));
+  parallel_chunks(
+      total, resolve_eval_threads(threads),
+      [&](std::uint64_t chunk, std::uint64_t begin, std::uint64_t end) {
+        ErrorDistribution& dist = partials[chunk];
+        if (exhaustive) {
+          for (std::uint64_t w = begin; w < end; ++w) {
+            record_pair(dist, w & mask, (w >> width) & mask);
+          }
+        } else {
+          Rng rng(eval_chunk_seed(seed, chunk));
+          for (std::uint64_t i = begin; i < end; ++i) {
+            const std::uint64_t a = rng.bits(width);
+            const std::uint64_t b = rng.bits(width);
+            record_pair(dist, a, b);
+          }
+        }
+      });
+
+  ErrorDistribution dist;
+  for (const ErrorDistribution& partial : partials) dist.merge(partial);
   return dist;
 }
 

@@ -1,8 +1,11 @@
 #include "axc/error/evaluate.hpp"
 
+#include <vector>
+
 #include "axc/common/bits.hpp"
 #include "axc/common/require.hpp"
 #include "axc/common/rng.hpp"
+#include "axc/error/parallel.hpp"
 
 namespace axc::error {
 
@@ -13,20 +16,35 @@ ErrorStats evaluate_function(
     const EvalOptions& options) {
   require(input_bits >= 1 && input_bits <= 63,
           "evaluate_function: input_bits must be in [1, 63]");
+  const bool exhaustive = input_bits <= options.max_exhaustive_bits;
+  const std::uint64_t total =
+      exhaustive ? std::uint64_t{1} << input_bits : options.samples;
+
+  // One accumulator per fixed-size chunk; workers only touch their chunk's
+  // slot, and the final merge walks chunks in index order, so the result
+  // is identical for every thread count.
+  std::vector<ErrorAccumulator> partials(eval_chunk_count(total),
+                                         ErrorAccumulator(output_ceiling));
+  parallel_chunks(
+      total, resolve_eval_threads(options.threads),
+      [&](std::uint64_t chunk, std::uint64_t begin, std::uint64_t end) {
+        ErrorAccumulator& acc = partials[chunk];
+        if (exhaustive) {
+          for (std::uint64_t w = begin; w < end; ++w) {
+            acc.record(approx(w), exact(w));
+          }
+        } else {
+          Rng rng(eval_chunk_seed(options.seed, chunk));
+          for (std::uint64_t i = begin; i < end; ++i) {
+            const std::uint64_t w = rng.bits(input_bits);
+            acc.record(approx(w), exact(w));
+          }
+        }
+      });
+
   ErrorAccumulator acc(output_ceiling);
-  if (input_bits <= options.max_exhaustive_bits) {
-    const std::uint64_t total = std::uint64_t{1} << input_bits;
-    for (std::uint64_t w = 0; w < total; ++w) {
-      acc.record(approx(w), exact(w));
-    }
-    return acc.finish(/*exhaustive=*/true);
-  }
-  Rng rng(options.seed);
-  for (std::uint64_t i = 0; i < options.samples; ++i) {
-    const std::uint64_t w = rng.bits(input_bits);
-    acc.record(approx(w), exact(w));
-  }
-  return acc.finish(/*exhaustive=*/false);
+  for (const ErrorAccumulator& partial : partials) acc.merge(partial);
+  return acc.finish(exhaustive);
 }
 
 ErrorStats evaluate_adder(const arith::Adder& adder,

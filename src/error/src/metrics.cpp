@@ -17,6 +17,15 @@ void ErrorAccumulator::record(std::uint64_t approx, std::uint64_t exact) {
   sum_rel_ += d / static_cast<double>(std::max<std::uint64_t>(exact, 1));
 }
 
+void ErrorAccumulator::merge(const ErrorAccumulator& other) {
+  samples_ += other.samples_;
+  error_count_ += other.error_count_;
+  max_error_ = std::max(max_error_, other.max_error_);
+  sum_abs_ += other.sum_abs_;
+  sum_sq_ += other.sum_sq_;
+  sum_rel_ += other.sum_rel_;
+}
+
 ErrorStats ErrorAccumulator::finish(bool exhaustive) const {
   ErrorStats stats;
   stats.samples = samples_;

@@ -1,0 +1,56 @@
+#include "axc/error/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace axc::error {
+
+unsigned resolve_eval_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("AXC_EVAL_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void parallel_chunks(
+    std::uint64_t total, unsigned threads,
+    const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>&
+        fn) {
+  const std::uint64_t chunks = eval_chunk_count(total);
+  if (chunks == 0) return;
+  const auto run_chunk = [&](std::uint64_t c) {
+    const std::uint64_t begin = c * kEvalChunk;
+    const std::uint64_t end = std::min(begin + kEvalChunk, total);
+    fn(c, begin, end);
+  };
+
+  std::uint64_t workers = threads;
+  if (workers > chunks) workers = chunks;
+  if (workers <= 1) {
+    for (std::uint64_t c = 0; c < chunks; ++c) run_chunk(c);
+    return;
+  }
+
+  // Dynamic chunk stealing: which worker runs a chunk is racy, but chunk
+  // boundaries and per-chunk state are not, so results stay deterministic.
+  std::atomic<std::uint64_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) {
+    pool.emplace_back([&] {
+      for (std::uint64_t c = next.fetch_add(1); c < chunks;
+           c = next.fetch_add(1)) {
+        run_chunk(c);
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+}
+
+}  // namespace axc::error

@@ -60,4 +60,54 @@ const CellInfo& cell_info(CellType type);
 /// Unused inputs are ignored. Pseudo-cells must not be evaluated here.
 unsigned eval_cell(CellType type, unsigned a, unsigned b, unsigned c);
 
+/// Word-parallel (bitsliced) evaluation of \p type: bit k of every operand
+/// word carries lane k's value, so one call evaluates 64 independent input
+/// vectors with plain bitwise ops. Lane-for-lane identical to eval_cell.
+constexpr std::uint64_t eval_cell_word(CellType type, std::uint64_t a,
+                                       std::uint64_t b, std::uint64_t c) {
+  switch (type) {
+    case CellType::Buf:
+      return a;
+    case CellType::Inv:
+      return ~a;
+    case CellType::And2:
+      return a & b;
+    case CellType::Or2:
+      return a | b;
+    case CellType::Nand2:
+      return ~(a & b);
+    case CellType::Nor2:
+      return ~(a | b);
+    case CellType::Xor2:
+      return a ^ b;
+    case CellType::Xnor2:
+      return ~(a ^ b);
+    case CellType::And3:
+      return a & b & c;
+    case CellType::Or3:
+      return a | b | c;
+    case CellType::Nand3:
+      return ~(a & b & c);
+    case CellType::Nor3:
+      return ~(a | b | c);
+    case CellType::Mux2:  // per lane: sel ? c : b
+      return (a & c) | (~a & b);
+    case CellType::Maj3:
+      return (a & b) | (a & c) | (b & c);
+    case CellType::Aoi21:
+      return ~((a & b) | c);
+    case CellType::Oai21:
+      return ~((a | b) & c);
+    case CellType::Ao21:
+      return (a & b) | c;
+    case CellType::Oa21:
+      return (a | b) & c;
+    case CellType::Input:
+    case CellType::Const0:
+    case CellType::Const1:
+      break;
+  }
+  return 0;  // pseudo-cells are never evaluated (checked by the simulators)
+}
+
 }  // namespace axc::logic

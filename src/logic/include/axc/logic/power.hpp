@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "axc/logic/bitsliced.hpp"
 #include "axc/logic/simulator.hpp"
 
 namespace axc::logic {
@@ -33,6 +34,11 @@ struct PowerModel {
   /// Computes the power report from accumulated simulator activity.
   /// Requires at least two applied vectors (toggles need a predecessor).
   PowerReport estimate(const Simulator& sim) const;
+
+  /// Same, from a packed 64-lane simulation run. The energy-per-vector
+  /// denominator is the simulator's transition_pairs() — each lane's first
+  /// vector is baseline only, exactly as in the scalar case.
+  PowerReport estimate(const BitslicedSimulator& sim) const;
 };
 
 /// Convenience: simulate \p vectors uniform random input words on a copy of

@@ -5,12 +5,17 @@
 /// stimulus sequence yields both output values (functional verification)
 /// and per-gate toggle counts (the switching activity that drives the
 /// dynamic power estimate in power.hpp).
+///
+/// Simulator is the scalar (one vector per pass) interface, implemented as
+/// a thin 1-lane wrapper over the 64-lane BitslicedSimulator — throughput
+/// consumers should use the packed API in bitsliced.hpp directly.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "axc/logic/bitsliced.hpp"
 #include "axc/logic/netlist.hpp"
 
 namespace axc::logic {
@@ -36,31 +41,26 @@ class Simulator {
   std::uint64_t apply_word(std::uint64_t input_word);
 
   /// Number of vectors applied since construction / reset_activity().
-  std::uint64_t vectors_applied() const { return vectors_applied_; }
+  std::uint64_t vectors_applied() const { return core_.vectors_applied(); }
 
   /// Total output toggles of gate \p gate_index accumulated so far.
   std::uint64_t gate_toggles(std::size_t gate_index) const {
-    return gate_toggles_.at(gate_index);
+    return core_.gate_toggles(gate_index);
   }
 
   /// Switching energy accumulated so far, in femtojoules: for every gate,
   /// toggles x per-cell energy.
-  double switched_energy_fj() const;
+  double switched_energy_fj() const { return core_.switched_energy_fj(); }
 
   /// Clears toggle counts and the vector counter (state values persist so
-  /// the next vector still counts transitions from the current state).
-  void reset_activity();
+  /// the next run still starts from the current state).
+  void reset_activity() { core_.reset_activity(); }
 
-  const Netlist& netlist() const { return netlist_; }
+  const Netlist& netlist() const { return core_.netlist(); }
 
  private:
-  void evaluate();
-
-  const Netlist& netlist_;
-  std::vector<unsigned> net_value_;
-  std::vector<std::uint64_t> gate_toggles_;
-  std::uint64_t vectors_applied_ = 0;
-  bool first_vector_ = true;
+  BitslicedSimulator core_;
+  std::vector<std::uint64_t> in_words_;
 };
 
 }  // namespace axc::logic

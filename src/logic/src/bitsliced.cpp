@@ -1,0 +1,141 @@
+#include "axc/logic/bitsliced.hpp"
+
+#include <bit>
+
+#include "axc/common/bits.hpp"
+#include "axc/common/require.hpp"
+
+namespace axc::logic {
+
+namespace {
+
+// Lane values of input i for counting stimulus base + k with base
+// 64-aligned: bit i of (base + k) is periodic in k for i < 6 and constant
+// (= bit i of base) otherwise.
+constexpr std::uint64_t kCountingPattern[6] = {
+    0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+    0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL,
+};
+
+}  // namespace
+
+void pack_counting_lanes(std::uint64_t base, unsigned num_inputs,
+                         unsigned lanes, std::span<std::uint64_t> words) {
+  require(num_inputs <= 64 && words.size() >= num_inputs,
+          "pack_counting_lanes: > 64 inputs or destination too small");
+  require(lanes >= 1 && lanes <= BitslicedSimulator::kLanes,
+          "pack_counting_lanes: lanes must be in [1, 64]");
+  if (base % BitslicedSimulator::kLanes == 0) {
+    for (unsigned i = 0; i < num_inputs; ++i) {
+      words[i] = i < 6 ? kCountingPattern[i]
+                       : (bit_of(base, i) ? ~std::uint64_t{0} : 0);
+    }
+    return;
+  }
+  // Unaligned base (only the 1-lane scalar wrapper takes this path): pack
+  // lane by lane.
+  for (unsigned i = 0; i < num_inputs; ++i) words[i] = 0;
+  for (unsigned k = 0; k < lanes; ++k) {
+    const std::uint64_t word = base + k;
+    for (unsigned i = 0; i < num_inputs; ++i) {
+      words[i] |= static_cast<std::uint64_t>(bit_of(word, i)) << k;
+    }
+  }
+}
+
+BitslicedSimulator::BitslicedSimulator(const Netlist& netlist)
+    : netlist_(netlist),
+      net_word_(netlist.net_count(), 0),
+      gate_toggles_(netlist.gate_count(), 0),
+      out_words_(netlist.outputs().size(), 0) {
+  // Constant nets hold their value in every lane for the whole simulation.
+  for (NetId net = 0; net < netlist.net_count(); ++net) {
+    if (netlist.driver(net) == CellType::Const1) {
+      net_word_[net] = ~std::uint64_t{0};
+    }
+  }
+}
+
+std::span<const std::uint64_t> BitslicedSimulator::apply_lanes(
+    std::span<const std::uint64_t> input_words, unsigned lanes) {
+  const auto& inputs = netlist_.inputs();
+  require(input_words.size() == inputs.size(),
+          "BitslicedSimulator::apply_lanes: stimulus width does not match "
+          "primary inputs");
+  require(lanes >= 1 && lanes <= kLanes,
+          "BitslicedSimulator::apply_lanes: lanes must be in [1, 64]");
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    net_word_[inputs[i]] = input_words[i];
+  }
+
+  const std::uint64_t lane_mask = low_mask(lanes);
+  const auto& gates = netlist_.gates();
+  if (first_vector_) {
+    // Baseline pass: establish state, count no transitions.
+    for (std::size_t g = 0; g < gates.size(); ++g) {
+      const Gate& gate = gates[g];
+      net_word_[gate.out] =
+          eval_cell_word(gate.type, net_word_[gate.in[0]],
+                         net_word_[gate.in[1]], net_word_[gate.in[2]]);
+    }
+    first_vector_ = false;
+  } else {
+    for (std::size_t g = 0; g < gates.size(); ++g) {
+      const Gate& gate = gates[g];
+      const std::uint64_t value =
+          eval_cell_word(gate.type, net_word_[gate.in[0]],
+                         net_word_[gate.in[1]], net_word_[gate.in[2]]);
+      gate_toggles_[g] += static_cast<std::uint64_t>(
+          std::popcount((value ^ net_word_[gate.out]) & lane_mask));
+      net_word_[gate.out] = value;
+    }
+    transition_pairs_ += lanes;
+  }
+  vectors_applied_ += lanes;
+
+  const auto& outputs = netlist_.outputs();
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    out_words_[i] = net_word_[outputs[i]];
+  }
+  return out_words_;
+}
+
+std::span<const std::uint64_t> BitslicedSimulator::apply_word_range(
+    std::uint64_t base, unsigned lanes) {
+  const std::size_t n_in = netlist_.inputs().size();
+  require(n_in <= 64, "BitslicedSimulator::apply_word_range: > 64 inputs");
+  in_scratch_.resize(n_in);
+  pack_counting_lanes(base, static_cast<unsigned>(n_in), lanes, in_scratch_);
+  return apply_lanes(in_scratch_, lanes);
+}
+
+std::uint64_t BitslicedSimulator::lane_output(unsigned lane) const {
+  const auto& outputs = netlist_.outputs();
+  require(lane < kLanes && outputs.size() <= 64,
+          "BitslicedSimulator::lane_output: lane or output count out of "
+          "range");
+  std::uint64_t word = 0;
+  for (std::size_t j = 0; j < outputs.size(); ++j) {
+    word |= ((out_words_[j] >> lane) & 1u) << j;
+  }
+  return word;
+}
+
+double BitslicedSimulator::switched_energy_fj() const {
+  double energy = 0.0;
+  const auto& gates = netlist_.gates();
+  for (std::size_t g = 0; g < gates.size(); ++g) {
+    energy += static_cast<double>(gate_toggles_[g]) *
+              cell_info(gates[g].type).energy_fj;
+  }
+  return energy;
+}
+
+void BitslicedSimulator::reset_activity() {
+  gate_toggles_.assign(gate_toggles_.size(), 0);
+  vectors_applied_ = 0;
+  transition_pairs_ = 0;
+  first_vector_ = true;
+}
+
+}  // namespace axc::logic

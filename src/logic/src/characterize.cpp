@@ -1,6 +1,9 @@
 #include "axc/logic/characterize.hpp"
 
+#include <algorithm>
+
 #include "axc/common/require.hpp"
+#include "axc/logic/bitsliced.hpp"
 #include "axc/logic/adder_netlists.hpp"
 #include "axc/logic/mul_netlists.hpp"
 
@@ -11,10 +14,20 @@ TruthTable netlist_truth_table(const Netlist& netlist) {
   const unsigned n_out = static_cast<unsigned>(netlist.outputs().size());
   require(n_in >= 1 && n_in <= 20 && n_out >= 1 && n_out <= 32,
           "netlist_truth_table: netlist too wide to enumerate");
-  Simulator sim(netlist);
-  return TruthTable::from_function(n_in, n_out, [&](std::uint32_t word) {
-    return static_cast<std::uint32_t>(sim.apply_word(word));
-  });
+  // Bitsliced enumeration: 64 rows per pass over the gate list.
+  BitslicedSimulator sim(netlist);
+  const std::uint64_t total = std::uint64_t{1} << n_in;
+  std::vector<std::uint32_t> rows(total);
+  for (std::uint64_t base = 0; base < total;
+       base += BitslicedSimulator::kLanes) {
+    const unsigned lanes = static_cast<unsigned>(
+        std::min<std::uint64_t>(BitslicedSimulator::kLanes, total - base));
+    sim.apply_word_range(base, lanes);
+    for (unsigned k = 0; k < lanes; ++k) {
+      rows[base + k] = static_cast<std::uint32_t>(sim.lane_output(k));
+    }
+  }
+  return TruthTable::from_rows(n_in, n_out, std::move(rows));
 }
 
 Characterization characterize(const Netlist& netlist,

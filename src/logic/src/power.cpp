@@ -1,36 +1,69 @@
 #include "axc/logic/power.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "axc/common/require.hpp"
 #include "axc/common/rng.hpp"
 
 namespace axc::logic {
 
-PowerReport PowerModel::estimate(const Simulator& sim) const {
-  require(sim.vectors_applied() >= 2,
-          "PowerModel::estimate: need at least two stimulus vectors");
+namespace {
+
+PowerReport report_from_activity(const PowerModel& model,
+                                 double switched_energy_fj,
+                                 std::uint64_t transition_pairs,
+                                 double area_ge) {
   PowerReport report;
   // Energy per vector [fJ] * vectors per second [GHz -> 1e9/s]:
   // fJ * 1e9 / s = 1e-15 J * 1e9 / s = 1e-6 W = ... expressed in nW below.
   const double energy_per_vector_fj =
-      sim.switched_energy_fj() /
-      static_cast<double>(sim.vectors_applied() - 1);
-  report.dynamic_nw =
-      energy_scale * energy_per_vector_fj * clock_ghz * 1e3;  // fJ*GHz -> nW? see note
+      switched_energy_fj / static_cast<double>(transition_pairs);
+  report.dynamic_nw = model.energy_scale * energy_per_vector_fj *
+                      model.clock_ghz * 1e3;  // fJ*GHz -> nW? see note
   // Note on units: 1 fJ/cycle at 1 GHz = 1e-15 J * 1e9 1/s = 1e-6 W = 1000 nW.
-  report.leakage_nw = leakage_nw_per_ge * sim.netlist().area_ge();
+  report.leakage_nw = model.leakage_nw_per_ge * area_ge;
   report.total_nw = report.dynamic_nw + report.leakage_nw;
   return report;
+}
+
+}  // namespace
+
+PowerReport PowerModel::estimate(const Simulator& sim) const {
+  require(sim.vectors_applied() >= 2,
+          "PowerModel::estimate: need at least two stimulus vectors");
+  return report_from_activity(*this, sim.switched_energy_fj(),
+                              sim.vectors_applied() - 1,
+                              sim.netlist().area_ge());
+}
+
+PowerReport PowerModel::estimate(const BitslicedSimulator& sim) const {
+  require(sim.transition_pairs() >= 1,
+          "PowerModel::estimate: need at least two stimulus vectors per lane");
+  return report_from_activity(*this, sim.switched_energy_fj(),
+                              sim.transition_pairs(), sim.netlist().area_ge());
 }
 
 PowerReport estimate_random_power(const Netlist& netlist,
                                   std::uint64_t vectors, std::uint64_t seed,
                                   const PowerModel& model) {
-  Simulator sim(netlist);
+  // Packed run: each of up to 64 lanes carries its own random stimulus
+  // stream, so one pass over the gate list advances 64 vectors. Lane width
+  // is capped at vectors/2 so every lane sees at least two vectors (the
+  // model needs transitions). Works for arbitrarily wide netlists.
+  BitslicedSimulator sim(netlist);
   Rng rng(seed);
-  const unsigned width = static_cast<unsigned>(netlist.inputs().size());
-  require(width <= 64, "estimate_random_power: > 64 primary inputs");
-  for (std::uint64_t i = 0; i < vectors; ++i) {
-    sim.apply_word(rng.bits(width));
+  const unsigned lane_width = static_cast<unsigned>(
+      std::min<std::uint64_t>(BitslicedSimulator::kLanes,
+                              std::max<std::uint64_t>(1, vectors / 2)));
+  std::vector<std::uint64_t> words(netlist.inputs().size());
+  std::uint64_t remaining = vectors;
+  while (remaining > 0) {
+    const unsigned lanes = static_cast<unsigned>(
+        std::min<std::uint64_t>(lane_width, remaining));
+    for (auto& word : words) word = rng();
+    sim.apply_lanes(words, lanes);
+    remaining -= lanes;
   }
   return model.estimate(sim);
 }

@@ -6,77 +6,35 @@
 namespace axc::logic {
 
 Simulator::Simulator(const Netlist& netlist)
-    : netlist_(netlist),
-      net_value_(netlist.net_count(), 0u),
-      gate_toggles_(netlist.gate_count(), 0) {
-  // Constant nets hold their value for the whole simulation.
-  for (NetId net = 0; net < netlist.net_count(); ++net) {
-    if (netlist.driver(net) == CellType::Const1) net_value_[net] = 1u;
-  }
-}
+    : core_(netlist), in_words_(netlist.inputs().size(), 0) {}
 
 std::vector<unsigned> Simulator::apply(std::span<const unsigned> input_bits) {
-  require(input_bits.size() == netlist_.inputs().size(),
+  require(input_bits.size() == in_words_.size(),
           "Simulator::apply: stimulus width does not match primary inputs");
-  const auto& inputs = netlist_.inputs();
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    net_value_[inputs[i]] = input_bits[i] & 1u;
+  for (std::size_t i = 0; i < in_words_.size(); ++i) {
+    in_words_[i] = input_bits[i] & 1u;
   }
-  evaluate();
+  const std::span<const std::uint64_t> out_words =
+      core_.apply_lanes(in_words_, 1);
 
   std::vector<unsigned> out;
-  out.reserve(netlist_.outputs().size());
-  for (const NetId net : netlist_.outputs()) out.push_back(net_value_[net]);
+  out.reserve(out_words.size());
+  for (const std::uint64_t word : out_words) {
+    out.push_back(static_cast<unsigned>(word & 1u));
+  }
   return out;
 }
 
 std::uint64_t Simulator::apply_word(std::uint64_t input_word) {
-  const std::size_t n_in = netlist_.inputs().size();
-  const std::size_t n_out = netlist_.outputs().size();
+  const std::size_t n_in = core_.netlist().inputs().size();
+  const std::size_t n_out = core_.netlist().outputs().size();
   require(n_in <= 64 && n_out <= 64,
           "Simulator::apply_word: > 64 inputs or outputs");
-  const auto& inputs = netlist_.inputs();
   for (std::size_t i = 0; i < n_in; ++i) {
-    net_value_[inputs[i]] = bit_of(input_word, static_cast<unsigned>(i));
+    in_words_[i] = bit_of(input_word, static_cast<unsigned>(i));
   }
-  evaluate();
-
-  std::uint64_t out = 0;
-  const auto& outputs = netlist_.outputs();
-  for (std::size_t i = 0; i < n_out; ++i) {
-    out |= static_cast<std::uint64_t>(net_value_[outputs[i]] & 1u) << i;
-  }
-  return out;
-}
-
-void Simulator::evaluate() {
-  const auto& gates = netlist_.gates();
-  for (std::size_t g = 0; g < gates.size(); ++g) {
-    const Gate& gate = gates[g];
-    const unsigned value =
-        eval_cell(gate.type, net_value_[gate.in[0]], net_value_[gate.in[1]],
-                  net_value_[gate.in[2]]);
-    if (!first_vector_ && value != net_value_[gate.out]) ++gate_toggles_[g];
-    net_value_[gate.out] = value;
-  }
-  first_vector_ = false;
-  ++vectors_applied_;
-}
-
-double Simulator::switched_energy_fj() const {
-  double energy = 0.0;
-  const auto& gates = netlist_.gates();
-  for (std::size_t g = 0; g < gates.size(); ++g) {
-    energy += static_cast<double>(gate_toggles_[g]) *
-              cell_info(gates[g].type).energy_fj;
-  }
-  return energy;
-}
-
-void Simulator::reset_activity() {
-  gate_toggles_.assign(gate_toggles_.size(), 0);
-  vectors_applied_ = 0;
-  first_vector_ = true;
+  core_.apply_lanes(in_words_, 1);
+  return core_.lane_output(0);
 }
 
 }  // namespace axc::logic

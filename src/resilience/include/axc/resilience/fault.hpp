@@ -19,6 +19,7 @@
 #include "axc/accel/datapath.hpp"
 #include "axc/accel/sad_unit.hpp"
 #include "axc/common/rng.hpp"
+#include "axc/logic/bitsliced.hpp"
 #include "axc/logic/netlist.hpp"
 
 namespace axc::resilience {
@@ -40,6 +41,13 @@ class FaultInjector {
   /// Returns \p word with each of its low \p width bits independently
   /// flipped with probability spec().bit_flip_probability.
   std::uint64_t corrupt(std::uint64_t word, unsigned width);
+
+  /// Draws \p width independent Bernoulli trials and returns them as an
+  /// XOR fault word (bit k set = flip). corrupt() is exactly
+  /// `(word & low_mask(width)) ^ flip_mask(width)`; the bitsliced
+  /// FaultySimulator applies one such word per gate to upset all 64
+  /// simulation lanes at once. Counters update as for corrupt().
+  std::uint64_t flip_mask(unsigned width);
 
   /// Total bits flipped since construction / reseed().
   std::uint64_t bits_flipped() const { return bits_flipped_; }
@@ -63,6 +71,13 @@ class FaultInjector {
 /// logic::Simulator, but every gate output may flip (SEU on the driven
 /// net) before fanout sees it. Primary inputs and constants are not
 /// perturbed — upsets strike logic, stimuli are given.
+///
+/// Bitsliced like logic::BitslicedSimulator: every net holds a 64-lane
+/// word and each gate's output lanes are upset independently via one
+/// per-gate XOR fault word, so apply_lanes() advances 64 campaign vectors
+/// per pass over the gate list. The scalar apply()/apply_word() entry
+/// points are 1-lane wrappers and draw the RNG in exactly the historical
+/// order (one Bernoulli per gate), so seeded campaigns reproduce.
 class FaultySimulator {
  public:
   FaultySimulator(const logic::Netlist& netlist, const FaultSpec& spec);
@@ -75,6 +90,13 @@ class FaultySimulator {
   /// returns outputs packed the same way. Requires <= 64 inputs/outputs.
   std::uint64_t apply_word(std::uint64_t input_word);
 
+  /// Packed campaign step: input_words[i] bit k = lane k's value of
+  /// primary input i; returns one packed word per primary output. Each
+  /// gate draws `lanes` Bernoulli trials (lane k's upset of that gate).
+  std::vector<std::uint64_t> apply_lanes(
+      std::span<const std::uint64_t> input_words,
+      unsigned lanes = logic::BitslicedSimulator::kLanes);
+
   /// Bits flipped across all vectors so far.
   std::uint64_t faults_injected() const { return injector_.bits_flipped(); }
 
@@ -83,7 +105,7 @@ class FaultySimulator {
  private:
   const logic::Netlist& netlist_;
   FaultInjector injector_;
-  std::vector<unsigned> net_value_;
+  std::vector<std::uint64_t> net_word_;
 };
 
 /// Datapath-level fault injection: evaluates \p dp with every computed

@@ -18,8 +18,13 @@ FaultInjector::FaultInjector(const FaultSpec& spec)
 std::uint64_t FaultInjector::corrupt(std::uint64_t word, unsigned width) {
   AXC_REQUIRE(width >= 1 && width <= 64,
               "FaultInjector::corrupt: width must be in [1, 64]");
-  word &= low_mask(width);
-  if (spec_.bit_flip_probability <= 0.0) return word;
+  return (word & low_mask(width)) ^ flip_mask(width);
+}
+
+std::uint64_t FaultInjector::flip_mask(unsigned width) {
+  AXC_REQUIRE(width >= 1 && width <= 64,
+              "FaultInjector::flip_mask: width must be in [1, 64]");
+  if (spec_.bit_flip_probability <= 0.0) return 0;
   std::uint64_t flips = 0;
   for (unsigned bit = 0; bit < width; ++bit) {
     if (rng_.uniform() < spec_.bit_flip_probability) {
@@ -30,7 +35,7 @@ std::uint64_t FaultInjector::corrupt(std::uint64_t word, unsigned width) {
     bits_flipped_ += static_cast<std::uint64_t>(std::popcount(flips));
     ++words_corrupted_;
   }
-  return word ^ flips;
+  return flips;
 }
 
 void FaultInjector::reseed(std::uint64_t seed) {
@@ -42,33 +47,55 @@ void FaultInjector::reseed(std::uint64_t seed) {
 
 FaultySimulator::FaultySimulator(const logic::Netlist& netlist,
                                  const FaultSpec& spec)
-    : netlist_(netlist), injector_(spec), net_value_(netlist.net_count(), 0) {}
+    : netlist_(netlist), injector_(spec), net_word_(netlist.net_count(), 0) {
+  // Tie cells hold their value in every lane; upsets strike only logic.
+  for (logic::NetId net = 0; net < net_word_.size(); ++net) {
+    if (netlist.driver(net) == logic::CellType::Const1) {
+      net_word_[net] = ~std::uint64_t{0};
+    }
+  }
+}
+
+std::vector<std::uint64_t> FaultySimulator::apply_lanes(
+    std::span<const std::uint64_t> input_words, unsigned lanes) {
+  const auto& inputs = netlist_.inputs();
+  AXC_REQUIRE(input_words.size() == inputs.size(),
+              "FaultySimulator::apply_lanes: input vector arity mismatch");
+  AXC_REQUIRE(lanes >= 1 && lanes <= logic::BitslicedSimulator::kLanes,
+              "FaultySimulator::apply_lanes: lanes must be in [1, 64]");
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    net_word_[inputs[i]] = input_words[i];
+  }
+  for (const logic::Gate& gate : netlist_.gates()) {
+    const std::uint64_t value = logic::eval_cell_word(
+        gate.type, net_word_[gate.in[0]], net_word_[gate.in[1]],
+        net_word_[gate.in[2]]);
+    // Per-lane XOR fault word: lane k of this gate's output upsets
+    // independently with the spec probability.
+    net_word_[gate.out] = value ^ injector_.flip_mask(lanes);
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(netlist_.outputs().size());
+  for (const logic::NetId net : netlist_.outputs()) {
+    out.push_back(net_word_[net]);
+  }
+  return out;
+}
 
 std::vector<unsigned> FaultySimulator::apply(
     std::span<const unsigned> input_bits) {
   const auto& inputs = netlist_.inputs();
   AXC_REQUIRE(input_bits.size() == inputs.size(),
               "FaultySimulator::apply: input vector arity mismatch");
-  // Stimuli and tie cells are applied clean; upsets strike the logic.
-  for (logic::NetId net = 0; net < net_value_.size(); ++net) {
-    const logic::CellType kind = netlist_.driver(net);
-    if (kind == logic::CellType::Const0) net_value_[net] = 0;
-    if (kind == logic::CellType::Const1) net_value_[net] = 1;
-  }
+  std::vector<std::uint64_t> words(inputs.size());
   for (std::size_t i = 0; i < inputs.size(); ++i) {
-    net_value_[inputs[i]] = input_bits[i] & 1u;
+    words[i] = input_bits[i] & 1u;
   }
-  for (const logic::Gate& gate : netlist_.gates()) {
-    const unsigned value = logic::eval_cell(
-        gate.type, net_value_[gate.in[0]], net_value_[gate.in[1]],
-        net_value_[gate.in[2]]);
-    net_value_[gate.out] =
-        static_cast<unsigned>(injector_.corrupt(value, 1));
-  }
+  const std::vector<std::uint64_t> out_words = apply_lanes(words, 1);
   std::vector<unsigned> out;
-  out.reserve(netlist_.outputs().size());
-  for (const logic::NetId net : netlist_.outputs()) {
-    out.push_back(net_value_[net]);
+  out.reserve(out_words.size());
+  for (const std::uint64_t word : out_words) {
+    out.push_back(static_cast<unsigned>(word & 1u));
   }
   return out;
 }
@@ -78,14 +105,14 @@ std::uint64_t FaultySimulator::apply_word(std::uint64_t input_word) {
   const std::size_t n_out = netlist_.outputs().size();
   AXC_REQUIRE(n_in <= 64 && n_out <= 64,
               "FaultySimulator::apply_word: needs <= 64 inputs/outputs");
-  std::vector<unsigned> bits(n_in);
+  std::vector<std::uint64_t> words(n_in);
   for (std::size_t i = 0; i < n_in; ++i) {
-    bits[i] = bit_of(input_word, static_cast<unsigned>(i));
+    words[i] = bit_of(input_word, static_cast<unsigned>(i));
   }
-  const std::vector<unsigned> out = apply(bits);
+  const std::vector<std::uint64_t> out = apply_lanes(words, 1);
   std::uint64_t word = 0;
   for (std::size_t i = 0; i < out.size(); ++i) {
-    word |= static_cast<std::uint64_t>(out[i] & 1u) << i;
+    word |= (out[i] & 1u) << i;
   }
   return word;
 }

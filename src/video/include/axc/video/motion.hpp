@@ -66,6 +66,12 @@ class MotionEstimator {
 
   MotionConfig config_;
   const accel::SadUnit& sad_;
+  // Scratch for the current block and each search candidate: sized once on
+  // first use, then rewritten in place so the full-search inner loop is
+  // allocation-free. Makes surface()/search() non-reentrant — use one
+  // MotionEstimator per thread.
+  mutable std::vector<std::uint8_t> block_scratch_;
+  mutable std::vector<std::uint8_t> candidate_scratch_;
 };
 
 }  // namespace axc::video

@@ -16,10 +16,12 @@ MotionEstimator::MotionEstimator(const MotionConfig& config,
 
 void MotionEstimator::load_block(const image::Image& img, int bx, int by,
                                  std::vector<std::uint8_t>& out) const {
-  out.clear();
+  out.resize(static_cast<std::size_t>(config_.block_size) *
+             static_cast<std::size_t>(config_.block_size));
+  std::size_t i = 0;
   for (int y = 0; y < config_.block_size; ++y) {
     for (int x = 0; x < config_.block_size; ++x) {
-      out.push_back(img.at_clamped(bx + x, by + y));
+      out[i++] = img.at_clamped(bx + x, by + y);
     }
   }
 }
@@ -31,13 +33,11 @@ SadSurface MotionEstimator::surface(const image::Image& current,
   result.search_range = config_.search_range;
   result.values.reserve(static_cast<std::size_t>(result.span()) *
                         result.span());
-  std::vector<std::uint8_t> block;
-  std::vector<std::uint8_t> candidate;
-  load_block(current, bx, by, block);
+  load_block(current, bx, by, block_scratch_);
   for (int dy = -config_.search_range; dy <= config_.search_range; ++dy) {
     for (int dx = -config_.search_range; dx <= config_.search_range; ++dx) {
-      load_block(reference, bx + dx, by + dy, candidate);
-      result.values.push_back(sad_.sad(block, candidate));
+      load_block(reference, bx + dx, by + dy, candidate_scratch_);
+      result.values.push_back(sad_.sad(block_scratch_, candidate_scratch_));
     }
   }
   return result;

@@ -56,6 +56,11 @@ class ConfigurableSad final : public SadUnit {
   /// True when the currently selected mode is accurate.
   bool is_exact() const override;
 
+  /// sad() through a fixed mode is purely functional; select() itself must
+  /// not race with concurrent sad() calls (mode switches happen between
+  /// frames, not inside one).
+  bool is_concurrent_safe() const override { return true; }
+
   /// Total area of the configurable datapath: accurate hardware + every
   /// mode's approximate cells + the selection muxes.
   double area_ge() const;

@@ -55,6 +55,9 @@ class SadAccelerator final : public SadUnit {
   /// True when every adder cell is accurate.
   bool is_exact() const override;
 
+  /// Purely functional — safe for concurrent block-parallel encoding.
+  bool is_concurrent_safe() const override { return true; }
+
  private:
   SadConfig config_;
   arith::RippleAdder subtractor_;  ///< 8-bit abs-diff datapath

@@ -30,11 +30,33 @@ class SadUnit {
   virtual std::uint64_t sad(std::span<const std::uint8_t> a,
                             std::span<const std::uint8_t> b) const = 0;
 
+  /// Batched SAD of one current block against many candidate blocks — the
+  /// motion-estimation access pattern (one block, a whole search window).
+  /// \p candidates holds out.size() blocks back-to-back (block i at
+  /// [i * block_pixels(), (i+1) * block_pixels())); on return
+  /// out[i] == sad(a, candidate block i).
+  ///
+  /// The default walks the candidates in order through sad(), so every
+  /// realization — behavioural, configurable, GeAr-based, fault-injecting
+  /// wrapper — batches correctly (and stateful wrappers keep their exact
+  /// historical call order). Packed engines override this: the
+  /// netlist-backed NetlistSad evaluates up to 64 candidates per pass over
+  /// its gate list (sad_netlist.hpp).
+  virtual void sad_batch(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> candidates,
+                         std::span<std::uint64_t> out) const;
+
   /// Human-readable identity, e.g. "ApxSAD3<4lsb,8x8>".
   virtual std::string name() const = 0;
 
   /// True if sad() is bit-exact for all inputs.
   virtual bool is_exact() const { return false; }
+
+  /// True when sad()/sad_batch() may be called concurrently from several
+  /// threads. Pure-functional engines override this to true; engines with
+  /// mutable state (simulator activity counters, fault RNGs) stay false,
+  /// and the block-parallel encoder falls back to one worker for them.
+  virtual bool is_concurrent_safe() const { return false; }
 };
 
 }  // namespace axc::accel

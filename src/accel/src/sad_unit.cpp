@@ -1,0 +1,21 @@
+#include "axc/accel/sad_unit.hpp"
+
+#include "axc/common/require.hpp"
+
+namespace axc::accel {
+
+void SadUnit::sad_batch(std::span<const std::uint8_t> a,
+                        std::span<const std::uint8_t> candidates,
+                        std::span<std::uint64_t> out) const {
+  const std::size_t bp = block_pixels();
+  AXC_REQUIRE(a.size() == bp, "SadUnit::sad_batch: current block size "
+                              "mismatch");
+  AXC_REQUIRE(candidates.size() == out.size() * bp,
+              "SadUnit::sad_batch: candidates must hold exactly one block "
+              "per output slot");
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = sad(a, candidates.subspan(i * bp, bp));
+  }
+}
+
+}  // namespace axc::accel

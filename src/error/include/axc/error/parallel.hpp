@@ -37,10 +37,19 @@ constexpr std::uint64_t eval_chunk_seed(std::uint64_t seed,
 /// std::thread::hardware_concurrency() (minimum 1).
 unsigned resolve_eval_threads(unsigned requested);
 
-/// Runs fn(chunk_index, begin, end) for every kEvalChunk-sized chunk of
+/// Runs fn(chunk_index, begin, end) for every \p chunk_size-sized chunk of
 /// [0, total) on up to \p threads workers (clamped to the chunk count;
-/// <= 1 runs inline). fn must only touch state owned by its chunk index —
-/// determinism and thread-safety both follow from that.
+/// <= 1 runs inline). Chunk boundaries depend only on chunk_size, never on
+/// the worker count, and fn must only touch state owned by its chunk index
+/// — determinism and thread-safety both follow from that. The video
+/// encoder uses this with block-row-sized chunks; the error-evaluation
+/// kernels use the kEvalChunk overload below.
+void parallel_chunks_of(
+    std::uint64_t total, std::uint64_t chunk_size, unsigned threads,
+    const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>&
+        fn);
+
+/// parallel_chunks_of with the canonical kEvalChunk chunk size.
 void parallel_chunks(
     std::uint64_t total, unsigned threads,
     const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>&

@@ -18,15 +18,16 @@ unsigned resolve_eval_threads(unsigned requested) {
   return hw > 0 ? hw : 1;
 }
 
-void parallel_chunks(
-    std::uint64_t total, unsigned threads,
+void parallel_chunks_of(
+    std::uint64_t total, std::uint64_t chunk_size, unsigned threads,
     const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>&
         fn) {
-  const std::uint64_t chunks = eval_chunk_count(total);
+  if (chunk_size == 0) chunk_size = 1;
+  const std::uint64_t chunks = (total + chunk_size - 1) / chunk_size;
   if (chunks == 0) return;
   const auto run_chunk = [&](std::uint64_t c) {
-    const std::uint64_t begin = c * kEvalChunk;
-    const std::uint64_t end = std::min(begin + kEvalChunk, total);
+    const std::uint64_t begin = c * chunk_size;
+    const std::uint64_t end = std::min(begin + chunk_size, total);
     fn(c, begin, end);
   };
 
@@ -51,6 +52,13 @@ void parallel_chunks(
     });
   }
   for (std::thread& worker : pool) worker.join();
+}
+
+void parallel_chunks(
+    std::uint64_t total, unsigned threads,
+    const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>&
+        fn) {
+  parallel_chunks_of(total, kEvalChunk, threads, fn);
 }
 
 }  // namespace axc::error

@@ -36,11 +36,14 @@ void pack_counting_lanes(std::uint64_t base, unsigned num_inputs,
 /// Evaluates a Netlist over 64 stimulus lanes per pass and accumulates
 /// per-gate toggle counts, exactly like Simulator but one word at a time.
 ///
-/// Lane discipline: within one activity window (construction or
-/// reset_activity() to the next reset) the number of active lanes must not
-/// grow between calls — run full-lane chunks first and a partial remainder
-/// chunk last. Lanes outside the active set keep stale state and are
-/// excluded from toggle accounting.
+/// Lane discipline: the active lane count may vary freely between calls.
+/// Each lane's first active vector within an activity window (construction
+/// or reset_activity() to the next reset) is a per-lane baseline — it
+/// establishes state without counting transitions; later vectors of that
+/// lane count toggles against the last value the lane actually held. Lanes
+/// outside the active set keep stale state and are excluded from toggle
+/// accounting, so shrink/grow patterns (e.g. a partial remainder batch
+/// followed by a full one, as the batched SAD path produces) stay exact.
 class BitslicedSimulator {
  public:
   /// Lanes per simulation word.
@@ -70,8 +73,9 @@ class BitslicedSimulator {
   std::uint64_t vectors_applied() const { return vectors_applied_; }
 
   /// Number of (vector, predecessor) pairs that contributed to toggle
-  /// accounting — vectors_applied() minus one baseline vector per lane.
-  /// This is the denominator for energy-per-vector power estimates.
+  /// accounting — vectors_applied() minus one baseline vector per lane
+  /// ever active in this window. This is the denominator for
+  /// energy-per-vector power estimates.
   std::uint64_t transition_pairs() const { return transition_pairs_; }
 
   /// Total output toggles of gate \p gate_index, summed over all lanes.
@@ -96,7 +100,7 @@ class BitslicedSimulator {
   std::vector<std::uint64_t> in_scratch_;
   std::uint64_t vectors_applied_ = 0;
   std::uint64_t transition_pairs_ = 0;
-  bool first_vector_ = true;
+  std::uint64_t baselined_lanes_ = 0;  ///< bit k = lane k has a baseline
 };
 
 }  // namespace axc::logic

@@ -9,7 +9,9 @@
 /// error value).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -33,18 +35,45 @@ struct Characterization {
 };
 
 /// Recovers the exact truth table of a small netlist by exhaustive
-/// simulation (requires <= 20 inputs, <= 32 outputs).
+/// simulation (requires <= 20 inputs, <= 32 outputs). Memoized on the
+/// netlist's structural_hash(): rebuilding an identical netlist returns
+/// the cached table without re-simulating.
 TruthTable netlist_truth_table(const Netlist& netlist);
 
 /// Characterizes \p netlist: area from the cell library, power from
 /// \p vectors random stimulus under \p model, quality vs \p reference
 /// (skipped when nullopt — e.g. for blocks too wide to enumerate).
+/// Memoized: the cache key covers the structural hash, vectors, seed, the
+/// power-model parameters and the reference table, so any configuration
+/// change misses (= invalidates) while identical rebuilds hit.
 Characterization characterize(const Netlist& netlist,
                               const std::optional<TruthTable>& reference,
                               std::uint64_t vectors = 4096,
                               std::uint64_t seed = 1,
                               const PowerModel& model =
                                   calibrated_power_model());
+
+/// Hit/miss counters of the in-process characterization cache (covers
+/// characterize(), netlist_truth_table() and accel::characterize_sad()).
+/// All cache operations are thread-safe.
+struct CharacterizationCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+CharacterizationCacheStats characterization_cache_stats();
+
+/// Drops every cached characterization and resets the counters. Intended
+/// for tests and long-lived processes that rebuild cell libraries.
+void clear_characterization_cache();
+
+/// Internal registry backing the memoization: interns \p compute's result
+/// under \p key, returning the cached copy on a repeat key. Exposed so
+/// sibling layers (accel::characterize_sad) share one cache, one stats
+/// surface and one clear().
+namespace detail {
+std::array<double, 3> cache_numeric_record(
+    std::uint64_t key, const std::function<std::array<double, 3>()>& compute);
+}  // namespace detail
 
 /// Characterization of one Table III full adder against the accurate one.
 /// Interprets the 2-bit {sum, carry} output as an unsigned value, as the

@@ -79,6 +79,14 @@ class Netlist {
   /// Number of real gates.
   std::size_t gate_count() const { return gates_.size(); }
 
+  /// 64-bit FNV-1a digest of the structure: per-net driver kinds, every
+  /// gate (type + input/output nets), and the primary input/output net
+  /// lists. Names are excluded — two netlists built the same way hash
+  /// equal regardless of labelling. Keys the characterization cache
+  /// (characterize.hpp): structurally identical rebuilds reuse simulated
+  /// results.
+  std::uint64_t structural_hash() const;
+
  private:
   NetId new_net(CellType kind);
 

@@ -69,16 +69,21 @@ std::span<const std::uint64_t> BitslicedSimulator::apply_lanes(
   }
 
   const std::uint64_t lane_mask = low_mask(lanes);
+  // Only lanes that already received a baseline vector contribute
+  // transitions; lanes seen for the first time in this call establish
+  // state without counting (per-lane analogue of the scalar simulator's
+  // baseline vector). This makes arbitrary shrink/grow lane patterns —
+  // e.g. a remainder batch followed by a full one — exact: each lane's
+  // toggles are counted against the last value *that lane* actually held.
+  const std::uint64_t counted_mask = lane_mask & baselined_lanes_;
   const auto& gates = netlist_.gates();
-  if (first_vector_) {
-    // Baseline pass: establish state, count no transitions.
+  if (counted_mask == 0) {
     for (std::size_t g = 0; g < gates.size(); ++g) {
       const Gate& gate = gates[g];
       net_word_[gate.out] =
           eval_cell_word(gate.type, net_word_[gate.in[0]],
                          net_word_[gate.in[1]], net_word_[gate.in[2]]);
     }
-    first_vector_ = false;
   } else {
     for (std::size_t g = 0; g < gates.size(); ++g) {
       const Gate& gate = gates[g];
@@ -86,11 +91,12 @@ std::span<const std::uint64_t> BitslicedSimulator::apply_lanes(
           eval_cell_word(gate.type, net_word_[gate.in[0]],
                          net_word_[gate.in[1]], net_word_[gate.in[2]]);
       gate_toggles_[g] += static_cast<std::uint64_t>(
-          std::popcount((value ^ net_word_[gate.out]) & lane_mask));
+          std::popcount((value ^ net_word_[gate.out]) & counted_mask));
       net_word_[gate.out] = value;
     }
-    transition_pairs_ += lanes;
   }
+  transition_pairs_ += static_cast<std::uint64_t>(std::popcount(counted_mask));
+  baselined_lanes_ |= lane_mask;
   vectors_applied_ += lanes;
 
   const auto& outputs = netlist_.outputs();
@@ -135,7 +141,7 @@ void BitslicedSimulator::reset_activity() {
   gate_toggles_.assign(gate_toggles_.size(), 0);
   vectors_applied_ = 0;
   transition_pairs_ = 0;
-  first_vector_ = true;
+  baselined_lanes_ = 0;
 }
 
 }  // namespace axc::logic

@@ -1,6 +1,9 @@
 #include "axc/logic/characterize.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <mutex>
+#include <unordered_map>
 
 #include "axc/common/require.hpp"
 #include "axc/logic/bitsliced.hpp"
@@ -9,11 +12,60 @@
 
 namespace axc::logic {
 
-TruthTable netlist_truth_table(const Netlist& netlist) {
+namespace {
+
+/// One process-wide memo for every simulated characterization product.
+/// Keys are structural-hash-derived digests; values are immutable once
+/// interned, so lookups can hand out copies under a single mutex.
+struct CharacterizationCache {
+  std::mutex mutex;
+  std::unordered_map<std::uint64_t, Characterization> records;
+  std::unordered_map<std::uint64_t, TruthTable> tables;
+  std::unordered_map<std::uint64_t, std::array<double, 3>> numeric;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+CharacterizationCache& cache() {
+  static CharacterizationCache instance;
+  return instance;
+}
+
+/// SplitMix64-style key combiner — cheap and well-distributed for the
+/// handful of fields each cache key mixes on top of structural_hash().
+std::uint64_t mix_key(std::uint64_t h, std::uint64_t value) {
+  h ^= value + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+std::uint64_t mix_key(std::uint64_t h, double value) {
+  return mix_key(h, std::bit_cast<std::uint64_t>(value));
+}
+
+std::uint64_t mix_key(std::uint64_t h, const std::string& text) {
+  for (const char c : text) {
+    h = mix_key(h, static_cast<std::uint64_t>(
+                       static_cast<unsigned char>(c)));
+  }
+  return mix_key(h, text.size());
+}
+
+std::uint64_t truth_table_digest(const TruthTable& table) {
+  std::uint64_t h = mix_key(std::uint64_t{table.num_inputs()},
+                            std::uint64_t{table.num_outputs()});
+  for (std::uint32_t row = 0; row < table.row_count(); ++row) {
+    h = mix_key(h, std::uint64_t{table.value(row)});
+  }
+  return h;
+}
+
+/// The uncached body of netlist_truth_table().
+TruthTable enumerate_truth_table(const Netlist& netlist) {
   const unsigned n_in = static_cast<unsigned>(netlist.inputs().size());
   const unsigned n_out = static_cast<unsigned>(netlist.outputs().size());
-  require(n_in >= 1 && n_in <= 20 && n_out >= 1 && n_out <= 32,
-          "netlist_truth_table: netlist too wide to enumerate");
   // Bitsliced enumeration: 64 rows per pass over the gate list.
   BitslicedSimulator sim(netlist);
   const std::uint64_t total = std::uint64_t{1} << n_in;
@@ -30,10 +82,57 @@ TruthTable netlist_truth_table(const Netlist& netlist) {
   return TruthTable::from_rows(n_in, n_out, std::move(rows));
 }
 
+}  // namespace
+
+TruthTable netlist_truth_table(const Netlist& netlist) {
+  const unsigned n_in = static_cast<unsigned>(netlist.inputs().size());
+  const unsigned n_out = static_cast<unsigned>(netlist.outputs().size());
+  require(n_in >= 1 && n_in <= 20 && n_out >= 1 && n_out <= 32,
+          "netlist_truth_table: netlist too wide to enumerate");
+  const std::uint64_t key =
+      mix_key(netlist.structural_hash(), std::uint64_t{0x77});
+  {
+    CharacterizationCache& c = cache();
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    const auto it = c.tables.find(key);
+    if (it != c.tables.end()) {
+      ++c.hits;
+      return it->second;
+    }
+    ++c.misses;
+  }
+  TruthTable table = enumerate_truth_table(netlist);
+  CharacterizationCache& c = cache();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  return c.tables.emplace(key, std::move(table)).first->second;
+}
+
 Characterization characterize(const Netlist& netlist,
                               const std::optional<TruthTable>& reference,
                               std::uint64_t vectors, std::uint64_t seed,
                               const PowerModel& model) {
+  std::uint64_t key =
+      mix_key(netlist.structural_hash(), std::uint64_t{0xC4});
+  key = mix_key(key, netlist.name());
+  key = mix_key(key, vectors);
+  key = mix_key(key, seed);
+  key = mix_key(key, model.clock_ghz);
+  key = mix_key(key, model.energy_scale);
+  key = mix_key(key, model.leakage_nw_per_ge);
+  key = mix_key(key, reference.has_value()
+                         ? truth_table_digest(*reference)
+                         : std::uint64_t{0});
+  {
+    CharacterizationCache& c = cache();
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    const auto it = c.records.find(key);
+    if (it != c.records.end()) {
+      ++c.hits;
+      return it->second;
+    }
+    ++c.misses;
+  }
+
   Characterization result;
   result.name = netlist.name();
   result.area_ge = netlist.area_ge();
@@ -45,8 +144,49 @@ Characterization characterize(const Netlist& netlist,
     result.max_error = actual.max_error_vs(*reference);
     result.input_space = actual.row_count();
   }
-  return result;
+
+  CharacterizationCache& c = cache();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  return c.records.emplace(key, std::move(result)).first->second;
 }
+
+CharacterizationCacheStats characterization_cache_stats() {
+  CharacterizationCache& c = cache();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  return {c.hits, c.misses};
+}
+
+void clear_characterization_cache() {
+  CharacterizationCache& c = cache();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  c.records.clear();
+  c.tables.clear();
+  c.numeric.clear();
+  c.hits = 0;
+  c.misses = 0;
+}
+
+namespace detail {
+
+std::array<double, 3> cache_numeric_record(
+    std::uint64_t key, const std::function<std::array<double, 3>()>& compute) {
+  {
+    CharacterizationCache& c = cache();
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    const auto it = c.numeric.find(key);
+    if (it != c.numeric.end()) {
+      ++c.hits;
+      return it->second;
+    }
+    ++c.misses;
+  }
+  const std::array<double, 3> record = compute();
+  CharacterizationCache& c = cache();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  return c.numeric.emplace(key, record).first->second;
+}
+
+}  // namespace detail
 
 Characterization characterize_full_adder(arith::FullAdderKind kind) {
   const Netlist netlist = full_adder_netlist(kind);

@@ -68,4 +68,40 @@ double Netlist::area_ge() const {
   return area;
 }
 
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr void fnv_mix(std::uint64_t& h, std::uint64_t value) {
+  // Mix 8 bytes at a time; FNV-1a over the value's bytes.
+  for (int i = 0; i < 8; ++i) {
+    h ^= value >> (8 * i) & 0xFFu;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t Netlist::structural_hash() const {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, net_kind_.size());
+  for (const CellType kind : net_kind_) {
+    fnv_mix(h, static_cast<std::uint64_t>(kind));
+  }
+  fnv_mix(h, gates_.size());
+  for (const Gate& gate : gates_) {
+    fnv_mix(h, static_cast<std::uint64_t>(gate.type));
+    fnv_mix(h, gate.in[0]);
+    fnv_mix(h, gate.in[1]);
+    fnv_mix(h, gate.in[2]);
+    fnv_mix(h, gate.out);
+  }
+  fnv_mix(h, inputs_.size());
+  for (const NetId net : inputs_) fnv_mix(h, net);
+  fnv_mix(h, outputs_.size());
+  for (const NetId net : outputs_) fnv_mix(h, net);
+  return h;
+}
+
 }  // namespace axc::logic

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "axc/accel/datapath.hpp"
+#include "axc/accel/sad.hpp"
 #include "axc/accel/sad_unit.hpp"
 #include "axc/common/rng.hpp"
 #include "axc/logic/bitsliced.hpp"
@@ -140,6 +141,51 @@ class FaultySad final : public accel::SadUnit {
   const accel::SadUnit& inner_;
   unsigned result_width_;
   mutable FaultInjector injector_;
+};
+
+/// Gate-level faulty SAD engine: the structural SAD netlist evaluated
+/// through FaultySimulator, so SEUs strike *inside* the accelerator (any
+/// gate output) rather than only its result word. sad_batch() packs up to
+/// 64 candidate blocks into simulation lanes per pass; each gate draws one
+/// independent upset word per pass, exactly as FaultySimulator::apply_lanes
+/// specifies, so every lane carries its own fault pattern.
+///
+/// Note the RNG-order contract: the scalar path draws one Bernoulli per
+/// gate per call while a k-lane batch draws k per gate per pass, so batch
+/// boundaries are part of a campaign's identity (seeded campaigns
+/// reproduce exactly given the same call sequence). Not concurrency-safe —
+/// the fault process is ordered.
+class FaultyNetlistSad final : public accel::SadUnit {
+ public:
+  FaultyNetlistSad(const accel::SadConfig& config, const FaultSpec& spec);
+
+  unsigned block_pixels() const override { return config_.block_pixels; }
+  std::uint64_t sad(std::span<const std::uint8_t> a,
+                    std::span<const std::uint8_t> b) const override;
+  void sad_batch(std::span<const std::uint8_t> a,
+                 std::span<const std::uint8_t> candidates,
+                 std::span<std::uint64_t> out) const override;
+
+  /// "FaultyNetlist<ApxSAD3<4lsb,8x8>>".
+  std::string name() const override;
+
+  /// Never exact: the fault process may strike any call.
+  bool is_exact() const override { return false; }
+
+  std::uint64_t faults_injected() const { return sim_.faults_injected(); }
+
+  const accel::SadConfig& config() const { return config_; }
+  const logic::Netlist& netlist() const { return netlist_; }
+
+ private:
+  void apply_chunk(std::span<const std::uint8_t> a,
+                   std::span<const std::uint8_t> candidates, unsigned lanes,
+                   std::span<std::uint64_t> out) const;
+
+  accel::SadConfig config_;
+  logic::Netlist netlist_;
+  mutable FaultySimulator sim_;
+  mutable std::vector<std::uint64_t> in_words_;
 };
 
 }  // namespace axc::resilience

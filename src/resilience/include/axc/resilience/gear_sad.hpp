@@ -47,6 +47,9 @@ class GearSad final : public accel::SadUnit {
   /// True when every constituent adder converges to the exact sum.
   bool is_exact() const override;
 
+  /// Purely functional — safe for concurrent block-parallel encoding.
+  bool is_concurrent_safe() const override { return true; }
+
   const arith::GeArConfig& base_config() const { return base_; }
   unsigned correction_iterations() const { return corrections_; }
 

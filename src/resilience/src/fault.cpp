@@ -1,7 +1,9 @@
 #include "axc/resilience/fault.hpp"
 
+#include <algorithm>
 #include <bit>
 
+#include "axc/accel/sad_netlist.hpp"
 #include "axc/common/bits.hpp"
 #include "axc/common/require.hpp"
 #include "axc/logic/cell.hpp"
@@ -139,5 +141,82 @@ std::uint64_t FaultySad::sad(std::span<const std::uint8_t> a,
 }
 
 std::string FaultySad::name() const { return "Faulty<" + inner_.name() + ">"; }
+
+FaultyNetlistSad::FaultyNetlistSad(const accel::SadConfig& config,
+                                   const FaultSpec& spec)
+    : config_(config),
+      netlist_(accel::sad_netlist(config)),
+      sim_(netlist_, spec) {}
+
+void FaultyNetlistSad::apply_chunk(std::span<const std::uint8_t> a,
+                                   std::span<const std::uint8_t> candidates,
+                                   unsigned lanes,
+                                   std::span<std::uint64_t> out) const {
+  constexpr unsigned kPixelBits = 8;
+  const std::size_t bp = config_.block_pixels;
+  in_words_.resize(netlist_.inputs().size());
+  std::uint64_t* words_a = in_words_.data();
+  std::uint64_t* words_b = words_a + bp * kPixelBits;
+  for (std::size_t p = 0; p < bp; ++p) {
+    const unsigned value = a[p];
+    for (unsigned bit = 0; bit < kPixelBits; ++bit) {
+      words_a[p * kPixelBits + bit] =
+          (value >> bit & 1u) ? ~std::uint64_t{0} : 0;
+    }
+  }
+  std::fill(words_b, words_b + bp * kPixelBits, 0);
+  for (unsigned k = 0; k < lanes; ++k) {
+    const std::uint8_t* candidate = candidates.data() + k * bp;
+    for (std::size_t p = 0; p < bp; ++p) {
+      const unsigned value = candidate[p];
+      for (unsigned bit = 0; bit < kPixelBits; ++bit) {
+        words_b[p * kPixelBits + bit] |=
+            static_cast<std::uint64_t>(value >> bit & 1u) << k;
+      }
+    }
+  }
+  const std::vector<std::uint64_t> out_words =
+      sim_.apply_lanes(in_words_, lanes);
+  for (unsigned k = 0; k < lanes; ++k) {
+    std::uint64_t value = 0;
+    for (std::size_t j = 0; j < out_words.size(); ++j) {
+      value |= (out_words[j] >> k & 1u) << j;
+    }
+    out[k] = value;
+  }
+}
+
+std::uint64_t FaultyNetlistSad::sad(std::span<const std::uint8_t> a,
+                                    std::span<const std::uint8_t> b) const {
+  AXC_REQUIRE(a.size() == config_.block_pixels && b.size() == a.size(),
+              "FaultyNetlistSad::sad: block size mismatch");
+  std::uint64_t out = 0;
+  apply_chunk(a, b, 1, {&out, 1});
+  return out;
+}
+
+void FaultyNetlistSad::sad_batch(std::span<const std::uint8_t> a,
+                                 std::span<const std::uint8_t> candidates,
+                                 std::span<std::uint64_t> out) const {
+  const std::size_t bp = config_.block_pixels;
+  AXC_REQUIRE(a.size() == bp,
+              "FaultyNetlistSad::sad_batch: current block size mismatch");
+  AXC_REQUIRE(candidates.size() == out.size() * bp,
+              "FaultyNetlistSad::sad_batch: candidates must hold exactly "
+              "one block per output slot");
+  constexpr unsigned kLanes = logic::BitslicedSimulator::kLanes;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const unsigned lanes = static_cast<unsigned>(
+        std::min<std::size_t>(kLanes, out.size() - done));
+    apply_chunk(a, candidates.subspan(done * bp, lanes * bp), lanes,
+                out.subspan(done, lanes));
+    done += lanes;
+  }
+}
+
+std::string FaultyNetlistSad::name() const {
+  return "FaultyNetlist<" + config_.name() + ">";
+}
 
 }  // namespace axc::resilience

@@ -30,6 +30,15 @@ namespace axc::video {
 struct EncoderConfig {
   MotionConfig motion;
   int quant_step = 8;  ///< uniform residual quantizer step (QP analogue)
+  /// Worker threads for block-parallel encoding: 0 resolves through
+  /// AXC_EVAL_THREADS / std::thread::hardware_concurrency() (see
+  /// error::resolve_eval_threads). Blocks are chunked by row with
+  /// worker-count-independent boundaries and reduced in block order, so
+  /// every output — motion vectors, residuals, bit counts, PSNR — is
+  /// bit-identical for any thread count. Engines whose SadUnit is not
+  /// concurrency-safe (NetlistSad, fault wrappers) automatically encode on
+  /// one worker.
+  unsigned threads = 0;
 };
 
 /// Per-encode outputs.
@@ -61,6 +70,13 @@ FrameResult encode_inter_frame(const EncoderConfig& config,
                                const image::Image& reference);
 
 /// Encodes a sequence with one fixed SAD accelerator variant.
+///
+/// Within each frame, blocks (inter) and rows (intra) encode in parallel
+/// on EncoderConfig::threads workers with deterministic in-order
+/// reduction. The frame loop itself is inherently sequential — inter
+/// prediction closes the loop over the previous frame's *reconstruction*
+/// — so cross-frame parallelism would change the bitstream and is not
+/// attempted.
 class Encoder {
  public:
   Encoder(const EncoderConfig& config, const accel::SadUnit& sad);

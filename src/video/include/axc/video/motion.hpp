@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "axc/accel/sad_unit.hpp"
+#include "axc/common/require.hpp"
 #include "axc/image/image.hpp"
 
 namespace axc::video {
@@ -34,6 +35,9 @@ struct SadSurface {
 
   int span() const { return 2 * search_range + 1; }
   std::uint64_t at(int dx, int dy) const {
+    AXC_REQUIRE(dx >= -search_range && dx <= search_range &&
+                    dy >= -search_range && dy <= search_range,
+                "SadSurface::at: displacement outside the search window");
     return values[static_cast<std::size_t>(dy + search_range) * span() +
                   (dx + search_range)];
   }
@@ -54,7 +58,13 @@ class MotionEstimator {
   MotionVector search(const image::Image& current,
                       const image::Image& reference, int bx, int by) const;
 
-  /// The full error surface for one block (Fig. 8).
+  /// The full error surface for one block (Fig. 8). The whole search
+  /// window is gathered into one candidate batch and evaluated through a
+  /// single SadUnit::sad_batch call, so packed engines (NetlistSad) cover
+  /// up to 64 candidates per pass over their gate list. Candidate order is
+  /// row-major over the window — identical to the historical per-candidate
+  /// loop, so stateful engines (fault wrappers) see the same call sequence
+  /// through the default sad_batch.
   SadSurface surface(const image::Image& current,
                      const image::Image& reference, int bx, int by) const;
 
@@ -62,14 +72,14 @@ class MotionEstimator {
 
  private:
   void load_block(const image::Image& img, int bx, int by,
-                  std::vector<std::uint8_t>& out) const;
+                  std::uint8_t* out) const;
 
   MotionConfig config_;
   const accel::SadUnit& sad_;
-  // Scratch for the current block and each search candidate: sized once on
-  // first use, then rewritten in place so the full-search inner loop is
+  // Scratch for the current block and the gathered candidate batch: sized
+  // once on first use, then rewritten in place so the full-search path is
   // allocation-free. Makes surface()/search() non-reentrant — use one
-  // MotionEstimator per thread.
+  // MotionEstimator per thread (the block-parallel encoder does).
   mutable std::vector<std::uint8_t> block_scratch_;
   mutable std::vector<std::uint8_t> candidate_scratch_;
 };

@@ -4,8 +4,10 @@
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "axc/common/require.hpp"
+#include "axc/error/parallel.hpp"
 
 namespace axc::video {
 namespace {
@@ -14,6 +16,15 @@ namespace {
 int quantize(int residual, int step) {
   return residual >= 0 ? (residual + step / 2) / step
                        : -((-residual + step / 2) / step);
+}
+
+/// Worker count for frame coding: the configured request, demoted to one
+/// worker when the SAD engine cannot be shared across threads (mutable
+/// simulator or fault-RNG state).
+unsigned frame_workers(const EncoderConfig& config,
+                       const accel::SadUnit& sad) {
+  if (!sad.is_concurrent_safe()) return 1;
+  return error::resolve_eval_threads(config.threads);
 }
 
 }  // namespace
@@ -35,14 +46,30 @@ FrameResult encode_intra_frame(const EncoderConfig& config,
   const int step = config.quant_step;
   FrameResult result;
   result.reconstruction = image::Image(frame.width(), frame.height());
-  for (int y = 0; y < frame.height(); ++y) {
-    for (int x = 0; x < frame.width(); ++x) {
-      const int q = quantize(frame.at(x, y) - 128, step);
-      result.bits += exp_golomb_bits(q);
-      result.reconstruction.set(
-          x, y, static_cast<std::uint8_t>(std::clamp(128 + q * step, 0, 255)));
-    }
-  }
+
+  // Rows are independent: each worker owns whole rows (disjoint pixels and
+  // a per-row bit counter), and the counters reduce in row order, so the
+  // result is bit-identical for any worker count.
+  const unsigned threads = error::resolve_eval_threads(config.threads);
+  std::vector<std::uint64_t> row_bits(
+      static_cast<std::size_t>(frame.height()), 0);
+  error::parallel_chunks_of(
+      static_cast<std::uint64_t>(frame.height()), 8, threads,
+      [&](std::uint64_t, std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t row = begin; row < end; ++row) {
+          const int y = static_cast<int>(row);
+          std::uint64_t bits = 0;
+          for (int x = 0; x < frame.width(); ++x) {
+            const int q = quantize(frame.at(x, y) - 128, step);
+            bits += exp_golomb_bits(q);
+            result.reconstruction.set(
+                x, y,
+                static_cast<std::uint8_t>(std::clamp(128 + q * step, 0, 255)));
+          }
+          row_bits[row] = bits;
+        }
+      });
+  for (const std::uint64_t bits : row_bits) result.bits += bits;
   return result;
 }
 
@@ -61,32 +88,56 @@ FrameResult encode_inter_frame(const EncoderConfig& config,
               "encode_inter_frame: frame size must be a multiple of "
               "block_size");
 
-  const MotionEstimator estimator(config.motion, sad);
   const int step = config.quant_step;
   const std::uint64_t candidates_per_block =
       static_cast<std::uint64_t>(2 * config.motion.search_range + 1) *
       (2 * config.motion.search_range + 1);
+  const int blocks_x = width / bs;
+  const int blocks_y = height / bs;
+  const std::uint64_t total_blocks =
+      static_cast<std::uint64_t>(blocks_x) * blocks_y;
 
   FrameResult result;
   result.reconstruction = image::Image(width, height);
-  for (int by = 0; by < height; by += bs) {
-    for (int bx = 0; bx < width; bx += bs) {
-      const MotionVector mv = estimator.search(current, reference, bx, by);
-      result.sad_calls += candidates_per_block;
-      result.bits += exp_golomb_bits(mv.dx) + exp_golomb_bits(mv.dy);
-      for (int y = 0; y < bs; ++y) {
-        for (int x = 0; x < bs; ++x) {
-          const int pred =
-              reference.at_clamped(bx + x + mv.dx, by + y + mv.dy);
-          const int q = quantize(current.at(bx + x, by + y) - pred, step);
-          result.bits += exp_golomb_bits(q);
-          result.reconstruction.set(
-              bx + x, by + y,
-              static_cast<std::uint8_t>(std::clamp(pred + q * step, 0, 255)));
+
+  // Block-parallel: every block's motion search, residual coding and
+  // reconstruction write touch only that block's pixels, so workers own
+  // disjoint state. Chunks are one block row each (boundaries independent
+  // of the worker count), each chunk builds its own MotionEstimator
+  // (surface scratch is not reentrant), and the per-block bit counts
+  // reduce in block order — bit streams are identical at 1, 2 or N
+  // threads (tested).
+  const unsigned threads = frame_workers(config, sad);
+  std::vector<std::uint64_t> block_bits(total_blocks, 0);
+  error::parallel_chunks_of(
+      total_blocks, static_cast<std::uint64_t>(blocks_x), threads,
+      [&](std::uint64_t, std::uint64_t begin, std::uint64_t end) {
+        const MotionEstimator estimator(config.motion, sad);
+        for (std::uint64_t b = begin; b < end; ++b) {
+          const int bx = static_cast<int>(b % blocks_x) * bs;
+          const int by = static_cast<int>(b / blocks_x) * bs;
+          const MotionVector mv =
+              estimator.search(current, reference, bx, by);
+          std::uint64_t bits =
+              exp_golomb_bits(mv.dx) + exp_golomb_bits(mv.dy);
+          for (int y = 0; y < bs; ++y) {
+            for (int x = 0; x < bs; ++x) {
+              const int pred =
+                  reference.at_clamped(bx + x + mv.dx, by + y + mv.dy);
+              const int q =
+                  quantize(current.at(bx + x, by + y) - pred, step);
+              bits += exp_golomb_bits(q);
+              result.reconstruction.set(
+                  bx + x, by + y,
+                  static_cast<std::uint8_t>(
+                      std::clamp(pred + q * step, 0, 255)));
+            }
+          }
+          block_bits[b] = bits;
         }
-      }
-    }
-  }
+      });
+  for (const std::uint64_t bits : block_bits) result.bits += bits;
+  result.sad_calls = total_blocks * candidates_per_block;
   return result;
 }
 

@@ -15,13 +15,10 @@ MotionEstimator::MotionEstimator(const MotionConfig& config,
 }
 
 void MotionEstimator::load_block(const image::Image& img, int bx, int by,
-                                 std::vector<std::uint8_t>& out) const {
-  out.resize(static_cast<std::size_t>(config_.block_size) *
-             static_cast<std::size_t>(config_.block_size));
-  std::size_t i = 0;
+                                 std::uint8_t* out) const {
   for (int y = 0; y < config_.block_size; ++y) {
     for (int x = 0; x < config_.block_size; ++x) {
-      out[i++] = img.at_clamped(bx + x, by + y);
+      *out++ = img.at_clamped(bx + x, by + y);
     }
   }
 }
@@ -29,17 +26,29 @@ void MotionEstimator::load_block(const image::Image& img, int bx, int by,
 SadSurface MotionEstimator::surface(const image::Image& current,
                                     const image::Image& reference, int bx,
                                     int by) const {
+  const std::size_t block_pixels =
+      static_cast<std::size_t>(config_.block_size) * config_.block_size;
   SadSurface result;
   result.search_range = config_.search_range;
-  result.values.reserve(static_cast<std::size_t>(result.span()) *
-                        result.span());
-  load_block(current, bx, by, block_scratch_);
+  const std::size_t window =
+      static_cast<std::size_t>(result.span()) * result.span();
+
+  // Gather the whole search window (clamped candidate blocks, row-major)
+  // into one contiguous batch, then evaluate it through a single
+  // sad_batch call — packed engines turn this into ~window/64 gate-list
+  // passes instead of `window`.
+  block_scratch_.resize(block_pixels);
+  load_block(current, bx, by, block_scratch_.data());
+  candidate_scratch_.resize(window * block_pixels);
+  std::uint8_t* candidate = candidate_scratch_.data();
   for (int dy = -config_.search_range; dy <= config_.search_range; ++dy) {
     for (int dx = -config_.search_range; dx <= config_.search_range; ++dx) {
-      load_block(reference, bx + dx, by + dy, candidate_scratch_);
-      result.values.push_back(sad_.sad(block_scratch_, candidate_scratch_));
+      load_block(reference, bx + dx, by + dy, candidate);
+      candidate += block_pixels;
     }
   }
+  result.values.resize(window);
+  sad_.sad_batch(block_scratch_, candidate_scratch_, result.values);
   return result;
 }
 

@@ -1,0 +1,301 @@
+// Batched SAD evaluation: SadUnit::sad_batch must be indistinguishable
+// from per-candidate scalar sad() for every realization — outputs for all
+// of them, and for the packed gate-level engines additionally the per-gate
+// toggle counts and switched energy (the lane packing must lose no
+// activity information, or the Fig. 9 power numbers would silently drift).
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "axc/accel/configurable.hpp"
+#include "axc/accel/sad.hpp"
+#include "axc/accel/sad_netlist.hpp"
+#include "axc/common/rng.hpp"
+#include "axc/logic/simulator.hpp"
+#include "axc/resilience/fault.hpp"
+#include "axc/resilience/gear_sad.hpp"
+
+namespace axc::accel {
+namespace {
+
+std::vector<std::uint8_t> random_pixels(axc::Rng& rng, std::size_t count) {
+  std::vector<std::uint8_t> pixels(count);
+  for (auto& px : pixels) px = static_cast<std::uint8_t>(rng.bits(8));
+  return pixels;
+}
+
+/// Reference: the batch contract stated on SadUnit::sad_batch, evaluated
+/// the slow way through scalar sad() calls in candidate order.
+std::vector<std::uint64_t> scalar_reference(const SadUnit& unit,
+                                            std::span<const std::uint8_t> a,
+                                            std::span<const std::uint8_t> c) {
+  const std::size_t bp = unit.block_pixels();
+  std::vector<std::uint64_t> out(c.size() / bp);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = unit.sad(a, c.subspan(i * bp, bp));
+  }
+  return out;
+}
+
+void expect_batch_matches_scalar(const SadUnit& batch_unit,
+                                 const SadUnit& scalar_unit,
+                                 std::size_t candidates, std::uint64_t seed) {
+  const std::size_t bp = batch_unit.block_pixels();
+  axc::Rng rng(seed);
+  const auto a = random_pixels(rng, bp);
+  const auto c = random_pixels(rng, candidates * bp);
+  const auto expected = scalar_reference(scalar_unit, a, c);
+  std::vector<std::uint64_t> got(candidates);
+  batch_unit.sad_batch(a, c, got);
+  ASSERT_EQ(got, expected) << batch_unit.name() << " with " << candidates
+                           << " candidates";
+}
+
+// -- Default sad_batch over the behavioural realizations -------------------
+
+class SadBatchDefault : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SadBatchDefault, BehaviouralVariantsMatchScalar) {
+  for (const SadConfig& config :
+       {accu_sad(16), apx_sad_variant(1, 2, 16), apx_sad_variant(3, 4, 16),
+        apx_sad_variant(5, 6, 16)}) {
+    const SadAccelerator unit(config);
+    expect_batch_matches_scalar(unit, unit, GetParam(), 7);
+  }
+}
+
+TEST_P(SadBatchDefault, ConfigurableSadMatchesScalarInEveryMode) {
+  ConfigurableSad unit({apx_sad_variant(2, 4, 16), apx_sad_variant(4, 6, 16)});
+  for (unsigned mode = 0; mode < unit.mode_count(); ++mode) {
+    unit.select(mode);
+    expect_batch_matches_scalar(unit, unit, GetParam(), 11 + mode);
+  }
+}
+
+TEST_P(SadBatchDefault, GearSadMatchesScalar) {
+  const resilience::GearSad unit(16, {8, 2, 4}, 1);
+  expect_batch_matches_scalar(unit, unit, GetParam(), 13);
+}
+
+// Batch sizes straddling the 64-lane chunk boundary: sub-chunk, exactly one
+// chunk, full chunk + remainder.
+INSTANTIATE_TEST_SUITE_P(Sizes, SadBatchDefault,
+                         ::testing::Values(1, 5, 64, 100));
+
+// -- Packed gate-level engine ----------------------------------------------
+
+class NetlistSadBatch : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NetlistSadBatch, OutputsMatchBehaviouralScalar) {
+  for (const SadConfig& config : {accu_sad(16), apx_sad_variant(3, 4, 16)}) {
+    const NetlistSad packed(config);
+    const SadAccelerator behavioural(config);
+    expect_batch_matches_scalar(packed, behavioural, GetParam(), 17);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NetlistSadBatch,
+                         ::testing::Values(1, 5, 64, 100));
+
+// Lane packing must preserve the activity accounting exactly: per-gate
+// toggles and switched energy of a batched run equal the sum over scalar
+// Simulator replays, lane k of each chunk fed lane k's candidate stream.
+TEST(NetlistSadBatchActivity, TogglesAndEnergyMatchPerLaneScalarReplay) {
+  const SadConfig config = apx_sad_variant(2, 2, 4);
+  const NetlistSad packed(config);
+  constexpr std::size_t kCandidates = 100;  // chunks of 64 + 36
+  constexpr unsigned kChunk = logic::BitslicedSimulator::kLanes;
+  const std::size_t bp = config.block_pixels;
+
+  axc::Rng rng(23);
+  const auto a = random_pixels(rng, bp);
+  const auto c = random_pixels(rng, kCandidates * bp);
+  std::vector<std::uint64_t> got(kCandidates);
+  packed.sad_batch(a, c, got);
+
+  // Replay: scalar Simulator per lane; lane k sees candidate k, then
+  // candidate 64 + k (if present) — the exact stream the packed engine
+  // assigns to lane k.
+  const logic::Netlist& nl = packed.netlist();
+  std::vector<std::uint64_t> toggles(nl.gate_count(), 0);
+  double energy = 0.0;
+  std::uint64_t vectors = 0;
+  for (unsigned lane = 0; lane < kChunk; ++lane) {
+    logic::Simulator sim(nl);
+    for (std::size_t i = lane; i < kCandidates; i += kChunk) {
+      std::vector<unsigned> stimulus;
+      stimulus.reserve(nl.inputs().size());
+      for (const std::uint8_t px : a) {
+        for (unsigned bit = 0; bit < 8; ++bit) {
+          stimulus.push_back(px >> bit & 1u);
+        }
+      }
+      for (std::size_t p = 0; p < bp; ++p) {
+        const std::uint8_t px = c[i * bp + p];
+        for (unsigned bit = 0; bit < 8; ++bit) {
+          stimulus.push_back(px >> bit & 1u);
+        }
+      }
+      const std::vector<unsigned> out = sim.apply(stimulus);
+      std::uint64_t value = 0;
+      for (std::size_t j = 0; j < out.size(); ++j) {
+        value |= static_cast<std::uint64_t>(out[j]) << j;
+      }
+      ASSERT_EQ(got[i], value) << "candidate " << i;
+    }
+    for (std::size_t g = 0; g < nl.gate_count(); ++g) {
+      toggles[g] += sim.gate_toggles(g);
+    }
+    energy += sim.switched_energy_fj();
+    vectors += sim.vectors_applied();
+  }
+
+  EXPECT_EQ(packed.vectors_applied(), vectors);
+  // Toggle counts are integer-exact (asserted below); the energy sum only
+  // differs by floating-point accumulation order across lanes.
+  EXPECT_NEAR(packed.switched_energy_fj(), energy, 1e-9 * energy);
+  for (std::size_t g = 0; g < nl.gate_count(); ++g) {
+    ASSERT_EQ(packed.gate_toggles(g), toggles[g]) << "gate " << g;
+  }
+}
+
+// Shrink-then-grow lane patterns (remainder batch before a full one, then a
+// scalar call) must stay exact — the per-lane baseline discipline.
+TEST(NetlistSadBatchActivity, LaneCountMayShrinkAndGrowBetweenCalls) {
+  const SadConfig config = accu_sad(4);
+  NetlistSad packed(config);
+  const SadAccelerator behavioural(config);
+  const std::size_t bp = config.block_pixels;
+  axc::Rng rng(29);
+  const auto a = random_pixels(rng, bp);
+
+  for (const std::size_t batch : {3u, 70u, 1u, 64u}) {
+    const auto c = random_pixels(rng, batch * bp);
+    std::vector<std::uint64_t> got(batch);
+    packed.sad_batch(a, c, got);
+    EXPECT_EQ(got, scalar_reference(behavioural, a, c)) << "batch " << batch;
+  }
+  // 3 + 70 + 1 + 64 vectors, every one accounted.
+  EXPECT_EQ(packed.vectors_applied(), 138u);
+  EXPECT_GT(packed.switched_energy_fj(), 0.0);
+
+  packed.reset_activity();
+  EXPECT_EQ(packed.vectors_applied(), 0u);
+  EXPECT_EQ(packed.switched_energy_fj(), 0.0);
+}
+
+// -- Fault-injecting realizations ------------------------------------------
+
+// The default sad_batch walks candidates in order through sad(), so a
+// same-seed FaultySad pair — one driven scalar, one batched — draws the RNG
+// identically and produces identical (possibly corrupted) results.
+TEST(FaultySadBatch, SameSeedScalarAndBatchedCampaignsAgree) {
+  const SadAccelerator inner(accu_sad(16));
+  const resilience::FaultSpec spec{0.05, 41};
+  const resilience::FaultySad scalar_unit(inner, spec);
+  const resilience::FaultySad batch_unit(inner, spec);
+  expect_batch_matches_scalar(batch_unit, scalar_unit, 50, 31);
+  EXPECT_EQ(batch_unit.faults_injected(), scalar_unit.faults_injected());
+  EXPECT_GT(batch_unit.faults_injected(), 0u);
+}
+
+TEST(FaultyNetlistSadBatch, ZeroProbabilityMatchesNetlistSad) {
+  const SadConfig config = apx_sad_variant(1, 2, 16);
+  const resilience::FaultyNetlistSad faulty(config, {0.0, 5});
+  const NetlistSad clean(config);
+  expect_batch_matches_scalar(faulty, clean, 100, 37);
+  EXPECT_EQ(faulty.faults_injected(), 0u);
+}
+
+TEST(FaultyNetlistSadBatch, SameSeedBatchedCampaignsReproduce) {
+  const SadConfig config = accu_sad(16);
+  const resilience::FaultSpec spec{0.01, 43};
+  const resilience::FaultyNetlistSad first(config, spec);
+  const resilience::FaultyNetlistSad second(config, spec);
+  const std::size_t bp = config.block_pixels;
+  axc::Rng rng(47);
+  const auto a = random_pixels(rng, bp);
+  const auto c = random_pixels(rng, 100 * bp);
+  std::vector<std::uint64_t> out1(100), out2(100);
+  first.sad_batch(a, c, out1);
+  second.sad_batch(a, c, out2);
+  EXPECT_EQ(out1, out2);
+  EXPECT_EQ(first.faults_injected(), second.faults_injected());
+  EXPECT_GT(first.faults_injected(), 0u);
+}
+
+TEST(FaultyNetlistSadBatch, CertainFlipsCorruptEveryLaneDeterministically) {
+  const SadConfig config = accu_sad(4);
+  const resilience::FaultyNetlistSad faulty(config, {1.0, 3});
+  const NetlistSad clean(config);
+  const std::size_t bp = config.block_pixels;
+  axc::Rng rng(53);
+  const auto a = random_pixels(rng, bp);
+  const auto c = random_pixels(rng, 10 * bp);
+  std::vector<std::uint64_t> corrupted(10);
+  faulty.sad_batch(a, c, corrupted);
+  // p = 1 flips every gate output in every lane: the campaign injects one
+  // fault per gate per lane, and no candidate escapes unscathed.
+  EXPECT_EQ(faulty.faults_injected(),
+            static_cast<std::uint64_t>(clean.netlist().gate_count()) * 10u);
+  const auto exact = scalar_reference(SadAccelerator(config), a, c);
+  for (std::size_t i = 0; i < corrupted.size(); ++i) {
+    EXPECT_NE(corrupted[i], exact[i]) << "candidate " << i;
+  }
+}
+
+// -- Misuse and performance -------------------------------------------------
+
+TEST(SadBatchRequire, RejectsMismatchedSpans) {
+  const SadAccelerator unit(accu_sad(16));
+  std::vector<std::uint8_t> a(16, 0), c(3 * 16, 0);
+  std::vector<std::uint64_t> out(2);  // 2 * 16 != c.size()
+  EXPECT_THROW(unit.sad_batch(a, c, out), std::invalid_argument);
+  std::vector<std::uint8_t> short_a(15, 0);
+  std::vector<std::uint64_t> out3(3);
+  EXPECT_THROW(unit.sad_batch(short_a, c, out3), std::invalid_argument);
+}
+
+// The whole point of lane packing: a batched full-search window must not be
+// slower than the per-candidate scalar loop on the same engine. (The CI
+// speedup floor is asserted here against the scalar path of the *same*
+// process, so it holds on slow or single-core runners; BENCH_kernels.json
+// records the actual multiple.)
+TEST(NetlistSadBatchPerf, BatchedWindowAtLeastAsFastAsScalarLoop) {
+  const SadConfig config = accu_sad(16);
+  const NetlistSad packed(config);
+  const std::size_t bp = config.block_pixels;
+  constexpr std::size_t kWindow = 81;  // search_range 4 -> 9x9 candidates
+  axc::Rng rng(59);
+  const auto a = random_pixels(rng, bp);
+  const auto c = random_pixels(rng, kWindow * bp);
+  std::vector<std::uint64_t> out(kWindow);
+
+  using clock = std::chrono::steady_clock;
+  auto best = [&](auto&& body) {
+    double best_s = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = clock::now();
+      body();
+      best_s = std::min(best_s,
+                        std::chrono::duration<double>(clock::now() - t0)
+                            .count());
+    }
+    return best_s;
+  };
+  const double batched_s = best([&] { packed.sad_batch(a, c, out); });
+  const std::span<const std::uint8_t> candidates(c);
+  const double scalar_s = best([&] {
+    for (std::size_t i = 0; i < kWindow; ++i) {
+      out[i] = packed.sad(a, candidates.subspan(i * bp, bp));
+    }
+  });
+  EXPECT_LE(batched_s, scalar_s)
+      << "batched " << batched_s * 1e3 << " ms vs scalar " << scalar_s * 1e3
+      << " ms";
+}
+
+}  // namespace
+}  // namespace axc::accel

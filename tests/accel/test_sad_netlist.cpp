@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "axc/common/rng.hpp"
+#include "axc/logic/characterize.hpp"
 #include "axc/logic/simulator.hpp"
 
 namespace axc::accel {
@@ -80,6 +81,27 @@ TEST(SadNetlist, Fig9PowerClaim4LsbBelow2Lsb) {
     const auto four = characterize_sad(apx_sad_variant(variant, 4, 16), 128);
     EXPECT_LT(four.power_nw, two.power_nw) << "variant " << variant;
   }
+}
+
+TEST(SadNetlist, CharacterizeSadMemoizedOnStructureAndStimulus) {
+  // characterize_sad shares the logic-layer characterization cache: an
+  // identical (config, vectors, seed) triple is a hit, any change misses.
+  logic::clear_characterization_cache();
+  const SadConfig config = apx_sad_variant(2, 4, 16);
+  const auto first = characterize_sad(config, 64, 3);
+  EXPECT_EQ(logic::characterization_cache_stats().misses, 1u);
+  const auto repeat = characterize_sad(config, 64, 3);
+  const auto stats = logic::characterization_cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_DOUBLE_EQ(repeat.area_ge, first.area_ge);
+  EXPECT_DOUBLE_EQ(repeat.power_nw, first.power_nw);
+  EXPECT_EQ(repeat.gate_count, first.gate_count);
+
+  characterize_sad(config, 128, 3);                      // vectors change
+  characterize_sad(config, 64, 4);                       // seed change
+  characterize_sad(apx_sad_variant(2, 6, 16), 64, 3);    // structure change
+  EXPECT_EQ(logic::characterization_cache_stats().misses, 4u);
 }
 
 TEST(SadNetlist, OutputWidthMatchesTreeDepth) {

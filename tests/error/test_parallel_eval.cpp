@@ -256,5 +256,42 @@ TEST(ParallelEvaluate, ParallelChunksCoversRangeExactlyOnce) {
   }
 }
 
+TEST(ParallelEvaluate, ParallelChunksOfCustomGrid) {
+  // Small custom chunk sizes (the encoder passes one block row) keep the
+  // same exactly-once coverage and worker-independent boundaries.
+  const std::uint64_t total = 37;
+  const std::uint64_t chunk_size = 5;  // 7 full chunks + a short eighth
+  for (const unsigned threads : {1u, 4u}) {
+    std::vector<std::atomic<std::uint32_t>> hits(8);
+    std::atomic<std::uint64_t> covered{0};
+    parallel_chunks_of(total, chunk_size, threads,
+                       [&](std::uint64_t chunk, std::uint64_t begin,
+                           std::uint64_t end) {
+                         hits[chunk].fetch_add(1);
+                         covered.fetch_add(end - begin);
+                         EXPECT_EQ(begin, chunk * chunk_size);
+                         EXPECT_LE(end, total);
+                       });
+    EXPECT_EQ(covered.load(), total);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1u);
+  }
+}
+
+TEST(ParallelEvaluate, ParallelChunksOfDegenerateInputs) {
+  unsigned calls = 0;
+  parallel_chunks_of(0, 4, 8, [&](std::uint64_t, std::uint64_t,
+                                  std::uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+  // chunk_size 0 is clamped to 1: every element its own chunk.
+  std::vector<std::uint64_t> begins;
+  parallel_chunks_of(3, 0, 1,
+                     [&](std::uint64_t, std::uint64_t begin,
+                         std::uint64_t end) {
+                       begins.push_back(begin);
+                       EXPECT_EQ(end, begin + 1);
+                     });
+  EXPECT_EQ(begins, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
 }  // namespace
 }  // namespace axc::error

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "axc/logic/adder_netlists.hpp"
 #include "axc/logic/synth.hpp"
 
@@ -93,6 +95,62 @@ TEST(Characterize, SynthesizedVsHandMappedAblation) {
     EXPECT_EQ(netlist_truth_table(synth_nl), spec)
         << arith::full_adder_name(kind);
   }
+}
+
+TEST(CharacterizationCache, IdenticalRebuildsHitDifferentConfigsMiss) {
+  clear_characterization_cache();
+  const std::vector<FullAdderKind> accurate(4, FullAdderKind::Accurate);
+  const std::vector<FullAdderKind> approx(4, FullAdderKind::Apx1);
+  const Netlist nl = ripple_adder_netlist(accurate);
+  const Characterization first = characterize(nl, std::nullopt, 256, 7);
+  const auto after_first = characterization_cache_stats();
+  EXPECT_EQ(after_first.hits, 0u);
+  EXPECT_EQ(after_first.misses, 1u);
+
+  // Structurally identical rebuild: full hit, identical record.
+  const Netlist rebuilt = ripple_adder_netlist(accurate);
+  const Characterization second = characterize(rebuilt, std::nullopt, 256, 7);
+  const auto after_second = characterization_cache_stats();
+  EXPECT_EQ(after_second.hits, 1u);
+  EXPECT_EQ(after_second.misses, 1u);
+  EXPECT_DOUBLE_EQ(second.area_ge, first.area_ge);
+  EXPECT_DOUBLE_EQ(second.power_nw, first.power_nw);
+
+  // Any knob change is a distinct key: vectors, seed, structure.
+  characterize(nl, std::nullopt, 512, 7);
+  characterize(nl, std::nullopt, 256, 8);
+  characterize(ripple_adder_netlist(approx), std::nullopt, 256, 7);
+  const auto after_variants = characterization_cache_stats();
+  EXPECT_EQ(after_variants.hits, 1u);
+  EXPECT_EQ(after_variants.misses, 4u);
+}
+
+TEST(CharacterizationCache, TruthTableMemoizedOnStructuralHash) {
+  clear_characterization_cache();
+  const TruthTable a =
+      netlist_truth_table(full_adder_netlist(FullAdderKind::Accurate));
+  const auto after_miss = characterization_cache_stats();
+  EXPECT_EQ(after_miss.misses, 1u);
+  const TruthTable b =
+      netlist_truth_table(full_adder_netlist(FullAdderKind::Accurate));
+  const auto after_hit = characterization_cache_stats();
+  EXPECT_EQ(after_hit.hits, 1u);
+  EXPECT_EQ(after_hit.misses, 1u);
+  EXPECT_EQ(a, b);
+  // A different cell is a different structure.
+  netlist_truth_table(full_adder_netlist(FullAdderKind::Apx1));
+  EXPECT_EQ(characterization_cache_stats().misses, 2u);
+}
+
+TEST(CharacterizationCache, ClearResetsStatsAndDropsEntries) {
+  clear_characterization_cache();
+  netlist_truth_table(full_adder_netlist(FullAdderKind::Accurate));
+  clear_characterization_cache();
+  const auto stats = characterization_cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  netlist_truth_table(full_adder_netlist(FullAdderKind::Accurate));
+  EXPECT_EQ(characterization_cache_stats().misses, 1u);  // re-simulated
 }
 
 TEST(NetlistTruthTable, TooWideRejected) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "axc/accel/sad.hpp"
+#include "axc/accel/sad_netlist.hpp"
+#include "axc/image/image.hpp"
 
 namespace axc::video {
 namespace {
@@ -100,6 +102,61 @@ TEST(Encoder, MildApproximationCostsLessThanAggressive) {
   const std::uint64_t bits2 = Encoder(config, sad2).encode(seq).total_bits;
   const std::uint64_t bits6 = Encoder(config, sad6).encode(seq).total_bits;
   EXPECT_LE(bits2, bits6);
+}
+
+TEST(Encoder, BitIdenticalForAnyThreadCount) {
+  // Block-parallel encoding must not change a single bit: chunk boundaries
+  // are worker-count-independent and per-block bit counts reduce in block
+  // order, so 1, 2 and 8 workers produce the same stream.
+  const SadAccelerator sad(accel::apx_sad_variant(3, 4, 64));
+  const Sequence seq = small_sequence();
+  EncoderConfig config = small_encoder_config();
+  config.threads = 1;
+  const EncodeStats base = Encoder(config, sad).encode(seq);
+  for (const unsigned threads : {2u, 8u}) {
+    config.threads = threads;
+    const EncodeStats stats = Encoder(config, sad).encode(seq);
+    EXPECT_EQ(stats.total_bits, base.total_bits) << threads << " threads";
+    EXPECT_DOUBLE_EQ(stats.psnr_db, base.psnr_db) << threads << " threads";
+    EXPECT_EQ(stats.sad_calls, base.sad_calls) << threads << " threads";
+  }
+}
+
+TEST(Encoder, ThreadInvariantFrameReconstruction) {
+  const SadAccelerator sad(accel::accu_sad(64));
+  const Sequence seq = small_sequence(7);
+  EncoderConfig config = small_encoder_config();
+  config.threads = 1;
+  const FrameResult one =
+      encode_inter_frame(config, sad, seq[1], seq[0]);
+  config.threads = 8;
+  const FrameResult many =
+      encode_inter_frame(config, sad, seq[1], seq[0]);
+  EXPECT_EQ(one.bits, many.bits);
+  EXPECT_EQ(one.sad_calls, many.sad_calls);
+  for (int y = 0; y < one.reconstruction.height(); ++y) {
+    for (int x = 0; x < one.reconstruction.width(); ++x) {
+      ASSERT_EQ(one.reconstruction.at(x, y), many.reconstruction.at(x, y))
+          << "(" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(Encoder, NetlistBackedEncoderMatchesBehavioural) {
+  // The packed gate-level engine plugged into the full encoder must
+  // reproduce the behavioural bitstream (it is demoted to one worker
+  // automatically — the simulator state is not shareable).
+  EncoderConfig config = small_encoder_config();
+  config.motion.block_size = 4;
+  config.threads = 4;  // ignored for the netlist engine
+  const Sequence seq = small_sequence();
+  const SadAccelerator behavioural(accel::apx_sad_variant(1, 2, 16));
+  const accel::NetlistSad packed(accel::apx_sad_variant(1, 2, 16));
+  const EncodeStats expect = Encoder(config, behavioural).encode(seq);
+  const EncodeStats got = Encoder(config, packed).encode(seq);
+  EXPECT_EQ(got.total_bits, expect.total_bits);
+  EXPECT_DOUBLE_EQ(got.psnr_db, expect.psnr_db);
+  EXPECT_EQ(got.sad_calls, expect.sad_calls);
 }
 
 TEST(Encoder, Validation) {

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <vector>
 
 #include "axc/accel/sad.hpp"
+#include "axc/accel/sad_netlist.hpp"
 #include "axc/image/synth.hpp"
 #include "axc/video/sequence.hpp"
 
@@ -129,6 +132,84 @@ TEST(MotionEstimator, ConfigValidation) {
   const SadAccelerator sad(accel::accu_sad(64));
   EXPECT_THROW(MotionEstimator({8, 0}, sad), std::invalid_argument);
   EXPECT_THROW(MotionEstimator({16, 4}, sad), std::invalid_argument);
+}
+
+TEST(SadSurface, AtRejectsDisplacementsOutsideTheWindow) {
+  SadSurface surface;
+  surface.search_range = 2;
+  surface.values.assign(25, 0);
+  EXPECT_EQ(surface.at(2, -2), 0u);
+  EXPECT_THROW(surface.at(3, 0), std::invalid_argument);
+  EXPECT_THROW(surface.at(-3, 0), std::invalid_argument);
+  EXPECT_THROW(surface.at(0, 3), std::invalid_argument);
+  EXPECT_THROW(surface.at(0, -3), std::invalid_argument);
+}
+
+/// The batched surface() must reproduce the historical per-candidate scalar
+/// loop exactly — values, ordering and therefore the argmin — for every
+/// SadUnit realization the Fig. 8/9 experiments use.
+SadSurface scalar_surface(const accel::SadUnit& sad, int block_size,
+                          int range, const image::Image& current,
+                          const image::Image& reference, int bx, int by) {
+  const std::size_t block_pixels =
+      static_cast<std::size_t>(block_size) * block_size;
+  std::vector<std::uint8_t> a(block_pixels), b(block_pixels);
+  auto load = [&](const image::Image& img, int ox, int oy,
+                  std::vector<std::uint8_t>& out) {
+    std::size_t i = 0;
+    for (int y = 0; y < block_size; ++y) {
+      for (int x = 0; x < block_size; ++x) {
+        out[i++] = img.at_clamped(ox + x, oy + y);
+      }
+    }
+  };
+  load(current, bx, by, a);
+  SadSurface result;
+  result.search_range = range;
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      load(reference, bx + dx, by + dy, b);
+      result.values.push_back(sad.sad(a, b));
+    }
+  }
+  return result;
+}
+
+class BatchedSurfaceEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchedSurfaceEquivalence, ApxVariantMatchesScalarLoop) {
+  const image::Image reference =
+      image::synthesize_image(image::TestImageKind::HighFrequency, 64, 64, 3);
+  const image::Image current = shifted(reference, 2, -1);
+  const SadAccelerator sad(accel::apx_sad_variant(GetParam(), 4, 64));
+  const MotionEstimator estimator({8, 4}, sad);
+  const SadSurface batched = estimator.surface(current, reference, 24, 24);
+  const SadSurface scalar =
+      scalar_surface(sad, 8, 4, current, reference, 24, 24);
+  EXPECT_EQ(batched.values, scalar.values);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, BatchedSurfaceEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(BatchedSurfaceEquivalence, NetlistSadMatchesScalarLoopAndArgmin) {
+  // The packed gate-level engine covers the whole 9x9 window in two
+  // gate-list passes; values, row-major order and the chosen motion vector
+  // must all equal the one-candidate-at-a-time path.
+  const image::Image reference =
+      image::synthesize_image(image::TestImageKind::HighFrequency, 32, 32, 5);
+  const image::Image current = shifted(reference, 1, 2);
+  const accel::NetlistSad packed(accel::apx_sad_variant(2, 2, 16));
+  const MotionEstimator estimator({4, 4}, packed);
+  const SadSurface batched = estimator.surface(current, reference, 12, 12);
+  const SadSurface scalar =
+      scalar_surface(packed, 4, 4, current, reference, 12, 12);
+  EXPECT_EQ(batched.values, scalar.values);
+
+  const SadAccelerator behavioural(accel::apx_sad_variant(2, 2, 16));
+  const MotionEstimator reference_me({4, 4}, behavioural);
+  EXPECT_EQ(estimator.search(current, reference, 12, 12),
+            reference_me.search(current, reference, 12, 12));
 }
 
 }  // namespace

@@ -110,10 +110,12 @@ SadHardwareReport characterize_sad(const SadConfig& config,
   const Netlist nl = sad_netlist(config);
   // Memoized: identical structure + stimulus parameters reuse the
   // simulated power instead of re-walking the gate list (thread-safe;
-  // shared with logic::characterize via the same cache).
-  const std::uint64_t key =
-      nl.structural_hash() ^ (vectors * 0x9e3779b97f4a7c15ULL) ^
-      (seed * 0xbf58476d1ce4e5b9ULL) ^ 0x5ADC4A5EULL;
+  // shared with logic::characterize via the same cache, and keyed with
+  // the same mix_key combiner so every key in that cache is mixed alike).
+  std::uint64_t key =
+      logic::detail::mix_key(nl.structural_hash(), std::uint64_t{0x5ADC4A5E});
+  key = logic::detail::mix_key(key, vectors);
+  key = logic::detail::mix_key(key, seed);
   const std::array<double, 3> record = logic::detail::cache_numeric_record(
       key, [&nl, vectors, seed]() -> std::array<double, 3> {
         // Packed stimulus: one 64-bit word per primary input carries 64

@@ -73,6 +73,12 @@ void clear_characterization_cache();
 namespace detail {
 std::array<double, 3> cache_numeric_record(
     std::uint64_t key, const std::function<std::array<double, 3>()>& compute);
+
+/// SplitMix64-style key combiner used for every characterization cache
+/// key. Sibling layers must build their keys with this (seeded from
+/// structural_hash()) rather than ad-hoc XOR folds, so all keys in the
+/// shared cache get the same mixing quality.
+std::uint64_t mix_key(std::uint64_t h, std::uint64_t value);
 }  // namespace detail
 
 /// Characterization of one Table III full adder against the accurate one.

@@ -64,17 +64,26 @@ std::span<const std::uint64_t> BitslicedSimulator::apply_lanes(
           "primary inputs");
   require(lanes >= 1 && lanes <= kLanes,
           "BitslicedSimulator::apply_lanes: lanes must be in [1, 64]");
+  const std::uint64_t lane_mask = low_mask(lanes);
+  // Merge the stimulus under the active-lane mask: inactive lanes keep
+  // their previous input values, so the full gate-list recompute below
+  // holds every one of their nets at exactly the value it last had while
+  // the lane was active (the netlist is combinational and evaluated in
+  // topological order). Overwriting all 64 bits here would clobber that
+  // state on a partial-lane pass and the next wider pass would count
+  // toggles against the clobbered values instead.
   for (std::size_t i = 0; i < inputs.size(); ++i) {
-    net_word_[inputs[i]] = input_words[i];
+    net_word_[inputs[i]] = (net_word_[inputs[i]] & ~lane_mask) |
+                           (input_words[i] & lane_mask);
   }
 
-  const std::uint64_t lane_mask = low_mask(lanes);
   // Only lanes that already received a baseline vector contribute
   // transitions; lanes seen for the first time in this call establish
   // state without counting (per-lane analogue of the scalar simulator's
-  // baseline vector). This makes arbitrary shrink/grow lane patterns —
-  // e.g. a remainder batch followed by a full one — exact: each lane's
-  // toggles are counted against the last value *that lane* actually held.
+  // baseline vector). Together with the masked stimulus merge above this
+  // makes arbitrary shrink/grow lane patterns — e.g. a remainder batch
+  // followed by a full one — exact: each lane's toggles are counted
+  // against the last value *that lane* actually held while active.
   const std::uint64_t counted_mask = lane_mask & baselined_lanes_;
   const auto& gates = netlist_.gates();
   if (counted_mask == 0) {

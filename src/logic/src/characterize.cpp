@@ -31,15 +31,7 @@ CharacterizationCache& cache() {
   return instance;
 }
 
-/// SplitMix64-style key combiner — cheap and well-distributed for the
-/// handful of fields each cache key mixes on top of structural_hash().
-std::uint64_t mix_key(std::uint64_t h, std::uint64_t value) {
-  h ^= value + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  h ^= h >> 30;
-  h *= 0xbf58476d1ce4e5b9ULL;
-  h ^= h >> 27;
-  return h;
-}
+using detail::mix_key;
 
 std::uint64_t mix_key(std::uint64_t h, double value) {
   return mix_key(h, std::bit_cast<std::uint64_t>(value));
@@ -167,6 +159,14 @@ void clear_characterization_cache() {
 }
 
 namespace detail {
+
+std::uint64_t mix_key(std::uint64_t h, std::uint64_t value) {
+  h ^= value + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
 
 std::array<double, 3> cache_numeric_record(
     std::uint64_t key, const std::function<std::array<double, 3>()>& compute) {

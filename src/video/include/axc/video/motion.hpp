@@ -63,8 +63,12 @@ class MotionEstimator {
   /// single SadUnit::sad_batch call, so packed engines (NetlistSad) cover
   /// up to 64 candidates per pass over their gate list. Candidate order is
   /// row-major over the window — identical to the historical per-candidate
-  /// loop, so stateful engines (fault wrappers) see the same call sequence
-  /// through the default sad_batch.
+  /// loop, so stateful engines that keep the default sad_batch (e.g.
+  /// resilience::FaultySad) see the exact same call sequence. Engines that
+  /// override sad_batch with a packed fault process
+  /// (resilience::FaultyNetlistSad) draw their RNG per pass rather than
+  /// per candidate, so their seeded campaigns depend on how candidates
+  /// fall into 64-lane batches — see fault.hpp.
   SadSurface surface(const image::Image& current,
                      const image::Image& reference, int bx, int by) const;
 

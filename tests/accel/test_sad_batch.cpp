@@ -26,6 +26,28 @@ std::vector<std::uint8_t> random_pixels(axc::Rng& rng, std::size_t count) {
   return pixels;
 }
 
+/// Applies one (a, candidate) pair to a scalar Simulator in the packed
+/// engine's input order (A bits, then B bits, LSB-first per pixel) and
+/// returns the SAD output word.
+std::uint64_t replay_scalar(logic::Simulator& sim,
+                            std::span<const std::uint8_t> a,
+                            std::span<const std::uint8_t> candidate) {
+  std::vector<unsigned> stimulus;
+  stimulus.reserve((a.size() + candidate.size()) * 8);
+  for (const std::uint8_t px : a) {
+    for (unsigned bit = 0; bit < 8; ++bit) stimulus.push_back(px >> bit & 1u);
+  }
+  for (const std::uint8_t px : candidate) {
+    for (unsigned bit = 0; bit < 8; ++bit) stimulus.push_back(px >> bit & 1u);
+  }
+  const std::vector<unsigned> out = sim.apply(stimulus);
+  std::uint64_t value = 0;
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    value |= static_cast<std::uint64_t>(out[j]) << j;
+  }
+  return value;
+}
+
 /// Reference: the batch contract stated on SadUnit::sad_batch, evaluated
 /// the slow way through scalar sad() calls in candidate order.
 std::vector<std::uint64_t> scalar_reference(const SadUnit& unit,
@@ -125,24 +147,8 @@ TEST(NetlistSadBatchActivity, TogglesAndEnergyMatchPerLaneScalarReplay) {
   for (unsigned lane = 0; lane < kChunk; ++lane) {
     logic::Simulator sim(nl);
     for (std::size_t i = lane; i < kCandidates; i += kChunk) {
-      std::vector<unsigned> stimulus;
-      stimulus.reserve(nl.inputs().size());
-      for (const std::uint8_t px : a) {
-        for (unsigned bit = 0; bit < 8; ++bit) {
-          stimulus.push_back(px >> bit & 1u);
-        }
-      }
-      for (std::size_t p = 0; p < bp; ++p) {
-        const std::uint8_t px = c[i * bp + p];
-        for (unsigned bit = 0; bit < 8; ++bit) {
-          stimulus.push_back(px >> bit & 1u);
-        }
-      }
-      const std::vector<unsigned> out = sim.apply(stimulus);
-      std::uint64_t value = 0;
-      for (std::size_t j = 0; j < out.size(); ++j) {
-        value |= static_cast<std::uint64_t>(out[j]) << j;
-      }
+      const std::uint64_t value =
+          replay_scalar(sim, a, std::span(c).subspan(i * bp, bp));
       ASSERT_EQ(got[i], value) << "candidate " << i;
     }
     for (std::size_t g = 0; g < nl.gate_count(); ++g) {
@@ -184,6 +190,64 @@ TEST(NetlistSadBatchActivity, LaneCountMayShrinkAndGrowBetweenCalls) {
   packed.reset_activity();
   EXPECT_EQ(packed.vectors_applied(), 0u);
   EXPECT_EQ(packed.switched_energy_fj(), 0.0);
+}
+
+// Regression for partial-lane state clobbering: when a remainder pass is
+// followed by wider passes — repeated sad_batch / surface() calls on one
+// engine — each lane's toggles must count against the last value that
+// lane held while *active*, not against whatever a narrower pass wrote
+// into inactive lanes. Toggle and energy accounting is checked against
+// per-lane scalar replay across the full multi-call sequence.
+TEST(NetlistSadBatchActivity, TogglesStayExactAcrossShrinkThenGrowCalls) {
+  const SadConfig config = apx_sad_variant(2, 2, 4);
+  const NetlistSad packed(config);
+  constexpr unsigned kChunk = logic::BitslicedSimulator::kLanes;
+  const std::size_t bp = config.block_pixels;
+  // Windows shaped like repeated Fig. 8 surface() calls: 81 candidates =
+  // one full chunk + a 17-lane remainder, twice — so lanes 17..63 must
+  // carry their chunk-1 state across each remainder pass into the next
+  // window's full chunk. A trailing 5-candidate window exercises a shrink
+  // straight after a full chunk as well.
+  const std::vector<std::size_t> window_sizes{81, 81, 5};
+
+  axc::Rng rng(61);
+  const auto a = random_pixels(rng, bp);
+  std::vector<std::vector<std::uint8_t>> windows;
+  std::vector<std::vector<std::uint64_t>> got;
+  for (const std::size_t n : window_sizes) {
+    windows.push_back(random_pixels(rng, n * bp));
+    got.emplace_back(n);
+    packed.sad_batch(a, windows.back(), got.back());
+  }
+
+  // Per-lane scalar replay over the whole call sequence: lane k's stream
+  // is candidate i of every window with i = k (mod 64) — exactly the
+  // vectors the packed engine fed lane k, in order.
+  const logic::Netlist& nl = packed.netlist();
+  std::vector<std::uint64_t> toggles(nl.gate_count(), 0);
+  double energy = 0.0;
+  std::uint64_t vectors = 0;
+  for (unsigned lane = 0; lane < kChunk; ++lane) {
+    logic::Simulator sim(nl);
+    for (std::size_t w = 0; w < windows.size(); ++w) {
+      for (std::size_t i = lane; i < window_sizes[w]; i += kChunk) {
+        const std::uint64_t value =
+            replay_scalar(sim, a, std::span(windows[w]).subspan(i * bp, bp));
+        ASSERT_EQ(got[w][i], value) << "window " << w << " candidate " << i;
+      }
+    }
+    for (std::size_t g = 0; g < nl.gate_count(); ++g) {
+      toggles[g] += sim.gate_toggles(g);
+    }
+    energy += sim.switched_energy_fj();
+    vectors += sim.vectors_applied();
+  }
+
+  EXPECT_EQ(packed.vectors_applied(), vectors);
+  EXPECT_NEAR(packed.switched_energy_fj(), energy, 1e-9 * energy);
+  for (std::size_t g = 0; g < nl.gate_count(); ++g) {
+    ASSERT_EQ(packed.gate_toggles(g), toggles[g]) << "gate " << g;
+  }
 }
 
 // -- Fault-injecting realizations ------------------------------------------

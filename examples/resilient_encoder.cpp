@@ -12,11 +12,19 @@
 ///      iterations, more accurate GeAr config, exact fallback) until the
 ///      contract holds, and de-escalates once the faults stop.
 ///
-/// Usage: resilient_encoder [bit_flip_probability] [seed]
+/// Usage: resilient_encoder [bit_flip_probability] [seed] [report_path]
+///
+/// After both runs an axc::obs run report (guardband trips, controller
+/// escalations, faults injected, SAD-batch lane occupancy, per-frame encode
+/// spans, ...) is written to \p report_path (default
+/// REPORT_resilient_encoder.json; "-" suppresses it). Set AXC_OBS=0 to
+/// switch the instruments off.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
+#include "axc/obs/report.hpp"
 #include "axc/resilience/resilient_encoder.hpp"
 #include "axc/video/sequence.hpp"
 
@@ -28,6 +36,8 @@ int main(int argc, char** argv) {
                                  ? static_cast<std::uint64_t>(
                                        std::strtoull(argv[2], nullptr, 10))
                                  : 2024;
+  const std::string report_path =
+      argc >= 4 ? argv[3] : "REPORT_resilient_encoder.json";
 
   video::SequenceConfig sc;
   sc.width = 64;
@@ -105,5 +115,11 @@ int main(int argc, char** argv) {
   std::cout << "The closed loop escalates while the fault campaign is live\n"
                "and walks back down the accuracy ladder afterwards; the\n"
                "open loop keeps violating its contract instead.\n";
+
+  if (report_path != "-") {
+    obs::write_report(report_path);
+    std::cout << "\nobs run report (both runs combined) -> " << report_path
+              << "\n";
+  }
   return 0;
 }

@@ -10,11 +10,18 @@
 /// of the arith::Adder interface.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>
 
 namespace axc::accel {
+
+namespace detail {
+/// Tallies one batched-SAD invocation (with its candidate count) into the
+/// obs registry; every SadUnit realization's sad_batch should call it.
+void count_sad_batch(std::size_t candidates);
+}  // namespace detail
 
 /// An engine computing the sum of absolute differences over two
 /// equally-sized blocks of 8-bit pixels.

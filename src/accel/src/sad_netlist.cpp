@@ -9,6 +9,7 @@
 #include "axc/logic/bitsliced.hpp"
 #include "axc/logic/characterize.hpp"
 #include "axc/logic/power.hpp"
+#include "axc/obs/obs.hpp"
 
 namespace axc::accel {
 
@@ -202,11 +203,17 @@ void NetlistSad::sad_batch(std::span<const std::uint8_t> a,
   AXC_REQUIRE(candidates.size() == out.size() * bp,
               "NetlistSad::sad_batch: candidates must hold exactly one "
               "block per output slot");
+  detail::count_sad_batch(out.size());
+  // Lane occupancy of the packed passes this batch breaks into; full-ish
+  // buckets mean the 64-lane engine is actually being fed 64-wide.
+  static obs::Histogram& occupancy =
+      obs::histogram("accel.sad_batch.lane_occupancy");
   constexpr unsigned kLanes = logic::BitslicedSimulator::kLanes;
   std::size_t done = 0;
   while (done < out.size()) {
     const unsigned lanes = static_cast<unsigned>(
         std::min<std::size_t>(kLanes, out.size() - done));
+    occupancy.record(lanes);
     apply_chunk(a, candidates.subspan(done * bp, lanes * bp), lanes,
                 out.subspan(done, lanes));
     done += lanes;

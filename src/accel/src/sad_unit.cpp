@@ -1,8 +1,20 @@
 #include "axc/accel/sad_unit.hpp"
 
 #include "axc/common/require.hpp"
+#include "axc/obs/obs.hpp"
 
 namespace axc::accel {
+
+namespace detail {
+
+void count_sad_batch(std::size_t candidates) {
+  static obs::Counter& calls = obs::counter("accel.sad_batch.calls");
+  static obs::Counter& total = obs::counter("accel.sad_batch.candidates");
+  calls.add();
+  total.add(candidates);
+}
+
+}  // namespace detail
 
 void SadUnit::sad_batch(std::span<const std::uint8_t> a,
                         std::span<const std::uint8_t> candidates,
@@ -13,6 +25,7 @@ void SadUnit::sad_batch(std::span<const std::uint8_t> a,
   AXC_REQUIRE(candidates.size() == out.size() * bp,
               "SadUnit::sad_batch: candidates must hold exactly one block "
               "per output slot");
+  detail::count_sad_batch(out.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] = sad(a, candidates.subspan(i * bp, bp));
   }

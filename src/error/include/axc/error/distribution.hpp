@@ -33,6 +33,7 @@ class ErrorDistribution {
   /// Folds \p other (recorded over a disjoint input population) into this
   /// distribution. Counts are exact, so merging split ranges equals
   /// single-shot recording regardless of split points or order.
+  /// Self-merge (d.merge(d)) is safe and doubles every count.
   void merge(const ErrorDistribution& other);
 
   /// Total observations.
@@ -46,6 +47,14 @@ class ErrorDistribution {
 
   /// The offset c minimizing E[|error - c|] over the observed distribution
   /// (a weighted median) — the constant a consolidated corrector would add.
+  ///
+  /// Tie policy (pinned by tests): the *upper* weighted median — the
+  /// smallest observed value whose cumulative count strictly exceeds
+  /// samples()/2 (integer division). On an even-mass two-point
+  /// distribution such as {-4: 50, 0: 50} every c in [-4, 0] minimizes
+  /// E|error - c| equally; this function deterministically returns 0, the
+  /// larger of the two central values. Callers needing the lower boundary
+  /// can negate the distribution, take the offset and negate back.
   std::int64_t optimal_offset() const;
 
   /// E[|error - offset|]: residual mean error after adding \p offset.

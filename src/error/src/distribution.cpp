@@ -79,6 +79,16 @@ void ErrorDistribution::record(std::int64_t error) {
 }
 
 void ErrorDistribution::merge(const ErrorDistribution& other) {
+  if (&other == this) {
+    // Self-merge: the loop below would iterate slots_ while add() may
+    // grow() and reallocate the very same table (use-after-free once the
+    // load factor crosses the growth threshold). The support is unchanged,
+    // so doubling every count in place is the whole merge.
+    for (Slot& slot : slots_) slot.count *= 2;
+    samples_ *= 2;
+    ordered_stale_ = true;
+    return;
+  }
   for (const Slot& slot : other.slots_) {
     if (slot.count != 0) add(slot.value, slot.count);
   }

@@ -6,6 +6,7 @@
 #include "axc/common/require.hpp"
 #include "axc/common/rng.hpp"
 #include "axc/error/parallel.hpp"
+#include "axc/obs/obs.hpp"
 
 namespace axc::error {
 
@@ -19,6 +20,14 @@ ErrorStats evaluate_function(
   const bool exhaustive = input_bits <= options.max_exhaustive_bits;
   const std::uint64_t total =
       exhaustive ? std::uint64_t{1} << input_bits : options.samples;
+  // Samples per second follow from error.eval.samples / the error.eval
+  // span's total time in a run report.
+  static obs::Counter& eval_calls = obs::counter("error.eval.calls");
+  static obs::Counter& eval_samples = obs::counter("error.eval.samples");
+  static obs::SpanStat& eval_span = obs::span("error.eval");
+  eval_calls.add();
+  eval_samples.add(total);
+  const obs::Span timer(eval_span);
 
   // One accumulator per fixed-size chunk; workers only touch their chunk's
   // slot, and the final merge walks chunks in index order, so the result

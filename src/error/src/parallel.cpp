@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "axc/obs/obs.hpp"
+
 namespace axc::error {
 
 unsigned resolve_eval_threads(unsigned requested) {
@@ -25,6 +27,14 @@ void parallel_chunks_of(
   if (chunk_size == 0) chunk_size = 1;
   const std::uint64_t chunks = (total + chunk_size - 1) / chunk_size;
   if (chunks == 0) return;
+  // Chunk counts depend only on (total, chunk_size) — deterministic for
+  // any worker count. Per-worker busy time is a span (timing section).
+  static obs::Counter& calls = obs::counter("error.parallel.calls");
+  static obs::Counter& chunks_scheduled =
+      obs::counter("error.parallel.chunks");
+  static obs::SpanStat& worker_busy = obs::span("error.parallel.worker_busy");
+  calls.add();
+  chunks_scheduled.add(chunks);
   const auto run_chunk = [&](std::uint64_t c) {
     const std::uint64_t begin = c * chunk_size;
     const std::uint64_t end = std::min(begin + chunk_size, total);
@@ -34,6 +44,7 @@ void parallel_chunks_of(
   std::uint64_t workers = threads;
   if (workers > chunks) workers = chunks;
   if (workers <= 1) {
+    const obs::Span busy(worker_busy);
     for (std::uint64_t c = 0; c < chunks; ++c) run_chunk(c);
     return;
   }
@@ -45,6 +56,7 @@ void parallel_chunks_of(
   pool.reserve(workers);
   for (unsigned t = 0; t < workers; ++t) {
     pool.emplace_back([&] {
+      const obs::Span busy(worker_busy);
       for (std::uint64_t c = next.fetch_add(1); c < chunks;
            c = next.fetch_add(1)) {
         run_chunk(c);

@@ -15,7 +15,10 @@ namespace axc::image {
 /// Parameters of the SSIM computation.
 struct SsimOptions {
   int window = 8;      ///< square window side
-  int stride = 1;      ///< window step
+  /// Window step. Whatever the stride, a final window is anchored flush
+  /// against the right/bottom edge so border pixels always score (dedup'd
+  /// when the strided grid already lands there).
+  int stride = 1;
   double k1 = 0.01;
   double k2 = 0.03;
   double dynamic_range = 255.0;

@@ -1,8 +1,29 @@
 #include "axc/image/ssim.hpp"
 
+#include <vector>
+
 #include "axc/common/require.hpp"
 
 namespace axc::image {
+
+namespace {
+
+/// Window anchor positions along one dimension: strided from 0, plus a
+/// final window flush against the far edge. Without the trailing anchor,
+/// any stride that does not divide (dim - window) silently drops the
+/// right/bottom border from the score and biases it toward the interior
+/// (the fix is deduplicated: when the stride lands exactly on the edge the
+/// flush anchor is the strided one).
+std::vector<int> window_anchors(int dim, int window, int stride) {
+  const int last = dim - window;
+  std::vector<int> anchors;
+  anchors.reserve(static_cast<std::size_t>(last / stride) + 2);
+  for (int p = 0; p < last; p += stride) anchors.push_back(p);
+  anchors.push_back(last);
+  return anchors;
+}
+
+}  // namespace
 
 double ssim(const Image& reference, const Image& distorted,
             const SsimOptions& options) {
@@ -21,12 +42,14 @@ double ssim(const Image& reference, const Image& distorted,
                     (options.k2 * options.dynamic_range);
   const double n = static_cast<double>(options.window) * options.window;
 
+  const std::vector<int> ys =
+      window_anchors(reference.height(), options.window, options.stride);
+  const std::vector<int> xs =
+      window_anchors(reference.width(), options.window, options.stride);
   double total = 0.0;
   std::uint64_t windows = 0;
-  for (int y = 0; y + options.window <= reference.height();
-       y += options.stride) {
-    for (int x = 0; x + options.window <= reference.width();
-         x += options.stride) {
+  for (const int y : ys) {
+    for (const int x : xs) {
       double sum_r = 0.0, sum_d = 0.0;
       double sum_rr = 0.0, sum_dd = 0.0, sum_rd = 0.0;
       for (int wy = 0; wy < options.window; ++wy) {

@@ -4,6 +4,7 @@
 
 #include "axc/common/bits.hpp"
 #include "axc/common/require.hpp"
+#include "axc/obs/obs.hpp"
 
 namespace axc::logic {
 
@@ -64,6 +65,13 @@ std::span<const std::uint64_t> BitslicedSimulator::apply_lanes(
           "primary inputs");
   require(lanes >= 1 && lanes <= kLanes,
           "BitslicedSimulator::apply_lanes: lanes must be in [1, 64]");
+  // One gate-list pass advances `lanes` vectors; the occupancy histogram is
+  // how a run report shows whether batching actually fills the 64 lanes.
+  static obs::Counter& passes = obs::counter("logic.sim.passes");
+  static obs::Histogram& occupancy =
+      obs::histogram("logic.sim.lane_occupancy");
+  passes.add();
+  occupancy.record(lanes);
   const std::uint64_t lane_mask = low_mask(lanes);
   // Merge the stimulus under the active-lane mask: inactive lanes keep
   // their previous input values, so the full gate-list recompute below

@@ -9,10 +9,20 @@
 #include "axc/logic/bitsliced.hpp"
 #include "axc/logic/adder_netlists.hpp"
 #include "axc/logic/mul_netlists.hpp"
+#include "axc/obs/obs.hpp"
 
 namespace axc::logic {
 
 namespace {
+
+/// Mirrors the memo's internal hit/miss tally into the obs registry (the
+/// report writer derives logic.characterize_cache.hit_rate from the pair).
+void count_cache_probe(bool hit) {
+  static obs::Counter& hits = obs::counter("logic.characterize_cache.hits");
+  static obs::Counter& misses =
+      obs::counter("logic.characterize_cache.misses");
+  (hit ? hits : misses).add();
+}
 
 /// One process-wide memo for every simulated characterization product.
 /// Keys are structural-hash-derived digests; values are immutable once
@@ -89,9 +99,11 @@ TruthTable netlist_truth_table(const Netlist& netlist) {
     const auto it = c.tables.find(key);
     if (it != c.tables.end()) {
       ++c.hits;
+      count_cache_probe(true);
       return it->second;
     }
     ++c.misses;
+    count_cache_probe(false);
   }
   TruthTable table = enumerate_truth_table(netlist);
   CharacterizationCache& c = cache();
@@ -120,9 +132,11 @@ Characterization characterize(const Netlist& netlist,
     const auto it = c.records.find(key);
     if (it != c.records.end()) {
       ++c.hits;
+      count_cache_probe(true);
       return it->second;
     }
     ++c.misses;
+    count_cache_probe(false);
   }
 
   Characterization result;
@@ -176,9 +190,11 @@ std::array<double, 3> cache_numeric_record(
     const auto it = c.numeric.find(key);
     if (it != c.numeric.end()) {
       ++c.hits;
+      count_cache_probe(true);
       return it->second;
     }
     ++c.misses;
+    count_cache_probe(false);
   }
   const std::array<double, 3> record = compute();
   CharacterizationCache& c = cache();

@@ -2,8 +2,20 @@
 
 #include "axc/common/bits.hpp"
 #include "axc/common/require.hpp"
+#include "axc/obs/obs.hpp"
 
 namespace axc::logic {
+
+namespace {
+
+/// Scalar-entry-point calls (each is a 1-lane pass over the gate list);
+/// contrast with logic.sim.passes to see how much work runs bitsliced.
+void count_scalar_call() {
+  static obs::Counter& calls = obs::counter("logic.scalar.calls");
+  calls.add();
+}
+
+}  // namespace
 
 Simulator::Simulator(const Netlist& netlist)
     : core_(netlist), in_words_(netlist.inputs().size(), 0) {}
@@ -11,6 +23,7 @@ Simulator::Simulator(const Netlist& netlist)
 std::vector<unsigned> Simulator::apply(std::span<const unsigned> input_bits) {
   require(input_bits.size() == in_words_.size(),
           "Simulator::apply: stimulus width does not match primary inputs");
+  count_scalar_call();
   for (std::size_t i = 0; i < in_words_.size(); ++i) {
     in_words_[i] = input_bits[i] & 1u;
   }
@@ -30,6 +43,7 @@ std::uint64_t Simulator::apply_word(std::uint64_t input_word) {
   const std::size_t n_out = core_.netlist().outputs().size();
   require(n_in <= 64 && n_out <= 64,
           "Simulator::apply_word: > 64 inputs or outputs");
+  count_scalar_call();
   for (std::size_t i = 0; i < n_in; ++i) {
     in_words_[i] = bit_of(input_word, static_cast<unsigned>(i));
   }

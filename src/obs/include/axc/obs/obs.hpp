@@ -1,0 +1,196 @@
+/// \file obs.hpp
+/// Cross-layer observability: named counters, value histograms and RAII
+/// span timers behind one process-wide registry.
+///
+/// The paper's methodology (Fig. 2, Fig. 7) navigates quality/effort
+/// trade-offs from *measured* data; this subsystem is how the reproduction
+/// surfaces that data at runtime — cache hit rates, bitsliced lane
+/// occupancy, chunks scheduled, faults injected, guardband trips — without
+/// perturbing the measured system:
+///
+///  - Hot paths are relaxed atomics on pre-resolved handles. Call sites
+///    resolve a handle once (function-local static) and then never touch
+///    the registry lock again.
+///  - A kill switch reduces instrumentation to a relaxed load + branch:
+///    set the environment variable AXC_OBS=0 (or off/false), call
+///    set_enabled(false), or compile with AXC_OBS_FORCE_DISABLED=1 to
+///    remove even that.
+///  - Aggregation is deterministic: every deterministic quantity is an
+///    integer accumulated with commutative adds and snapshots iterate the
+///    registry in name order, so the deterministic report section is
+///    byte-identical at 1 or N worker threads (wall-clock span timings are
+///    segregated into an optional, explicitly nondeterministic section —
+///    see report.hpp).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace axc::obs {
+
+namespace detail {
+/// Tri-state runtime switch: -1 = consult AXC_OBS lazily, 0/1 = forced.
+extern std::atomic<int> g_enabled;
+/// Reads AXC_OBS once and latches the result into g_enabled.
+bool init_enabled_from_env();
+}  // namespace detail
+
+/// True when instrumentation is live. The hot-path cost of a disabled
+/// counter/span is exactly this call: one relaxed load and a branch.
+inline bool enabled() noexcept {
+#if defined(AXC_OBS_FORCE_DISABLED) && AXC_OBS_FORCE_DISABLED
+  return false;
+#else
+  const int state = detail::g_enabled.load(std::memory_order_relaxed);
+  if (state >= 0) return state != 0;
+  return detail::init_enabled_from_env();
+#endif
+}
+
+/// Overrides the AXC_OBS environment default for the rest of the process
+/// (tests and the bench overhead measurement toggle this).
+void set_enabled(bool on) noexcept;
+
+/// Monotonically increasing named event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (!enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Distribution of a signed integer quantity (lane counts, block bits,
+/// error magnitudes): exact count/sum/min/max plus power-of-two buckets.
+/// Bucket k holds values v with bit_width(v) == k, i.e. v in
+/// [2^(k-1), 2^k - 1]; bucket 0 holds v <= 0. All fields are commutative
+/// integer accumulations, so concurrent recording is deterministic.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;  ///< bucket 0 + one per bit width
+
+  void record(std::int64_t value, std::uint64_t weight = 1) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::int64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Minimum / maximum recorded value; min() > max() means "no samples".
+  std::int64_t min() const noexcept {
+    return min_.load(std::memory_order_relaxed);
+  }
+  std::int64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(int index) const noexcept {
+    return buckets_[static_cast<std::size_t>(index)].load(
+        std::memory_order_relaxed);
+  }
+  double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{INT64_MAX};
+  std::atomic<std::int64_t> max_{INT64_MIN};
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+/// Accumulated wall-clock statistics of one named span. Timings are
+/// inherently nondeterministic, so the report writer segregates these into
+/// the optional "timings" section.
+class SpanStat {
+ public:
+  void record_ns(std::uint64_t ns) noexcept;
+
+  std::uint64_t calls() const noexcept {
+    return calls_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max_ns() const noexcept {
+    return max_ns_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// RAII timer: measures the enclosing scope into a SpanStat. When obs is
+/// disabled at construction the clock is never read.
+class Span {
+ public:
+  explicit Span(SpanStat& stat) noexcept
+      : stat_(enabled() ? &stat : nullptr) {
+    if (stat_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~Span() {
+    if (stat_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - start_);
+    stat_->record_ns(static_cast<std::uint64_t>(ns.count()));
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  SpanStat* stat_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Resolves (registering on first use) the instrument with \p name. The
+/// returned reference is stable for the process lifetime; call sites cache
+/// it in a function-local static so the registry mutex is taken once.
+/// Names are dot-separated, lowercase, layer-first: "logic.sim.passes".
+Counter& counter(std::string_view name);
+Histogram& histogram(std::string_view name);
+SpanStat& span(std::string_view name);
+
+/// Zeroes every registered instrument (registrations persist). Meant for
+/// tests and report-scoped bench sections; not synchronized against
+/// concurrent recorders.
+void reset();
+
+/// Point-in-time copy of the registry, iterated in name order.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;  ///< meaningful only when count > 0
+  std::int64_t max = 0;  ///< meaningful only when count > 0
+  std::uint64_t buckets[Histogram::kBuckets] = {};
+};
+struct SpanSnapshot {
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, SpanSnapshot> spans;
+};
+Snapshot snapshot();
+
+}  // namespace axc::obs

@@ -1,0 +1,46 @@
+/// \file report.hpp
+/// JSON run reports over the obs registry.
+///
+/// A report has two kinds of content:
+///
+///  - the *deterministic* section ("counters", "histograms", "derived"):
+///    integer counts accumulated with commutative adds plus ratios computed
+///    from them. With the same workload this section is byte-identical for
+///    any worker-thread count (AXC_EVAL_THREADS=1/2/8 — tested).
+///  - the *timings* section ("spans"): wall-clock span statistics, honest
+///    but nondeterministic, emitted only when ReportOptions::include_timings
+///    is set.
+///
+/// Derived metrics are generic over naming conventions: every counter pair
+/// "X.hits"/"X.misses" yields "X.hit_rate", and every histogram yields its
+/// "mean" inline — so e.g. the characterization-memo hit rate and the mean
+/// bitsliced lane occupancy appear in every bench report without the bench
+/// knowing those instruments exist.
+#pragma once
+
+#include <string>
+
+#include "axc/obs/obs.hpp"
+
+namespace axc::obs {
+
+struct ReportOptions {
+  /// Include the nondeterministic wall-clock "spans" section.
+  bool include_timings = true;
+  /// Left margin (spaces) applied to every line of the fragment; lets a
+  /// harness embed the object into its own JSON at the right depth.
+  int indent = 0;
+};
+
+/// The report as one JSON object:
+/// {"enabled": ..., "counters": {...}, "histograms": {...},
+///  "derived": {...}, "spans": {...}} — keys in name order.
+std::string report_json(const Snapshot& snap, const ReportOptions& options);
+
+/// report_json over a fresh snapshot().
+std::string report_json(const ReportOptions& options = {});
+
+/// Writes {"axc_obs": <report_json>} to \p path (truncating).
+void write_report(const std::string& path, const ReportOptions& options = {});
+
+}  // namespace axc::obs

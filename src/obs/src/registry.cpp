@@ -1,0 +1,148 @@
+#include "axc/obs/obs.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+namespace axc::obs {
+
+namespace detail {
+
+std::atomic<int> g_enabled{-1};
+
+bool init_enabled_from_env() {
+  bool on = true;
+  if (const char* env = std::getenv("AXC_OBS")) {
+    on = !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+           std::strcmp(env, "false") == 0);
+  }
+  // Several threads may race here; they all compute the same value.
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+  return on;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void Histogram::record(std::int64_t value, std::uint64_t weight) noexcept {
+  if (!enabled() || weight == 0) return;
+  count_.fetch_add(weight, std::memory_order_relaxed);
+  sum_.fetch_add(value * static_cast<std::int64_t>(weight),
+                 std::memory_order_relaxed);
+  std::int64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  const int bucket =
+      value <= 0 ? 0 : std::bit_width(static_cast<std::uint64_t>(value));
+  buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+      weight, std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+void SpanStat::record_ns(std::uint64_t ns) noexcept {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+void SpanStat::reset() noexcept {
+  calls_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// The process-wide registry. std::map keeps snapshot iteration in name
+/// order (the determinism contract) and unique_ptr keeps instrument
+/// addresses stable across rehash-free growth.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  std::map<std::string, std::unique_ptr<SpanStat>, std::less<>> spans;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry;  // leaked: outlive all users
+  return *instance;
+}
+
+template <typename T>
+T& resolve(std::map<std::string, std::unique_ptr<T>, std::less<>>& table,
+           std::string_view name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = table.find(name);
+  if (it != table.end()) return *it->second;
+  return *table.emplace(std::string(name), std::make_unique<T>())
+              .first->second;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  return resolve(registry().counters, name);
+}
+
+Histogram& histogram(std::string_view name) {
+  return resolve(registry().histograms, name);
+}
+
+SpanStat& span(std::string_view name) {
+  return resolve(registry().spans, name);
+}
+
+void reset() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& [name, c] : r.counters) c->reset();
+  for (auto& [name, h] : r.histograms) h->reset();
+  for (auto& [name, s] : r.spans) s->reset();
+}
+
+Snapshot snapshot() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  Snapshot snap;
+  for (const auto& [name, c] : r.counters) snap.counters[name] = c->value();
+  for (const auto& [name, h] : r.histograms) {
+    HistogramSnapshot hs;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    if (hs.count > 0) {
+      hs.min = h->min();
+      hs.max = h->max();
+    }
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      hs.buckets[b] = h->bucket(b);
+    }
+    snap.histograms[name] = hs;
+  }
+  for (const auto& [name, s] : r.spans) {
+    snap.spans[name] = {s->calls(), s->total_ns(), s->max_ns()};
+  }
+  return snap;
+}
+
+}  // namespace axc::obs

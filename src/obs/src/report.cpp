@@ -1,0 +1,171 @@
+#include "axc/obs/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace axc::obs {
+
+namespace {
+
+std::string fmt_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+/// Minimal JSON string escape — instrument names are plain identifiers,
+/// but keep the writer honest.
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+class Writer {
+ public:
+  explicit Writer(int indent) : margin_(static_cast<std::size_t>(indent), ' ') {}
+
+  void open(const std::string& head) { line(head); depth_ += 2; }
+  void close(const char* tail, bool comma) {
+    depth_ -= 2;
+    line(std::string(tail) + (comma ? "," : ""));
+  }
+  void field(const std::string& text, bool comma) {
+    line(text + (comma ? "," : ""));
+  }
+  std::string str() const { return out_.str(); }
+
+ private:
+  void line(const std::string& text) {
+    out_ << margin_ << std::string(depth_, ' ') << text << "\n";
+  }
+  std::ostringstream out_;
+  std::string margin_;
+  std::size_t depth_ = 0;
+};
+
+/// "X.hits"/"X.misses" counter pairs -> "X.hit_rate" derived ratios.
+std::map<std::string, double> derive(const Snapshot& snap) {
+  std::map<std::string, double> out;
+  for (const auto& [name, hits] : snap.counters) {
+    constexpr std::string_view kHits = ".hits";
+    if (name.size() <= kHits.size() ||
+        name.compare(name.size() - kHits.size(), kHits.size(), kHits) != 0) {
+      continue;
+    }
+    const std::string stem = name.substr(0, name.size() - kHits.size());
+    const auto misses = snap.counters.find(stem + ".misses");
+    if (misses == snap.counters.end()) continue;
+    const std::uint64_t total = hits + misses->second;
+    if (total == 0) continue;
+    out[stem + ".hit_rate"] =
+        static_cast<double>(hits) / static_cast<double>(total);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string report_json(const Snapshot& snap, const ReportOptions& options) {
+  Writer w(options.indent);
+  const std::map<std::string, double> derived = derive(snap);
+  const bool timings = options.include_timings;
+
+  w.open("{");
+  w.field(std::string("\"enabled\": ") + (enabled() ? "true" : "false"),
+          true);
+
+  w.open("\"counters\": {");
+  for (auto it = snap.counters.begin(); it != snap.counters.end(); ++it) {
+    w.field("\"" + escape(it->first) +
+                "\": " + std::to_string(it->second),
+            std::next(it) != snap.counters.end());
+  }
+  w.close("}", true);
+
+  w.open("\"histograms\": {");
+  for (auto it = snap.histograms.begin(); it != snap.histograms.end(); ++it) {
+    const HistogramSnapshot& h = it->second;
+    w.open("\"" + escape(it->first) + "\": {");
+    w.field("\"count\": " + std::to_string(h.count), true);
+    w.field("\"sum\": " + std::to_string(h.sum), true);
+    if (h.count > 0) {
+      w.field("\"min\": " + std::to_string(h.min), true);
+      w.field("\"max\": " + std::to_string(h.max), true);
+      w.field("\"mean\": " +
+                  fmt_double(static_cast<double>(h.sum) /
+                             static_cast<double>(h.count)),
+              true);
+    }
+    // Sparse power-of-two buckets: [upper bound, count] pairs.
+    std::string buckets = "\"buckets_pow2\": [";
+    bool first = true;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      const std::uint64_t upper =
+          b == 0 ? 0
+                 : (b >= 64 ? UINT64_MAX : (std::uint64_t{1} << b) - 1);
+      if (!first) buckets += ", ";
+      buckets += "[" + std::to_string(upper) + ", " +
+                 std::to_string(h.buckets[b]) + "]";
+      first = false;
+    }
+    buckets += "]";
+    w.field(buckets, false);
+    w.close("}", std::next(it) != snap.histograms.end());
+  }
+  w.close("}", true);
+
+  w.open("\"derived\": {");
+  for (auto it = derived.begin(); it != derived.end(); ++it) {
+    w.field("\"" + escape(it->first) + "\": " + fmt_double(it->second),
+            std::next(it) != derived.end());
+  }
+  w.close("}", timings);
+
+  if (timings) {
+    w.open("\"spans\": {");
+    for (auto it = snap.spans.begin(); it != snap.spans.end(); ++it) {
+      const SpanSnapshot& s = it->second;
+      w.open("\"" + escape(it->first) + "\": {");
+      w.field("\"calls\": " + std::to_string(s.calls), true);
+      w.field("\"total_ms\": " +
+                  fmt_double(static_cast<double>(s.total_ns) / 1e6),
+              true);
+      w.field("\"max_ms\": " +
+                  fmt_double(static_cast<double>(s.max_ns) / 1e6),
+              false);
+      w.close("}", std::next(it) != snap.spans.end());
+    }
+    w.close("}", false);
+  }
+  w.close("}", false);
+
+  // Drop the trailing newline: the fragment composes inline.
+  std::string text = w.str();
+  if (!text.empty() && text.back() == '\n') text.pop_back();
+  // The first line must not carry the margin (it sits after "key": ).
+  if (options.indent > 0) {
+    text.erase(0, static_cast<std::size_t>(options.indent));
+  }
+  return text;
+}
+
+std::string report_json(const ReportOptions& options) {
+  return report_json(snapshot(), options);
+}
+
+void write_report(const std::string& path, const ReportOptions& options) {
+  std::ofstream out(path);
+  ReportOptions inner = options;
+  inner.indent = 2;
+  out << "{\n  \"axc_obs\": " << report_json(snapshot(), inner) << "\n}\n";
+}
+
+}  // namespace axc::obs

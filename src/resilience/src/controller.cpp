@@ -4,6 +4,7 @@
 
 #include "axc/accel/sad.hpp"
 #include "axc/common/require.hpp"
+#include "axc/obs/obs.hpp"
 #include "axc/resilience/gear_sad.hpp"
 
 namespace axc::resilience {
@@ -113,6 +114,7 @@ ControlAction AdaptiveController::step() {
       ++escalations_;
       violating_streak_ = 0;
       monitor_.clear();
+      obs::counter("resilience.controller.escalations").add();
       return ControlAction::Escalate;
     }
     return ControlAction::Hold;
@@ -126,6 +128,7 @@ ControlAction AdaptiveController::step() {
       ++deescalations_;
       calm_streak_ = 0;
       monitor_.clear();
+      obs::counter("resilience.controller.deescalations").add();
       return ControlAction::Deescalate;
     }
   } else {

@@ -7,6 +7,7 @@
 #include "axc/common/bits.hpp"
 #include "axc/common/require.hpp"
 #include "axc/logic/cell.hpp"
+#include "axc/obs/obs.hpp"
 
 namespace axc::resilience {
 
@@ -34,8 +35,16 @@ std::uint64_t FaultInjector::flip_mask(unsigned width) {
     }
   }
   if (flips != 0) {
-    bits_flipped_ += static_cast<std::uint64_t>(std::popcount(flips));
+    const auto count = static_cast<std::uint64_t>(std::popcount(flips));
+    bits_flipped_ += count;
     ++words_corrupted_;
+    // Only actual upsets pay the obs cost; fault-free words stay on the
+    // RNG-only path.
+    static obs::Counter& flipped = obs::counter("resilience.fault.bits_flipped");
+    static obs::Counter& corrupted =
+        obs::counter("resilience.fault.words_corrupted");
+    flipped.add(count);
+    corrupted.add();
   }
   return flips;
 }

@@ -8,6 +8,7 @@
 
 #include "axc/common/require.hpp"
 #include "axc/image/ssim.hpp"
+#include "axc/obs/obs.hpp"
 
 namespace axc::resilience {
 namespace {
@@ -122,6 +123,15 @@ ResilientEncodeStats ResilientEncoder::run(const video::Sequence& sequence,
     trace.faults_injected = faulty ? faulty->faults_injected() : 0;
     trace.ssim = monitor.record_frame(current, next.reconstruction);
     trace.contract_ok = !monitor.in_violation();
+    // Guardband telemetry: every contract evaluation is a check; trips are
+    // the frames where the rolling window violated it.
+    static obs::Counter& checks = obs::counter("resilience.guardband.checks");
+    static obs::Counter& trips = obs::counter("resilience.guardband.trips");
+    static obs::Histogram& level_hist =
+        obs::histogram("resilience.ladder_level");
+    checks.add();
+    if (!trace.contract_ok) trips.add();
+    level_hist.record(static_cast<std::int64_t>(level));
     trace.action =
         controller ? controller->step() : ControlAction::Hold;
     stats.frames_in_violation += trace.contract_ok ? 0 : 1;

@@ -8,11 +8,20 @@
 
 #include "axc/common/require.hpp"
 #include "axc/error/parallel.hpp"
+#include "axc/obs/obs.hpp"
 
 namespace axc::video {
 namespace {
 
 /// Uniform mid-tread quantizer index for a residual.
+///
+/// Symmetry audit (pinned by the inverted-twin encoder test): the negative
+/// branch negates the operand before the division, so quantize(-r, step)
+/// == -quantize(r, step) for every residual — round-half-away-from-zero on
+/// both sides, never truncation toward zero. Combined with
+/// exp_golomb_bits(q) == exp_golomb_bits(-q) and the mirror-symmetric
+/// reconstruction clamp, a frame and its 255-p inversion cost identical
+/// bits and reconstruct as exact mirrors.
 int quantize(int residual, int step) {
   return residual >= 0 ? (residual + step / 2) / step
                        : -((-residual + step / 2) / step);
@@ -43,6 +52,11 @@ FrameResult encode_intra_frame(const EncoderConfig& config,
   AXC_REQUIRE(config.quant_step >= 1 && config.quant_step <= 64,
               "encode_intra_frame: quant_step must be in [1, 64]");
   AXC_REQUIRE(!frame.empty(), "encode_intra_frame: empty frame");
+  static obs::Counter& frames = obs::counter("video.frames_intra");
+  static obs::Counter& bits_out = obs::counter("video.bits_intra");
+  static obs::SpanStat& frame_span = obs::span("video.encode_intra_frame");
+  const obs::Span timer(frame_span);
+  frames.add();
   const int step = config.quant_step;
   FrameResult result;
   result.reconstruction = image::Image(frame.width(), frame.height());
@@ -70,6 +84,7 @@ FrameResult encode_intra_frame(const EncoderConfig& config,
         }
       });
   for (const std::uint64_t bits : row_bits) result.bits += bits;
+  bits_out.add(result.bits);
   return result;
 }
 
@@ -87,6 +102,12 @@ FrameResult encode_inter_frame(const EncoderConfig& config,
   AXC_REQUIRE(bs >= 1 && width % bs == 0 && height % bs == 0,
               "encode_inter_frame: frame size must be a multiple of "
               "block_size");
+  static obs::Counter& frames = obs::counter("video.frames_inter");
+  static obs::Counter& bits_out = obs::counter("video.bits_inter");
+  static obs::Counter& sad_calls = obs::counter("video.sad_calls");
+  static obs::SpanStat& frame_span = obs::span("video.encode_inter_frame");
+  const obs::Span timer(frame_span);
+  frames.add();
 
   const int step = config.quant_step;
   const std::uint64_t candidates_per_block =
@@ -138,6 +159,8 @@ FrameResult encode_inter_frame(const EncoderConfig& config,
       });
   for (const std::uint64_t bits : block_bits) result.bits += bits;
   result.sad_calls = total_blocks * candidates_per_block;
+  bits_out.add(result.bits);
+  sad_calls.add(result.sad_calls);
   return result;
 }
 

@@ -79,5 +79,85 @@ TEST(AdderErrorDistribution, SampledPathIsDeterministic) {
   EXPECT_EQ(a.histogram(), b.histogram());
 }
 
+// Regression: d.merge(d) used to iterate `other`'s slot table while add()
+// could grow() and reallocate the very same table — a use-after-free once
+// the open-addressed table sat exactly at the 3/4 growth threshold when
+// the merge started. 48 distinct values in the 64-slot initial table get
+// there, provided the 48th distinct value arrives on the *final* add (any
+// later add would trip the load check and pre-grow the table); the first
+// self-merge add() then reallocates mid-iteration on the pre-fix code
+// (ASan flags the freed-slot read; release builds read freed memory).
+TEST(ErrorDistribution, SelfMergeAtGrowthThresholdDoublesCounts) {
+  ErrorDistribution dist;
+  for (int v = 1; v <= 47; ++v) {
+    for (int r = 0; r < v; ++r) dist.record(v);
+  }
+  dist.record(48);  // 48th distinct value, last add before the merge
+  const auto before = dist.histogram();
+
+  dist.merge(dist);
+
+  EXPECT_EQ(dist.samples(), 2u * (47u * 48u / 2u + 1u));
+  EXPECT_EQ(dist.support().size(), 48u);
+  for (const auto& [value, count] : before) {
+    EXPECT_EQ(dist.histogram().at(value), 2 * count)
+        << "value " << value << " not doubled";
+  }
+}
+
+TEST(ErrorDistribution, SelfMergeMatchesMergingAnEqualCopy) {
+  ErrorDistribution dist;
+  ErrorDistribution copy;
+  for (const int v : {-8, -8, 0, 0, 0, 3}) {
+    dist.record(v);
+    copy.record(v);
+  }
+  ErrorDistribution expected = dist;
+  expected.merge(copy);
+  dist.merge(dist);
+  EXPECT_EQ(dist.samples(), expected.samples());
+  EXPECT_EQ(dist.histogram(), expected.histogram());
+}
+
+// Tie policy on even-mass two-point distributions (documented in
+// distribution.hpp): the upper weighted median — the smallest value whose
+// cumulative count strictly exceeds samples/2.
+TEST(ErrorDistribution, OptimalOffsetTiePicksUpperMedian) {
+  ErrorDistribution dist;
+  for (int r = 0; r < 50; ++r) dist.record(-4);
+  for (int r = 0; r < 50; ++r) dist.record(0);
+  EXPECT_EQ(dist.optimal_offset(), 0);
+  // Every offset between the two central points minimizes E|error - c|;
+  // the returned boundary is one of the minimizers.
+  EXPECT_DOUBLE_EQ(dist.residual_med(0), dist.residual_med(-4));
+  EXPECT_DOUBLE_EQ(dist.residual_med(0), 2.0);
+}
+
+TEST(ErrorDistribution, OptimalOffsetOddMassBreaksTheTie) {
+  // One extra sample on either side moves the strict majority — and the
+  // offset — to that side.
+  ErrorDistribution lower;
+  for (int r = 0; r < 50; ++r) lower.record(-4);
+  for (int r = 0; r < 49; ++r) lower.record(0);
+  EXPECT_EQ(lower.optimal_offset(), -4);
+
+  ErrorDistribution upper;
+  for (int r = 0; r < 49; ++r) upper.record(-4);
+  for (int r = 0; r < 50; ++r) upper.record(0);
+  EXPECT_EQ(upper.optimal_offset(), 0);
+}
+
+TEST(ErrorDistribution, OptimalOffsetEvenMassManyPoints) {
+  // {-6: 25, -4: 25, 0: 25, 2: 25}: half = 50, cumulative exceeds it first
+  // at 0 — the upper central value again.
+  ErrorDistribution dist;
+  for (int r = 0; r < 25; ++r) dist.record(-6);
+  for (int r = 0; r < 25; ++r) dist.record(-4);
+  for (int r = 0; r < 25; ++r) dist.record(0);
+  for (int r = 0; r < 25; ++r) dist.record(2);
+  EXPECT_EQ(dist.optimal_offset(), 0);
+  EXPECT_DOUBLE_EQ(dist.residual_med(0), dist.residual_med(-4));
+}
+
 }  // namespace
 }  // namespace axc::error

@@ -72,6 +72,47 @@ TEST(Ssim, SizeMismatchRejected) {
   EXPECT_THROW(ssim(a, b), std::invalid_argument);
 }
 
+// Regression: with stride > 1 and (dim - window) not a multiple of the
+// stride, the windows used to stop short of the right/bottom edge, so
+// border-only distortion scored a perfect 1.0 and Fig. 10 numbers were
+// biased toward the interior. A final window is now anchored flush at each
+// edge.
+TEST(Ssim, StridedWindowsSeeBorderDistortion) {
+  const int dim = 16;
+  const Image reference = synthesize_image(TestImageKind::Gradient, dim, dim, 1);
+  Image distorted = reference;
+  // Corrupt only the last two columns and rows: with window 8 and stride 3
+  // the strided anchors are {0, 3, 6} (windows end at 13), leaving pixels
+  // 14..15 unseen by the pre-fix code.
+  for (int y = 0; y < dim; ++y) {
+    for (int x = 0; x < dim; ++x) {
+      if (x < dim - 2 && y < dim - 2) continue;
+      distorted.set(x, y, static_cast<std::uint8_t>(255 - distorted.at(x, y)));
+    }
+  }
+  SsimOptions strided;
+  strided.stride = 3;
+  const double s3 = ssim(reference, distorted, strided);
+  EXPECT_LT(s3, 0.999) << "stride-3 SSIM is blind to the distorted border";
+
+  // Stride 1 has always seen the border; the anchored stride-3 score must
+  // agree with it on the *direction* of the damage.
+  const double s1 = ssim(reference, distorted);
+  EXPECT_LT(s1, 0.999);
+}
+
+TEST(Ssim, BorderAnchorDedupKeepsDivisibleStridesExact) {
+  // (dim - window) divisible by stride: the flush anchor coincides with the
+  // last strided one and must not be double-counted — identical images
+  // still score exactly 1.
+  const Image img = synthesize_image(TestImageKind::Blobs, 20, 20, 3);
+  SsimOptions opts;
+  opts.stride = 4;  // (20 - 8) % 4 == 0
+  EXPECT_DOUBLE_EQ(ssim(img, img, opts), 1.0);
+  opts.stride = 5;  // (20 - 8) % 5 != 0: flush anchor added, still exact
+  EXPECT_DOUBLE_EQ(ssim(img, img, opts), 1.0);
+}
+
 // The Fig. 10 property: a fixed approximate filter produces *different*
 // SSIM on different content — data-dependent resilience.
 TEST(Ssim, ApproximateFilterResilienceIsContentDependent) {

@@ -1,0 +1,133 @@
+#include "axc/obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace axc::obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(true);
+    reset();
+  }
+};
+
+TEST_F(ObsTest, CounterAccumulates) {
+  Counter& c = counter("test.counter.basic");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST_F(ObsTest, SameNameResolvesToSameInstrument) {
+  Counter& a = counter("test.counter.same");
+  Counter& b = counter("test.counter.same");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST_F(ObsTest, HistogramTracksMoments) {
+  Histogram& h = histogram("test.hist.moments");
+  h.record(1);
+  h.record(64);
+  h.record(64);
+  h.record(-5);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 124);
+  EXPECT_EQ(h.min(), -5);
+  EXPECT_EQ(h.max(), 64);
+  EXPECT_DOUBLE_EQ(h.mean(), 31.0);
+  // Buckets: bit_width buckets; <= 0 lands in bucket 0.
+  EXPECT_EQ(h.bucket(0), 1u);  // -5
+  EXPECT_EQ(h.bucket(1), 1u);  // 1
+  EXPECT_EQ(h.bucket(7), 2u);  // 64 -> bit_width 7
+}
+
+TEST_F(ObsTest, HistogramWeightedRecord) {
+  Histogram& h = histogram("test.hist.weighted");
+  h.record(10, 5);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 50);
+  EXPECT_EQ(h.bucket(4), 5u);  // 10 -> bit_width 4
+}
+
+TEST_F(ObsTest, SpanRecordsWallTime) {
+  SpanStat& s = span("test.span.basic");
+  { const Span timer(s); }
+  { const Span timer(s); }
+  EXPECT_EQ(s.calls(), 2u);
+  EXPECT_GE(s.total_ns(), s.max_ns());
+}
+
+TEST_F(ObsTest, KillSwitchStopsRecording) {
+  Counter& c = counter("test.kill.counter");
+  Histogram& h = histogram("test.kill.hist");
+  SpanStat& s = span("test.kill.span");
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+  c.add(7);
+  h.record(7);
+  { const Span timer(s); }
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(s.calls(), 0u);
+
+  set_enabled(true);
+  c.add(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST_F(ObsTest, ResetZeroesButKeepsRegistration) {
+  Counter& c = counter("test.reset.counter");
+  c.add(9);
+  reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&counter("test.reset.counter"), &c);
+}
+
+TEST_F(ObsTest, ConcurrentCountingIsExact) {
+  Counter& c = counter("test.concurrent.counter");
+  Histogram& h = histogram("test.concurrent.hist");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.record(3);
+      }
+    });
+  }
+  for (auto& worker : pool) worker.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.sum(), static_cast<std::int64_t>(kThreads) * kPerThread * 3);
+}
+
+TEST_F(ObsTest, SnapshotIsNameOrdered) {
+  counter("test.order.b").add(2);
+  counter("test.order.a").add(1);
+  const Snapshot snap = snapshot();
+  // std::map iteration: "test.order.a" precedes "test.order.b".
+  const auto a = snap.counters.find("test.order.a");
+  const auto b = snap.counters.find("test.order.b");
+  ASSERT_NE(a, snap.counters.end());
+  ASSERT_NE(b, snap.counters.end());
+  EXPECT_TRUE(std::distance(snap.counters.begin(), a) <
+              std::distance(snap.counters.begin(), b));
+}
+
+}  // namespace
+}  // namespace axc::obs

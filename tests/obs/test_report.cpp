@@ -1,0 +1,95 @@
+#include "axc/obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "axc/arith/gear.hpp"
+#include "axc/error/evaluate.hpp"
+#include "axc/obs/obs.hpp"
+
+namespace axc::obs {
+namespace {
+
+class ObsReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(true);
+    reset();
+  }
+};
+
+TEST_F(ObsReportTest, EmitsAllSectionsWithSortedKeys) {
+  counter("report.b").add(2);
+  counter("report.a").add(1);
+  histogram("report.h").record(5);
+  { const Span timer(span("report.s")); }
+  const std::string json = report_json();
+  EXPECT_NE(json.find("\"enabled\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"derived\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_LT(json.find("\"report.a\""), json.find("\"report.b\""));
+}
+
+TEST_F(ObsReportTest, TimingsSectionIsOptional) {
+  { const Span timer(span("report.timed")); }
+  ReportOptions deterministic;
+  deterministic.include_timings = false;
+  const std::string json = report_json(deterministic);
+  EXPECT_EQ(json.find("\"spans\""), std::string::npos);
+  EXPECT_EQ(json.find("report.timed"), std::string::npos);
+}
+
+TEST_F(ObsReportTest, DerivesHitRateFromCounterPairs) {
+  counter("report.cache.hits").add(3);
+  counter("report.cache.misses").add(1);
+  const std::string json = report_json();
+  EXPECT_NE(json.find("\"report.cache.hit_rate\": 0.75"), std::string::npos)
+      << json;
+}
+
+TEST_F(ObsReportTest, HistogramEmitsInlineMean) {
+  Histogram& h = histogram("report.lanes");
+  h.record(10);
+  h.record(30);
+  const std::string json = report_json();
+  EXPECT_NE(json.find("\"report.lanes\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean\": 20"), std::string::npos) << json;
+}
+
+// The ISSUE acceptance criterion: with timings excluded, the report is
+// byte-identical no matter how many worker threads produced the counts.
+// Every deterministic instrument is a commutative integer accumulation,
+// so thread interleaving cannot change the totals.
+TEST_F(ObsReportTest, DeterministicReportIsThreadCountInvariant) {
+  const arith::GeArAdder adder({16, 4, 4});
+  ReportOptions deterministic;
+  deterministic.include_timings = false;
+
+  const auto run = [&](unsigned threads) {
+    reset();
+    error::EvalOptions options;
+    options.samples = 1u << 15;
+    options.seed = 7;
+    options.threads = threads;
+    (void)error::evaluate_adder(adder, options);
+    return report_json(deterministic);
+  };
+
+  const std::string one = run(1);
+  const std::string two = run(2);
+  const std::string eight = run(8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  // Sanity: the run actually recorded something.
+  EXPECT_NE(one.find("error.eval.samples"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace axc::obs

@@ -159,6 +159,47 @@ TEST(Encoder, NetlistBackedEncoderMatchesBehavioural) {
   EXPECT_EQ(got.sad_calls, expect.sad_calls);
 }
 
+// Quantizer rounding-symmetry audit, pinned: quantize() rounds
+// half-away-from-zero on both signs (no truncation-toward-zero asymmetry),
+// exp-Golomb codes q and -q with equal lengths, and the reconstruction
+// clamp commutes with pixel inversion. Encoding a frame and its inverted
+// (255 - p) twin against equally inverted references must therefore cost
+// identical bits and reconstruct as exact mirrors. An asymmetric quantizer
+// (e.g. plain residual/step truncation) fails this on the first odd
+// residual.
+TEST(Encoder, InvertedTwinCostsEqualBitsAndMirrors) {
+  const SadAccelerator sad(accel::accu_sad(64));  // exact: SAD is
+                                                  // inversion-invariant
+  const Sequence seq = small_sequence(11);
+  const auto invert = [](const image::Image& img) {
+    image::Image out(img.width(), img.height());
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 0; x < img.width(); ++x) {
+        out.set(x, y, static_cast<std::uint8_t>(255 - img.at(x, y)));
+      }
+    }
+    return out;
+  };
+
+  for (const int quant_step : {1, 5, 12}) {  // odd steps stress the s/2 bias
+    EncoderConfig config = small_encoder_config();
+    config.quant_step = quant_step;
+    const FrameResult plain =
+        encode_inter_frame(config, sad, seq[1], seq[0]);
+    const FrameResult twin =
+        encode_inter_frame(config, sad, invert(seq[1]), invert(seq[0]));
+
+    EXPECT_EQ(plain.bits, twin.bits) << "quant_step " << quant_step;
+    for (int y = 0; y < plain.reconstruction.height(); ++y) {
+      for (int x = 0; x < plain.reconstruction.width(); ++x) {
+        ASSERT_EQ(255 - plain.reconstruction.at(x, y),
+                  twin.reconstruction.at(x, y))
+            << "quant_step " << quant_step << " at (" << x << "," << y << ")";
+      }
+    }
+  }
+}
+
 TEST(Encoder, Validation) {
   const SadAccelerator sad(accel::accu_sad(64));
   EncoderConfig config = small_encoder_config();

@@ -32,6 +32,8 @@
 #include "axc/logic/simulator.hpp"
 #include "axc/obs/obs.hpp"
 #include "axc/obs/report.hpp"
+#include "axc/service/protocol.hpp"
+#include "axc/service/server.hpp"
 #include "axc/video/encoder.hpp"
 #include "axc/video/sequence.hpp"
 
@@ -322,6 +324,74 @@ KernelResult memo_kernel(int reps) {
   return result;
 }
 
+/// Requests/s through the loopback service: a batch of characterization
+/// queries fanned into the worker pool, cold (result cache and the
+/// characterization memo cleared, every job computes) vs warm (the same
+/// batch replayed out of the sharded response cache). The thread metadata
+/// records the pool width both modes ran on.
+KernelResult service_throughput_kernel(unsigned workers, bool smoke,
+                                       int reps) {
+  namespace svc = axc::service;
+  const std::size_t batch = smoke ? 64 : 256;
+
+  svc::ServerOptions options;
+  options.workers = workers;
+  options.queue_capacity = batch;
+  options.cache_capacity = 2 * batch;
+  svc::Server server(options);
+
+  // Unique queries (distinct seeds -> distinct canonical bytes), all small
+  // enough that the batch measures dispatch overhead + cache, not one
+  // giant characterization.
+  std::vector<svc::Bytes> requests;
+  requests.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    svc::CharacterizeAdderRequest req;
+    req.family = svc::AdderFamily::Loa;
+    req.width = 8;
+    req.param_a = 2;
+    req.vectors = 64;
+    req.seed = i + 1;
+    requests.push_back(svc::encode_request(req));
+  }
+
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::size_t pending = 0;
+  const auto run_batch = [&] {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      pending = requests.size();
+    }
+    for (const svc::Bytes& request : requests) {
+      server.submit(request, [&](svc::Bytes response) {
+        g_sink = response.size();
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (--pending == 0) all_done.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mutex);
+    all_done.wait(lock, [&] { return pending == 0; });
+  };
+
+  KernelResult result;
+  result.name = "service_throughput loopback";
+  result.baseline = "cold cache (every request computed)";
+  result.vectors = batch;
+  result.baseline_threads = workers;
+  result.optimized_threads = workers;
+
+  result.baseline_ms = median_ms(reps, [&] {
+    server.cache().clear();
+    axc::logic::clear_characterization_cache();
+    run_batch();
+  });
+  run_batch();  // prime: after this every request is resident
+  result.optimized_ms = median_ms(reps, run_batch);
+  result.speedup = result.baseline_ms / result.optimized_ms;
+  return result;
+}
+
 /// Runtime cost of the obs layer on an instrumentation-dense workload (the
 /// block-parallel encoder: per-frame spans plus per-batch counters). Both
 /// modes run the *same instrumented binary*; "disabled" flips the kill
@@ -480,6 +550,10 @@ int main(int argc, char** argv) {
 
   // Cold-vs-warm characterization memo (also feeds the obs hit-rate).
   kernels.push_back(memo_kernel(reps));
+
+  // Requests/s through the loopback service, cold vs warm response cache
+  // (also feeds the service.cache hit-rate in the embedded obs report).
+  kernels.push_back(service_throughput_kernel(hw, smoke, reps));
 
   // Same binary, kill switch off vs on — the obs layer's runtime cost.
   const ObsOverhead obs_overhead = measure_obs_overhead(smoke, reps);

@@ -1,0 +1,390 @@
+/// Example: typed command-line client for axc_server.
+///
+/// One subcommand per service endpoint; responses print as one flat
+/// key=value line per field so smoke scripts can grep them. Non-Ok
+/// statuses (bad_request, overloaded, deadline_exceeded, ...) exit 3,
+/// transport failures exit 1, usage errors exit 2.
+#include <cstdio>
+#include <string>
+
+#include "axc/service/protocol.hpp"
+#include "axc/service/tcp.hpp"
+#include "axc/service/transport.hpp"
+#include "cli_util.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: axc_client [--host <addr>] [--port <n>] [--deadline-ms <n>]\n"
+    "                  <command> [command options]\n"
+    "\n"
+    "commands:\n"
+    "  ping                     health check\n"
+    "  characterize-adder       --family gear|loa|etai|ripple --width N\n"
+    "                           --param-a R|lsbs [--param-b P] [--cell 0..5]\n"
+    "                           [--vectors N] [--seed S]\n"
+    "  characterize-multiplier  --structure recursive|wallace --width N\n"
+    "                           [--block accurate|soa|ours] [--cell 0..5]\n"
+    "                           [--approx-lsbs N] [--vectors N] [--seed S]\n"
+    "  evaluate-error           --target gear|multiplier\n"
+    "                           gear: [--n N --r R --p P] [--correction K]\n"
+    "                           mul:  [--mul-width N] [--block ...]\n"
+    "                                 [--cell 0..5] [--approx-lsbs N]\n"
+    "                           [--max-exhaustive-bits B] [--samples N]\n"
+    "                           [--seed S]\n"
+    "  gear-design-space        [--width N] [--min-p P] [--include-exact]\n"
+    "                           [--estimate-power] [--min-accuracy PCT]\n"
+    "  encode-probe             [--width W] [--height H] [--frames F]\n"
+    "                           [--objects K] [--sequence-seed S]\n"
+    "                           [--sad-variant 0..5] [--approx-lsbs N]\n"
+    "                           [--block-size B] [--search-range R]\n"
+    "                           [--quant-step Q]\n"
+    "  shutdown                 ask the server to stop (needs\n"
+    "                           --allow-remote-shutdown server-side)\n"
+    "\n"
+    "global options:\n"
+    "  --host <addr>        numeric IPv4 server address (default 127.0.0.1)\n"
+    "  --port <n>           server port (required)\n"
+    "  --deadline-ms <n>    per-request deadline, 0 = none (default 0)\n"
+    "  -h, --help           this text\n";
+
+using axc::cli::flag_value;
+using axc::cli::require_double;
+using axc::cli::require_long;
+using axc::cli::usage_error;
+
+axc::arith::FullAdderKind parse_cell(const char* text) {
+  const long raw = require_long(kUsage, "--cell", text, 0,
+                                axc::arith::kFullAdderKindCount - 1);
+  return static_cast<axc::arith::FullAdderKind>(raw);
+}
+
+axc::arith::Mul2x2Kind parse_block(const char* text) {
+  const std::string name = text;
+  if (name == "accurate") return axc::arith::Mul2x2Kind::Accurate;
+  if (name == "soa") return axc::arith::Mul2x2Kind::SoA;
+  if (name == "ours") return axc::arith::Mul2x2Kind::Ours;
+  usage_error(kUsage, "--block must be accurate|soa|ours, got '" + name + "'");
+}
+
+void print_characterize(const axc::service::CharacterizeResponse& r) {
+  std::printf("area_ge=%.6f power_nw=%.6f gate_count=%llu\n", r.area_ge,
+              r.power_nw, static_cast<unsigned long long>(r.gate_count));
+}
+
+int run_characterize_adder(axc::service::Client& client, int argc,
+                           char** argv, int i) {
+  axc::service::CharacterizeAdderRequest req;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--family") {
+      const std::string name = flag_value(kUsage, argc, argv, i);
+      if (name == "gear") {
+        req.family = axc::service::AdderFamily::Gear;
+      } else if (name == "loa") {
+        req.family = axc::service::AdderFamily::Loa;
+      } else if (name == "etai") {
+        req.family = axc::service::AdderFamily::Etai;
+      } else if (name == "ripple") {
+        req.family = axc::service::AdderFamily::Ripple;
+      } else {
+        usage_error(kUsage,
+                    "--family must be gear|loa|etai|ripple, got '" + name +
+                        "'");
+      }
+    } else if (arg == "--width") {
+      req.width = static_cast<std::uint32_t>(require_long(
+          kUsage, "--width", flag_value(kUsage, argc, argv, i), 1, 64));
+    } else if (arg == "--param-a") {
+      req.param_a = static_cast<std::uint32_t>(require_long(
+          kUsage, "--param-a", flag_value(kUsage, argc, argv, i), 0, 64));
+    } else if (arg == "--param-b") {
+      req.param_b = static_cast<std::uint32_t>(require_long(
+          kUsage, "--param-b", flag_value(kUsage, argc, argv, i), 0, 64));
+    } else if (arg == "--cell") {
+      req.cell = parse_cell(flag_value(kUsage, argc, argv, i));
+    } else if (arg == "--vectors") {
+      req.vectors = static_cast<std::uint64_t>(
+          require_long(kUsage, "--vectors", flag_value(kUsage, argc, argv, i),
+                       1, 1 << 20));
+    } else if (arg == "--seed") {
+      req.seed = static_cast<std::uint64_t>(require_long(
+          kUsage, "--seed", flag_value(kUsage, argc, argv, i), 0, 1L << 62));
+    } else {
+      usage_error(kUsage, "unknown characterize-adder argument '" + arg + "'");
+    }
+  }
+  print_characterize(client.characterize_adder(req));
+  return 0;
+}
+
+int run_characterize_multiplier(axc::service::Client& client, int argc,
+                                char** argv, int i) {
+  axc::service::CharacterizeMultiplierRequest req;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--structure") {
+      const std::string name = flag_value(kUsage, argc, argv, i);
+      if (name == "recursive") {
+        req.structure = axc::service::MultiplierStructure::Recursive;
+      } else if (name == "wallace") {
+        req.structure = axc::service::MultiplierStructure::Wallace;
+      } else {
+        usage_error(kUsage, "--structure must be recursive|wallace, got '" +
+                                name + "'");
+      }
+    } else if (arg == "--width") {
+      req.width = static_cast<std::uint32_t>(require_long(
+          kUsage, "--width", flag_value(kUsage, argc, argv, i), 2, 16));
+    } else if (arg == "--block") {
+      req.block = parse_block(flag_value(kUsage, argc, argv, i));
+    } else if (arg == "--cell") {
+      req.cell = parse_cell(flag_value(kUsage, argc, argv, i));
+    } else if (arg == "--approx-lsbs") {
+      req.approx_lsbs = static_cast<std::uint32_t>(
+          require_long(kUsage, "--approx-lsbs",
+                       flag_value(kUsage, argc, argv, i), 0, 32));
+    } else if (arg == "--vectors") {
+      req.vectors = static_cast<std::uint64_t>(
+          require_long(kUsage, "--vectors", flag_value(kUsage, argc, argv, i),
+                       1, 1 << 20));
+    } else if (arg == "--seed") {
+      req.seed = static_cast<std::uint64_t>(require_long(
+          kUsage, "--seed", flag_value(kUsage, argc, argv, i), 0, 1L << 62));
+    } else {
+      usage_error(kUsage,
+                  "unknown characterize-multiplier argument '" + arg + "'");
+    }
+  }
+  print_characterize(client.characterize_multiplier(req));
+  return 0;
+}
+
+int run_evaluate_error(axc::service::Client& client, int argc, char** argv,
+                       int i) {
+  axc::service::EvaluateErrorRequest req;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--target") {
+      const std::string name = flag_value(kUsage, argc, argv, i);
+      if (name == "gear") {
+        req.target = axc::service::EvalTarget::GearAdder;
+      } else if (name == "multiplier") {
+        req.target = axc::service::EvalTarget::Multiplier;
+      } else {
+        usage_error(kUsage,
+                    "--target must be gear|multiplier, got '" + name + "'");
+      }
+    } else if (arg == "--n") {
+      req.gear.n = static_cast<unsigned>(require_long(
+          kUsage, "--n", flag_value(kUsage, argc, argv, i), 2, 64));
+    } else if (arg == "--r") {
+      req.gear.r = static_cast<unsigned>(require_long(
+          kUsage, "--r", flag_value(kUsage, argc, argv, i), 1, 64));
+    } else if (arg == "--p") {
+      req.gear.p = static_cast<unsigned>(require_long(
+          kUsage, "--p", flag_value(kUsage, argc, argv, i), 0, 64));
+    } else if (arg == "--correction") {
+      req.correction_iterations = static_cast<std::uint32_t>(require_long(
+          kUsage, "--correction", flag_value(kUsage, argc, argv, i), 0, 64));
+    } else if (arg == "--mul-width") {
+      req.mul_width = static_cast<std::uint32_t>(require_long(
+          kUsage, "--mul-width", flag_value(kUsage, argc, argv, i), 2, 16));
+    } else if (arg == "--block") {
+      req.mul_block = parse_block(flag_value(kUsage, argc, argv, i));
+    } else if (arg == "--cell") {
+      req.mul_cell = parse_cell(flag_value(kUsage, argc, argv, i));
+    } else if (arg == "--approx-lsbs") {
+      req.mul_approx_lsbs = static_cast<std::uint32_t>(
+          require_long(kUsage, "--approx-lsbs",
+                       flag_value(kUsage, argc, argv, i), 0, 32));
+    } else if (arg == "--max-exhaustive-bits") {
+      req.max_exhaustive_bits = static_cast<std::uint32_t>(
+          require_long(kUsage, "--max-exhaustive-bits",
+                       flag_value(kUsage, argc, argv, i), 0, 24));
+    } else if (arg == "--samples") {
+      req.samples = static_cast<std::uint64_t>(
+          require_long(kUsage, "--samples", flag_value(kUsage, argc, argv, i),
+                       1, 1 << 24));
+    } else if (arg == "--seed") {
+      req.seed = static_cast<std::uint64_t>(require_long(
+          kUsage, "--seed", flag_value(kUsage, argc, argv, i), 0, 1L << 62));
+    } else {
+      usage_error(kUsage, "unknown evaluate-error argument '" + arg + "'");
+    }
+  }
+  const auto r = client.evaluate_error(req);
+  std::printf(
+      "samples=%llu error_count=%llu max_error=%llu error_rate=%.6f "
+      "med=%.6f nmed=%.8f mred=%.6f mse=%.6f rmse=%.6f exhaustive=%d\n",
+      static_cast<unsigned long long>(r.samples),
+      static_cast<unsigned long long>(r.error_count),
+      static_cast<unsigned long long>(r.max_error), r.error_rate,
+      r.mean_error_distance, r.normalized_med, r.mean_relative_error,
+      r.mean_squared_error, r.root_mean_squared_error, r.exhaustive ? 1 : 0);
+  return 0;
+}
+
+int run_gear_design_space(axc::service::Client& client, int argc, char** argv,
+                          int i) {
+  axc::service::GearDesignSpaceRequest req;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--width") {
+      req.width = static_cast<std::uint32_t>(require_long(
+          kUsage, "--width", flag_value(kUsage, argc, argv, i), 2, 16));
+    } else if (arg == "--min-p") {
+      req.min_p = static_cast<std::uint32_t>(require_long(
+          kUsage, "--min-p", flag_value(kUsage, argc, argv, i), 1, 16));
+    } else if (arg == "--include-exact") {
+      req.include_exact = true;
+    } else if (arg == "--estimate-power") {
+      req.estimate_power = true;
+    } else if (arg == "--min-accuracy") {
+      req.min_accuracy = require_double(
+          kUsage, "--min-accuracy", flag_value(kUsage, argc, argv, i), 0.0,
+          100.0);
+    } else {
+      usage_error(kUsage, "unknown gear-design-space argument '" + arg + "'");
+    }
+  }
+  const auto r = client.gear_design_space(req);
+  std::printf("points=%zu max_accuracy_index=%u min_area_index=%u\n",
+              r.points.size(), r.max_accuracy_index, r.min_area_index);
+  for (const auto& p : r.points) {
+    std::printf(
+        "r=%u p=%u area_ge=%.4f power_nw=%.4f accuracy=%.4f pareto=%d\n", p.r,
+        p.p, p.area_ge, p.power_nw, p.accuracy_percent,
+        p.on_pareto_front ? 1 : 0);
+  }
+  return 0;
+}
+
+int run_encode_probe(axc::service::Client& client, int argc, char** argv,
+                     int i) {
+  axc::service::EncodeProbeRequest req;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--width") {
+      req.width = static_cast<std::uint16_t>(require_long(
+          kUsage, "--width", flag_value(kUsage, argc, argv, i), 8, 256));
+    } else if (arg == "--height") {
+      req.height = static_cast<std::uint16_t>(require_long(
+          kUsage, "--height", flag_value(kUsage, argc, argv, i), 8, 256));
+    } else if (arg == "--frames") {
+      req.frames = static_cast<std::uint16_t>(require_long(
+          kUsage, "--frames", flag_value(kUsage, argc, argv, i), 1, 32));
+    } else if (arg == "--objects") {
+      req.objects = static_cast<std::uint16_t>(require_long(
+          kUsage, "--objects", flag_value(kUsage, argc, argv, i), 0, 16));
+    } else if (arg == "--sequence-seed") {
+      req.sequence_seed = static_cast<std::uint64_t>(
+          require_long(kUsage, "--sequence-seed",
+                       flag_value(kUsage, argc, argv, i), 0, 1L << 62));
+    } else if (arg == "--sad-variant") {
+      req.sad_variant = static_cast<std::uint8_t>(require_long(
+          kUsage, "--sad-variant", flag_value(kUsage, argc, argv, i), 0, 5));
+    } else if (arg == "--approx-lsbs") {
+      req.approx_lsbs = static_cast<std::uint8_t>(
+          require_long(kUsage, "--approx-lsbs",
+                       flag_value(kUsage, argc, argv, i), 0, 15));
+    } else if (arg == "--block-size") {
+      req.block_size = static_cast<std::uint8_t>(require_long(
+          kUsage, "--block-size", flag_value(kUsage, argc, argv, i), 4, 64));
+    } else if (arg == "--search-range") {
+      req.search_range = static_cast<std::uint8_t>(require_long(
+          kUsage, "--search-range", flag_value(kUsage, argc, argv, i), 1, 16));
+    } else if (arg == "--quant-step") {
+      req.quant_step = static_cast<std::uint16_t>(require_long(
+          kUsage, "--quant-step", flag_value(kUsage, argc, argv, i), 1, 255));
+    } else {
+      usage_error(kUsage, "unknown encode-probe argument '" + arg + "'");
+    }
+  }
+  const auto r = client.encode_probe(req);
+  std::printf("total_bits=%llu bits_per_frame=%.2f psnr_db=%.4f "
+              "sad_calls=%llu\n",
+              static_cast<unsigned long long>(r.total_bits), r.bits_per_frame,
+              r.psnr_db, static_cast<unsigned long long>(r.sad_calls));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace axc;
+
+  if (cli::wants_help(argc, argv)) {
+    cli::print_usage(kUsage);
+    return 0;
+  }
+
+  std::string host = "127.0.0.1";
+  long port = -1;
+  long deadline_ms = 0;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host") {
+      host = flag_value(kUsage, argc, argv, i);
+    } else if (arg == "--port") {
+      port = require_long(kUsage, "--port", flag_value(kUsage, argc, argv, i),
+                          1, 65535);
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = require_long(kUsage, "--deadline-ms",
+                                 flag_value(kUsage, argc, argv, i), 0,
+                                 1L << 31);
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage_error(kUsage, "unknown global option '" + arg + "'");
+    } else {
+      break;  // first non-flag token = command
+    }
+  }
+  if (i >= argc) usage_error(kUsage, "missing command");
+  if (port < 0) usage_error(kUsage, "--port is required");
+  const std::string command = argv[i++];
+
+  try {
+    service::TcpConnection connection(host,
+                                      static_cast<std::uint16_t>(port));
+    service::Client client(connection);
+    client.set_deadline_ms(static_cast<std::uint32_t>(deadline_ms));
+
+    if (command == "ping") {
+      if (i < argc) usage_error(kUsage, "ping takes no arguments");
+      client.ping();
+      std::printf("pong\n");
+      return 0;
+    }
+    if (command == "shutdown") {
+      if (i < argc) usage_error(kUsage, "shutdown takes no arguments");
+      client.shutdown();
+      std::printf("shutdown acknowledged\n");
+      return 0;
+    }
+    if (command == "characterize-adder") {
+      return run_characterize_adder(client, argc, argv, i);
+    }
+    if (command == "characterize-multiplier") {
+      return run_characterize_multiplier(client, argc, argv, i);
+    }
+    if (command == "evaluate-error") {
+      return run_evaluate_error(client, argc, argv, i);
+    }
+    if (command == "gear-design-space") {
+      return run_gear_design_space(client, argc, argv, i);
+    }
+    if (command == "encode-probe") {
+      return run_encode_probe(client, argc, argv, i);
+    }
+    usage_error(kUsage, "unknown command '" + command + "'");
+  } catch (const service::ServiceError& e) {
+    std::fprintf(stderr, "axc_client: %s: %s\n",
+                 std::string(service::status_name(e.status())).c_str(),
+                 e.what());
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "axc_client: error: %s\n", e.what());
+    return 1;
+  }
+}

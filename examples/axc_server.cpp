@@ -1,0 +1,139 @@
+/// Example: the axc design-space service as a long-running TCP server.
+///
+/// Serves the five characterization/evaluation endpoints (plus ping and,
+/// when enabled, remote shutdown) over the framed wire protocol, with a
+/// bounded job queue, worker pool and sharded response cache. On graceful
+/// shutdown — SIGINT/SIGTERM or a client Shutdown request with
+/// --allow-remote-shutdown — in-flight jobs drain and an axc::obs run
+/// report (per-endpoint request counters, queue depth, cache hit rate,
+/// rejection counters) is written.
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "axc/obs/report.hpp"
+#include "axc/service/server.hpp"
+#include "axc/service/tcp.hpp"
+#include "cli_util.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: axc_server [options]\n"
+    "\n"
+    "Serve the axc design-space endpoints (characterize_adder,\n"
+    "characterize_multiplier, evaluate_error, gear_design_space,\n"
+    "encode_probe, ping) over TCP.\n"
+    "\n"
+    "options:\n"
+    "  --port <n>              TCP port, 0 = ephemeral (default 0)\n"
+    "  --bind <addr>           numeric IPv4 bind address (default\n"
+    "                          127.0.0.1)\n"
+    "  --workers <n>           worker threads, 0 = hardware (default 0)\n"
+    "  --queue <k>             pending-job bound; excess requests get an\n"
+    "                          `overloaded` response (default 64)\n"
+    "  --cache <n>             response-cache entries, 0 disables\n"
+    "                          (default 1024)\n"
+    "  --eval-threads <n>      threads inside one job (default 1;\n"
+    "                          results are identical for any value)\n"
+    "  --allow-remote-shutdown honour client Shutdown requests\n"
+    "  --port-file <path>      write the bound port (for scripts that\n"
+    "                          start on an ephemeral port)\n"
+    "  --report <path>         obs run report on shutdown, '-' = none\n"
+    "                          (default REPORT_axc_server.json)\n"
+    "  -h, --help              this text\n";
+
+axc::service::TcpServer* g_tcp_server = nullptr;
+
+void handle_signal(int) {
+  // Flip the transport's stop flag; the acceptor's poll loop notices,
+  // drains connections and wakes wait(). Async-signal-safe: one relaxed
+  // atomic store.
+  if (g_tcp_server != nullptr) g_tcp_server->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace axc;
+  using cli::flag_value;
+  using cli::require_long;
+
+  if (cli::wants_help(argc, argv)) {
+    cli::print_usage(kUsage);
+    return 0;
+  }
+
+  service::ServerOptions server_options;
+  service::TcpServerOptions tcp_options;
+  std::string port_file;
+  std::string report_path = "REPORT_axc_server.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port") {
+      tcp_options.port = static_cast<std::uint16_t>(
+          require_long(kUsage, "--port", flag_value(kUsage, argc, argv, i),
+                       0, 65535));
+    } else if (arg == "--bind") {
+      tcp_options.bind_address = flag_value(kUsage, argc, argv, i);
+    } else if (arg == "--workers") {
+      server_options.workers = static_cast<unsigned>(require_long(
+          kUsage, "--workers", flag_value(kUsage, argc, argv, i), 0, 1024));
+    } else if (arg == "--queue") {
+      server_options.queue_capacity = static_cast<std::size_t>(
+          require_long(kUsage, "--queue", flag_value(kUsage, argc, argv, i),
+                       1, 1 << 20));
+    } else if (arg == "--cache") {
+      server_options.cache_capacity = static_cast<std::size_t>(
+          require_long(kUsage, "--cache", flag_value(kUsage, argc, argv, i),
+                       0, 1 << 24));
+    } else if (arg == "--eval-threads") {
+      server_options.eval_threads = static_cast<unsigned>(require_long(
+          kUsage, "--eval-threads", flag_value(kUsage, argc, argv, i), 1,
+          1024));
+    } else if (arg == "--allow-remote-shutdown") {
+      tcp_options.allow_remote_shutdown = true;
+    } else if (arg == "--port-file") {
+      port_file = flag_value(kUsage, argc, argv, i);
+    } else if (arg == "--report") {
+      report_path = flag_value(kUsage, argc, argv, i);
+    } else {
+      cli::usage_error(kUsage, "unknown argument '" + arg + "'");
+    }
+  }
+
+  try {
+    service::Server server(server_options);
+    service::TcpServer tcp(server, tcp_options);
+    g_tcp_server = &tcp;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    std::printf("axc_server: listening on %s:%u (%u workers, queue %zu, "
+                "cache %zu)\n",
+                tcp_options.bind_address.c_str(), tcp.port(),
+                server.options().workers, server.options().queue_capacity,
+                server.options().cache_capacity);
+    std::fflush(stdout);
+    if (!port_file.empty()) {
+      std::ofstream out(port_file);
+      out << tcp.port() << "\n";
+    }
+
+    tcp.wait();       // until SIGINT/SIGTERM or a remote Shutdown request
+    g_tcp_server = nullptr;
+    server.stop();    // drain queued jobs, join workers
+
+    std::printf("axc_server: drained and stopped\n");
+    if (report_path != "-") {
+      obs::write_report(report_path);
+      std::printf("axc_server: obs run report -> %s\n", report_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "axc_server: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+/// \file cli_util.hpp
+/// Shared argv parsing for the example binaries: strict numeric parsing
+/// with range checks, a uniform --help convention, and usage errors that
+/// exit nonzero instead of silently falling back to defaults.
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace axc::cli {
+
+/// Prints \p usage (a full usage/help text) to \p out.
+inline void print_usage(const char* usage, std::FILE* out = stdout) {
+  std::fputs(usage, out);
+}
+
+/// Complains to stderr, shows the usage text, exits 2 (the usage-error
+/// convention of the repo's CLI tools).
+[[noreturn]] inline void usage_error(const char* usage,
+                                     const std::string& message) {
+  std::fprintf(stderr, "error: %s\n\n", message.c_str());
+  print_usage(usage, stderr);
+  std::exit(2);
+}
+
+/// True when any argument is --help/-h (checked before positional parsing
+/// so `tool --help` never half-runs).
+inline bool wants_help(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Strict long parse of the whole token; false on garbage, partial
+/// numbers ("12abc"), overflow, or out-of-range values.
+inline bool parse_long(const char* text, long min, long max, long& out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  if (value < min || value > max) return false;
+  out = value;
+  return true;
+}
+
+/// parse_long or usage_error with a message naming \p what.
+inline long require_long(const char* usage, const char* what,
+                         const char* text, long min, long max) {
+  long value = 0;
+  if (!parse_long(text, min, max, value)) {
+    usage_error(usage, std::string(what) + " must be an integer in [" +
+                           std::to_string(min) + ", " + std::to_string(max) +
+                           "], got '" + (text ? text : "") + "'");
+  }
+  return value;
+}
+
+/// Strict double parse of the whole token with an inclusive range.
+inline bool parse_double(const char* text, double min, double max,
+                         double& out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  if (!(value >= min && value <= max)) return false;
+  out = value;
+  return true;
+}
+
+/// parse_double or usage_error with a message naming \p what.
+inline double require_double(const char* usage, const char* what,
+                             const char* text, double min, double max) {
+  double value = 0.0;
+  if (!parse_double(text, min, max, value)) {
+    usage_error(usage, std::string(what) + " must be a number in [" +
+                           std::to_string(min) + ", " + std::to_string(max) +
+                           "], got '" + (text ? text : "") + "'");
+  }
+  return value;
+}
+
+/// Fetches the value of a `--flag value` pair, advancing \p i;
+/// usage_error when the value is missing.
+inline const char* flag_value(const char* usage, int argc, char** argv,
+                              int& i) {
+  if (i + 1 >= argc) {
+    usage_error(usage, std::string(argv[i]) + " requires a value");
+  }
+  return argv[++i];
+}
+
+}  // namespace axc::cli

@@ -1,21 +1,48 @@
 /// Example: explore the GeAr design space for a given operand width and
 /// pick a configuration under an accuracy constraint — the Fig. 4 / Table
 /// IV workflow as a command-line tool.
-///
-/// Usage: design_space_explorer [width] [min_accuracy_percent]
-#include <cstdlib>
 #include <iostream>
 
 #include "axc/common/table.hpp"
 #include "axc/core/explorer.hpp"
 #include "axc/core/pareto.hpp"
+#include "cli_util.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: design_space_explorer [width] [min_accuracy_percent]\n"
+    "\n"
+    "Enumerates every GeAr(N, R, P) configuration for the given operand\n"
+    "width (default 11, the paper's Table IV), marks the area/accuracy\n"
+    "Pareto front and answers the two selection queries.\n"
+    "\n"
+    "arguments:\n"
+    "  width                  operand width N, 2..16 (default 11)\n"
+    "  min_accuracy_percent   constraint for the cheapest-config query,\n"
+    "                         0..100 (default 90)\n"
+    "\n"
+    "options:\n"
+    "  -h, --help             this text\n";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace axc;
-  const unsigned width = argc >= 2
-                             ? static_cast<unsigned>(std::atoi(argv[1]))
-                             : 11;
-  const double min_accuracy = argc >= 3 ? std::atof(argv[2]) : 90.0;
+
+  if (cli::wants_help(argc, argv)) {
+    cli::print_usage(kUsage);
+    return 0;
+  }
+  if (argc > 3) cli::usage_error(kUsage, "too many arguments");
+  const unsigned width =
+      argc >= 2 ? static_cast<unsigned>(
+                      cli::require_long(kUsage, "width", argv[1], 2, 16))
+                : 11;
+  const double min_accuracy =
+      argc >= 3 ? cli::require_double(kUsage, "min_accuracy_percent",
+                                      argv[2], 0.0, 100.0)
+                : 90.0;
 
   std::cout << "Exploring the " << width << "-bit GeAr space (P >= 1)\n\n";
   const auto space = core::explore_gear_space(width);

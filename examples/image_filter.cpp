@@ -1,10 +1,5 @@
 /// Example: low-pass filter images on approximate hardware (the Fig. 10
 /// scenario) and write the results as PGM files for visual inspection.
-///
-/// Usage:
-///   image_filter [input.pgm] [output_dir]
-/// Without arguments it filters the built-in 7-image synthetic set and
-/// writes <kind>_{exact,approx}.pgm into the current directory.
 #include <iostream>
 #include <string>
 #include <vector>
@@ -13,9 +8,37 @@
 #include "axc/image/pgm.hpp"
 #include "axc/image/ssim.hpp"
 #include "axc/image/synth.hpp"
+#include "cli_util.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: image_filter [input.pgm] [output_dir]\n"
+    "\n"
+    "Filters <input.pgm> with a Gaussian kernel on exact and approximate\n"
+    "hardware and writes <name>_{exact,approx}.pgm into <output_dir>\n"
+    "(default '.'). Without arguments the built-in 7-image synthetic set\n"
+    "is used.\n"
+    "\n"
+    "options:\n"
+    "  -h, --help    this text\n";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace axc;
+
+  if (cli::wants_help(argc, argv)) {
+    cli::print_usage(kUsage);
+    return 0;
+  }
+  if (argc > 3) cli::usage_error(kUsage, "too many arguments");
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') {
+      cli::usage_error(kUsage,
+                       "unknown option '" + std::string(argv[i]) + "'");
+    }
+  }
 
   accel::FilterConfig config;
   config.adder_cell = arith::FullAdderKind::Apx4;
@@ -50,15 +73,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cout << "image            SSIM     PSNR[dB]\n";
-  for (const Job& job : jobs) {
-    const image::Image exact = exact_filter.apply(job.img, kernel);
-    const image::Image approx = approx_filter.apply(job.img, kernel);
-    std::printf("%-16s %.4f   %.2f\n", job.name.c_str(),
-                image::ssim(exact, approx),
-                image::image_psnr(exact, approx));
-    image::write_pgm(exact, out_dir + "/" + job.name + "_exact.pgm");
-    image::write_pgm(approx, out_dir + "/" + job.name + "_approx.pgm");
+  try {
+    std::cout << "image            SSIM     PSNR[dB]\n";
+    for (const Job& job : jobs) {
+      const image::Image exact = exact_filter.apply(job.img, kernel);
+      const image::Image approx = approx_filter.apply(job.img, kernel);
+      std::printf("%-16s %.4f   %.2f\n", job.name.c_str(),
+                  image::ssim(exact, approx),
+                  image::image_psnr(exact, approx));
+      image::write_pgm(exact, out_dir + "/" + job.name + "_exact.pgm");
+      image::write_pgm(approx, out_dir + "/" + job.name + "_approx.pgm");
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
   std::cout << "\nWrote *_exact.pgm / *_approx.pgm to " << out_dir << "\n";
   return 0;

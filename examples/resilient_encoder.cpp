@@ -12,32 +12,69 @@
 ///      iterations, more accurate GeAr config, exact fallback) until the
 ///      contract holds, and de-escalates once the faults stop.
 ///
-/// Usage: resilient_encoder [bit_flip_probability] [seed] [report_path]
-///
 /// After both runs an axc::obs run report (guardband trips, controller
 /// escalations, faults injected, SAD-batch lane occupancy, per-frame encode
-/// spans, ...) is written to \p report_path (default
+/// spans, ...) is written to the --report-out path (default
 /// REPORT_resilient_encoder.json; "-" suppresses it). Set AXC_OBS=0 to
 /// switch the instruments off.
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "axc/obs/report.hpp"
 #include "axc/resilience/resilient_encoder.hpp"
 #include "axc/video/sequence.hpp"
+#include "cli_util.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: resilient_encoder [bit_flip_probability] [seed]\n"
+    "                         [--report-out <path>]\n"
+    "\n"
+    "Encodes a synthetic sequence twice through a fault campaign: open\n"
+    "loop (aggressive rung pinned) and closed loop (AdaptiveController).\n"
+    "\n"
+    "arguments:\n"
+    "  bit_flip_probability   per-bit SEU probability, 0..1 (default 0.03)\n"
+    "  seed                   fault-campaign seed (default 2024)\n"
+    "\n"
+    "options:\n"
+    "  --report-out <path>    obs run report destination, '-' = none\n"
+    "                         (default REPORT_resilient_encoder.json)\n"
+    "  -h, --help             this text\n";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace axc;
 
-  const double flip_p = argc >= 2 ? std::atof(argv[1]) : 0.03;
-  const std::uint64_t seed = argc >= 3
-                                 ? static_cast<std::uint64_t>(
-                                       std::strtoull(argv[2], nullptr, 10))
-                                 : 2024;
-  const std::string report_path =
-      argc >= 4 ? argv[3] : "REPORT_resilient_encoder.json";
+  if (cli::wants_help(argc, argv)) {
+    cli::print_usage(kUsage);
+    return 0;
+  }
+  double flip_p = 0.03;
+  std::uint64_t seed = 2024;
+  std::string report_path = "REPORT_resilient_encoder.json";
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--report-out") {
+      report_path = cli::flag_value(kUsage, argc, argv, i);
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      cli::usage_error(kUsage, "unknown option '" + arg + "'");
+    } else if (positional == 0) {
+      flip_p = cli::require_double(kUsage, "bit_flip_probability", argv[i],
+                                   0.0, 1.0);
+      ++positional;
+    } else if (positional == 1) {
+      seed = static_cast<std::uint64_t>(
+          cli::require_long(kUsage, "seed", argv[i], 0, 1L << 62));
+      ++positional;
+    } else {
+      cli::usage_error(kUsage, "too many arguments");
+    }
+  }
 
   video::SequenceConfig sc;
   sc.width = 64;

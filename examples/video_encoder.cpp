@@ -1,18 +1,48 @@
 /// Example: encode a synthetic video with an approximate-SAD motion
 /// estimator (the Sec. 6 / Fig. 9 scenario) and report the bit-rate /
 /// quality / power trade-off of each accelerator mode.
-///
-/// Usage: video_encoder [variant 1..5] [approx_lsbs]
-/// Defaults sweep the recommended ApxSAD3 configuration against the
-/// accurate baseline.
-#include <cstdlib>
 #include <iostream>
 
 #include "axc/accel/sad_netlist.hpp"
 #include "axc/video/encoder.hpp"
+#include "cli_util.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: video_encoder [variant approx_lsbs]\n"
+    "\n"
+    "Encodes a synthetic sequence with the accurate SAD baseline plus an\n"
+    "approximate mode. Without arguments the recommended ApxSAD3 sweep\n"
+    "(2/4/6 approximated LSBs) runs; with arguments one mode is compared\n"
+    "against the baseline.\n"
+    "\n"
+    "arguments:\n"
+    "  variant        SAD variant, 1..5 (ApxSAD1..ApxSAD5)\n"
+    "  approx_lsbs    approximated low bits, 0..16\n"
+    "\n"
+    "options:\n"
+    "  -h, --help     this text\n";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace axc;
+
+  if (cli::wants_help(argc, argv)) {
+    cli::print_usage(kUsage);
+    return 0;
+  }
+  if (argc != 1 && argc != 3) {
+    cli::usage_error(kUsage,
+                     "expected no arguments or exactly <variant> <lsbs>");
+  }
+  long variant = 0;
+  long lsbs = 0;
+  if (argc == 3) {
+    variant = cli::require_long(kUsage, "variant", argv[1], 1, 5);
+    lsbs = cli::require_long(kUsage, "approx_lsbs", argv[2], 0, 16);
+  }
 
   video::SequenceConfig sc;
   sc.width = 64;
@@ -41,11 +71,10 @@ int main(int argc, char** argv) {
   };
 
   const std::uint64_t base = report(accel::accu_sad(64));
-  if (argc >= 3) {
-    const int variant = std::atoi(argv[1]);
-    const unsigned lsbs = static_cast<unsigned>(std::atoi(argv[2]));
+  if (argc == 3) {
     const std::uint64_t bits =
-        report(accel::apx_sad_variant(variant, lsbs, 64));
+        report(accel::apx_sad_variant(static_cast<int>(variant),
+                                      static_cast<unsigned>(lsbs), 64));
     std::cout << "\nBit-rate increase: "
               << (static_cast<double>(bits) - static_cast<double>(base)) /
                      static_cast<double>(base) * 100.0

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Service smoke: start axc_server on an ephemeral loopback port, issue one
+# query per endpoint through axc_client, then shut down gracefully and
+# check that the server drained and wrote its obs run report.
+#
+# Usage: scripts/service_smoke.sh <build_dir>
+set -euo pipefail
+
+build_dir=${1:?usage: service_smoke.sh <build_dir>}
+server=$build_dir/examples/axc_server
+client=$build_dir/examples/axc_client
+
+workdir=$(mktemp -d)
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+"$server" --port 0 --port-file "$workdir/port" \
+  --allow-remote-shutdown --report "$workdir/report.json" \
+  >"$workdir/server.log" 2>&1 &
+server_pid=$!
+
+# Wait for the ephemeral port to be published.
+for _ in $(seq 1 100); do
+  [[ -s "$workdir/port" ]] && break
+  kill -0 "$server_pid" 2>/dev/null || {
+    echo "server died during startup:"; cat "$workdir/server.log"; exit 1; }
+  sleep 0.1
+done
+[[ -s "$workdir/port" ]] || { echo "server never published its port"; exit 1; }
+port=$(cat "$workdir/port")
+echo "axc_server up on port $port"
+
+run() { echo "+ axc_client $*"; "$client" --port "$port" "$@"; }
+
+run ping | grep -q pong
+run characterize-adder --family gear --width 8 --param-a 2 --param-b 2 \
+  | grep -q area_ge=
+run characterize-multiplier --structure recursive --width 8 --block ours \
+  | grep -q gate_count=
+run evaluate-error --target gear --n 8 --r 2 --p 2 | grep -q exhaustive=1
+run gear-design-space --width 8 | grep -q max_accuracy_index=
+run encode-probe --width 32 --height 32 --frames 2 | grep -q psnr_db=
+
+# Usage errors must exit nonzero without touching the server.
+if "$client" --port "$port" characterize-adder --width banana \
+    >/dev/null 2>&1; then
+  echo "expected a usage error for a malformed width"; exit 1
+fi
+
+run shutdown | grep -q "shutdown acknowledged"
+
+# Graceful drain: the server process must exit 0 and write its obs report.
+wait "$server_pid"
+grep -q '"service.requests"' "$workdir/report.json"
+grep -q '"service.ping.requests"' "$workdir/report.json"
+echo "service smoke OK (report has per-endpoint counters)"

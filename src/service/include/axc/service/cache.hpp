@@ -1,0 +1,85 @@
+/// \file cache.hpp
+/// Sharded LRU result cache of the design-space service.
+///
+/// Every service endpoint is a pure function of its canonical request
+/// bytes (worker parallelism is thread-invariant by construction — PR 2's
+/// chunked evaluation, PR 3's block-parallel encoder), so responses are
+/// cacheable verbatim. Characterization queries over a large design space
+/// repeat heavily (the same (R, P) point is probed by ranking, selection
+/// and re-ranking passes), which makes an in-server response cache the
+/// single biggest throughput lever.
+///
+/// Keys are canonical_request_key() hashes; each entry additionally stores
+/// the canonical request bytes and compares them on lookup, so a 64-bit
+/// hash collision degrades to a miss instead of serving a wrong response.
+/// Shards (key-partitioned, each with its own mutex + LRU list) keep the
+/// hot lookup path uncontended under a multi-worker pool.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "axc/service/protocol.hpp"
+
+namespace axc::service {
+
+class ResultCache {
+ public:
+  /// \p capacity total entries (0 disables the cache entirely); \p shards
+  /// is rounded up to a power of two and clamped to [1, capacity].
+  explicit ResultCache(std::size_t capacity, unsigned shards = 8);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached response for (\p key, \p canonical) and refreshes
+  /// its recency; nullopt on miss (including hash-collision mismatches).
+  std::optional<Bytes> lookup(std::uint64_t key,
+                              std::span<const std::uint8_t> canonical);
+
+  /// Interns \p response under (\p key, \p canonical), evicting the shard's
+  /// least-recently-used entry when the shard is full. Re-inserting an
+  /// existing key refreshes the stored response and recency.
+  void insert(std::uint64_t key, std::span<const std::uint8_t> canonical,
+              Bytes response);
+
+  /// Entries currently resident (sums all shards).
+  std::size_t size() const;
+
+  std::size_t capacity() const { return capacity_; }
+  unsigned shard_count() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+  /// Drops every entry.
+  void clear();
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    Bytes canonical;
+    Bytes response;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recent
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::size_t capacity = 0;
+  };
+
+  Shard& shard_for(std::uint64_t key) {
+    // Keys are already well-mixed; the low bits select the shard and the
+    // full key stays the index key.
+    return shards_[key & (shards_.size() - 1)];
+  }
+
+  std::size_t capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace axc::service

@@ -1,0 +1,50 @@
+/// \file endpoints.hpp
+/// The request executor: parses one canonical request, runs it against the
+/// axc library layers (logic characterization, error evaluation, core
+/// explorer, video encoder) and serializes the response.
+///
+/// dispatch() is deliberately a free function independent of the Server:
+/// the worker pool calls it per job, tests call it directly, and custom
+/// dispatchers (test gates, mocks) can replace it via ServerOptions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "axc/service/protocol.hpp"
+
+namespace axc::service {
+
+/// Per-job execution policy.
+struct DispatchOptions {
+  /// Worker threads *inside* one job (error::EvalOptions::threads /
+  /// video::EncoderConfig::threads). The server defaults this to 1 —
+  /// parallelism comes from running jobs concurrently — but every result
+  /// is bit-identical for any value (the PR 2/3 thread-invariance
+  /// contract), so operators may raise it for latency-sensitive
+  /// deployments without perturbing cached responses.
+  unsigned eval_threads = 1;
+};
+
+/// Executes \p request, returning complete response bytes. Never throws:
+/// malformed or out-of-policy requests yield a Status::BadRequest
+/// response, handler failures a Status::InternalError response. Ping
+/// returns an empty Ok; Shutdown is transport-level and answers
+/// BadRequest here.
+Bytes dispatch(std::span<const std::uint8_t> request,
+               const DispatchOptions& options = {});
+
+/// Request-validation caps, exposed for tests and documentation. Requests
+/// beyond these bounds are rejected with BadRequest before any work runs
+/// (an unbounded query could otherwise pin a worker for minutes).
+struct DispatchLimits {
+  static constexpr std::uint32_t kMaxAdderWidth = 32;
+  static constexpr std::uint64_t kMaxCharacterizeVectors = 1u << 16;
+  static constexpr std::uint32_t kMaxExhaustiveBits = 24;
+  static constexpr std::uint64_t kMaxSamples = 1u << 24;
+  static constexpr std::uint32_t kMaxGearSpaceWidth = 16;
+  static constexpr std::uint16_t kMaxProbeDim = 256;
+  static constexpr std::uint16_t kMaxProbeFrames = 32;
+};
+
+}  // namespace axc::service

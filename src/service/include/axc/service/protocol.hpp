@@ -1,0 +1,300 @@
+/// \file protocol.hpp
+/// Wire protocol of the axc design-space service.
+///
+/// The paper's methodology (Fig. 7) is a query workflow — "characterize
+/// this configuration, evaluate its error metrics, rank the design space"
+/// — and at production scale those queries arrive as traffic, not as
+/// one-shot binaries. This file defines the typed request/response
+/// vocabulary that axc::service::Server executes and both transports
+/// (loopback, TCP) carry.
+///
+/// Encoding rules (the *canonical serialization*):
+///  - every integer is fixed-width little-endian; doubles travel as the
+///    IEEE-754 bit pattern in a u64 — so a given typed request has exactly
+///    one byte representation and responses are byte-identical across
+///    platforms and worker-thread counts;
+///  - a request is  [version u8][endpoint u8][deadline_ms u32][body];
+///  - a response is [version u8][status u8][body], where the body is the
+///    endpoint's typed payload on Status::Ok and a length-prefixed UTF-8
+///    message otherwise;
+///  - the result-cache key covers every request byte *except* the
+///    deadline field (canonical_request_bytes strips it), so the same
+///    query with a different deadline still hits the cache.
+///
+/// Transports frame payloads as [length u32 LE][payload], length capped at
+/// kMaxFrameBytes (a rogue peer cannot trigger a giant allocation).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "axc/arith/full_adder.hpp"
+#include "axc/arith/gear.hpp"
+#include "axc/arith/mul2x2.hpp"
+#include "axc/error/metrics.hpp"
+
+namespace axc::service {
+
+using Bytes = std::vector<std::uint8_t>;
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Hard ceiling on one framed payload (requests and responses).
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 22;
+
+/// The service surface. Values are wire-stable; append only.
+enum class Endpoint : std::uint8_t {
+  CharacterizeAdder = 1,       ///< gate-level area/power of an adder config
+  CharacterizeMultiplier = 2,  ///< gate-level area/power of a multiplier
+  EvaluateError = 3,           ///< MED/ER/WCE/... of a config (Sec. 4-5)
+  GearDesignSpace = 4,         ///< Table IV / Fig. 4 Pareto query
+  EncodeProbe = 5,             ///< Fig. 9 SAD/encode micro-job
+  Ping = 6,                    ///< health check, empty body
+  Shutdown = 7,                ///< transport-level graceful stop (opt-in)
+};
+
+/// Response status. Values are wire-stable; append only.
+enum class Status : std::uint8_t {
+  Ok = 0,
+  BadRequest = 1,        ///< malformed or out-of-policy request
+  Overloaded = 2,        ///< job queue full — explicit backpressure
+  DeadlineExceeded = 3,  ///< expired in queue before a worker picked it up
+  ShuttingDown = 4,      ///< server is draining; not accepting new work
+  InternalError = 5,     ///< handler threw; message carries the what()
+};
+
+/// "characterize_adder", "ping", ... (used for obs instrument names and
+/// the axc_client command line). Unknown values map to "unknown".
+std::string_view endpoint_name(Endpoint endpoint);
+
+/// "ok", "bad_request", ... Unknown values map to "unknown".
+std::string_view status_name(Status status);
+
+/// Thrown by decode helpers on truncated/inconsistent payloads.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by the typed client when a response carries a non-Ok status.
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(Status status, const std::string& message);
+  Status status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+// --- Typed requests -------------------------------------------------------
+
+/// Adder family selector for CharacterizeAdder.
+enum class AdderFamily : std::uint8_t {
+  Gear = 0,    ///< GeAr(n, r, p) — param_a = R, param_b = P
+  Loa = 1,     ///< LOA(width, approx_lsbs) — param_a = approx_lsbs
+  Etai = 2,    ///< ETAII(width, approx_lsbs) — param_a = approx_lsbs
+  Ripple = 3,  ///< ripple with `cell` in the low param_a positions
+};
+
+struct CharacterizeAdderRequest {
+  AdderFamily family = AdderFamily::Gear;
+  std::uint32_t width = 8;    ///< operand width N
+  std::uint32_t param_a = 2;  ///< R / approx_lsbs (see AdderFamily)
+  std::uint32_t param_b = 2;  ///< P (GeAr only)
+  arith::FullAdderKind cell = arith::FullAdderKind::Accurate;  ///< Ripple
+  std::uint64_t vectors = 1024;  ///< power-sim stimulus vectors
+  std::uint64_t seed = 1;
+};
+
+/// Multiplier structure selector for CharacterizeMultiplier.
+enum class MultiplierStructure : std::uint8_t {
+  Recursive = 0,  ///< recursive 2x2-block build-up (Fig. 6)
+  Wallace = 1,    ///< Wallace tree with approximate compressors
+};
+
+struct CharacterizeMultiplierRequest {
+  MultiplierStructure structure = MultiplierStructure::Recursive;
+  std::uint32_t width = 8;  ///< power of two in [2, 16]
+  arith::Mul2x2Kind block = arith::Mul2x2Kind::Accurate;  ///< Recursive only
+  arith::FullAdderKind cell = arith::FullAdderKind::Accurate;
+  std::uint32_t approx_lsbs = 0;
+  std::uint64_t vectors = 1024;
+  std::uint64_t seed = 1;
+};
+
+struct CharacterizeResponse {
+  double area_ge = 0.0;
+  double power_nw = 0.0;
+  std::uint64_t gate_count = 0;
+};
+
+/// Target selector for EvaluateError.
+enum class EvalTarget : std::uint8_t {
+  GearAdder = 0,   ///< GeArAdder(gear, correction_iterations)
+  Multiplier = 1,  ///< recursive ApproxMultiplier(mul config)
+};
+
+struct EvaluateErrorRequest {
+  EvalTarget target = EvalTarget::GearAdder;
+  // GearAdder fields.
+  arith::GeArConfig gear{8, 2, 2};
+  std::uint32_t correction_iterations = 0;
+  // Multiplier fields.
+  std::uint32_t mul_width = 8;
+  arith::Mul2x2Kind mul_block = arith::Mul2x2Kind::Accurate;
+  arith::FullAdderKind mul_cell = arith::FullAdderKind::Accurate;
+  std::uint32_t mul_approx_lsbs = 0;
+  // Evaluation policy (error::EvalOptions without the thread knob — worker
+  // parallelism is a server policy, never part of the query identity).
+  std::uint32_t max_exhaustive_bits = 20;
+  std::uint64_t samples = 1u << 16;
+  std::uint64_t seed = 0xA5C0FFEEULL;
+};
+
+struct EvaluateErrorResponse {
+  std::uint64_t samples = 0;
+  std::uint64_t error_count = 0;
+  std::uint64_t max_error = 0;
+  double error_rate = 0.0;
+  double mean_error_distance = 0.0;
+  double normalized_med = 0.0;
+  double mean_relative_error = 0.0;
+  double mean_squared_error = 0.0;
+  double root_mean_squared_error = 0.0;
+  bool exhaustive = false;
+};
+
+struct GearDesignSpaceRequest {
+  std::uint32_t width = 11;       ///< operand width N (Table IV uses 11)
+  std::uint32_t min_p = 1;        ///< prediction-width floor
+  bool include_exact = false;     ///< add the degenerate L == N point
+  bool estimate_power = false;    ///< run the (slow) power sim per config
+  double min_accuracy = 90.0;     ///< constraint for min_area_index
+};
+
+struct GearDesignSpacePoint {
+  std::uint32_t r = 0;
+  std::uint32_t p = 0;
+  double area_ge = 0.0;
+  double power_nw = 0.0;
+  double accuracy_percent = 0.0;
+  bool on_pareto_front = false;
+};
+
+struct GearDesignSpaceResponse {
+  std::vector<GearDesignSpacePoint> points;  ///< (R, P) lexicographic order
+  /// Index of the paper's two selection queries; points.size() = none.
+  std::uint32_t max_accuracy_index = 0;
+  std::uint32_t min_area_index = 0;
+};
+
+struct EncodeProbeRequest {
+  std::uint16_t width = 64;
+  std::uint16_t height = 64;
+  std::uint16_t frames = 4;
+  std::uint16_t objects = 2;
+  std::uint64_t sequence_seed = 42;
+  std::uint8_t sad_variant = 0;  ///< 0 = accurate, 1..5 = ApxSAD1..5
+  std::uint8_t approx_lsbs = 0;
+  std::uint8_t block_size = 8;
+  std::uint8_t search_range = 2;
+  std::uint16_t quant_step = 8;
+};
+
+struct EncodeProbeResponse {
+  std::uint64_t total_bits = 0;
+  double bits_per_frame = 0.0;
+  double psnr_db = 0.0;
+  std::uint64_t sad_calls = 0;
+};
+
+// --- Request encoding / header parsing ------------------------------------
+
+struct RequestHeader {
+  std::uint8_t version = kProtocolVersion;
+  Endpoint endpoint = Endpoint::Ping;
+  std::uint32_t deadline_ms = 0;  ///< 0 = no deadline
+};
+
+inline constexpr std::size_t kRequestHeaderBytes = 6;
+
+/// Parses the fixed header; nullopt when truncated, unknown version or
+/// unknown endpoint (the server answers BadRequest).
+std::optional<RequestHeader> parse_request_header(
+    std::span<const std::uint8_t> request);
+
+Bytes encode_request(const CharacterizeAdderRequest& request,
+                     std::uint32_t deadline_ms = 0);
+Bytes encode_request(const CharacterizeMultiplierRequest& request,
+                     std::uint32_t deadline_ms = 0);
+Bytes encode_request(const EvaluateErrorRequest& request,
+                     std::uint32_t deadline_ms = 0);
+Bytes encode_request(const GearDesignSpaceRequest& request,
+                     std::uint32_t deadline_ms = 0);
+Bytes encode_request(const EncodeProbeRequest& request,
+                     std::uint32_t deadline_ms = 0);
+/// Body-less requests (Ping, Shutdown).
+Bytes encode_request(Endpoint endpoint, std::uint32_t deadline_ms = 0);
+
+/// Throwing (DecodeError) typed decoders for the server side. Each
+/// consumes the *body* (header already parsed) and rejects trailing bytes.
+CharacterizeAdderRequest decode_characterize_adder(
+    std::span<const std::uint8_t> body);
+CharacterizeMultiplierRequest decode_characterize_multiplier(
+    std::span<const std::uint8_t> body);
+EvaluateErrorRequest decode_evaluate_error(std::span<const std::uint8_t> body);
+GearDesignSpaceRequest decode_gear_design_space(
+    std::span<const std::uint8_t> body);
+EncodeProbeRequest decode_encode_probe(std::span<const std::uint8_t> body);
+
+// --- Response encoding / decoding -----------------------------------------
+
+Bytes encode_response(const CharacterizeResponse& response);
+Bytes encode_response(const EvaluateErrorResponse& response);
+Bytes encode_response(const GearDesignSpaceResponse& response);
+Bytes encode_response(const EncodeProbeResponse& response);
+/// Body-less Ok (Ping, Shutdown).
+Bytes encode_ok_response();
+/// Non-Ok response carrying a diagnostic message.
+Bytes encode_error_response(Status status, std::string_view message);
+
+/// Status of an encoded response; nullopt when truncated / bad version.
+std::optional<Status> response_status(std::span<const std::uint8_t> response);
+
+/// Typed decoders for the client side: return the payload on Status::Ok,
+/// throw ServiceError carrying the server's status + message otherwise,
+/// DecodeError on malformed bytes.
+CharacterizeResponse decode_characterize_response(
+    std::span<const std::uint8_t> response);
+EvaluateErrorResponse decode_evaluate_error_response(
+    std::span<const std::uint8_t> response);
+GearDesignSpaceResponse decode_gear_design_space_response(
+    std::span<const std::uint8_t> response);
+EncodeProbeResponse decode_encode_probe_response(
+    std::span<const std::uint8_t> response);
+/// For body-less Ok responses; throws like the typed decoders.
+void decode_ok_response(std::span<const std::uint8_t> response);
+
+// --- Canonicalization (cache identity) ------------------------------------
+
+/// The request minus its deadline field — the byte string whose hash keys
+/// the result cache. Throws DecodeError on requests shorter than a header.
+Bytes canonical_request_bytes(std::span<const std::uint8_t> request);
+
+/// 64-bit key over canonical bytes, built with the same SplitMix64-style
+/// combiner as the characterization memo (logic::detail::mix_key) so every
+/// cache in the system shares one mixing discipline.
+std::uint64_t canonical_request_key(std::span<const std::uint8_t> canonical);
+
+// --- Framing --------------------------------------------------------------
+
+/// Appends [length u32 LE][payload] to \p out. Throws std::invalid_argument
+/// when payload exceeds kMaxFrameBytes.
+void append_frame(Bytes& out, std::span<const std::uint8_t> payload);
+
+}  // namespace axc::service

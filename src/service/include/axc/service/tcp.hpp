@@ -1,0 +1,102 @@
+/// \file tcp.hpp
+/// POSIX TCP transport: the same [length u32 LE][payload] frames as the
+/// loopback path, carried over sockets for real traffic.
+///
+/// TcpServer owns an acceptor thread plus one thread per live connection;
+/// each connection is served synchronously (read frame -> Server::call ->
+/// write frame), so per-connection responses arrive in request order while
+/// the worker pool overlaps jobs *across* connections. Graceful shutdown —
+/// stop(), a remote Shutdown request (when allowed), or destruction —
+/// stops accepting, lets every in-flight request finish and write its
+/// response, then joins all threads; the job server itself keeps running
+/// (its owner decides when to drain it).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "axc/service/server.hpp"
+#include "axc/service/transport.hpp"
+
+namespace axc::service {
+
+struct TcpServerOptions {
+  /// Numeric address to bind; loopback by default (the smoke jobs and
+  /// examples never expose the service beyond the host unless asked).
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; the chosen port is readable via TcpServer::port().
+  std::uint16_t port = 0;
+  /// Honour Endpoint::Shutdown frames from clients. Off by default: a
+  /// remote peer must not be able to stop a server that didn't opt in.
+  bool allow_remote_shutdown = false;
+};
+
+class TcpServer {
+ public:
+  /// Binds, listens and starts accepting. Throws std::runtime_error when
+  /// the socket cannot be set up. \p server must outlive this object.
+  TcpServer(Server& server, const TcpServerOptions& options = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The bound port (resolves ephemeral requests).
+  std::uint16_t port() const { return port_; }
+
+  /// Graceful stop; idempotent, safe from any thread.
+  void stop();
+
+  /// Async-signal-safe stop signal: flips the stop flag (one relaxed
+  /// atomic store) without joining. The acceptor's poll loop notices
+  /// within its 100 ms timeout; pair with wait() or stop() to join.
+  void request_stop() noexcept { stop_requested_.store(true); }
+
+  /// Blocks until the transport has stopped (via stop() or a remote
+  /// Shutdown request).
+  void wait();
+
+  bool stopped() const { return stopped_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  Server& server_;
+  TcpServerOptions options_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> stopped_{false};
+  std::thread acceptor_;
+
+  std::mutex mutex_;
+  std::mutex join_mutex_;  ///< serializes acceptor_ joins
+  std::condition_variable stopped_cv_;
+  std::vector<std::thread> connections_;
+  std::vector<int> connection_fds_;
+};
+
+/// Client side: connects on construction (numeric IPv4 address), throws
+/// std::runtime_error on connect/IO failures.
+class TcpConnection final : public Connection {
+ public:
+  TcpConnection(const std::string& host, std::uint16_t port);
+  ~TcpConnection() override;
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  Bytes roundtrip(std::span<const std::uint8_t> request) override;
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace axc::service

@@ -1,0 +1,81 @@
+/// \file transport.hpp
+/// Transport abstraction of the service: one interface, two realizations.
+///
+///  - LoopbackConnection binds a client directly to an in-process Server —
+///    no sockets, no scheduling noise — which is what the deterministic
+///    unit/integration tests and the service_throughput bench run on.
+///  - TcpConnection (tcp.hpp) carries the same frames over a POSIX socket
+///    for real traffic.
+///
+/// Client is the typed facade over either: it serializes requests, applies
+/// a per-request deadline, and decodes responses (throwing ServiceError on
+/// non-Ok statuses), so call sites never touch wire bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "axc/service/protocol.hpp"
+#include "axc/service/server.hpp"
+
+namespace axc::service {
+
+/// One bidirectional request/response channel. Implementations may be
+/// used from one thread at a time (open one connection per client thread).
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Sends one request payload and blocks for its response payload.
+  /// Throws std::runtime_error on transport failure.
+  virtual Bytes roundtrip(std::span<const std::uint8_t> request) = 0;
+};
+
+/// In-process transport: roundtrip() submits to the Server and waits.
+/// Rejections (Overloaded, ShuttingDown, ...) arrive as ordinary response
+/// payloads, exactly as they would over TCP.
+class LoopbackConnection final : public Connection {
+ public:
+  explicit LoopbackConnection(Server& server) : server_(server) {}
+
+  Bytes roundtrip(std::span<const std::uint8_t> request) override {
+    return server_.call(request);
+  }
+
+ private:
+  Server& server_;
+};
+
+/// Typed client over any Connection.
+class Client {
+ public:
+  explicit Client(Connection& connection) : connection_(connection) {}
+
+  /// Deadline stamped on every subsequent request; 0 = none.
+  void set_deadline_ms(std::uint32_t deadline_ms) {
+    deadline_ms_ = deadline_ms;
+  }
+  std::uint32_t deadline_ms() const { return deadline_ms_; }
+
+  /// Each call throws ServiceError when the server answers a non-Ok
+  /// status, DecodeError on malformed bytes, std::runtime_error on
+  /// transport failure.
+  CharacterizeResponse characterize_adder(
+      const CharacterizeAdderRequest& request);
+  CharacterizeResponse characterize_multiplier(
+      const CharacterizeMultiplierRequest& request);
+  EvaluateErrorResponse evaluate_error(const EvaluateErrorRequest& request);
+  GearDesignSpaceResponse gear_design_space(
+      const GearDesignSpaceRequest& request);
+  EncodeProbeResponse encode_probe(const EncodeProbeRequest& request);
+  void ping();
+  /// Transport-level graceful stop; the TCP server must have been started
+  /// with allow_remote_shutdown (loopback servers answer BadRequest).
+  void shutdown();
+
+ private:
+  Connection& connection_;
+  std::uint32_t deadline_ms_ = 0;
+};
+
+}  // namespace axc::service

@@ -1,0 +1,78 @@
+#include "axc/service/cache.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace axc::service {
+
+ResultCache::ResultCache(std::size_t capacity, unsigned shards)
+    : capacity_(capacity) {
+  std::size_t count = std::bit_ceil(std::max<std::size_t>(1, shards));
+  count = std::min(count, std::bit_ceil(std::max<std::size_t>(1, capacity)));
+  shards_ = std::vector<Shard>(count);
+  // Distribute the budget; every shard gets at least one slot so a tiny
+  // capacity still caches something in each partition it maps to.
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_[i].capacity =
+        capacity == 0 ? 0 : std::max<std::size_t>(1, capacity / count);
+  }
+}
+
+std::optional<Bytes> ResultCache::lookup(
+    std::uint64_t key, std::span<const std::uint8_t> canonical) {
+  if (capacity_ == 0) return std::nullopt;
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) return std::nullopt;
+  const Entry& entry = *it->second;
+  if (entry.canonical.size() != canonical.size() ||
+      !std::equal(canonical.begin(), canonical.end(),
+                  entry.canonical.begin())) {
+    return std::nullopt;  // 64-bit collision: treat as a miss
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return entry.response;
+}
+
+void ResultCache::insert(std::uint64_t key,
+                         std::span<const std::uint8_t> canonical,
+                         Bytes response) {
+  if (capacity_ == 0) return;
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->canonical.assign(canonical.begin(), canonical.end());
+    it->second->response = std::move(response);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= shard.capacity) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+  }
+  shard.lru.push_front(Entry{key,
+                             Bytes(canonical.begin(), canonical.end()),
+                             std::move(response)});
+  shard.index.emplace(key, shard.lru.begin());
+}
+
+std::size_t ResultCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+void ResultCache::clear() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+}  // namespace axc::service

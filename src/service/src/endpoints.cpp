@@ -1,0 +1,306 @@
+#include "axc/service/endpoints.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "axc/accel/sad.hpp"
+#include "axc/arith/adder.hpp"
+#include "axc/arith/multiplier.hpp"
+#include "axc/core/explorer.hpp"
+#include "axc/core/pareto.hpp"
+#include "axc/error/evaluate.hpp"
+#include "axc/logic/adder_netlists.hpp"
+#include "axc/logic/characterize.hpp"
+#include "axc/logic/mul_netlists.hpp"
+#include "axc/video/encoder.hpp"
+#include "axc/video/sequence.hpp"
+
+namespace axc::service {
+
+namespace {
+
+/// Raised by handlers on out-of-policy parameters; mapped to BadRequest.
+class PolicyError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+void check(bool condition, const char* message) {
+  if (!condition) throw PolicyError(message);
+}
+
+CharacterizeResponse from_characterization(const logic::Characterization& c) {
+  CharacterizeResponse response;
+  response.area_ge = c.area_ge;
+  response.power_nw = c.power_nw;
+  response.gate_count = c.gate_count;
+  return response;
+}
+
+Bytes handle_characterize_adder(std::span<const std::uint8_t> body) {
+  const CharacterizeAdderRequest request = decode_characterize_adder(body);
+  check(request.width >= 1 &&
+            request.width <= DispatchLimits::kMaxAdderWidth,
+        "characterize_adder: width out of [1, 32]");
+  check(request.vectors >= 1 &&
+            request.vectors <= DispatchLimits::kMaxCharacterizeVectors,
+        "characterize_adder: vectors out of [1, 65536]");
+  logic::Netlist netlist;
+  switch (request.family) {
+    case AdderFamily::Gear: {
+      const arith::GeArConfig config{request.width, request.param_a,
+                                     request.param_b};
+      check(config.is_valid(),
+            "characterize_adder: invalid GeAr(N, R, P) configuration");
+      netlist = logic::gear_adder_netlist(config);
+      break;
+    }
+    case AdderFamily::Loa:
+      check(request.param_a <= request.width,
+            "characterize_adder: approx_lsbs exceeds width");
+      netlist = logic::loa_adder_netlist(request.width, request.param_a);
+      break;
+    case AdderFamily::Etai:
+      check(request.param_a <= request.width,
+            "characterize_adder: approx_lsbs exceeds width");
+      netlist = logic::etai_adder_netlist(request.width, request.param_a);
+      break;
+    case AdderFamily::Ripple: {
+      check(request.param_a <= request.width,
+            "characterize_adder: approx_lsbs exceeds width");
+      const auto model = arith::RippleAdder::lsb_approximated(
+          request.width, request.cell, request.param_a);
+      netlist = logic::ripple_adder_netlist(model.cells());
+      break;
+    }
+  }
+  // Area/power only: quality questions go to evaluate_error, which scales
+  // past the widths a truth-table reference could enumerate.
+  const logic::Characterization c = logic::characterize(
+      netlist, std::nullopt, request.vectors, request.seed);
+  return encode_response(from_characterization(c));
+}
+
+Bytes handle_characterize_multiplier(std::span<const std::uint8_t> body) {
+  const CharacterizeMultiplierRequest request =
+      decode_characterize_multiplier(body);
+  check(request.width >= 2 && request.width <= 16 &&
+            std::has_single_bit(request.width),
+        "characterize_multiplier: width must be a power of two in [2, 16]");
+  check(request.approx_lsbs <= 2 * request.width,
+        "characterize_multiplier: approx_lsbs exceeds product width");
+  check(request.vectors >= 1 &&
+            request.vectors <= DispatchLimits::kMaxCharacterizeVectors,
+        "characterize_multiplier: vectors out of [1, 65536]");
+  logic::Netlist netlist;
+  if (request.structure == MultiplierStructure::Recursive) {
+    logic::MulNetlistSpec spec;
+    spec.width = request.width;
+    spec.block = request.block;
+    spec.adder_cell = request.cell;
+    spec.approx_lsbs = request.approx_lsbs;
+    netlist = logic::multiplier_netlist(spec);
+  } else {
+    netlist = logic::wallace_netlist(request.width, request.cell,
+                                     request.approx_lsbs);
+  }
+  const logic::Characterization c = logic::characterize(
+      netlist, std::nullopt, request.vectors, request.seed);
+  return encode_response(from_characterization(c));
+}
+
+Bytes handle_evaluate_error(std::span<const std::uint8_t> body,
+                            const DispatchOptions& options) {
+  const EvaluateErrorRequest request = decode_evaluate_error(body);
+  check(request.max_exhaustive_bits <= DispatchLimits::kMaxExhaustiveBits,
+        "evaluate_error: max_exhaustive_bits out of [0, 24]");
+  check(request.samples >= 1 &&
+            request.samples <= DispatchLimits::kMaxSamples,
+        "evaluate_error: samples out of [1, 2^24]");
+  error::EvalOptions eval;
+  eval.max_exhaustive_bits = request.max_exhaustive_bits;
+  eval.samples = request.samples;
+  eval.seed = request.seed;
+  eval.threads = std::max(1u, options.eval_threads);
+
+  error::ErrorStats stats;
+  if (request.target == EvalTarget::GearAdder) {
+    check(request.gear.is_valid(),
+          "evaluate_error: invalid GeAr(N, R, P) configuration");
+    check(request.gear.n <= DispatchLimits::kMaxAdderWidth,
+          "evaluate_error: width out of [1, 32]");
+    check(request.correction_iterations <= 64,
+          "evaluate_error: correction_iterations out of [0, 64]");
+    const arith::GeArAdder adder(request.gear,
+                                 request.correction_iterations);
+    stats = error::evaluate_adder(adder, eval);
+  } else {
+    check(request.mul_width >= 2 && request.mul_width <= 16 &&
+              std::has_single_bit(request.mul_width),
+          "evaluate_error: width must be a power of two in [2, 16]");
+    check(request.mul_approx_lsbs <= 2 * request.mul_width,
+          "evaluate_error: approx_lsbs exceeds product width");
+    arith::MultiplierConfig config;
+    config.width = request.mul_width;
+    config.block = request.mul_block;
+    config.adder_cell = request.mul_cell;
+    config.approx_lsbs = request.mul_approx_lsbs;
+    const arith::ApproxMultiplier multiplier(config);
+    stats = error::evaluate_multiplier(multiplier, eval);
+  }
+
+  EvaluateErrorResponse response;
+  response.samples = stats.samples;
+  response.error_count = stats.error_count;
+  response.max_error = stats.max_error;
+  response.error_rate = stats.error_rate;
+  response.mean_error_distance = stats.mean_error_distance;
+  response.normalized_med = stats.normalized_med;
+  response.mean_relative_error = stats.mean_relative_error;
+  response.mean_squared_error = stats.mean_squared_error;
+  response.root_mean_squared_error = stats.root_mean_squared_error;
+  response.exhaustive = stats.exhaustive;
+  return encode_response(response);
+}
+
+Bytes handle_gear_design_space(std::span<const std::uint8_t> body) {
+  const GearDesignSpaceRequest request = decode_gear_design_space(body);
+  check(request.width >= 2 &&
+            request.width <= DispatchLimits::kMaxGearSpaceWidth,
+        "gear_design_space: width out of [2, 16]");
+  check(request.min_accuracy >= 0.0 && request.min_accuracy <= 100.0,
+        "gear_design_space: min_accuracy out of [0, 100]");
+  core::ExploreOptions explore;
+  explore.min_p = request.min_p;
+  explore.include_exact = request.include_exact;
+  explore.estimate_power = request.estimate_power;
+  const auto space = core::explore_gear_space(request.width, explore);
+
+  std::vector<core::DesignPoint> flat;
+  flat.reserve(space.size());
+  for (const auto& entry : space) flat.push_back(entry.point);
+  const auto front = core::pareto_front(
+      flat, {core::minimize_area(), core::minimize_error()});
+
+  GearDesignSpaceResponse response;
+  response.points.reserve(space.size());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    GearDesignSpacePoint point;
+    point.r = space[i].config.r;
+    point.p = space[i].config.p;
+    point.area_ge = space[i].point.area_ge;
+    point.power_nw = space[i].point.power_nw;
+    point.accuracy_percent = space[i].point.accuracy_percent;
+    point.on_pareto_front =
+        std::find(front.begin(), front.end(), i) != front.end();
+    response.points.push_back(point);
+  }
+  response.max_accuracy_index =
+      static_cast<std::uint32_t>(core::max_accuracy_config(space));
+  response.min_area_index = static_cast<std::uint32_t>(
+      core::min_area_config_with_accuracy(space, request.min_accuracy));
+  return encode_response(response);
+}
+
+Bytes handle_encode_probe(std::span<const std::uint8_t> body,
+                          const DispatchOptions& options) {
+  const EncodeProbeRequest request = decode_encode_probe(body);
+  check(request.block_size >= 2 && request.block_size <= 16,
+        "encode_probe: block_size out of [2, 16]");
+  check(request.width >= request.block_size &&
+            request.width <= DispatchLimits::kMaxProbeDim &&
+            request.height >= request.block_size &&
+            request.height <= DispatchLimits::kMaxProbeDim,
+        "encode_probe: frame dimensions out of [block_size, 256]");
+  check(request.width % request.block_size == 0 &&
+            request.height % request.block_size == 0,
+        "encode_probe: frame dimensions must be block_size multiples");
+  check(request.frames >= 1 &&
+            request.frames <= DispatchLimits::kMaxProbeFrames,
+        "encode_probe: frames out of [1, 32]");
+  check(request.objects <= 16, "encode_probe: objects out of [0, 16]");
+  check(request.sad_variant <= 5,
+        "encode_probe: sad_variant out of [0, 5] (0 = accurate)");
+  check(request.approx_lsbs <= 8,
+        "encode_probe: approx_lsbs out of [0, 8]");
+  check(request.search_range >= 1 && request.search_range <= 16,
+        "encode_probe: search_range out of [1, 16]");
+  check(request.quant_step >= 1 && request.quant_step <= 255,
+        "encode_probe: quant_step out of [1, 255]");
+
+  video::SequenceConfig sc;
+  sc.width = request.width;
+  sc.height = request.height;
+  sc.frames = request.frames;
+  sc.objects = request.objects;
+  sc.seed = request.sequence_seed;
+  const video::Sequence sequence = video::generate_sequence(sc);
+
+  const unsigned block_pixels =
+      static_cast<unsigned>(request.block_size) * request.block_size;
+  const accel::SadConfig sad_config =
+      request.sad_variant == 0
+          ? accel::accu_sad(block_pixels)
+          : accel::apx_sad_variant(request.sad_variant, request.approx_lsbs,
+                                   block_pixels);
+  const accel::SadAccelerator sad(sad_config);
+
+  video::EncoderConfig ec;
+  ec.motion.block_size = request.block_size;
+  ec.motion.search_range = request.search_range;
+  ec.quant_step = request.quant_step;
+  ec.threads = std::max(1u, options.eval_threads);
+  const video::EncodeStats stats = video::Encoder(ec, sad).encode(sequence);
+
+  EncodeProbeResponse response;
+  response.total_bits = stats.total_bits;
+  response.bits_per_frame = stats.bits_per_frame;
+  response.psnr_db = stats.psnr_db;
+  response.sad_calls = stats.sad_calls;
+  return encode_response(response);
+}
+
+}  // namespace
+
+Bytes dispatch(std::span<const std::uint8_t> request,
+               const DispatchOptions& options) {
+  const std::optional<RequestHeader> header = parse_request_header(request);
+  if (!header) {
+    return encode_error_response(Status::BadRequest,
+                                 "unparseable request header");
+  }
+  const auto body = request.subspan(kRequestHeaderBytes);
+  try {
+    switch (header->endpoint) {
+      case Endpoint::CharacterizeAdder:
+        return handle_characterize_adder(body);
+      case Endpoint::CharacterizeMultiplier:
+        return handle_characterize_multiplier(body);
+      case Endpoint::EvaluateError:
+        return handle_evaluate_error(body, options);
+      case Endpoint::GearDesignSpace:
+        return handle_gear_design_space(body);
+      case Endpoint::EncodeProbe:
+        return handle_encode_probe(body, options);
+      case Endpoint::Ping:
+        return encode_ok_response();
+      case Endpoint::Shutdown:
+        return encode_error_response(
+            Status::BadRequest,
+            "shutdown is transport-level (enable it on the TCP server)");
+    }
+    return encode_error_response(Status::BadRequest, "unknown endpoint");
+  } catch (const PolicyError& e) {
+    return encode_error_response(Status::BadRequest, e.what());
+  } catch (const DecodeError& e) {
+    return encode_error_response(Status::BadRequest, e.what());
+  } catch (const std::invalid_argument& e) {
+    // Library-layer precondition (require/AXC_REQUIRE): still the
+    // caller's fault, not a server failure.
+    return encode_error_response(Status::BadRequest, e.what());
+  } catch (const std::exception& e) {
+    return encode_error_response(Status::InternalError, e.what());
+  }
+}
+
+}  // namespace axc::service

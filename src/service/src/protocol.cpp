@@ -1,0 +1,530 @@
+#include "axc/service/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "axc/common/require.hpp"
+#include "axc/logic/characterize.hpp"
+
+namespace axc::service {
+
+namespace {
+
+// --- Little-endian primitives ---------------------------------------------
+
+void put_u8(Bytes& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f64(Bytes& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(Bytes& out, std::string_view text) {
+  put_u32(out, static_cast<std::uint32_t>(text.size()));
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+/// Sequential reader over a payload; every getter throws DecodeError on
+/// underrun so truncated frames surface as BadRequest, never as UB.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16() {
+    const auto b = take(2);
+    return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  }
+  std::uint32_t u32() {
+    const auto b = take(4);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | b[static_cast<std::size_t>(i)];
+    return v;
+  }
+  std::uint64_t u64() {
+    const auto b = take(8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | b[static_cast<std::size_t>(i)];
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string string() {
+    const std::uint32_t n = u32();
+    const auto b = take(n);
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+  bool done() const { return pos_ == data_.size(); }
+  void expect_done() const {
+    if (!done()) throw DecodeError("trailing bytes after payload");
+  }
+
+ private:
+  std::span<const std::uint8_t> take(std::size_t n) {
+    if (data_.size() - pos_ < n) throw DecodeError("truncated payload");
+    const auto view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+template <typename Enum>
+Enum checked_enum(std::uint8_t raw, std::uint8_t max, const char* what) {
+  if (raw > max) {
+    throw DecodeError(std::string("invalid ") + what + " value " +
+                      std::to_string(raw));
+  }
+  return static_cast<Enum>(raw);
+}
+
+Bytes request_prefix(Endpoint endpoint, std::uint32_t deadline_ms) {
+  Bytes out;
+  put_u8(out, kProtocolVersion);
+  put_u8(out, static_cast<std::uint8_t>(endpoint));
+  put_u32(out, deadline_ms);
+  return out;
+}
+
+Bytes response_prefix(Status status) {
+  Bytes out;
+  put_u8(out, kProtocolVersion);
+  put_u8(out, static_cast<std::uint8_t>(status));
+  return out;
+}
+
+/// Splits a response into its status and body, throwing ServiceError for
+/// transported non-Ok statuses.
+std::span<const std::uint8_t> ok_body(std::span<const std::uint8_t> response) {
+  if (response.size() < 2) throw DecodeError("truncated response");
+  if (response[0] != kProtocolVersion) {
+    throw DecodeError("unknown response version " +
+                      std::to_string(response[0]));
+  }
+  const auto status = static_cast<Status>(response[1]);
+  if (status == Status::Ok) return response.subspan(2);
+  Reader reader(response.subspan(2));
+  std::string message;
+  try {
+    message = reader.string();
+  } catch (const DecodeError&) {
+    message = "(no message)";
+  }
+  throw ServiceError(status, message);
+}
+
+}  // namespace
+
+std::string_view endpoint_name(Endpoint endpoint) {
+  switch (endpoint) {
+    case Endpoint::CharacterizeAdder: return "characterize_adder";
+    case Endpoint::CharacterizeMultiplier: return "characterize_multiplier";
+    case Endpoint::EvaluateError: return "evaluate_error";
+    case Endpoint::GearDesignSpace: return "gear_design_space";
+    case Endpoint::EncodeProbe: return "encode_probe";
+    case Endpoint::Ping: return "ping";
+    case Endpoint::Shutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+std::string_view status_name(Status status) {
+  switch (status) {
+    case Status::Ok: return "ok";
+    case Status::BadRequest: return "bad_request";
+    case Status::Overloaded: return "overloaded";
+    case Status::DeadlineExceeded: return "deadline_exceeded";
+    case Status::ShuttingDown: return "shutting_down";
+    case Status::InternalError: return "internal_error";
+  }
+  return "unknown";
+}
+
+ServiceError::ServiceError(Status status, const std::string& message)
+    : std::runtime_error(std::string(status_name(status)) + ": " + message),
+      status_(status) {}
+
+// --- Header ---------------------------------------------------------------
+
+std::optional<RequestHeader> parse_request_header(
+    std::span<const std::uint8_t> request) {
+  if (request.size() < kRequestHeaderBytes) return std::nullopt;
+  if (request[0] != kProtocolVersion) return std::nullopt;
+  const std::uint8_t raw = request[1];
+  if (raw < static_cast<std::uint8_t>(Endpoint::CharacterizeAdder) ||
+      raw > static_cast<std::uint8_t>(Endpoint::Shutdown)) {
+    return std::nullopt;
+  }
+  RequestHeader header;
+  header.version = request[0];
+  header.endpoint = static_cast<Endpoint>(raw);
+  header.deadline_ms = static_cast<std::uint32_t>(
+      request[2] | (request[3] << 8) | (request[4] << 16) |
+      (static_cast<std::uint32_t>(request[5]) << 24));
+  return header;
+}
+
+// --- Request encoders -----------------------------------------------------
+
+Bytes encode_request(const CharacterizeAdderRequest& request,
+                     std::uint32_t deadline_ms) {
+  Bytes out = request_prefix(Endpoint::CharacterizeAdder, deadline_ms);
+  put_u8(out, static_cast<std::uint8_t>(request.family));
+  put_u32(out, request.width);
+  put_u32(out, request.param_a);
+  put_u32(out, request.param_b);
+  put_u8(out, static_cast<std::uint8_t>(request.cell));
+  put_u64(out, request.vectors);
+  put_u64(out, request.seed);
+  return out;
+}
+
+Bytes encode_request(const CharacterizeMultiplierRequest& request,
+                     std::uint32_t deadline_ms) {
+  Bytes out = request_prefix(Endpoint::CharacterizeMultiplier, deadline_ms);
+  put_u8(out, static_cast<std::uint8_t>(request.structure));
+  put_u32(out, request.width);
+  put_u8(out, static_cast<std::uint8_t>(request.block));
+  put_u8(out, static_cast<std::uint8_t>(request.cell));
+  put_u32(out, request.approx_lsbs);
+  put_u64(out, request.vectors);
+  put_u64(out, request.seed);
+  return out;
+}
+
+Bytes encode_request(const EvaluateErrorRequest& request,
+                     std::uint32_t deadline_ms) {
+  Bytes out = request_prefix(Endpoint::EvaluateError, deadline_ms);
+  put_u8(out, static_cast<std::uint8_t>(request.target));
+  put_u32(out, request.gear.n);
+  put_u32(out, request.gear.r);
+  put_u32(out, request.gear.p);
+  put_u32(out, request.correction_iterations);
+  put_u32(out, request.mul_width);
+  put_u8(out, static_cast<std::uint8_t>(request.mul_block));
+  put_u8(out, static_cast<std::uint8_t>(request.mul_cell));
+  put_u32(out, request.mul_approx_lsbs);
+  put_u32(out, request.max_exhaustive_bits);
+  put_u64(out, request.samples);
+  put_u64(out, request.seed);
+  return out;
+}
+
+Bytes encode_request(const GearDesignSpaceRequest& request,
+                     std::uint32_t deadline_ms) {
+  Bytes out = request_prefix(Endpoint::GearDesignSpace, deadline_ms);
+  put_u32(out, request.width);
+  put_u32(out, request.min_p);
+  put_u8(out, request.include_exact ? 1 : 0);
+  put_u8(out, request.estimate_power ? 1 : 0);
+  put_f64(out, request.min_accuracy);
+  return out;
+}
+
+Bytes encode_request(const EncodeProbeRequest& request,
+                     std::uint32_t deadline_ms) {
+  Bytes out = request_prefix(Endpoint::EncodeProbe, deadline_ms);
+  put_u16(out, request.width);
+  put_u16(out, request.height);
+  put_u16(out, request.frames);
+  put_u16(out, request.objects);
+  put_u64(out, request.sequence_seed);
+  put_u8(out, request.sad_variant);
+  put_u8(out, request.approx_lsbs);
+  put_u8(out, request.block_size);
+  put_u8(out, request.search_range);
+  put_u16(out, request.quant_step);
+  return out;
+}
+
+Bytes encode_request(Endpoint endpoint, std::uint32_t deadline_ms) {
+  require(endpoint == Endpoint::Ping || endpoint == Endpoint::Shutdown,
+          "encode_request: endpoint requires a typed body");
+  return request_prefix(endpoint, deadline_ms);
+}
+
+// --- Request decoders -----------------------------------------------------
+
+CharacterizeAdderRequest decode_characterize_adder(
+    std::span<const std::uint8_t> body) {
+  Reader reader(body);
+  CharacterizeAdderRequest request;
+  request.family = checked_enum<AdderFamily>(reader.u8(), 3, "adder family");
+  request.width = reader.u32();
+  request.param_a = reader.u32();
+  request.param_b = reader.u32();
+  request.cell = checked_enum<arith::FullAdderKind>(
+      reader.u8(), arith::kFullAdderKindCount - 1, "full-adder kind");
+  request.vectors = reader.u64();
+  request.seed = reader.u64();
+  reader.expect_done();
+  return request;
+}
+
+CharacterizeMultiplierRequest decode_characterize_multiplier(
+    std::span<const std::uint8_t> body) {
+  Reader reader(body);
+  CharacterizeMultiplierRequest request;
+  request.structure = checked_enum<MultiplierStructure>(
+      reader.u8(), 1, "multiplier structure");
+  request.width = reader.u32();
+  request.block = checked_enum<arith::Mul2x2Kind>(
+      reader.u8(), arith::kMul2x2KindCount - 1, "mul2x2 kind");
+  request.cell = checked_enum<arith::FullAdderKind>(
+      reader.u8(), arith::kFullAdderKindCount - 1, "full-adder kind");
+  request.approx_lsbs = reader.u32();
+  request.vectors = reader.u64();
+  request.seed = reader.u64();
+  reader.expect_done();
+  return request;
+}
+
+EvaluateErrorRequest decode_evaluate_error(
+    std::span<const std::uint8_t> body) {
+  Reader reader(body);
+  EvaluateErrorRequest request;
+  request.target = checked_enum<EvalTarget>(reader.u8(), 1, "eval target");
+  request.gear.n = reader.u32();
+  request.gear.r = reader.u32();
+  request.gear.p = reader.u32();
+  request.correction_iterations = reader.u32();
+  request.mul_width = reader.u32();
+  request.mul_block = checked_enum<arith::Mul2x2Kind>(
+      reader.u8(), arith::kMul2x2KindCount - 1, "mul2x2 kind");
+  request.mul_cell = checked_enum<arith::FullAdderKind>(
+      reader.u8(), arith::kFullAdderKindCount - 1, "full-adder kind");
+  request.mul_approx_lsbs = reader.u32();
+  request.max_exhaustive_bits = reader.u32();
+  request.samples = reader.u64();
+  request.seed = reader.u64();
+  reader.expect_done();
+  return request;
+}
+
+GearDesignSpaceRequest decode_gear_design_space(
+    std::span<const std::uint8_t> body) {
+  Reader reader(body);
+  GearDesignSpaceRequest request;
+  request.width = reader.u32();
+  request.min_p = reader.u32();
+  request.include_exact = reader.u8() != 0;
+  request.estimate_power = reader.u8() != 0;
+  request.min_accuracy = reader.f64();
+  reader.expect_done();
+  return request;
+}
+
+EncodeProbeRequest decode_encode_probe(std::span<const std::uint8_t> body) {
+  Reader reader(body);
+  EncodeProbeRequest request;
+  request.width = reader.u16();
+  request.height = reader.u16();
+  request.frames = reader.u16();
+  request.objects = reader.u16();
+  request.sequence_seed = reader.u64();
+  request.sad_variant = reader.u8();
+  request.approx_lsbs = reader.u8();
+  request.block_size = reader.u8();
+  request.search_range = reader.u8();
+  request.quant_step = reader.u16();
+  reader.expect_done();
+  return request;
+}
+
+// --- Response encoders ----------------------------------------------------
+
+Bytes encode_response(const CharacterizeResponse& response) {
+  Bytes out = response_prefix(Status::Ok);
+  put_f64(out, response.area_ge);
+  put_f64(out, response.power_nw);
+  put_u64(out, response.gate_count);
+  return out;
+}
+
+Bytes encode_response(const EvaluateErrorResponse& response) {
+  Bytes out = response_prefix(Status::Ok);
+  put_u64(out, response.samples);
+  put_u64(out, response.error_count);
+  put_u64(out, response.max_error);
+  put_f64(out, response.error_rate);
+  put_f64(out, response.mean_error_distance);
+  put_f64(out, response.normalized_med);
+  put_f64(out, response.mean_relative_error);
+  put_f64(out, response.mean_squared_error);
+  put_f64(out, response.root_mean_squared_error);
+  put_u8(out, response.exhaustive ? 1 : 0);
+  return out;
+}
+
+Bytes encode_response(const GearDesignSpaceResponse& response) {
+  Bytes out = response_prefix(Status::Ok);
+  put_u32(out, static_cast<std::uint32_t>(response.points.size()));
+  for (const GearDesignSpacePoint& point : response.points) {
+    put_u32(out, point.r);
+    put_u32(out, point.p);
+    put_f64(out, point.area_ge);
+    put_f64(out, point.power_nw);
+    put_f64(out, point.accuracy_percent);
+    put_u8(out, point.on_pareto_front ? 1 : 0);
+  }
+  put_u32(out, response.max_accuracy_index);
+  put_u32(out, response.min_area_index);
+  return out;
+}
+
+Bytes encode_response(const EncodeProbeResponse& response) {
+  Bytes out = response_prefix(Status::Ok);
+  put_u64(out, response.total_bits);
+  put_f64(out, response.bits_per_frame);
+  put_f64(out, response.psnr_db);
+  put_u64(out, response.sad_calls);
+  return out;
+}
+
+Bytes encode_ok_response() { return response_prefix(Status::Ok); }
+
+Bytes encode_error_response(Status status, std::string_view message) {
+  require(status != Status::Ok,
+          "encode_error_response: Ok is not an error status");
+  Bytes out = response_prefix(status);
+  put_string(out, message);
+  return out;
+}
+
+std::optional<Status> response_status(
+    std::span<const std::uint8_t> response) {
+  if (response.size() < 2 || response[0] != kProtocolVersion) {
+    return std::nullopt;
+  }
+  if (response[1] > static_cast<std::uint8_t>(Status::InternalError)) {
+    return std::nullopt;
+  }
+  return static_cast<Status>(response[1]);
+}
+
+// --- Response decoders ----------------------------------------------------
+
+CharacterizeResponse decode_characterize_response(
+    std::span<const std::uint8_t> response) {
+  Reader reader(ok_body(response));
+  CharacterizeResponse out;
+  out.area_ge = reader.f64();
+  out.power_nw = reader.f64();
+  out.gate_count = reader.u64();
+  reader.expect_done();
+  return out;
+}
+
+EvaluateErrorResponse decode_evaluate_error_response(
+    std::span<const std::uint8_t> response) {
+  Reader reader(ok_body(response));
+  EvaluateErrorResponse out;
+  out.samples = reader.u64();
+  out.error_count = reader.u64();
+  out.max_error = reader.u64();
+  out.error_rate = reader.f64();
+  out.mean_error_distance = reader.f64();
+  out.normalized_med = reader.f64();
+  out.mean_relative_error = reader.f64();
+  out.mean_squared_error = reader.f64();
+  out.root_mean_squared_error = reader.f64();
+  out.exhaustive = reader.u8() != 0;
+  reader.expect_done();
+  return out;
+}
+
+GearDesignSpaceResponse decode_gear_design_space_response(
+    std::span<const std::uint8_t> response) {
+  Reader reader(ok_body(response));
+  GearDesignSpaceResponse out;
+  const std::uint32_t count = reader.u32();
+  out.points.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    GearDesignSpacePoint point;
+    point.r = reader.u32();
+    point.p = reader.u32();
+    point.area_ge = reader.f64();
+    point.power_nw = reader.f64();
+    point.accuracy_percent = reader.f64();
+    point.on_pareto_front = reader.u8() != 0;
+    out.points.push_back(point);
+  }
+  out.max_accuracy_index = reader.u32();
+  out.min_area_index = reader.u32();
+  reader.expect_done();
+  return out;
+}
+
+EncodeProbeResponse decode_encode_probe_response(
+    std::span<const std::uint8_t> response) {
+  Reader reader(ok_body(response));
+  EncodeProbeResponse out;
+  out.total_bits = reader.u64();
+  out.bits_per_frame = reader.f64();
+  out.psnr_db = reader.f64();
+  out.sad_calls = reader.u64();
+  reader.expect_done();
+  return out;
+}
+
+void decode_ok_response(std::span<const std::uint8_t> response) {
+  Reader reader(ok_body(response));
+  reader.expect_done();
+}
+
+// --- Canonicalization -----------------------------------------------------
+
+Bytes canonical_request_bytes(std::span<const std::uint8_t> request) {
+  if (request.size() < kRequestHeaderBytes) {
+    throw DecodeError("request shorter than header");
+  }
+  Bytes canonical;
+  canonical.reserve(request.size() - 4);
+  canonical.push_back(request[0]);  // version
+  canonical.push_back(request[1]);  // endpoint
+  canonical.insert(canonical.end(), request.begin() + kRequestHeaderBytes,
+                   request.end());
+  return canonical;
+}
+
+std::uint64_t canonical_request_key(
+    std::span<const std::uint8_t> canonical) {
+  // Seeded off the length, then folded 8 bytes at a time (zero-padded
+  // tail) through the shared characterization-cache combiner.
+  std::uint64_t key = logic::detail::mix_key(0x5EB51CEULL, canonical.size());
+  for (std::size_t base = 0; base < canonical.size(); base += 8) {
+    std::uint64_t word = 0;
+    const std::size_t n = std::min<std::size_t>(8, canonical.size() - base);
+    std::memcpy(&word, canonical.data() + base, n);
+    key = logic::detail::mix_key(key, word);
+  }
+  return key;
+}
+
+// --- Framing --------------------------------------------------------------
+
+void append_frame(Bytes& out, std::span<const std::uint8_t> payload) {
+  require(payload.size() <= kMaxFrameBytes,
+          "append_frame: payload exceeds kMaxFrameBytes");
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+}  // namespace axc::service

@@ -1,0 +1,212 @@
+#include "axc/service/server.hpp"
+
+#include <algorithm>
+#include <future>
+#include <mutex>
+#include <string>
+
+#include "axc/obs/obs.hpp"
+
+namespace axc::service {
+
+namespace {
+
+constexpr int kEndpointSlots =
+    static_cast<int>(Endpoint::Shutdown) + 1;
+
+/// Per-endpoint instruments, resolved once (obs handles are stable for the
+/// process lifetime, so after the first call this is a plain array load).
+struct EndpointInstruments {
+  obs::Counter* requests[kEndpointSlots] = {};
+  obs::SpanStat* latency[kEndpointSlots] = {};
+};
+
+const EndpointInstruments& endpoint_instruments() {
+  static const EndpointInstruments instance = [] {
+    EndpointInstruments out;
+    for (int i = 1; i < kEndpointSlots; ++i) {
+      const std::string name(endpoint_name(static_cast<Endpoint>(i)));
+      out.requests[i] = &obs::counter("service." + name + ".requests");
+      out.latency[i] = &obs::span("service.latency." + name);
+    }
+    return out;
+  }();
+  return instance;
+}
+
+bool is_cacheable(Endpoint endpoint) {
+  // Ping carries no result and Shutdown is transport-level; everything
+  // else is a pure function of its canonical bytes.
+  return endpoint != Endpoint::Ping && endpoint != Endpoint::Shutdown;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity, options_.cache_shards) {
+  if (options_.workers == 0) {
+    options_.workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (options_.dispatcher) {
+    dispatcher_ = options_.dispatcher;
+  } else {
+    const DispatchOptions dispatch_options{options_.eval_threads};
+    dispatcher_ = [dispatch_options](std::span<const std::uint8_t> request) {
+      return dispatch(request, dispatch_options);
+    };
+  }
+  workers_.reserve(options_.workers);
+  for (unsigned i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::submit(Bytes request, ResponseCallback done) {
+  static obs::Counter& total = obs::counter("service.requests");
+  static obs::Counter& bad = obs::counter("service.rejected.bad_request");
+  static obs::Counter& shedding =
+      obs::counter("service.rejected.overloaded");
+  static obs::Counter& draining =
+      obs::counter("service.rejected.shutting_down");
+  static obs::Counter& cache_hits = obs::counter("service.cache.hits");
+  static obs::Counter& cache_misses = obs::counter("service.cache.misses");
+  static obs::Histogram& depth = obs::histogram("service.queue_depth");
+
+  total.add();
+  const std::optional<RequestHeader> header = parse_request_header(request);
+  if (!header) {
+    bad.add();
+    done(encode_error_response(Status::BadRequest,
+                               "unparseable request header"));
+    return;
+  }
+  endpoint_instruments().requests[static_cast<int>(header->endpoint)]->add();
+
+  Job job;
+  job.endpoint = header->endpoint;
+  job.cacheable = is_cacheable(header->endpoint) && cache_.capacity() > 0;
+  if (job.cacheable) {
+    job.canonical = canonical_request_bytes(request);
+    job.cache_key = canonical_request_key(job.canonical);
+    if (std::optional<Bytes> cached =
+            cache_.lookup(job.cache_key, job.canonical)) {
+      cache_hits.add();
+      done(std::move(*cached));
+      return;
+    }
+    cache_misses.add();
+  }
+  if (header->deadline_ms != 0) {
+    job.has_deadline = true;
+    job.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(header->deadline_ms);
+  }
+  job.request = std::move(request);
+  job.done = std::move(done);
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!accepting_) {
+      draining.add();
+      job.done(encode_error_response(Status::ShuttingDown,
+                                     "server is draining"));
+      return;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      shedding.add();
+      job.done(encode_error_response(
+          Status::Overloaded,
+          "job queue full (" + std::to_string(options_.queue_capacity) +
+              " pending)"));
+      return;
+    }
+    queue_.push_back(std::move(job));
+    depth.record(static_cast<std::int64_t>(queue_.size()));
+  }
+  work_available_.notify_one();
+}
+
+Bytes Server::call(std::span<const std::uint8_t> request) {
+  std::promise<Bytes> promise;
+  std::future<Bytes> future = promise.get_future();
+  submit(Bytes(request.begin(), request.end()),
+         [&promise](Bytes response) { promise.set_value(std::move(response)); });
+  return future.get();
+}
+
+void Server::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+    joining_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void Server::request_stop() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  accepting_ = false;
+}
+
+bool Server::stopping() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return !accepting_;
+}
+
+std::size_t Server::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return !queue_.empty() || joining_; });
+      if (queue_.empty()) return;  // joining_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    run_job(job);
+  }
+}
+
+void Server::run_job(Job& job) {
+  static obs::Counter& expired = obs::counter("service.rejected.deadline");
+  static obs::Counter& completed = obs::counter("service.completed");
+  static obs::Counter& internal = obs::counter("service.errors.internal");
+  static obs::Counter& bad = obs::counter("service.rejected.bad_request");
+
+  if (job.has_deadline &&
+      std::chrono::steady_clock::now() > job.deadline) {
+    expired.add();
+    job.done(encode_error_response(Status::DeadlineExceeded,
+                                   "deadline expired while queued"));
+    return;
+  }
+  Bytes response;
+  {
+    obs::Span span(
+        *endpoint_instruments().latency[static_cast<int>(job.endpoint)]);
+    response = dispatcher_(job.request);
+  }
+  const std::optional<Status> status = response_status(response);
+  if (status == Status::InternalError) internal.add();
+  if (status == Status::BadRequest) bad.add();  // body decode/policy errors
+  if (job.cacheable && status == Status::Ok) {
+    cache_.insert(job.cache_key, job.canonical, response);
+  }
+  completed.add();
+  job.done(std::move(response));
+}
+
+}  // namespace axc::service

@@ -1,0 +1,262 @@
+#include "axc/service/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "axc/obs/obs.hpp"
+
+namespace axc::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Reads exactly \p size bytes; false on orderly EOF at a frame boundary,
+/// throws on mid-frame EOF or IO errors.
+bool read_exact(int fd, std::uint8_t* data, std::size_t size,
+                bool eof_ok_at_start) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n == 0) {
+      if (got == 0 && eof_ok_at_start) return false;
+      throw std::runtime_error("connection closed mid-frame");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::write(fd, data + sent, size - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Receives one frame payload. False on orderly EOF before a new frame.
+bool read_frame(int fd, Bytes& payload) {
+  std::uint8_t header[4];
+  if (!read_exact(fd, header, sizeof header, /*eof_ok_at_start=*/true)) {
+    return false;
+  }
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(header[0]) | (header[1] << 8) |
+      (header[2] << 16) | (static_cast<std::uint32_t>(header[3]) << 24);
+  if (length > kMaxFrameBytes) {
+    throw std::runtime_error("frame length " + std::to_string(length) +
+                             " exceeds kMaxFrameBytes");
+  }
+  payload.resize(length);
+  if (length > 0) {
+    read_exact(fd, payload.data(), length, /*eof_ok_at_start=*/false);
+  }
+  return true;
+}
+
+void write_frame(int fd, std::span<const std::uint8_t> payload) {
+  Bytes framed;
+  framed.reserve(payload.size() + 4);
+  append_frame(framed, payload);
+  write_all(fd, framed.data(), framed.size());
+}
+
+}  // namespace
+
+// --- TcpServer ------------------------------------------------------------
+
+TcpServer::TcpServer(Server& server, const TcpServerOptions& options)
+    : server_(server), options_(options) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("invalid bind address: " +
+                             options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("bind " + options_.bind_address + ":" +
+                std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::accept_loop() {
+  static obs::Counter& accepted =
+      obs::counter("service.tcp.connections_accepted");
+  while (!stop_requested_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    accepted.add();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_requested_.load()) {
+      ::close(fd);
+      break;
+    }
+    connection_fds_.push_back(fd);
+    connections_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+
+  // Drain: unblock reads so every connection thread observes EOF after
+  // finishing (and responding to) its in-flight request, then join them.
+  std::vector<std::thread> to_join;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RD);
+    to_join.swap(connections_);
+  }
+  for (std::thread& thread : to_join) {
+    if (thread.joinable()) thread.join();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const int fd : connection_fds_) ::close(fd);
+    connection_fds_.clear();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  stopped_.store(true);
+  stopped_cv_.notify_all();
+}
+
+void TcpServer::serve_connection(int fd) {
+  try {
+    Bytes request;
+    while (!stop_requested_.load() && read_frame(fd, request)) {
+      const std::optional<RequestHeader> header =
+          parse_request_header(request);
+      if (header && header->endpoint == Endpoint::Shutdown) {
+        if (options_.allow_remote_shutdown) {
+          write_frame(fd, encode_ok_response());
+          stop_requested_.store(true);
+          return;  // the acceptor's 100 ms poll notices and drains
+        }
+        write_frame(fd, encode_error_response(
+                            Status::BadRequest,
+                            "remote shutdown not enabled on this server"));
+        continue;
+      }
+      write_frame(fd, server_.call(request));
+    }
+  } catch (const std::exception&) {
+    // Peer misbehaved (oversized frame, mid-frame close, IO error): drop
+    // the connection; the server itself is unaffected.
+    static obs::Counter& dropped =
+        obs::counter("service.tcp.connections_dropped");
+    dropped.add();
+  }
+}
+
+void TcpServer::stop() {
+  stop_requested_.store(true);
+  const std::lock_guard<std::mutex> join_lock(join_mutex_);
+  if (acceptor_.joinable()) acceptor_.join();
+}
+
+void TcpServer::wait() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopped_cv_.wait(lock, [this] { return stopped_.load(); });
+  }
+  // The acceptor finished its drain; join it exactly once even when
+  // wait(), stop() and the destructor race.
+  const std::lock_guard<std::mutex> join_lock(join_mutex_);
+  if (acceptor_.joinable()) acceptor_.join();
+}
+
+// --- TcpConnection --------------------------------------------------------
+
+TcpConnection::TcpConnection(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("invalid host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("connect " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+TcpConnection::~TcpConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Bytes TcpConnection::roundtrip(std::span<const std::uint8_t> request) {
+  write_frame(fd_, request);
+  Bytes response;
+  if (!read_frame(fd_, response)) {
+    throw std::runtime_error("server closed the connection");
+  }
+  return response;
+}
+
+}  // namespace axc::service

@@ -1,0 +1,44 @@
+#include "axc/service/transport.hpp"
+
+namespace axc::service {
+
+CharacterizeResponse Client::characterize_adder(
+    const CharacterizeAdderRequest& request) {
+  return decode_characterize_response(
+      connection_.roundtrip(encode_request(request, deadline_ms_)));
+}
+
+CharacterizeResponse Client::characterize_multiplier(
+    const CharacterizeMultiplierRequest& request) {
+  return decode_characterize_response(
+      connection_.roundtrip(encode_request(request, deadline_ms_)));
+}
+
+EvaluateErrorResponse Client::evaluate_error(
+    const EvaluateErrorRequest& request) {
+  return decode_evaluate_error_response(
+      connection_.roundtrip(encode_request(request, deadline_ms_)));
+}
+
+GearDesignSpaceResponse Client::gear_design_space(
+    const GearDesignSpaceRequest& request) {
+  return decode_gear_design_space_response(
+      connection_.roundtrip(encode_request(request, deadline_ms_)));
+}
+
+EncodeProbeResponse Client::encode_probe(const EncodeProbeRequest& request) {
+  return decode_encode_probe_response(
+      connection_.roundtrip(encode_request(request, deadline_ms_)));
+}
+
+void Client::ping() {
+  decode_ok_response(
+      connection_.roundtrip(encode_request(Endpoint::Ping, deadline_ms_)));
+}
+
+void Client::shutdown() {
+  decode_ok_response(connection_.roundtrip(
+      encode_request(Endpoint::Shutdown, deadline_ms_)));
+}
+
+}  // namespace axc::service

@@ -1,0 +1,109 @@
+/// Registry concurrency stress: many threads race the first-touch
+/// interning of one instrument name. The registry must hand every thread
+/// the same instrument (exactly one registration) and lose no increments —
+/// this is the contract the service worker pool leans on when its
+/// function-local-static handles resolve under concurrent traffic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "axc/obs/obs.hpp"
+
+namespace axc::obs {
+namespace {
+
+class RegistryStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(true);
+    reset();
+  }
+};
+
+TEST_F(RegistryStressTest, FirstTouchInterningYieldsOneCounter) {
+  constexpr int kThreads = 16;
+  constexpr std::uint64_t kIncrementsPerThread = 10000;
+  const std::string name = "test.stress.counter.first_touch";
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<Counter*> resolved(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Rendezvous so every thread hits the registry's first-touch path
+      // as close to simultaneously as the scheduler allows.
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {}
+      Counter& c = counter(name);
+      resolved[static_cast<std::size_t>(t)] = &c;
+      for (std::uint64_t i = 0; i < kIncrementsPerThread; ++i) c.add();
+    });
+  }
+  while (ready.load() != kThreads) {}
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  // Exactly one instrument: every thread resolved the same address.
+  const std::set<Counter*> distinct(resolved.begin(), resolved.end());
+  ASSERT_EQ(distinct.size(), 1u);
+  ASSERT_NE(*distinct.begin(), nullptr);
+
+  // No lost increments.
+  EXPECT_EQ(counter(name).value(), kThreads * kIncrementsPerThread);
+  const auto snap = snapshot();
+  ASSERT_EQ(snap.counters.count(name), 1u);
+  EXPECT_EQ(snap.counters.at(name), kThreads * kIncrementsPerThread);
+}
+
+TEST_F(RegistryStressTest, MixedInstrumentKindsInternIndependently) {
+  constexpr int kThreads = 12;
+  constexpr std::uint64_t kOpsPerThread = 4000;
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {}
+      // Every thread first-touches the same three names, one per kind,
+      // plus a per-thread private counter as interleaving noise.
+      Counter& shared = counter("test.stress.mixed.counter");
+      Histogram& hist = histogram("test.stress.mixed.hist");
+      SpanStat& span_stat = span("test.stress.mixed.span");
+      Counter& mine =
+          counter("test.stress.mixed.private." + std::to_string(t));
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+        shared.add();
+        hist.record(static_cast<std::int64_t>(i & 0xFF));
+        span_stat.record_ns(1);
+        mine.add();
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  const std::uint64_t expected = kThreads * kOpsPerThread;
+  const auto snap = snapshot();
+  EXPECT_EQ(snap.counters.at("test.stress.mixed.counter"), expected);
+  EXPECT_EQ(snap.histograms.at("test.stress.mixed.hist").count, expected);
+  EXPECT_EQ(snap.spans.at("test.stress.mixed.span").calls, expected);
+  EXPECT_EQ(snap.spans.at("test.stress.mixed.span").total_ns, expected);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(
+        snap.counters.at("test.stress.mixed.private." + std::to_string(t)),
+        kOpsPerThread);
+  }
+}
+
+}  // namespace
+}  // namespace axc::obs

@@ -1,0 +1,112 @@
+#include "axc/service/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace axc::service {
+namespace {
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(ResultCache, InsertLookupRoundTrip) {
+  ResultCache cache(8, 1);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(1, bytes_of("req")).has_value());
+
+  cache.insert(1, bytes_of("req"), bytes_of("resp"));
+  EXPECT_EQ(cache.size(), 1u);
+  const auto hit = cache.lookup(1, bytes_of("req"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, bytes_of("resp"));
+}
+
+TEST(ResultCache, HashCollisionDegradesToMiss) {
+  ResultCache cache(8, 1);
+  cache.insert(42, bytes_of("query-a"), bytes_of("answer-a"));
+  // Same 64-bit key, different canonical bytes: must miss, never serve
+  // the other query's response.
+  EXPECT_FALSE(cache.lookup(42, bytes_of("query-b")).has_value());
+  EXPECT_TRUE(cache.lookup(42, bytes_of("query-a")).has_value());
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2, 1);  // one shard of two slots
+  cache.insert(1, bytes_of("a"), bytes_of("ra"));
+  cache.insert(2, bytes_of("b"), bytes_of("rb"));
+  // Touch key 1 so key 2 becomes the LRU entry.
+  ASSERT_TRUE(cache.lookup(1, bytes_of("a")).has_value());
+  cache.insert(3, bytes_of("c"), bytes_of("rc"));
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.lookup(1, bytes_of("a")).has_value());
+  EXPECT_FALSE(cache.lookup(2, bytes_of("b")).has_value());  // evicted
+  EXPECT_TRUE(cache.lookup(3, bytes_of("c")).has_value());
+}
+
+TEST(ResultCache, ReinsertRefreshesResponseAndRecency) {
+  ResultCache cache(2, 1);
+  cache.insert(1, bytes_of("a"), bytes_of("old"));
+  cache.insert(2, bytes_of("b"), bytes_of("rb"));
+  cache.insert(1, bytes_of("a"), bytes_of("new"));  // refresh, not grow
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(*cache.lookup(1, bytes_of("a")), bytes_of("new"));
+
+  cache.insert(3, bytes_of("c"), bytes_of("rc"));  // evicts key 2, not 1
+  EXPECT_TRUE(cache.lookup(1, bytes_of("a")).has_value());
+  EXPECT_FALSE(cache.lookup(2, bytes_of("b")).has_value());
+}
+
+TEST(ResultCache, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  cache.insert(1, bytes_of("a"), bytes_of("ra"));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(1, bytes_of("a")).has_value());
+}
+
+TEST(ResultCache, ShardCountRoundsToPowerOfTwoAndClamps) {
+  EXPECT_EQ(ResultCache(64, 8).shard_count(), 8u);
+  EXPECT_EQ(ResultCache(64, 5).shard_count(), 8u);   // rounded up
+  EXPECT_EQ(ResultCache(2, 8).shard_count(), 2u);    // clamped to capacity
+  EXPECT_EQ(ResultCache(1, 8).shard_count(), 1u);
+  EXPECT_GE(ResultCache(0, 8).shard_count(), 1u);    // degenerate but valid
+}
+
+TEST(ResultCache, ClearDropsEverything) {
+  ResultCache cache(16, 4);
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    cache.insert(k, bytes_of(std::to_string(k)), bytes_of("r"));
+  }
+  EXPECT_GT(cache.size(), 0u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(3, bytes_of("3")).has_value());
+}
+
+TEST(ResultCache, ConcurrentMixedTrafficIsSafe) {
+  ResultCache cache(64, 4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (std::uint64_t i = 0; i < 500; ++i) {
+        const std::uint64_t key = (i * 7 + static_cast<std::uint64_t>(t)) % 96;
+        const Bytes canonical = bytes_of("k" + std::to_string(key));
+        const auto hit = cache.lookup(key, canonical);
+        if (hit.has_value()) {
+          // A hit must always carry the response inserted for that key.
+          ASSERT_EQ(*hit, bytes_of("v" + std::to_string(key)));
+        } else {
+          cache.insert(key, canonical, bytes_of("v" + std::to_string(key)));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(cache.size(), 64u);
+}
+
+}  // namespace
+}  // namespace axc::service

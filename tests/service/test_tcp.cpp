@@ -1,0 +1,147 @@
+#include "axc/service/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "axc/service/transport.hpp"
+
+namespace axc::service {
+namespace {
+
+TEST(Tcp, AllEndpointsRoundTripOverSockets) {
+  Server server({.workers = 2});
+  TcpServer tcp(server, {});  // loopback, ephemeral port
+  ASSERT_NE(tcp.port(), 0);
+
+  TcpConnection connection("127.0.0.1", tcp.port());
+  Client client(connection);
+
+  EXPECT_NO_THROW(client.ping());
+
+  const CharacterizeResponse adder =
+      client.characterize_adder({.width = 8, .param_a = 2, .param_b = 2});
+  EXPECT_GT(adder.area_ge, 0.0);
+
+  const CharacterizeResponse mul = client.characterize_multiplier(
+      {.width = 4, .block = arith::Mul2x2Kind::SoA, .vectors = 128});
+  EXPECT_GT(mul.gate_count, 0u);
+
+  EvaluateErrorRequest eval;
+  eval.gear = {8, 2, 2};
+  const EvaluateErrorResponse stats = client.evaluate_error(eval);
+  EXPECT_TRUE(stats.exhaustive);
+
+  GearDesignSpaceRequest space;
+  space.width = 8;
+  EXPECT_FALSE(client.gear_design_space(space).points.empty());
+
+  EncodeProbeRequest probe;
+  probe.width = 32;
+  probe.height = 32;
+  probe.frames = 2;
+  EXPECT_GT(client.encode_probe(probe).total_bits, 0u);
+
+  tcp.stop();
+  EXPECT_TRUE(tcp.stopped());
+  server.stop();
+}
+
+TEST(Tcp, TcpResponseMatchesLoopbackByteForByte) {
+  Server server({.workers = 2});
+  TcpServer tcp(server, {});
+  TcpConnection socket("127.0.0.1", tcp.port());
+  LoopbackConnection loopback(server);
+
+  const Bytes request =
+      encode_request(CharacterizeAdderRequest{.width = 8, .param_a = 2,
+                                              .param_b = 2});
+  const Bytes over_socket = socket.roundtrip(request);
+  const Bytes over_loopback = loopback.roundtrip(request);
+  EXPECT_EQ(over_socket, over_loopback);
+
+  tcp.stop();
+  server.stop();
+}
+
+TEST(Tcp, RemoteShutdownIsRejectedUnlessEnabled) {
+  Server server({.workers = 1});
+  TcpServer tcp(server, {});  // allow_remote_shutdown defaults to false
+  TcpConnection connection("127.0.0.1", tcp.port());
+  Client client(connection);
+
+  try {
+    client.shutdown();
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.status(), Status::BadRequest);
+  }
+  // The refusal must not have stopped the transport.
+  EXPECT_FALSE(tcp.stopped());
+  EXPECT_NO_THROW(client.ping());
+
+  tcp.stop();
+  server.stop();
+}
+
+TEST(Tcp, RemoteShutdownDrainsWhenEnabled) {
+  Server server({.workers = 2});
+  TcpServer tcp(server, {.allow_remote_shutdown = true});
+
+  {
+    TcpConnection connection("127.0.0.1", tcp.port());
+    Client client(connection);
+    EXPECT_NO_THROW(client.ping());
+    EXPECT_NO_THROW(client.shutdown());  // acknowledged before the stop
+  }
+  tcp.wait();
+  EXPECT_TRUE(tcp.stopped());
+  server.stop();
+}
+
+TEST(Tcp, ConcurrentConnectionsEachGetTheirOwnAnswers) {
+  Server server({.workers = 4});
+  TcpServer tcp(server, {});
+
+  std::vector<std::thread> clients;
+  std::vector<std::uint64_t> gates(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&tcp, &gates, t] {
+      TcpConnection connection("127.0.0.1", tcp.port());
+      Client client(connection);
+      for (int i = 0; i < 5; ++i) {
+        CharacterizeAdderRequest req;
+        req.family = AdderFamily::Loa;
+        req.width = 8;
+        req.param_a = static_cast<std::uint32_t>(t + 1);
+        req.vectors = 64;
+        gates[static_cast<std::size_t>(t)] =
+            client.characterize_adder(req).gate_count;
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  // Distinct configurations -> distinct gate counts, so any cross-wired
+  // response would show up as a duplicate.
+  for (int t = 1; t < 4; ++t) {
+    EXPECT_NE(gates[static_cast<std::size_t>(t)], gates[0]);
+  }
+  tcp.stop();
+  server.stop();
+}
+
+TEST(Tcp, ConnectToClosedPortThrows) {
+  std::uint16_t dead_port = 0;
+  {
+    Server server({.workers = 1});
+    TcpServer tcp(server, {});
+    dead_port = tcp.port();
+    tcp.stop();
+    server.stop();
+  }
+  EXPECT_THROW(TcpConnection("127.0.0.1", dead_port), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace axc::service

@@ -1,0 +1,565 @@
+/// Deterministic load/SLO harness for the chaos-hardened service
+/// (DESIGN.md §9): phase A drives hundreds of scripted retrying clients
+/// over fault-injecting transports against a loopback server — Zipf-skewed
+/// request keys over mixed endpoints, a seeded ≥5% frame-fault schedule —
+/// and demands zero client-visible failures with every response
+/// byte-identical to its full-fidelity reference. Phase B parks the worker
+/// pool behind a gate, bursts the queue past the degrade knee *and* the
+/// queue bound, and checks the degrade-don't-drop ladder: deterministic
+/// served levels, explicit Overloaded rejections only past the bound, and
+/// degraded answers inside a QualityMonitor guardband.
+///
+/// The whole workload runs twice; the deterministic obs sections
+/// (counters + histograms, never span timings) plus a running hash of
+/// every response byte must be identical across runs.
+///
+/// Writes BENCH_service.json (SLO verdicts + embedded obs report) and
+/// exits non-zero when any SLO is violated.
+///
+/// Usage: service_load [--smoke] [--out <path>]
+///   --smoke  reduced client count/workloads (CI smoke step)
+///   --out    output path (default BENCH_service.json in the CWD)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "axc/chaos/chaos.hpp"
+#include "axc/common/rng.hpp"
+#include "axc/logic/characterize.hpp"
+#include "axc/obs/obs.hpp"
+#include "axc/obs/report.hpp"
+#include "axc/resilience/monitor.hpp"
+#include "axc/service/endpoints.hpp"
+#include "axc/service/protocol.hpp"
+#include "axc/service/retry.hpp"
+#include "axc/service/server.hpp"
+#include "axc/service/transport.hpp"
+
+namespace {
+
+namespace svc = axc::service;
+using Clock = std::chrono::steady_clock;
+
+struct LoadConfig {
+  bool smoke = false;
+  std::size_t clients = 200;
+  std::size_t requests_per_client = 6;
+  std::size_t pool_size = 32;
+  std::size_t burst = 24;         ///< phase B submissions
+  std::size_t burst_queue = 16;   ///< phase B queue bound (< burst)
+  /// Per-direction fault probabilities; six draws/roundtrip make the
+  /// aggregate frame-fault rate ~11% — comfortably past the 5% SLO floor.
+  double fault_probability = 0.02;
+};
+
+/// Zipf(1.0) sampler over [0, n): key popularity ~ 1/(rank+1), the classic
+/// skew that makes a result cache earn its keep.
+class ZipfPicker {
+ public:
+  explicit ZipfPicker(std::size_t n) : cdf_(n) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += 1.0 / static_cast<double>(i + 1);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += 1.0 / (static_cast<double>(i + 1) * sum);
+      cdf_[i] = acc;
+    }
+    cdf_.back() = 1.0;
+  }
+
+  std::size_t pick(axc::Rng& rng) const {
+    const double u = rng.uniform();
+    return static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Mixed-endpoint request pool: characterization, error evaluation, design
+/// space, encode probes and pings, all cheap enough for a load loop.
+std::vector<svc::Bytes> build_pool(const LoadConfig& config) {
+  std::vector<svc::Bytes> pool;
+  pool.reserve(config.pool_size);
+  for (std::size_t i = 0; pool.size() < config.pool_size; ++i) {
+    switch (i % 5) {
+      case 0: {
+        svc::CharacterizeAdderRequest req;
+        req.family = svc::AdderFamily::Loa;
+        req.width = 8;
+        req.param_a = 1 + static_cast<std::uint32_t>(i % 4);
+        req.vectors = 64;
+        req.seed = 100 + i;
+        pool.push_back(svc::encode_request(req));
+        break;
+      }
+      case 1: {
+        svc::EvaluateErrorRequest req;
+        // P must keep (N - P) divisible by R for a valid GeAr config.
+        req.gear = {8, 2, 2 + 2 * static_cast<std::uint32_t>(i % 2)};
+        req.correction_iterations = static_cast<std::uint32_t>(i % 2);
+        req.max_exhaustive_bits = 16;  // 16 input bits: exhaustive, fast
+        pool.push_back(svc::encode_request(req));
+        break;
+      }
+      case 2: {
+        svc::GearDesignSpaceRequest req;
+        req.width = 6 + static_cast<std::uint32_t>(i % 3);
+        pool.push_back(svc::encode_request(req));
+        break;
+      }
+      case 3: {
+        svc::EncodeProbeRequest req;
+        req.width = 16;
+        req.height = 16;
+        req.frames = 2;
+        req.sequence_seed = 40 + i;
+        req.search_range = 1;
+        pool.push_back(svc::encode_request(req));
+        break;
+      }
+      default:
+        pool.push_back(svc::encode_request(svc::Endpoint::Ping));
+        break;
+    }
+  }
+  return pool;
+}
+
+std::uint64_t fnv1a(std::uint64_t hash, std::span<const std::uint8_t> bytes) {
+  for (const std::uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+struct PhaseAResult {
+  std::uint64_t calls = 0;
+  std::uint64_t failures = 0;    ///< exceptions escaping the retry layer
+  std::uint64_t mismatches = 0;  ///< response != full-fidelity reference
+  std::uint64_t retries = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t chaos_roundtrips = 0;
+  std::uint64_t response_hash = 0xCBF29CE484222325ULL;
+  std::vector<double> latencies_ms;  ///< timing-only, never compared
+};
+
+/// Phase A: scripted clients, seeded chaos, zero-visible-failure SLO.
+/// Single driver thread — client determinism must not depend on scheduling.
+PhaseAResult run_phase_a(const LoadConfig& config) {
+  svc::ServerOptions options;
+  options.workers = 2;
+  options.queue_capacity = 64;
+  options.cache_capacity = 256;
+  svc::Server server(options);
+  svc::LoopbackConnection loopback(server);
+
+  const std::vector<svc::Bytes> pool = build_pool(config);
+  // Full-fidelity references, computed outside the chaos path: every
+  // response a client accepts must equal these byte-for-byte.
+  std::vector<svc::Bytes> references;
+  references.reserve(pool.size());
+  for (const svc::Bytes& request : pool) {
+    svc::DispatchOptions full;
+    references.push_back(svc::dispatch(request, full));
+  }
+
+  const ZipfPicker zipf(pool.size());
+  PhaseAResult result;
+
+  for (std::size_t c = 0; c < config.clients; ++c) {
+    axc::chaos::ChaosOptions chaos;
+    chaos.seed = 0xC0FFEE + c;
+    chaos.delay = config.fault_probability;
+    chaos.disconnect = config.fault_probability;
+    chaos.drop_request = config.fault_probability;
+    chaos.corrupt_request = config.fault_probability;
+    chaos.drop_response = config.fault_probability;
+    chaos.corrupt_response = config.fault_probability;
+    chaos.sleep_ms = [](std::uint32_t) {};  // latency SLO measures compute
+
+    svc::RetryPolicy policy;
+    policy.max_attempts = 12;
+    policy.retry_bad_request = true;  // corrupted requests parse as such
+    policy.jitter_seed = 0x7E57 + c;
+    policy.sleep_ms = [](std::uint32_t) {};
+
+    // Fresh seeded decorator per (re)connect, like a fresh socket; the
+    // per-connection stats are folded into the totals at teardown.
+    std::uint64_t connection_count = 0;
+    struct Tracked final : svc::Connection {
+      Tracked(svc::Connection& inner, const axc::chaos::ChaosOptions& options,
+              PhaseAResult& sink)
+          : faulty(inner, options), sink_(sink) {}
+      ~Tracked() override {
+        sink_.faults_injected += faulty.stats().faults();
+        sink_.chaos_roundtrips += faulty.stats().roundtrips;
+      }
+      svc::Bytes roundtrip(std::span<const std::uint8_t> request) override {
+        return faulty.roundtrip(request);
+      }
+      axc::chaos::FaultyConnection faulty;
+      PhaseAResult& sink_;
+    };
+    svc::RetryingClient client(
+        [&, c]() -> std::unique_ptr<svc::Connection> {
+          axc::chaos::ChaosOptions per_connection = chaos;
+          per_connection.seed = chaos.seed + 1000003 * (++connection_count);
+          return std::make_unique<Tracked>(loopback, per_connection, result);
+        },
+        policy);
+
+    axc::Rng script(0x5C217 + c);
+    for (std::size_t r = 0; r < config.requests_per_client; ++r) {
+      const std::size_t key = zipf.pick(script);
+      ++result.calls;
+      const auto start = Clock::now();
+      try {
+        const svc::Bytes response = client.call_bytes(pool[key]);
+        if (response != references[key]) ++result.mismatches;
+        result.response_hash = fnv1a(result.response_hash, response);
+      } catch (const std::exception&) {
+        ++result.failures;
+      }
+      const std::chrono::duration<double, std::milli> dt =
+          Clock::now() - start;
+      result.latencies_ms.push_back(dt.count());
+    }
+    result.retries += client.retries();
+  }
+
+  server.stop();
+  return result;
+}
+
+struct PhaseBResult {
+  std::vector<int> levels;  ///< served level per burst index; -1 = rejected
+  std::uint64_t rejected = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t guardband_checks = 0;
+  std::uint64_t guardband_trips = 0;
+};
+
+/// Phase B: a gated burst past the degrade knee and the queue bound.
+PhaseBResult run_phase_b(const LoadConfig& config) {
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool open = false;
+  int entered = 0;
+
+  svc::ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = config.burst_queue;
+  options.cache_capacity = 0;  // every burst job must compute
+  options.overload.max_level = 2;
+  options.overload.degrade_depth = 4;
+  options.overload.step_depth = 4;
+  options.dispatcher = [&](std::span<const std::uint8_t> request,
+                           unsigned degrade_level) {
+    {
+      std::unique_lock<std::mutex> lock(gate_mutex);
+      ++entered;
+      gate_cv.notify_all();
+      gate_cv.wait(lock, [&] { return open; });
+    }
+    svc::DispatchOptions dispatch_options;
+    dispatch_options.degrade_level = degrade_level;
+    return svc::dispatch(request, dispatch_options);
+  };
+  svc::Server server(options);
+
+  // Park the single worker so the queue depth of burst submission i is
+  // exactly i + 1 — the level schedule becomes arithmetic, not timing.
+  server.submit(svc::encode_request(svc::Endpoint::Ping), [](svc::Bytes) {});
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return entered >= 1; });
+  }
+
+  std::vector<svc::EvaluateErrorRequest> requests(config.burst);
+  for (std::size_t i = 0; i < config.burst; ++i) {
+    requests[i].gear = {16, 2, 4};  // 32 input bits: sampled evaluation
+    requests[i].samples = 1u << 14;
+    requests[i].seed = 5000 + i;
+  }
+
+  std::mutex results_mutex;
+  std::condition_variable results_cv;
+  std::map<std::size_t, svc::Bytes> responses;
+  std::size_t finished = 0;
+  PhaseBResult result;
+  result.levels.assign(config.burst, -1);
+
+  for (std::size_t i = 0; i < config.burst; ++i) {
+    server.submit(svc::encode_request(requests[i]), [&, i](svc::Bytes bytes) {
+      const std::lock_guard<std::mutex> lock(results_mutex);
+      responses[i] = std::move(bytes);
+      ++finished;
+      results_cv.notify_all();
+    });
+    // Rejections answer synchronously while the gate is still closed.
+    {
+      const std::lock_guard<std::mutex> lock(results_mutex);
+      if (responses.count(i) != 0 &&
+          svc::response_status(responses[i]) == svc::Status::Overloaded) {
+        ++result.rejected;
+      }
+    }
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(gate_mutex);
+    open = true;
+    gate_cv.notify_all();
+  }
+  {
+    std::unique_lock<std::mutex> lock(results_mutex);
+    results_cv.wait(lock, [&] { return finished == config.burst; });
+  }
+  server.stop();
+
+  // Guardband: every degraded answer must stay within 0.01 normalized MED
+  // (quantized to 1e-6 steps) of its full-fidelity reference.
+  axc::resilience::QualityContract contract;
+  contract.max_med = 10000;  // 0.01 in quantized normalized-MED units
+  contract.window = config.burst;
+  contract.min_samples = 1;
+  axc::resilience::QualityMonitor monitor(contract);
+
+  for (std::size_t i = 0; i < config.burst; ++i) {
+    const svc::Bytes& bytes = responses[i];
+    const std::optional<svc::Status> status = svc::response_status(bytes);
+    if (status == svc::Status::Overloaded) continue;
+    if (status != svc::Status::Ok) continue;  // counted via obs if ever hit
+    const int level =
+        static_cast<int>(svc::response_level(bytes).value_or(0));
+    result.levels[i] = level;
+    if (level == 0) continue;
+    ++result.degraded;
+
+    svc::DispatchOptions full;
+    const svc::Bytes reference =
+        svc::dispatch(svc::encode_request(requests[i]), full);
+    const svc::EvaluateErrorResponse degraded_metrics =
+        svc::decode_evaluate_error_response(bytes);
+    const svc::EvaluateErrorResponse reference_metrics =
+        svc::decode_evaluate_error_response(reference);
+    const auto quantize = [](double value) {
+      return static_cast<std::uint64_t>(
+          std::llround(std::abs(value) * 1e6));
+    };
+    monitor.record(quantize(degraded_metrics.normalized_med),
+                   quantize(reference_metrics.normalized_med));
+    ++result.guardband_checks;
+  }
+  if (!monitor.verdict().ok()) ++result.guardband_trips;
+  return result;
+}
+
+struct RunResult {
+  PhaseAResult a;
+  PhaseBResult b;
+  std::string deterministic_fragment;
+};
+
+/// Counters + histograms in name order — the byte-comparable sections.
+/// Span timings are deliberately absent.
+std::string deterministic_obs_fragment() {
+  const axc::obs::Snapshot snap = axc::obs::snapshot();
+  std::ostringstream out;
+  for (const auto& [name, value] : snap.counters) {
+    out << "counter " << name << '=' << value << '\n';
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out << "histogram " << name << " count=" << h.count << " sum=" << h.sum;
+    if (h.count > 0) out << " min=" << h.min << " max=" << h.max;
+    out << '\n';
+  }
+  return out.str();
+}
+
+RunResult run_workload(const LoadConfig& config) {
+  // A clean slate per run: the obs registry and the process-wide
+  // characterization memo are the only cross-run state.
+  axc::obs::set_enabled(true);
+  axc::obs::reset();
+  axc::logic::clear_characterization_cache();
+
+  RunResult run;
+  run.a = run_phase_a(config);
+  run.b = run_phase_b(config);
+
+  std::ostringstream fragment;
+  fragment << deterministic_obs_fragment();
+  fragment << "phase_a calls=" << run.a.calls
+           << " failures=" << run.a.failures
+           << " mismatches=" << run.a.mismatches
+           << " retries=" << run.a.retries
+           << " faults=" << run.a.faults_injected
+           << " roundtrips=" << run.a.chaos_roundtrips << " hash=" << std::hex
+           << run.a.response_hash << std::dec << '\n';
+  fragment << "phase_b levels=";
+  for (const int level : run.b.levels) fragment << level << ',';
+  fragment << " rejected=" << run.b.rejected
+           << " degraded=" << run.b.degraded << '\n';
+  run.deterministic_fragment = fragment.str();
+  return run;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(values.size())));
+  return values[std::min(values.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+std::uint64_t counter_value(const axc::obs::Snapshot& snap,
+                            const std::string& name) {
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadConfig config;
+  std::string out_path = "BENCH_service.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      config.smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: service_load [--smoke] [--out <path>]\n";
+      return 2;
+    }
+  }
+  if (config.smoke) {
+    config.clients = 24;
+    config.requests_per_client = 4;
+    config.pool_size = 16;
+  }
+
+  // The determinism SLO is measured, not assumed: the full workload runs
+  // twice and its non-timing sections must be byte-identical.
+  const RunResult first = run_workload(config);
+  const RunResult second = run_workload(config);
+  const bool deterministic =
+      first.deterministic_fragment == second.deterministic_fragment;
+
+  const axc::obs::Snapshot snap = axc::obs::snapshot();  // second run's
+  const PhaseAResult& a = second.a;
+  const PhaseBResult& b = second.b;
+
+  const double fault_rate =
+      a.chaos_roundtrips == 0
+          ? 0.0
+          : static_cast<double>(a.faults_injected) /
+                static_cast<double>(a.chaos_roundtrips);
+  const std::uint64_t cache_hits = counter_value(snap, "service.cache.hits");
+  const std::uint64_t cache_misses =
+      counter_value(snap, "service.cache.misses");
+  const double cache_hit_rate =
+      cache_hits + cache_misses == 0
+          ? 0.0
+          : static_cast<double>(cache_hits) /
+                static_cast<double>(cache_hits + cache_misses);
+  const std::uint64_t completed = counter_value(snap, "service.completed");
+  const double degraded_fraction =
+      completed == 0 ? 0.0
+                     : static_cast<double>(
+                           counter_value(snap, "service.degraded_responses")) /
+                           static_cast<double>(completed);
+  const double rejection_rate =
+      static_cast<double>(b.rejected) / static_cast<double>(config.burst);
+  const double p99 = percentile(a.latencies_ms, 0.99);
+  const double p50 = percentile(a.latencies_ms, 0.50);
+
+  // SLO verdicts. Each failure is reported *and* fails the process.
+  bool ok = true;
+  const auto slo = [&ok](bool condition, const std::string& what) {
+    if (!condition) {
+      std::cerr << "SLO VIOLATION: " << what << "\n";
+      ok = false;
+    }
+    return condition;
+  };
+  slo(a.failures == 0, "client_visible_failures != 0");
+  slo(a.mismatches == 0, "responses diverged from references");
+  slo(fault_rate >= 0.05, "injected fault rate below the 5% floor");
+  slo(b.rejected > 0, "burst never hit explicit backpressure");
+  slo(b.degraded > 0, "burst never exercised the degrade ladder");
+  slo(b.guardband_trips == 0, "degraded responses breached the guardband");
+  slo(deterministic, "non-timing report sections differ across runs");
+
+  std::ofstream out(out_path);
+  out << "{\n";
+  out << "  \"harness\": \"service_load\",\n";
+  out << "  \"smoke\": " << (config.smoke ? "true" : "false") << ",\n";
+  // Single-thread-honest: all client traffic is driven by one thread; the
+  // concurrency under test is the server's worker pool, not the driver.
+  out << "  \"hardware_concurrency\": "
+      << std::max(1u, std::thread::hardware_concurrency()) << ",\n";
+  out << "  \"driver_threads\": 1,\n";
+  out << "  \"server_workers\": {\"phase_a\": 2, \"phase_b\": 1},\n";
+  out << "  \"workload\": {\n";
+  out << "    \"clients\": " << config.clients << ",\n";
+  out << "    \"requests_per_client\": " << config.requests_per_client
+      << ",\n";
+  out << "    \"pool_size\": " << config.pool_size << ",\n";
+  out << "    \"per_direction_fault_probability\": "
+      << config.fault_probability << ",\n";
+  out << "    \"burst\": " << config.burst << ",\n";
+  out << "    \"burst_queue_capacity\": " << config.burst_queue << "\n";
+  out << "  },\n";
+  out << "  \"slo\": {\n";
+  out << "    \"client_visible_failures\": " << a.failures << ",\n";
+  out << "    \"response_mismatches\": " << a.mismatches << ",\n";
+  out << "    \"injected_fault_rate\": " << fault_rate << ",\n";
+  out << "    \"faults_injected\": " << a.faults_injected << ",\n";
+  out << "    \"retry_count\": " << a.retries << ",\n";
+  out << "    \"p50_latency_ms\": " << p50 << ",\n";
+  out << "    \"p99_latency_ms\": " << p99 << ",\n";
+  out << "    \"rejection_rate\": " << rejection_rate << ",\n";
+  out << "    \"cache_hit_rate\": " << cache_hit_rate << ",\n";
+  out << "    \"degraded_response_fraction\": " << degraded_fraction << ",\n";
+  out << "    \"guardband_checks\": " << b.guardband_checks << ",\n";
+  out << "    \"guardband_trips\": " << b.guardband_trips << ",\n";
+  out << "    \"deterministic_sections_identical\": "
+      << (deterministic ? "true" : "false") << ",\n";
+  out << "    \"all_slos_met\": " << (ok ? "true" : "false") << "\n";
+  out << "  },\n";
+  axc::obs::ReportOptions report;
+  report.indent = 2;
+  out << "  \"axc_obs\": " << axc::obs::report_json(report) << "\n";
+  out << "}\n";
+
+  std::cout << "service_load: " << a.calls << " chaos calls ("
+            << config.clients << " clients), fault rate " << fault_rate
+            << ", retries " << a.retries << ", failures " << a.failures
+            << ", p99 " << p99 << " ms\n";
+  std::cout << "  burst: " << b.rejected << "/" << config.burst
+            << " rejected, " << b.degraded
+            << " degraded (guardband trips " << b.guardband_trips << ")\n";
+  std::cout << "  deterministic sections "
+            << (deterministic ? "identical" : "DIVERGED") << " -> "
+            << out_path << "\n";
+  return ok ? 0 : 1;
+}

@@ -4,10 +4,13 @@
 /// key=value line per field so smoke scripts can grep them. Non-Ok
 /// statuses (bad_request, overloaded, deadline_exceeded, ...) exit 3,
 /// transport failures exit 1, usage errors exit 2.
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "axc/service/protocol.hpp"
+#include "axc/service/retry.hpp"
 #include "axc/service/tcp.hpp"
 #include "axc/service/transport.hpp"
 #include "cli_util.hpp"
@@ -46,6 +49,13 @@ constexpr const char* kUsage =
     "  --host <addr>        numeric IPv4 server address (default 127.0.0.1)\n"
     "  --port <n>           server port (required)\n"
     "  --deadline-ms <n>    per-request deadline, 0 = none (default 0)\n"
+    "  --retries <n>        retry transport failures up to n times with\n"
+    "                       exponential backoff, reconnecting each time\n"
+    "                       (default 0 = fail fast)\n"
+    "  --retry-base-ms <n>  base backoff before the first retry; doubles\n"
+    "                       per attempt, jittered (default 50)\n"
+    "  --read-timeout-ms <n> per-response read deadline, 0 = wait forever\n"
+    "                       (default 0)\n"
     "  -h, --help           this text\n";
 
 using axc::cli::flag_value;
@@ -72,7 +82,7 @@ void print_characterize(const axc::service::CharacterizeResponse& r) {
               r.power_nw, static_cast<unsigned long long>(r.gate_count));
 }
 
-int run_characterize_adder(axc::service::Client& client, int argc,
+int run_characterize_adder(axc::service::RetryingClient& client, int argc,
                            char** argv, int i) {
   axc::service::CharacterizeAdderRequest req;
   for (; i < argc; ++i) {
@@ -118,7 +128,7 @@ int run_characterize_adder(axc::service::Client& client, int argc,
   return 0;
 }
 
-int run_characterize_multiplier(axc::service::Client& client, int argc,
+int run_characterize_multiplier(axc::service::RetryingClient& client, int argc,
                                 char** argv, int i) {
   axc::service::CharacterizeMultiplierRequest req;
   for (; i < argc; ++i) {
@@ -160,7 +170,7 @@ int run_characterize_multiplier(axc::service::Client& client, int argc,
   return 0;
 }
 
-int run_evaluate_error(axc::service::Client& client, int argc, char** argv,
+int run_evaluate_error(axc::service::RetryingClient& client, int argc, char** argv,
                        int i) {
   axc::service::EvaluateErrorRequest req;
   for (; i < argc; ++i) {
@@ -225,7 +235,7 @@ int run_evaluate_error(axc::service::Client& client, int argc, char** argv,
   return 0;
 }
 
-int run_gear_design_space(axc::service::Client& client, int argc, char** argv,
+int run_gear_design_space(axc::service::RetryingClient& client, int argc, char** argv,
                           int i) {
   axc::service::GearDesignSpaceRequest req;
   for (; i < argc; ++i) {
@@ -260,7 +270,7 @@ int run_gear_design_space(axc::service::Client& client, int argc, char** argv,
   return 0;
 }
 
-int run_encode_probe(axc::service::Client& client, int argc, char** argv,
+int run_encode_probe(axc::service::RetryingClient& client, int argc, char** argv,
                      int i) {
   axc::service::EncodeProbeRequest req;
   for (; i < argc; ++i) {
@@ -322,6 +332,9 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   long port = -1;
   long deadline_ms = 0;
+  long retries = 0;
+  long retry_base_ms = 50;
+  long read_timeout_ms = 0;
   int i = 1;
   for (; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -334,6 +347,17 @@ int main(int argc, char** argv) {
       deadline_ms = require_long(kUsage, "--deadline-ms",
                                  flag_value(kUsage, argc, argv, i), 0,
                                  1L << 31);
+    } else if (arg == "--retries") {
+      retries = require_long(kUsage, "--retries",
+                             flag_value(kUsage, argc, argv, i), 0, 100);
+    } else if (arg == "--retry-base-ms") {
+      retry_base_ms = require_long(kUsage, "--retry-base-ms",
+                                   flag_value(kUsage, argc, argv, i), 1,
+                                   60000);
+    } else if (arg == "--read-timeout-ms") {
+      read_timeout_ms = require_long(kUsage, "--read-timeout-ms",
+                                     flag_value(kUsage, argc, argv, i), 0,
+                                     1L << 31);
     } else if (!arg.empty() && arg[0] == '-') {
       usage_error(kUsage, "unknown global option '" + arg + "'");
     } else {
@@ -345,39 +369,59 @@ int main(int argc, char** argv) {
   const std::string command = argv[i++];
 
   try {
-    service::TcpConnection connection(host,
-                                      static_cast<std::uint16_t>(port));
-    service::Client client(connection);
+    // Reconnect-on-retry: the factory dials a fresh TCP connection for
+    // every attempt that follows a transport failure, so the client can
+    // out-wait a server restart (scripts/service_smoke.sh exercises this).
+    service::TcpConnectionOptions connection_options;
+    connection_options.read_timeout_ms =
+        static_cast<std::uint32_t>(read_timeout_ms);
+    service::RetryPolicy policy;
+    policy.max_attempts = 1 + static_cast<unsigned>(retries);
+    policy.base_backoff_ms = static_cast<std::uint32_t>(retry_base_ms);
+    policy.max_backoff_ms =
+        static_cast<std::uint32_t>(std::min(32 * retry_base_ms, 60000L));
+    service::RetryingClient client(
+        [host, port, connection_options] {
+          return std::make_unique<service::TcpConnection>(
+              host, static_cast<std::uint16_t>(port), connection_options);
+        },
+        policy);
     client.set_deadline_ms(static_cast<std::uint32_t>(deadline_ms));
 
+    int rc = 0;
     if (command == "ping") {
       if (i < argc) usage_error(kUsage, "ping takes no arguments");
       client.ping();
       std::printf("pong\n");
-      return 0;
-    }
-    if (command == "shutdown") {
+    } else if (command == "shutdown") {
       if (i < argc) usage_error(kUsage, "shutdown takes no arguments");
       client.shutdown();
       std::printf("shutdown acknowledged\n");
-      return 0;
+    } else if (command == "characterize-adder") {
+      rc = run_characterize_adder(client, argc, argv, i);
+    } else if (command == "characterize-multiplier") {
+      rc = run_characterize_multiplier(client, argc, argv, i);
+    } else if (command == "evaluate-error") {
+      rc = run_evaluate_error(client, argc, argv, i);
+    } else if (command == "gear-design-space") {
+      rc = run_gear_design_space(client, argc, argv, i);
+    } else if (command == "encode-probe") {
+      rc = run_encode_probe(client, argc, argv, i);
+    } else {
+      usage_error(kUsage, "unknown command '" + command + "'");
     }
-    if (command == "characterize-adder") {
-      return run_characterize_adder(client, argc, argv, i);
+    if (client.last_served_level() > 0) {
+      std::fprintf(stderr,
+                   "axc_client: note: server degraded this response "
+                   "(served_level=%u)\n",
+                   static_cast<unsigned>(client.last_served_level()));
     }
-    if (command == "characterize-multiplier") {
-      return run_characterize_multiplier(client, argc, argv, i);
+    if (client.retries() > 0) {
+      std::fprintf(stderr, "axc_client: note: %llu retr%s\n",
+                   static_cast<unsigned long long>(client.retries()),
+                   client.retries() == 1 ? "y" : "ies");
     }
-    if (command == "evaluate-error") {
-      return run_evaluate_error(client, argc, argv, i);
-    }
-    if (command == "gear-design-space") {
-      return run_gear_design_space(client, argc, argv, i);
-    }
-    if (command == "encode-probe") {
-      return run_encode_probe(client, argc, argv, i);
-    }
-    usage_error(kUsage, "unknown command '" + command + "'");
+    return rc;
   } catch (const service::ServiceError& e) {
     std::fprintf(stderr, "axc_client: %s: %s\n",
                  std::string(service::status_name(e.status())).c_str(),

@@ -11,7 +11,9 @@ server=$build_dir/examples/axc_server
 client=$build_dir/examples/axc_client
 
 workdir=$(mktemp -d)
-trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+server_pid=""
+server2_pid=""
+trap 'kill "$server_pid" "$server2_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 "$server" --port 0 --port-file "$workdir/port" \
   --allow-remote-shutdown --report "$workdir/report.json" \
@@ -50,6 +52,61 @@ run shutdown | grep -q "shutdown acknowledged"
 
 # Graceful drain: the server process must exit 0 and write its obs report.
 wait "$server_pid"
+server_pid=""
 grep -q '"service.requests"' "$workdir/report.json"
 grep -q '"service.ping.requests"' "$workdir/report.json"
 echo "service smoke OK (report has per-endpoint counters)"
+
+# --- Chaos case 1: server killed mid-request -> typed transport error ----
+"$server" --port 0 --port-file "$workdir/port2" --allow-remote-shutdown \
+  >"$workdir/server2.log" 2>&1 &
+server2_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s "$workdir/port2" ]] && break
+  sleep 0.1
+done
+[[ -s "$workdir/port2" ]] || { echo "second server never published"; exit 1; }
+port2=$(cat "$workdir/port2")
+echo "axc_server (victim) up on port $port2"
+
+# A deliberately slow request (multi-second netlist-SAD encode), no
+# retries: when the server dies underneath it the client must fail fast
+# with a typed transport/* error, not hang or segfault.
+"$client" --port "$port2" encode-probe --width 128 --height 128 --frames 6 \
+  --search-range 12 \
+  >"$workdir/victim.out" 2>"$workdir/victim.err" &
+client_pid=$!
+sleep 0.5
+kill -9 "$server2_pid"
+wait "$server2_pid" 2>/dev/null || true
+server2_pid=""
+if wait "$client_pid"; then
+  echo "client should have failed when the server was killed mid-request"
+  exit 1
+fi
+grep -q "transport/" "$workdir/victim.err" || {
+  echo "expected a typed transport/* error, got:"; cat "$workdir/victim.err"
+  exit 1; }
+echo "mid-request kill surfaced as: $(head -1 "$workdir/victim.err")"
+
+# --- Chaos case 2: retrying client out-waits a server restart ------------
+# The client dials first (connection refused -> Connect error -> backoff)
+# and a fresh server comes up on the same port moments later; with
+# --retries the same invocation must succeed against the restarted server.
+"$client" --port "$port2" --retries 8 --retry-base-ms 200 ping \
+  >"$workdir/retry.out" 2>"$workdir/retry.err" &
+client_pid=$!
+sleep 0.4
+"$server" --port "$port2" --allow-remote-shutdown \
+  >"$workdir/server3.log" 2>&1 &
+server2_pid=$!
+wait "$client_pid" || {
+  echo "retrying ping failed against the restarted server:"
+  cat "$workdir/retry.err"; exit 1; }
+grep -q pong "$workdir/retry.out"
+grep -q "retr" "$workdir/retry.err" || {
+  echo "expected the client to report its retries"; exit 1; }
+"$client" --port "$port2" shutdown >/dev/null
+wait "$server2_pid"
+server2_pid=""
+echo "service smoke OK (typed mid-request failure + retry across restart)"

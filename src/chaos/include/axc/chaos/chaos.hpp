@@ -1,0 +1,101 @@
+/// \file chaos.hpp
+/// Deterministic fault injection for the service transport.
+///
+/// FaultyConnection decorates any service::Connection and, driven by one
+/// seeded Rng stream, injects the failure modes a real network exhibits:
+/// dropped request frames (the server never sees the call), dropped
+/// response frames (the server *did* the work — the dangerous case for
+/// at-most-once assumptions), corrupted frames in either direction,
+/// injected delays, and mid-frame disconnects that poison the connection
+/// until the owner reconnects.
+///
+/// Two properties make it a test instrument rather than a fuzzer:
+///  - **Determinism.** All decisions come from the seed; with the same
+///    seed and call sequence the same faults fire in the same places, so
+///    a chaos run is replayable and its obs counters byte-stable.
+///  - **Detectable corruption.** Corruption flips the protocol version
+///    byte (frame byte 0), so a corrupted request deterministically parses
+///    as BadRequest and a corrupted response deterministically fails
+///    response_status() — the injected fault can never masquerade as a
+///    *different valid* request or response and silently return a wrong
+///    answer. Silent-corruption coverage belongs to a checksum layer, not
+///    to this harness.
+///
+/// Fault probabilities are evaluated in a fixed order per roundtrip
+/// (delay, disconnect, drop-request, corrupt-request, drop-response,
+/// corrupt-response); each draw consumes exactly one uniform.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "axc/common/rng.hpp"
+#include "axc/service/transport.hpp"
+
+namespace axc::chaos {
+
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+  /// Per-roundtrip fault probabilities in [0, 1].
+  double delay = 0.0;             ///< stall before the exchange
+  double disconnect = 0.0;        ///< break the stream mid-frame
+  double drop_request = 0.0;      ///< lose the request; server never runs
+  double corrupt_request = 0.0;   ///< flip the version byte in flight
+  double drop_response = 0.0;     ///< server runs, response frame lost
+  double corrupt_response = 0.0;  ///< flip the response version byte
+  /// Upper bound on one injected delay; the actual stall is drawn
+  /// uniformly from [1, delay_max_ms].
+  std::uint32_t delay_max_ms = 2;
+  /// Test/harness hook replacing the real stall. {} = real sleep.
+  std::function<void(std::uint32_t)> sleep_ms = {};
+};
+
+struct ChaosStats {
+  std::uint64_t roundtrips = 0;  ///< calls that reached the decorator
+  std::uint64_t delays = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t dropped_requests = 0;
+  std::uint64_t corrupted_requests = 0;
+  std::uint64_t dropped_responses = 0;
+  std::uint64_t corrupted_responses = 0;
+
+  std::uint64_t faults() const {
+    return delays + disconnects + dropped_requests + corrupted_requests +
+           dropped_responses + corrupted_responses;
+  }
+};
+
+/// The decorator. Single-threaded like any Connection. Obs counters:
+/// service.transport_faults_injected (total) plus one
+/// service.chaos.<kind> counter per fault kind.
+class FaultyConnection final : public service::Connection {
+ public:
+  FaultyConnection(service::Connection& inner, const ChaosOptions& options)
+      : inner_(inner), options_(options), rng_(options.seed) {}
+
+  /// Throws TransportError(Injected) for dropped frames,
+  /// TransportError(BrokenStream) for disconnects (and for every call
+  /// after one until reconnect()), and forwards whatever the inner
+  /// connection throws.
+  service::Bytes roundtrip(
+      std::span<const std::uint8_t> request) override;
+
+  const ChaosStats& stats() const { return stats_; }
+
+  /// A disconnect poisons the stream, as a real socket would stay dead.
+  bool broken() const { return broken_; }
+  void reconnect() { broken_ = false; }
+
+ private:
+  bool draw(double probability) {
+    return probability > 0.0 && rng_.uniform() < probability;
+  }
+
+  service::Connection& inner_;
+  ChaosOptions options_;
+  Rng rng_;
+  ChaosStats stats_;
+  bool broken_ = false;
+};
+
+}  // namespace axc::chaos

@@ -1,0 +1,114 @@
+#include "axc/chaos/chaos.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "axc/obs/obs.hpp"
+
+namespace axc::chaos {
+
+namespace {
+
+using service::TransportError;
+
+struct ChaosInstruments {
+  obs::Counter& total = obs::counter("service.transport_faults_injected");
+  obs::Counter& delays = obs::counter("service.chaos.delays");
+  obs::Counter& disconnects = obs::counter("service.chaos.disconnects");
+  obs::Counter& dropped_requests =
+      obs::counter("service.chaos.dropped_requests");
+  obs::Counter& corrupted_requests =
+      obs::counter("service.chaos.corrupted_requests");
+  obs::Counter& dropped_responses =
+      obs::counter("service.chaos.dropped_responses");
+  obs::Counter& corrupted_responses =
+      obs::counter("service.chaos.corrupted_responses");
+};
+
+ChaosInstruments& instruments() {
+  static ChaosInstruments instance;
+  return instance;
+}
+
+}  // namespace
+
+service::Bytes FaultyConnection::roundtrip(
+    std::span<const std::uint8_t> request) {
+  ChaosInstruments& obs = instruments();
+  ++stats_.roundtrips;
+  if (broken_) {
+    throw TransportError(TransportError::Kind::BrokenStream,
+                         "chaos: stream is broken (reconnect required)");
+  }
+
+  if (draw(options_.delay)) {
+    // Draw the stall length even when the sleep hook swallows it, so the
+    // rng stream (and with it every later fault decision) is independent
+    // of whether a harness opts out of real wall-clock stalls.
+    const std::uint32_t bound = options_.delay_max_ms > 0
+                                    ? options_.delay_max_ms
+                                    : 1;
+    const auto stall = static_cast<std::uint32_t>(1 + rng_.below(bound));
+    ++stats_.delays;
+    obs.delays.add();
+    obs.total.add();
+    if (options_.sleep_ms) {
+      options_.sleep_ms(stall);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall));
+    }
+  }
+
+  if (draw(options_.disconnect)) {
+    ++stats_.disconnects;
+    obs.disconnects.add();
+    obs.total.add();
+    broken_ = true;
+    throw TransportError(TransportError::Kind::BrokenStream,
+                         "chaos: disconnected mid-frame");
+  }
+
+  if (draw(options_.drop_request)) {
+    ++stats_.dropped_requests;
+    obs.dropped_requests.add();
+    obs.total.add();
+    throw TransportError(TransportError::Kind::Injected,
+                         "chaos: request frame dropped");
+  }
+
+  const bool corrupt_request = draw(options_.corrupt_request);
+  service::Bytes response;
+  if (corrupt_request && !request.empty()) {
+    ++stats_.corrupted_requests;
+    obs.corrupted_requests.add();
+    obs.total.add();
+    // Version-byte flip: detectably malformed, never a different valid
+    // request (see the header comment).
+    service::Bytes mangled(request.begin(), request.end());
+    mangled[0] ^= 0x80;
+    response = inner_.roundtrip(mangled);
+  } else {
+    response = inner_.roundtrip(request);
+  }
+
+  if (draw(options_.drop_response)) {
+    ++stats_.dropped_responses;
+    obs.dropped_responses.add();
+    obs.total.add();
+    // The server executed (and possibly cached) the job; only the answer
+    // is lost — exactly the case that makes retries need idempotency.
+    throw TransportError(TransportError::Kind::Injected,
+                         "chaos: response frame dropped");
+  }
+
+  if (draw(options_.corrupt_response) && !response.empty()) {
+    ++stats_.corrupted_responses;
+    obs.corrupted_responses.add();
+    obs.total.add();
+    response[0] ^= 0x80;
+  }
+
+  return response;
+}
+
+}  // namespace axc::chaos

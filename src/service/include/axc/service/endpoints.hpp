@@ -24,6 +24,14 @@ struct DispatchOptions {
   /// contract), so operators may raise it for latency-sensitive
   /// deployments without perturbing cached responses.
   unsigned eval_threads = 1;
+  /// Degrade-don't-drop rung requested by the server's OverloadController
+  /// (0 = full fidelity). Each approximate endpoint maps the level to a
+  /// cheaper configuration of itself — fewer stimulus vectors, sampled
+  /// instead of exhaustive error evaluation, a narrower motion search —
+  /// and the level *actually applied* is stamped into the response header
+  /// (response_level). Endpoints with nothing to shed (ping, or a request
+  /// already at the floor) answer at level 0 even when asked to degrade.
+  unsigned degrade_level = 0;
 };
 
 /// Executes \p request, returning complete response bytes. Never throws:
@@ -45,6 +53,18 @@ struct DispatchLimits {
   static constexpr std::uint32_t kMaxGearSpaceWidth = 16;
   static constexpr std::uint16_t kMaxProbeDim = 256;
   static constexpr std::uint16_t kMaxProbeFrames = 32;
+};
+
+/// Floors the degrade ladder never crosses, exposed for tests and the
+/// guardband discussion in DESIGN.md §9.
+struct DegradeFloors {
+  /// Stimulus vectors per power sim under degradation.
+  static constexpr std::uint64_t kMinCharacterizeVectors = 64;
+  /// Monte-Carlo samples per error evaluation under degradation.
+  static constexpr std::uint64_t kMinSamples = 4096;
+  /// Exhaustive-evaluation cutover at level 1 / level >= 2.
+  static constexpr std::uint32_t kExhaustiveBitsL1 = 12;
+  static constexpr std::uint32_t kExhaustiveBitsL2 = 8;
 };
 
 }  // namespace axc::service

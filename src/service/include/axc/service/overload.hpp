@@ -1,0 +1,66 @@
+/// \file overload.hpp
+/// Degrade-don't-drop admission control.
+///
+/// The cross-layer thesis of the paper applied to the serving layer: when
+/// demand outruns capacity, an approximate-computing service has a knob a
+/// conventional one lacks — it can trade *accuracy* for throughput before
+/// it trades availability. The OverloadController watches queue depth at
+/// admission time and maps it to a degrade level; the dispatcher walks
+/// each approximate endpoint down its ladder (fewer stimulus vectors,
+/// sampled instead of exhaustive evaluation, narrower motion search) and
+/// tags the response with the level that actually answered, so clients
+/// always know what fidelity they got. Status::Overloaded remains the
+/// backstop once the queue itself is full.
+///
+/// Determinism: the controller is pure state fed only by the sequence of
+/// admitted queue depths (it is updated under the server mutex), so a
+/// deterministic submission schedule yields a deterministic level
+/// trajectory — which is what lets bench/service_load byte-compare two
+/// chaos runs.
+#pragma once
+
+#include <cstddef>
+
+namespace axc::service {
+
+struct OverloadPolicy {
+  /// Deepest ladder rung the controller may request; 0 disables
+  /// degradation entirely (the default — opt-in per server).
+  unsigned max_level = 0;
+  /// Queue depth (jobs pending at admission, the new job included) at
+  /// which level 1 engages.
+  std::size_t degrade_depth = 8;
+  /// Additional depth per further level: level = 1 + (depth -
+  /// degrade_depth) / step_depth, capped at max_level.
+  std::size_t step_depth = 8;
+  /// Consecutive admissions that must observe a calmer target before the
+  /// controller steps one level back down (hysteresis: escalation is
+  /// immediate, recovery is damped so the level does not flap around the
+  /// threshold).
+  std::size_t calm_admissions = 4;
+};
+
+/// Maps admitted queue depths to degrade levels. Not thread-safe by
+/// itself — the Server updates it under its queue mutex.
+class OverloadController {
+ public:
+  explicit OverloadController(const OverloadPolicy& policy)
+      : policy_(policy) {}
+
+  /// Feeds one admission-time queue depth, returns the level the admitted
+  /// job should be served at. Escalates immediately, de-escalates one
+  /// level per calm_admissions consecutive calmer observations.
+  unsigned admit(std::size_t queue_depth);
+
+  unsigned level() const { return level_; }
+  const OverloadPolicy& policy() const { return policy_; }
+
+ private:
+  unsigned target_for(std::size_t queue_depth) const;
+
+  OverloadPolicy policy_;
+  unsigned level_ = 0;
+  std::size_t calm_streak_ = 0;
+};
+
+}  // namespace axc::service

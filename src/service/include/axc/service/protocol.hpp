@@ -14,9 +14,13 @@
 ///    one byte representation and responses are byte-identical across
 ///    platforms and worker-thread counts;
 ///  - a request is  [version u8][endpoint u8][deadline_ms u32][body];
-///  - a response is [version u8][status u8][body], where the body is the
-///    endpoint's typed payload on Status::Ok and a length-prefixed UTF-8
-///    message otherwise;
+///  - a response is [version u8][status u8][served_level u8][body], where
+///    the body is the endpoint's typed payload on Status::Ok and a
+///    length-prefixed UTF-8 message otherwise. served_level is the
+///    degrade-don't-drop tag (0 = full fidelity): under overload the
+///    server walks approximate endpoints down an accuracy ladder instead
+///    of rejecting, and the level byte tells the client which rung
+///    actually answered (see overload.hpp);
 ///  - the result-cache key covers every request byte *except* the
 ///    deadline field (canonical_request_bytes strips it), so the same
 ///    query with a different deadline still hits the cache.
@@ -42,7 +46,7 @@ namespace axc::service {
 
 using Bytes = std::vector<std::uint8_t>;
 
-inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint8_t kProtocolVersion = 2;
 
 /// Hard ceiling on one framed payload (requests and responses).
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 22;
@@ -263,8 +267,20 @@ Bytes encode_ok_response();
 /// Non-Ok response carrying a diagnostic message.
 Bytes encode_error_response(Status status, std::string_view message);
 
+/// Fixed response header: [version u8][status u8][served_level u8].
+inline constexpr std::size_t kResponseHeaderBytes = 3;
+
 /// Status of an encoded response; nullopt when truncated / bad version.
 std::optional<Status> response_status(std::span<const std::uint8_t> response);
+
+/// Served accuracy level of an encoded response (0 = full fidelity);
+/// nullopt when truncated / bad version.
+std::optional<std::uint8_t> response_level(
+    std::span<const std::uint8_t> response);
+
+/// Stamps the served accuracy level into an already-encoded response.
+/// Throws std::invalid_argument when the response is shorter than a header.
+void set_response_level(Bytes& response, std::uint8_t level);
 
 /// Typed decoders for the client side: return the payload on Status::Ok,
 /// throw ServiceError carrying the server's status + message otherwise,

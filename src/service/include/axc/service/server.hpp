@@ -39,6 +39,7 @@
 
 #include "axc/service/cache.hpp"
 #include "axc/service/endpoints.hpp"
+#include "axc/service/overload.hpp"
 #include "axc/service/protocol.hpp"
 
 namespace axc::service {
@@ -49,7 +50,10 @@ namespace axc::service {
 using ResponseCallback = std::function<void(Bytes)>;
 
 /// Pluggable request executor (tests gate it; production uses dispatch()).
-using Dispatcher = std::function<Bytes(std::span<const std::uint8_t>)>;
+/// The second argument is the degrade level the OverloadController
+/// assigned at admission (0 unless overload degradation is enabled).
+using Dispatcher =
+    std::function<Bytes(std::span<const std::uint8_t>, unsigned)>;
 
 struct ServerOptions {
   /// Worker threads; 0 = hardware concurrency (minimum 1).
@@ -65,6 +69,9 @@ struct ServerOptions {
   /// Replaces dispatch() wholesale when set (tests); eval_threads is then
   /// the custom dispatcher's problem.
   Dispatcher dispatcher = {};
+  /// Degrade-don't-drop policy; max_level = 0 (default) keeps the
+  /// pre-overload behavior (every job at full fidelity).
+  OverloadPolicy overload{};
 };
 
 class Server {
@@ -112,6 +119,8 @@ class Server {
     Bytes canonical;
     bool has_deadline = false;
     std::chrono::steady_clock::time_point deadline{};
+    /// Ladder rung assigned by the OverloadController at admission.
+    unsigned degrade_level = 0;
   };
 
   void worker_loop();
@@ -120,6 +129,7 @@ class Server {
   ServerOptions options_;
   ResultCache cache_;
   Dispatcher dispatcher_;
+  OverloadController overload_;  ///< guarded by mutex_
 
   mutable std::mutex mutex_;
   std::condition_variable work_available_;

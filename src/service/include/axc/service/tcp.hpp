@@ -83,11 +83,20 @@ class TcpServer {
   std::vector<int> connection_fds_;
 };
 
+struct TcpConnectionOptions {
+  /// Per-roundtrip read deadline: when the server has not produced the
+  /// next byte of the response within this budget the call throws
+  /// TransportError(Timeout) instead of blocking forever on a dead or
+  /// wedged peer. 0 = wait indefinitely (the historical behavior).
+  std::uint32_t read_timeout_ms = 0;
+};
+
 /// Client side: connects on construction (numeric IPv4 address), throws
-/// std::runtime_error on connect/IO failures.
+/// TransportError (a std::runtime_error) on connect/IO failures.
 class TcpConnection final : public Connection {
  public:
-  TcpConnection(const std::string& host, std::uint16_t port);
+  TcpConnection(const std::string& host, std::uint16_t port,
+                const TcpConnectionOptions& options = {});
   ~TcpConnection() override;
 
   TcpConnection(const TcpConnection&) = delete;
@@ -97,6 +106,7 @@ class TcpConnection final : public Connection {
 
  private:
   int fd_ = -1;
+  TcpConnectionOptions options_;
 };
 
 }  // namespace axc::service

@@ -14,11 +14,53 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
 
 #include "axc/service/protocol.hpp"
 #include "axc/service/server.hpp"
 
 namespace axc::service {
+
+/// Typed transport failure. Derives std::runtime_error so legacy catch
+/// sites keep working; the Kind tells retry policies what went wrong and
+/// whether the connection is still usable (it never is, except Timeout on
+/// loopback-style transports — retrying clients drop the connection on any
+/// TransportError and reconnect, which is always safe).
+class TransportError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t {
+    Connect,        ///< could not establish the connection
+    BrokenStream,   ///< peer vanished / mid-frame EOF / write to dead peer
+    Timeout,        ///< read deadline expired (or a frame was dropped)
+    Corrupt,        ///< response bytes fail header validation
+    FrameOverflow,  ///< peer announced a frame above kMaxFrameBytes
+    Injected,       ///< synthetic fault from axc::chaos
+  };
+
+  TransportError(Kind kind, const std::string& message)
+      : std::runtime_error("transport/" + std::string(kind_name(kind)) +
+                           ": " + message),
+        kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+  static std::string_view kind_name(Kind kind) {
+    switch (kind) {
+      case Kind::Connect: return "connect";
+      case Kind::BrokenStream: return "broken_stream";
+      case Kind::Timeout: return "timeout";
+      case Kind::Corrupt: return "corrupt";
+      case Kind::FrameOverflow: return "frame_overflow";
+      case Kind::Injected: return "injected";
+    }
+    return "unknown";
+  }
+
+ private:
+  Kind kind_;
+};
 
 /// One bidirectional request/response channel. Implementations may be
 /// used from one thread at a time (open one connection per client thread).
@@ -27,7 +69,7 @@ class Connection {
   virtual ~Connection() = default;
 
   /// Sends one request payload and blocks for its response payload.
-  /// Throws std::runtime_error on transport failure.
+  /// Throws TransportError (a std::runtime_error) on transport failure.
   virtual Bytes roundtrip(std::span<const std::uint8_t> request) = 0;
 };
 
@@ -73,9 +115,16 @@ class Client {
   /// with allow_remote_shutdown (loopback servers answer BadRequest).
   void shutdown();
 
+  /// Served accuracy level of the last successful call (0 = full
+  /// fidelity; >0 = the server degraded this answer under overload).
+  std::uint8_t last_served_level() const { return last_served_level_; }
+
  private:
+  Bytes call(const Bytes& request);
+
   Connection& connection_;
   std::uint32_t deadline_ms_ = 0;
+  std::uint8_t last_served_level_ = 0;
 };
 
 }  // namespace axc::service

@@ -29,6 +29,47 @@ void check(bool condition, const char* message) {
   if (!condition) throw PolicyError(message);
 }
 
+// --- Degrade-don't-drop ladder --------------------------------------------
+//
+// Each helper maps (requested parameter, degrade level) to the cheaper
+// effective parameter for that rung, clamped to a floor so level 255 is as
+// safe as level 1. `applied` accumulates the level that actually changed
+// something: a request already at the floor is served at level 0 and the
+// client cannot tell it ever met the controller.
+
+/// Quarters \p value per level, clamped below by min(value, floor).
+std::uint64_t shed_quartering(std::uint64_t value, unsigned level,
+                              std::uint64_t floor, unsigned& applied) {
+  if (level == 0) return value;
+  const unsigned shift = std::min(2 * level, 63u);
+  const std::uint64_t shed = std::max(std::min(value, floor), value >> shift);
+  if (shed != value) applied = std::max(applied, level);
+  return shed;
+}
+
+/// Caps the exhaustive cutover so a degraded evaluation switches to
+/// (cheaper) sampling where the full-fidelity one enumerates.
+std::uint32_t shed_exhaustive_bits(std::uint32_t bits, unsigned level,
+                                   unsigned& applied) {
+  if (level == 0) return bits;
+  const std::uint32_t cap = level >= 2 ? DegradeFloors::kExhaustiveBitsL2
+                                       : DegradeFloors::kExhaustiveBitsL1;
+  if (bits <= cap) return bits;
+  applied = std::max(applied, level);
+  return cap;
+}
+
+/// Halves the motion-search range per level, floor 1.
+std::uint8_t shed_search_range(std::uint8_t range, unsigned level,
+                               unsigned& applied) {
+  if (level == 0) return range;
+  const unsigned shift = std::min<unsigned>(level, 7);
+  const auto shed = static_cast<std::uint8_t>(
+      std::max<unsigned>(1, static_cast<unsigned>(range) >> shift));
+  if (shed != range) applied = std::max(applied, level);
+  return shed;
+}
+
 CharacterizeResponse from_characterization(const logic::Characterization& c) {
   CharacterizeResponse response;
   response.area_ge = c.area_ge;
@@ -37,7 +78,9 @@ CharacterizeResponse from_characterization(const logic::Characterization& c) {
   return response;
 }
 
-Bytes handle_characterize_adder(std::span<const std::uint8_t> body) {
+Bytes handle_characterize_adder(std::span<const std::uint8_t> body,
+                                const DispatchOptions& options,
+                                unsigned& applied) {
   const CharacterizeAdderRequest request = decode_characterize_adder(body);
   check(request.width >= 1 &&
             request.width <= DispatchLimits::kMaxAdderWidth,
@@ -76,12 +119,17 @@ Bytes handle_characterize_adder(std::span<const std::uint8_t> body) {
   }
   // Area/power only: quality questions go to evaluate_error, which scales
   // past the widths a truth-table reference could enumerate.
-  const logic::Characterization c = logic::characterize(
-      netlist, std::nullopt, request.vectors, request.seed);
+  const std::uint64_t vectors =
+      shed_quartering(request.vectors, options.degrade_level,
+                      DegradeFloors::kMinCharacterizeVectors, applied);
+  const logic::Characterization c =
+      logic::characterize(netlist, std::nullopt, vectors, request.seed);
   return encode_response(from_characterization(c));
 }
 
-Bytes handle_characterize_multiplier(std::span<const std::uint8_t> body) {
+Bytes handle_characterize_multiplier(std::span<const std::uint8_t> body,
+                                     const DispatchOptions& options,
+                                     unsigned& applied) {
   const CharacterizeMultiplierRequest request =
       decode_characterize_multiplier(body);
   check(request.width >= 2 && request.width <= 16 &&
@@ -104,13 +152,17 @@ Bytes handle_characterize_multiplier(std::span<const std::uint8_t> body) {
     netlist = logic::wallace_netlist(request.width, request.cell,
                                      request.approx_lsbs);
   }
-  const logic::Characterization c = logic::characterize(
-      netlist, std::nullopt, request.vectors, request.seed);
+  const std::uint64_t vectors =
+      shed_quartering(request.vectors, options.degrade_level,
+                      DegradeFloors::kMinCharacterizeVectors, applied);
+  const logic::Characterization c =
+      logic::characterize(netlist, std::nullopt, vectors, request.seed);
   return encode_response(from_characterization(c));
 }
 
 Bytes handle_evaluate_error(std::span<const std::uint8_t> body,
-                            const DispatchOptions& options) {
+                            const DispatchOptions& options,
+                            unsigned& applied) {
   const EvaluateErrorRequest request = decode_evaluate_error(body);
   check(request.max_exhaustive_bits <= DispatchLimits::kMaxExhaustiveBits,
         "evaluate_error: max_exhaustive_bits out of [0, 24]");
@@ -118,8 +170,10 @@ Bytes handle_evaluate_error(std::span<const std::uint8_t> body,
             request.samples <= DispatchLimits::kMaxSamples,
         "evaluate_error: samples out of [1, 2^24]");
   error::EvalOptions eval;
-  eval.max_exhaustive_bits = request.max_exhaustive_bits;
-  eval.samples = request.samples;
+  eval.max_exhaustive_bits = shed_exhaustive_bits(
+      request.max_exhaustive_bits, options.degrade_level, applied);
+  eval.samples = shed_quartering(request.samples, options.degrade_level,
+                                 DegradeFloors::kMinSamples, applied);
   eval.seed = request.seed;
   eval.threads = std::max(1u, options.eval_threads);
 
@@ -163,7 +217,9 @@ Bytes handle_evaluate_error(std::span<const std::uint8_t> body,
   return encode_response(response);
 }
 
-Bytes handle_gear_design_space(std::span<const std::uint8_t> body) {
+Bytes handle_gear_design_space(std::span<const std::uint8_t> body,
+                               const DispatchOptions& options,
+                               unsigned& applied) {
   const GearDesignSpaceRequest request = decode_gear_design_space(body);
   check(request.width >= 2 &&
             request.width <= DispatchLimits::kMaxGearSpaceWidth,
@@ -174,6 +230,13 @@ Bytes handle_gear_design_space(std::span<const std::uint8_t> body) {
   explore.min_p = request.min_p;
   explore.include_exact = request.include_exact;
   explore.estimate_power = request.estimate_power;
+  if (options.degrade_level > 0 && explore.estimate_power) {
+    // The per-config power sim dominates the cost of this endpoint; a
+    // degraded answer keeps the accuracy/area ranking (exact maths) and
+    // zeroes power_nw, which the level byte makes visible to the client.
+    explore.estimate_power = false;
+    applied = std::max(applied, options.degrade_level);
+  }
   const auto space = core::explore_gear_space(request.width, explore);
 
   std::vector<core::DesignPoint> flat;
@@ -203,7 +266,8 @@ Bytes handle_gear_design_space(std::span<const std::uint8_t> body) {
 }
 
 Bytes handle_encode_probe(std::span<const std::uint8_t> body,
-                          const DispatchOptions& options) {
+                          const DispatchOptions& options,
+                          unsigned& applied) {
   const EncodeProbeRequest request = decode_encode_probe(body);
   check(request.block_size >= 2 && request.block_size <= 16,
         "encode_probe: block_size out of [2, 16]");
@@ -247,7 +311,8 @@ Bytes handle_encode_probe(std::span<const std::uint8_t> body,
 
   video::EncoderConfig ec;
   ec.motion.block_size = request.block_size;
-  ec.motion.search_range = request.search_range;
+  ec.motion.search_range =
+      shed_search_range(request.search_range, options.degrade_level, applied);
   ec.quant_step = request.quant_step;
   ec.threads = std::max(1u, options.eval_threads);
   const video::EncodeStats stats = video::Encoder(ec, sad).encode(sequence);
@@ -270,26 +335,41 @@ Bytes dispatch(std::span<const std::uint8_t> request,
                                  "unparseable request header");
   }
   const auto body = request.subspan(kRequestHeaderBytes);
+  // The level each handler *actually* shed to; stamped into the Ok
+  // response header so clients can see which ladder rung answered.
+  unsigned applied = 0;
   try {
+    Bytes response;
     switch (header->endpoint) {
       case Endpoint::CharacterizeAdder:
-        return handle_characterize_adder(body);
+        response = handle_characterize_adder(body, options, applied);
+        break;
       case Endpoint::CharacterizeMultiplier:
-        return handle_characterize_multiplier(body);
+        response = handle_characterize_multiplier(body, options, applied);
+        break;
       case Endpoint::EvaluateError:
-        return handle_evaluate_error(body, options);
+        response = handle_evaluate_error(body, options, applied);
+        break;
       case Endpoint::GearDesignSpace:
-        return handle_gear_design_space(body);
+        response = handle_gear_design_space(body, options, applied);
+        break;
       case Endpoint::EncodeProbe:
-        return handle_encode_probe(body, options);
+        response = handle_encode_probe(body, options, applied);
+        break;
       case Endpoint::Ping:
-        return encode_ok_response();
+        response = encode_ok_response();
+        break;
       case Endpoint::Shutdown:
         return encode_error_response(
             Status::BadRequest,
             "shutdown is transport-level (enable it on the TCP server)");
     }
-    return encode_error_response(Status::BadRequest, "unknown endpoint");
+    if (response.empty()) {
+      return encode_error_response(Status::BadRequest, "unknown endpoint");
+    }
+    set_response_level(
+        response, static_cast<std::uint8_t>(std::min(applied, 255u)));
+    return response;
   } catch (const PolicyError& e) {
     return encode_error_response(Status::BadRequest, e.what());
   } catch (const DecodeError& e) {

@@ -1,0 +1,42 @@
+#include "axc/service/overload.hpp"
+
+#include <algorithm>
+
+#include "axc/obs/obs.hpp"
+
+namespace axc::service {
+
+unsigned OverloadController::target_for(std::size_t queue_depth) const {
+  if (policy_.max_level == 0 || queue_depth < policy_.degrade_depth) {
+    return 0;
+  }
+  const std::size_t step = std::max<std::size_t>(1, policy_.step_depth);
+  const std::size_t over = (queue_depth - policy_.degrade_depth) / step;
+  return static_cast<unsigned>(
+      std::min<std::size_t>(policy_.max_level, 1 + over));
+}
+
+unsigned OverloadController::admit(std::size_t queue_depth) {
+  static obs::Counter& escalations =
+      obs::counter("service.overload.escalations");
+  static obs::Counter& deescalations =
+      obs::counter("service.overload.deescalations");
+
+  const unsigned target = target_for(queue_depth);
+  if (target > level_) {
+    level_ = target;
+    calm_streak_ = 0;
+    escalations.add();
+  } else if (target < level_) {
+    if (++calm_streak_ >= std::max<std::size_t>(1, policy_.calm_admissions)) {
+      --level_;
+      calm_streak_ = 0;
+      deescalations.add();
+    }
+  } else {
+    calm_streak_ = 0;
+  }
+  return level_;
+}
+
+}  // namespace axc::service

@@ -107,20 +107,23 @@ Bytes response_prefix(Status status) {
   Bytes out;
   put_u8(out, kProtocolVersion);
   put_u8(out, static_cast<std::uint8_t>(status));
+  put_u8(out, 0);  // served_level; stamped later via set_response_level
   return out;
 }
 
 /// Splits a response into its status and body, throwing ServiceError for
 /// transported non-Ok statuses.
 std::span<const std::uint8_t> ok_body(std::span<const std::uint8_t> response) {
-  if (response.size() < 2) throw DecodeError("truncated response");
+  if (response.size() < kResponseHeaderBytes) {
+    throw DecodeError("truncated response");
+  }
   if (response[0] != kProtocolVersion) {
     throw DecodeError("unknown response version " +
                       std::to_string(response[0]));
   }
   const auto status = static_cast<Status>(response[1]);
-  if (status == Status::Ok) return response.subspan(2);
-  Reader reader(response.subspan(2));
+  if (status == Status::Ok) return response.subspan(kResponseHeaderBytes);
+  Reader reader(response.subspan(kResponseHeaderBytes));
   std::string message;
   try {
     message = reader.string();
@@ -410,13 +413,26 @@ Bytes encode_error_response(Status status, std::string_view message) {
 
 std::optional<Status> response_status(
     std::span<const std::uint8_t> response) {
-  if (response.size() < 2 || response[0] != kProtocolVersion) {
+  if (response.size() < kResponseHeaderBytes ||
+      response[0] != kProtocolVersion) {
     return std::nullopt;
   }
   if (response[1] > static_cast<std::uint8_t>(Status::InternalError)) {
     return std::nullopt;
   }
   return static_cast<Status>(response[1]);
+}
+
+std::optional<std::uint8_t> response_level(
+    std::span<const std::uint8_t> response) {
+  if (!response_status(response)) return std::nullopt;
+  return response[2];
+}
+
+void set_response_level(Bytes& response, std::uint8_t level) {
+  require(response.size() >= kResponseHeaderBytes,
+          "set_response_level: response shorter than a header");
+  response[2] = level;
 }
 
 // --- Response decoders ----------------------------------------------------

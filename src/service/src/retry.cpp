@@ -1,0 +1,122 @@
+#include "axc/service/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "axc/obs/obs.hpp"
+
+namespace axc::service {
+
+RetryingClient::RetryingClient(ConnectionFactory factory, RetryPolicy policy)
+    : factory_(std::move(factory)),
+      policy_(policy),
+      jitter_(policy.jitter_seed) {}
+
+Connection& RetryingClient::connection() {
+  if (!connection_) connection_ = factory_();
+  return *connection_;
+}
+
+void RetryingClient::drop_connection() {
+  if (connection_) {
+    connection_.reset();
+    ++reconnects_;
+  }
+}
+
+void RetryingClient::backoff(unsigned attempt) {
+  static obs::Histogram& backoff_hist = obs::histogram("service.backoff_ms");
+  const unsigned shift = std::min(attempt, 20u);
+  const std::uint64_t grown =
+      static_cast<std::uint64_t>(policy_.base_backoff_ms) << shift;
+  const std::uint64_t capped =
+      std::min<std::uint64_t>(grown, policy_.max_backoff_ms);
+  const std::uint64_t low = capped / 2;
+  const auto delay =
+      static_cast<std::uint32_t>(low + jitter_.below(capped - low + 1));
+  backoff_hist.record(delay);
+  backoff_total_ms_ += delay;
+  if (policy_.sleep_ms) {
+    policy_.sleep_ms(delay);
+  } else if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+}
+
+Bytes RetryingClient::call_bytes(const Bytes& request) {
+  static obs::Counter& retry_counter = obs::counter("service.retries");
+  const unsigned max_attempts = std::max(1u, policy_.max_attempts);
+  for (unsigned attempt = 0;; ++attempt) {
+    const bool last = attempt + 1 >= max_attempts;
+    try {
+      Bytes response = connection().roundtrip(request);
+      const std::optional<Status> status = response_status(response);
+      if (!status) {
+        // The stream produced a frame we cannot even parse the header of:
+        // treat it exactly like a broken connection.
+        throw TransportError(TransportError::Kind::Corrupt,
+                             "unparseable response header");
+      }
+      const bool retryable_status =
+          (*status == Status::Overloaded && policy_.retry_overloaded) ||
+          (*status == Status::BadRequest && policy_.retry_bad_request);
+      if (retryable_status && !last) {
+        ++retries_;
+        retry_counter.add();
+        backoff(attempt);
+        continue;  // the connection itself is healthy; reuse it
+      }
+      last_served_level_ = response_level(response).value_or(0);
+      return response;
+    } catch (const TransportError&) {
+      drop_connection();
+      if (last) throw;
+      ++retries_;
+      retry_counter.add();
+      backoff(attempt);
+    }
+  }
+}
+
+CharacterizeResponse RetryingClient::characterize_adder(
+    const CharacterizeAdderRequest& request) {
+  return decode_characterize_response(
+      call_bytes(encode_request(request, deadline_ms_)));
+}
+
+CharacterizeResponse RetryingClient::characterize_multiplier(
+    const CharacterizeMultiplierRequest& request) {
+  return decode_characterize_response(
+      call_bytes(encode_request(request, deadline_ms_)));
+}
+
+EvaluateErrorResponse RetryingClient::evaluate_error(
+    const EvaluateErrorRequest& request) {
+  return decode_evaluate_error_response(
+      call_bytes(encode_request(request, deadline_ms_)));
+}
+
+GearDesignSpaceResponse RetryingClient::gear_design_space(
+    const GearDesignSpaceRequest& request) {
+  return decode_gear_design_space_response(
+      call_bytes(encode_request(request, deadline_ms_)));
+}
+
+EncodeProbeResponse RetryingClient::encode_probe(
+    const EncodeProbeRequest& request) {
+  return decode_encode_probe_response(
+      call_bytes(encode_request(request, deadline_ms_)));
+}
+
+void RetryingClient::ping() {
+  decode_ok_response(
+      call_bytes(encode_request(Endpoint::Ping, deadline_ms_)));
+}
+
+void RetryingClient::shutdown() {
+  decode_ok_response(
+      call_bytes(encode_request(Endpoint::Shutdown, deadline_ms_)));
+}
+
+}  // namespace axc::service

@@ -44,15 +44,20 @@ bool is_cacheable(Endpoint endpoint) {
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
-      cache_(options_.cache_capacity, options_.cache_shards) {
+      cache_(options_.cache_capacity, options_.cache_shards),
+      overload_(options_.overload) {
   if (options_.workers == 0) {
     options_.workers = std::max(1u, std::thread::hardware_concurrency());
   }
   if (options_.dispatcher) {
     dispatcher_ = options_.dispatcher;
   } else {
-    const DispatchOptions dispatch_options{options_.eval_threads};
-    dispatcher_ = [dispatch_options](std::span<const std::uint8_t> request) {
+    const unsigned eval_threads = options_.eval_threads;
+    dispatcher_ = [eval_threads](std::span<const std::uint8_t> request,
+                                 unsigned degrade_level) {
+      DispatchOptions dispatch_options;
+      dispatch_options.eval_threads = eval_threads;
+      dispatch_options.degrade_level = degrade_level;
       return dispatch(request, dispatch_options);
     };
   }
@@ -123,6 +128,10 @@ void Server::submit(Bytes request, ResponseCallback done) {
               " pending)"));
       return;
     }
+    // Admission-time depth (this job included) feeds the degrade ladder;
+    // under the same lock, so a deterministic submission schedule yields a
+    // deterministic level trajectory.
+    job.degrade_level = overload_.admit(queue_.size() + 1);
     queue_.push_back(std::move(job));
     depth.record(static_cast<std::int64_t>(queue_.size()));
   }
@@ -185,6 +194,8 @@ void Server::run_job(Job& job) {
   static obs::Counter& completed = obs::counter("service.completed");
   static obs::Counter& internal = obs::counter("service.errors.internal");
   static obs::Counter& bad = obs::counter("service.rejected.bad_request");
+  static obs::Counter& degraded =
+      obs::counter("service.degraded_responses");
 
   if (job.has_deadline &&
       std::chrono::steady_clock::now() > job.deadline) {
@@ -197,12 +208,17 @@ void Server::run_job(Job& job) {
   {
     obs::Span span(
         *endpoint_instruments().latency[static_cast<int>(job.endpoint)]);
-    response = dispatcher_(job.request);
+    response = dispatcher_(job.request, job.degrade_level);
   }
   const std::optional<Status> status = response_status(response);
   if (status == Status::InternalError) internal.add();
   if (status == Status::BadRequest) bad.add();  // body decode/policy errors
-  if (job.cacheable && status == Status::Ok) {
+  const std::uint8_t served_level = response_level(response).value_or(0);
+  if (served_level > 0) degraded.add();
+  // Only full-fidelity answers enter the cache: a degraded response must
+  // never outlive the overload that produced it (and a later cache hit on
+  // the same key must be the best-known answer, not the cheapest).
+  if (job.cacheable && status == Status::Ok && served_level == 0) {
     cache_.insert(job.cache_key, job.canonical, response);
   }
   completed.add();

@@ -8,8 +8,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "axc/obs/obs.hpp"
 
@@ -21,20 +23,53 @@ namespace {
   throw std::runtime_error(what + ": " + std::strerror(errno));
 }
 
-/// Reads exactly \p size bytes; false on orderly EOF at a frame boundary,
-/// throws on mid-frame EOF or IO errors.
+[[noreturn]] void throw_transport_errno(TransportError::Kind kind,
+                                        const std::string& what) {
+  throw TransportError(kind, what + ": " + std::strerror(errno));
+}
+
+/// Reads exactly \p size bytes; false on orderly EOF at a frame boundary.
+/// Throws TransportError(BrokenStream) on mid-frame EOF or IO errors and
+/// TransportError(Timeout) when \p timeout_ms > 0 and the deadline for the
+/// *whole* chunk expires (poll-gated, so a peer trickling one byte per
+/// minute cannot stretch the budget).
 bool read_exact(int fd, std::uint8_t* data, std::size_t size,
-                bool eof_ok_at_start) {
+                bool eof_ok_at_start, std::uint32_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
   std::size_t got = 0;
   while (got < size) {
+    if (timeout_ms > 0) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (remaining <= 0) {
+        throw TransportError(TransportError::Kind::Timeout,
+                             "read timed out after " +
+                                 std::to_string(timeout_ms) + "ms");
+      }
+      pollfd pfd{fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        throw_transport_errno(TransportError::Kind::BrokenStream, "poll");
+      }
+      if (ready == 0) {
+        throw TransportError(TransportError::Kind::Timeout,
+                             "read timed out after " +
+                                 std::to_string(timeout_ms) + "ms");
+      }
+    }
     const ssize_t n = ::read(fd, data + got, size - got);
     if (n == 0) {
       if (got == 0 && eof_ok_at_start) return false;
-      throw std::runtime_error("connection closed mid-frame");
+      throw TransportError(TransportError::Kind::BrokenStream,
+                           "connection closed mid-frame");
     }
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw_errno("read");
+      throw_transport_errno(TransportError::Kind::BrokenStream, "read");
     }
     got += static_cast<std::size_t>(n);
   }
@@ -44,31 +79,37 @@ bool read_exact(int fd, std::uint8_t* data, std::size_t size,
 void write_all(int fd, const std::uint8_t* data, std::size_t size) {
   std::size_t sent = 0;
   while (sent < size) {
-    const ssize_t n = ::write(fd, data + sent, size - sent);
+    // MSG_NOSIGNAL: writing to a peer that died mid-exchange must surface
+    // as a typed error on this call, not a process-wide SIGPIPE.
+    const ssize_t n =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw_errno("write");
+      throw_transport_errno(TransportError::Kind::BrokenStream, "send");
     }
     sent += static_cast<std::size_t>(n);
   }
 }
 
 /// Receives one frame payload. False on orderly EOF before a new frame.
-bool read_frame(int fd, Bytes& payload) {
+bool read_frame(int fd, Bytes& payload, std::uint32_t timeout_ms = 0) {
   std::uint8_t header[4];
-  if (!read_exact(fd, header, sizeof header, /*eof_ok_at_start=*/true)) {
+  if (!read_exact(fd, header, sizeof header, /*eof_ok_at_start=*/true,
+                  timeout_ms)) {
     return false;
   }
   const std::uint32_t length =
       static_cast<std::uint32_t>(header[0]) | (header[1] << 8) |
       (header[2] << 16) | (static_cast<std::uint32_t>(header[3]) << 24);
   if (length > kMaxFrameBytes) {
-    throw std::runtime_error("frame length " + std::to_string(length) +
+    throw TransportError(TransportError::Kind::FrameOverflow,
+                         "frame length " + std::to_string(length) +
                              " exceeds kMaxFrameBytes");
   }
   payload.resize(length);
   if (length > 0) {
-    read_exact(fd, payload.data(), length, /*eof_ok_at_start=*/false);
+    read_exact(fd, payload.data(), length, /*eof_ok_at_start=*/false,
+               timeout_ms);
   }
   return true;
 }
@@ -131,18 +172,35 @@ TcpServer::~TcpServer() { stop(); }
 void TcpServer::accept_loop() {
   static obs::Counter& accepted =
       obs::counter("service.tcp.connections_accepted");
+  static obs::Counter& accept_errors =
+      obs::counter("service.tcp.accept_errors");
   while (!stop_requested_.load()) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
     if (ready < 0) {
       if (errno == EINTR) continue;
-      break;
+      accept_errors.add();
+      break;  // poll on the listen fd failing is not survivable
     }
     if (ready == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;
+      // The acceptor must survive anything a hostile or unlucky peer can
+      // cause. EINTR/ECONNABORTED/EAGAIN are routine; fd or buffer
+      // exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) is counted and backed
+      // off — connections already serving will finish and free fds. Only
+      // a dead listen socket (EBADF/EINVAL, i.e. shutdown) exits.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
+      if (errno == EBADF || errno == EINVAL) break;
+      accept_errors.add();
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      continue;
     }
     accepted.add();
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -197,10 +255,13 @@ void TcpServer::serve_connection(int fd) {
     }
   } catch (const std::exception&) {
     // Peer misbehaved (oversized frame, mid-frame close, IO error): drop
-    // the connection; the server itself is unaffected.
+    // the connection; the server itself is unaffected. Shut the socket
+    // down now so the peer observes the drop immediately — the fd itself
+    // is closed once by the acceptor's drain.
     static obs::Counter& dropped =
         obs::counter("service.tcp.connections_dropped");
     dropped.add();
+    ::shutdown(fd, SHUT_RDWR);
   }
 }
 
@@ -223,24 +284,37 @@ void TcpServer::wait() {
 
 // --- TcpConnection --------------------------------------------------------
 
-TcpConnection::TcpConnection(const std::string& host, std::uint16_t port) {
+TcpConnection::TcpConnection(const std::string& host, std::uint16_t port,
+                             const TcpConnectionOptions& options)
+    : options_(options) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw_errno("socket");
+  if (fd_ < 0) {
+    throw_transport_errno(TransportError::Kind::Connect, "socket");
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd_);
     fd_ = -1;
-    throw std::runtime_error("invalid host address: " + host);
+    throw TransportError(TransportError::Kind::Connect,
+                         "invalid host address: " + host);
   }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
-      0) {
+  int rc;
+  do {
+    rc = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr);
+  } while (rc < 0 && errno == EINTR);
+  // A connect interrupted by a signal completes asynchronously; the retry
+  // then reports EISCONN, which is success.
+  if (rc < 0 && errno == EISCONN) rc = 0;
+  if (rc < 0) {
     const int saved = errno;
     ::close(fd_);
     fd_ = -1;
     errno = saved;
-    throw_errno("connect " + host + ":" + std::to_string(port));
+    throw_transport_errno(TransportError::Kind::Connect,
+                          "connect " + host + ":" + std::to_string(port));
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -253,8 +327,9 @@ TcpConnection::~TcpConnection() {
 Bytes TcpConnection::roundtrip(std::span<const std::uint8_t> request) {
   write_frame(fd_, request);
   Bytes response;
-  if (!read_frame(fd_, response)) {
-    throw std::runtime_error("server closed the connection");
+  if (!read_frame(fd_, response, options_.read_timeout_ms)) {
+    throw TransportError(TransportError::Kind::BrokenStream,
+                         "server closed the connection");
   }
   return response;
 }

@@ -2,43 +2,47 @@
 
 namespace axc::service {
 
+Bytes Client::call(const Bytes& request) {
+  Bytes response = connection_.roundtrip(request);
+  last_served_level_ = response_level(response).value_or(0);
+  return response;
+}
+
 CharacterizeResponse Client::characterize_adder(
     const CharacterizeAdderRequest& request) {
   return decode_characterize_response(
-      connection_.roundtrip(encode_request(request, deadline_ms_)));
+      call(encode_request(request, deadline_ms_)));
 }
 
 CharacterizeResponse Client::characterize_multiplier(
     const CharacterizeMultiplierRequest& request) {
   return decode_characterize_response(
-      connection_.roundtrip(encode_request(request, deadline_ms_)));
+      call(encode_request(request, deadline_ms_)));
 }
 
 EvaluateErrorResponse Client::evaluate_error(
     const EvaluateErrorRequest& request) {
   return decode_evaluate_error_response(
-      connection_.roundtrip(encode_request(request, deadline_ms_)));
+      call(encode_request(request, deadline_ms_)));
 }
 
 GearDesignSpaceResponse Client::gear_design_space(
     const GearDesignSpaceRequest& request) {
   return decode_gear_design_space_response(
-      connection_.roundtrip(encode_request(request, deadline_ms_)));
+      call(encode_request(request, deadline_ms_)));
 }
 
 EncodeProbeResponse Client::encode_probe(const EncodeProbeRequest& request) {
   return decode_encode_probe_response(
-      connection_.roundtrip(encode_request(request, deadline_ms_)));
+      call(encode_request(request, deadline_ms_)));
 }
 
 void Client::ping() {
-  decode_ok_response(
-      connection_.roundtrip(encode_request(Endpoint::Ping, deadline_ms_)));
+  decode_ok_response(call(encode_request(Endpoint::Ping, deadline_ms_)));
 }
 
 void Client::shutdown() {
-  decode_ok_response(connection_.roundtrip(
-      encode_request(Endpoint::Shutdown, deadline_ms_)));
+  decode_ok_response(call(encode_request(Endpoint::Shutdown, deadline_ms_)));
 }
 
 }  // namespace axc::service

@@ -1,0 +1,255 @@
+#include "axc/chaos/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "axc/obs/obs.hpp"
+#include "axc/service/protocol.hpp"
+#include "axc/service/server.hpp"
+#include "axc/service/transport.hpp"
+
+namespace axc::chaos {
+namespace {
+
+using service::Bytes;
+using service::Endpoint;
+using service::Server;
+using service::ServerOptions;
+using service::Status;
+using service::TransportError;
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::reset();
+  }
+};
+
+std::uint64_t counter_value(const std::string& name) {
+  const auto snap = obs::snapshot();
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+/// Drives `calls` ping roundtrips through a FaultyConnection, reconnecting
+/// after disconnects, and returns the final stats.
+ChaosStats drive(FaultyConnection& connection, int calls) {
+  const Bytes wire = service::encode_request(Endpoint::Ping);
+  for (int i = 0; i < calls; ++i) {
+    try {
+      (void)connection.roundtrip(wire);
+    } catch (const TransportError&) {
+      if (connection.broken()) connection.reconnect();
+    }
+  }
+  return connection.stats();
+}
+
+TEST_F(ChaosTest, ZeroProbabilitiesArePassthrough) {
+  Server server(ServerOptions{});
+  service::LoopbackConnection inner(server);
+  ChaosOptions options;  // all probabilities zero
+  FaultyConnection chaotic(inner, options);
+
+  const Bytes response =
+      chaotic.roundtrip(service::encode_request(Endpoint::Ping));
+  EXPECT_EQ(service::response_status(response), Status::Ok);
+  EXPECT_EQ(chaotic.stats().roundtrips, 1u);
+  EXPECT_EQ(chaotic.stats().faults(), 0u);
+  server.stop();
+}
+
+TEST_F(ChaosTest, SameSeedSameFaultSchedule) {
+  Server server(ServerOptions{});
+  service::LoopbackConnection inner(server);
+
+  ChaosOptions options;
+  options.seed = 2026;
+  options.delay = 0.05;
+  options.disconnect = 0.05;
+  options.drop_request = 0.05;
+  options.corrupt_request = 0.05;
+  options.drop_response = 0.05;
+  options.corrupt_response = 0.05;
+  options.sleep_ms = [](std::uint32_t) {};  // no real stalls
+
+  FaultyConnection a(inner, options);
+  FaultyConnection b(inner, options);
+  const ChaosStats sa = drive(a, 256);
+  const ChaosStats sb = drive(b, 256);
+
+  EXPECT_GT(sa.faults(), 0u);  // 6 x 5% over 256 calls must fire
+  EXPECT_EQ(sa.roundtrips, sb.roundtrips);
+  EXPECT_EQ(sa.delays, sb.delays);
+  EXPECT_EQ(sa.disconnects, sb.disconnects);
+  EXPECT_EQ(sa.dropped_requests, sb.dropped_requests);
+  EXPECT_EQ(sa.corrupted_requests, sb.corrupted_requests);
+  EXPECT_EQ(sa.dropped_responses, sb.dropped_responses);
+  EXPECT_EQ(sa.corrupted_responses, sb.corrupted_responses);
+
+  // And a different seed reshuffles the schedule.
+  ChaosOptions other = options;
+  other.seed = 777;
+  FaultyConnection c(inner, other);
+  const ChaosStats sc = drive(c, 256);
+  EXPECT_TRUE(sc.delays != sa.delays || sc.disconnects != sa.disconnects ||
+              sc.dropped_requests != sa.dropped_requests ||
+              sc.corrupted_requests != sa.corrupted_requests ||
+              sc.dropped_responses != sa.dropped_responses ||
+              sc.corrupted_responses != sa.corrupted_responses);
+  server.stop();
+}
+
+TEST_F(ChaosTest, CorruptedRequestParsesAsBadRequest) {
+  Server server(ServerOptions{});
+  service::LoopbackConnection inner(server);
+  ChaosOptions options;
+  options.corrupt_request = 1.0;
+  FaultyConnection chaotic(inner, options);
+
+  const Bytes response =
+      chaotic.roundtrip(service::encode_request(Endpoint::Ping));
+  EXPECT_EQ(service::response_status(response), Status::BadRequest);
+  EXPECT_EQ(chaotic.stats().corrupted_requests, 1u);
+  server.stop();
+}
+
+TEST_F(ChaosTest, CorruptedResponseFailsHeaderValidation) {
+  Server server(ServerOptions{});
+  service::LoopbackConnection inner(server);
+  ChaosOptions options;
+  options.corrupt_response = 1.0;
+  FaultyConnection chaotic(inner, options);
+
+  const Bytes response =
+      chaotic.roundtrip(service::encode_request(Endpoint::Ping));
+  // The version byte was flipped: the response cannot masquerade as valid.
+  EXPECT_EQ(service::response_status(response), std::nullopt);
+  EXPECT_EQ(chaotic.stats().corrupted_responses, 1u);
+  server.stop();
+}
+
+TEST_F(ChaosTest, DroppedRequestNeverReachesTheServer) {
+  std::atomic<int> dispatched{0};
+  ServerOptions options;
+  options.dispatcher = [&](std::span<const std::uint8_t>, unsigned) {
+    ++dispatched;
+    return service::encode_ok_response();
+  };
+  Server server(options);
+  service::LoopbackConnection inner(server);
+  ChaosOptions chaos;
+  chaos.drop_request = 1.0;
+  FaultyConnection chaotic(inner, chaos);
+
+  try {
+    (void)chaotic.roundtrip(service::encode_request(Endpoint::Ping));
+    FAIL() << "dropped request must throw";
+  } catch (const TransportError& error) {
+    EXPECT_EQ(error.kind(), TransportError::Kind::Injected);
+  }
+  EXPECT_EQ(dispatched.load(), 0);
+  EXPECT_FALSE(chaotic.broken());  // the stream survives a dropped frame
+  server.stop();
+}
+
+TEST_F(ChaosTest, DroppedResponseHappensAfterTheServerRan) {
+  std::atomic<int> dispatched{0};
+  ServerOptions options;
+  options.dispatcher = [&](std::span<const std::uint8_t>, unsigned) {
+    ++dispatched;
+    return service::encode_ok_response();
+  };
+  Server server(options);
+  service::LoopbackConnection inner(server);
+  ChaosOptions chaos;
+  chaos.drop_response = 1.0;
+  FaultyConnection chaotic(inner, chaos);
+
+  EXPECT_THROW((void)chaotic.roundtrip(service::encode_request(Endpoint::Ping)),
+               TransportError);
+  // The dangerous case for at-most-once assumptions: work happened, the
+  // answer was lost. Retries stay safe because responses are pure
+  // functions of the request bytes.
+  EXPECT_EQ(dispatched.load(), 1);
+  server.stop();
+}
+
+TEST_F(ChaosTest, DisconnectPoisonsTheStreamUntilReconnect) {
+  Server server(ServerOptions{});
+  service::LoopbackConnection inner(server);
+  ChaosOptions options;
+  options.disconnect = 1.0;
+  FaultyConnection chaotic(inner, options);
+  const Bytes wire = service::encode_request(Endpoint::Ping);
+
+  try {
+    (void)chaotic.roundtrip(wire);
+    FAIL() << "disconnect must throw";
+  } catch (const TransportError& error) {
+    EXPECT_EQ(error.kind(), TransportError::Kind::BrokenStream);
+  }
+  EXPECT_TRUE(chaotic.broken());
+  EXPECT_EQ(chaotic.stats().disconnects, 1u);
+
+  // Every further call fails fast without drawing new faults, exactly
+  // like writing to a dead socket.
+  EXPECT_THROW((void)chaotic.roundtrip(wire), TransportError);
+  EXPECT_EQ(chaotic.stats().disconnects, 1u);
+
+  chaotic.reconnect();
+  EXPECT_FALSE(chaotic.broken());
+  // disconnect = 1.0, so the fresh stream dies again — but via a new draw.
+  EXPECT_THROW((void)chaotic.roundtrip(wire), TransportError);
+  EXPECT_EQ(chaotic.stats().disconnects, 2u);
+  server.stop();
+}
+
+TEST_F(ChaosTest, DelaysUseTheInjectedSleepHook) {
+  Server server(ServerOptions{});
+  service::LoopbackConnection inner(server);
+  std::vector<std::uint32_t> stalls;
+  ChaosOptions options;
+  options.delay = 1.0;
+  options.delay_max_ms = 5;
+  options.sleep_ms = [&](std::uint32_t ms) { stalls.push_back(ms); };
+  FaultyConnection chaotic(inner, options);
+
+  const Bytes wire = service::encode_request(Endpoint::Ping);
+  for (int i = 0; i < 16; ++i) (void)chaotic.roundtrip(wire);
+  ASSERT_EQ(stalls.size(), 16u);
+  for (const std::uint32_t ms : stalls) {
+    EXPECT_GE(ms, 1u);
+    EXPECT_LE(ms, 5u);
+  }
+  EXPECT_EQ(chaotic.stats().delays, 16u);
+  server.stop();
+}
+
+TEST_F(ChaosTest, FaultsAreObservable) {
+  Server server(ServerOptions{});
+  service::LoopbackConnection inner(server);
+  ChaosOptions options;
+  options.seed = 99;
+  options.drop_request = 0.5;
+  options.corrupt_response = 0.5;
+  FaultyConnection chaotic(inner, options);
+  const ChaosStats stats = drive(chaotic, 64);
+
+  EXPECT_EQ(counter_value("service.transport_faults_injected"),
+            stats.faults());
+  EXPECT_EQ(counter_value("service.chaos.dropped_requests"),
+            stats.dropped_requests);
+  EXPECT_EQ(counter_value("service.chaos.corrupted_responses"),
+            stats.corrupted_responses);
+  EXPECT_GT(stats.faults(), 0u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace axc::chaos

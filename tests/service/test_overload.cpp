@@ -1,0 +1,222 @@
+#include "axc/service/overload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "axc/obs/obs.hpp"
+#include "axc/service/endpoints.hpp"
+#include "axc/service/server.hpp"
+#include "axc/service/transport.hpp"
+
+namespace axc::service {
+namespace {
+
+class OverloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::reset();
+  }
+};
+
+std::uint64_t counter_value(const std::string& name) {
+  const auto snap = obs::snapshot();
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+TEST_F(OverloadTest, DisabledControllerNeverDegrades) {
+  OverloadController controller(OverloadPolicy{});  // max_level = 0
+  for (const std::size_t depth : {0u, 10u, 100u, 100000u}) {
+    EXPECT_EQ(controller.admit(depth), 0u);
+  }
+}
+
+TEST_F(OverloadTest, EscalationIsImmediateAndDepthProportional) {
+  OverloadPolicy policy;
+  policy.max_level = 3;
+  policy.degrade_depth = 8;
+  policy.step_depth = 8;
+  OverloadController controller(policy);
+
+  EXPECT_EQ(controller.admit(7), 0u);   // below the knee
+  EXPECT_EQ(controller.admit(8), 1u);   // knee
+  EXPECT_EQ(controller.admit(15), 1u);  // same band
+  EXPECT_EQ(controller.admit(16), 2u);  // next band
+  EXPECT_EQ(controller.admit(24), 3u);
+  EXPECT_EQ(controller.admit(4000), 3u);  // capped at max_level
+  EXPECT_EQ(counter_value("service.overload.escalations"), 3u);
+}
+
+TEST_F(OverloadTest, DeescalationIsDampedByCalmAdmissions) {
+  OverloadPolicy policy;
+  policy.max_level = 2;
+  policy.degrade_depth = 4;
+  policy.step_depth = 4;
+  policy.calm_admissions = 3;
+  OverloadController controller(policy);
+
+  ASSERT_EQ(controller.admit(8), 2u);
+  // Two calm observations are not enough...
+  EXPECT_EQ(controller.admit(0), 2u);
+  EXPECT_EQ(controller.admit(0), 2u);
+  // ...the third steps down one level, not to zero.
+  EXPECT_EQ(controller.admit(0), 1u);
+  EXPECT_EQ(controller.admit(0), 1u);
+  EXPECT_EQ(controller.admit(0), 1u);
+  EXPECT_EQ(controller.admit(0), 0u);
+  EXPECT_EQ(counter_value("service.overload.deescalations"), 2u);
+
+  // A target matching the current level resets the calm streak.
+  ASSERT_EQ(controller.admit(8), 2u);
+  EXPECT_EQ(controller.admit(0), 2u);
+  EXPECT_EQ(controller.admit(8), 2u);  // target == level: streak resets
+  EXPECT_EQ(controller.admit(0), 2u);
+  EXPECT_EQ(controller.admit(0), 2u);
+  EXPECT_EQ(controller.admit(0), 1u);
+}
+
+// Degraded dispatch quality: the cheaper rung must answer with metrics
+// close to full fidelity (the QualityContract guardband idea), and the
+// level byte must report what happened.
+TEST_F(OverloadTest, DegradedEvaluateErrorStaysNearFullFidelity) {
+  EvaluateErrorRequest req;
+  req.gear = {16, 2, 4};  // 32 input bits: sampled either way
+  req.samples = 1u << 16;
+  const Bytes wire = encode_request(req);
+
+  DispatchOptions full;
+  const Bytes reference = dispatch(wire, full);
+  ASSERT_EQ(response_status(reference), Status::Ok);
+  EXPECT_EQ(response_level(reference), 0);
+
+  DispatchOptions cheap;
+  cheap.degrade_level = 2;
+  const Bytes degraded = dispatch(wire, cheap);
+  ASSERT_EQ(response_status(degraded), Status::Ok);
+  EXPECT_EQ(response_level(degraded), 2);
+
+  const EvaluateErrorResponse a = decode_evaluate_error_response(reference);
+  const EvaluateErrorResponse b = decode_evaluate_error_response(degraded);
+  EXPECT_EQ(b.samples, DegradeFloors::kMinSamples);  // 2^16 >> 4
+  EXPECT_LT(b.samples, a.samples);
+  // Guardband: the sampled estimate of normalized MED from 4096 draws
+  // stays within half a percent (absolute) of the 65536-draw estimate.
+  EXPECT_NEAR(b.normalized_med, a.normalized_med, 5e-3);
+  EXPECT_NEAR(b.error_rate, a.error_rate, 5e-2);
+}
+
+TEST_F(OverloadTest, DegradeLaddersClampAtTheirFloors) {
+  // A request already at the floor is served at level 0: the client
+  // cannot tell it met the controller, because nothing was shed.
+  EvaluateErrorRequest tiny;
+  tiny.gear = {8, 2, 2};  // 16 bits, exhaustive under both caps
+  tiny.samples = DegradeFloors::kMinSamples;
+  tiny.max_exhaustive_bits = 8;
+  DispatchOptions cheap;
+  cheap.degrade_level = 200;  // absurd levels must be safe
+  const Bytes response = dispatch(encode_request(tiny), cheap);
+  ASSERT_EQ(response_status(response), Status::Ok);
+  EXPECT_EQ(response_level(response), 0);
+
+  // Ping has nothing to shed at any level.
+  const Bytes pong = dispatch(encode_request(Endpoint::Ping), cheap);
+  ASSERT_EQ(response_status(pong), Status::Ok);
+  EXPECT_EQ(response_level(pong), 0);
+}
+
+// End-to-end through the Server: a queue burst crosses the degrade knee,
+// later admissions are tagged with the level, and degraded responses are
+// never cached.
+TEST_F(OverloadTest, ServerDegradesUnderBurstAndSkipsCacheForDegraded) {
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool open = false;
+  int entered = 0;
+
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 32;
+  options.cache_capacity = 64;
+  options.overload.max_level = 2;
+  options.overload.degrade_depth = 4;
+  options.overload.step_depth = 4;
+  options.dispatcher = [&](std::span<const std::uint8_t> request,
+                           unsigned degrade_level) {
+    {
+      std::unique_lock<std::mutex> lock(gate_mutex);
+      ++entered;
+      gate_cv.notify_all();
+      gate_cv.wait(lock, [&] { return open; });
+    }
+    DispatchOptions dispatch_options;
+    dispatch_options.degrade_level = degrade_level;
+    return dispatch(request, dispatch_options);
+  };
+  Server server(options);
+
+  // Plug the single worker so every queued depth below is exactly the
+  // submission index + 1.
+  server.submit(encode_request(Endpoint::Ping), [](Bytes) {});
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return entered >= 1; });
+  }
+
+  // Distinct cacheable requests so each one computes.
+  std::mutex results_mutex;
+  std::condition_variable results_cv;
+  std::map<std::uint64_t, std::uint8_t> levels;  // burst index -> level
+  std::size_t finished = 0;
+  constexpr std::size_t kBurst = 12;
+  for (std::uint64_t i = 0; i < kBurst; ++i) {
+    CharacterizeAdderRequest req;
+    req.width = 8;
+    req.param_a = 2;
+    req.param_b = 2;
+    req.vectors = 512;
+    req.seed = 1000 + i;
+    server.submit(encode_request(req), [&, i](Bytes response) {
+      const std::lock_guard<std::mutex> lock(results_mutex);
+      levels[i] = response_level(response).value_or(255);
+      ++finished;
+      results_cv.notify_all();
+    });
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(gate_mutex);
+    open = true;
+    gate_cv.notify_all();
+  }
+  {
+    std::unique_lock<std::mutex> lock(results_mutex);
+    results_cv.wait(lock, [&] { return finished == kBurst; });
+  }
+
+  // Admission depths ran 1..12: the knee at depth 4 (i = 3) engaged
+  // level 1 and depth 8 (i = 7) engaged level 2.
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[2], 0u);
+  EXPECT_EQ(levels[3], 1u);
+  EXPECT_EQ(levels[6], 1u);
+  EXPECT_EQ(levels[7], 2u);
+  EXPECT_EQ(levels[11], 2u);
+  EXPECT_EQ(counter_value("service.degraded_responses"), 9u);
+  EXPECT_EQ(counter_value("service.overload.escalations"), 2u);
+
+  // Only the level-0 responses were cached.
+  std::size_t level0 = 0;
+  for (const auto& entry : levels) level0 += entry.second == 0 ? 1 : 0;
+  EXPECT_EQ(level0, 3u);
+  EXPECT_EQ(server.cache().size(), level0);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace axc::service

@@ -271,6 +271,30 @@ TEST(Protocol, BodyDecodersRejectTruncationAndTrailingBytes) {
   EXPECT_THROW(decode_gear_design_space(body), DecodeError);
 }
 
+// The degrade-don't-drop tag: third header byte, 0 by default, stampable
+// in place, invisible to status and body decoding.
+TEST(Protocol, ResponseLevelByteRoundTrips) {
+  Bytes wire = encode_response(CharacterizeResponse{1.0, 2.0, 3});
+  ASSERT_GE(wire.size(), kResponseHeaderBytes);
+  EXPECT_EQ(response_level(wire), 0);
+
+  set_response_level(wire, 3);
+  EXPECT_EQ(response_level(wire), 3);
+  EXPECT_EQ(response_status(wire), Status::Ok);
+  const auto d = decode_characterize_response(wire);
+  EXPECT_DOUBLE_EQ(d.area_ge, 1.0);
+  EXPECT_EQ(d.gate_count, 3u);
+
+  // Error responses carry the header too (level stays 0).
+  const Bytes error = encode_error_response(Status::Overloaded, "full");
+  EXPECT_EQ(response_level(error), 0);
+
+  EXPECT_FALSE(response_level(Bytes{}).has_value());
+  Bytes tiny = {kProtocolVersion, 0};
+  EXPECT_FALSE(response_level(tiny).has_value());
+  EXPECT_THROW(set_response_level(tiny, 1), std::invalid_argument);
+}
+
 TEST(Protocol, ResponseDecodersRejectMalformedBytes) {
   const Bytes wire = encode_response(CharacterizeResponse{1.0, 2.0, 3});
   Bytes truncated(wire.begin(), wire.end() - 1);

@@ -36,14 +36,17 @@ std::uint64_t counter_value(const std::string& name) {
 class GatedDispatcher {
  public:
   Dispatcher dispatcher() {
-    return [this](std::span<const std::uint8_t> request) {
+    return [this](std::span<const std::uint8_t> request,
+                  unsigned degrade_level) {
       {
         std::unique_lock<std::mutex> lock(mutex_);
         ++entered_;
         entered_cv_.notify_all();
         gate_cv_.wait(lock, [this] { return open_; });
       }
-      return dispatch(request);
+      DispatchOptions options;
+      options.degrade_level = degrade_level;
+      return dispatch(request, options);
     };
   }
   void wait_for_entered(int n) {

@@ -1,18 +1,94 @@
 /// \file bench_util.hpp
-/// Shared helpers for the experiment harnesses: headers, ASCII scatter
-/// plots for the figure-type experiments, and delta formatting for
-/// paper-vs-measured tables.
+/// Shared helpers for the experiment harnesses: timing and percentile
+/// math, the common BENCH_*.json header/footer (harness id, smoke flag,
+/// hardware_concurrency-honest metadata, embedded obs run report), ASCII
+/// scatter plots for the figure-type experiments, and delta formatting for
+/// paper-vs-measured tables. perf_kernels.cpp and service_load.cpp share
+/// everything here instead of growing private copies.
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <iostream>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "axc/common/table.hpp"
+#include "axc/obs/obs.hpp"
+#include "axc/obs/report.hpp"
 
 namespace axc::bench {
+
+using Clock = std::chrono::steady_clock;
+
+/// Keeps results observable so timed loops cannot be optimized away.
+inline volatile std::uint64_t sink = 0;
+
+/// Median wall time in milliseconds over \p reps runs of \p fn.
+template <typename Fn>
+double median_ms(int reps, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    fn();
+    const std::chrono::duration<double, std::milli> dt = Clock::now() - start;
+    times.push_back(dt.count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Nearest-rank percentile (p in [0, 1]) of a sample, by copy.
+inline double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(values.size())));
+  return values[std::min(values.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+/// Streaming FNV-1a over a byte span, seeded with the running hash.
+inline std::uint64_t fnv1a(std::uint64_t hash,
+                           std::span<const std::uint8_t> bytes) {
+  for (const std::uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+/// Counter lookup in an obs snapshot (0 when the counter never fired).
+inline std::uint64_t counter_value(const axc::obs::Snapshot& snap,
+                                   const std::string& name) {
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+/// Opens a BENCH_*.json document: "{", harness id, smoke flag, and the
+/// machine's hardware_concurrency (consumers must judge scaling ratios
+/// against the thread counts a harness reports it actually used).
+inline void json_header(std::ostream& out, const std::string& harness,
+                        bool smoke) {
+  out << "{\n";
+  out << "  \"harness\": \"" << harness << "\",\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"hardware_concurrency\": "
+      << std::max(1u, std::thread::hardware_concurrency()) << ",\n";
+}
+
+/// Closes a BENCH_*.json document with the embedded obs run report (every
+/// kernel above it executed under the instruments) and the final "}".
+inline void json_obs_footer(std::ostream& out) {
+  axc::obs::ReportOptions report;
+  report.indent = 2;
+  out << "  \"axc_obs\": " << axc::obs::report_json(report) << "\n";
+  out << "}\n";
+}
 
 /// Prints the experiment banner.
 inline void banner(const std::string& id, const std::string& title) {

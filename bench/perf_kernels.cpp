@@ -1,14 +1,21 @@
 /// Perf harness for the bit-parallel simulation + multithreaded evaluation
-/// work: times the scalar vs bitsliced netlist simulators, batched vs
+/// work: times the scalar vs bitsliced netlist simulators, the compiled
+/// wide-lane tape engine vs the bitsliced interpreter, batched vs
 /// per-candidate netlist SAD over a full motion-search window, 1-vs-N-thread
 /// error evaluation and block-parallel video encoding on fixed workloads,
 /// and writes machine-readable medians and speedup ratios to
 /// BENCH_kernels.json.
 ///
+/// In non-smoke runs the harness *asserts* the compiled-engine floors
+/// (>= 4x on "wallace8x8 exhaustive compiled" and "ripple16 streams
+/// compiled") so a perf regression fails the run instead of silently
+/// shipping a smaller number.
+///
 /// Usage: perf_kernels [--smoke] [--out <path>]
 ///   --smoke  reduced repetitions/workloads (CI smoke step)
 ///   --out    output path (default BENCH_kernels.json in the CWD)
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -30,38 +37,25 @@
 #include "axc/logic/characterize.hpp"
 #include "axc/logic/mul_netlists.hpp"
 #include "axc/logic/simulator.hpp"
+#include "axc/logic/tape_engine.hpp"
 #include "axc/obs/obs.hpp"
-#include "axc/obs/report.hpp"
 #include "axc/service/protocol.hpp"
 #include "axc/service/server.hpp"
 #include "axc/video/encoder.hpp"
 #include "axc/video/sequence.hpp"
+#include "bench_util.hpp"
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
+using axc::bench::median_ms;
+using axc::logic::SimEngine;
 /// Keeps results observable so the timed loops cannot be optimized away.
-volatile std::uint64_t g_sink = 0;
-
-/// Median wall time in milliseconds over `reps` runs of `fn`.
-template <typename Fn>
-double median_ms(int reps, Fn&& fn) {
-  std::vector<double> times;
-  times.reserve(static_cast<std::size_t>(reps));
-  for (int r = 0; r < reps; ++r) {
-    const auto start = Clock::now();
-    fn();
-    const std::chrono::duration<double, std::milli> dt = Clock::now() - start;
-    times.push_back(dt.count());
-  }
-  std::sort(times.begin(), times.end());
-  return times[times.size() / 2];
-}
+volatile std::uint64_t& g_sink = axc::bench::sink;
 
 struct KernelResult {
   std::string name;
   std::string baseline;  ///< what `speedup` is measured against
+  std::string engine;    ///< simulation engine of the optimized path ("" = n/a)
   double baseline_ms = 0.0;
   double optimized_ms = 0.0;
   double speedup = 0.0;
@@ -80,6 +74,8 @@ KernelResult exhaustive_kernel(const std::string& name,
   KernelResult result;
   result.name = name;
   result.baseline = "scalar Simulator::apply_word";
+  result.engine = "bitsliced";  // both arms pinned: this kernel measures
+                                // lane packing, not the tape compiler
   result.vectors = total;
 
   // Checksums from both paths must agree — validated outside the timing.
@@ -87,14 +83,14 @@ KernelResult exhaustive_kernel(const std::string& name,
   std::uint64_t packed_sum = 0;
 
   result.baseline_ms = median_ms(reps, [&] {
-    axc::logic::Simulator sim(netlist);
+    axc::logic::Simulator sim(netlist, SimEngine::Bitsliced);
     std::uint64_t sum = 0;
     for (std::uint64_t w = 0; w < total; ++w) sum += sim.apply_word(w);
     scalar_sum = sum;
     g_sink = sum;
   });
   result.optimized_ms = median_ms(reps, [&] {
-    BitslicedSimulator sim(netlist);
+    BitslicedSimulator sim(netlist, SimEngine::Bitsliced);
     std::uint64_t sum = 0;
     for (std::uint64_t base = 0; base < total;
          base += BitslicedSimulator::kLanes) {
@@ -136,6 +132,7 @@ KernelResult random_kernel(const std::string& name,
   KernelResult result;
   result.name = name;
   result.baseline = "scalar Simulator::apply";
+  result.engine = "bitsliced";  // pinned; see exhaustive_kernel
   result.vectors = static_cast<std::uint64_t>(steps) * kLanes;
 
   double scalar_energy = 0.0;
@@ -145,7 +142,7 @@ KernelResult random_kernel(const std::string& name,
     double energy = 0.0;
     std::vector<unsigned> bits(n_in);
     for (unsigned lane = 0; lane < kLanes; ++lane) {
-      axc::logic::Simulator sim(netlist);
+      axc::logic::Simulator sim(netlist, SimEngine::Bitsliced);
       for (unsigned t = 0; t < steps; ++t) {
         for (std::size_t i = 0; i < n_in; ++i) {
           bits[i] = axc::bit_of(stimulus[t][i], lane);
@@ -157,7 +154,7 @@ KernelResult random_kernel(const std::string& name,
     scalar_energy = energy;
   });
   result.optimized_ms = median_ms(reps, [&] {
-    BitslicedSimulator sim(netlist);
+    BitslicedSimulator sim(netlist, SimEngine::Bitsliced);
     for (unsigned t = 0; t < steps; ++t) {
       g_sink = sim.apply_lanes(stimulus[t]).front();
     }
@@ -179,7 +176,7 @@ KernelResult random_kernel(const std::string& name,
 /// motion window — the tentpole speedup of the batched evaluation path.
 KernelResult sad_window_kernel(const axc::accel::SadConfig& config,
                                int search_range, int reps) {
-  const axc::accel::NetlistSad packed(config);
+  const axc::accel::NetlistSad packed(config, SimEngine::Bitsliced);
   const std::size_t bp = config.block_pixels;
   const std::size_t window = static_cast<std::size_t>(2 * search_range + 1) *
                              (2 * search_range + 1);
@@ -193,6 +190,7 @@ KernelResult sad_window_kernel(const axc::accel::SadConfig& config,
   KernelResult result;
   result.name = config.name() + " netlist full-search window";
   result.baseline = "per-candidate NetlistSad::sad";
+  result.engine = "bitsliced";  // pinned; see exhaustive_kernel
   result.vectors = window;
 
   std::vector<std::uint64_t> scalar_out(window);
@@ -210,6 +208,247 @@ KernelResult sad_window_kernel(const axc::accel::SadConfig& config,
   });
   if (scalar_out != batched_out) {
     std::cerr << result.name << ": batched/scalar result mismatch\n";
+    std::exit(1);
+  }
+  result.speedup = result.baseline_ms / result.optimized_ms;
+  return result;
+}
+
+/// Wide word type the compiled-engine kernels run at: 8x64 = 512 lanes per
+/// pass, the measured sweet spot for the SoA tape on this gate-size range.
+using WideWord = axc::logic::LaneBlock<8>;
+constexpr unsigned kWideLanes = axc::logic::LaneTraits<WideWord>::kLanes;
+constexpr unsigned kWideGroups = axc::logic::LaneTraits<WideWord>::kWords;
+
+/// Bitsliced interpreter vs compiled wide-lane tape over the same exhaustive
+/// enumeration. The timed region in both arms is the gate pass plus a cheap
+/// packing-invariant checksum (per-output-word popcounts — the total set
+/// bits per output over the full input space does not depend on how vectors
+/// are packed into lanes, so 64-lane and 512-lane arms must agree). The
+/// optimized arm runs the tape functionally (counting off): consumers that
+/// never read toggles — error evaluation, output enumeration — skip the
+/// per-op activity popcounts entirely. Toggle/energy exactness is asserted
+/// outside the timing with a *counted* compiled pass at the interpreter's
+/// own lane count, where the accounting is bit-for-bit identical.
+KernelResult compiled_exhaustive_kernel(const std::string& name,
+                                        const axc::logic::Netlist& netlist,
+                                        int reps) {
+  using axc::logic::BitslicedSimulator;
+  const unsigned n_in = static_cast<unsigned>(netlist.inputs().size());
+  const std::uint64_t total = std::uint64_t{1} << n_in;
+
+  KernelResult result;
+  result.name = name;
+  result.baseline = "64-lane BitslicedSimulator interpreter";
+  result.engine = "compiled";
+  result.vectors = total;
+
+  std::uint64_t interp_sum = 0;
+  std::uint64_t tape_sum = 0;
+
+  result.baseline_ms = median_ms(reps, [&] {
+    BitslicedSimulator sim(netlist, SimEngine::Bitsliced);
+    std::uint64_t sum = 0;
+    for (std::uint64_t base = 0; base < total;
+         base += BitslicedSimulator::kLanes) {
+      for (const std::uint64_t w : sim.apply_word_range(
+               base, BitslicedSimulator::kLanes)) {
+        sum += static_cast<std::uint64_t>(std::popcount(w));
+      }
+    }
+    interp_sum = sum;
+    g_sink = sum;
+  });
+  result.optimized_ms = median_ms(reps, [&] {
+    axc::logic::TapeSimulator<WideWord> sim(netlist);
+    sim.set_counting(false);  // functional enumeration: toggles never read
+    std::uint64_t sum = 0;
+    for (std::uint64_t base = 0; base < total; base += kWideLanes) {
+      for (const WideWord& blk : sim.apply_word_range(base, kWideLanes)) {
+        for (const std::uint64_t w : blk.w) {
+          sum += static_cast<std::uint64_t>(std::popcount(w));
+        }
+      }
+    }
+    tape_sum = sum;
+    g_sink = sum;
+  });
+  if (interp_sum != tape_sum) {
+    std::cerr << name << ": checksum mismatch (interpreter " << interp_sum
+              << " vs compiled tape " << tape_sum << ")\n";
+    std::exit(1);
+  }
+
+  // Exactness, outside the timing: at the interpreter's own lane count a
+  // counted compiled pass must match toggle-for-toggle and byte-for-byte
+  // in energy (same per-gate accumulation, same summation order).
+  BitslicedSimulator interp(netlist, SimEngine::Bitsliced);
+  BitslicedSimulator compiled(netlist, SimEngine::Compiled);
+  for (std::uint64_t base = 0; base < total;
+       base += BitslicedSimulator::kLanes) {
+    interp.apply_word_range(base, BitslicedSimulator::kLanes);
+    compiled.apply_word_range(base, BitslicedSimulator::kLanes);
+  }
+  for (std::size_t g = 0; g < netlist.gate_count(); ++g) {
+    if (interp.gate_toggles(g) != compiled.gate_toggles(g)) {
+      std::cerr << name << ": toggle mismatch at gate " << g << "\n";
+      std::exit(1);
+    }
+  }
+  if (interp.switched_energy_fj() != compiled.switched_energy_fj()) {
+    std::cerr << name << ": energy not byte-identical across engines\n";
+    std::exit(1);
+  }
+  result.speedup = result.baseline_ms / result.optimized_ms;
+  return result;
+}
+
+/// Bitsliced interpreter vs compiled wide-lane tape on independent random
+/// streams: the wide arm carries 512 streams through run_stream() in one
+/// engine; the interpreter carries the same 512 streams as eight sequential
+/// 64-lane groups (group g replays subword g of the wide stimulus, so every
+/// output word of the baseline equals subword g of the wide output and the
+/// plain word-sum checksums agree by construction). Exactness is asserted
+/// outside the timing twice: a counted wide run's per-gate toggles must
+/// equal the interpreter groups' toggles summed (integer-exact — wide lanes
+/// are just a different temporal pairing of the same per-lane streams), and
+/// one 64-lane group replayed through the compiled facade must match the
+/// interpreter byte-for-byte in energy.
+KernelResult compiled_stream_kernel(const std::string& name,
+                                    const axc::logic::Netlist& netlist,
+                                    unsigned steps, int reps) {
+  using axc::logic::BitslicedSimulator;
+  const std::size_t n_in = netlist.inputs().size();
+  const std::size_t n_out = netlist.outputs().size();
+
+  axc::Rng rng(0x7A9E);
+  std::vector<WideWord> stimulus(static_cast<std::size_t>(steps) * n_in);
+  for (WideWord& blk : stimulus) {
+    for (std::uint64_t& w : blk.w) w = rng();
+  }
+
+  KernelResult result;
+  result.name = name;
+  result.baseline = "64-lane BitslicedSimulator interpreter";
+  result.engine = "compiled";
+  result.vectors = static_cast<std::uint64_t>(steps) * kWideLanes;
+
+  std::uint64_t interp_sum = 0;
+  std::uint64_t tape_sum = 0;
+
+  // Replays group `grp` (subword grp of every stimulus block) through a
+  // fresh simulator; returns the word-sum of all outputs at every step.
+  const auto replay_group = [&](BitslicedSimulator& sim, unsigned grp) {
+    std::uint64_t sum = 0;
+    std::vector<std::uint64_t> in(n_in);
+    for (unsigned t = 0; t < steps; ++t) {
+      for (std::size_t i = 0; i < n_in; ++i) {
+        in[i] = stimulus[static_cast<std::size_t>(t) * n_in + i].w[grp];
+      }
+      for (const std::uint64_t w : sim.apply_lanes(in)) sum += w;
+    }
+    return sum;
+  };
+
+  result.baseline_ms = median_ms(reps, [&] {
+    std::uint64_t sum = 0;
+    for (unsigned grp = 0; grp < kWideGroups; ++grp) {
+      BitslicedSimulator sim(netlist, SimEngine::Bitsliced);
+      sum += replay_group(sim, grp);
+    }
+    interp_sum = sum;
+    g_sink = sum;
+  });
+  std::vector<WideWord> out(static_cast<std::size_t>(steps) * n_out);
+  result.optimized_ms = median_ms(reps, [&] {
+    axc::logic::TapeSimulator<WideWord> sim(netlist);
+    sim.set_counting(false);  // functional streaming: toggles never read
+    sim.run_stream(stimulus, out);
+    std::uint64_t sum = 0;
+    for (const WideWord& blk : out) {
+      for (const std::uint64_t w : blk.w) sum += w;
+    }
+    tape_sum = sum;
+    g_sink = sum;
+  });
+  if (interp_sum != tape_sum) {
+    std::cerr << name << ": checksum mismatch (interpreter " << interp_sum
+              << " vs compiled tape " << tape_sum << ")\n";
+    std::exit(1);
+  }
+
+  // Exactness, outside the timing.
+  axc::logic::TapeSimulator<WideWord> counted(netlist);  // counting on
+  counted.run_stream(stimulus, out);
+  std::vector<std::uint64_t> grouped_toggles(netlist.gate_count(), 0);
+  for (unsigned grp = 0; grp < kWideGroups; ++grp) {
+    BitslicedSimulator sim(netlist, SimEngine::Bitsliced);
+    replay_group(sim, grp);
+    for (std::size_t g = 0; g < netlist.gate_count(); ++g) {
+      grouped_toggles[g] += sim.gate_toggles(g);
+    }
+  }
+  for (std::size_t g = 0; g < netlist.gate_count(); ++g) {
+    if (counted.gate_toggles(g) != grouped_toggles[g]) {
+      std::cerr << name << ": wide-lane toggle mismatch at gate " << g << "\n";
+      std::exit(1);
+    }
+  }
+  BitslicedSimulator interp0(netlist, SimEngine::Bitsliced);
+  BitslicedSimulator compiled0(netlist, SimEngine::Compiled);
+  replay_group(interp0, 0);
+  replay_group(compiled0, 0);
+  if (interp0.switched_energy_fj() != compiled0.switched_energy_fj()) {
+    std::cerr << name << ": energy not byte-identical across engines\n";
+    std::exit(1);
+  }
+  result.speedup = result.baseline_ms / result.optimized_ms;
+  return result;
+}
+
+/// The SAD accelerator's batched path, interpreter vs compiled facade — the
+/// end-to-end consumer view of the engine switch. Both arms run the full
+/// counted accounting (NetlistSad always reports energy), so the speedup
+/// here is the counted-mode one, smaller than the functional kernels above;
+/// no floor is asserted. Outputs and switched energy must match exactly.
+KernelResult compiled_sad_kernel(const axc::accel::SadConfig& config,
+                                 int search_range, int reps) {
+  const axc::accel::NetlistSad interp(config, SimEngine::Bitsliced);
+  const axc::accel::NetlistSad compiled(config, SimEngine::Compiled);
+  const std::size_t bp = config.block_pixels;
+  const std::size_t window = static_cast<std::size_t>(2 * search_range + 1) *
+                             (2 * search_range + 1);
+
+  axc::Rng rng(0x5ADC);
+  std::vector<std::uint8_t> a(bp);
+  for (auto& px : a) px = static_cast<std::uint8_t>(rng.bits(8));
+  std::vector<std::uint8_t> candidates(window * bp);
+  for (auto& px : candidates) px = static_cast<std::uint8_t>(rng.bits(8));
+
+  KernelResult result;
+  result.name = "sad window compiled";
+  result.baseline = "NetlistSad::sad_batch (bitsliced interpreter)";
+  result.engine = "compiled";
+  result.vectors = window;
+
+  std::vector<std::uint64_t> interp_out(window);
+  std::vector<std::uint64_t> compiled_out(window);
+  result.baseline_ms = median_ms(reps, [&] {
+    interp.sad_batch(a, candidates, interp_out);
+    g_sink = interp_out.back();
+  });
+  result.optimized_ms = median_ms(reps, [&] {
+    compiled.sad_batch(a, candidates, compiled_out);
+    g_sink = compiled_out.back();
+  });
+  if (interp_out != compiled_out) {
+    std::cerr << result.name << ": compiled/interpreter result mismatch\n";
+    std::exit(1);
+  }
+  // Both facades ran the identical stimulus sequence the same number of
+  // times, so the exact accounting must agree to the byte.
+  if (interp.switched_energy_fj() != compiled.switched_energy_fj()) {
+    std::cerr << result.name << ": energy not byte-identical across engines\n";
     std::exit(1);
   }
   result.speedup = result.baseline_ms / result.optimized_ms;
@@ -451,11 +690,7 @@ void write_json(const std::string& path,
   std::sort(benchmarked.begin(), benchmarked.end());
 
   std::ofstream out(path);
-  out << "{\n";
-  out << "  \"harness\": \"perf_kernels\",\n";
-  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
-  out << "  \"hardware_concurrency\": "
-      << std::max(1u, std::thread::hardware_concurrency()) << ",\n";
+  axc::bench::json_header(out, "perf_kernels", smoke);
   out << "  \"benchmarked_thread_counts\": [";
   for (std::size_t i = 0; i < benchmarked.size(); ++i) {
     out << (i ? ", " : "") << benchmarked[i];
@@ -467,6 +702,9 @@ void write_json(const std::string& path,
     out << "    {\n";
     out << "      \"name\": \"" << k.name << "\",\n";
     out << "      \"baseline\": \"" << k.baseline << "\",\n";
+    if (!k.engine.empty()) {
+      out << "      \"engine\": \"" << k.engine << "\",\n";
+    }
     out << "      \"vectors\": " << k.vectors << ",\n";
     out << "      \"baseline_threads\": " << k.baseline_threads << ",\n";
     out << "      \"optimized_threads\": " << k.optimized_threads << ",\n";
@@ -484,12 +722,10 @@ void write_json(const std::string& path,
       << "\n";
   out << "  },\n";
   // Full run report: every kernel above executed under the instruments, so
-  // the counters/derived section carries e.g. the characterization-memo
-  // hit rate and the bitsliced / SAD-batch lane-occupancy histograms.
-  axc::obs::ReportOptions report;
-  report.indent = 2;
-  out << "  \"axc_obs\": " << axc::obs::report_json(report) << "\n";
-  out << "}\n";
+  // the counters/derived section carries e.g. the characterization-memo and
+  // tape-compile hit rates and the bitsliced / SAD-batch lane-occupancy and
+  // tape-shape histograms.
+  axc::bench::json_obs_footer(out);
 }
 
 }  // namespace
@@ -532,11 +768,29 @@ int main(int argc, char** argv) {
         reps));
   }
 
+  // Compiled tape engine vs the bitsliced interpreter, same two netlist
+  // workloads at 512 lanes. Non-smoke runs assert the >=4x floor on both.
+  kernels.push_back(compiled_exhaustive_kernel(
+      "wallace8x8 exhaustive compiled",
+      axc::logic::wallace_netlist(8, FullAdderKind::Accurate, 0), reps));
+  {
+    const auto model = axc::arith::RippleAdder::lsb_approximated(
+        16, FullAdderKind::Accurate, 0);
+    kernels.push_back(compiled_stream_kernel(
+        "ripple16 streams compiled",
+        axc::logic::ripple_adder_netlist(model.cells()), smoke ? 32 : 256,
+        reps));
+  }
+
   // Batched vs per-candidate netlist SAD: one 8x8-block full-search window
   // (range 4 -> 81 candidates) through the packed 64-lane engine vs 81
   // scalar gate-list passes.
   kernels.push_back(
       sad_window_kernel(axc::accel::accu_sad(64), 4, reps));
+
+  // The same batched SAD window, interpreter vs compiled facade (counted
+  // mode on both sides — the consumer-visible engine-switch speedup).
+  kernels.push_back(compiled_sad_kernel(axc::accel::accu_sad(64), 4, reps));
 
   // Thread scaling: sampled GeAr evaluation, 1 thread vs all hardware
   // threads. On a multicore box this approaches linear scaling; the JSON
@@ -559,6 +813,20 @@ int main(int argc, char** argv) {
   const ObsOverhead obs_overhead = measure_obs_overhead(smoke, reps);
 
   write_json(out_path, kernels, obs_overhead, smoke);
+
+  // Performance floors for the compiled engine (full runs only: smoke reps
+  // and workloads are too small for stable ratios).
+  if (!smoke) {
+    for (const KernelResult& k : kernels) {
+      if ((k.name == "wallace8x8 exhaustive compiled" ||
+           k.name == "ripple16 streams compiled") &&
+          k.speedup < 4.0) {
+        std::cerr << "perf_kernels: " << k.name << " speedup " << k.speedup
+                  << "x is below the 4x floor\n";
+        return 1;
+      }
+    }
+  }
 
   std::cout << "perf_kernels: " << kernels.size() << " kernels -> " << out_path
             << " (hardware_concurrency=" << hw << ")\n";

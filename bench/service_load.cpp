@@ -39,6 +39,7 @@
 #include "axc/chaos/chaos.hpp"
 #include "axc/common/rng.hpp"
 #include "axc/logic/characterize.hpp"
+#include "axc/logic/tape.hpp"
 #include "axc/obs/obs.hpp"
 #include "axc/obs/report.hpp"
 #include "axc/resilience/monitor.hpp"
@@ -47,11 +48,15 @@
 #include "axc/service/retry.hpp"
 #include "axc/service/server.hpp"
 #include "axc/service/transport.hpp"
+#include "bench_util.hpp"
 
 namespace {
 
 namespace svc = axc::service;
-using Clock = std::chrono::steady_clock;
+using axc::bench::Clock;
+using axc::bench::counter_value;
+using axc::bench::fnv1a;
+using axc::bench::percentile;
 
 struct LoadConfig {
   bool smoke = false;
@@ -138,14 +143,6 @@ std::vector<svc::Bytes> build_pool(const LoadConfig& config) {
     }
   }
   return pool;
-}
-
-std::uint64_t fnv1a(std::uint64_t hash, std::span<const std::uint8_t> bytes) {
-  for (const std::uint8_t byte : bytes) {
-    hash ^= byte;
-    hash *= 0x100000001B3ULL;
-  }
-  return hash;
 }
 
 struct PhaseAResult {
@@ -394,11 +391,14 @@ std::string deterministic_obs_fragment() {
 }
 
 RunResult run_workload(const LoadConfig& config) {
-  // A clean slate per run: the obs registry and the process-wide
-  // characterization memo are the only cross-run state.
+  // A clean slate per run: the obs registry, the process-wide
+  // characterization memo and the tape-compile cache are the only
+  // cross-run state (a warm compile cache would flip the second run's
+  // logic.compile counters from misses to hits).
   axc::obs::set_enabled(true);
   axc::obs::reset();
   axc::logic::clear_characterization_cache();
+  axc::logic::clear_compile_cache();
 
   RunResult run;
   run.a = run_phase_a(config);
@@ -419,20 +419,6 @@ RunResult run_workload(const LoadConfig& config) {
            << " degraded=" << run.b.degraded << '\n';
   run.deterministic_fragment = fragment.str();
   return run;
-}
-
-double percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(p * static_cast<double>(values.size())));
-  return values[std::min(values.size() - 1, rank == 0 ? 0 : rank - 1)];
-}
-
-std::uint64_t counter_value(const axc::obs::Snapshot& snap,
-                            const std::string& name) {
-  const auto it = snap.counters.find(name);
-  return it == snap.counters.end() ? 0 : it->second;
 }
 
 }  // namespace
@@ -510,13 +496,9 @@ int main(int argc, char** argv) {
   slo(deterministic, "non-timing report sections differ across runs");
 
   std::ofstream out(out_path);
-  out << "{\n";
-  out << "  \"harness\": \"service_load\",\n";
-  out << "  \"smoke\": " << (config.smoke ? "true" : "false") << ",\n";
+  axc::bench::json_header(out, "service_load", config.smoke);
   // Single-thread-honest: all client traffic is driven by one thread; the
   // concurrency under test is the server's worker pool, not the driver.
-  out << "  \"hardware_concurrency\": "
-      << std::max(1u, std::thread::hardware_concurrency()) << ",\n";
   out << "  \"driver_threads\": 1,\n";
   out << "  \"server_workers\": {\"phase_a\": 2, \"phase_b\": 1},\n";
   out << "  \"workload\": {\n";
@@ -546,10 +528,7 @@ int main(int argc, char** argv) {
       << (deterministic ? "true" : "false") << ",\n";
   out << "    \"all_slos_met\": " << (ok ? "true" : "false") << "\n";
   out << "  },\n";
-  axc::obs::ReportOptions report;
-  report.indent = 2;
-  out << "  \"axc_obs\": " << axc::obs::report_json(report) << "\n";
-  out << "}\n";
+  axc::bench::json_obs_footer(out);
 
   std::cout << "service_load: " << a.calls << " chaos calls ("
             << config.clients << " clients), fault rate " << fault_rate

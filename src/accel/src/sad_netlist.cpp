@@ -150,7 +150,12 @@ SadHardwareReport characterize_sad(const SadConfig& config,
 }
 
 NetlistSad::NetlistSad(const SadConfig& config)
-    : config_(config), netlist_(sad_netlist(config)), sim_(netlist_) {}
+    : NetlistSad(config, logic::default_sim_engine()) {}
+
+NetlistSad::NetlistSad(const SadConfig& config, logic::SimEngine engine)
+    : config_(config),
+      netlist_(sad_netlist(config)),
+      sim_(netlist_, engine) {}
 
 void NetlistSad::apply_chunk(std::span<const std::uint8_t> a,
                              std::span<const std::uint8_t> candidates,

@@ -14,6 +14,7 @@
 #include "axc/arith/adder.hpp"
 #include "axc/arith/multiplier.hpp"
 #include "axc/error/metrics.hpp"
+#include "axc/logic/netlist.hpp"
 
 namespace axc::error {
 
@@ -37,6 +38,21 @@ struct EvalOptions {
 ErrorStats evaluate_function(
     unsigned input_bits, std::uint64_t output_ceiling,
     const std::function<std::uint64_t(std::uint64_t)>& approx,
+    const std::function<std::uint64_t(std::uint64_t)>& exact,
+    const EvalOptions& options = {});
+
+/// Error statistics of a combinational \p netlist against \p exact over its
+/// packed input word (primary inputs LSB-first, <= 63 of them; the packed
+/// primary outputs are the approximate value). The gate-level counterpart
+/// of evaluate_function: truth comes from simulating the structure itself,
+/// so it covers netlists with no behavioural model (approximate synthesis
+/// output, fault-free references for the Sec. 5 experiments). Runs on the
+/// compiled tape engine, 64 vectors per gate pass with activity counting
+/// off — evaluation never reads toggles, so the per-op accounting cost is
+/// shed entirely. Same chunking discipline as evaluate_function: results
+/// are bit-identical for every thread count.
+ErrorStats evaluate_netlist(
+    const logic::Netlist& netlist, std::uint64_t output_ceiling,
     const std::function<std::uint64_t(std::uint64_t)>& exact,
     const EvalOptions& options = {});
 

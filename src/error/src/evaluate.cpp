@@ -1,11 +1,15 @@
 #include "axc/error/evaluate.hpp"
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "axc/common/bits.hpp"
 #include "axc/common/require.hpp"
 #include "axc/common/rng.hpp"
 #include "axc/error/parallel.hpp"
+#include "axc/logic/tape.hpp"
+#include "axc/logic/tape_engine.hpp"
 #include "axc/obs/obs.hpp"
 
 namespace axc::error {
@@ -47,6 +51,81 @@ ErrorStats evaluate_function(
           for (std::uint64_t i = begin; i < end; ++i) {
             const std::uint64_t w = rng.bits(input_bits);
             acc.record(approx(w), exact(w));
+          }
+        }
+      });
+
+  ErrorAccumulator acc(output_ceiling);
+  for (const ErrorAccumulator& partial : partials) acc.merge(partial);
+  return acc.finish(exhaustive);
+}
+
+ErrorStats evaluate_netlist(
+    const logic::Netlist& netlist, std::uint64_t output_ceiling,
+    const std::function<std::uint64_t(std::uint64_t)>& exact,
+    const EvalOptions& options) {
+  const unsigned input_bits = static_cast<unsigned>(netlist.inputs().size());
+  require(input_bits >= 1 && input_bits <= 63,
+          "evaluate_netlist: netlist must have 1..63 primary inputs");
+  require(!netlist.outputs().empty() && netlist.outputs().size() <= 64,
+          "evaluate_netlist: netlist must have 1..64 primary outputs");
+  const bool exhaustive = input_bits <= options.max_exhaustive_bits;
+  const std::uint64_t total =
+      exhaustive ? std::uint64_t{1} << input_bits : options.samples;
+  static obs::Counter& eval_calls = obs::counter("error.eval.calls");
+  static obs::Counter& eval_samples = obs::counter("error.eval.samples");
+  static obs::SpanStat& eval_span = obs::span("error.eval");
+  eval_calls.add();
+  eval_samples.add(total);
+  const obs::Span timer(eval_span);
+
+  // Compile once; every worker owns a private engine over the shared tape.
+  // Counting stays off: evaluation never reads toggles, so the functional
+  // pass skips the per-op activity popcounts entirely.
+  const std::shared_ptr<const logic::Tape> tape =
+      logic::compile_netlist(netlist);
+
+  std::vector<ErrorAccumulator> partials(eval_chunk_count(total),
+                                         ErrorAccumulator(output_ceiling));
+  parallel_chunks(
+      total, resolve_eval_threads(options.threads),
+      [&](std::uint64_t chunk, std::uint64_t begin, std::uint64_t end) {
+        ErrorAccumulator& acc = partials[chunk];
+        logic::TapeSimulator<> sim(tape);
+        sim.set_counting(false);
+        constexpr std::uint64_t kLanes = 64;
+        if (exhaustive) {
+          for (std::uint64_t base = begin; base < end; base += kLanes) {
+            const unsigned lanes = static_cast<unsigned>(
+                std::min<std::uint64_t>(kLanes, end - base));
+            sim.apply_word_range(base, lanes);
+            for (unsigned k = 0; k < lanes; ++k) {
+              acc.record(sim.lane_output(k), exact(base + k));
+            }
+          }
+        } else {
+          Rng rng(eval_chunk_seed(options.seed, chunk));
+          std::array<std::uint64_t, kLanes> drawn{};
+          std::vector<std::uint64_t> words(input_bits);
+          for (std::uint64_t i = begin; i < end;) {
+            const unsigned lanes = static_cast<unsigned>(
+                std::min<std::uint64_t>(kLanes, end - i));
+            for (unsigned k = 0; k < lanes; ++k) {
+              drawn[k] = rng.bits(input_bits);
+            }
+            // Transpose: bit b of draw k becomes bit k of input word b.
+            for (unsigned b = 0; b < input_bits; ++b) {
+              std::uint64_t word = 0;
+              for (unsigned k = 0; k < lanes; ++k) {
+                word |= static_cast<std::uint64_t>(bit_of(drawn[k], b)) << k;
+              }
+              words[b] = word;
+            }
+            sim.apply_lanes(words, lanes);
+            for (unsigned k = 0; k < lanes; ++k) {
+              acc.record(sim.lane_output(k), exact(drawn[k]));
+            }
+            i += lanes;
           }
         }
       });

@@ -14,13 +14,23 @@
 ///
 /// The scalar Simulator in simulator.hpp is a thin 1-lane wrapper around
 /// this class.
+///
+/// Since PR 7 this class is a facade over two engines selected at
+/// construction (default: AXC_ENGINE / default_sim_engine()): the original
+/// per-gate interpreter loop, and the compiled straight-line tape
+/// (tape.hpp / tape_engine.hpp) which eliminates per-cell dispatch. Both
+/// engines produce byte-identical observable state — outputs, toggles,
+/// transition pairs, switched energy — so every consumer picks up the
+/// compiled engine with no call-site changes.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "axc/logic/netlist.hpp"
+#include "axc/logic/tape.hpp"
 
 namespace axc::logic {
 
@@ -49,7 +59,8 @@ class BitslicedSimulator {
   /// Lanes per simulation word.
   static constexpr unsigned kLanes = 64;
 
-  explicit BitslicedSimulator(const Netlist& netlist);
+  explicit BitslicedSimulator(const Netlist& netlist,
+                              SimEngine engine = default_sim_engine());
 
   /// Applies one packed stimulus word per primary input (input_words[i]
   /// bit k = lane k's value of input i, in the order of Netlist::inputs())
@@ -79,7 +90,12 @@ class BitslicedSimulator {
   std::uint64_t transition_pairs() const { return transition_pairs_; }
 
   /// Total output toggles of gate \p gate_index, summed over all lanes.
+  /// (The compiled engine accumulates counters in tape order; this
+  /// accessor translates back to gate order, so both engines agree.)
   std::uint64_t gate_toggles(std::size_t gate_index) const {
+    if (engine_ == SimEngine::Compiled) {
+      return gate_toggles_.at(tape_->op_of_gate.at(gate_index));
+    }
     return gate_toggles_.at(gate_index);
   }
 
@@ -92,8 +108,13 @@ class BitslicedSimulator {
 
   const Netlist& netlist() const { return netlist_; }
 
+  /// Which engine executes the gate pass (fixed at construction).
+  SimEngine engine() const { return engine_; }
+
  private:
   const Netlist& netlist_;
+  SimEngine engine_;
+  std::shared_ptr<const Tape> tape_;  ///< null when engine_ == Bitsliced
   std::vector<std::uint64_t> net_word_;
   std::vector<std::uint64_t> gate_toggles_;
   std::vector<std::uint64_t> out_words_;

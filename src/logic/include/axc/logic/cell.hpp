@@ -60,11 +60,47 @@ const CellInfo& cell_info(CellType type);
 /// Unused inputs are ignored. Pseudo-cells must not be evaluated here.
 unsigned eval_cell(CellType type, unsigned a, unsigned b, unsigned c);
 
+/// Fan-in of \p type as a constant expression (pseudo-cells report 0).
+/// Mirrors cell_info(type).fanin; the tape engine's per-opcode loops need
+/// it at compile time to skip loads of unused input slots.
+constexpr int cell_fanin(CellType type) {
+  switch (type) {
+    case CellType::Buf:
+    case CellType::Inv:
+      return 1;
+    case CellType::And2:
+    case CellType::Or2:
+    case CellType::Nand2:
+    case CellType::Nor2:
+    case CellType::Xor2:
+    case CellType::Xnor2:
+      return 2;
+    case CellType::And3:
+    case CellType::Or3:
+    case CellType::Nand3:
+    case CellType::Nor3:
+    case CellType::Mux2:
+    case CellType::Maj3:
+    case CellType::Aoi21:
+    case CellType::Oai21:
+    case CellType::Ao21:
+    case CellType::Oa21:
+      return 3;
+    case CellType::Input:
+    case CellType::Const0:
+    case CellType::Const1:
+      break;
+  }
+  return 0;
+}
+
 /// Word-parallel (bitsliced) evaluation of \p type: bit k of every operand
 /// word carries lane k's value, so one call evaluates 64 independent input
 /// vectors with plain bitwise ops. Lane-for-lane identical to eval_cell.
-constexpr std::uint64_t eval_cell_word(CellType type, std::uint64_t a,
-                                       std::uint64_t b, std::uint64_t c) {
+/// Generic over the lane word: any type with ~ & | ^ works (std::uint64_t
+/// for 64 lanes, logic::LaneBlock<N> for 64*N-lane SWAR blocks).
+template <typename Word = std::uint64_t>
+constexpr Word eval_cell_word(CellType type, Word a, Word b, Word c) {
   switch (type) {
     case CellType::Buf:
       return a;
@@ -107,7 +143,7 @@ constexpr std::uint64_t eval_cell_word(CellType type, std::uint64_t a,
     case CellType::Const1:
       break;
   }
-  return 0;  // pseudo-cells are never evaluated (checked by the simulators)
+  return Word{};  // pseudo-cells are never evaluated (simulators check)
 }
 
 }  // namespace axc::logic

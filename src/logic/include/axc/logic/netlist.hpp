@@ -53,6 +53,20 @@ class Netlist {
   /// than once (aliased outputs are allowed, e.g. wire-through designs).
   void mark_output(NetId net, std::string name);
 
+  /// Assembles a netlist from raw parts WITHOUT the builder API's
+  /// acyclicity-by-construction guarantee — deserializers and tests use
+  /// this to express graphs the incremental API cannot (including
+  /// malformed ones). The validation gate is logic::levelize() /
+  /// compile_netlist(), which rejects combinational cycles, dangling cell
+  /// inputs, multiply-driven nets, and inconsistent IO lists with typed
+  /// AXC_REQUIRE diagnostics. Input/output names are synthesized
+  /// positionally ("i0", "o0", ...).
+  static Netlist from_parts(std::string name,
+                            std::vector<CellType> net_kinds,
+                            std::vector<Gate> gates,
+                            std::vector<NetId> inputs,
+                            std::vector<NetId> outputs);
+
   const std::string& name() const { return name_; }
   std::size_t net_count() const { return net_kind_.size(); }
 

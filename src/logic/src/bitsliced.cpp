@@ -4,6 +4,7 @@
 
 #include "axc/common/bits.hpp"
 #include "axc/common/require.hpp"
+#include "axc/logic/tape_engine.hpp"
 #include "axc/obs/obs.hpp"
 
 namespace axc::logic {
@@ -44,8 +45,12 @@ void pack_counting_lanes(std::uint64_t base, unsigned num_inputs,
   }
 }
 
-BitslicedSimulator::BitslicedSimulator(const Netlist& netlist)
+BitslicedSimulator::BitslicedSimulator(const Netlist& netlist,
+                                       SimEngine engine)
     : netlist_(netlist),
+      engine_(engine),
+      tape_(engine == SimEngine::Compiled ? compile_netlist(netlist)
+                                          : nullptr),
       net_word_(netlist.net_count(), 0),
       gate_toggles_(netlist.gate_count(), 0),
       out_words_(netlist.outputs().size(), 0) {
@@ -93,23 +98,36 @@ std::span<const std::uint64_t> BitslicedSimulator::apply_lanes(
   // followed by a full one — exact: each lane's toggles are counted
   // against the last value *that lane* actually held while active.
   const std::uint64_t counted_mask = lane_mask & baselined_lanes_;
-  const auto& gates = netlist_.gates();
-  if (counted_mask == 0) {
-    for (std::size_t g = 0; g < gates.size(); ++g) {
-      const Gate& gate = gates[g];
-      net_word_[gate.out] =
-          eval_cell_word(gate.type, net_word_[gate.in[0]],
-                         net_word_[gate.in[1]], net_word_[gate.in[2]]);
+  if (engine_ == SimEngine::Compiled) {
+    // Straight-line tape pass: same values in the same nets (the tape
+    // order is topological), toggle counters accumulated in tape order
+    // (gate_toggles() translates back via op_of_gate).
+    if (counted_mask == 0) {
+      detail::execute_tape<std::uint64_t, false>(*tape_, net_word_.data(),
+                                                 nullptr, counted_mask);
+    } else {
+      detail::execute_tape<std::uint64_t, true>(
+          *tape_, net_word_.data(), gate_toggles_.data(), counted_mask);
     }
   } else {
-    for (std::size_t g = 0; g < gates.size(); ++g) {
-      const Gate& gate = gates[g];
-      const std::uint64_t value =
-          eval_cell_word(gate.type, net_word_[gate.in[0]],
-                         net_word_[gate.in[1]], net_word_[gate.in[2]]);
-      gate_toggles_[g] += static_cast<std::uint64_t>(
-          std::popcount((value ^ net_word_[gate.out]) & counted_mask));
-      net_word_[gate.out] = value;
+    const auto& gates = netlist_.gates();
+    if (counted_mask == 0) {
+      for (std::size_t g = 0; g < gates.size(); ++g) {
+        const Gate& gate = gates[g];
+        net_word_[gate.out] =
+            eval_cell_word(gate.type, net_word_[gate.in[0]],
+                           net_word_[gate.in[1]], net_word_[gate.in[2]]);
+      }
+    } else {
+      for (std::size_t g = 0; g < gates.size(); ++g) {
+        const Gate& gate = gates[g];
+        const std::uint64_t value =
+            eval_cell_word(gate.type, net_word_[gate.in[0]],
+                           net_word_[gate.in[1]], net_word_[gate.in[2]]);
+        gate_toggles_[g] += static_cast<std::uint64_t>(
+            std::popcount((value ^ net_word_[gate.out]) & counted_mask));
+        net_word_[gate.out] = value;
+      }
     }
   }
   transition_pairs_ += static_cast<std::uint64_t>(std::popcount(counted_mask));
@@ -147,6 +165,16 @@ std::uint64_t BitslicedSimulator::lane_output(unsigned lane) const {
 double BitslicedSimulator::switched_energy_fj() const {
   double energy = 0.0;
   const auto& gates = netlist_.gates();
+  if (engine_ == SimEngine::Compiled) {
+    // Same gate-order summation as below, just with the per-gate toggle
+    // counters fetched through op_of_gate — identical FP association,
+    // hence byte-identical totals.
+    for (std::size_t g = 0; g < gates.size(); ++g) {
+      energy += static_cast<double>(gate_toggles_[tape_->op_of_gate[g]]) *
+                tape_->gate_energy_fj[g];
+    }
+    return energy;
+  }
   for (std::size_t g = 0; g < gates.size(); ++g) {
     energy += static_cast<double>(gate_toggles_[g]) *
               cell_info(gates[g].type).energy_fj;

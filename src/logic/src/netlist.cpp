@@ -62,6 +62,27 @@ void Netlist::mark_output(NetId net, std::string name) {
   output_names_.push_back(std::move(name));
 }
 
+Netlist Netlist::from_parts(std::string name,
+                            std::vector<CellType> net_kinds,
+                            std::vector<Gate> gates,
+                            std::vector<NetId> inputs,
+                            std::vector<NetId> outputs) {
+  Netlist netlist(std::move(name));
+  netlist.net_kind_ = std::move(net_kinds);
+  netlist.gates_ = std::move(gates);
+  netlist.inputs_ = std::move(inputs);
+  netlist.outputs_ = std::move(outputs);
+  netlist.input_names_.reserve(netlist.inputs_.size());
+  for (std::size_t i = 0; i < netlist.inputs_.size(); ++i) {
+    netlist.input_names_.push_back("i" + std::to_string(i));
+  }
+  netlist.output_names_.reserve(netlist.outputs_.size());
+  for (std::size_t i = 0; i < netlist.outputs_.size(); ++i) {
+    netlist.output_names_.push_back("o" + std::to_string(i));
+  }
+  return netlist;
+}
+
 double Netlist::area_ge() const {
   double area = 0.0;
   for (const Gate& gate : gates_) area += cell_info(gate.type).area_ge;

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "axc/arith/gear.hpp"
+#include "axc/logic/mul_netlists.hpp"
+#include "axc/logic/simulator.hpp"
 
 namespace axc::error {
 namespace {
@@ -84,6 +86,81 @@ TEST(EvaluateMultiplier, ApproxBlocksGiveBoundedNmed) {
   // Block errors at the high half-products are scaled by their position
   // weight, so the damage is a few percent of the output range, not less.
   EXPECT_LT(stats.normalized_med, 0.05);
+}
+
+TEST(EvaluateNetlist, AccurateWallaceIsErrorFree) {
+  const logic::Netlist nl =
+      logic::wallace_netlist(4, FullAdderKind::Accurate, 0);
+  const std::uint64_t ceiling = 15u * 15u;
+  const ErrorStats stats = evaluate_netlist(nl, ceiling, [](std::uint64_t w) {
+    return (w & 0xF) * ((w >> 4) & 0xF);
+  });
+  EXPECT_TRUE(stats.exhaustive);
+  EXPECT_EQ(stats.samples, 256u);
+  EXPECT_EQ(stats.error_count, 0u);
+}
+
+TEST(EvaluateNetlist, MatchesEvaluateFunctionBitForBit) {
+  // The gate-level evaluator against the same netlist driven one word at a
+  // time through the scalar Simulator: identical input enumeration and
+  // accumulation order, so every statistic must match exactly — including
+  // the floating-point ones.
+  const logic::Netlist nl = logic::wallace_netlist(4, FullAdderKind::Apx3, 3);
+  const std::uint64_t ceiling = 15u * 15u;
+  const auto exact = [](std::uint64_t w) {
+    return (w & 0xF) * ((w >> 4) & 0xF);
+  };
+
+  logic::Simulator scalar(nl);
+  const ErrorStats via_function = evaluate_function(
+      8, ceiling, [&](std::uint64_t w) { return scalar.apply_word(w); },
+      exact);
+  const ErrorStats via_netlist = evaluate_netlist(nl, ceiling, exact);
+
+  ASSERT_TRUE(via_netlist.exhaustive);
+  EXPECT_EQ(via_netlist.samples, via_function.samples);
+  EXPECT_EQ(via_netlist.error_count, via_function.error_count);
+  EXPECT_EQ(via_netlist.max_error, via_function.max_error);
+  EXPECT_EQ(via_netlist.error_rate, via_function.error_rate);
+  EXPECT_EQ(via_netlist.mean_error_distance,
+            via_function.mean_error_distance);
+  EXPECT_EQ(via_netlist.normalized_med, via_function.normalized_med);
+}
+
+TEST(EvaluateNetlist, SampledPathIsThreadCountInvariant) {
+  // 16 input bits with a forced 8-bit exhaustive ceiling → Monte-Carlo.
+  // Per-chunk seeds + chunk-order merge: 1 worker and 4 workers must agree
+  // bit for bit (the same guarantee test_parallel_eval.cpp pins for
+  // evaluate_function).
+  const logic::Netlist nl = logic::wallace_netlist(8, FullAdderKind::Apx3, 6);
+  const std::uint64_t ceiling = 255u * 255u;
+  const auto exact = [](std::uint64_t w) {
+    return (w & 0xFF) * ((w >> 8) & 0xFF);
+  };
+  EvalOptions opts;
+  opts.max_exhaustive_bits = 8;
+  opts.samples = 1u << 16;
+
+  opts.threads = 1;
+  const ErrorStats serial = evaluate_netlist(nl, ceiling, exact, opts);
+  opts.threads = 4;
+  const ErrorStats parallel = evaluate_netlist(nl, ceiling, exact, opts);
+
+  ASSERT_FALSE(serial.exhaustive);
+  EXPECT_GT(serial.error_count, 0u);
+  EXPECT_EQ(serial.error_count, parallel.error_count);
+  EXPECT_EQ(serial.max_error, parallel.max_error);
+  EXPECT_EQ(serial.mean_error_distance, parallel.mean_error_distance);
+  EXPECT_EQ(serial.normalized_med, parallel.normalized_med);
+}
+
+TEST(EvaluateNetlist, ShapeValidation) {
+  // A netlist with no primary outputs has no approximate value to score.
+  const logic::Netlist no_outputs = logic::Netlist::from_parts(
+      "no-outputs", {logic::CellType::Input}, {}, {0}, {});
+  EXPECT_THROW(
+      evaluate_netlist(no_outputs, 1, [](std::uint64_t) { return 0u; }),
+      std::invalid_argument);
 }
 
 TEST(EvaluateFunction, InputBitsValidation) {

@@ -15,12 +15,16 @@
 ///   --smoke  reduced repetitions/workloads (CI smoke step)
 ///   --out    output path (default BENCH_kernels.json in the CWD)
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -40,7 +44,10 @@
 #include "axc/logic/tape_engine.hpp"
 #include "axc/obs/obs.hpp"
 #include "axc/service/protocol.hpp"
+#include "axc/service/reactor.hpp"
 #include "axc/service/server.hpp"
+#include "axc/service/tcp.hpp"
+#include "axc/service/transport.hpp"
 #include "axc/video/encoder.hpp"
 #include "axc/video/sequence.hpp"
 #include "bench_util.hpp"
@@ -62,6 +69,10 @@ struct KernelResult {
   std::uint64_t vectors = 0;      ///< stimulus vectors per run
   unsigned baseline_threads = 1;  ///< worker threads the baseline ran on
   unsigned optimized_threads = 1; ///< worker threads the optimized path used
+  /// Tail latency of one request in each arm; 0 = not a latency kernel.
+  /// (Only the service_concurrency kernels fill these.)
+  double baseline_p99_ms = 0.0;
+  double optimized_p99_ms = 0.0;
 };
 
 /// Scalar vs bitsliced exhaustive enumeration of a <=64-input netlist.
@@ -631,6 +642,136 @@ KernelResult service_throughput_kernel(unsigned workers, bool smoke,
   return result;
 }
 
+/// Sustained throughput and tail latency at high connection counts: the
+/// thread-per-connection TcpServer (one OS thread per peer) vs the epoll
+/// ReactorServer (every peer on one loop). The baseline arm runs serial
+/// depth-1 roundtrips — the only mode legacy framing supports; the
+/// reactor arm runs multiplexed clients at pipeline depth \p depth. Both
+/// arms push the same ping workload over the same number of connections
+/// from the same client-thread budget, and every response is checked
+/// byte-identical to the loopback answer, so the ratio isolates transport
+/// overhead (thread context switches vs epoll dispatch) plus pipelining —
+/// not different work. Per-request latency: the wall time of its
+/// roundtrip (depth 1) or of its whole submit-all/collect-all batch
+/// (pipelined — what a batch caller actually waits).
+KernelResult service_concurrency_kernel(std::size_t conns, unsigned depth,
+                                        std::size_t per_conn, int reps) {
+  namespace svc = axc::service;
+  const svc::Bytes ping = svc::encode_request(svc::Endpoint::Ping);
+
+  // The expected response bytes, from the transport-free loopback path.
+  svc::Bytes expected;
+  {
+    svc::Server oracle({.workers = 1});
+    svc::LoopbackConnection loopback(oracle);
+    expected = loopback.roundtrip(ping);
+    oracle.stop();
+  }
+
+  svc::ServerOptions options;
+  options.workers = 2;  // fixed pool: the bench varies transports, not compute
+  options.queue_capacity = conns * depth;  // admission never the bottleneck
+
+  const std::size_t drivers = std::min<std::size_t>(4, conns);
+  std::vector<double> latencies;
+  std::mutex latency_mutex;
+
+  // One request storm: `per_conn` pings over every connection, driven by
+  // `drivers` client threads, each owning an interleaved share of the
+  // connections. d == 1 -> serial roundtrips; d > 1 -> submit d, collect d.
+  const auto storm =
+      [&](std::vector<std::unique_ptr<svc::TcpConnection>>& held, unsigned d) {
+        std::atomic<std::uint64_t> mismatches{0};
+        std::vector<std::thread> threads;
+        threads.reserve(drivers);
+        for (std::size_t t = 0; t < drivers; ++t) {
+          threads.emplace_back([&, t] {
+            std::vector<double> local;
+            std::vector<std::uint32_t> ids(d);
+            for (std::size_t round = 0; round < per_conn / d; ++round) {
+              for (std::size_t c = t; c < conns; c += drivers) {
+                svc::TcpConnection& conn = *held[c];
+                const auto start = std::chrono::steady_clock::now();
+                if (d == 1) {
+                  if (conn.roundtrip(ping) != expected) mismatches.fetch_add(1);
+                } else {
+                  for (unsigned k = 0; k < d; ++k) ids[k] = conn.submit(ping);
+                  for (unsigned k = 0; k < d; ++k) {
+                    if (conn.collect(ids[k]) != expected) {
+                      mismatches.fetch_add(1);
+                    }
+                  }
+                }
+                const double ms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+                for (unsigned k = 0; k < d; ++k) local.push_back(ms);
+              }
+            }
+            const std::lock_guard<std::mutex> lock(latency_mutex);
+            latencies.insert(latencies.end(), local.begin(), local.end());
+          });
+        }
+        for (std::thread& thread : threads) thread.join();
+        if (mismatches.load() != 0) {
+          std::cerr << "service_concurrency: " << mismatches.load()
+                    << " responses differed from the loopback bytes\n";
+          std::exit(1);
+        }
+      };
+
+  const auto p99 = [](std::vector<double>& samples) {
+    if (samples.empty()) return 0.0;
+    std::sort(samples.begin(), samples.end());
+    return samples[(samples.size() - 1) * 99 / 100];
+  };
+
+  KernelResult result;
+  result.name = "service_concurrency conns=" + std::to_string(conns);
+  result.baseline = "thread-per-connection TcpServer, serial depth 1";
+  result.engine = "reactor depth " + std::to_string(depth);
+  result.vectors = static_cast<std::uint64_t>(conns) * per_conn;
+  result.baseline_threads = options.workers;
+  result.optimized_threads = options.workers;
+
+  {
+    svc::Server server(options);
+    svc::TcpServer tcp(server, {});
+    std::vector<std::unique_ptr<svc::TcpConnection>> held;
+    held.reserve(conns);
+    for (std::size_t i = 0; i < conns; ++i) {
+      held.push_back(
+          std::make_unique<svc::TcpConnection>("127.0.0.1", tcp.port()));
+    }
+    latencies.clear();
+    result.baseline_ms = median_ms(reps, [&] { storm(held, 1); });
+    result.baseline_p99_ms = p99(latencies);
+    held.clear();
+    tcp.stop();
+    server.stop();
+  }
+  {
+    svc::Server server(options);
+    svc::ReactorServer reactor(server, {});
+    std::vector<std::unique_ptr<svc::TcpConnection>> held;
+    held.reserve(conns);
+    for (std::size_t i = 0; i < conns; ++i) {
+      held.push_back(std::make_unique<svc::TcpConnection>(
+          "127.0.0.1", reactor.port(),
+          svc::TcpConnectionOptions{.multiplex = true}));
+    }
+    latencies.clear();
+    result.optimized_ms = median_ms(reps, [&] { storm(held, depth); });
+    result.optimized_p99_ms = p99(latencies);
+    held.clear();
+    reactor.stop();
+    server.stop();
+  }
+  result.speedup = result.baseline_ms / result.optimized_ms;
+  return result;
+}
+
 /// Runtime cost of the obs layer on an instrumentation-dense workload (the
 /// block-parallel encoder: per-frame spans plus per-batch counters). Both
 /// modes run the *same instrumented binary*; "disabled" flips the kill
@@ -710,6 +851,17 @@ void write_json(const std::string& path,
     out << "      \"optimized_threads\": " << k.optimized_threads << ",\n";
     out << "      \"baseline_ms\": " << k.baseline_ms << ",\n";
     out << "      \"optimized_ms\": " << k.optimized_ms << ",\n";
+    if (k.baseline_p99_ms > 0.0 || k.optimized_p99_ms > 0.0) {
+      const double denom = 1000.0;  // ms -> s for requests/s
+      out << "      \"baseline_p99_ms\": " << k.baseline_p99_ms << ",\n";
+      out << "      \"optimized_p99_ms\": " << k.optimized_p99_ms << ",\n";
+      out << "      \"baseline_rps\": "
+          << static_cast<double>(k.vectors) / (k.baseline_ms / denom)
+          << ",\n";
+      out << "      \"optimized_rps\": "
+          << static_cast<double>(k.vectors) / (k.optimized_ms / denom)
+          << ",\n";
+    }
     out << "      \"speedup\": " << k.speedup << "\n";
     out << "    }" << (i + 1 < kernels.size() ? "," : "") << "\n";
   }
@@ -809,6 +961,21 @@ int main(int argc, char** argv) {
   // (also feeds the service.cache hit-rate in the embedded obs report).
   kernels.push_back(service_throughput_kernel(hw, smoke, reps));
 
+  // Reactor vs thread-per-connection transport at increasing connection
+  // counts, pipeline depth 8 on the reactor arm. Fewer reps: each rep is a
+  // full request storm over hundreds of sockets. Non-smoke runs assert the
+  // >=2x floor at the top connection count.
+  {
+    const std::vector<std::size_t> conn_counts =
+        smoke ? std::vector<std::size_t>{8, 32}
+              : std::vector<std::size_t>{16, 64, 256};
+    const std::size_t per_conn = smoke ? 8 : 16;
+    for (const std::size_t conns : conn_counts) {
+      kernels.push_back(service_concurrency_kernel(
+          conns, /*depth=*/8, per_conn, std::min(reps, 3)));
+    }
+  }
+
   // Same binary, kill switch off vs on — the obs layer's runtime cost.
   const ObsOverhead obs_overhead = measure_obs_overhead(smoke, reps);
 
@@ -823,6 +990,13 @@ int main(int argc, char** argv) {
           k.speedup < 4.0) {
         std::cerr << "perf_kernels: " << k.name << " speedup " << k.speedup
                   << "x is below the 4x floor\n";
+        return 1;
+      }
+      // The reactor must beat thread-per-connection by >=2x at the top
+      // connection count (the crowd that drowns a thread-per-peer design).
+      if (k.name == "service_concurrency conns=256" && k.speedup < 2.0) {
+        std::cerr << "perf_kernels: " << k.name << " speedup " << k.speedup
+                  << "x is below the 2x floor\n";
         return 1;
       }
     }

@@ -5,9 +5,12 @@
 /// statuses (bad_request, overloaded, deadline_exceeded, ...) exit 3,
 /// transport failures exit 1, usage errors exit 2.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "axc/service/protocol.hpp"
 #include "axc/service/retry.hpp"
@@ -42,6 +45,15 @@ constexpr const char* kUsage =
     "                           [--sad-variant 0..5] [--approx-lsbs N]\n"
     "                           [--block-size B] [--search-range R]\n"
     "                           [--quant-step Q]\n"
+    "  pipeline                 [--count N] pipelined pings over one\n"
+    "                           multiplexed connection: N submits, one\n"
+    "                           flush, responses collected in reverse\n"
+    "                           order (needs --transport reactor\n"
+    "                           server-side)\n"
+    "  hold                     [--connections N] [--hold-ms T] open N\n"
+    "                           idle connections, ping through the first\n"
+    "                           and last, hold them T ms (for probing\n"
+    "                           server thread counts under load)\n"
     "  shutdown                 ask the server to stop (needs\n"
     "                           --allow-remote-shutdown server-side)\n"
     "\n"
@@ -319,6 +331,66 @@ int run_encode_probe(axc::service::RetryingClient& client, int argc, char** argv
   return 0;
 }
 
+int run_pipeline(const std::string& host, std::uint16_t port,
+                 axc::service::TcpConnectionOptions options, int argc,
+                 char** argv, int i) {
+  long count = 8;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--count") {
+      count = require_long(kUsage, "--count", flag_value(kUsage, argc, argv, i),
+                           1, 1 << 16);
+    } else {
+      usage_error(kUsage, "unknown pipeline argument '" + arg + "'");
+    }
+  }
+  options.multiplex = true;
+  axc::service::TcpConnection connection(host, port, options);
+  axc::service::Client client(connection);
+  std::vector<std::uint32_t> ids;
+  ids.reserve(static_cast<std::size_t>(count));
+  for (long k = 0; k < count; ++k) ids.push_back(client.submit_ping());
+  // Collect newest-first: exercises out-of-order completion routing.
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+    client.collect_ping(*it);
+  }
+  std::printf("pipelined=%ld collected=reverse ok\n", count);
+  return 0;
+}
+
+int run_hold(const std::string& host, std::uint16_t port,
+             const axc::service::TcpConnectionOptions& options, int argc,
+             char** argv, int i) {
+  long connections = 64;
+  long hold_ms = 1000;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connections") {
+      connections = require_long(kUsage, "--connections",
+                                 flag_value(kUsage, argc, argv, i), 1, 4096);
+    } else if (arg == "--hold-ms") {
+      hold_ms = require_long(kUsage, "--hold-ms",
+                             flag_value(kUsage, argc, argv, i), 0, 600000);
+    } else {
+      usage_error(kUsage, "unknown hold argument '" + arg + "'");
+    }
+  }
+  std::vector<std::unique_ptr<axc::service::TcpConnection>> held;
+  held.reserve(static_cast<std::size_t>(connections));
+  for (long k = 0; k < connections; ++k) {
+    held.push_back(
+        std::make_unique<axc::service::TcpConnection>(host, port, options));
+  }
+  axc::service::Client(*held.front()).ping();
+  axc::service::Client(*held.back()).ping();
+  std::printf("holding=%ld for %ldms\n", connections, hold_ms);
+  std::fflush(stdout);
+  std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
+  axc::service::Client(*held.front()).ping();
+  std::printf("held=%ld ok\n", connections);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -375,6 +447,17 @@ int main(int argc, char** argv) {
     service::TcpConnectionOptions connection_options;
     connection_options.read_timeout_ms =
         static_cast<std::uint32_t>(read_timeout_ms);
+
+    // Transport-level commands drive raw connections, not RetryingClient.
+    if (command == "pipeline") {
+      return run_pipeline(host, static_cast<std::uint16_t>(port),
+                          connection_options, argc, argv, i);
+    }
+    if (command == "hold") {
+      return run_hold(host, static_cast<std::uint16_t>(port),
+                      connection_options, argc, argv, i);
+    }
+
     service::RetryPolicy policy;
     policy.max_attempts = 1 + static_cast<unsigned>(retries);
     policy.base_backoff_ms = static_cast<std::uint32_t>(retry_base_ms);

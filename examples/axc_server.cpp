@@ -12,7 +12,10 @@
 #include <fstream>
 #include <string>
 
+#include <optional>
+
 #include "axc/obs/report.hpp"
+#include "axc/service/reactor.hpp"
 #include "axc/service/server.hpp"
 #include "axc/service/tcp.hpp"
 #include "cli_util.hpp"
@@ -37,6 +40,10 @@ constexpr const char* kUsage =
     "                          (default 1024)\n"
     "  --eval-threads <n>      threads inside one job (default 1;\n"
     "                          results are identical for any value)\n"
+    "  --transport <t>         threaded (one thread per connection) or\n"
+    "                          reactor (one epoll thread for every\n"
+    "                          connection; accepts multiplexed clients)\n"
+    "                          (default threaded)\n"
     "  --allow-remote-shutdown honour client Shutdown requests\n"
     "  --port-file <path>      write the bound port (for scripts that\n"
     "                          start on an ephemeral port)\n"
@@ -45,12 +52,14 @@ constexpr const char* kUsage =
     "  -h, --help              this text\n";
 
 axc::service::TcpServer* g_tcp_server = nullptr;
+axc::service::ReactorServer* g_reactor_server = nullptr;
 
 void handle_signal(int) {
-  // Flip the transport's stop flag; the acceptor's poll loop notices,
-  // drains connections and wakes wait(). Async-signal-safe: one relaxed
-  // atomic store.
+  // Flip the transport's stop flag and write its wakeup eventfd; the
+  // blocked poll/epoll_wait returns immediately, drains connections and
+  // wakes wait(). Async-signal-safe: an atomic store plus one write(2).
   if (g_tcp_server != nullptr) g_tcp_server->request_stop();
+  if (g_reactor_server != nullptr) g_reactor_server->request_stop();
 }
 
 }  // namespace
@@ -67,6 +76,7 @@ int main(int argc, char** argv) {
 
   service::ServerOptions server_options;
   service::TcpServerOptions tcp_options;
+  std::string transport = "threaded";
   std::string port_file;
   std::string report_path = "REPORT_axc_server.json";
 
@@ -93,6 +103,12 @@ int main(int argc, char** argv) {
       server_options.eval_threads = static_cast<unsigned>(require_long(
           kUsage, "--eval-threads", flag_value(kUsage, argc, argv, i), 1,
           1024));
+    } else if (arg == "--transport") {
+      transport = flag_value(kUsage, argc, argv, i);
+      if (transport != "threaded" && transport != "reactor") {
+        cli::usage_error(kUsage, "--transport must be threaded|reactor, got '" +
+                                     transport + "'");
+      }
     } else if (arg == "--allow-remote-shutdown") {
       tcp_options.allow_remote_shutdown = true;
     } else if (arg == "--port-file") {
@@ -106,24 +122,42 @@ int main(int argc, char** argv) {
 
   try {
     service::Server server(server_options);
-    service::TcpServer tcp(server, tcp_options);
-    g_tcp_server = &tcp;
+    std::optional<service::TcpServer> tcp;
+    std::optional<service::ReactorServer> reactor;
+    std::uint16_t bound_port = 0;
+    if (transport == "reactor") {
+      service::ReactorServerOptions reactor_options;
+      reactor_options.bind_address = tcp_options.bind_address;
+      reactor_options.port = tcp_options.port;
+      reactor_options.allow_remote_shutdown =
+          tcp_options.allow_remote_shutdown;
+      reactor.emplace(server, reactor_options);
+      g_reactor_server = &*reactor;
+      bound_port = reactor->port();
+    } else {
+      tcp.emplace(server, tcp_options);
+      g_tcp_server = &*tcp;
+      bound_port = tcp->port();
+    }
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
 
-    std::printf("axc_server: listening on %s:%u (%u workers, queue %zu, "
-                "cache %zu)\n",
-                tcp_options.bind_address.c_str(), tcp.port(),
-                server.options().workers, server.options().queue_capacity,
+    std::printf("axc_server: listening on %s:%u (%s transport, %u workers, "
+                "queue %zu, cache %zu)\n",
+                tcp_options.bind_address.c_str(), bound_port,
+                transport.c_str(), server.options().workers,
+                server.options().queue_capacity,
                 server.options().cache_capacity);
     std::fflush(stdout);
     if (!port_file.empty()) {
       std::ofstream out(port_file);
-      out << tcp.port() << "\n";
+      out << bound_port << "\n";
     }
 
-    tcp.wait();       // until SIGINT/SIGTERM or a remote Shutdown request
+    // Until SIGINT/SIGTERM or a remote Shutdown request.
+    if (tcp) tcp->wait(); else reactor->wait();
     g_tcp_server = nullptr;
+    g_reactor_server = nullptr;
     server.stop();    // drain queued jobs, join workers
 
     std::printf("axc_server: drained and stopped\n");

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "axc/common/rng.hpp"
 #include "axc/service/protocol.hpp"
@@ -87,6 +88,17 @@ class RetryingClient {
   /// One fully-encoded request -> raw response bytes, with retries.
   /// Exposed for harnesses that byte-compare responses.
   Bytes call_bytes(const Bytes& request);
+
+  /// Pipelined batch: submits every request on the connection before
+  /// collecting any response (depth = batch size on a multiplexed
+  /// transport; serial depth-1 on anything else — same bytes either way).
+  /// Responses come back positionally aligned with \p requests. Retries
+  /// work per-request: a transport death resubmits only the not-yet-
+  /// collected requests on a fresh connection, a retryable status
+  /// (Overloaded / opted-in BadRequest) re-enters just that request in
+  /// the next round. Safe for the same reason call_bytes is: responses
+  /// are pure functions of request bytes.
+  std::vector<Bytes> call_bytes_batch(const std::vector<Bytes>& requests);
 
   /// Served accuracy level of the last successful call.
   std::uint8_t last_served_level() const { return last_served_level_; }

@@ -15,11 +15,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "axc/service/framing.hpp"
 #include "axc/service/server.hpp"
 #include "axc/service/transport.hpp"
 
@@ -52,10 +55,11 @@ class TcpServer {
   /// Graceful stop; idempotent, safe from any thread.
   void stop();
 
-  /// Async-signal-safe stop signal: flips the stop flag (one relaxed
-  /// atomic store) without joining. The acceptor's poll loop notices
-  /// within its 100 ms timeout; pair with wait() or stop() to join.
-  void request_stop() noexcept { stop_requested_.store(true); }
+  /// Async-signal-safe stop signal: flips the stop flag and writes the
+  /// acceptor's wakeup eventfd, so the (otherwise indefinitely blocked)
+  /// poll returns immediately — no polling interval to wait out and no
+  /// periodic wakeups while idle. Pair with wait() or stop() to join.
+  void request_stop() noexcept;
 
   /// Blocks until the transport has stopped (via stop() or a remote
   /// Shutdown request).
@@ -71,6 +75,11 @@ class TcpServer {
   TcpServerOptions options_;
   std::uint16_t port_ = 0;
   int listen_fd_ = -1;
+  /// eventfd the acceptor polls alongside the listen fd; request_stop()
+  /// writes it to interrupt an indefinite poll. Owned for the object's
+  /// whole lifetime (closed in the destructor, never by the drain) so
+  /// request_stop() stays safe to call at any point.
+  int wake_fd_ = -1;
 
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> stopped_{false};
@@ -89,10 +98,25 @@ struct TcpConnectionOptions {
   /// TransportError(Timeout) instead of blocking forever on a dead or
   /// wedged peer. 0 = wait indefinitely (the historical behavior).
   std::uint32_t read_timeout_ms = 0;
+  /// Send multiplexed frames (framing.hpp): submit() puts requests on the
+  /// wire immediately tagged with request ids, the server may answer out
+  /// of order, and collect() routes responses by id. Opt-in because a
+  /// mux frame aimed at a pre-PR 8 server fails fast with FrameOverflow
+  /// rather than degrading gracefully. Requires a mux-capable server
+  /// (ReactorServer).
+  bool multiplex = false;
 };
 
 /// Client side: connects on construction (numeric IPv4 address), throws
 /// TransportError (a std::runtime_error) on connect/IO failures.
+///
+/// With options.multiplex set, submit()/collect() pipeline for real:
+/// submits buffer their tagged frames and the first collect() flushes the
+/// whole batch in one write — N requests, one syscall. collect(id) then
+/// reads socket-sized chunks through a FrameAssembler (one read can carry
+/// many responses), stashing other ids as they arrive, until the
+/// asked-for response shows up. roundtrip() remains available (it
+/// degenerates to submit+collect of one id).
 class TcpConnection final : public Connection {
  public:
   TcpConnection(const std::string& host, std::uint16_t port,
@@ -104,9 +128,17 @@ class TcpConnection final : public Connection {
 
   Bytes roundtrip(std::span<const std::uint8_t> request) override;
 
+  std::uint32_t submit(std::span<const std::uint8_t> request) override;
+  Bytes collect(std::uint32_t request_id) override;
+
  private:
   int fd_ = -1;
   TcpConnectionOptions options_;
+  std::uint32_t next_id_ = 1;                  ///< mux mode only
+  Bytes send_buffer_;                          ///< submitted, not yet written
+  FrameAssembler assembler_;                   ///< mux-mode response parser
+  std::set<std::uint32_t> outstanding_;        ///< ids submitted, not collected
+  std::map<std::uint32_t, Bytes> received_;    ///< responses awaiting collect
 };
 
 }  // namespace axc::service

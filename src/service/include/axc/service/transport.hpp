@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstdint>
+#include <future>
+#include <map>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -71,11 +73,40 @@ class Connection {
   /// Sends one request payload and blocks for its response payload.
   /// Throws TransportError (a std::runtime_error) on transport failure.
   virtual Bytes roundtrip(std::span<const std::uint8_t> request) = 0;
+
+  /// Pipelining: enqueues one request and returns a connection-local
+  /// request id; collect() returns the response for an id, collectable in
+  /// any order. The default implementation defers the exchange — it holds
+  /// the request bytes and performs one roundtrip() per collect() — so
+  /// every Connection (loopback, chaos, plain TCP) supports the API with
+  /// serial depth-1 semantics and chaos/fault decorators keep observing
+  /// every exchange through roundtrip(). Multiplexed transports override
+  /// both to put many requests on the wire at once (TcpConnection with
+  /// multiplex enabled, LoopbackConnection).
+  virtual std::uint32_t submit(std::span<const std::uint8_t> request);
+
+  /// Blocks for the response to \p request_id. Throws std::invalid_argument
+  /// for an id that was never submitted (or collected twice), and
+  /// TransportError like roundtrip() on transport failure — after which
+  /// every outstanding id on this connection is lost with the stream
+  /// (retrying clients resubmit on a fresh connection; responses are pure
+  /// functions of request bytes, so that is always safe).
+  virtual Bytes collect(std::uint32_t request_id);
+
+ private:
+  std::uint32_t next_deferred_id_ = 1;
+  std::map<std::uint32_t, Bytes> deferred_;
 };
 
 /// In-process transport: roundtrip() submits to the Server and waits.
 /// Rejections (Overloaded, ShuttingDown, ...) arrive as ordinary response
-/// payloads, exactly as they would over TCP.
+/// payloads, exactly as they would over TCP. submit()/collect() pipeline
+/// for real: every submitted request enters the server's job queue
+/// immediately, workers complete them out of order, and collect() blocks
+/// on just the asked-for id — the pure in-process mirror of the reactor's
+/// multiplexed TCP path, which is what the deterministic pipelining tests
+/// run on.
+
 class LoopbackConnection final : public Connection {
  public:
   explicit LoopbackConnection(Server& server) : server_(server) {}
@@ -84,8 +115,13 @@ class LoopbackConnection final : public Connection {
     return server_.call(request);
   }
 
+  std::uint32_t submit(std::span<const std::uint8_t> request) override;
+  Bytes collect(std::uint32_t request_id) override;
+
  private:
   Server& server_;
+  std::uint32_t next_id_ = 1;
+  std::map<std::uint32_t, std::future<Bytes>> pending_;
 };
 
 /// Typed client over any Connection.
@@ -114,6 +150,29 @@ class Client {
   /// Transport-level graceful stop; the TCP server must have been started
   /// with allow_remote_shutdown (loopback servers answer BadRequest).
   void shutdown();
+
+  /// --- Pipelining -------------------------------------------------------
+  /// submit(request) puts one typed request in flight and returns its
+  /// connection-local id; the matching collect_*(id) blocks for (decodes,
+  /// status-checks) that response. Ids are collectable in ANY order — on a
+  /// multiplexed transport the server completes them out of order and the
+  /// response payloads are byte-identical to serial submission, which is
+  /// pinned by tests/service/test_pipeline.cpp.
+  std::uint32_t submit(const CharacterizeAdderRequest& request);
+  std::uint32_t submit(const CharacterizeMultiplierRequest& request);
+  std::uint32_t submit(const EvaluateErrorRequest& request);
+  std::uint32_t submit(const GearDesignSpaceRequest& request);
+  std::uint32_t submit(const EncodeProbeRequest& request);
+  std::uint32_t submit_ping();
+  CharacterizeResponse collect_characterize(std::uint32_t request_id);
+  EvaluateErrorResponse collect_evaluate_error(std::uint32_t request_id);
+  GearDesignSpaceResponse collect_gear_design_space(std::uint32_t request_id);
+  EncodeProbeResponse collect_encode_probe(std::uint32_t request_id);
+  void collect_ping(std::uint32_t request_id);
+
+  /// Raw-bytes pipelining (harnesses that byte-compare responses).
+  std::uint32_t submit_bytes(const Bytes& request);
+  Bytes collect_bytes(std::uint32_t request_id);
 
   /// Served accuracy level of the last successful call (0 = full
   /// fidelity; >0 = the server degraded this answer under overload).

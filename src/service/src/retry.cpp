@@ -79,6 +79,65 @@ Bytes RetryingClient::call_bytes(const Bytes& request) {
   }
 }
 
+std::vector<Bytes> RetryingClient::call_bytes_batch(
+    const std::vector<Bytes>& requests) {
+  static obs::Counter& retry_counter = obs::counter("service.retries");
+  const unsigned max_attempts = std::max(1u, policy_.max_attempts);
+  std::vector<Bytes> responses(requests.size());
+  std::vector<bool> done(requests.size(), false);
+  std::size_t remaining = requests.size();
+  for (unsigned attempt = 0; remaining > 0; ++attempt) {
+    const bool last = attempt + 1 >= max_attempts;
+    try {
+      Connection& conn = connection();
+      // Submit every incomplete request before collecting anything: on a
+      // multiplexed transport all of them are on the wire at once.
+      std::vector<std::pair<std::size_t, std::uint32_t>> inflight;
+      inflight.reserve(remaining);
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (!done[i]) inflight.emplace_back(i, conn.submit(requests[i]));
+      }
+      bool saw_retryable_status = false;
+      for (const auto& [index, id] : inflight) {
+        Bytes response = conn.collect(id);
+        const std::optional<Status> status = response_status(response);
+        if (!status) {
+          throw TransportError(TransportError::Kind::Corrupt,
+                               "unparseable response header");
+        }
+        const bool retryable_status =
+            (*status == Status::Overloaded && policy_.retry_overloaded) ||
+            (*status == Status::BadRequest && policy_.retry_bad_request);
+        if (retryable_status && !last) {
+          saw_retryable_status = true;  // resubmitted next round
+          continue;
+        }
+        last_served_level_ = response_level(response).value_or(0);
+        responses[index] = std::move(response);
+        done[index] = true;
+        --remaining;
+      }
+      if (remaining == 0) break;
+      if (saw_retryable_status) {
+        // The connection itself is healthy; back off and re-enter just
+        // the requests the server pushed back on.
+        ++retries_;
+        retry_counter.add();
+        backoff(attempt);
+      }
+    } catch (const TransportError&) {
+      // Everything uncollected died with the stream. The collected
+      // responses stay valid; only the remainder is resubmitted.
+      drop_connection();
+      if (last) throw;
+      ++retries_;
+      retry_counter.add();
+      backoff(attempt);
+    }
+  }
+  return responses;
+}
+
 CharacterizeResponse RetryingClient::characterize_adder(
     const CharacterizeAdderRequest& request) {
   return decode_characterize_response(

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -14,6 +15,7 @@
 #include <thread>
 
 #include "axc/obs/obs.hpp"
+#include "axc/service/framing.hpp"
 
 namespace axc::service {
 
@@ -121,43 +123,81 @@ void write_frame(int fd, std::span<const std::uint8_t> payload) {
   write_all(fd, framed.data(), framed.size());
 }
 
+/// Reads whatever the socket has (up to \p size), poll-gated by the same
+/// deadline semantics as read_exact. Returns 0 on orderly EOF. The mux
+/// client reads through this into a FrameAssembler so one syscall can
+/// deliver many pipelined responses.
+std::size_t read_some(int fd, std::uint8_t* data, std::size_t size,
+                      std::uint32_t timeout_ms) {
+  for (;;) {
+    if (timeout_ms > 0) {
+      pollfd pfd{fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        throw_transport_errno(TransportError::Kind::BrokenStream, "poll");
+      }
+      if (ready == 0) {
+        throw TransportError(TransportError::Kind::Timeout,
+                             "read timed out after " +
+                                 std::to_string(timeout_ms) + "ms");
+      }
+    }
+    const ssize_t n = ::read(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_transport_errno(TransportError::Kind::BrokenStream, "read");
+    }
+    return static_cast<std::size_t>(n);
+  }
+}
+
 }  // namespace
 
 // --- TcpServer ------------------------------------------------------------
 
 TcpServer::TcpServer(Server& server, const TcpServerOptions& options)
     : server_(server), options_(options) {
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) throw_errno("eventfd");
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw_errno("socket");
+  if (listen_fd_ < 0) {
+    const int saved = errno;
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+    errno = saved;
+    throw_errno("socket");
+  }
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(options_.port);
+  const auto fail = [this](const std::string& what) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+    errno = saved;
+    throw_errno(what);
+  };
   if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
       1) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+    ::close(wake_fd_);
+    wake_fd_ = -1;
     throw std::runtime_error("invalid bind address: " +
                              options_.bind_address);
   }
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof addr) < 0) {
-    const int saved = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    errno = saved;
-    throw_errno("bind " + options_.bind_address + ":" +
-                std::to_string(options_.port));
+    fail("bind " + options_.bind_address + ":" +
+         std::to_string(options_.port));
   }
-  if (::listen(listen_fd_, 64) < 0) {
-    const int saved = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    errno = saved;
-    throw_errno("listen");
-  }
+  if (::listen(listen_fd_, 64) < 0) fail("listen");
   sockaddr_in bound{};
   socklen_t bound_len = sizeof bound;
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
@@ -167,22 +207,45 @@ TcpServer::TcpServer(Server& server, const TcpServerOptions& options)
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
-TcpServer::~TcpServer() { stop(); }
+TcpServer::~TcpServer() {
+  stop();
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+}
+
+void TcpServer::request_stop() noexcept {
+  stop_requested_.store(true);
+  // One eventfd write interrupts the acceptor's indefinite poll. Both
+  // calls are async-signal-safe; a full counter (EAGAIN) means a wakeup
+  // is already pending, which is all we need.
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_fd_, &one, sizeof one);
+}
 
 void TcpServer::accept_loop() {
   static obs::Counter& accepted =
       obs::counter("service.tcp.connections_accepted");
   static obs::Counter& accept_errors =
       obs::counter("service.tcp.accept_errors");
+  static obs::Counter& wakeups = obs::counter("service.tcp.acceptor_wakeups");
   while (!stop_requested_.load()) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    // Indefinite poll: the acceptor sleeps until a peer connects or
+    // request_stop() writes the eventfd. No periodic timeout — an idle
+    // server takes zero wakeups (test_tcp.cpp pins this via the counter)
+    // and shutdown latency is one eventfd write, not a poll interval.
+    pollfd pfds[2] = {{listen_fd_, POLLIN, 0}, {wake_fd_, POLLIN, 0}};
+    const int ready = ::poll(pfds, 2, /*timeout_ms=*/-1);
     if (ready < 0) {
       if (errno == EINTR) continue;
       accept_errors.add();
       break;  // poll on the listen fd failing is not survivable
     }
-    if (ready == 0) continue;
+    wakeups.add();
+    if (pfds[1].revents != 0) continue;  // stop signal; loop condition exits
+    if (pfds[0].revents == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       // The acceptor must survive anything a hostile or unlucky peer can
@@ -243,8 +306,8 @@ void TcpServer::serve_connection(int fd) {
       if (header && header->endpoint == Endpoint::Shutdown) {
         if (options_.allow_remote_shutdown) {
           write_frame(fd, encode_ok_response());
-          stop_requested_.store(true);
-          return;  // the acceptor's 100 ms poll notices and drains
+          request_stop();  // wakes the acceptor immediately; it drains
+          return;
         }
         write_frame(fd, encode_error_response(
                             Status::BadRequest,
@@ -266,7 +329,7 @@ void TcpServer::serve_connection(int fd) {
 }
 
 void TcpServer::stop() {
-  stop_requested_.store(true);
+  request_stop();
   const std::lock_guard<std::mutex> join_lock(join_mutex_);
   if (acceptor_.joinable()) acceptor_.join();
 }
@@ -325,6 +388,7 @@ TcpConnection::~TcpConnection() {
 }
 
 Bytes TcpConnection::roundtrip(std::span<const std::uint8_t> request) {
+  if (options_.multiplex) return collect(submit(request));
   write_frame(fd_, request);
   Bytes response;
   if (!read_frame(fd_, response, options_.read_timeout_ms)) {
@@ -332,6 +396,63 @@ Bytes TcpConnection::roundtrip(std::span<const std::uint8_t> request) {
                          "server closed the connection");
   }
   return response;
+}
+
+std::uint32_t TcpConnection::submit(std::span<const std::uint8_t> request) {
+  // Without multiplex the deferred base-class path applies: one legacy
+  // roundtrip per collect(), safe against any server.
+  if (!options_.multiplex) return Connection::submit(request);
+  const std::uint32_t id = next_id_++;
+  // Buffered, not written: the whole pipelined batch goes out in one
+  // write when the first collect() needs a response.
+  append_mux_frame(send_buffer_, id, request);
+  outstanding_.insert(id);
+  return id;
+}
+
+Bytes TcpConnection::collect(std::uint32_t request_id) {
+  if (!options_.multiplex) return Connection::collect(request_id);
+  if (const auto it = received_.find(request_id); it != received_.end()) {
+    Bytes response = std::move(it->second);
+    received_.erase(it);
+    return response;
+  }
+  if (outstanding_.find(request_id) == outstanding_.end()) {
+    throw std::invalid_argument("TcpConnection::collect: unknown request id " +
+                                std::to_string(request_id));
+  }
+  if (!send_buffer_.empty()) {
+    write_all(fd_, send_buffer_.data(), send_buffer_.size());
+    send_buffer_.clear();
+  }
+  // Read socket-sized chunks through the assembler — one read may carry
+  // many responses — stashing other ids as they arrive; the server
+  // completes out of order.
+  for (;;) {
+    while (assembler_.has_frame()) {
+      Frame frame = assembler_.next_frame();
+      if (!frame.mux) {
+        throw TransportError(
+            TransportError::Kind::Corrupt,
+            "unmultiplexed response frame on a multiplexed connection");
+      }
+      if (outstanding_.erase(frame.request_id) == 0) {
+        throw TransportError(TransportError::Kind::Corrupt,
+                             "response for unknown request id " +
+                                 std::to_string(frame.request_id));
+      }
+      if (frame.request_id == request_id) return std::move(frame.payload);
+      received_.emplace(frame.request_id, std::move(frame.payload));
+    }
+    std::uint8_t buf[16384];
+    const std::size_t n = read_some(fd_, buf, sizeof buf,
+                                    options_.read_timeout_ms);
+    if (n == 0) {
+      throw TransportError(TransportError::Kind::BrokenStream,
+                           "server closed the connection");
+    }
+    assembler_.feed({buf, n});  // throws FrameOverflow on a hostile length
+  }
 }
 
 }  // namespace axc::service

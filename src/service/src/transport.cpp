@@ -1,6 +1,53 @@
 #include "axc/service/transport.hpp"
 
+#include <memory>
+#include <utility>
+
 namespace axc::service {
+
+std::uint32_t Connection::submit(std::span<const std::uint8_t> request) {
+  const std::uint32_t id = next_deferred_id_++;
+  deferred_.emplace(id, Bytes(request.begin(), request.end()));
+  return id;
+}
+
+Bytes Connection::collect(std::uint32_t request_id) {
+  auto it = deferred_.find(request_id);
+  if (it == deferred_.end()) {
+    throw std::invalid_argument("Connection::collect: unknown request id " +
+                                std::to_string(request_id));
+  }
+  // Take the request out before the roundtrip: if the exchange throws, the
+  // id is spent either way (the stream state is unknown; retrying clients
+  // resubmit on a fresh connection).
+  Bytes request = std::move(it->second);
+  deferred_.erase(it);
+  return roundtrip(request);
+}
+
+std::uint32_t LoopbackConnection::submit(
+    std::span<const std::uint8_t> request) {
+  const std::uint32_t id = next_id_++;
+  auto promise = std::make_shared<std::promise<Bytes>>();
+  pending_.emplace(id, promise->get_future());
+  server_.submit(Bytes(request.begin(), request.end()),
+                 [promise](Bytes response) {
+                   promise->set_value(std::move(response));
+                 });
+  return id;
+}
+
+Bytes LoopbackConnection::collect(std::uint32_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) {
+    throw std::invalid_argument(
+        "LoopbackConnection::collect: unknown request id " +
+        std::to_string(request_id));
+  }
+  std::future<Bytes> future = std::move(it->second);
+  pending_.erase(it);
+  return future.get();
+}
 
 Bytes Client::call(const Bytes& request) {
   Bytes response = connection_.roundtrip(request);
@@ -43,6 +90,62 @@ void Client::ping() {
 
 void Client::shutdown() {
   decode_ok_response(call(encode_request(Endpoint::Shutdown, deadline_ms_)));
+}
+
+std::uint32_t Client::submit_bytes(const Bytes& request) {
+  return connection_.submit(request);
+}
+
+Bytes Client::collect_bytes(std::uint32_t request_id) {
+  Bytes response = connection_.collect(request_id);
+  last_served_level_ = response_level(response).value_or(0);
+  return response;
+}
+
+std::uint32_t Client::submit(const CharacterizeAdderRequest& request) {
+  return submit_bytes(encode_request(request, deadline_ms_));
+}
+
+std::uint32_t Client::submit(const CharacterizeMultiplierRequest& request) {
+  return submit_bytes(encode_request(request, deadline_ms_));
+}
+
+std::uint32_t Client::submit(const EvaluateErrorRequest& request) {
+  return submit_bytes(encode_request(request, deadline_ms_));
+}
+
+std::uint32_t Client::submit(const GearDesignSpaceRequest& request) {
+  return submit_bytes(encode_request(request, deadline_ms_));
+}
+
+std::uint32_t Client::submit(const EncodeProbeRequest& request) {
+  return submit_bytes(encode_request(request, deadline_ms_));
+}
+
+std::uint32_t Client::submit_ping() {
+  return submit_bytes(encode_request(Endpoint::Ping, deadline_ms_));
+}
+
+CharacterizeResponse Client::collect_characterize(std::uint32_t request_id) {
+  return decode_characterize_response(collect_bytes(request_id));
+}
+
+EvaluateErrorResponse Client::collect_evaluate_error(
+    std::uint32_t request_id) {
+  return decode_evaluate_error_response(collect_bytes(request_id));
+}
+
+GearDesignSpaceResponse Client::collect_gear_design_space(
+    std::uint32_t request_id) {
+  return decode_gear_design_space_response(collect_bytes(request_id));
+}
+
+EncodeProbeResponse Client::collect_encode_probe(std::uint32_t request_id) {
+  return decode_encode_probe_response(collect_bytes(request_id));
+}
+
+void Client::collect_ping(std::uint32_t request_id) {
+  decode_ok_response(collect_bytes(request_id));
 }
 
 }  // namespace axc::service

@@ -2,13 +2,22 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "axc/obs/obs.hpp"
 #include "axc/service/transport.hpp"
 
 namespace axc::service {
 namespace {
+
+std::uint64_t counter_value(const std::string& name) {
+  const auto snap = obs::snapshot();
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
 
 TEST(Tcp, AllEndpointsRoundTripOverSockets) {
   Server server({.workers = 2});
@@ -128,6 +137,35 @@ TEST(Tcp, ConcurrentConnectionsEachGetTheirOwnAnswers) {
     EXPECT_NE(gates[static_cast<std::size_t>(t)], gates[0]);
   }
   tcp.stop();
+  server.stop();
+}
+
+TEST(Tcp, IdleAcceptorTakesZeroWakeups) {
+  // The acceptor polls with no timeout and an eventfd for stop signals:
+  // an idle server must take exactly zero wakeups over an idle window
+  // (the pre-PR 8 loop woke every 100 ms), and shutdown must still be
+  // immediate. Counter deltas, not timing asserts: robust on loaded CI.
+  Server server({.workers = 1});
+  TcpServer tcp(server, {});
+  {
+    TcpConnection connection("127.0.0.1", tcp.port());
+    Client client(connection);
+    client.ping();  // prove the acceptor is alive first
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const std::uint64_t wakeups_before =
+      counter_value("service.tcp.acceptor_wakeups");
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(counter_value("service.tcp.acceptor_wakeups"), wakeups_before);
+
+  const auto stop_started = std::chrono::steady_clock::now();
+  tcp.stop();
+  const auto stop_took = std::chrono::steady_clock::now() - stop_started;
+  EXPECT_TRUE(tcp.stopped());
+  // Generous bound: the point is "eventfd wakeup", not "poll interval".
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(stop_took)
+                .count(),
+            5000);
   server.stop();
 }
 

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "axc/accel/sad.hpp"
+#include "axc/cluster/local.hpp"
 #include "axc/accel/sad_netlist.hpp"
 #include "axc/arith/gear.hpp"
 #include "axc/common/bits.hpp"
@@ -772,6 +773,95 @@ KernelResult service_concurrency_kernel(std::size_t conns, unsigned depth,
   return result;
 }
 
+/// The distributed tier end to end: a mixed design-space sweep fanned over
+/// a 4-node in-process ring (replication 2) vs the same sweep on a single
+/// node. Every 4-node response is byte-compared against the 1-node answer
+/// — sharding moves where work happens, never what comes back — and the
+/// whole comparison runs twice from cold so a nondeterministic shard merge
+/// cannot hide behind one lucky pass. Any mismatch aborts the bench.
+KernelResult cluster_sweep_kernel(bool smoke, int reps) {
+  namespace svc = axc::service;
+
+  // Distinct seeds -> distinct canonical bytes -> keys spread over the
+  // ring; every cacheable endpoint is represented.
+  std::vector<svc::Bytes> requests;
+  const std::uint64_t seeds = smoke ? 4 : 12;
+  for (std::uint64_t s = 1; s <= seeds; ++s) {
+    svc::CharacterizeAdderRequest adder;
+    adder.width = 8;
+    adder.param_a = 1 + static_cast<std::uint32_t>(s % 3);  // GeAr(8,a,2)
+    adder.param_b = 2;
+    adder.vectors = 64;
+    adder.seed = s;
+    requests.push_back(svc::encode_request(adder));
+
+    svc::CharacterizeMultiplierRequest mul;
+    mul.width = 4;
+    mul.approx_lsbs = static_cast<std::uint32_t>(s % 3);
+    mul.vectors = 64;
+    mul.seed = s;
+    requests.push_back(svc::encode_request(mul));
+
+    svc::EvaluateErrorRequest eval;
+    eval.gear = {8, 1 + static_cast<std::uint32_t>(s % 3), 2};
+    eval.samples = 1u << 10;
+    eval.seed = s;
+    requests.push_back(svc::encode_request(eval));
+  }
+  {
+    svc::GearDesignSpaceRequest gear;
+    gear.width = 8;
+    requests.push_back(svc::encode_request(gear));
+    svc::EncodeProbeRequest probe;
+    probe.width = 16;
+    probe.height = 16;
+    probe.frames = 2;
+    probe.objects = 1;
+    requests.push_back(svc::encode_request(probe));
+  }
+
+  axc::cluster::ClusterClientOptions quiet;
+  quiet.retry.sleep_ms = [](std::uint32_t) {};
+
+  const auto cold_sweep = [&](std::size_t nodes) {
+    axc::logic::clear_characterization_cache();
+    axc::cluster::LocalClusterOptions options;
+    options.nodes = nodes;
+    options.replication = nodes > 1 ? 2 : 1;
+    options.server.workers = 2;
+    axc::cluster::LocalCluster cluster(options);
+    axc::cluster::ClusterClient client = cluster.make_client(quiet);
+    return client.sweep(requests);
+  };
+
+  // The 1-node truth, then two independent cold 4-node runs checked
+  // against it (and hence against each other).
+  const std::vector<svc::Bytes> expected = cold_sweep(1);
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::vector<svc::Bytes> sharded = cold_sweep(4);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (sharded[i] != expected[i]) {
+        std::cerr << "cluster_sweep: response " << i << " on pass " << pass
+                  << " differs between the 4-node and 1-node rings\n";
+        std::exit(1);
+      }
+    }
+  }
+
+  KernelResult result;
+  result.name = "cluster_sweep nodes=4";
+  result.baseline = "single-node sweep, cold caches";
+  result.engine = "4-node ring, replication 2";
+  result.vectors = requests.size();
+  result.baseline_threads = 2;
+  result.optimized_threads = 8;  // 4 nodes x 2 workers
+  result.baseline_ms = median_ms(reps, [&] { g_sink = cold_sweep(1).size(); });
+  result.optimized_ms =
+      median_ms(reps, [&] { g_sink = cold_sweep(4).size(); });
+  result.speedup = result.baseline_ms / result.optimized_ms;
+  return result;
+}
+
 /// Runtime cost of the obs layer on an instrumentation-dense workload (the
 /// block-parallel encoder: per-frame spans plus per-batch counters). Both
 /// modes run the *same instrumented binary*; "disabled" flips the kill
@@ -975,6 +1065,11 @@ int main(int argc, char** argv) {
           conns, /*depth=*/8, per_conn, std::min(reps, 3)));
     }
   }
+
+  // Sharded sweep over the 4-node in-process ring vs a single node, with
+  // a twice-run byte-identity check against the 1-node answers (any
+  // mismatch aborts). Fewer reps: each rep stands up a whole ring.
+  kernels.push_back(cluster_sweep_kernel(smoke, std::min(reps, 3)));
 
   // Same binary, kill switch off vs on — the obs layer's runtime cost.
   const ObsOverhead obs_overhead = measure_obs_overhead(smoke, reps);

@@ -4,14 +4,25 @@
 /// key=value line per field so smoke scripts can grep them. Non-Ok
 /// statuses (bad_request, overloaded, deadline_exceeded, ...) exit 3,
 /// transport failures exit 1, usage errors exit 2.
+///
+/// With --ring <file> (one host:port per line, ring order) the client
+/// routes through a ClusterClient instead of a single connection: each
+/// request goes to the node owning its canonical hash, failing over
+/// along the replica ranking when a node is dead or draining (see
+/// DESIGN.md §12). Typed commands work identically in both modes;
+/// pipeline/hold/shutdown are single-connection tools and stay non-ring.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "axc/cluster/client.hpp"
 #include "axc/service/protocol.hpp"
 #include "axc/service/retry.hpp"
 #include "axc/service/tcp.hpp"
@@ -59,7 +70,11 @@ constexpr const char* kUsage =
     "\n"
     "global options:\n"
     "  --host <addr>        numeric IPv4 server address (default 127.0.0.1)\n"
-    "  --port <n>           server port (required)\n"
+    "  --port <n>           server port (required unless --ring)\n"
+    "  --ring <file>        route through a cluster ring instead of one\n"
+    "                       server: one host:port per line, line i = ring\n"
+    "                       index i (must match the servers' --ring-file);\n"
+    "                       typed commands only\n"
     "  --deadline-ms <n>    per-request deadline, 0 = none (default 0)\n"
     "  --retries <n>        retry transport failures up to n times with\n"
     "                       exponential backoff, reconnecting each time\n"
@@ -94,7 +109,8 @@ void print_characterize(const axc::service::CharacterizeResponse& r) {
               r.power_nw, static_cast<unsigned long long>(r.gate_count));
 }
 
-int run_characterize_adder(axc::service::RetryingClient& client, int argc,
+template <class ClientT>
+int run_characterize_adder(ClientT& client, int argc,
                            char** argv, int i) {
   axc::service::CharacterizeAdderRequest req;
   for (; i < argc; ++i) {
@@ -140,7 +156,8 @@ int run_characterize_adder(axc::service::RetryingClient& client, int argc,
   return 0;
 }
 
-int run_characterize_multiplier(axc::service::RetryingClient& client, int argc,
+template <class ClientT>
+int run_characterize_multiplier(ClientT& client, int argc,
                                 char** argv, int i) {
   axc::service::CharacterizeMultiplierRequest req;
   for (; i < argc; ++i) {
@@ -182,7 +199,8 @@ int run_characterize_multiplier(axc::service::RetryingClient& client, int argc,
   return 0;
 }
 
-int run_evaluate_error(axc::service::RetryingClient& client, int argc, char** argv,
+template <class ClientT>
+int run_evaluate_error(ClientT& client, int argc, char** argv,
                        int i) {
   axc::service::EvaluateErrorRequest req;
   for (; i < argc; ++i) {
@@ -247,7 +265,8 @@ int run_evaluate_error(axc::service::RetryingClient& client, int argc, char** ar
   return 0;
 }
 
-int run_gear_design_space(axc::service::RetryingClient& client, int argc, char** argv,
+template <class ClientT>
+int run_gear_design_space(ClientT& client, int argc, char** argv,
                           int i) {
   axc::service::GearDesignSpaceRequest req;
   for (; i < argc; ++i) {
@@ -282,7 +301,8 @@ int run_gear_design_space(axc::service::RetryingClient& client, int argc, char**
   return 0;
 }
 
-int run_encode_probe(axc::service::RetryingClient& client, int argc, char** argv,
+template <class ClientT>
+int run_encode_probe(ClientT& client, int argc, char** argv,
                      int i) {
   axc::service::EncodeProbeRequest req;
   for (; i < argc; ++i) {
@@ -358,6 +378,95 @@ int run_pipeline(const std::string& host, std::uint16_t port,
   return 0;
 }
 
+/// Typed-command dispatch, shared between the single-server
+/// RetryingClient and the ring-routing ClusterClient (their typed
+/// facades are call-compatible; shutdown exists only on the former).
+template <class ClientT>
+int run_command(ClientT& client, const std::string& command, int argc,
+                char** argv, int i) {
+  int rc = 0;
+  if (command == "ping") {
+    if (i < argc) usage_error(kUsage, "ping takes no arguments");
+    client.ping();
+    std::printf("pong\n");
+  } else if (command == "shutdown") {
+    if constexpr (requires { client.shutdown(); }) {
+      if (i < argc) usage_error(kUsage, "shutdown takes no arguments");
+      client.shutdown();
+      std::printf("shutdown acknowledged\n");
+    } else {
+      usage_error(kUsage,
+                  "shutdown is a single-server command (drop --ring and "
+                  "point --host/--port at one node)");
+    }
+  } else if (command == "characterize-adder") {
+    rc = run_characterize_adder(client, argc, argv, i);
+  } else if (command == "characterize-multiplier") {
+    rc = run_characterize_multiplier(client, argc, argv, i);
+  } else if (command == "evaluate-error") {
+    rc = run_evaluate_error(client, argc, argv, i);
+  } else if (command == "gear-design-space") {
+    rc = run_gear_design_space(client, argc, argv, i);
+  } else if (command == "encode-probe") {
+    rc = run_encode_probe(client, argc, argv, i);
+  } else {
+    usage_error(kUsage, "unknown command '" + command + "'");
+  }
+  if (client.last_served_level() > 0) {
+    std::fprintf(stderr,
+                 "axc_client: note: server degraded this response "
+                 "(served_level=%u)\n",
+                 static_cast<unsigned>(client.last_served_level()));
+  }
+  if (client.retries() > 0) {
+    std::fprintf(stderr, "axc_client: note: %llu retr%s\n",
+                 static_cast<unsigned long long>(client.retries()),
+                 client.retries() == 1 ? "y" : "ies");
+  }
+  if constexpr (requires { client.failovers(); }) {
+    if (client.failovers() > 0) {
+      std::fprintf(stderr,
+                   "axc_client: note: %llu failover%s (dead or draining "
+                   "nodes routed around)\n",
+                   static_cast<unsigned long long>(client.failovers()),
+                   client.failovers() == 1 ? "" : "s");
+    }
+  }
+  return rc;
+}
+
+/// One "host:port" per line, line i = ring index i — the same file the
+/// servers were started with.
+std::vector<axc::service::RetryingClient::ConnectionFactory>
+ring_factories(const std::string& path,
+               const axc::service::TcpConnectionOptions& options) {
+  std::ifstream in(path);
+  if (!in) usage_error(kUsage, "--ring: cannot open '" + path + "'");
+  std::vector<axc::service::RetryingClient::ConnectionFactory> factories;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t colon = line.rfind(':');
+    const long port =
+        colon == std::string::npos || colon + 1 >= line.size()
+            ? 0
+            : std::strtol(line.c_str() + colon + 1, nullptr, 10);
+    if (port < 1 || port > 65535) {
+      usage_error(kUsage, "--ring: bad line '" + line +
+                              "' in '" + path + "' (want host:port)");
+    }
+    const std::string host = line.substr(0, colon);
+    factories.push_back([host, port, options] {
+      return std::make_unique<axc::service::TcpConnection>(
+          host, static_cast<std::uint16_t>(port), options);
+    });
+  }
+  if (factories.empty()) {
+    usage_error(kUsage, "--ring: '" + path + "' lists no nodes");
+  }
+  return factories;
+}
+
 int run_hold(const std::string& host, std::uint16_t port,
              const axc::service::TcpConnectionOptions& options, int argc,
              char** argv, int i) {
@@ -402,6 +511,7 @@ int main(int argc, char** argv) {
   }
 
   std::string host = "127.0.0.1";
+  std::string ring_file;
   long port = -1;
   long deadline_ms = 0;
   long retries = 0;
@@ -415,6 +525,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--port") {
       port = require_long(kUsage, "--port", flag_value(kUsage, argc, argv, i),
                           1, 65535);
+    } else if (arg == "--ring") {
+      ring_file = flag_value(kUsage, argc, argv, i);
     } else if (arg == "--deadline-ms") {
       deadline_ms = require_long(kUsage, "--deadline-ms",
                                  flag_value(kUsage, argc, argv, i), 0,
@@ -437,7 +549,12 @@ int main(int argc, char** argv) {
     }
   }
   if (i >= argc) usage_error(kUsage, "missing command");
-  if (port < 0) usage_error(kUsage, "--port is required");
+  if (ring_file.empty() && port < 0) {
+    usage_error(kUsage, "--port is required (or --ring)");
+  }
+  if (!ring_file.empty() && port >= 0) {
+    usage_error(kUsage, "--port and --ring are mutually exclusive");
+  }
   const std::string command = argv[i++];
 
   try {
@@ -449,11 +566,16 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(read_timeout_ms);
 
     // Transport-level commands drive raw connections, not RetryingClient.
-    if (command == "pipeline") {
-      return run_pipeline(host, static_cast<std::uint16_t>(port),
-                          connection_options, argc, argv, i);
-    }
-    if (command == "hold") {
+    if (command == "pipeline" || command == "hold") {
+      if (!ring_file.empty()) {
+        usage_error(kUsage, command +
+                                " drives one raw connection and has no "
+                                "ring mode (drop --ring)");
+      }
+      if (command == "pipeline") {
+        return run_pipeline(host, static_cast<std::uint16_t>(port),
+                            connection_options, argc, argv, i);
+      }
       return run_hold(host, static_cast<std::uint16_t>(port),
                       connection_options, argc, argv, i);
     }
@@ -463,6 +585,16 @@ int main(int argc, char** argv) {
     policy.base_backoff_ms = static_cast<std::uint32_t>(retry_base_ms);
     policy.max_backoff_ms =
         static_cast<std::uint32_t>(std::min(32 * retry_base_ms, 60000L));
+
+    if (!ring_file.empty()) {
+      cluster::ClusterClientOptions options;
+      options.retry = policy;
+      options.deadline_ms = static_cast<std::uint32_t>(deadline_ms);
+      cluster::ClusterClient client(
+          ring_factories(ring_file, connection_options), options);
+      return run_command(client, command, argc, argv, i);
+    }
+
     service::RetryingClient client(
         [host, port, connection_options] {
           return std::make_unique<service::TcpConnection>(
@@ -470,41 +602,7 @@ int main(int argc, char** argv) {
         },
         policy);
     client.set_deadline_ms(static_cast<std::uint32_t>(deadline_ms));
-
-    int rc = 0;
-    if (command == "ping") {
-      if (i < argc) usage_error(kUsage, "ping takes no arguments");
-      client.ping();
-      std::printf("pong\n");
-    } else if (command == "shutdown") {
-      if (i < argc) usage_error(kUsage, "shutdown takes no arguments");
-      client.shutdown();
-      std::printf("shutdown acknowledged\n");
-    } else if (command == "characterize-adder") {
-      rc = run_characterize_adder(client, argc, argv, i);
-    } else if (command == "characterize-multiplier") {
-      rc = run_characterize_multiplier(client, argc, argv, i);
-    } else if (command == "evaluate-error") {
-      rc = run_evaluate_error(client, argc, argv, i);
-    } else if (command == "gear-design-space") {
-      rc = run_gear_design_space(client, argc, argv, i);
-    } else if (command == "encode-probe") {
-      rc = run_encode_probe(client, argc, argv, i);
-    } else {
-      usage_error(kUsage, "unknown command '" + command + "'");
-    }
-    if (client.last_served_level() > 0) {
-      std::fprintf(stderr,
-                   "axc_client: note: server degraded this response "
-                   "(served_level=%u)\n",
-                   static_cast<unsigned>(client.last_served_level()));
-    }
-    if (client.retries() > 0) {
-      std::fprintf(stderr, "axc_client: note: %llu retr%s\n",
-                   static_cast<unsigned long long>(client.retries()),
-                   client.retries() == 1 ? "y" : "ies");
-    }
-    return rc;
+    return run_command(client, command, argc, argv, i);
   } catch (const service::ServiceError& e) {
     std::fprintf(stderr, "axc_client: %s: %s\n",
                  std::string(service::status_name(e.status())).c_str(),

@@ -1,0 +1,78 @@
+/// \file local.hpp
+/// In-process ring: N job servers wired with cache replication, reachable
+/// over loopback connections — the deterministic, socket-free realization
+/// of the cluster that ctest and the cluster_sweep bench run on.
+///
+/// Each node is an ordinary service::Server. When a node interns a *new*
+/// full-fidelity response into its result cache, the insert listener
+/// replicates the entry straight into the caches of the K-1 other
+/// XOR-closest nodes (insert_replica, which never re-fires a listener —
+/// replication cannot cascade). kill(i) drains node i; its subsequent
+/// answers are Status::ShuttingDown, which is exactly what a
+/// ClusterClient fails over on — and because the next-closest node
+/// already holds the replicated entry, the failed-over query is a cache
+/// hit, not a recompute (tests/cluster/test_cluster.cpp pins this with a
+/// counting dispatcher).
+///
+/// The TCP realization of the same ring is examples/axc_server --ring
+/// (replication travels as Endpoint::CacheInsert frames); the ring
+/// layout, ids and routing are shared code, so the two agree bit for bit.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "axc/cluster/client.hpp"
+#include "axc/cluster/ring.hpp"
+#include "axc/service/server.hpp"
+
+namespace axc::cluster {
+
+struct LocalClusterOptions {
+  std::size_t nodes = 4;
+  /// Cache entries live on the K XOR-closest nodes (owner included).
+  /// 1 = no replication.
+  std::size_t replication = 2;
+  /// Per-node server options (workers, eval_threads, dispatcher, ...).
+  service::ServerOptions server{};
+};
+
+class LocalCluster {
+ public:
+  explicit LocalCluster(LocalClusterOptions options = {});
+  /// Stops every node (graceful drain) before teardown.
+  ~LocalCluster();
+
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  std::size_t size() const { return servers_.size(); }
+  std::size_t replication() const { return replication_; }
+  const RoutingTable& routing() const { return routing_; }
+
+  service::Server& node(std::size_t index) { return *servers_[index]; }
+
+  /// Drains and joins node \p index and discards its result cache (a
+  /// killed process loses its in-memory state): queued jobs finish, then
+  /// every later submit answers Status::ShuttingDown (what ClusterClient
+  /// fails over on). Idempotent.
+  void kill(std::size_t index);
+  bool alive(std::size_t index) const {
+    return alive_[index]->load(std::memory_order_acquire);
+  }
+
+  /// Loopback connection factories in ring order — feed ClusterClient.
+  std::vector<service::RetryingClient::ConnectionFactory> factories();
+
+  ClusterClient make_client(ClusterClientOptions options = {});
+
+ private:
+  RoutingTable routing_;
+  std::size_t replication_;
+  std::vector<std::unique_ptr<service::Server>> servers_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> alive_;
+};
+
+}  // namespace axc::cluster

@@ -1,0 +1,107 @@
+/// \file node_id.hpp
+/// 160-bit node/key identifiers of the axc cluster ring.
+///
+/// The distributed tier shards the design-space service by *canonical
+/// request identity*: every request already has exactly one byte
+/// representation minus its deadline (protocol.hpp), so hashing those
+/// bytes into a 160-bit key and assigning each server node a segment of
+/// the key space makes request routing a pure function — any client, on
+/// any machine, maps the same request to the same owning node, with no
+/// coordination service in the loop.
+///
+/// Identifiers follow the Kademlia discipline: distance between two ids
+/// is their bitwise XOR compared as a 160-bit big-endian integer, and a
+/// node's segment is a *prefix range* — a stencil id plus the number of
+/// leading bits that are fixed (NodeIdRange, after the stencil/mask
+/// partitioning of SNIPPETS.md snippet 1). Prefix ranges nest cleanly
+/// (reduced(0)/reduced(1) split a range in half), which is what lets a
+/// static ring of N nodes cover the space exactly for any N, and XOR
+/// distance agrees with prefix ownership: the node whose range contains a
+/// key is always the XOR-closest range stencil, so "owner" and "closest
+/// replica list" come from one ordering.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace axc::cluster {
+
+/// A 160-bit identifier. Bit 0 is the most significant bit of bytes[0]
+/// (big-endian bit order), so lexicographic byte comparison is numeric
+/// comparison and "first differing bit" is the longest-common-prefix
+/// length.
+struct NodeId {
+  std::array<std::uint8_t, 20> bytes{};
+
+  static constexpr std::size_t kBits = 160;
+
+  static NodeId zero() { return NodeId{}; }
+
+  bool bit(std::size_t index) const {
+    return (bytes[index / 8] >> (7 - index % 8)) & 1u;
+  }
+
+  void set_bit(std::size_t index, bool value) {
+    const std::uint8_t mask =
+        static_cast<std::uint8_t>(1u << (7 - index % 8));
+    if (value) {
+      bytes[index / 8] |= mask;
+    } else {
+      bytes[index / 8] &= static_cast<std::uint8_t>(~mask);
+    }
+  }
+
+  auto operator<=>(const NodeId&) const = default;
+
+  /// 40 lowercase hex digits (diagnostics, ring dumps).
+  std::string to_hex() const;
+};
+
+/// Kademlia XOR metric: distance(a, b) = a ^ b as a 160-bit integer.
+NodeId xor_distance(const NodeId& a, const NodeId& b);
+
+/// Index of the first set bit (= 160 for the zero id); equivalently the
+/// longest common prefix of the two ids XORed into this distance.
+std::size_t leading_zero_bits(const NodeId& id);
+
+/// A prefix segment of the key space: every id whose first \p mask bits
+/// equal the stencil's. mask == 0 is the whole space. The stencil's bits
+/// at and beyond \p mask are zero, so the stencil is also the numerically
+/// smallest id in the range — which the static ring uses as the owning
+/// node's id.
+struct NodeIdRange {
+  NodeId stencil;
+  std::size_t mask = 0;
+
+  /// The whole key space (snippet 1's max()).
+  static NodeIdRange all() { return NodeIdRange{NodeId::zero(), 0}; }
+
+  bool contains(const NodeId& id) const {
+    return leading_zero_bits(xor_distance(id, stencil)) >= mask;
+  }
+
+  /// Halves the range: fixes one more bit to \p bit. reduced(0) keeps the
+  /// lower half (same stencil), reduced(1) the upper.
+  NodeIdRange reduced(bool bit) const {
+    NodeIdRange out{stencil, mask};
+    out.stencil.set_bit(out.mask, bit);
+    ++out.mask;
+    return out;
+  }
+
+  auto operator<=>(const NodeIdRange&) const = default;
+};
+
+/// Expands a canonical request byte string (protocol.hpp) into its
+/// 160-bit ring key, deterministically: the 64-bit canonical_request_key
+/// seeds a SplitMix-style chain (logic::detail::mix_key — the one mixing
+/// discipline every cache in the system shares) whose words fill the id
+/// big-endian. Same canonical bytes -> same key, on every node and every
+/// client.
+NodeId key_for_canonical(std::span<const std::uint8_t> canonical);
+
+}  // namespace axc::cluster

@@ -1,0 +1,58 @@
+/// \file ring.hpp
+/// The static ring: a deterministic partition of the 160-bit key space
+/// over N nodes, plus the client-side routing table.
+///
+/// Construction is pure function of N: starting from the whole space,
+/// repeatedly split the widest (then lowest-stencil) range in half with
+/// NodeIdRange::reduced until there are N ranges. For power-of-two N
+/// every node owns an equal 1/N slice; otherwise slice widths differ by
+/// at most a factor of two — and, critically, every client and every
+/// node computes the *same* layout from N alone, so there is no ring
+/// metadata to distribute or keep consistent.
+///
+/// A node's id is its range's stencil (the smallest id in the segment).
+/// Routing:
+///  - owner_index(key): the node whose range contains the key — also the
+///    XOR-closest node id (prefix ownership and the Kademlia metric agree
+///    on prefix partitions; tests/cluster/test_ring.cpp pins this);
+///  - replicas(key, k): the k XOR-closest nodes, owner first. Cache
+///    entries replicate to these, so a key survives any k-1 node kills.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "axc/cluster/node_id.hpp"
+
+namespace axc::cluster {
+
+/// Deterministic N-way prefix partition of the key space, sorted by
+/// stencil (ascending key order).
+std::vector<NodeIdRange> static_ring(std::size_t nodes);
+
+class RoutingTable {
+ public:
+  /// Builds the table for the deterministic static ring of \p nodes.
+  explicit RoutingTable(std::size_t nodes);
+
+  std::size_t size() const { return ranges_.size(); }
+  const NodeIdRange& range(std::size_t index) const {
+    return ranges_[index];
+  }
+  const NodeId& node_id(std::size_t index) const {
+    return ranges_[index].stencil;
+  }
+
+  /// The node whose segment contains \p key.
+  std::size_t owner_index(const NodeId& key) const;
+
+  /// Indices of the min(k, size()) XOR-closest nodes to \p key, closest
+  /// (= owner) first. Ties cannot occur: node ids are distinct and XOR
+  /// with a fixed key is a bijection.
+  std::vector<std::size_t> replicas(const NodeId& key, std::size_t k) const;
+
+ private:
+  std::vector<NodeIdRange> ranges_;
+};
+
+}  // namespace axc::cluster

@@ -1,0 +1,79 @@
+#include "axc/cluster/local.hpp"
+
+#include <utility>
+
+#include "axc/common/require.hpp"
+#include "axc/obs/obs.hpp"
+#include "axc/service/transport.hpp"
+
+namespace axc::cluster {
+
+LocalCluster::LocalCluster(LocalClusterOptions options)
+    : routing_(options.nodes),
+      replication_(std::max<std::size_t>(1, options.replication)) {
+  require(options.nodes >= 1, "LocalCluster: need at least one node");
+  servers_.reserve(options.nodes);
+  alive_.reserve(options.nodes);
+  for (std::size_t i = 0; i < options.nodes; ++i) {
+    servers_.push_back(std::make_unique<service::Server>(options.server));
+    alive_.push_back(std::make_unique<std::atomic<bool>>(true));
+  }
+  if (replication_ < 2) return;
+  static obs::Counter& replications =
+      obs::counter("service.cluster.replications");
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    // Fires on every *new* full-fidelity entry node i interns; runs on a
+    // worker thread of node i. insert_replica never re-fires a listener,
+    // so replication is single-hop by construction.
+    servers_[i]->cache().set_insert_listener(
+        [this, i](std::uint64_t key,
+                  std::span<const std::uint8_t> canonical,
+                  const service::Bytes& response) {
+          const NodeId ring_key = key_for_canonical(canonical);
+          for (const std::size_t peer :
+               routing_.replicas(ring_key, replication_)) {
+            if (peer == i) continue;
+            servers_[peer]->cache().insert_replica(key, canonical,
+                                                   response);
+            replications.add();
+          }
+        });
+  }
+}
+
+LocalCluster::~LocalCluster() {
+  // Join every worker pool before any Server is destroyed: a replication
+  // listener touches sibling caches, so siblings must outlive all
+  // workers.
+  for (std::size_t i = 0; i < servers_.size(); ++i) kill(i);
+}
+
+void LocalCluster::kill(std::size_t index) {
+  require(index < servers_.size(), "LocalCluster::kill: index out of range");
+  alive_[index]->store(false, std::memory_order_release);
+  servers_[index]->stop();
+  // A real process kill loses the in-memory cache with the process; a
+  // drained Server would otherwise keep serving hits synchronously.
+  // Clearing it makes kill() mean what the failover tests need it to
+  // mean: this node's state is gone, only the replicas still have it.
+  servers_[index]->cache().clear();
+}
+
+std::vector<service::RetryingClient::ConnectionFactory>
+LocalCluster::factories() {
+  std::vector<service::RetryingClient::ConnectionFactory> out;
+  out.reserve(servers_.size());
+  for (const auto& server : servers_) {
+    service::Server* raw = server.get();
+    out.push_back([raw] {
+      return std::make_unique<service::LoopbackConnection>(*raw);
+    });
+  }
+  return out;
+}
+
+ClusterClient LocalCluster::make_client(ClusterClientOptions options) {
+  return ClusterClient(factories(), std::move(options));
+}
+
+}  // namespace axc::cluster

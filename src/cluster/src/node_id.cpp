@@ -1,0 +1,59 @@
+#include "axc/cluster/node_id.hpp"
+
+#include "axc/logic/characterize.hpp"
+#include "axc/service/protocol.hpp"
+
+namespace axc::cluster {
+
+std::string NodeId::to_hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0F]);
+  }
+  return out;
+}
+
+NodeId xor_distance(const NodeId& a, const NodeId& b) {
+  NodeId out;
+  for (std::size_t i = 0; i < out.bytes.size(); ++i) {
+    out.bytes[i] = static_cast<std::uint8_t>(a.bytes[i] ^ b.bytes[i]);
+  }
+  return out;
+}
+
+std::size_t leading_zero_bits(const NodeId& id) {
+  std::size_t zeros = 0;
+  for (const std::uint8_t b : id.bytes) {
+    if (b == 0) {
+      zeros += 8;
+      continue;
+    }
+    for (int bit = 7; bit >= 0; --bit) {
+      if ((b >> bit) & 1u) return zeros;
+      ++zeros;
+    }
+  }
+  return zeros;
+}
+
+NodeId key_for_canonical(std::span<const std::uint8_t> canonical) {
+  // Word 0 is the exact 64-bit cache key; the chain then stretches it to
+  // 160 bits. Distinct chain indices keep the words independent.
+  const std::uint64_t seed = service::canonical_request_key(canonical);
+  NodeId id;
+  std::size_t offset = 0;
+  for (std::uint64_t word_index = 0; offset < id.bytes.size();
+       ++word_index) {
+    const std::uint64_t word =
+        word_index == 0 ? seed : logic::detail::mix_key(seed, word_index);
+    for (int i = 7; i >= 0 && offset < id.bytes.size(); --i) {
+      id.bytes[offset++] = static_cast<std::uint8_t>(word >> (8 * i));
+    }
+  }
+  return id;
+}
+
+}  // namespace axc::cluster

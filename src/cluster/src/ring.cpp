@@ -1,0 +1,64 @@
+#include "axc/cluster/ring.hpp"
+
+#include <algorithm>
+
+#include "axc/common/require.hpp"
+
+namespace axc::cluster {
+
+std::vector<NodeIdRange> static_ring(std::size_t nodes) {
+  require(nodes >= 1, "static_ring: need at least one node");
+  require(nodes <= 4096, "static_ring: ring size out of range");
+  std::vector<NodeIdRange> ranges{NodeIdRange::all()};
+  while (ranges.size() < nodes) {
+    // Split the widest range; among equals the lowest stencil. Selecting
+    // by (mask, stencil) makes the layout a pure function of N.
+    const auto widest = std::min_element(
+        ranges.begin(), ranges.end(),
+        [](const NodeIdRange& a, const NodeIdRange& b) {
+          if (a.mask != b.mask) return a.mask < b.mask;
+          return a.stencil < b.stencil;
+        });
+    const NodeIdRange split = *widest;
+    *widest = split.reduced(false);
+    ranges.push_back(split.reduced(true));
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const NodeIdRange& a, const NodeIdRange& b) {
+              return a.stencil < b.stencil;
+            });
+  return ranges;
+}
+
+RoutingTable::RoutingTable(std::size_t nodes) : ranges_(static_ring(nodes)) {}
+
+std::size_t RoutingTable::owner_index(const NodeId& key) const {
+  // Ranges are sorted by stencil and partition the space, so the owner is
+  // the last range whose stencil is <= key.
+  std::size_t low = 0;
+  std::size_t high = ranges_.size();
+  while (high - low > 1) {
+    const std::size_t mid = low + (high - low) / 2;
+    if (ranges_[mid].stencil <= key) {
+      low = mid;
+    } else {
+      high = mid;
+    }
+  }
+  return low;
+}
+
+std::vector<std::size_t> RoutingTable::replicas(const NodeId& key,
+                                                std::size_t k) const {
+  std::vector<std::size_t> order(ranges_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return xor_distance(ranges_[a].stencil, key) <
+                     xor_distance(ranges_[b].stencil, key);
+            });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+}  // namespace axc::cluster

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <optional>
@@ -27,6 +28,14 @@
 #include "axc/service/protocol.hpp"
 
 namespace axc::service {
+
+/// Fired by ResultCache::insert when a NEW entry is interned (refreshes
+/// of an existing key and insert_replica calls never fire it). Invoked
+/// outside the shard lock, possibly concurrently from several worker
+/// threads; the cluster layer hangs replication off this hook.
+using CacheInsertListener = std::function<void(
+    std::uint64_t key, std::span<const std::uint8_t> canonical,
+    const Bytes& response)>;
 
 class ResultCache {
  public:
@@ -44,9 +53,24 @@ class ResultCache {
 
   /// Interns \p response under (\p key, \p canonical), evicting the shard's
   /// least-recently-used entry when the shard is full. Re-inserting an
-  /// existing key refreshes the stored response and recency.
+  /// existing key refreshes the stored response and recency. Fires the
+  /// insert listener (outside the shard lock) when the entry is new.
   void insert(std::uint64_t key, std::span<const std::uint8_t> canonical,
               Bytes response);
+
+  /// insert() minus the listener: entries arriving FROM replication go
+  /// through this, so a replicated entry is never replicated onward
+  /// (single-hop by construction — no cascades, no echo storms).
+  void insert_replica(std::uint64_t key,
+                      std::span<const std::uint8_t> canonical,
+                      Bytes response);
+
+  /// Registers \p listener for new-entry inserts ({} clears). Call during
+  /// setup, before concurrent inserts start; the cache does not
+  /// synchronize replacement of the listener against running inserts.
+  void set_insert_listener(CacheInsertListener listener) {
+    listener_ = std::move(listener);
+  }
 
   /// Entries currently resident (sums all shards).
   std::size_t size() const;
@@ -78,8 +102,13 @@ class ResultCache {
     return shards_[key & (shards_.size() - 1)];
   }
 
+  /// Returns true when a new entry was interned (vs refreshed).
+  bool insert_impl(std::uint64_t key,
+                   std::span<const std::uint8_t> canonical, Bytes response);
+
   std::size_t capacity_;
   std::vector<Shard> shards_;
+  CacheInsertListener listener_;
 };
 
 }  // namespace axc::service

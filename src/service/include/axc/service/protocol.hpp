@@ -60,6 +60,7 @@ enum class Endpoint : std::uint8_t {
   EncodeProbe = 5,             ///< Fig. 9 SAD/encode micro-job
   Ping = 6,                    ///< health check, empty body
   Shutdown = 7,                ///< transport-level graceful stop (opt-in)
+  CacheInsert = 8,             ///< cluster replication: seed a cache entry
 };
 
 /// Response status. Values are wire-stable; append only.
@@ -244,6 +245,23 @@ Bytes encode_request(const EncodeProbeRequest& request,
                      std::uint32_t deadline_ms = 0);
 /// Body-less requests (Ping, Shutdown).
 Bytes encode_request(Endpoint endpoint, std::uint32_t deadline_ms = 0);
+
+// --- Cluster replication (Endpoint::CacheInsert) --------------------------
+
+/// One replicated cache entry: the canonical bytes of the original
+/// request (version + endpoint + body, deadline stripped) and its
+/// full-fidelity Ok response. Carried as the CacheInsert request body
+/// [canonical_len u32][canonical][response]; the receiving server
+/// validates both halves before seeding its result cache (see
+/// ServerOptions::accept_cache_inserts).
+struct CacheInsertRequest {
+  Bytes canonical;
+  Bytes response;
+};
+
+Bytes encode_request(const CacheInsertRequest& request,
+                     std::uint32_t deadline_ms = 0);
+CacheInsertRequest decode_cache_insert(std::span<const std::uint8_t> body);
 
 /// Throwing (DecodeError) typed decoders for the server side. Each
 /// consumes the *body* (header already parsed) and rejects trailing bytes.

@@ -100,8 +100,18 @@ class RetryingClient {
   /// are pure functions of request bytes.
   std::vector<Bytes> call_bytes_batch(const std::vector<Bytes>& requests);
 
-  /// Served accuracy level of the last successful call.
+  /// Served accuracy level of the last successful call. After
+  /// call_bytes_batch this is the *maximum* level across the batch (the
+  /// worst degradation any request saw), not whichever response happened
+  /// to be collected last.
   std::uint8_t last_served_level() const { return last_served_level_; }
+  /// Per-request served levels of the last call_bytes_batch, positionally
+  /// aligned with its requests (empty until the first batch call). A
+  /// request retried across rounds reports the level of the response that
+  /// was actually returned for it.
+  const std::vector<std::uint8_t>& last_served_levels() const {
+    return last_served_levels_;
+  }
   /// Lifetime retry/reconnect/backoff totals for this client.
   std::uint64_t retries() const { return retries_; }
   std::uint64_t reconnects() const { return reconnects_; }
@@ -118,6 +128,7 @@ class RetryingClient {
   std::unique_ptr<Connection> connection_;
   std::uint32_t deadline_ms_ = 0;
   std::uint8_t last_served_level_ = 0;
+  std::vector<std::uint8_t> last_served_levels_;
   std::uint64_t retries_ = 0;
   std::uint64_t reconnects_ = 0;
   std::uint64_t backoff_total_ms_ = 0;

@@ -72,6 +72,11 @@ struct ServerOptions {
   /// Degrade-don't-drop policy; max_level = 0 (default) keeps the
   /// pre-overload behavior (every job at full fidelity).
   OverloadPolicy overload{};
+  /// Honour Endpoint::CacheInsert requests (cluster replication): peers
+  /// may seed this server's result cache with validated full-fidelity
+  /// entries. Off by default — a stray or hostile client must not be able
+  /// to poison a cache that didn't opt in to being a replica.
+  bool accept_cache_inserts = false;
 };
 
 class Server {
@@ -125,6 +130,10 @@ class Server {
 
   void worker_loop();
   void run_job(Job& job);
+  /// Validates and applies one Endpoint::CacheInsert request; returns the
+  /// response synchronously (replication seeding never queues behind
+  /// compute jobs).
+  Bytes handle_cache_insert(std::span<const std::uint8_t> request);
 
   ServerOptions options_;
   ResultCache cache_;

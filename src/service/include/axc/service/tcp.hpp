@@ -131,6 +131,14 @@ class TcpConnection final : public Connection {
   std::uint32_t submit(std::span<const std::uint8_t> request) override;
   Bytes collect(std::uint32_t request_id) override;
 
+  void set_next_request_id(std::uint32_t id) override {
+    if (options_.multiplex) {
+      next_id_ = id;
+    } else {
+      Connection::set_next_request_id(id);
+    }
+  }
+
  private:
   int fd_ = -1;
   TcpConnectionOptions options_;

@@ -93,6 +93,14 @@ class Connection {
   /// functions of request bytes, so that is always safe).
   virtual Bytes collect(std::uint32_t request_id);
 
+  /// Test hook (wraparound regression coverage): the next submit() starts
+  /// probing ids at \p id. Allocation always skips 0 and any id still in
+  /// flight, so forcing a collision exercises the skip path without 2^32
+  /// real submits.
+  virtual void set_next_request_id(std::uint32_t id) {
+    next_deferred_id_ = id;
+  }
+
  private:
   std::uint32_t next_deferred_id_ = 1;
   std::map<std::uint32_t, Bytes> deferred_;
@@ -117,6 +125,8 @@ class LoopbackConnection final : public Connection {
 
   std::uint32_t submit(std::span<const std::uint8_t> request) override;
   Bytes collect(std::uint32_t request_id) override;
+
+  void set_next_request_id(std::uint32_t id) override { next_id_ = id; }
 
  private:
   Server& server_;

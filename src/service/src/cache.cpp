@@ -38,7 +38,28 @@ std::optional<Bytes> ResultCache::lookup(
 void ResultCache::insert(std::uint64_t key,
                          std::span<const std::uint8_t> canonical,
                          Bytes response) {
-  if (capacity_ == 0) return;
+  if (!listener_) {
+    insert_impl(key, canonical, std::move(response));
+    return;
+  }
+  // The entry consumes the response; the listener needs it too. One copy,
+  // paid only when a listener is registered, fired outside the shard lock
+  // and only for genuinely new entries.
+  if (insert_impl(key, canonical, Bytes(response))) {
+    listener_(key, canonical, response);
+  }
+}
+
+void ResultCache::insert_replica(std::uint64_t key,
+                                 std::span<const std::uint8_t> canonical,
+                                 Bytes response) {
+  insert_impl(key, canonical, std::move(response));
+}
+
+bool ResultCache::insert_impl(std::uint64_t key,
+                              std::span<const std::uint8_t> canonical,
+                              Bytes response) {
+  if (capacity_ == 0) return false;
   Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.index.find(key);
@@ -46,7 +67,7 @@ void ResultCache::insert(std::uint64_t key,
     it->second->canonical.assign(canonical.begin(), canonical.end());
     it->second->response = std::move(response);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return;
+    return false;
   }
   if (shard.lru.size() >= shard.capacity) {
     shard.index.erase(shard.lru.back().key);
@@ -56,6 +77,7 @@ void ResultCache::insert(std::uint64_t key,
                              Bytes(canonical.begin(), canonical.end()),
                              std::move(response)});
   shard.index.emplace(key, shard.lru.begin());
+  return true;
 }
 
 std::size_t ResultCache::size() const {

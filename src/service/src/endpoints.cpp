@@ -363,6 +363,12 @@ Bytes dispatch(std::span<const std::uint8_t> request,
         return encode_error_response(
             Status::BadRequest,
             "shutdown is transport-level (enable it on the TCP server)");
+      case Endpoint::CacheInsert:
+        // Server::submit intercepts replication seeds before dispatch;
+        // reaching here means the transport lacks a Server (raw dispatch).
+        return encode_error_response(
+            Status::BadRequest,
+            "cache_insert is server-level (enable accept_cache_inserts)");
     }
     if (response.empty()) {
       return encode_error_response(Status::BadRequest, "unknown endpoint");

@@ -144,6 +144,7 @@ std::string_view endpoint_name(Endpoint endpoint) {
     case Endpoint::EncodeProbe: return "encode_probe";
     case Endpoint::Ping: return "ping";
     case Endpoint::Shutdown: return "shutdown";
+    case Endpoint::CacheInsert: return "cache_insert";
   }
   return "unknown";
 }
@@ -172,7 +173,7 @@ std::optional<RequestHeader> parse_request_header(
   if (request[0] != kProtocolVersion) return std::nullopt;
   const std::uint8_t raw = request[1];
   if (raw < static_cast<std::uint8_t>(Endpoint::CharacterizeAdder) ||
-      raw > static_cast<std::uint8_t>(Endpoint::Shutdown)) {
+      raw > static_cast<std::uint8_t>(Endpoint::CacheInsert)) {
     return std::nullopt;
   }
   RequestHeader header;
@@ -263,6 +264,15 @@ Bytes encode_request(Endpoint endpoint, std::uint32_t deadline_ms) {
   return request_prefix(endpoint, deadline_ms);
 }
 
+Bytes encode_request(const CacheInsertRequest& request,
+                     std::uint32_t deadline_ms) {
+  Bytes out = request_prefix(Endpoint::CacheInsert, deadline_ms);
+  put_u32(out, static_cast<std::uint32_t>(request.canonical.size()));
+  out.insert(out.end(), request.canonical.begin(), request.canonical.end());
+  out.insert(out.end(), request.response.begin(), request.response.end());
+  return out;
+}
+
 // --- Request decoders -----------------------------------------------------
 
 CharacterizeAdderRequest decode_characterize_adder(
@@ -348,6 +358,22 @@ EncodeProbeRequest decode_encode_probe(std::span<const std::uint8_t> body) {
   request.search_range = reader.u8();
   request.quant_step = reader.u16();
   reader.expect_done();
+  return request;
+}
+
+CacheInsertRequest decode_cache_insert(std::span<const std::uint8_t> body) {
+  if (body.size() < 4) throw DecodeError("truncated cache_insert payload");
+  const std::uint32_t canonical_len =
+      static_cast<std::uint32_t>(body[0]) | (body[1] << 8) |
+      (body[2] << 16) | (static_cast<std::uint32_t>(body[3]) << 24);
+  if (canonical_len > kMaxFrameBytes ||
+      body.size() - 4 < canonical_len) {
+    throw DecodeError("cache_insert canonical length exceeds payload");
+  }
+  CacheInsertRequest request;
+  request.canonical.assign(body.begin() + 4,
+                           body.begin() + 4 + canonical_len);
+  request.response.assign(body.begin() + 4 + canonical_len, body.end());
   return request;
 }
 

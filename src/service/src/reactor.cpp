@@ -414,8 +414,13 @@ void ReactorServer::read_ready(const std::shared_ptr<Conn>& conn) {
       return;
     }
     if (n == 0) {
-      if (conn->assembler.mid_frame()) {
+      if (conn->assembler.mid_frame() && !draining_) {
         // EOF in the middle of a frame: the peer vanished mid-request.
+        // During a drain this EOF is self-inflicted — begin_drain()'s
+        // SHUT_RD truncates whatever the peer was mid-way through
+        // writing — so a partial trailing frame must NOT drop the
+        // completed responses already deposited in the outbox; fall
+        // through to the orderly half-close path, which flushes them.
         close_conn(conn, /*dropped=*/true);
         return;
       }

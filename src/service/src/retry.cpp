@@ -86,6 +86,7 @@ std::vector<Bytes> RetryingClient::call_bytes_batch(
   std::vector<Bytes> responses(requests.size());
   std::vector<bool> done(requests.size(), false);
   std::size_t remaining = requests.size();
+  last_served_levels_.assign(requests.size(), 0);
   for (unsigned attempt = 0; remaining > 0; ++attempt) {
     const bool last = attempt + 1 >= max_attempts;
     try {
@@ -112,7 +113,10 @@ std::vector<Bytes> RetryingClient::call_bytes_batch(
           saw_retryable_status = true;  // resubmitted next round
           continue;
         }
-        last_served_level_ = response_level(response).value_or(0);
+        // Record per request: the scalar last_served_level_ used to keep
+        // only whichever response was collected last, hiding degradation
+        // anywhere else in the batch.
+        last_served_levels_[index] = response_level(response).value_or(0);
         responses[index] = std::move(response);
         done[index] = true;
         --remaining;
@@ -135,6 +139,10 @@ std::vector<Bytes> RetryingClient::call_bytes_batch(
       backoff(attempt);
     }
   }
+  last_served_level_ = last_served_levels_.empty()
+                           ? 0
+                           : *std::max_element(last_served_levels_.begin(),
+                                               last_served_levels_.end());
   return responses;
 }
 

@@ -12,7 +12,7 @@ namespace axc::service {
 namespace {
 
 constexpr int kEndpointSlots =
-    static_cast<int>(Endpoint::Shutdown) + 1;
+    static_cast<int>(Endpoint::CacheInsert) + 1;
 
 /// Per-endpoint instruments, resolved once (obs handles are stable for the
 /// process lifetime, so after the first call this is a plain array load).
@@ -35,9 +35,11 @@ const EndpointInstruments& endpoint_instruments() {
 }
 
 bool is_cacheable(Endpoint endpoint) {
-  // Ping carries no result and Shutdown is transport-level; everything
-  // else is a pure function of its canonical bytes.
-  return endpoint != Endpoint::Ping && endpoint != Endpoint::Shutdown;
+  // Ping carries no result, Shutdown is transport-level and CacheInsert
+  // is the replication channel itself; everything else is a pure function
+  // of its canonical bytes.
+  return endpoint != Endpoint::Ping && endpoint != Endpoint::Shutdown &&
+         endpoint != Endpoint::CacheInsert;
 }
 
 }  // namespace
@@ -90,6 +92,14 @@ void Server::submit(Bytes request, ResponseCallback done) {
   }
   endpoint_instruments().requests[static_cast<int>(header->endpoint)]->add();
 
+  if (header->endpoint == Endpoint::CacheInsert) {
+    // Synchronous: seeding a replica entry is a couple of hash-map moves,
+    // and queuing it behind compute jobs would let a draining or
+    // overloaded node lose replication it already earned.
+    done(handle_cache_insert(request));
+    return;
+  }
+
   Job job;
   job.endpoint = header->endpoint;
   job.cacheable = is_cacheable(header->endpoint) && cache_.capacity() > 0;
@@ -136,6 +146,54 @@ void Server::submit(Bytes request, ResponseCallback done) {
     depth.record(static_cast<std::int64_t>(queue_.size()));
   }
   work_available_.notify_one();
+}
+
+Bytes Server::handle_cache_insert(std::span<const std::uint8_t> request) {
+  static obs::Counter& accepted =
+      obs::counter("service.cluster.cache_inserts");
+  static obs::Counter& rejected =
+      obs::counter("service.cluster.cache_insert_rejects");
+  if (!options_.accept_cache_inserts) {
+    rejected.add();
+    return encode_error_response(
+        Status::BadRequest, "cache inserts not enabled on this server");
+  }
+  CacheInsertRequest insert;
+  try {
+    insert = decode_cache_insert(request.subspan(kRequestHeaderBytes));
+  } catch (const DecodeError& e) {
+    rejected.add();
+    return encode_error_response(Status::BadRequest, e.what());
+  }
+  // The canonical half must be a well-formed [version][endpoint][body]
+  // for a cacheable endpoint, and the response half a full-fidelity Ok —
+  // the only bytes insert()/run_job would ever have cached locally. A
+  // peer cannot seed degraded, error or transport-level entries.
+  if (insert.canonical.size() < 2 ||
+      insert.canonical[0] != kProtocolVersion) {
+    rejected.add();
+    return encode_error_response(Status::BadRequest,
+                                 "cache_insert: malformed canonical bytes");
+  }
+  const std::uint8_t raw_endpoint = insert.canonical[1];
+  if (raw_endpoint <
+          static_cast<std::uint8_t>(Endpoint::CharacterizeAdder) ||
+      raw_endpoint > static_cast<std::uint8_t>(Endpoint::EncodeProbe)) {
+    rejected.add();
+    return encode_error_response(
+        Status::BadRequest, "cache_insert: endpoint is not cacheable");
+  }
+  if (response_status(insert.response) != Status::Ok ||
+      response_level(insert.response).value_or(255) != 0) {
+    rejected.add();
+    return encode_error_response(
+        Status::BadRequest,
+        "cache_insert: response is not a full-fidelity Ok");
+  }
+  const std::uint64_t key = canonical_request_key(insert.canonical);
+  cache_.insert_replica(key, insert.canonical, std::move(insert.response));
+  accepted.add();
+  return encode_ok_response();
 }
 
 Bytes Server::call(std::span<const std::uint8_t> request) {

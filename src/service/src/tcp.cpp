@@ -402,6 +402,15 @@ std::uint32_t TcpConnection::submit(std::span<const std::uint8_t> request) {
   // Without multiplex the deferred base-class path applies: one legacy
   // roundtrip per collect(), safe against any server.
   if (!options_.multiplex) return Connection::submit(request);
+  // Wraparound-safe allocation: after 2^32 submits the counter wraps to 0
+  // (reserved) and can land on an id whose response is still in flight —
+  // reusing it would tag two requests identically, and collect() would
+  // pair the wrong payload with the survivor. Skip until free.
+  while (next_id_ == 0 ||
+         outstanding_.find(next_id_) != outstanding_.end() ||
+         received_.find(next_id_) != received_.end()) {
+    ++next_id_;
+  }
   const std::uint32_t id = next_id_++;
   // Buffered, not written: the whole pipelined batch goes out in one
   // write when the first collect() needs a response.

@@ -6,6 +6,13 @@
 namespace axc::service {
 
 std::uint32_t Connection::submit(std::span<const std::uint8_t> request) {
+  // After 2^32 submits the counter wraps: id 0 stays reserved and an id
+  // whose response is still uncollected must not be reissued, or the two
+  // exchanges would alias and collect() would hand back the wrong payload.
+  while (next_deferred_id_ == 0 ||
+         deferred_.find(next_deferred_id_) != deferred_.end()) {
+    ++next_deferred_id_;
+  }
   const std::uint32_t id = next_deferred_id_++;
   deferred_.emplace(id, Bytes(request.begin(), request.end()));
   return id;
@@ -27,6 +34,9 @@ Bytes Connection::collect(std::uint32_t request_id) {
 
 std::uint32_t LoopbackConnection::submit(
     std::span<const std::uint8_t> request) {
+  while (next_id_ == 0 || pending_.find(next_id_) != pending_.end()) {
+    ++next_id_;  // wraparound: never reuse an uncollected in-flight id
+  }
   const std::uint32_t id = next_id_++;
   auto promise = std::make_shared<std::promise<Bytes>>();
   pending_.emplace(id, promise->get_future());

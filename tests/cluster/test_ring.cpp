@@ -1,0 +1,210 @@
+/// The ring's routing algebra: 160-bit ids, the Kademlia XOR metric,
+/// prefix-range partitioning and the deterministic static ring. The
+/// load-bearing facts pinned here: static_ring(N) tiles the key space
+/// exactly (every key in exactly one range, any N), the owner of a key is
+/// always its XOR-closest node id, and key_for_canonical is a pure
+/// function of the canonical bytes — together these are what make
+/// client-side routing coordination-free.
+#include "axc/cluster/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "axc/cluster/node_id.hpp"
+#include "axc/common/rng.hpp"
+#include "axc/service/protocol.hpp"
+
+namespace axc::cluster {
+namespace {
+
+NodeId random_id(Rng& rng) {
+  NodeId id;
+  for (auto& byte : id.bytes) {
+    byte = static_cast<std::uint8_t>(rng.below(256));
+  }
+  return id;
+}
+
+TEST(NodeId, BitOrderIsBigEndian) {
+  NodeId id;
+  id.set_bit(0, true);
+  EXPECT_EQ(id.bytes[0], 0x80u);  // bit 0 = MSB of byte 0
+  id.set_bit(7, true);
+  EXPECT_EQ(id.bytes[0], 0x81u);
+  id.set_bit(8, true);
+  EXPECT_EQ(id.bytes[1], 0x80u);
+  EXPECT_TRUE(id.bit(0));
+  EXPECT_FALSE(id.bit(1));
+  id.set_bit(0, false);
+  EXPECT_FALSE(id.bit(0));
+  EXPECT_EQ(id.bytes[0], 0x01u);
+
+  // Bit order chosen so numeric comparison == lexicographic comparison.
+  NodeId high, low;
+  high.set_bit(0, true);
+  low.set_bit(159, true);
+  EXPECT_GT(high, low);
+}
+
+TEST(NodeId, XorDistanceIsAMetric) {
+  Rng rng(0xA11CE5);
+  for (int i = 0; i < 32; ++i) {
+    const NodeId a = random_id(rng);
+    const NodeId b = random_id(rng);
+    EXPECT_EQ(xor_distance(a, a), NodeId::zero());
+    EXPECT_EQ(xor_distance(a, b), xor_distance(b, a));
+    // XOR "triangle equality": d(a,c) = d(a,b) ^ d(b,c) — so the
+    // unidirectional property tests need no third point here.
+  }
+}
+
+TEST(NodeId, LeadingZeroBitsCountsThePrefix) {
+  EXPECT_EQ(leading_zero_bits(NodeId::zero()), NodeId::kBits);
+  for (std::size_t bit = 0; bit < NodeId::kBits; bit += 13) {
+    NodeId id;
+    id.set_bit(bit, true);
+    EXPECT_EQ(leading_zero_bits(id), bit);
+  }
+}
+
+TEST(NodeId, ToHexIs40LowercaseDigits) {
+  NodeId id;
+  id.bytes[0] = 0xAB;
+  id.bytes[19] = 0x01;
+  const std::string hex = id.to_hex();
+  ASSERT_EQ(hex.size(), 40u);
+  EXPECT_EQ(hex.substr(0, 2), "ab");
+  EXPECT_EQ(hex.substr(38), "01");
+}
+
+TEST(NodeIdRange, ReducedHalvesPartitionTheParent) {
+  Rng rng(7);
+  NodeIdRange parent = NodeIdRange::all();
+  // Descend a few levels; at each one the two halves must tile the parent.
+  for (int depth = 0; depth < 12; ++depth) {
+    const NodeIdRange lower = parent.reduced(false);
+    const NodeIdRange upper = parent.reduced(true);
+    EXPECT_EQ(lower.mask, parent.mask + 1);
+    for (int i = 0; i < 16; ++i) {
+      NodeId key = random_id(rng);
+      // Force the key into the parent range first.
+      for (std::size_t bit = 0; bit < parent.mask; ++bit) {
+        key.set_bit(bit, parent.stencil.bit(bit));
+      }
+      ASSERT_TRUE(parent.contains(key));
+      EXPECT_NE(lower.contains(key), upper.contains(key));
+    }
+    parent = rng.below(2) ? upper : lower;
+  }
+}
+
+TEST(Ring, StaticRingTilesTheKeySpaceForAnyN) {
+  Rng rng(0xC0FFEE);
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{4},
+        std::size_t{5}, std::size_t{7}, std::size_t{8}, std::size_t{13},
+        std::size_t{64}}) {
+    const std::vector<NodeIdRange> ring = static_ring(n);
+    ASSERT_EQ(ring.size(), n) << "n=" << n;
+    EXPECT_TRUE(std::is_sorted(ring.begin(), ring.end(),
+                               [](const NodeIdRange& a, const NodeIdRange& b) {
+                                 return a.stencil < b.stencil;
+                               }));
+    // Non-power-of-two rings are allowed uneven slices, but never more
+    // than a factor of two: masks differ by at most 1.
+    std::size_t min_mask = NodeId::kBits, max_mask = 0;
+    for (const NodeIdRange& range : ring) {
+      min_mask = std::min(min_mask, range.mask);
+      max_mask = std::max(max_mask, range.mask);
+    }
+    EXPECT_LE(max_mask - min_mask, 1u) << "n=" << n;
+    // Every key lands in exactly one range.
+    for (int i = 0; i < 64; ++i) {
+      const NodeId key = random_id(rng);
+      std::size_t containing = 0;
+      for (const NodeIdRange& range : ring) {
+        if (range.contains(key)) ++containing;
+      }
+      EXPECT_EQ(containing, 1u) << "n=" << n << " key=" << key.to_hex();
+    }
+  }
+}
+
+TEST(Ring, StaticRingIsDeterministic) {
+  EXPECT_EQ(static_ring(6), static_ring(6));
+  EXPECT_EQ(static_ring(1).at(0), NodeIdRange::all());
+}
+
+TEST(Ring, OwnerIsTheContainingRangeAndTheXorClosestNode) {
+  Rng rng(0xBEEF);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{4},
+                              std::size_t{11}, std::size_t{32}}) {
+    const RoutingTable table(n);
+    ASSERT_EQ(table.size(), n);
+    for (int i = 0; i < 128; ++i) {
+      const NodeId key = random_id(rng);
+      const std::size_t owner = table.owner_index(key);
+      EXPECT_TRUE(table.range(owner).contains(key));
+      // Prefix ownership and the Kademlia metric must agree: the owner's
+      // stencil is the XOR-minimum over all node ids.
+      for (std::size_t node = 0; node < n; ++node) {
+        EXPECT_GE(xor_distance(table.node_id(node), key),
+                  xor_distance(table.node_id(owner), key));
+      }
+    }
+  }
+}
+
+TEST(Ring, ReplicasAreTheKClosestOwnerFirst) {
+  Rng rng(0x5EED);
+  const RoutingTable table(8);
+  for (int i = 0; i < 32; ++i) {
+    const NodeId key = random_id(rng);
+    const std::vector<std::size_t> top3 = table.replicas(key, 3);
+    ASSERT_EQ(top3.size(), 3u);
+    EXPECT_EQ(top3[0], table.owner_index(key));
+    // Distances strictly increase along the list (XOR with a fixed key is
+    // a bijection over distinct ids, so ties are impossible).
+    for (std::size_t r = 1; r < top3.size(); ++r) {
+      EXPECT_LT(xor_distance(table.node_id(top3[r - 1]), key),
+                xor_distance(table.node_id(top3[r]), key));
+    }
+    // Asking for more replicas than nodes returns every node once.
+    const std::vector<std::size_t> all = table.replicas(key, 99);
+    ASSERT_EQ(all.size(), table.size());
+    std::vector<std::size_t> sorted = all;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t node = 0; node < table.size(); ++node) {
+      EXPECT_EQ(sorted[node], node);
+    }
+  }
+}
+
+TEST(Ring, KeyForCanonicalIsDeterministicAndDeadlineBlind) {
+  service::GearDesignSpaceRequest request;
+  request.width = 8;
+  const service::Bytes with_deadline = encode_request(request, 750);
+  const service::Bytes without_deadline = encode_request(request, 0);
+
+  const service::Bytes canonical_a =
+      service::canonical_request_bytes(with_deadline);
+  const service::Bytes canonical_b =
+      service::canonical_request_bytes(without_deadline);
+  // Canonicalization strips the deadline, so both keys agree: routing
+  // never depends on per-call latency budgets.
+  EXPECT_EQ(key_for_canonical(canonical_a), key_for_canonical(canonical_b));
+
+  // And different requests diverge (the 160-bit space makes an
+  // accidental collision across a handful of keys implausible).
+  service::GearDesignSpaceRequest other = request;
+  other.width = 16;
+  const service::Bytes canonical_c = service::canonical_request_bytes(
+      encode_request(other, 0));
+  EXPECT_NE(key_for_canonical(canonical_a), key_for_canonical(canonical_c));
+}
+
+}  // namespace
+}  // namespace axc::cluster

@@ -108,5 +108,61 @@ TEST(ResultCache, ConcurrentMixedTrafficIsSafe) {
   EXPECT_LE(cache.size(), 64u);
 }
 
+// --- Insert listener (cluster replication hook) ---------------------------
+
+TEST(ResultCache, InsertListenerFiresOncePerNewEntry) {
+  ResultCache cache(8, 1);
+  struct Seen {
+    std::uint64_t key;
+    Bytes canonical;
+    Bytes response;
+  };
+  std::vector<Seen> seen;
+  cache.set_insert_listener(
+      [&seen](std::uint64_t key, std::span<const std::uint8_t> canonical,
+              const Bytes& response) {
+        seen.push_back(
+            {key, Bytes(canonical.begin(), canonical.end()), response});
+      });
+
+  cache.insert(7, bytes_of("req"), bytes_of("resp"));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].key, 7u);
+  EXPECT_EQ(seen[0].canonical, bytes_of("req"));
+  EXPECT_EQ(seen[0].response, bytes_of("resp"));
+  // The listener copy must not have robbed the cache of the entry.
+  EXPECT_EQ(*cache.lookup(7, bytes_of("req")), bytes_of("resp"));
+
+  // A refresh of an existing key is not a new entry: no replication.
+  cache.insert(7, bytes_of("req"), bytes_of("resp2"));
+  EXPECT_EQ(seen.size(), 1u);
+  EXPECT_EQ(*cache.lookup(7, bytes_of("req")), bytes_of("resp2"));
+}
+
+TEST(ResultCache, ReplicaInsertNeverFiresTheListener) {
+  // insert_replica is the receiving end of replication; re-firing the
+  // listener there would let peers ping-pong entries forever.
+  ResultCache cache(8, 1);
+  int fired = 0;
+  cache.set_insert_listener(
+      [&fired](std::uint64_t, std::span<const std::uint8_t>, const Bytes&) {
+        ++fired;
+      });
+  cache.insert_replica(9, bytes_of("req"), bytes_of("resp"));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(*cache.lookup(9, bytes_of("req")), bytes_of("resp"));
+}
+
+TEST(ResultCache, ListenerSkippedWhenCapacityIsZero) {
+  ResultCache cache(0, 1);  // caching disabled: nothing interned, no event
+  int fired = 0;
+  cache.set_insert_listener(
+      [&fired](std::uint64_t, std::span<const std::uint8_t>, const Bytes&) {
+        ++fired;
+      });
+  cache.insert(1, bytes_of("req"), bytes_of("resp"));
+  EXPECT_EQ(fired, 0);
+}
+
 }  // namespace
 }  // namespace axc::service

@@ -143,6 +143,47 @@ TEST(Pipeline, RetryingClientBatchMatchesSerialBytes) {
   server.stop();
 }
 
+TEST(Pipeline, LoopbackRequestIdWraparoundSkipsInFlightIds) {
+  // Regression: after 2^32 submits the id counter wraps; handing out an
+  // id that is still awaiting collection aliased two exchanges, and the
+  // duplicate's future was silently discarded (emplace on an existing
+  // key is a no-op), so one collect() hung on the wrong state.
+  Server server({.workers = 2});
+  LoopbackConnection conn(server);
+  LoopbackConnection serial(server);
+
+  const std::uint32_t first = conn.submit(adder_request(1));
+  conn.set_next_request_id(0);  // simulate the wrapped counter
+  const std::uint32_t second = conn.submit(adder_request(2));
+  EXPECT_NE(second, 0u);  // id 0 stays reserved
+  conn.set_next_request_id(first);  // wrap straight onto an in-flight id
+  const std::uint32_t third = conn.submit(adder_request(3));
+  EXPECT_NE(third, first);
+  EXPECT_NE(third, second);
+
+  EXPECT_EQ(conn.collect(third), serial.roundtrip(adder_request(3)));
+  EXPECT_EQ(conn.collect(first), serial.roundtrip(adder_request(1)));
+  EXPECT_EQ(conn.collect(second), serial.roundtrip(adder_request(2)));
+  server.stop();
+}
+
+TEST(Pipeline, DeferredFallbackRequestIdWraparoundSkipsInFlightIds) {
+  // Same contract on the base-class deferred path (any undecorated
+  // Connection, here a zero-fault chaos wrapper).
+  Server server({.workers = 1});
+  LoopbackConnection inner(server);
+  LoopbackConnection serial(server);
+  chaos::FaultyConnection faulty(inner, {});
+
+  const std::uint32_t first = faulty.submit(adder_request(1));
+  faulty.set_next_request_id(first);
+  const std::uint32_t second = faulty.submit(adder_request(2));
+  EXPECT_NE(second, first);
+  EXPECT_EQ(faulty.collect(second), serial.roundtrip(adder_request(2)));
+  EXPECT_EQ(faulty.collect(first), serial.roundtrip(adder_request(1)));
+  server.stop();
+}
+
 TEST(Pipeline, RetryingClientBatchSurvivesChaos) {
   // A fault schedule that drops/corrupts frames and disconnects streams:
   // the batch must still deliver every response, byte-identical to a

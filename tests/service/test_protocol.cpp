@@ -319,10 +319,52 @@ TEST(Protocol, FramingRoundTripAndCap) {
 TEST(Protocol, Names) {
   EXPECT_EQ(endpoint_name(Endpoint::CharacterizeAdder), "characterize_adder");
   EXPECT_EQ(endpoint_name(Endpoint::EncodeProbe), "encode_probe");
+  EXPECT_EQ(endpoint_name(Endpoint::CacheInsert), "cache_insert");
   EXPECT_EQ(endpoint_name(static_cast<Endpoint>(0xEE)), "unknown");
   EXPECT_EQ(status_name(Status::Ok), "ok");
   EXPECT_EQ(status_name(Status::Overloaded), "overloaded");
   EXPECT_EQ(status_name(static_cast<Status>(0xEE)), "unknown");
+}
+
+TEST(Protocol, CacheInsertRoundTrip) {
+  CharacterizeAdderRequest adder;
+  adder.width = 8;
+  adder.param_a = 2;
+  adder.param_b = 2;
+  CacheInsertRequest insert;
+  insert.canonical = canonical_request_bytes(encode_request(adder, 250));
+  insert.response = encode_ok_response();
+
+  const Bytes wire = encode_request(insert);
+  const auto header = parse_request_header(wire);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->endpoint, Endpoint::CacheInsert);
+  EXPECT_EQ(header->deadline_ms, 0u);
+
+  const CacheInsertRequest decoded =
+      decode_cache_insert(std::span<const std::uint8_t>(wire).subspan(
+          kRequestHeaderBytes));
+  EXPECT_EQ(decoded.canonical, insert.canonical);
+  EXPECT_EQ(decoded.response, insert.response);
+}
+
+TEST(Protocol, CacheInsertDecodeRejectsTruncationAndOverflow) {
+  CacheInsertRequest insert;
+  insert.canonical = {kProtocolVersion, 1, 42};
+  insert.response = encode_ok_response();
+  const Bytes wire = encode_request(insert);
+  const auto body =
+      std::span<const std::uint8_t>(wire).subspan(kRequestHeaderBytes);
+
+  // Shorter than the length word, then a canonical_len pointing past the
+  // end of the body.
+  EXPECT_THROW(decode_cache_insert(body.subspan(0, 3)), DecodeError);
+  Bytes lying(body.begin(), body.end());
+  lying[0] = 0xFF;
+  lying[1] = 0xFF;
+  lying[2] = 0xFF;
+  lying[3] = 0x7F;  // canonical_len = 2 GiB
+  EXPECT_THROW(decode_cache_insert(lying), DecodeError);
 }
 
 }  // namespace

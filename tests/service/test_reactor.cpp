@@ -14,7 +14,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
+#include <future>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -489,6 +491,84 @@ TEST(Reactor, MidFrameEofCountsAsDrop) {
   EXPECT_GE(counter_value("service.reactor.connections_dropped"),
             dropped_before + 1);
   reactor.stop();
+  server.stop();
+}
+
+TEST(Reactor, MuxRequestIdWraparoundSkipsInFlightIds) {
+  // Regression: a wrapped id counter could reissue an id still in
+  // outstanding_; the set-insert no-opped, the server answered the same
+  // id twice, and collect() paired the wrong payload (or died Corrupt).
+  Server server({.workers = 2});
+  ReactorServer reactor(server, {});
+  TcpConnection mux("127.0.0.1", reactor.port(), {.multiplex = true});
+  LoopbackConnection oracle(server);
+
+  const std::uint32_t first = mux.submit(adder_request(1));
+  mux.set_next_request_id(0);  // wrapped counter: 0 is reserved
+  const std::uint32_t second = mux.submit(adder_request(2));
+  EXPECT_NE(second, 0u);
+  mux.set_next_request_id(first);  // wrap straight onto the in-flight id
+  const std::uint32_t third = mux.submit(adder_request(3));
+  EXPECT_NE(third, first);
+
+  EXPECT_EQ(mux.collect(third), oracle.roundtrip(adder_request(3)));
+  EXPECT_EQ(mux.collect(first), oracle.roundtrip(adder_request(1)));
+  EXPECT_EQ(mux.collect(second), oracle.roundtrip(adder_request(2)));
+
+  reactor.stop();
+  server.stop();
+}
+
+TEST(Reactor, DrainDeliversDepositedResponsesDespitePartialTrailingFrame) {
+  // Regression for the shutdown race: a pipelining client has frame A
+  // fully sent (in flight on a worker) and frame B half-written when the
+  // server drains. begin_drain()'s SHUT_RD surfaces EOF with the
+  // assembler mid-frame on B, and the old mid-frame path dropped the
+  // whole connection — discarding A's response, which the server had
+  // already promised. The drain path must flush deposited frames.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::atomic<int> entered{0};
+  ServerOptions options;
+  options.workers = 1;
+  options.dispatcher = [&](std::span<const std::uint8_t>, unsigned) {
+    ++entered;
+    gate.wait();
+    return encode_ok_response();
+  };
+  Server server(options);
+  ReactorServer reactor(server, {});
+
+  RawSocket client(reactor.port());
+  Bytes wire;
+  append_mux_frame(wire, 1, adder_request(2));  // frame A, complete
+  Bytes partial;
+  append_frame(partial, adder_request(3));
+  partial.resize(2);  // frame B: half a header, assembler stays mid-frame
+  wire.insert(wire.end(), partial.begin(), partial.end());
+  client.send_bytes(wire);
+
+  // Wait until A is genuinely in flight (held inside the dispatcher).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (entered.load() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(entered.load(), 1);
+
+  reactor.request_stop();  // drain: SHUT_RD makes our socket EOF mid-frame
+  // Give the reactor time to process the self-inflicted EOF while A is
+  // still in flight — the exact window the old code lost the response in.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release.set_value();  // A completes and deposits its response
+
+  const auto [id, payload] = client.recv_mux_frame();
+  EXPECT_EQ(id, 1u);
+  EXPECT_EQ(payload, encode_ok_response());
+  EXPECT_TRUE(client.eof());  // then an orderly close
+
+  reactor.wait();
   server.stop();
 }
 

@@ -328,5 +328,47 @@ TEST_F(RetryTest, ChaosRoundTripEndToEndWithZeroClientVisibleFailures) {
   server.stop();
 }
 
+TEST_F(RetryTest, BatchSurfacesPerRequestServedLevels) {
+  // Regression: call_bytes_batch used to leave last_served_level() at
+  // whichever response happened to be collected LAST, hiding a degraded
+  // answer anywhere else in the batch. The per-request view plus the
+  // max-over-batch scalar make degradation visible wherever it lands.
+  ServerOptions options;
+  options.workers = 1;  // FIFO queue: request i meets levels[i]
+  const std::vector<std::uint8_t> levels = {0, 3, 1};
+  std::size_t next = 0;
+  options.dispatcher = [&levels, &next](std::span<const std::uint8_t>,
+                                        unsigned) {
+    Bytes response = encode_ok_response();
+    set_response_level(response, levels[next++ % levels.size()]);
+    return response;
+  };
+  Server server(options);
+
+  RetryPolicy policy;
+  policy.sleep_ms = [](std::uint32_t) {};
+  RetryingClient client(
+      [&server]() -> std::unique_ptr<Connection> {
+        return std::make_unique<LoopbackConnection>(server);
+      },
+      policy);
+
+  std::vector<Bytes> requests;
+  for (std::uint32_t a = 1; a <= 3; ++a) {
+    CharacterizeAdderRequest req;
+    req.width = 8;
+    req.param_a = a;
+    req.param_b = 2;
+    requests.push_back(encode_request(req));
+  }
+  const std::vector<Bytes> responses = client.call_bytes_batch(requests);
+  ASSERT_EQ(responses.size(), 3u);
+
+  EXPECT_EQ(client.last_served_levels(), levels);
+  // The worst rung across the batch, not the final response's level (1).
+  EXPECT_EQ(client.last_served_level(), 3);
+  server.stop();
+}
+
 }  // namespace
 }  // namespace axc::service

@@ -335,5 +335,106 @@ TEST_F(ServerTest, RequestStopFlipsAcceptingWithoutJoining) {
   server.stop();
 }
 
+// --- Endpoint::CacheInsert (cluster replication) --------------------------
+
+namespace {
+CacheInsertRequest valid_cache_insert() {
+  // A genuine canonical/response pair harvested from a plain server, so
+  // the accepting server's validation sees exactly what a replicating
+  // peer would send.
+  CharacterizeAdderRequest adder;
+  adder.width = 8;
+  adder.param_a = 2;
+  adder.param_b = 2;
+  const Bytes request = encode_request(adder, 500);
+  Server oracle({.workers = 1});
+  CacheInsertRequest insert;
+  insert.canonical = canonical_request_bytes(request);
+  insert.response = oracle.call(request);
+  oracle.stop();
+  return insert;
+}
+}  // namespace
+
+TEST_F(ServerTest, CacheInsertRejectedUnlessEnabled) {
+  Server server({.workers = 1});  // accept_cache_inserts defaults to false
+  const Bytes response = server.call(encode_request(valid_cache_insert()));
+  EXPECT_EQ(response_status(response), Status::BadRequest);
+  EXPECT_EQ(counter_value("service.cluster.cache_inserts"), 0u);
+  EXPECT_EQ(counter_value("service.cluster.cache_insert_rejects"), 1u);
+  server.stop();
+}
+
+TEST_F(ServerTest, CacheInsertSeedsCacheAndSkipsRecompute) {
+  const CacheInsertRequest insert = valid_cache_insert();
+
+  std::atomic<int> dispatched{0};
+  ServerOptions options;
+  options.workers = 1;
+  options.accept_cache_inserts = true;
+  options.dispatcher = [&dispatched](std::span<const std::uint8_t> request,
+                                     unsigned) {
+    ++dispatched;
+    DispatchOptions dispatch_options;
+    return dispatch(request, dispatch_options);
+  };
+  Server server(options);
+
+  ASSERT_EQ(response_status(server.call(encode_request(insert))),
+            Status::Ok);
+  EXPECT_EQ(counter_value("service.cluster.cache_inserts"), 1u);
+
+  // The seeded entry must serve the original request verbatim, without
+  // ever reaching the dispatcher. Deadline differs on purpose: canonical
+  // identity strips it.
+  Bytes original(insert.canonical);
+  original.insert(original.begin() + 2, {0, 0, 0, 0});  // deadline = 0
+  EXPECT_EQ(server.call(original), insert.response);
+  EXPECT_EQ(dispatched.load(), 0);
+  EXPECT_EQ(counter_value("service.cache.hits"), 1u);
+  server.stop();
+}
+
+TEST_F(ServerTest, CacheInsertRejectsPoisonedEntries) {
+  ServerOptions options;
+  options.workers = 1;
+  options.accept_cache_inserts = true;
+  Server server(options);
+  const CacheInsertRequest good = valid_cache_insert();
+
+  const auto expect_rejected = [&server](const CacheInsertRequest& bad) {
+    EXPECT_EQ(response_status(server.call(encode_request(bad))),
+              Status::BadRequest);
+  };
+
+  CacheInsertRequest degraded = good;
+  set_response_level(degraded.response, 1);  // not full fidelity
+  expect_rejected(degraded);
+
+  CacheInsertRequest error = good;
+  error.response = encode_error_response(Status::InternalError, "boom");
+  expect_rejected(error);
+
+  CacheInsertRequest wrong_version = good;
+  wrong_version.canonical[0] = kProtocolVersion + 1;
+  expect_rejected(wrong_version);
+
+  CacheInsertRequest uncacheable = good;
+  uncacheable.canonical[1] = static_cast<std::uint8_t>(Endpoint::Ping);
+  expect_rejected(uncacheable);
+
+  CacheInsertRequest out_of_range = good;
+  out_of_range.canonical[1] = 200;  // not even an Endpoint
+  expect_rejected(out_of_range);
+
+  CacheInsertRequest empty;
+  expect_rejected(empty);
+
+  EXPECT_EQ(counter_value("service.cluster.cache_insert_rejects"), 6u);
+  EXPECT_EQ(counter_value("service.cluster.cache_inserts"), 0u);
+  EXPECT_EQ(server.cache().size(), 0u);
+  server.stop();
+}
+
 }  // namespace
 }  // namespace axc::service

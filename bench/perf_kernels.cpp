@@ -773,6 +773,90 @@ KernelResult service_concurrency_kernel(std::size_t conns, unsigned depth,
   return result;
 }
 
+/// The three axc::designspace endpoints as a served workload: a batch of
+/// hetero-adder, compressor-multiplier and static-adder sweeps through the
+/// loopback server, cold (result cache and characterization memo cleared,
+/// every sweep computes its analytic models and characterizes its
+/// netlists) vs warm (the same batch replayed out of the response cache).
+/// Before timing, the cold batch is computed twice and byte-compared —
+/// the design-space responses are the cluster tier's replication payload,
+/// so any nondeterminism here aborts the bench.
+KernelResult design_space_sweep_kernel(unsigned workers, bool smoke,
+                                       int reps) {
+  namespace svc = axc::service;
+
+  std::vector<svc::Bytes> requests;
+  const std::uint32_t max_width = smoke ? 12 : 16;
+  for (std::uint32_t width = 8; width <= max_width; width += 4) {
+    svc::HeteroAdderDesignSpaceRequest hetero;
+    hetero.width = width;
+    hetero.block_width = 4;
+    hetero.include_truncated = true;
+    // Power simulation makes the cold arm characterize every netlist in
+    // the sweep; the warm arm replays the cached response bytes.
+    hetero.estimate_power = true;
+    requests.push_back(svc::encode_request(hetero));
+
+    svc::ArrayMulDesignSpaceRequest mul;
+    mul.width = width / 2;
+    mul.max_approx_columns = width;
+    requests.push_back(svc::encode_request(mul));
+
+    svc::StaticAdderDesignSpaceRequest stat;
+    stat.width = width;
+    stat.max_approx_lsbs = 6;
+    requests.push_back(svc::encode_request(stat));
+  }
+
+  svc::ServerOptions options;
+  options.workers = workers;
+  options.cache_capacity = 2 * requests.size();
+  svc::Server server(options);
+
+  const auto run_batch = [&] {
+    std::vector<svc::Bytes> responses;
+    responses.reserve(requests.size());
+    for (const svc::Bytes& request : requests) {
+      responses.push_back(server.call(request));
+      g_sink = responses.back().size();
+    }
+    return responses;
+  };
+  const auto cold_batch = [&] {
+    server.cache().clear();
+    axc::logic::clear_characterization_cache();
+    return run_batch();
+  };
+
+  // Two independent cold passes must agree byte for byte.
+  const std::vector<svc::Bytes> first = cold_batch();
+  const std::vector<svc::Bytes> second = cold_batch();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (svc::response_status(first[i]) != svc::Status::Ok) {
+      std::cerr << "design_space_sweep: request " << i << " answered "
+                << "non-Ok\n";
+      std::exit(1);
+    }
+    if (first[i] != second[i]) {
+      std::cerr << "design_space_sweep: response " << i
+                << " differs between two cold runs\n";
+      std::exit(1);
+    }
+  }
+
+  KernelResult result;
+  result.name = "design_space_sweep";
+  result.baseline = "cold cache (every sweep computed)";
+  result.vectors = requests.size();
+  result.baseline_threads = workers;
+  result.optimized_threads = workers;
+  result.baseline_ms = median_ms(reps, [&] { g_sink = cold_batch().size(); });
+  run_batch();  // prime: after this every request is resident
+  result.optimized_ms = median_ms(reps, [&] { g_sink = run_batch().size(); });
+  result.speedup = result.baseline_ms / result.optimized_ms;
+  return result;
+}
+
 /// The distributed tier end to end: a mixed design-space sweep fanned over
 /// a 4-node in-process ring (replication 2) vs the same sweep on a single
 /// node. Every 4-node response is byte-compared against the 1-node answer
@@ -1050,6 +1134,11 @@ int main(int argc, char** argv) {
   // Requests/s through the loopback service, cold vs warm response cache
   // (also feeds the service.cache hit-rate in the embedded obs report).
   kernels.push_back(service_throughput_kernel(hw, smoke, reps));
+
+  // The axc::designspace endpoints served cold vs warm, with a twice-run
+  // byte-identity gate (the responses are the cluster replication
+  // payload; nondeterminism aborts).
+  kernels.push_back(design_space_sweep_kernel(hw, smoke, reps));
 
   // Reactor vs thread-per-connection transport at increasing connection
   // counts, pipeline depth 8 on the reactor arm. Fewer reps: each rep is a

@@ -51,6 +51,15 @@ constexpr const char* kUsage =
     "                           [--seed S]\n"
     "  gear-design-space        [--width N] [--min-p P] [--include-exact]\n"
     "                           [--estimate-power] [--min-accuracy PCT]\n"
+    "  hetero-adder-design-space\n"
+    "                           [--width N] [--block-width B]\n"
+    "                           [--no-truncated] [--estimate-power]\n"
+    "                           [--min-accuracy PCT]\n"
+    "  array-mul-design-space   [--width N] [--max-approx-columns C]\n"
+    "                           [--estimate-power] [--min-accuracy PCT]\n"
+    "  static-adder-design-space\n"
+    "                           [--width N] [--max-approx-lsbs K]\n"
+    "                           [--estimate-power] [--min-accuracy PCT]\n"
     "  encode-probe             [--width W] [--height H] [--frames F]\n"
     "                           [--objects K] [--sequence-seed S]\n"
     "                           [--sad-variant 0..5] [--approx-lsbs N]\n"
@@ -302,6 +311,126 @@ int run_gear_design_space(ClientT& client, int argc, char** argv,
 }
 
 template <class ClientT>
+int run_hetero_adder_design_space(ClientT& client, int argc, char** argv,
+                                  int i) {
+  axc::service::HeteroAdderDesignSpaceRequest req;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--width") {
+      req.width = static_cast<std::uint32_t>(require_long(
+          kUsage, "--width", flag_value(kUsage, argc, argv, i), 2, 32));
+    } else if (arg == "--block-width") {
+      req.block_width = static_cast<std::uint32_t>(require_long(
+          kUsage, "--block-width", flag_value(kUsage, argc, argv, i), 1, 8));
+    } else if (arg == "--no-truncated") {
+      req.include_truncated = false;
+    } else if (arg == "--estimate-power") {
+      req.estimate_power = true;
+    } else if (arg == "--min-accuracy") {
+      req.min_accuracy = require_double(
+          kUsage, "--min-accuracy", flag_value(kUsage, argc, argv, i), 0.0,
+          100.0);
+    } else {
+      usage_error(kUsage,
+                  "unknown hetero-adder-design-space argument '" + arg + "'");
+    }
+  }
+  const auto r = client.hetero_adder_design_space(req);
+  std::printf("points=%zu max_accuracy_index=%u min_area_index=%u\n",
+              r.points.size(), r.max_accuracy_index, r.min_area_index);
+  for (const auto& p : r.points) {
+    std::printf(
+        "low_kind=%s approx_blocks=%u area_ge=%.4f power_nw=%.4f "
+        "accuracy=%.4f error_rate=%.6f med=%.6f nmed=%.8f wce=%llu "
+        "pareto=%d\n",
+        axc::designspace::hetero_sub_adder_name(p.low_kind), p.approx_blocks,
+        p.area_ge, p.power_nw, p.accuracy_percent, p.error_rate, p.med,
+        p.nmed, static_cast<unsigned long long>(p.wce),
+        p.on_pareto_front ? 1 : 0);
+  }
+  return 0;
+}
+
+template <class ClientT>
+int run_array_mul_design_space(ClientT& client, int argc, char** argv,
+                               int i) {
+  axc::service::ArrayMulDesignSpaceRequest req;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--width") {
+      req.width = static_cast<std::uint32_t>(require_long(
+          kUsage, "--width", flag_value(kUsage, argc, argv, i), 2, 16));
+    } else if (arg == "--max-approx-columns") {
+      req.max_approx_columns = static_cast<std::uint32_t>(
+          require_long(kUsage, "--max-approx-columns",
+                       flag_value(kUsage, argc, argv, i), 0, 32));
+    } else if (arg == "--estimate-power") {
+      req.estimate_power = true;
+    } else if (arg == "--min-accuracy") {
+      req.min_accuracy = require_double(
+          kUsage, "--min-accuracy", flag_value(kUsage, argc, argv, i), 0.0,
+          100.0);
+    } else {
+      usage_error(kUsage,
+                  "unknown array-mul-design-space argument '" + arg + "'");
+    }
+  }
+  const auto r = client.array_mul_design_space(req);
+  std::printf("points=%zu max_accuracy_index=%u min_area_index=%u\n",
+              r.points.size(), r.max_accuracy_index, r.min_area_index);
+  for (const auto& p : r.points) {
+    std::printf(
+        "compressor=%s approx_columns=%u area_ge=%.4f power_nw=%.4f "
+        "accuracy=%.4f error_rate_est=%.6f med_est=%.6f nmed_est=%.8f "
+        "model_exact=%d pareto=%d\n",
+        axc::designspace::compressor_kind_name(p.compressor),
+        p.approx_columns, p.area_ge, p.power_nw, p.accuracy_percent,
+        p.error_rate_est, p.med_est, p.nmed_est, p.model_exact ? 1 : 0,
+        p.on_pareto_front ? 1 : 0);
+  }
+  return 0;
+}
+
+template <class ClientT>
+int run_static_adder_design_space(ClientT& client, int argc, char** argv,
+                                  int i) {
+  axc::service::StaticAdderDesignSpaceRequest req;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--width") {
+      req.width = static_cast<std::uint32_t>(require_long(
+          kUsage, "--width", flag_value(kUsage, argc, argv, i), 2, 32));
+    } else if (arg == "--max-approx-lsbs") {
+      req.max_approx_lsbs = static_cast<std::uint32_t>(
+          require_long(kUsage, "--max-approx-lsbs",
+                       flag_value(kUsage, argc, argv, i), 0, 10));
+    } else if (arg == "--estimate-power") {
+      req.estimate_power = true;
+    } else if (arg == "--min-accuracy") {
+      req.min_accuracy = require_double(
+          kUsage, "--min-accuracy", flag_value(kUsage, argc, argv, i), 0.0,
+          100.0);
+    } else {
+      usage_error(kUsage,
+                  "unknown static-adder-design-space argument '" + arg + "'");
+    }
+  }
+  const auto r = client.static_adder_design_space(req);
+  std::printf("points=%zu max_accuracy_index=%u min_area_index=%u\n",
+              r.points.size(), r.max_accuracy_index, r.min_area_index);
+  for (const auto& p : r.points) {
+    std::printf(
+        "kind=%s approx_lsbs=%u area_ge=%.4f power_nw=%.4f accuracy=%.4f "
+        "error_rate=%.6f med=%.6f nmed=%.8f wce=%llu pareto=%d\n",
+        axc::designspace::static_adder_kind_name(p.kind), p.approx_lsbs,
+        p.area_ge, p.power_nw, p.accuracy_percent, p.error_rate, p.med,
+        p.nmed, static_cast<unsigned long long>(p.wce),
+        p.on_pareto_front ? 1 : 0);
+  }
+  return 0;
+}
+
+template <class ClientT>
 int run_encode_probe(ClientT& client, int argc, char** argv,
                      int i) {
   axc::service::EncodeProbeRequest req;
@@ -407,6 +536,12 @@ int run_command(ClientT& client, const std::string& command, int argc,
     rc = run_evaluate_error(client, argc, argv, i);
   } else if (command == "gear-design-space") {
     rc = run_gear_design_space(client, argc, argv, i);
+  } else if (command == "hetero-adder-design-space") {
+    rc = run_hetero_adder_design_space(client, argc, argv, i);
+  } else if (command == "array-mul-design-space") {
+    rc = run_array_mul_design_space(client, argc, argv, i);
+  } else if (command == "static-adder-design-space") {
+    rc = run_static_adder_design_space(client, argc, argv, i);
   } else if (command == "encode-probe") {
     rc = run_encode_probe(client, argc, argv, i);
   } else {

@@ -1,6 +1,6 @@
 /// Example: the axc design-space service as a long-running TCP server.
 ///
-/// Serves the five characterization/evaluation endpoints (plus ping and,
+/// Serves the eight characterization/evaluation endpoints (plus ping and,
 /// when enabled, remote shutdown) over the framed wire protocol, with a
 /// bounded job queue, worker pool and sharded response cache. On graceful
 /// shutdown — SIGINT/SIGTERM or a client Shutdown request with
@@ -43,7 +43,8 @@ constexpr const char* kUsage =
     "\n"
     "Serve the axc design-space endpoints (characterize_adder,\n"
     "characterize_multiplier, evaluate_error, gear_design_space,\n"
-    "encode_probe, ping) over TCP.\n"
+    "hetero_adder_design_space, array_mul_design_space,\n"
+    "static_adder_design_space, encode_probe, ping) over TCP.\n"
     "\n"
     "options:\n"
     "  --port <n>              TCP port, 0 = ephemeral (default 0)\n"

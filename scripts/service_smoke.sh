@@ -41,6 +41,12 @@ run characterize-multiplier --structure recursive --width 8 --block ours \
   | grep -q gate_count=
 run evaluate-error --target gear --n 8 --r 2 --p 2 | grep -q exhaustive=1
 run gear-design-space --width 8 | grep -q max_accuracy_index=
+run hetero-adder-design-space --width 12 --block-width 4 \
+  | grep -q max_accuracy_index=
+run array-mul-design-space --width 6 --max-approx-columns 6 \
+  | grep -q max_accuracy_index=
+run static-adder-design-space --width 10 --max-approx-lsbs 4 \
+  | grep -q max_accuracy_index=
 run encode-probe --width 32 --height 32 --frames 2 | grep -q psnr_db=
 
 # Usage errors must exit nonzero without touching the server.

@@ -81,6 +81,12 @@ class ClusterClient {
       const service::EvaluateErrorRequest& request);
   service::GearDesignSpaceResponse gear_design_space(
       const service::GearDesignSpaceRequest& request);
+  service::HeteroAdderDesignSpaceResponse hetero_adder_design_space(
+      const service::HeteroAdderDesignSpaceRequest& request);
+  service::ArrayMulDesignSpaceResponse array_mul_design_space(
+      const service::ArrayMulDesignSpaceRequest& request);
+  service::StaticAdderDesignSpaceResponse static_adder_design_space(
+      const service::StaticAdderDesignSpaceRequest& request);
   service::EncodeProbeResponse encode_probe(
       const service::EncodeProbeRequest& request);
   void ping();

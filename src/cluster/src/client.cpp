@@ -206,6 +206,24 @@ service::GearDesignSpaceResponse ClusterClient::gear_design_space(
       call_bytes(service::encode_request(request, deadline_ms_)));
 }
 
+service::HeteroAdderDesignSpaceResponse ClusterClient::hetero_adder_design_space(
+    const service::HeteroAdderDesignSpaceRequest& request) {
+  return service::decode_hetero_adder_design_space_response(
+      call_bytes(service::encode_request(request, deadline_ms_)));
+}
+
+service::ArrayMulDesignSpaceResponse ClusterClient::array_mul_design_space(
+    const service::ArrayMulDesignSpaceRequest& request) {
+  return service::decode_array_mul_design_space_response(
+      call_bytes(service::encode_request(request, deadline_ms_)));
+}
+
+service::StaticAdderDesignSpaceResponse ClusterClient::static_adder_design_space(
+    const service::StaticAdderDesignSpaceRequest& request) {
+  return service::decode_static_adder_design_space_response(
+      call_bytes(service::encode_request(request, deadline_ms_)));
+}
+
 service::EncodeProbeResponse ClusterClient::encode_probe(
     const service::EncodeProbeRequest& request) {
   return service::decode_encode_probe_response(

@@ -1,0 +1,86 @@
+/// \file compressor_mul.hpp
+/// Array multipliers built from exact and approximate 4:2 compressors
+/// (Masadeh et al., arXiv:1908.01343) with a probabilistic error model.
+///
+/// The partial-product matrix is reduced column by column: groups of four
+/// bits go through a 4:2 compressor (sum in-column, carry and — for the
+/// exact compressor — a second carry into the next column), three leftover
+/// bits through an accurate full adder, one or two pass through. Columns
+/// below `approx_columns` use the approximate compressor kind; everything
+/// else, including the final carry-propagate adder, is exact. Both
+/// approximate compressors only ever under-count (deficit-only errors), so
+/// the expected error adds linearly across compressor instances; the model
+/// propagates signal one-probabilities through the reduction under an
+/// independence assumption that is exact for the first stage and
+/// approximate afterwards (bounds pinned by the tests, see DESIGN.md §13).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "axc/logic/netlist.hpp"
+
+namespace axc::designspace {
+
+/// Which 4:2 compressor implements the reduction in approximate columns.
+/// Both approximate members drop value but never add it (deficit-only),
+/// and both are strictly cheaper than Exact42 in gate-equivalents
+/// (9.98 / 6.32 vs 10.65 GE) while producing one fewer output bit.
+enum class CompressorKind : std::uint8_t {
+  Exact42 = 0,  ///< FA + HA cascade: sum + 2*(carry + cout), exact
+  PairXor = 1,  ///< sum = (x1^x2)|(x3^x4), carry = (x1&x2)|(x3&x4):
+                ///< deficit 1 when both pairs hold a single one, 2 when
+                ///< both are full
+  OrPair = 2,   ///< pairs collapsed by OR into a half adder: sum = p^q,
+                ///< carry = p&q with p = x1|x2, q = x3|x4
+};
+
+/// "Exact42" / "PairXor" / "OrPair".
+const char* compressor_kind_name(CompressorKind kind);
+
+/// Behavioral array multiplier, bit-equivalent to compressor_mul_netlist
+/// (pinned by the 4-engine test): same column order, same grouping, same
+/// compressor library.
+class CompressorArrayMultiplier {
+ public:
+  CompressorArrayMultiplier(unsigned width, CompressorKind kind,
+                            unsigned approx_columns);
+
+  unsigned width() const { return width_; }
+  CompressorKind kind() const { return kind_; }
+  unsigned approx_columns() const { return approx_columns_; }
+  std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const;
+  std::string name() const;
+  bool is_exact() const {
+    return approx_columns_ == 0 || kind_ == CompressorKind::Exact42;
+  }
+
+ private:
+  unsigned width_;
+  CompressorKind kind_;
+  unsigned approx_columns_;
+};
+
+/// Netlist for the same configuration: inputs a0..aN-1, b0..bN-1, outputs
+/// p0..p2N-1.
+logic::Netlist compressor_mul_netlist(unsigned width, CompressorKind kind,
+                                      unsigned approx_columns);
+
+/// Probabilistic error estimates under i.i.d. uniform operands. `med_est`
+/// is exact-in-expectation per compressor under the stage-input
+/// independence assumption (deficit-only errors add linearly);
+/// `error_rate_est` upper-bounds ER by a union-style product. When
+/// `exact` is true the configuration provably has zero error and all
+/// estimates are exact zeros.
+struct MulErrorModel {
+  double error_rate_est = 0.0;
+  double med_est = 0.0;
+  double nmed_est = 0.0;  ///< med_est / (2^width - 1)^2
+  bool exact = false;
+};
+
+MulErrorModel compressor_mul_error_model(unsigned width, CompressorKind kind,
+                                         unsigned approx_columns);
+
+}  // namespace axc::designspace

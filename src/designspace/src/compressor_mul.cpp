@@ -1,0 +1,356 @@
+#include "axc/designspace/compressor_mul.hpp"
+
+#include <array>
+#include <cmath>
+#include <span>
+#include <utility>
+
+#include "axc/arith/full_adder.hpp"
+#include "axc/common/require.hpp"
+#include "axc/logic/adder_netlists.hpp"
+
+namespace axc::designspace {
+
+namespace {
+
+// One reduction algorithm, three instantiations: BoolEnv (behavioral
+// multiply), NetEnv (gate-level netlist) and ProbEnv (probabilistic error
+// model). Column order, grouping and the compressor library are shared,
+// so the three views cannot drift apart.
+
+struct BoolEnv {
+  using Bit = std::uint8_t;  // 0/1 (vector<bool> has no spans)
+  Bit zero() { return 0; }
+  Bit and2(Bit a, Bit b) { return a & b; }
+  Bit or2(Bit a, Bit b) { return a | b; }
+  Bit xor2(Bit a, Bit b) { return a ^ b; }
+  Bit maj3(Bit a, Bit b, Bit c) { return ((a & b) | (a & c) | (b & c)); }
+  std::vector<Bit> cpa(const std::vector<Bit>& row0,
+                       const std::vector<Bit>& row1) {
+    std::vector<Bit> out(row0.size());
+    int carry = 0;
+    for (std::size_t i = 0; i < row0.size(); ++i) {
+      const int s = int(row0[i]) + int(row1[i]) + carry;
+      out[i] = static_cast<Bit>(s & 1);
+      carry = s >> 1;
+    }
+    return out;  // the final carry is provably 0 (deficit-only errors)
+  }
+};
+
+struct NetEnv {
+  using Bit = logic::NetId;
+  logic::Netlist& nl;
+  Bit zero_net;
+  Bit zero() { return zero_net; }
+  Bit and2(Bit a, Bit b) { return nl.add_gate(logic::CellType::And2, a, b); }
+  Bit or2(Bit a, Bit b) { return nl.add_gate(logic::CellType::Or2, a, b); }
+  Bit xor2(Bit a, Bit b) { return nl.add_gate(logic::CellType::Xor2, a, b); }
+  Bit maj3(Bit a, Bit b, Bit c) {
+    return nl.add_gate(logic::CellType::Maj3, a, b, c);
+  }
+  std::vector<Bit> cpa(const std::vector<Bit>& row0,
+                       const std::vector<Bit>& row1) {
+    const std::vector<arith::FullAdderKind> cells(
+        row0.size(), arith::FullAdderKind::Accurate);
+    std::vector<Bit> out =
+        logic::add_ripple_adder(nl, row0, row1, zero_net, cells);
+    out.pop_back();  // drop the provably-zero final carry
+    return out;
+  }
+};
+
+// Bits are one-probabilities under an input-independence assumption; the
+// env additionally accumulates, per approximate compressor instance, the
+// probability and expected magnitude of its (deficit-only) error.
+struct ProbEnv {
+  using Bit = double;
+  double med_units = 0.0;  // sum over instances of E[deficit] * 2^column
+  double ok_product = 1.0;  // product over instances of P(no deficit)
+  Bit zero() { return 0.0; }
+  Bit and2(Bit a, Bit b) { return a * b; }
+  Bit or2(Bit a, Bit b) { return a + b - a * b; }
+  Bit xor2(Bit a, Bit b) { return a + b - 2 * a * b; }
+  Bit maj3(Bit a, Bit b, Bit c) {
+    return a * b + a * c + b * c - 2 * a * b * c;
+  }
+  std::vector<Bit> cpa(const std::vector<Bit>& row0,
+                       const std::vector<Bit>& row1) {
+    return std::vector<Bit>(row0.size(), 0.0);  // unused by the model
+  }
+};
+
+// Evaluates one compressor of `kind` on concrete bits: {sum, carry} plus
+// has_cout/cout for the exact flavor (carry and cout both weigh 2x).
+template <class Env>
+struct C4Out {
+  typename Env::Bit sum;
+  typename Env::Bit carry;
+  typename Env::Bit cout;
+  bool has_cout;
+};
+
+template <class Env>
+C4Out<Env> compress4_bits(Env& env, CompressorKind kind,
+                          typename Env::Bit x1, typename Env::Bit x2,
+                          typename Env::Bit x3, typename Env::Bit x4) {
+  C4Out<Env> out{env.zero(), env.zero(), env.zero(), false};
+  switch (kind) {
+    case CompressorKind::Exact42: {
+      // FA(x1,x2,x3) then HA(s1,x4): sum + 2*(carry + cout) is exact.
+      const auto t = env.xor2(x1, x2);
+      const auto s1 = env.xor2(t, x3);
+      const auto c1 = env.maj3(x1, x2, x3);
+      out.sum = env.xor2(s1, x4);
+      out.carry = env.and2(s1, x4);
+      out.cout = c1;
+      out.has_cout = true;
+      break;
+    }
+    case CompressorKind::PairXor: {
+      // Pairwise XOR/AND, OR-combined: exact except when both pairs hold
+      // exactly one 1 (deficit 1) or both are full (deficit 2).
+      const auto sx = env.xor2(x1, x2);
+      const auto sy = env.xor2(x3, x4);
+      const auto cx = env.and2(x1, x2);
+      const auto cy = env.and2(x3, x4);
+      out.sum = env.or2(sx, sy);
+      out.carry = env.or2(cx, cy);
+      break;
+    }
+    case CompressorKind::OrPair: {
+      // Each pair approximated by its OR, then a half adder: deficit 1
+      // per (1,1) pair.
+      const auto p = env.or2(x1, x2);
+      const auto q = env.or2(x3, x4);
+      out.sum = env.xor2(p, q);
+      out.carry = env.and2(p, q);
+      break;
+    }
+  }
+  return out;
+}
+
+// ProbEnv needs the joint 16-row view of each compressor instance (both
+// for exact-given-independence output probabilities and for the deficit
+// statistics), so it overrides the gate-composition path.
+template <class Env>
+C4Out<Env> compress4(Env& env, CompressorKind kind, unsigned column,
+                     typename Env::Bit x1, typename Env::Bit x2,
+                     typename Env::Bit x3, typename Env::Bit x4) {
+  (void)column;
+  return compress4_bits(env, kind, x1, x2, x3, x4);
+}
+
+template <>
+C4Out<ProbEnv> compress4<ProbEnv>(ProbEnv& env, CompressorKind kind,
+                                  unsigned column, double p1, double p2,
+                                  double p3, double p4) {
+  C4Out<ProbEnv> out{0.0, 0.0, 0.0, kind == CompressorKind::Exact42};
+  BoolEnv be;
+  double p_deficit = 0.0;
+  double e_deficit = 0.0;
+  const std::array<double, 4> probs{p1, p2, p3, p4};
+  for (unsigned row = 0; row < 16; ++row) {
+    double weight = 1.0;
+    std::array<bool, 4> x{};
+    for (unsigned i = 0; i < 4; ++i) {
+      x[i] = (row >> i) & 1;
+      weight *= x[i] ? probs[i] : 1.0 - probs[i];
+    }
+    const C4Out<BoolEnv> bits =
+        compress4_bits(be, kind, x[0], x[1], x[2], x[3]);
+    const int exact = int(x[0]) + int(x[1]) + int(x[2]) + int(x[3]);
+    const int approx = int(bits.sum) +
+                       2 * (int(bits.carry) + (bits.has_cout ? int(bits.cout) : 0));
+    const int deficit = exact - approx;  // >= 0 for every library member
+    if (bits.sum) out.sum += weight;
+    if (bits.carry) out.carry += weight;
+    if (bits.has_cout && bits.cout) out.cout += weight;
+    if (deficit > 0) {
+      p_deficit += weight;
+      e_deficit += weight * deficit;
+    }
+  }
+  env.med_units += e_deficit * std::ldexp(1.0, static_cast<int>(column));
+  env.ok_product *= 1.0 - p_deficit;
+  return out;
+}
+
+template <class Env>
+std::pair<typename Env::Bit, typename Env::Bit> full_add(
+    Env& env, typename Env::Bit x, typename Env::Bit y,
+    typename Env::Bit z) {
+  const auto t = env.xor2(x, y);
+  return {env.xor2(t, z), env.maj3(x, y, z)};
+}
+
+/// Column-wise reduction of the n x n partial-product matrix down to two
+/// rows, then an exact carry-propagate add. Returns the 2n product bits.
+template <class Env>
+std::vector<typename Env::Bit> reduce_array(
+    Env& env, unsigned n, CompressorKind kind, unsigned approx_columns,
+    std::span<const typename Env::Bit> a,
+    std::span<const typename Env::Bit> b) {
+  using Bit = typename Env::Bit;
+  const unsigned ncols = 2 * n;
+  std::vector<std::vector<Bit>> cols(ncols);
+  for (unsigned i = 0; i < n; ++i) {
+    for (unsigned j = 0; j < n; ++j) {
+      cols[i + j].push_back(env.and2(a[i], b[j]));
+    }
+  }
+
+  const auto too_tall = [&cols] {
+    for (const auto& col : cols) {
+      if (col.size() > 2) return true;
+    }
+    return false;
+  };
+  unsigned guard = 0;
+  while (too_tall()) {
+    require(++guard <= 64, "reduce_array: reduction failed to converge");
+    std::vector<std::vector<Bit>> next(ncols);
+    std::vector<Bit> discard;  // carries past column 2n-1 are provably 0
+    for (unsigned c = 0; c < ncols; ++c) {
+      std::vector<Bit>& bits = cols[c];
+      std::vector<Bit>& up = c + 1 < ncols ? next[c + 1] : discard;
+      const CompressorKind use =
+          c < approx_columns ? kind : CompressorKind::Exact42;
+      std::size_t i = 0;
+      while (bits.size() - i >= 4) {
+        const C4Out<Env> out = compress4(env, use, c, bits[i], bits[i + 1],
+                                         bits[i + 2], bits[i + 3]);
+        next[c].push_back(out.sum);
+        up.push_back(out.carry);
+        if (out.has_cout) up.push_back(out.cout);
+        i += 4;
+      }
+      if (bits.size() - i == 3) {
+        const auto [sum, carry] = full_add(env, bits[i], bits[i + 1],
+                                           bits[i + 2]);
+        next[c].push_back(sum);
+        up.push_back(carry);
+        i += 3;
+      }
+      for (; i < bits.size(); ++i) next[c].push_back(bits[i]);
+    }
+    cols = std::move(next);
+  }
+
+  std::vector<Bit> row0(ncols, env.zero());
+  std::vector<Bit> row1(ncols, env.zero());
+  for (unsigned c = 0; c < ncols; ++c) {
+    if (!cols[c].empty()) row0[c] = cols[c][0];
+    if (cols[c].size() > 1) row1[c] = cols[c][1];
+  }
+  return env.cpa(row0, row1);
+}
+
+void check_shape(unsigned width, unsigned approx_columns) {
+  require(width >= 2 && width <= 16,
+          "compressor multiplier: width must be in [2, 16]");
+  require(approx_columns <= 2 * width,
+          "compressor multiplier: approx_columns must be <= 2*width");
+}
+
+}  // namespace
+
+const char* compressor_kind_name(CompressorKind kind) {
+  switch (kind) {
+    case CompressorKind::Exact42:
+      return "Exact42";
+    case CompressorKind::PairXor:
+      return "PairXor";
+    case CompressorKind::OrPair:
+      return "OrPair";
+  }
+  return "?";
+}
+
+CompressorArrayMultiplier::CompressorArrayMultiplier(unsigned width,
+                                                     CompressorKind kind,
+                                                     unsigned approx_columns)
+    : width_(width), kind_(kind), approx_columns_(approx_columns) {
+  check_shape(width, approx_columns);
+}
+
+std::uint64_t CompressorArrayMultiplier::multiply(std::uint64_t a,
+                                                  std::uint64_t b) const {
+  const std::uint64_t mask = (1ull << width_) - 1;
+  a &= mask;
+  b &= mask;
+  std::vector<std::uint8_t> abits(width_);
+  std::vector<std::uint8_t> bbits(width_);
+  for (unsigned i = 0; i < width_; ++i) {
+    abits[i] = (a >> i) & 1;
+    bbits[i] = (b >> i) & 1;
+  }
+  BoolEnv env;
+  const std::vector<std::uint8_t> product =
+      reduce_array(env, width_, kind_, approx_columns_,
+                   std::span<const std::uint8_t>(abits),
+                   std::span<const std::uint8_t>(bbits));
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < product.size(); ++i) {
+    if (product[i]) out |= 1ull << i;
+  }
+  return out;
+}
+
+std::string CompressorArrayMultiplier::name() const {
+  const char* tag = kind_ == CompressorKind::PairXor  ? "PX"
+                    : kind_ == CompressorKind::OrPair ? "OP"
+                                                      : "EX";
+  return "CxMul" + std::to_string(width_) + "_" + tag +
+         std::to_string(approx_columns_);
+}
+
+logic::Netlist compressor_mul_netlist(unsigned width, CompressorKind kind,
+                                      unsigned approx_columns) {
+  check_shape(width, approx_columns);
+  logic::Netlist nl(
+      CompressorArrayMultiplier(width, kind, approx_columns).name());
+  std::vector<logic::NetId> a(width);
+  std::vector<logic::NetId> b(width);
+  for (unsigned i = 0; i < width; ++i) {
+    a[i] = nl.add_input("a" + std::to_string(i));
+  }
+  for (unsigned i = 0; i < width; ++i) {
+    b[i] = nl.add_input("b" + std::to_string(i));
+  }
+  NetEnv env{nl, nl.add_const(false)};
+  const std::vector<logic::NetId> product =
+      reduce_array(env, width, kind, approx_columns,
+                   std::span<const logic::NetId>(a),
+                   std::span<const logic::NetId>(b));
+  for (std::size_t i = 0; i < product.size(); ++i) {
+    nl.mark_output(product[i], "p" + std::to_string(i));
+  }
+  return nl;
+}
+
+MulErrorModel compressor_mul_error_model(unsigned width, CompressorKind kind,
+                                         unsigned approx_columns) {
+  check_shape(width, approx_columns);
+  MulErrorModel model;
+  if (approx_columns == 0 || kind == CompressorKind::Exact42) {
+    model.exact = true;
+    return model;
+  }
+  std::vector<double> a(width, 0.5);
+  std::vector<double> b(width, 0.5);
+  ProbEnv env;
+  reduce_array(env, width, kind, approx_columns, std::span<const double>(a),
+               std::span<const double>(b));
+  model.med_est = env.med_units;
+  model.error_rate_est = 1.0 - env.ok_product;
+  const double max_operand = std::ldexp(1.0, static_cast<int>(width)) - 1.0;
+  model.nmed_est = model.med_est / (max_operand * max_operand);
+  // A config whose approximate columns never actually instantiate an
+  // approximate compressor (too few bits to group) is genuinely exact.
+  model.exact = model.med_est == 0.0;
+  return model;
+}
+
+}  // namespace axc::designspace

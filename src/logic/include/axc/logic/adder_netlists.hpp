@@ -8,6 +8,7 @@
 /// behavioural models in axc::arith is asserted by the test suite.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <utility>
 
@@ -61,5 +62,38 @@ Netlist etai_adder_netlist(unsigned width, unsigned approx_lsbs);
 /// not connected to outputs. The P-bit overlap is computed redundantly in
 /// hardware, which is why GeAr area grows with P (Table IV).
 Netlist gear_adder_netlist(const arith::GeArConfig& config);
+
+/// Sub-adder flavor of one block in a heterogeneous block adder
+/// (Farahmand et al., arXiv:2106.08800).
+enum class HeteroSubAdder : std::uint8_t {
+  Accurate = 0,   ///< exact ripple, forwards its carry-out
+  CarryCut = 1,   ///< exact sum given carry-in, carry-out cut (reads as 0)
+  Truncated = 2,  ///< all sum bits constant 0, carry-in ignored
+};
+
+/// One block of a heterogeneous adder, LSB-first in the block list.
+struct HeteroBlockSpec {
+  HeteroSubAdder kind = HeteroSubAdder::Accurate;
+  unsigned width = 1;
+};
+
+/// A standalone heterogeneous block adder: the operand is split into
+/// blocks (LSB-first); each block is an accurate ripple, a carry-cut
+/// ripple (sum exact given carry-in, carry-out dropped so the chain above
+/// restarts from 0), or fully truncated (outputs 0, no gates). Inputs
+/// a0..aN-1, b0..bN-1; outputs s0..sN where sN is the top block's
+/// carry-out (constant 0 unless the top block is Accurate).
+Netlist hetero_adder_netlist(std::span<const HeteroBlockSpec> blocks);
+
+/// A standalone LOAWA adder (LOA without the carry-recovery AND): the low
+/// \p approx_lsbs result bits are OR gates and the exact upper ripple part
+/// receives a constant-zero carry-in.
+Netlist loawa_adder_netlist(unsigned width, unsigned approx_lsbs);
+
+/// A standalone HEAA-style adder: the low \p approx_lsbs result bits are
+/// XOR gates (half-adder sums, carries dropped) and the exact upper part
+/// receives the carry predicted from the top approximate position,
+/// a[k-1] & b[k-1] — same recovery as LOA but with XOR low bits.
+Netlist heaa_adder_netlist(unsigned width, unsigned approx_lsbs);
 
 }  // namespace axc::logic

@@ -195,6 +195,135 @@ Netlist etai_adder_netlist(unsigned width, unsigned approx_lsbs) {
   return nl;
 }
 
+Netlist hetero_adder_netlist(std::span<const HeteroBlockSpec> blocks) {
+  require(!blocks.empty(), "hetero_adder_netlist: needs at least one block");
+  unsigned width = 0;
+  for (const HeteroBlockSpec& block : blocks) {
+    require(block.width >= 1, "hetero_adder_netlist: zero-width block");
+    width += block.width;
+  }
+  require(width <= 63, "hetero_adder_netlist: width must be <= 63");
+
+  std::string name = "Hetero" + std::to_string(width);
+  for (const HeteroBlockSpec& block : blocks) {
+    const char tag[] = {'A', 'C', 'T'};
+    name += '_';
+    name += tag[static_cast<unsigned>(block.kind)];
+    name += std::to_string(block.width);
+  }
+  AdderShell shell = make_adder_shell(name, width);
+  Netlist& nl = shell.netlist;
+
+  const NetId zero = nl.add_const(false);
+  std::vector<NetId> sums;
+  sums.reserve(width + 1);
+  NetId carry = zero;
+  unsigned offset = 0;
+  for (const HeteroBlockSpec& block : blocks) {
+    const unsigned w = block.width;
+    const std::span<const NetId> a = std::span(shell.a).subspan(offset, w);
+    const std::span<const NetId> b = std::span(shell.b).subspan(offset, w);
+    switch (block.kind) {
+      case HeteroSubAdder::Accurate: {
+        const std::vector<FullAdderKind> cells(w, FullAdderKind::Accurate);
+        const std::vector<NetId> out =
+            add_ripple_adder(nl, a, b, carry, cells);
+        sums.insert(sums.end(), out.begin(), out.end() - 1);
+        carry = out.back();
+        break;
+      }
+      case HeteroSubAdder::CarryCut: {
+        // Exact sum bits given the carry-in, but the top position computes
+        // no carry-out (the MAJ gate is elided — that saving is the point
+        // of cutting the chain here).
+        NetId c = carry;
+        for (unsigned i = 0; i < w; ++i) {
+          if (i + 1 < w) {
+            const FaNets out =
+                add_full_adder(nl, FullAdderKind::Accurate, a[i], b[i], c);
+            sums.push_back(out.sum);
+            c = out.carry;
+          } else {
+            const NetId t = nl.add_gate(CellType::Xor2, a[i], b[i]);
+            sums.push_back(nl.add_gate(CellType::Xor2, t, c));
+          }
+        }
+        carry = zero;
+        break;
+      }
+      case HeteroSubAdder::Truncated:
+        // No gates at all: the block reads 0 and restarts the chain.
+        for (unsigned i = 0; i < w; ++i) sums.push_back(zero);
+        carry = zero;
+        break;
+    }
+    offset += w;
+  }
+  sums.push_back(carry);
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    nl.mark_output(sums[i], "s" + std::to_string(i));
+  }
+  return nl;
+}
+
+Netlist loawa_adder_netlist(unsigned width, unsigned approx_lsbs) {
+  require(width >= 1 && width <= 63 && approx_lsbs <= width,
+          "loawa_adder_netlist: invalid shape");
+  AdderShell shell = make_adder_shell(
+      "LOAWA" + std::to_string(width) + "_" + std::to_string(approx_lsbs),
+      width);
+  Netlist& nl = shell.netlist;
+  const unsigned k = approx_lsbs;
+  std::vector<NetId> sums;
+  for (unsigned i = 0; i < k; ++i) {
+    sums.push_back(nl.add_gate(CellType::Or2, shell.a[i], shell.b[i]));
+  }
+  const NetId zero = nl.add_const(false);
+  const std::vector<FullAdderKind> cells(width - k, FullAdderKind::Accurate);
+  if (width > k) {
+    const std::vector<NetId> upper = add_ripple_adder(
+        nl, std::span(shell.a).subspan(k), std::span(shell.b).subspan(k),
+        zero, cells);
+    sums.insert(sums.end(), upper.begin(), upper.end());
+  } else {
+    sums.push_back(zero);  // degenerate: whole adder approximate
+  }
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    nl.mark_output(sums[i], "s" + std::to_string(i));
+  }
+  return nl;
+}
+
+Netlist heaa_adder_netlist(unsigned width, unsigned approx_lsbs) {
+  require(width >= 1 && width <= 63 && approx_lsbs <= width,
+          "heaa_adder_netlist: invalid shape");
+  AdderShell shell = make_adder_shell(
+      "HEAA" + std::to_string(width) + "_" + std::to_string(approx_lsbs),
+      width);
+  Netlist& nl = shell.netlist;
+  const unsigned k = approx_lsbs;
+  std::vector<NetId> sums;
+  for (unsigned i = 0; i < k; ++i) {
+    sums.push_back(nl.add_gate(CellType::Xor2, shell.a[i], shell.b[i]));
+  }
+  NetId carry = k == 0 ? nl.add_const(false)
+                       : nl.add_gate(CellType::And2, shell.a[k - 1],
+                                     shell.b[k - 1]);
+  const std::vector<FullAdderKind> cells(width - k, FullAdderKind::Accurate);
+  if (width > k) {
+    const std::vector<NetId> upper = add_ripple_adder(
+        nl, std::span(shell.a).subspan(k), std::span(shell.b).subspan(k),
+        carry, cells);
+    sums.insert(sums.end(), upper.begin(), upper.end());
+  } else {
+    sums.push_back(carry);  // degenerate: whole adder approximate
+  }
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    nl.mark_output(sums[i], "s" + std::to_string(i));
+  }
+  return nl;
+}
+
 Netlist gear_adder_netlist(const arith::GeArConfig& config) {
   require(config.is_valid(), "gear_adder_netlist: invalid GeAr config");
   const unsigned n = config.n;

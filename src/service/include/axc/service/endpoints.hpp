@@ -51,6 +51,11 @@ struct DispatchLimits {
   static constexpr std::uint32_t kMaxExhaustiveBits = 24;
   static constexpr std::uint64_t kMaxSamples = 1u << 24;
   static constexpr std::uint32_t kMaxGearSpaceWidth = 16;
+  static constexpr std::uint32_t kMaxHeteroSpaceWidth = 32;
+  static constexpr std::uint32_t kMaxHeteroBlockWidth = 8;
+  static constexpr std::uint32_t kMaxMulSpaceWidth = 16;
+  static constexpr std::uint32_t kMaxStaticSpaceWidth = 32;
+  static constexpr std::uint32_t kMaxStaticApproxLsbs = 10;
   static constexpr std::uint16_t kMaxProbeDim = 256;
   static constexpr std::uint16_t kMaxProbeFrames = 32;
 };

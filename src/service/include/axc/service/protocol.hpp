@@ -40,6 +40,9 @@
 #include "axc/arith/full_adder.hpp"
 #include "axc/arith/gear.hpp"
 #include "axc/arith/mul2x2.hpp"
+#include "axc/designspace/compressor_mul.hpp"
+#include "axc/designspace/hetero_adder.hpp"
+#include "axc/designspace/static_adder.hpp"
 #include "axc/error/metrics.hpp"
 
 namespace axc::service {
@@ -61,6 +64,9 @@ enum class Endpoint : std::uint8_t {
   Ping = 6,                    ///< health check, empty body
   Shutdown = 7,                ///< transport-level graceful stop (opt-in)
   CacheInsert = 8,             ///< cluster replication: seed a cache entry
+  HeteroAdderDesignSpace = 9,   ///< heterogeneous block-adder Pareto query
+  ArrayMulDesignSpace = 10,     ///< 4:2-compressor array-multiplier query
+  StaticAdderDesignSpace = 11,  ///< LOA/LOAWA/HEAA static-adder query
 };
 
 /// Response status. Values are wire-stable; append only.
@@ -198,6 +204,90 @@ struct GearDesignSpaceResponse {
   std::uint32_t min_area_index = 0;
 };
 
+/// The three designspace sweeps share the gear endpoint's shape: a small
+/// request describing a configuration grid, a response listing every
+/// point with its analytic error figures and Pareto marking, plus the two
+/// selection indices (points.size() = none / infeasible).
+
+struct HeteroAdderDesignSpaceRequest {
+  std::uint32_t width = 16;        ///< operand width N
+  std::uint32_t block_width = 4;   ///< bits per block (top takes remainder)
+  bool include_truncated = true;   ///< also sweep Truncated low blocks
+  bool estimate_power = false;     ///< run the power sim per config
+  double min_accuracy = 90.0;      ///< constraint for min_area_index
+};
+
+struct HeteroAdderDesignSpacePoint {
+  designspace::HeteroSubAdder low_kind = designspace::HeteroSubAdder::Accurate;
+  std::uint32_t approx_blocks = 0;  ///< low blocks of low_kind
+  double area_ge = 0.0;
+  double power_nw = 0.0;
+  double accuracy_percent = 0.0;  ///< 100 * (1 - error_rate)
+  double error_rate = 0.0;        ///< closed-form, exact
+  double med = 0.0;               ///< closed-form, exact
+  double nmed = 0.0;
+  std::uint64_t wce = 0;
+  bool on_pareto_front = false;
+};
+
+struct HeteroAdderDesignSpaceResponse {
+  std::vector<HeteroAdderDesignSpacePoint> points;
+  std::uint32_t max_accuracy_index = 0;
+  std::uint32_t min_area_index = 0;
+};
+
+struct ArrayMulDesignSpaceRequest {
+  std::uint32_t width = 8;              ///< operand width N in [2, 16]
+  std::uint32_t max_approx_columns = 8; ///< sweep 1..this per compressor
+  bool estimate_power = false;
+  double min_accuracy = 90.0;
+};
+
+struct ArrayMulDesignSpacePoint {
+  designspace::CompressorKind compressor = designspace::CompressorKind::Exact42;
+  std::uint32_t approx_columns = 0;
+  double area_ge = 0.0;
+  double power_nw = 0.0;
+  double accuracy_percent = 0.0;  ///< 100 * (1 - error_rate_est)
+  double error_rate_est = 0.0;    ///< probabilistic (see MulErrorModel)
+  double med_est = 0.0;
+  double nmed_est = 0.0;
+  bool model_exact = false;  ///< estimates are exact zeros for this point
+  bool on_pareto_front = false;
+};
+
+struct ArrayMulDesignSpaceResponse {
+  std::vector<ArrayMulDesignSpacePoint> points;
+  std::uint32_t max_accuracy_index = 0;
+  std::uint32_t min_area_index = 0;
+};
+
+struct StaticAdderDesignSpaceRequest {
+  std::uint32_t width = 16;          ///< operand width N
+  std::uint32_t max_approx_lsbs = 8; ///< sweep 1..this per family
+  bool estimate_power = false;
+  double min_accuracy = 90.0;
+};
+
+struct StaticAdderDesignSpacePoint {
+  designspace::StaticAdderKind kind = designspace::StaticAdderKind::Loa;
+  std::uint32_t approx_lsbs = 0;
+  double area_ge = 0.0;
+  double power_nw = 0.0;
+  double accuracy_percent = 0.0;
+  double error_rate = 0.0;  ///< exact (4^k enumeration)
+  double med = 0.0;
+  double nmed = 0.0;
+  std::uint64_t wce = 0;
+  bool on_pareto_front = false;
+};
+
+struct StaticAdderDesignSpaceResponse {
+  std::vector<StaticAdderDesignSpacePoint> points;
+  std::uint32_t max_accuracy_index = 0;
+  std::uint32_t min_area_index = 0;
+};
+
 struct EncodeProbeRequest {
   std::uint16_t width = 64;
   std::uint16_t height = 64;
@@ -241,6 +331,12 @@ Bytes encode_request(const EvaluateErrorRequest& request,
                      std::uint32_t deadline_ms = 0);
 Bytes encode_request(const GearDesignSpaceRequest& request,
                      std::uint32_t deadline_ms = 0);
+Bytes encode_request(const HeteroAdderDesignSpaceRequest& request,
+                     std::uint32_t deadline_ms = 0);
+Bytes encode_request(const ArrayMulDesignSpaceRequest& request,
+                     std::uint32_t deadline_ms = 0);
+Bytes encode_request(const StaticAdderDesignSpaceRequest& request,
+                     std::uint32_t deadline_ms = 0);
 Bytes encode_request(const EncodeProbeRequest& request,
                      std::uint32_t deadline_ms = 0);
 /// Body-less requests (Ping, Shutdown).
@@ -272,6 +368,12 @@ CharacterizeMultiplierRequest decode_characterize_multiplier(
 EvaluateErrorRequest decode_evaluate_error(std::span<const std::uint8_t> body);
 GearDesignSpaceRequest decode_gear_design_space(
     std::span<const std::uint8_t> body);
+HeteroAdderDesignSpaceRequest decode_hetero_adder_design_space(
+    std::span<const std::uint8_t> body);
+ArrayMulDesignSpaceRequest decode_array_mul_design_space(
+    std::span<const std::uint8_t> body);
+StaticAdderDesignSpaceRequest decode_static_adder_design_space(
+    std::span<const std::uint8_t> body);
 EncodeProbeRequest decode_encode_probe(std::span<const std::uint8_t> body);
 
 // --- Response encoding / decoding -----------------------------------------
@@ -279,6 +381,9 @@ EncodeProbeRequest decode_encode_probe(std::span<const std::uint8_t> body);
 Bytes encode_response(const CharacterizeResponse& response);
 Bytes encode_response(const EvaluateErrorResponse& response);
 Bytes encode_response(const GearDesignSpaceResponse& response);
+Bytes encode_response(const HeteroAdderDesignSpaceResponse& response);
+Bytes encode_response(const ArrayMulDesignSpaceResponse& response);
+Bytes encode_response(const StaticAdderDesignSpaceResponse& response);
 Bytes encode_response(const EncodeProbeResponse& response);
 /// Body-less Ok (Ping, Shutdown).
 Bytes encode_ok_response();
@@ -308,6 +413,12 @@ CharacterizeResponse decode_characterize_response(
 EvaluateErrorResponse decode_evaluate_error_response(
     std::span<const std::uint8_t> response);
 GearDesignSpaceResponse decode_gear_design_space_response(
+    std::span<const std::uint8_t> response);
+HeteroAdderDesignSpaceResponse decode_hetero_adder_design_space_response(
+    std::span<const std::uint8_t> response);
+ArrayMulDesignSpaceResponse decode_array_mul_design_space_response(
+    std::span<const std::uint8_t> response);
+StaticAdderDesignSpaceResponse decode_static_adder_design_space_response(
     std::span<const std::uint8_t> response);
 EncodeProbeResponse decode_encode_probe_response(
     std::span<const std::uint8_t> response);

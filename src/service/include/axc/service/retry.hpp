@@ -81,6 +81,12 @@ class RetryingClient {
   EvaluateErrorResponse evaluate_error(const EvaluateErrorRequest& request);
   GearDesignSpaceResponse gear_design_space(
       const GearDesignSpaceRequest& request);
+  HeteroAdderDesignSpaceResponse hetero_adder_design_space(
+      const HeteroAdderDesignSpaceRequest& request);
+  ArrayMulDesignSpaceResponse array_mul_design_space(
+      const ArrayMulDesignSpaceRequest& request);
+  StaticAdderDesignSpaceResponse static_adder_design_space(
+      const StaticAdderDesignSpaceRequest& request);
   EncodeProbeResponse encode_probe(const EncodeProbeRequest& request);
   void ping();
   void shutdown();

@@ -8,6 +8,7 @@
 #include "axc/arith/multiplier.hpp"
 #include "axc/core/explorer.hpp"
 #include "axc/core/pareto.hpp"
+#include "axc/designspace/explorer.hpp"
 #include "axc/error/evaluate.hpp"
 #include "axc/logic/adder_netlists.hpp"
 #include "axc/logic/characterize.hpp"
@@ -68,6 +69,61 @@ std::uint8_t shed_search_range(std::uint8_t range, unsigned level,
       std::max<unsigned>(1, static_cast<unsigned>(range) >> shift));
   if (shed != range) applied = std::max(applied, level);
   return shed;
+}
+
+/// Drops the optional per-config power sim — the dominating cost of every
+/// design-space sweep — under degradation. The accuracy/area ranking is
+/// exact maths and survives; power_nw reads 0 and the level byte makes
+/// the substitution visible to the client.
+bool shed_power_estimate(bool estimate_power, unsigned level,
+                         unsigned& applied) {
+  if (level == 0 || !estimate_power) return estimate_power;
+  applied = std::max(applied, level);
+  return false;
+}
+
+// --- Shared design-space plumbing -----------------------------------------
+//
+// All four sweep endpoints answer the same three questions about a flat
+// list of (area, power, accuracy) points: which lie on the area/error
+// Pareto front, which single point maximizes accuracy, and which is the
+// cheapest meeting an accuracy floor. The tie-breaks (first maximum,
+// first minimum, points.size() as the none/infeasible sentinel) mirror
+// core::max_accuracy_config / min_area_config_with_accuracy so the gear
+// endpoint's wire behavior is unchanged by the refactor.
+
+struct DesignSpaceSelection {
+  std::vector<bool> on_front;
+  std::uint32_t max_accuracy_index = 0;
+  std::uint32_t min_area_index = 0;
+};
+
+DesignSpaceSelection select_design_space(
+    const std::vector<core::DesignPoint>& flat, double min_accuracy) {
+  DesignSpaceSelection selection;
+  selection.on_front.assign(flat.size(), false);
+  const auto front = core::pareto_front(
+      flat, {core::minimize_area(), core::minimize_error()});
+  for (const std::size_t i : front) selection.on_front[i] = true;
+
+  std::size_t best_accuracy = flat.size();
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    if (best_accuracy == flat.size() ||
+        flat[i].accuracy_percent > flat[best_accuracy].accuracy_percent) {
+      best_accuracy = i;
+    }
+  }
+  std::size_t best_area = flat.size();
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    if (flat[i].accuracy_percent < min_accuracy) continue;
+    if (best_area == flat.size() ||
+        flat[i].area_ge < flat[best_area].area_ge) {
+      best_area = i;
+    }
+  }
+  selection.max_accuracy_index = static_cast<std::uint32_t>(best_accuracy);
+  selection.min_area_index = static_cast<std::uint32_t>(best_area);
+  return selection;
 }
 
 CharacterizeResponse from_characterization(const logic::Characterization& c) {
@@ -229,21 +285,15 @@ Bytes handle_gear_design_space(std::span<const std::uint8_t> body,
   core::ExploreOptions explore;
   explore.min_p = request.min_p;
   explore.include_exact = request.include_exact;
-  explore.estimate_power = request.estimate_power;
-  if (options.degrade_level > 0 && explore.estimate_power) {
-    // The per-config power sim dominates the cost of this endpoint; a
-    // degraded answer keeps the accuracy/area ranking (exact maths) and
-    // zeroes power_nw, which the level byte makes visible to the client.
-    explore.estimate_power = false;
-    applied = std::max(applied, options.degrade_level);
-  }
+  explore.estimate_power = shed_power_estimate(
+      request.estimate_power, options.degrade_level, applied);
   const auto space = core::explore_gear_space(request.width, explore);
 
   std::vector<core::DesignPoint> flat;
   flat.reserve(space.size());
   for (const auto& entry : space) flat.push_back(entry.point);
-  const auto front = core::pareto_front(
-      flat, {core::minimize_area(), core::minimize_error()});
+  const DesignSpaceSelection selection =
+      select_design_space(flat, request.min_accuracy);
 
   GearDesignSpaceResponse response;
   response.points.reserve(space.size());
@@ -254,14 +304,149 @@ Bytes handle_gear_design_space(std::span<const std::uint8_t> body,
     point.area_ge = space[i].point.area_ge;
     point.power_nw = space[i].point.power_nw;
     point.accuracy_percent = space[i].point.accuracy_percent;
-    point.on_pareto_front =
-        std::find(front.begin(), front.end(), i) != front.end();
+    point.on_pareto_front = selection.on_front[i];
     response.points.push_back(point);
   }
-  response.max_accuracy_index =
-      static_cast<std::uint32_t>(core::max_accuracy_config(space));
-  response.min_area_index = static_cast<std::uint32_t>(
-      core::min_area_config_with_accuracy(space, request.min_accuracy));
+  response.max_accuracy_index = selection.max_accuracy_index;
+  response.min_area_index = selection.min_area_index;
+  return encode_response(response);
+}
+
+Bytes handle_hetero_adder_design_space(std::span<const std::uint8_t> body,
+                                       const DispatchOptions& options,
+                                       unsigned& applied) {
+  const HeteroAdderDesignSpaceRequest request =
+      decode_hetero_adder_design_space(body);
+  check(request.width >= 2 &&
+            request.width <= DispatchLimits::kMaxHeteroSpaceWidth,
+        "hetero_adder_design_space: width out of [2, 32]");
+  check(request.block_width >= 1 &&
+            request.block_width <= DispatchLimits::kMaxHeteroBlockWidth &&
+            request.block_width <= request.width,
+        "hetero_adder_design_space: block_width out of [1, min(width, 8)]");
+  check(request.min_accuracy >= 0.0 && request.min_accuracy <= 100.0,
+        "hetero_adder_design_space: min_accuracy out of [0, 100]");
+  designspace::SweepOptions sweep;
+  sweep.estimate_power = shed_power_estimate(
+      request.estimate_power, options.degrade_level, applied);
+  const auto space = designspace::explore_hetero_space(
+      request.width, request.block_width, request.include_truncated, sweep);
+
+  std::vector<core::DesignPoint> flat;
+  flat.reserve(space.size());
+  for (const auto& entry : space) flat.push_back(entry.point);
+  const DesignSpaceSelection selection =
+      select_design_space(flat, request.min_accuracy);
+
+  HeteroAdderDesignSpaceResponse response;
+  response.points.reserve(space.size());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    HeteroAdderDesignSpacePoint point;
+    point.low_kind = space[i].low_kind;
+    point.approx_blocks = space[i].approx_blocks;
+    point.area_ge = space[i].point.area_ge;
+    point.power_nw = space[i].point.power_nw;
+    point.accuracy_percent = space[i].point.accuracy_percent;
+    point.error_rate = space[i].model.error_rate;
+    point.med = space[i].model.med;
+    point.nmed = space[i].model.nmed;
+    point.wce = space[i].model.wce;
+    point.on_pareto_front = selection.on_front[i];
+    response.points.push_back(point);
+  }
+  response.max_accuracy_index = selection.max_accuracy_index;
+  response.min_area_index = selection.min_area_index;
+  return encode_response(response);
+}
+
+Bytes handle_array_mul_design_space(std::span<const std::uint8_t> body,
+                                    const DispatchOptions& options,
+                                    unsigned& applied) {
+  const ArrayMulDesignSpaceRequest request =
+      decode_array_mul_design_space(body);
+  check(request.width >= 2 &&
+            request.width <= DispatchLimits::kMaxMulSpaceWidth,
+        "array_mul_design_space: width out of [2, 16]");
+  check(request.max_approx_columns <= 2 * request.width,
+        "array_mul_design_space: max_approx_columns exceeds product width");
+  check(request.min_accuracy >= 0.0 && request.min_accuracy <= 100.0,
+        "array_mul_design_space: min_accuracy out of [0, 100]");
+  designspace::SweepOptions sweep;
+  sweep.estimate_power = shed_power_estimate(
+      request.estimate_power, options.degrade_level, applied);
+  const auto space = designspace::explore_compressor_mul_space(
+      request.width, request.max_approx_columns, sweep);
+
+  std::vector<core::DesignPoint> flat;
+  flat.reserve(space.size());
+  for (const auto& entry : space) flat.push_back(entry.point);
+  const DesignSpaceSelection selection =
+      select_design_space(flat, request.min_accuracy);
+
+  ArrayMulDesignSpaceResponse response;
+  response.points.reserve(space.size());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    ArrayMulDesignSpacePoint point;
+    point.compressor = space[i].kind;
+    point.approx_columns = space[i].approx_columns;
+    point.area_ge = space[i].point.area_ge;
+    point.power_nw = space[i].point.power_nw;
+    point.accuracy_percent = space[i].point.accuracy_percent;
+    point.error_rate_est = space[i].model.error_rate_est;
+    point.med_est = space[i].model.med_est;
+    point.nmed_est = space[i].model.nmed_est;
+    point.model_exact = space[i].model.exact;
+    point.on_pareto_front = selection.on_front[i];
+    response.points.push_back(point);
+  }
+  response.max_accuracy_index = selection.max_accuracy_index;
+  response.min_area_index = selection.min_area_index;
+  return encode_response(response);
+}
+
+Bytes handle_static_adder_design_space(std::span<const std::uint8_t> body,
+                                       const DispatchOptions& options,
+                                       unsigned& applied) {
+  const StaticAdderDesignSpaceRequest request =
+      decode_static_adder_design_space(body);
+  check(request.width >= 2 &&
+            request.width <= DispatchLimits::kMaxStaticSpaceWidth,
+        "static_adder_design_space: width out of [2, 32]");
+  check(request.max_approx_lsbs <= request.width &&
+            request.max_approx_lsbs <= DispatchLimits::kMaxStaticApproxLsbs,
+        "static_adder_design_space: max_approx_lsbs out of [0, min(width, 10)]");
+  check(request.min_accuracy >= 0.0 && request.min_accuracy <= 100.0,
+        "static_adder_design_space: min_accuracy out of [0, 100]");
+  designspace::SweepOptions sweep;
+  sweep.estimate_power = shed_power_estimate(
+      request.estimate_power, options.degrade_level, applied);
+  const auto space = designspace::explore_static_adder_space(
+      request.width, request.max_approx_lsbs, sweep);
+
+  std::vector<core::DesignPoint> flat;
+  flat.reserve(space.size());
+  for (const auto& entry : space) flat.push_back(entry.point);
+  const DesignSpaceSelection selection =
+      select_design_space(flat, request.min_accuracy);
+
+  StaticAdderDesignSpaceResponse response;
+  response.points.reserve(space.size());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    StaticAdderDesignSpacePoint point;
+    point.kind = space[i].kind;
+    point.approx_lsbs = space[i].approx_lsbs;
+    point.area_ge = space[i].point.area_ge;
+    point.power_nw = space[i].point.power_nw;
+    point.accuracy_percent = space[i].point.accuracy_percent;
+    point.error_rate = space[i].model.error_rate;
+    point.med = space[i].model.med;
+    point.nmed = space[i].model.nmed;
+    point.wce = space[i].model.wce;
+    point.on_pareto_front = selection.on_front[i];
+    response.points.push_back(point);
+  }
+  response.max_accuracy_index = selection.max_accuracy_index;
+  response.min_area_index = selection.min_area_index;
   return encode_response(response);
 }
 
@@ -355,6 +540,15 @@ Bytes dispatch(std::span<const std::uint8_t> request,
         break;
       case Endpoint::EncodeProbe:
         response = handle_encode_probe(body, options, applied);
+        break;
+      case Endpoint::HeteroAdderDesignSpace:
+        response = handle_hetero_adder_design_space(body, options, applied);
+        break;
+      case Endpoint::ArrayMulDesignSpace:
+        response = handle_array_mul_design_space(body, options, applied);
+        break;
+      case Endpoint::StaticAdderDesignSpace:
+        response = handle_static_adder_design_space(body, options, applied);
         break;
       case Endpoint::Ping:
         response = encode_ok_response();

@@ -145,6 +145,9 @@ std::string_view endpoint_name(Endpoint endpoint) {
     case Endpoint::Ping: return "ping";
     case Endpoint::Shutdown: return "shutdown";
     case Endpoint::CacheInsert: return "cache_insert";
+    case Endpoint::HeteroAdderDesignSpace: return "hetero_adder_design_space";
+    case Endpoint::ArrayMulDesignSpace: return "array_mul_design_space";
+    case Endpoint::StaticAdderDesignSpace: return "static_adder_design_space";
   }
   return "unknown";
 }
@@ -173,7 +176,7 @@ std::optional<RequestHeader> parse_request_header(
   if (request[0] != kProtocolVersion) return std::nullopt;
   const std::uint8_t raw = request[1];
   if (raw < static_cast<std::uint8_t>(Endpoint::CharacterizeAdder) ||
-      raw > static_cast<std::uint8_t>(Endpoint::CacheInsert)) {
+      raw > static_cast<std::uint8_t>(Endpoint::StaticAdderDesignSpace)) {
     return std::nullopt;
   }
   RequestHeader header;
@@ -237,6 +240,37 @@ Bytes encode_request(const GearDesignSpaceRequest& request,
   put_u32(out, request.width);
   put_u32(out, request.min_p);
   put_u8(out, request.include_exact ? 1 : 0);
+  put_u8(out, request.estimate_power ? 1 : 0);
+  put_f64(out, request.min_accuracy);
+  return out;
+}
+
+Bytes encode_request(const HeteroAdderDesignSpaceRequest& request,
+                     std::uint32_t deadline_ms) {
+  Bytes out = request_prefix(Endpoint::HeteroAdderDesignSpace, deadline_ms);
+  put_u32(out, request.width);
+  put_u32(out, request.block_width);
+  put_u8(out, request.include_truncated ? 1 : 0);
+  put_u8(out, request.estimate_power ? 1 : 0);
+  put_f64(out, request.min_accuracy);
+  return out;
+}
+
+Bytes encode_request(const ArrayMulDesignSpaceRequest& request,
+                     std::uint32_t deadline_ms) {
+  Bytes out = request_prefix(Endpoint::ArrayMulDesignSpace, deadline_ms);
+  put_u32(out, request.width);
+  put_u32(out, request.max_approx_columns);
+  put_u8(out, request.estimate_power ? 1 : 0);
+  put_f64(out, request.min_accuracy);
+  return out;
+}
+
+Bytes encode_request(const StaticAdderDesignSpaceRequest& request,
+                     std::uint32_t deadline_ms) {
+  Bytes out = request_prefix(Endpoint::StaticAdderDesignSpace, deadline_ms);
+  put_u32(out, request.width);
+  put_u32(out, request.max_approx_lsbs);
   put_u8(out, request.estimate_power ? 1 : 0);
   put_f64(out, request.min_accuracy);
   return out;
@@ -344,6 +378,43 @@ GearDesignSpaceRequest decode_gear_design_space(
   return request;
 }
 
+HeteroAdderDesignSpaceRequest decode_hetero_adder_design_space(
+    std::span<const std::uint8_t> body) {
+  Reader reader(body);
+  HeteroAdderDesignSpaceRequest request;
+  request.width = reader.u32();
+  request.block_width = reader.u32();
+  request.include_truncated = reader.u8() != 0;
+  request.estimate_power = reader.u8() != 0;
+  request.min_accuracy = reader.f64();
+  reader.expect_done();
+  return request;
+}
+
+ArrayMulDesignSpaceRequest decode_array_mul_design_space(
+    std::span<const std::uint8_t> body) {
+  Reader reader(body);
+  ArrayMulDesignSpaceRequest request;
+  request.width = reader.u32();
+  request.max_approx_columns = reader.u32();
+  request.estimate_power = reader.u8() != 0;
+  request.min_accuracy = reader.f64();
+  reader.expect_done();
+  return request;
+}
+
+StaticAdderDesignSpaceRequest decode_static_adder_design_space(
+    std::span<const std::uint8_t> body) {
+  Reader reader(body);
+  StaticAdderDesignSpaceRequest request;
+  request.width = reader.u32();
+  request.max_approx_lsbs = reader.u32();
+  request.estimate_power = reader.u8() != 0;
+  request.min_accuracy = reader.f64();
+  reader.expect_done();
+  return request;
+}
+
 EncodeProbeRequest decode_encode_probe(std::span<const std::uint8_t> body) {
   Reader reader(body);
   EncodeProbeRequest request;
@@ -411,6 +482,66 @@ Bytes encode_response(const GearDesignSpaceResponse& response) {
     put_f64(out, point.area_ge);
     put_f64(out, point.power_nw);
     put_f64(out, point.accuracy_percent);
+    put_u8(out, point.on_pareto_front ? 1 : 0);
+  }
+  put_u32(out, response.max_accuracy_index);
+  put_u32(out, response.min_area_index);
+  return out;
+}
+
+Bytes encode_response(const HeteroAdderDesignSpaceResponse& response) {
+  Bytes out = response_prefix(Status::Ok);
+  put_u32(out, static_cast<std::uint32_t>(response.points.size()));
+  for (const HeteroAdderDesignSpacePoint& point : response.points) {
+    put_u8(out, static_cast<std::uint8_t>(point.low_kind));
+    put_u32(out, point.approx_blocks);
+    put_f64(out, point.area_ge);
+    put_f64(out, point.power_nw);
+    put_f64(out, point.accuracy_percent);
+    put_f64(out, point.error_rate);
+    put_f64(out, point.med);
+    put_f64(out, point.nmed);
+    put_u64(out, point.wce);
+    put_u8(out, point.on_pareto_front ? 1 : 0);
+  }
+  put_u32(out, response.max_accuracy_index);
+  put_u32(out, response.min_area_index);
+  return out;
+}
+
+Bytes encode_response(const ArrayMulDesignSpaceResponse& response) {
+  Bytes out = response_prefix(Status::Ok);
+  put_u32(out, static_cast<std::uint32_t>(response.points.size()));
+  for (const ArrayMulDesignSpacePoint& point : response.points) {
+    put_u8(out, static_cast<std::uint8_t>(point.compressor));
+    put_u32(out, point.approx_columns);
+    put_f64(out, point.area_ge);
+    put_f64(out, point.power_nw);
+    put_f64(out, point.accuracy_percent);
+    put_f64(out, point.error_rate_est);
+    put_f64(out, point.med_est);
+    put_f64(out, point.nmed_est);
+    put_u8(out, point.model_exact ? 1 : 0);
+    put_u8(out, point.on_pareto_front ? 1 : 0);
+  }
+  put_u32(out, response.max_accuracy_index);
+  put_u32(out, response.min_area_index);
+  return out;
+}
+
+Bytes encode_response(const StaticAdderDesignSpaceResponse& response) {
+  Bytes out = response_prefix(Status::Ok);
+  put_u32(out, static_cast<std::uint32_t>(response.points.size()));
+  for (const StaticAdderDesignSpacePoint& point : response.points) {
+    put_u8(out, static_cast<std::uint8_t>(point.kind));
+    put_u32(out, point.approx_lsbs);
+    put_f64(out, point.area_ge);
+    put_f64(out, point.power_nw);
+    put_f64(out, point.accuracy_percent);
+    put_f64(out, point.error_rate);
+    put_f64(out, point.med);
+    put_f64(out, point.nmed);
+    put_u64(out, point.wce);
     put_u8(out, point.on_pareto_front ? 1 : 0);
   }
   put_u32(out, response.max_accuracy_index);
@@ -505,6 +636,93 @@ GearDesignSpaceResponse decode_gear_design_space_response(
     point.area_ge = reader.f64();
     point.power_nw = reader.f64();
     point.accuracy_percent = reader.f64();
+    point.on_pareto_front = reader.u8() != 0;
+    out.points.push_back(point);
+  }
+  out.max_accuracy_index = reader.u32();
+  out.min_area_index = reader.u32();
+  reader.expect_done();
+  return out;
+}
+
+HeteroAdderDesignSpaceResponse decode_hetero_adder_design_space_response(
+    std::span<const std::uint8_t> response) {
+  Reader reader(ok_body(response));
+  HeteroAdderDesignSpaceResponse out;
+  const std::uint32_t count = reader.u32();
+  out.points.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    HeteroAdderDesignSpacePoint point;
+    point.low_kind = checked_enum<designspace::HeteroSubAdder>(
+        reader.u8(),
+        static_cast<std::uint8_t>(designspace::HeteroSubAdder::Truncated),
+        "hetero sub-adder kind");
+    point.approx_blocks = reader.u32();
+    point.area_ge = reader.f64();
+    point.power_nw = reader.f64();
+    point.accuracy_percent = reader.f64();
+    point.error_rate = reader.f64();
+    point.med = reader.f64();
+    point.nmed = reader.f64();
+    point.wce = reader.u64();
+    point.on_pareto_front = reader.u8() != 0;
+    out.points.push_back(point);
+  }
+  out.max_accuracy_index = reader.u32();
+  out.min_area_index = reader.u32();
+  reader.expect_done();
+  return out;
+}
+
+ArrayMulDesignSpaceResponse decode_array_mul_design_space_response(
+    std::span<const std::uint8_t> response) {
+  Reader reader(ok_body(response));
+  ArrayMulDesignSpaceResponse out;
+  const std::uint32_t count = reader.u32();
+  out.points.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ArrayMulDesignSpacePoint point;
+    point.compressor = checked_enum<designspace::CompressorKind>(
+        reader.u8(),
+        static_cast<std::uint8_t>(designspace::CompressorKind::OrPair),
+        "compressor kind");
+    point.approx_columns = reader.u32();
+    point.area_ge = reader.f64();
+    point.power_nw = reader.f64();
+    point.accuracy_percent = reader.f64();
+    point.error_rate_est = reader.f64();
+    point.med_est = reader.f64();
+    point.nmed_est = reader.f64();
+    point.model_exact = reader.u8() != 0;
+    point.on_pareto_front = reader.u8() != 0;
+    out.points.push_back(point);
+  }
+  out.max_accuracy_index = reader.u32();
+  out.min_area_index = reader.u32();
+  reader.expect_done();
+  return out;
+}
+
+StaticAdderDesignSpaceResponse decode_static_adder_design_space_response(
+    std::span<const std::uint8_t> response) {
+  Reader reader(ok_body(response));
+  StaticAdderDesignSpaceResponse out;
+  const std::uint32_t count = reader.u32();
+  out.points.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    StaticAdderDesignSpacePoint point;
+    point.kind = checked_enum<designspace::StaticAdderKind>(
+        reader.u8(),
+        static_cast<std::uint8_t>(designspace::StaticAdderKind::Heaa),
+        "static adder kind");
+    point.approx_lsbs = reader.u32();
+    point.area_ge = reader.f64();
+    point.power_nw = reader.f64();
+    point.accuracy_percent = reader.f64();
+    point.error_rate = reader.f64();
+    point.med = reader.f64();
+    point.nmed = reader.f64();
+    point.wce = reader.u64();
     point.on_pareto_front = reader.u8() != 0;
     out.points.push_back(point);
   }

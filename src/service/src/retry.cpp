@@ -170,6 +170,24 @@ GearDesignSpaceResponse RetryingClient::gear_design_space(
       call_bytes(encode_request(request, deadline_ms_)));
 }
 
+HeteroAdderDesignSpaceResponse RetryingClient::hetero_adder_design_space(
+    const HeteroAdderDesignSpaceRequest& request) {
+  return decode_hetero_adder_design_space_response(
+      call_bytes(encode_request(request, deadline_ms_)));
+}
+
+ArrayMulDesignSpaceResponse RetryingClient::array_mul_design_space(
+    const ArrayMulDesignSpaceRequest& request) {
+  return decode_array_mul_design_space_response(
+      call_bytes(encode_request(request, deadline_ms_)));
+}
+
+StaticAdderDesignSpaceResponse RetryingClient::static_adder_design_space(
+    const StaticAdderDesignSpaceRequest& request) {
+  return decode_static_adder_design_space_response(
+      call_bytes(encode_request(request, deadline_ms_)));
+}
+
 EncodeProbeResponse RetryingClient::encode_probe(
     const EncodeProbeRequest& request) {
   return decode_encode_probe_response(

@@ -12,7 +12,7 @@ namespace axc::service {
 namespace {
 
 constexpr int kEndpointSlots =
-    static_cast<int>(Endpoint::CacheInsert) + 1;
+    static_cast<int>(Endpoint::StaticAdderDesignSpace) + 1;
 
 /// Per-endpoint instruments, resolved once (obs handles are stable for the
 /// process lifetime, so after the first call this is a plain array load).

@@ -89,6 +89,24 @@ GearDesignSpaceResponse Client::gear_design_space(
       call(encode_request(request, deadline_ms_)));
 }
 
+HeteroAdderDesignSpaceResponse Client::hetero_adder_design_space(
+    const HeteroAdderDesignSpaceRequest& request) {
+  return decode_hetero_adder_design_space_response(
+      call(encode_request(request, deadline_ms_)));
+}
+
+ArrayMulDesignSpaceResponse Client::array_mul_design_space(
+    const ArrayMulDesignSpaceRequest& request) {
+  return decode_array_mul_design_space_response(
+      call(encode_request(request, deadline_ms_)));
+}
+
+StaticAdderDesignSpaceResponse Client::static_adder_design_space(
+    const StaticAdderDesignSpaceRequest& request) {
+  return decode_static_adder_design_space_response(
+      call(encode_request(request, deadline_ms_)));
+}
+
 EncodeProbeResponse Client::encode_probe(const EncodeProbeRequest& request) {
   return decode_encode_probe_response(
       call(encode_request(request, deadline_ms_)));

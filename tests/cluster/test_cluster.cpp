@@ -63,6 +63,24 @@ std::vector<Bytes> sweep_requests() {
   service::GearDesignSpaceRequest gear;
   gear.width = 8;
   out.push_back(encode_request(gear));
+  {
+    service::HeteroAdderDesignSpaceRequest hetero;
+    hetero.width = 12;
+    hetero.block_width = 4;
+    out.push_back(encode_request(hetero));
+  }
+  {
+    service::ArrayMulDesignSpaceRequest mul;
+    mul.width = 6;
+    mul.max_approx_columns = 6;
+    out.push_back(encode_request(mul));
+  }
+  {
+    service::StaticAdderDesignSpaceRequest stat;
+    stat.width = 10;
+    stat.max_approx_lsbs = 4;
+    out.push_back(encode_request(stat));
+  }
   service::EncodeProbeRequest probe;
   probe.width = 16;
   probe.height = 16;
@@ -114,7 +132,7 @@ TEST(Cluster, FourNodeSweepIsByteIdenticalToOneNodeAtAnyThreadCount) {
     }
     EXPECT_EQ(client.failovers(), 0u);
 
-    // The batch must actually shard: with 13 keys over 4 nodes a
+    // The batch must actually shard: with 16 keys over 4 nodes a
     // single-owner layout would mean the routing is degenerate.
     std::set<std::size_t> owners;
     for (const Bytes& request : requests) {
@@ -245,6 +263,77 @@ TEST(Cluster, SweepAfterNodeKillStaysByteIdenticalAndRecomputesNothing) {
   for (std::size_t i = 0; i < warm.size(); ++i) {
     EXPECT_EQ(after[i], warm[i]) << "request " << i;
   }
+  EXPECT_GE(client.failovers(), 1u);
+  EXPECT_EQ(dispatched.load(), computed);
+}
+
+TEST(Cluster, DesignSpaceEndpointsReplicateAndSurviveNodeKill) {
+  obs::set_enabled(true);
+  obs::reset();
+  std::atomic<int> dispatched{0};
+  LocalClusterOptions options;
+  options.nodes = 4;
+  options.replication = 2;
+  options.server.workers = 1;
+  options.server.dispatcher = [&dispatched](
+                                  std::span<const std::uint8_t> request,
+                                  unsigned degrade_level) {
+    ++dispatched;
+    service::DispatchOptions dispatch_options;
+    dispatch_options.degrade_level = degrade_level;
+    return dispatch(request, dispatch_options);
+  };
+  LocalCluster cluster(options);
+  ClusterClient client = cluster.make_client(quiet_client());
+
+  service::HeteroAdderDesignSpaceRequest hetero;
+  hetero.width = 16;
+  hetero.block_width = 4;
+  service::ArrayMulDesignSpaceRequest mul;
+  mul.width = 8;
+  mul.max_approx_columns = 8;
+  service::StaticAdderDesignSpaceRequest stat;
+  stat.width = 16;
+  stat.max_approx_lsbs = 6;
+  const std::vector<Bytes> requests = {
+      encode_request(hetero), encode_request(mul), encode_request(stat)};
+
+  // Cold sweep computes each answer once and replicates it to the K
+  // closest nodes on the ring.
+  std::vector<Bytes> cold;
+  for (const Bytes& request : requests) {
+    cold.push_back(client.call_bytes(request));
+    ASSERT_EQ(service::response_status(cold.back()), service::Status::Ok);
+  }
+  EXPECT_EQ(dispatched.load(), 3);
+  EXPECT_EQ(counter_value("service.cluster.replications"), 3u);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Bytes canonical = service::canonical_request_bytes(requests[i]);
+    const std::uint64_t key = service::canonical_request_key(canonical);
+    const std::vector<std::size_t> replicas = cluster.routing().replicas(
+        key_for_canonical(canonical), cluster.replication());
+    ASSERT_EQ(replicas.size(), 2u) << "request " << i;
+    for (const std::size_t node : replicas) {
+      const auto cached = cluster.node(node).cache().lookup(key, canonical);
+      ASSERT_TRUE(cached.has_value()) << "request " << i << " node " << node;
+      EXPECT_EQ(*cached, cold[i]) << "request " << i << " node " << node;
+    }
+  }
+
+  // Typed calls decode the same wire bytes the sweep produced.
+  const auto typed = client.hetero_adder_design_space(hetero);
+  EXPECT_EQ(typed.points.size(),
+            service::decode_hetero_adder_design_space_response(cold[0])
+                .points.size());
+  EXPECT_GT(client.array_mul_design_space(mul).points.size(), 0u);
+  EXPECT_GT(client.static_adder_design_space(stat).points.size(), 0u);
+
+  // Kill the owner of the hetero request: the replica serves the cached
+  // bytes — a routing hop, not a recompute.
+  const int computed = dispatched.load();
+  cluster.kill(client.owner_of(requests[0]));
+  const Bytes after = client.call_bytes(requests[0]);
+  EXPECT_EQ(after, cold[0]);
   EXPECT_GE(client.failovers(), 1u);
   EXPECT_EQ(dispatched.load(), computed);
 }

@@ -1,0 +1,152 @@
+/// Compressor-based array multipliers: behavioral model vs netlist
+/// equivalence, the deficit-only property (the approximation never
+/// overshoots), and the probabilistic error model pinned against
+/// exhaustive enumeration — bit-exact where the independence assumption
+/// holds exactly (single compressor stage), within the DESIGN.md §13
+/// documented bounds elsewhere (MED within 2% relative, ER conservative
+/// by at most 1.5x).
+#include "axc/designspace/compressor_mul.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "axc/error/evaluate.hpp"
+#include "axc/logic/simulator.hpp"
+
+namespace axc::designspace {
+namespace {
+
+constexpr double kTol = 1e-12;
+constexpr CompressorKind kApproxKinds[] = {CompressorKind::PairXor,
+                                           CompressorKind::OrPair};
+
+error::ErrorStats exhaustive_stats(const CompressorArrayMultiplier& mul) {
+  error::EvalOptions options;
+  options.max_exhaustive_bits = 24;
+  options.threads = 1;
+  const unsigned width = mul.width();
+  const std::uint64_t mask = (1ull << width) - 1;
+  return error::evaluate_function(
+      2 * width, mask * mask,
+      [&](std::uint64_t w) { return mul.multiply(w & mask, w >> width); },
+      [&](std::uint64_t w) { return (w & mask) * (w >> width); }, options);
+}
+
+TEST(CompressorMul, ExactConfigurationsHaveZeroError) {
+  for (const unsigned width : {4u, 6u}) {
+    // Exact compressors everywhere, and approximate kinds confined to
+    // columns too sparse to form a 4-group.
+    for (const CompressorArrayMultiplier& mul :
+         {CompressorArrayMultiplier(width, CompressorKind::Exact42,
+                                    2 * width),
+          CompressorArrayMultiplier(width, CompressorKind::PairXor, 0),
+          CompressorArrayMultiplier(width, CompressorKind::OrPair, 2)}) {
+      const error::ErrorStats stats = exhaustive_stats(mul);
+      EXPECT_EQ(stats.error_count, 0u) << mul.name();
+      const MulErrorModel model = compressor_mul_error_model(
+          mul.width(), mul.kind(), mul.approx_columns());
+      EXPECT_TRUE(model.exact) << mul.name();
+      EXPECT_EQ(model.med_est, 0.0) << mul.name();
+    }
+  }
+}
+
+TEST(CompressorMul, ApproximationIsDeficitOnly) {
+  for (const CompressorKind kind : kApproxKinds) {
+    const CompressorArrayMultiplier mul(6, kind, 12);
+    for (std::uint64_t a = 0; a < 64; ++a) {
+      for (std::uint64_t b = 0; b < 64; ++b) {
+        ASSERT_LE(mul.multiply(a, b), a * b)
+            << mul.name() << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(CompressorMul, BehavioralMatchesNetlistExhaustively) {
+  for (const CompressorKind kind :
+       {CompressorKind::Exact42, CompressorKind::PairXor,
+        CompressorKind::OrPair}) {
+    for (const unsigned approx_columns : {0u, 4u, 8u}) {
+      const CompressorArrayMultiplier mul(4, kind, approx_columns);
+      // Simulator keeps a reference: the netlist must outlive it.
+      const logic::Netlist netlist =
+          compressor_mul_netlist(4, kind, approx_columns);
+      logic::Simulator sim(netlist);
+      for (std::uint64_t a = 0; a < 16; ++a) {
+        for (std::uint64_t b = 0; b < 16; ++b) {
+          ASSERT_EQ(mul.multiply(a, b), sim.apply_word(a | (b << 4)))
+              << mul.name() << " a=" << a << " b=" << b;
+        }
+      }
+    }
+  }
+  // A width where the top column count is odd and the CPA runs long.
+  const CompressorArrayMultiplier mul(5, CompressorKind::OrPair, 10);
+  const logic::Netlist netlist =
+      compressor_mul_netlist(5, CompressorKind::OrPair, 10);
+  logic::Simulator sim(netlist);
+  for (std::uint64_t a = 0; a < 32; ++a) {
+    for (std::uint64_t b = 0; b < 32; ++b) {
+      ASSERT_EQ(mul.multiply(a, b), sim.apply_word(a | (b << 5)))
+          << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(CompressorMulModel, ExactForSingleStageReductions) {
+  // Width 4 reduces in one compressor stage, where the model's
+  // stage-input independence assumption holds exactly: estimates must
+  // match exhaustive enumeration bit-for-bit (summation tolerance only).
+  for (const CompressorKind kind : kApproxKinds) {
+    for (unsigned cols = 0; cols <= 8; ++cols) {
+      const CompressorArrayMultiplier mul(4, kind, cols);
+      const MulErrorModel model = compressor_mul_error_model(4, kind, cols);
+      const error::ErrorStats stats = exhaustive_stats(mul);
+      EXPECT_NEAR(model.error_rate_est, stats.error_rate, kTol)
+          << mul.name();
+      EXPECT_NEAR(model.med_est, stats.mean_error_distance, kTol)
+          << mul.name();
+      EXPECT_NEAR(model.nmed_est, stats.normalized_med, kTol) << mul.name();
+    }
+  }
+}
+
+TEST(CompressorMulModel, WithinDocumentedBoundsOnDeepReductions) {
+  // Multi-stage reductions correlate compressor inputs; DESIGN.md §13
+  // documents the resulting slack: MED within 2% relative, ER an
+  // overestimate by at most 1.5x (never an underestimate).
+  for (const unsigned width : {6u, 8u}) {
+    for (const CompressorKind kind : kApproxKinds) {
+      for (unsigned cols = 4; cols <= 2 * width; cols += 2) {
+        const CompressorArrayMultiplier mul(width, kind, cols);
+        const MulErrorModel model =
+            compressor_mul_error_model(width, kind, cols);
+        const error::ErrorStats stats = exhaustive_stats(mul);
+        if (stats.error_count == 0) {
+          EXPECT_TRUE(model.exact) << mul.name();
+          continue;
+        }
+        EXPECT_FALSE(model.exact) << mul.name();
+        EXPECT_NEAR(model.med_est, stats.mean_error_distance,
+                    0.02 * std::max(stats.mean_error_distance, 1.0))
+            << mul.name();
+        EXPECT_GE(model.error_rate_est, stats.error_rate - kTol)
+            << mul.name();
+        EXPECT_LE(model.error_rate_est, 1.5 * stats.error_rate + kTol)
+            << mul.name();
+      }
+    }
+  }
+}
+
+TEST(CompressorMulModel, NmedUsesSquaredCeiling) {
+  const MulErrorModel model =
+      compressor_mul_error_model(6, CompressorKind::OrPair, 8);
+  const double ceiling = 63.0 * 63.0;
+  EXPECT_NEAR(model.nmed_est, model.med_est / ceiling, kTol);
+}
+
+}  // namespace
+}  // namespace axc::designspace

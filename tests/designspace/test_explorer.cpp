@@ -1,0 +1,153 @@
+/// Design-space sweeps: grid shape and ordering are pinned (the service
+/// layer's byte-identical caching depends on them), analytic figures in
+/// the sweep entries agree with the per-config models, and the
+/// sweep-to-architecture bridge (widen_hetero_blocks + HeteroSadUnit)
+/// preserves exactness where it must.
+#include "axc/designspace/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "axc/accel/sad.hpp"
+
+namespace axc::designspace {
+namespace {
+
+TEST(ExploreHeteroSpace, GridShapeAndBaseline) {
+  // width 12, block 4 -> 3 blocks: baseline + 3 CarryCut + 3 Truncated.
+  const auto space = explore_hetero_space(12, 4, true);
+  ASSERT_EQ(space.size(), 7u);
+  EXPECT_EQ(space[0].approx_blocks, 0u);
+  EXPECT_TRUE(space[0].model.exact);
+  EXPECT_DOUBLE_EQ(space[0].point.accuracy_percent, 100.0);
+  for (std::size_t i = 1; i <= 3; ++i) {
+    EXPECT_EQ(space[i].low_kind, HeteroSubAdder::CarryCut) << i;
+    EXPECT_EQ(space[i].approx_blocks, static_cast<unsigned>(i)) << i;
+  }
+  for (std::size_t i = 4; i <= 6; ++i) {
+    EXPECT_EQ(space[i].low_kind, HeteroSubAdder::Truncated) << i;
+    EXPECT_EQ(space[i].approx_blocks, static_cast<unsigned>(i - 3)) << i;
+  }
+  // Excluding Truncated halves the approximate half of the grid.
+  EXPECT_EQ(explore_hetero_space(12, 4, false).size(), 4u);
+}
+
+TEST(ExploreHeteroSpace, EntriesMatchStandaloneModels) {
+  const auto space = explore_hetero_space(8, 2, true);
+  for (const auto& entry : space) {
+    const HeteroErrorModel model = hetero_error_model(entry.blocks);
+    EXPECT_DOUBLE_EQ(entry.model.med, model.med);
+    EXPECT_DOUBLE_EQ(entry.model.error_rate, model.error_rate);
+    EXPECT_DOUBLE_EQ(entry.point.accuracy_percent,
+                     100.0 * (1.0 - model.error_rate));
+    // A fully-truncated adder is pure wiring (area 0); everything else
+    // must instantiate real cells.
+    const bool all_truncated = entry.low_kind == HeteroSubAdder::Truncated &&
+                               entry.approx_blocks == entry.blocks.size();
+    if (all_truncated) {
+      EXPECT_EQ(entry.point.area_ge, 0.0);
+    } else {
+      EXPECT_GT(entry.point.area_ge, 0.0);
+    }
+  }
+  // Area must be monotone non-increasing in approximation depth within
+  // one kind (the whole point of the family).
+  for (std::size_t i = 2; i <= 4; ++i) {
+    EXPECT_LT(space[i].point.area_ge, space[i - 1].point.area_ge);
+  }
+}
+
+TEST(ExploreHeteroSpace, DeterministicAcrossRuns) {
+  const auto a = explore_hetero_space(10, 3, true);
+  const auto b = explore_hetero_space(10, 3, true);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].point.area_ge, b[i].point.area_ge) << i;
+    EXPECT_EQ(a[i].model.med, b[i].model.med) << i;
+    EXPECT_EQ(a[i].point.name, b[i].point.name) << i;
+  }
+}
+
+TEST(ExploreCompressorMulSpace, GridShapeAndModels) {
+  // Baseline + {PairXor, OrPair} x 1..4.
+  const auto space = explore_compressor_mul_space(6, 4);
+  ASSERT_EQ(space.size(), 9u);
+  EXPECT_EQ(space[0].kind, CompressorKind::Exact42);
+  EXPECT_TRUE(space[0].model.exact);
+  for (std::size_t i = 1; i <= 4; ++i) {
+    EXPECT_EQ(space[i].kind, CompressorKind::PairXor) << i;
+    EXPECT_EQ(space[i].approx_columns, static_cast<unsigned>(i)) << i;
+  }
+  for (std::size_t i = 5; i <= 8; ++i) {
+    EXPECT_EQ(space[i].kind, CompressorKind::OrPair) << i;
+    EXPECT_EQ(space[i].approx_columns, static_cast<unsigned>(i - 4)) << i;
+  }
+  for (const auto& entry : space) {
+    const MulErrorModel model = compressor_mul_error_model(
+        6, entry.kind, entry.approx_columns);
+    EXPECT_DOUBLE_EQ(entry.model.med_est, model.med_est);
+    EXPECT_DOUBLE_EQ(entry.point.accuracy_percent,
+                     100.0 * (1.0 - model.error_rate_est));
+  }
+}
+
+TEST(ExploreStaticAdderSpace, GridShapeAndModels) {
+  // Baseline + {LOA, LOAWA, HEAA} x 1..3.
+  const auto space = explore_static_adder_space(10, 3);
+  ASSERT_EQ(space.size(), 10u);
+  EXPECT_EQ(space[0].approx_lsbs, 0u);
+  EXPECT_TRUE(space[0].model.exact);
+  for (const auto& entry : space) {
+    const StaticAdderModel model = static_adder_error_model(
+        entry.kind, 10, entry.approx_lsbs);
+    EXPECT_DOUBLE_EQ(entry.model.med, model.med);
+    EXPECT_EQ(entry.model.wce, model.wce);
+  }
+}
+
+TEST(WidenHeteroBlocks, GrowsTopAccurateBlock) {
+  const auto blocks = make_hetero_blocks(8, 4, HeteroSubAdder::CarryCut, 1);
+  const auto widened = widen_hetero_blocks(blocks, 16);
+  EXPECT_EQ(hetero_width(widened), 16u);
+  // Low structure preserved.
+  EXPECT_EQ(widened[0].kind, HeteroSubAdder::CarryCut);
+  EXPECT_EQ(widened[0].width, 4u);
+  EXPECT_EQ(widened.back().kind, HeteroSubAdder::Accurate);
+}
+
+TEST(WidenHeteroBlocks, AppendsWhenTopIsApproximate) {
+  const auto blocks = make_hetero_blocks(8, 4, HeteroSubAdder::CarryCut, 2);
+  const auto widened = widen_hetero_blocks(blocks, 12);
+  EXPECT_EQ(hetero_width(widened), 12u);
+  EXPECT_EQ(widened.size(), blocks.size() + 1);
+  EXPECT_EQ(widened.back().kind, HeteroSubAdder::Accurate);
+  EXPECT_EQ(widened.back().width, 4u);
+}
+
+TEST(HeteroSadUnit, ExactConfigMatchesAccurateSad) {
+  const auto blocks = make_hetero_blocks(16, 4, HeteroSubAdder::CarryCut, 0);
+  const HeteroSadUnit hetero(blocks, 16);
+  const accel::SadAccelerator exact(accel::accu_sad(16));
+  EXPECT_TRUE(hetero.is_exact());
+  std::vector<std::uint8_t> a(16), b(16);
+  std::iota(a.begin(), a.end(), static_cast<std::uint8_t>(0));
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<std::uint8_t>(255 - 16 * i);
+  }
+  EXPECT_EQ(hetero.sad(a, b), exact.sad(a, b));
+}
+
+TEST(HeteroSadUnit, ApproximateConfigUnderestimates) {
+  const auto blocks = make_hetero_blocks(16, 4, HeteroSubAdder::Truncated, 2);
+  const HeteroSadUnit hetero(blocks, 16);
+  const accel::SadAccelerator exact(accel::accu_sad(16));
+  EXPECT_FALSE(hetero.is_exact());
+  std::vector<std::uint8_t> a(16, 200), b(16, 13);
+  // Deficit-only arithmetic can only lose accumulated value.
+  EXPECT_LE(hetero.sad(a, b), exact.sad(a, b));
+}
+
+}  // namespace
+}  // namespace axc::designspace

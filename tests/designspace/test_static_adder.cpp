@@ -1,0 +1,117 @@
+/// Static approximate adders (LOA / LOAWA / HEAA): the 4^k-enumeration
+/// error model is exact, so it must match exhaustive evaluation to
+/// floating-point summation tolerance on every pinned configuration, and
+/// the behavioral adder must match its netlist bit for bit.
+#include "axc/designspace/static_adder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "axc/error/evaluate.hpp"
+#include "axc/logic/simulator.hpp"
+
+namespace axc::designspace {
+namespace {
+
+constexpr double kTol = 1e-12;
+constexpr StaticAdderKind kAllKinds[] = {
+    StaticAdderKind::Loa, StaticAdderKind::Loawa, StaticAdderKind::Heaa};
+
+error::EvalOptions exhaustive_options() {
+  error::EvalOptions options;
+  options.max_exhaustive_bits = 24;
+  options.threads = 1;
+  return options;
+}
+
+TEST(StaticAdderModel, MatchesExhaustiveOnPinnedGrid) {
+  for (const StaticAdderKind kind : kAllKinds) {
+    for (const unsigned width : {8u, 10u}) {
+      for (unsigned k = 0; k <= 6; ++k) {
+        const StaticApproxAdder adder(kind, width, k);
+        const StaticAdderModel model =
+            static_adder_error_model(kind, width, k);
+        const error::ErrorStats stats =
+            error::evaluate_adder(adder, exhaustive_options());
+        ASSERT_TRUE(stats.exhaustive) << adder.name();
+        EXPECT_NEAR(model.error_rate, stats.error_rate, kTol)
+            << adder.name();
+        EXPECT_NEAR(model.med, stats.mean_error_distance, kTol)
+            << adder.name();
+        EXPECT_NEAR(model.nmed, stats.normalized_med, kTol) << adder.name();
+        EXPECT_EQ(model.wce, stats.max_error) << adder.name();
+        EXPECT_EQ(model.exact, stats.error_count == 0) << adder.name();
+      }
+    }
+  }
+}
+
+TEST(StaticApproxAdder, BehavioralMatchesNetlistExhaustively) {
+  for (const StaticAdderKind kind : kAllKinds) {
+    const unsigned width = 6;
+    for (unsigned k = 0; k <= width; k += 3) {
+      const StaticApproxAdder adder(kind, width, k);
+      const logic::Netlist netlist = static_adder_netlist(kind, width, k);
+      logic::Simulator sim(netlist);
+      for (std::uint64_t a = 0; a < (1ull << width); ++a) {
+        for (std::uint64_t b = 0; b < (1ull << width); ++b) {
+          ASSERT_EQ(adder.add(a, b, 0), sim.apply_word(a | (b << width)))
+              << adder.name() << " a=" << a << " b=" << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(StaticApproxAdder, ExactWhenNoApproximateBits) {
+  for (const StaticAdderKind kind : kAllKinds) {
+    const StaticApproxAdder adder(kind, 8, 0);
+    EXPECT_TRUE(adder.is_exact());
+    EXPECT_EQ(adder.add(255, 255, 1), 511u);
+    const StaticAdderModel model = static_adder_error_model(kind, 8, 0);
+    EXPECT_TRUE(model.exact);
+    EXPECT_EQ(model.med, 0.0);
+    EXPECT_EQ(model.wce, 0u);
+  }
+}
+
+TEST(StaticApproxAdder, KnownSmallCases) {
+  // LOA with k=1: low bit ORed, so only a=b=1 in the low bit errs (OR
+  // gives 1, exact sum bit is 0 with a lost carry... recovered as
+  // a0 & b0). For k=1 LOA the recovered carry makes the config exact on
+  // the carry but the sum bit stays 1 instead of 0: error 1 with
+  // probability 1/4.
+  const StaticAdderModel loa = static_adder_error_model(
+      StaticAdderKind::Loa, 8, 1);
+  EXPECT_NEAR(loa.error_rate, 0.25, kTol);
+  EXPECT_NEAR(loa.med, 0.25, kTol);
+  EXPECT_EQ(loa.wce, 1u);
+
+  // LOAWA with k=1 drops the carry entirely: a0=b0=1 loses value 1 (the
+  // OR keeps the sum bit at 1 but 1+1=2 needed the carry).
+  const StaticAdderModel loawa = static_adder_error_model(
+      StaticAdderKind::Loawa, 8, 1);
+  EXPECT_NEAR(loawa.error_rate, 0.25, kTol);
+  EXPECT_EQ(loawa.wce, 1u);
+
+  // HEAA with k=1: XOR computes the exact sum bit and the recovered
+  // carry a0 & b0 is the exact carry — zero error.
+  const StaticAdderModel heaa = static_adder_error_model(
+      StaticAdderKind::Heaa, 8, 1);
+  EXPECT_TRUE(heaa.exact);
+}
+
+TEST(StaticApproxAdder, RejectsCarryInWhenApproximate) {
+  const StaticApproxAdder adder(StaticAdderKind::Loa, 8, 2);
+  EXPECT_THROW(adder.add(1, 1, 1), std::invalid_argument);
+}
+
+TEST(StaticAdderModel, RejectsOversizedEnumeration) {
+  EXPECT_THROW(
+      static_adder_error_model(StaticAdderKind::Loa, 32, 13),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axc::designspace

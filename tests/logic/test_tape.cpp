@@ -9,6 +9,7 @@
 
 #include "axc/accel/sad_netlist.hpp"
 #include "axc/common/rng.hpp"
+#include "axc/designspace/compressor_mul.hpp"
 #include "axc/logic/adder_netlists.hpp"
 #include "axc/logic/bitsliced.hpp"
 #include "axc/logic/mul_netlists.hpp"
@@ -300,6 +301,30 @@ TEST(TapeEquivalence, AllMultiplierFactories) {
   expect_engines_agree(wallace_netlist(4, FullAdderKind::Apx3, 2), 12, 0x7B21);
   expect_engines_agree(wallace_netlist(8, FullAdderKind::Accurate, 0), 8,
                        0x7B22);
+}
+
+TEST(TapeEquivalence, DesignspaceAdderFactories) {
+  const std::vector<HeteroBlockSpec> mixed = {
+      {HeteroSubAdder::Truncated, 2},
+      {HeteroSubAdder::CarryCut, 3},
+      {HeteroSubAdder::Accurate, 3}};
+  expect_engines_agree(hetero_adder_netlist(mixed), 12, 0x7C01);
+  const std::vector<HeteroBlockSpec> cut_only = {
+      {HeteroSubAdder::CarryCut, 4}, {HeteroSubAdder::CarryCut, 4}};
+  expect_engines_agree(hetero_adder_netlist(cut_only), 12, 0x7C02);
+  expect_engines_agree(loawa_adder_netlist(8, 3), 12, 0x7C03);
+  expect_engines_agree(heaa_adder_netlist(8, 3), 12, 0x7C04);
+}
+
+TEST(TapeEquivalence, CompressorMulFactories) {
+  using designspace::CompressorKind;
+  using designspace::compressor_mul_netlist;
+  expect_engines_agree(
+      compressor_mul_netlist(4, CompressorKind::Exact42, 0), 12, 0x7C10);
+  expect_engines_agree(
+      compressor_mul_netlist(4, CompressorKind::PairXor, 4), 12, 0x7C11);
+  expect_engines_agree(
+      compressor_mul_netlist(6, CompressorKind::OrPair, 6), 10, 0x7C12);
 }
 
 TEST(TapeEquivalence, SadNetlist) {
